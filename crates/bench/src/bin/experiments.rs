@@ -1,0 +1,39 @@
+//! Experiment driver: regenerates the paper's evaluation.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- e1 e7
+//! ```
+
+use bench::exps;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    println!("ITV system reproduction — experiment suite (virtual-time simulation)");
+    for w in which {
+        match w {
+            "e1" => exps::e1(),
+            "e2" => exps::e2(),
+            "e3" => exps::e3(),
+            "e4" => exps::e4(),
+            "e5" => exps::e5(),
+            "e6" => exps::e6(),
+            "e7" => exps::e7(),
+            "e8" => exps::e8(),
+            "e9" => exps::e9(),
+            "e10" => exps::e10(),
+            "e11" => exps::e11(),
+            "e12" => exps::e12(),
+            "e13" => exps::e13(),
+            "e14" => exps::e14(),
+            other => eprintln!("unknown experiment: {other}"),
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The experiment suite regenerating the paper's evaluation (see
+//! EXPERIMENTS.md for the experiment ↔ paper-section mapping and the
+//! recorded results).
+
+mod cluster_exps;
+mod standalone;
+
+pub use cluster_exps::{e1, e13, e14, e2, e4, e7, e8};
+pub use standalone::{e10, e11, e12, e3, e5, e6, e9};
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use itv_cluster::{Cluster, ClusterConfig};
+use ocs_sim::{NodeRt, NodeRtExt, Sim, SimChan, SimTime};
+
+/// Builds a cluster and runs it to the fully-ready state (services
+/// placed, settops booted).
+pub(crate) fn ready_cluster(seed: u64, cfg: ClusterConfig) -> (Sim, Cluster) {
+    let sim = Sim::new(seed);
+    let mut cluster = Cluster::build(&sim, cfg);
+    sim.run_until(SimTime::from_secs(40));
+    cluster.boot_settops();
+    sim.run_until(SimTime::from_secs(75));
+    (sim, cluster)
+}
+
+/// Finds which server a primary/backup service's binding points at.
+pub(crate) fn primary_server_of(cluster: &Cluster, path: &str) -> Option<(usize, ocs_orb::ObjRef)> {
+    let ns = cluster.ns(0);
+    let out: SimChan<Option<ocs_orb::ObjRef>> = SimChan::new(&cluster.sim);
+    let out2 = out.clone();
+    let node = cluster.servers[0].node.clone();
+    let path = path.to_string();
+    node.spawn_fn("find-primary", move || {
+        out2.send(ns.resolve(&path).ok());
+    });
+    cluster.sim.run_for(Duration::from_secs(1));
+    let obj = out.try_recv().flatten()?;
+    let idx = cluster
+        .servers
+        .iter()
+        .position(|s| s.node.node() == obj.addr.node)?;
+    Some((idx, obj))
+}
+
+/// Spawns a watcher that records when `path` resolves to a reference
+/// other than `old` AND the object answers; returns a channel yielding
+/// the virtual time of recovery.
+pub(crate) fn watch_rebind(
+    cluster: &Cluster,
+    path: &str,
+    old: ocs_orb::ObjRef,
+) -> SimChan<SimTime> {
+    let out: SimChan<SimTime> = SimChan::new(&cluster.sim);
+    let out2 = out.clone();
+    let ns = cluster.ns(0);
+    let node = cluster.servers[0].node.clone();
+    let node2 = node.clone();
+    let path = path.to_string();
+    node.spawn_fn("watch-rebind", move || loop {
+        if let Ok(r) = ns.resolve(&path) {
+            if r != old {
+                out2.send(node2.now());
+                return;
+            }
+        }
+        node2.sleep(Duration::from_millis(200));
+    });
+    out
+}
+
+/// Runs `f` inside a fresh process on `node`, returning its result
+/// through a channel once the simulation has run `window`.
+pub(crate) fn probe<T: Send + 'static>(
+    sim: &Sim,
+    node: &Arc<ocs_sim::SimNode>,
+    window: Duration,
+    f: impl FnOnce() -> T + Send + 'static,
+) -> Option<T> {
+    let out: SimChan<T> = SimChan::new(sim);
+    let out2 = out.clone();
+    node.spawn_fn("probe", move || {
+        out2.send(f());
+    });
+    sim.run_for(window);
+    out.try_recv()
+}

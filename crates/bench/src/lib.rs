@@ -1,0 +1,120 @@
+//! Shared helpers for the experiment harness: table rendering, simple
+//! statistics, and cluster setup shortcuts.
+//!
+//! The experiments themselves live in [`exps`] and are driven by the
+//! `experiments` binary (`cargo run -p bench --bin experiments -- all`).
+
+pub mod exps;
+
+use std::time::Duration;
+
+/// Simple summary statistics over a sample.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of samples.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+    /// 50th percentile.
+    pub p50: f64,
+}
+
+impl Stats {
+    /// Computes stats over `xs` (empty input yields zeros).
+    pub fn of(xs: &[f64]) -> Stats {
+        if xs.is_empty() {
+            return Stats::default();
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Stats {
+            n: xs.len(),
+            min: sorted[0],
+            mean: xs.iter().sum::<f64>() / xs.len() as f64,
+            max: sorted[xs.len() - 1],
+            p50: sorted[xs.len() / 2],
+        }
+    }
+}
+
+/// Renders an aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate().take(cols) {
+                s.push_str(&format!("{:width$}  ", c, width = widths[i]));
+            }
+            println!("  {}", s.trim_end());
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Formats a duration in seconds with one decimal.
+pub fn secs(d: Duration) -> String {
+    format!("{:.1}s", d.as_secs_f64())
+}
+
+/// Formats a float with the given precision.
+pub fn f(x: f64, prec: usize) -> String {
+    format!("{x:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let s = Stats::of(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-9);
+        assert_eq!(s.p50, 2.0);
+        assert_eq!(Stats::of(&[]).n, 0);
+    }
+
+    #[test]
+    fn table_renders() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        t.print(); // Smoke: no panic.
+    }
+}

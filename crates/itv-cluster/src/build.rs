@@ -1,0 +1,879 @@
+//! Cluster assembly: builds the Fig. 1 deployment — servers with the
+//! full OCS service stack, neighborhoods, settops — and provides the
+//! §6.3 start-up sequence plus failure-injection and metric helpers.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use itv_media::{
+    ports, BootSvc, Catalog, CmBudgets, ConnectionManager, DownloadInfo, FileSvc, KernelSvc, Mds,
+    Mms, MmsConfig, MovieInfo, Rds, SettopPlan, ShopSvc,
+};
+use itv_settop::{AppCtx, AppSlot, Settop, SettopBootInfo, SettopHandle};
+use ocs_auth::AuthService;
+use ocs_db::{Db, DbApiServant, MemStorage, ServicePlacement, Storage, TABLE_SERVICES};
+use ocs_name::{acquire_primary, NsConfig, NsError, NsHandle, NsReplica, SelectorSpec};
+use ocs_orb::{ClientCtx, ObjRef, Orb};
+use ocs_ras::{Ras, RasConfig, RasOracle, SettopMgr, SettopMgrConfig};
+use ocs_sim::{Addr, LinkParams, NodeId, NodeRt, NodeRtExt, PortReq, Rt, Sim, SimNode};
+use ocs_svcctl::{Csc, CscConfig, ServiceDef, ServiceRunCtx, Ssc, SscApiClient, SscConfig};
+use ocs_wire::Wire;
+use parking_lot::Mutex;
+
+use crate::config::ClusterConfig;
+
+/// What each settop's VOD/shopping app should do when launched (set by
+/// the workload before tuning the channel).
+#[derive(Clone, Debug)]
+pub struct Intent {
+    /// Movie title for the VOD app.
+    pub title: String,
+    /// How much of it to watch (ms).
+    pub watch_ms: u64,
+    /// Shopping interactions to perform.
+    pub interactions: u32,
+    /// Shopping think time.
+    pub think: Duration,
+}
+
+impl Default for Intent {
+    fn default() -> Intent {
+        Intent {
+            title: "movie-0".to_string(),
+            watch_ms: 10_000,
+            interactions: 5,
+            think: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One server machine.
+pub struct ServerHandle {
+    /// The node.
+    pub node: Arc<SimNode>,
+    /// Name-service replica index.
+    pub replica_id: u32,
+    /// The current SSC ("init" restarts it on reboot).
+    pub ssc: Mutex<Option<Arc<Ssc>>>,
+    registry: Vec<ServiceDef>,
+}
+
+/// One settop.
+pub struct SettopCtl {
+    /// The node.
+    pub node: Arc<SimNode>,
+    /// The booted software handle.
+    pub handle: SettopHandle,
+    /// Its neighborhood.
+    pub neighborhood: u32,
+    /// What its apps should do when launched.
+    pub intent: Arc<Mutex<Intent>>,
+}
+
+/// A fully assembled cluster.
+pub struct Cluster {
+    /// The simulation.
+    pub sim: Sim,
+    /// The configuration it was built from.
+    pub cfg: ClusterConfig,
+    /// Server machines, in replica-id order.
+    pub servers: Vec<ServerHandle>,
+    /// Settops, in creation order.
+    pub settops: Vec<SettopCtl>,
+    /// The content catalog.
+    pub catalog: Catalog,
+    /// Settop → neighborhood.
+    pub nbhd_of: Arc<BTreeMap<NodeId, u32>>,
+    /// Name-service replica addresses, by replica id.
+    pub ns_peers: Vec<Addr>,
+    /// Per-server persistent storage (survives node crashes).
+    pub storages: Vec<Arc<MemStorage>>,
+    /// Settop nodes (booted lazily by [`Cluster::boot_settops`]).
+    pub settop_nodes: Vec<Arc<SimNode>>,
+}
+
+impl Cluster {
+    /// Builds and boots a cluster per `cfg` (§6.3 start-up: every
+    /// server's SSC comes up and starts the basic services; the CSC then
+    /// places the rest). Run the simulation ~30 s of virtual time before
+    /// expecting full service (election + placement).
+    pub fn build(sim: &Sim, cfg: ClusterConfig) -> Cluster {
+        // ---- nodes and links -----------------------------------------
+        let servers_nodes: Vec<Arc<SimNode>> = (0..cfg.servers)
+            .map(|i| sim.add_node(&format!("server{i}")))
+            .collect();
+        let settop_nodes: Vec<Arc<SimNode>> = (0..cfg.settops)
+            .map(|i| sim.add_node(&format!("settop{i}")))
+            .collect();
+        for a in &servers_nodes {
+            for b in &servers_nodes {
+                if a.node() != b.node() {
+                    sim.set_link(a.node(), b.node(), cfg.server_link);
+                }
+            }
+            for s in &settop_nodes {
+                sim.set_link(
+                    a.node(),
+                    s.node(),
+                    LinkParams {
+                        latency: cfg.settop_latency,
+                        bandwidth: Some(cfg.settop_down_bps / 8),
+                        loss: 0.0,
+                    },
+                );
+                sim.set_link(
+                    s.node(),
+                    a.node(),
+                    LinkParams {
+                        latency: cfg.settop_latency,
+                        bandwidth: Some(cfg.settop_up_bps / 8),
+                        loss: 0.0,
+                    },
+                );
+            }
+        }
+        let ns_peers: Vec<Addr> = servers_nodes
+            .iter()
+            .map(|n| Addr::new(n.node(), ports::NS))
+            .collect();
+
+        // ---- content and neighborhood plan ---------------------------
+        let catalog = Catalog::new();
+        for m in 0..cfg.movies {
+            let replicas: Vec<NodeId> = (0..cfg.movie_replicas.min(cfg.servers))
+                .map(|r| servers_nodes[(m + r) % cfg.servers].node())
+                .collect();
+            catalog.add_movie(MovieInfo {
+                title: format!("movie-{m}"),
+                bitrate_bps: cfg.movie_bitrate_bps,
+                duration_ms: cfg.movie_duration_ms,
+                replicas,
+            });
+        }
+        catalog.add_download(DownloadInfo {
+            name: "navigator".into(),
+            size: 200_000,
+        });
+        catalog.add_download(DownloadInfo {
+            name: "vod".into(),
+            size: cfg.vod_app_size,
+        });
+        catalog.add_download(DownloadInfo {
+            name: "shop".into(),
+            size: cfg.shop_app_size,
+        });
+        let nbhds = cfg.neighborhoods().max(1);
+        let mut nbhd_map = BTreeMap::new();
+        for (i, s) in settop_nodes.iter().enumerate() {
+            nbhd_map.insert(s.node(), i as u32 % nbhds);
+        }
+        let nbhd_of = Arc::new(nbhd_map);
+
+        // ---- persistent storage & placement configuration -------------
+        let storages: Vec<Arc<MemStorage>> = (0..cfg.servers).map(|_| MemStorage::new()).collect();
+        let placements = Cluster::placements(&cfg, &servers_nodes);
+        for p in &placements {
+            storages[0]
+                .put(TABLE_SERVICES, &p.service, p.to_bytes())
+                .expect("mem storage");
+        }
+
+        // ---- boot broadcast plans -------------------------------------
+        let boot_svc = BootSvc::new(cfg.kernel_size);
+        for (i, s) in settop_nodes.iter().enumerate() {
+            let nbhd = i as u32 % nbhds;
+            // Each settop uses the name-service replica on "its" server.
+            let home = (nbhd % cfg.servers as u32) as usize;
+            boot_svc.set_plan(
+                s.node(),
+                SettopPlan {
+                    ns_addr: ns_peers[home],
+                    neighborhood: nbhd,
+                },
+            );
+        }
+
+        // ---- per-server service registries -----------------------------
+        let mut servers = Vec::new();
+        for (i, node) in servers_nodes.iter().enumerate() {
+            let registry = Cluster::registry_for(
+                i,
+                node,
+                &cfg,
+                &ns_peers,
+                &catalog,
+                &storages,
+                &nbhd_of,
+                &boot_svc,
+                &servers_nodes,
+            );
+            servers.push(ServerHandle {
+                node: Arc::clone(node),
+                replica_id: i as u32,
+                ssc: Mutex::new(None),
+                registry,
+            });
+        }
+
+        let cluster = Cluster {
+            sim: sim.clone(),
+            cfg,
+            servers,
+            settops: Vec::new(),
+            catalog,
+            nbhd_of,
+            ns_peers,
+            storages,
+            settop_nodes,
+        };
+
+        // ---- boot the servers ("init" starts each SSC, §6.3 step 1) ---
+        for i in 0..cluster.servers.len() {
+            cluster.start_ssc(i);
+        }
+        // ---- cluster namespace setup (contexts + selectors) ------------
+        cluster.spawn_namespace_setup();
+        cluster
+    }
+
+    /// The CSC placement table for this configuration.
+    fn placements(cfg: &ClusterConfig, servers: &[Arc<SimNode>]) -> Vec<ServicePlacement> {
+        let node = |i: usize| servers[i % servers.len()].node();
+        let all: Vec<NodeId> = servers.iter().map(|n| n.node()).collect();
+        let two = |a: usize, b: usize| {
+            if servers.len() > 1 {
+                vec![node(a), node(b)]
+            } else {
+                vec![node(a)]
+            }
+        };
+        let mut out = vec![
+            ServicePlacement {
+                service: "mds".into(),
+                nodes: all.clone(),
+            },
+            ServicePlacement {
+                service: "shop".into(),
+                nodes: all,
+            },
+            ServicePlacement {
+                service: "mms".into(),
+                nodes: two(0, 1),
+            },
+            ServicePlacement {
+                service: "kbs".into(),
+                nodes: two(0, 1),
+            },
+            ServicePlacement {
+                service: "settop-mgr".into(),
+                nodes: vec![node(0)],
+            },
+            ServicePlacement {
+                service: "boot".into(),
+                nodes: vec![node(0)],
+            },
+            ServicePlacement {
+                service: "file".into(),
+                nodes: vec![node(0)],
+            },
+        ];
+        for n in 0..cfg.neighborhoods() {
+            // Per-neighborhood services: Connection Manager (primary on
+            // the home server, backup on the next) and RDS (home only —
+            // §8.1: not restarted elsewhere automatically).
+            let home = (n % cfg.servers as u32) as usize;
+            out.push(ServicePlacement {
+                service: format!("cmgr-{n}"),
+                nodes: two(home, home + 1),
+            });
+            out.push(ServicePlacement {
+                service: format!("rds-{n}"),
+                nodes: vec![node(home)],
+            });
+        }
+        out
+    }
+
+    /// Builds the service registry (the "binaries on disk") for server `i`.
+    #[allow(clippy::too_many_arguments)]
+    fn registry_for(
+        i: usize,
+        _node: &Arc<SimNode>,
+        cfg: &ClusterConfig,
+        ns_peers: &[Addr],
+        catalog: &Catalog,
+        storages: &[Arc<MemStorage>],
+        nbhd_of: &Arc<BTreeMap<NodeId, u32>>,
+        boot_svc: &Arc<BootSvc>,
+        _servers: &[Arc<SimNode>],
+    ) -> Vec<ServiceDef> {
+        let my_ns = ns_peers[i];
+        let peers = ns_peers.to_vec();
+        let mut defs = Vec::new();
+
+        // --- basic: name service replica --------------------------------
+        {
+            let peers = peers.clone();
+            let audit = cfg.ns_audit;
+            defs.push(ServiceDef {
+                name: "ns".into(),
+                basic: true,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let mut nc = NsConfig::paper_defaults(i as u32, peers.clone());
+                    nc.audit_interval = audit;
+                    let oracle =
+                        RasOracle::new(ctx.rt.clone(), Addr::new(ctx.rt.node(), ports::RAS));
+                    if NsReplica::start(ctx.rt.clone(), nc, oracle).is_ok() {
+                        (ctx.notify_ready)(Vec::new());
+                        park(&ctx.rt)
+                    }
+                    // Else: port busy (stale instance); die and retry.
+                }),
+            });
+        }
+
+        // --- basic: authentication service -------------------------------
+        defs.push(ServiceDef {
+            name: "auth".into(),
+            basic: true,
+            factory: Arc::new(move |ctx: ServiceRunCtx| {
+                let svc =
+                    AuthService::new(ctx.rt.clone(), Bytes::from_static(b"orlando-realm-key"));
+                let Ok(orb) = Orb::new(ctx.rt.clone(), PortReq::Fixed(ports::AUTH)) else {
+                    return;
+                };
+                let obj = orb.export_root(Arc::new(ocs_auth::AuthApiServant(svc)));
+                orb.start();
+                (ctx.notify_ready)(vec![obj]);
+                let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                rebind_own(&ns, &ctx.rt, "svc/auth", obj, true);
+                park(&ctx.rt)
+            }),
+        });
+
+        // --- basic: RAS ---------------------------------------------------
+        {
+            let ras_poll = cfg.ras_poll;
+            defs.push(ServiceDef {
+                name: "ras".into(),
+                basic: true,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    let rc = RasConfig {
+                        peer_poll_interval: ras_poll,
+                        settop_poll_interval: ras_poll,
+                        ..RasConfig::default()
+                    };
+                    let Ok((_ras, ras_ref, cb_ref)) = Ras::start(ctx.rt.clone(), rc, ns) else {
+                        return;
+                    };
+                    (ctx.notify_ready)(vec![ras_ref]);
+                    // Register the callback with the local SSC.
+                    let ssc_ref = ObjRef {
+                        addr: Addr::new(ctx.rt.node(), ports::SSC),
+                        incarnation: ObjRef::STABLE,
+                        type_id: SscApiClient::TYPE_ID,
+                        object_id: 0,
+                    };
+                    loop {
+                        if let Ok(ssc) =
+                            SscApiClient::attach(ClientCtx::new(ctx.rt.clone()), ssc_ref)
+                        {
+                            if ssc.register_callback(cb_ref).is_ok() {
+                                break;
+                            }
+                        }
+                        ctx.rt.sleep(Duration::from_secs(1));
+                    }
+                    park(&ctx.rt)
+                }),
+            });
+        }
+
+        // --- basic: database (server 0's disk) ----------------------------
+        if i == 0 {
+            let storage = Arc::clone(&storages[0]);
+            defs.push(ServiceDef {
+                name: "db".into(),
+                basic: true,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let db = Db::new(Arc::clone(&storage) as Arc<dyn Storage>);
+                    let Ok(orb) = Orb::new(ctx.rt.clone(), PortReq::Fixed(ports::DB)) else {
+                        return;
+                    };
+                    let obj = orb.export_root(Arc::new(DbApiServant(db)));
+                    orb.start();
+                    (ctx.notify_ready)(vec![obj]);
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    rebind_own(&ns, &ctx.rt, "svc/db", obj, true);
+                    park(&ctx.rt)
+                }),
+            });
+        }
+
+        // --- basic: CSC replicas on the first two servers ------------------
+        if i < 2 {
+            let bind_retry = cfg.bind_retry;
+            defs.push(ServiceDef {
+                name: "csc".into(),
+                basic: true,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    let cc = CscConfig {
+                        bind_retry,
+                        ..CscConfig::default()
+                    };
+                    let csc = Csc::new(ctx.rt.clone(), cc, ns);
+                    let notify = ctx.notify_ready.clone();
+                    let _ = csc.run(move |objs| notify(objs));
+                }),
+            });
+        }
+
+        // --- placed: settop manager ---------------------------------------
+        defs.push(ServiceDef {
+            name: "settop-mgr".into(),
+            basic: false,
+            factory: Arc::new(move |ctx: ServiceRunCtx| {
+                let Ok((_mgr, obj)) = SettopMgr::start(
+                    ctx.rt.clone(),
+                    SettopMgrConfig {
+                        port: ports::SETTOP_MGR,
+                        ..SettopMgrConfig::default()
+                    },
+                ) else {
+                    return;
+                };
+                (ctx.notify_ready)(vec![obj]);
+                let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                rebind_own(&ns, &ctx.rt, "svc/settop-mgr", obj, true);
+                park(&ctx.rt)
+            }),
+        });
+
+        // --- placed: MDS ----------------------------------------------------
+        {
+            let catalog = catalog.clone();
+            let max_streams = cfg.mds_max_streams;
+            defs.push(ServiceDef {
+                name: "mds".into(),
+                basic: false,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let Ok((mds, obj)) =
+                        Mds::serve(ctx.rt.clone(), ports::MDS, catalog.clone(), max_streams)
+                    else {
+                        return;
+                    };
+                    (ctx.notify_ready)(vec![obj]);
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    let path = format!("svc/mds/{}", ctx.rt.node().0);
+                    rebind_own(&ns, &ctx.rt, &path, obj, false);
+                    // Report load for dynamic selectors.
+                    loop {
+                        ctx.rt.sleep(Duration::from_secs(5));
+                        let _ = ns.report_load(&path, mds.open_count());
+                    }
+                }),
+            });
+        }
+
+        // --- placed: MMS -----------------------------------------------------
+        {
+            let catalog = catalog.clone();
+            let nbhd_of = Arc::clone(nbhd_of);
+            let bind_retry = cfg.bind_retry;
+            let ras_poll = cfg.mms_ras_poll;
+            defs.push(ServiceDef {
+                name: "mms".into(),
+                basic: false,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    let mms = Mms::new(
+                        ctx.rt.clone(),
+                        ns,
+                        MmsConfig {
+                            port: ports::MMS,
+                            bind_path: "svc/mms".into(),
+                            mds_ctx: "svc/mds".into(),
+                            cmgr_prefix: "svc/cmgr".into(),
+                            bind_retry,
+                            ras_poll,
+                            reassert_interval: Duration::from_secs(5),
+                            nbhd_of: Arc::clone(&nbhd_of),
+                        },
+                        catalog.clone(),
+                    );
+                    let notify = ctx.notify_ready.clone();
+                    let _ = mms.run(move |objs| notify(objs));
+                }),
+            });
+        }
+
+        // --- placed: per-neighborhood CM and RDS ------------------------------
+        for n in 0..cfg.neighborhoods() {
+            let budgets: CmBudgets = cfg.cm_budgets;
+            let bind_retry = cfg.bind_retry;
+            defs.push(ServiceDef {
+                name: format!("cmgr-{n}"),
+                basic: false,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let cm = ConnectionManager::with_clock(budgets, Some(ctx.rt.clone()));
+                    let Ok(obj) = cm.serve(ctx.rt.clone(), 2000 + n as u16) else {
+                        return;
+                    };
+                    (ctx.notify_ready)(vec![obj]);
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    ensure_path(&ns, &ctx.rt, "svc/cmgr");
+                    acquire_primary(&ns, &ctx.rt, &format!("svc/cmgr/{n}"), obj, bind_retry);
+                    park(&ctx.rt)
+                }),
+            });
+            let catalog = catalog.clone();
+            defs.push(ServiceDef {
+                name: format!("rds-{n}"),
+                basic: false,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let rds = Rds::new(catalog.clone());
+                    let Ok(obj) = rds.serve(ctx.rt.clone(), 3000 + n as u16) else {
+                        return;
+                    };
+                    (ctx.notify_ready)(vec![obj]);
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    rebind_own(&ns, &ctx.rt, &format!("svc/rds/{n}"), obj, false);
+                    park(&ctx.rt)
+                }),
+            });
+        }
+
+        // --- placed: shop -----------------------------------------------------
+        defs.push(ServiceDef {
+            name: "shop".into(),
+            basic: false,
+            factory: Arc::new(move |ctx: ServiceRunCtx| {
+                let shop = ShopSvc::new(ctx.rt.clone(), Duration::from_millis(2));
+                let Ok(obj) = shop.serve(ctx.rt.clone(), ports::SHOP) else {
+                    return;
+                };
+                (ctx.notify_ready)(vec![obj]);
+                let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                rebind_own(
+                    &ns,
+                    &ctx.rt,
+                    &format!("svc/shop/{}", ctx.rt.node().0),
+                    obj,
+                    false,
+                );
+                park(&ctx.rt)
+            }),
+        });
+
+        // --- placed: KBS -------------------------------------------------------
+        {
+            let kernel_size = cfg.kernel_size;
+            let bind_retry = cfg.bind_retry;
+            defs.push(ServiceDef {
+                name: "kbs".into(),
+                basic: false,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let kbs = KernelSvc::new(kernel_size);
+                    let Ok(obj) = kbs.serve(ctx.rt.clone(), ports::KBS) else {
+                        return;
+                    };
+                    (ctx.notify_ready)(vec![obj]);
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    acquire_primary(&ns, &ctx.rt, "svc/kbs", obj, bind_retry);
+                    park(&ctx.rt)
+                }),
+            });
+        }
+
+        // --- placed: boot broadcast (shared plans survive restarts) ------------
+        {
+            let boot_svc = Arc::clone(boot_svc);
+            defs.push(ServiceDef {
+                name: "boot".into(),
+                basic: false,
+                factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let Ok(obj) = boot_svc.serve(ctx.rt.clone(), ports::BOOT) else {
+                        return;
+                    };
+                    (ctx.notify_ready)(vec![obj]);
+                    let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                    rebind_own(&ns, &ctx.rt, "svc/boot", obj, true);
+                    park(&ctx.rt)
+                }),
+            });
+        }
+
+        // --- placed: file service -----------------------------------------------
+        defs.push(ServiceDef {
+            name: "file".into(),
+            basic: false,
+            factory: Arc::new(move |ctx: ServiceRunCtx| {
+                let Ok((_svc, root_ref, create_ref)) = FileSvc::serve(ctx.rt.clone(), ports::FILE)
+                else {
+                    return;
+                };
+                (ctx.notify_ready)(vec![root_ref, create_ref]);
+                let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
+                // The FileSystemContext root goes into the global space
+                // (a remotely implemented context, §4.3).
+                rebind_own(&ns, &ctx.rt, "fs", root_ref, true);
+                rebind_own(&ns, &ctx.rt, "svc/file", create_ref, true);
+                park(&ctx.rt)
+            }),
+        });
+
+        defs
+    }
+
+    /// Starts (or restarts, after a reboot) server `i`'s SSC — the
+    /// "init" step of §6.3.
+    pub fn start_ssc(&self, i: usize) {
+        let server = &self.servers[i];
+        let ns = NsHandle::new(
+            ClientCtx::new(server.node.clone()),
+            self.ns_peers[server.replica_id as usize],
+        );
+        let ssc = Ssc::start(
+            server.node.clone(),
+            SscConfig {
+                port: ports::SSC,
+                ..SscConfig::default()
+            },
+            ns,
+            server.registry.clone(),
+        )
+        .expect("ssc start");
+        *server.ssc.lock() = Some(ssc);
+    }
+
+    /// Spawns the one-time namespace bootstrap: creates the `svc`
+    /// context and the replicated contexts with their selectors.
+    fn spawn_namespace_setup(&self) {
+        let node = self.servers[0].node.clone();
+        let ns = NsHandle::new(ClientCtx::new(node.clone()), self.ns_peers[0]);
+        let nbhd_map: BTreeMap<NodeId, u32> = self.nbhd_of.as_ref().clone();
+        let spawner = node.clone();
+        spawner.spawn_fn("cluster-setup", move || {
+            // Wait for a name-service master.
+            loop {
+                match ns.bind_new_context("svc") {
+                    Ok(_) => break,
+                    Err(NsError::AlreadyBound { .. }) => break,
+                    Err(_) => node.sleep(Duration::from_secs(1)),
+                }
+            }
+            let mk = |path: &str, sel: SelectorSpec| loop {
+                match ns.bind_repl_context(path, sel.clone()) {
+                    Ok(_) | Err(NsError::AlreadyBound { .. }) => return,
+                    Err(_) => node.sleep(Duration::from_secs(1)),
+                }
+            };
+            mk("svc/mds", SelectorSpec::SameServer);
+            mk(
+                "svc/rds",
+                SelectorSpec::Neighborhood {
+                    map: nbhd_map.clone(),
+                },
+            );
+            mk("svc/shop", SelectorSpec::RoundRobin);
+            loop {
+                match ns.bind_new_context("svc/cmgr") {
+                    Ok(_) | Err(NsError::AlreadyBound { .. }) => break,
+                    Err(_) => node.sleep(Duration::from_secs(1)),
+                }
+            }
+        });
+    }
+
+    /// Boots all configured settops with the standard application set
+    /// (navigator, VOD, shopping). Call after the cluster has had ~30 s
+    /// to elect and place services.
+    pub fn boot_settops(&mut self) {
+        let bbs_addr = Addr::new(self.servers[0].node.node(), ports::BOOT);
+        let nodes = self.settop_nodes.clone();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let intent = Arc::new(Mutex::new(Intent::default()));
+            let apps = standard_apps(Arc::clone(&intent));
+            let handle = Settop::boot(node.clone(), SettopBootInfo { bbs_addr }, apps);
+            let neighborhood = *self.nbhd_of.get(&node.node()).unwrap_or(&0);
+            self.settops.push(SettopCtl {
+                node,
+                handle,
+                neighborhood,
+                intent,
+            });
+            let _ = i;
+        }
+    }
+
+    /// A name-service handle through replica `i`, for tests/drivers.
+    pub fn ns(&self, i: usize) -> NsHandle {
+        NsHandle::new(
+            ClientCtx::new(self.servers[i].node.clone()),
+            self.ns_peers[i],
+        )
+    }
+
+    /// Crashes a server machine.
+    pub fn crash_server(&self, i: usize) {
+        self.sim.crash_node(self.servers[i].node.node());
+    }
+
+    /// Restarts a crashed server: node up, then "init" starts the SSC,
+    /// which starts the basic services; the CSC re-places the rest.
+    pub fn restart_server(&self, i: usize) {
+        self.sim.restart_node(self.servers[i].node.node());
+        self.start_ssc(i);
+    }
+
+    /// Stops a single service on a server (operator action / crash
+    /// injection at service granularity).
+    pub fn kill_service(&self, server: usize, name: &str) {
+        let ssc_ref = {
+            let guard = self.servers[server].ssc.lock();
+            guard.as_ref().map(|s| s.self_ref())
+        };
+        let Some(ssc_ref) = ssc_ref else { return };
+        let node = self.servers[server].node.clone();
+        let name = name.to_string();
+        node.clone().spawn_fn("kill-service", move || {
+            if let Ok(ssc) = SscApiClient::attach(ClientCtx::new(node.clone()), ssc_ref) {
+                let _ = ssc.stop_service(name);
+            }
+        });
+    }
+
+    /// Aggregate settop metrics snapshot (sums across settops).
+    pub fn settop_totals(&self) -> SettopTotals {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut t = SettopTotals::default();
+        for s in &self.settops {
+            let m = &s.handle.metrics;
+            t.booted += (m.booted_at_us.load(Relaxed) > 0) as u64;
+            t.app_downloads += m.app_downloads.load(Relaxed);
+            t.movies_opened += m.movies_opened.load(Relaxed);
+            t.movie_failures += m.movie_failures.load(Relaxed);
+            t.stalls += m.stalls.load(Relaxed);
+            t.segments += m.segments.load(Relaxed);
+            t.interactions += m.interactions.load(Relaxed);
+            t.interruption_us += m.interruption_us.load(Relaxed);
+        }
+        t
+    }
+}
+
+/// Sums of settop metrics across the cluster.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SettopTotals {
+    /// Settops fully booted.
+    pub booted: u64,
+    /// Application downloads completed.
+    pub app_downloads: u64,
+    /// Movies opened.
+    pub movies_opened: u64,
+    /// Movie-open failures.
+    pub movie_failures: u64,
+    /// Stream stalls.
+    pub stalls: u64,
+    /// Segments received.
+    pub segments: u64,
+    /// Shopping interactions.
+    pub interactions: u64,
+    /// Total playback interruption, µs.
+    pub interruption_us: u64,
+}
+
+/// The standard settop application set.
+pub fn standard_apps(intent: Arc<Mutex<Intent>>) -> Vec<AppSlot> {
+    let vod_intent = Arc::clone(&intent);
+    let shop_intent = intent;
+    vec![
+        AppSlot {
+            channel: ClusterConfig::CHANNEL_NAVIGATOR,
+            binary: "navigator".into(),
+            main: Arc::new(|ctx: &AppCtx| {
+                let _ = itv_settop::run_navigator(ctx);
+            }),
+        },
+        AppSlot {
+            channel: ClusterConfig::CHANNEL_VOD,
+            binary: "vod".into(),
+            main: Arc::new(move |ctx: &AppCtx| {
+                let (title, watch_ms) = {
+                    let i = vod_intent.lock();
+                    (i.title.clone(), i.watch_ms)
+                };
+                let _ = itv_settop::run_vod(ctx, &title, watch_ms);
+            }),
+        },
+        AppSlot {
+            channel: ClusterConfig::CHANNEL_SHOP,
+            binary: "shop".into(),
+            main: Arc::new(move |ctx: &AppCtx| {
+                let (n, think) = {
+                    let i = shop_intent.lock();
+                    (i.interactions, i.think)
+                };
+                let _ = itv_settop::run_shopping(ctx, n, think);
+            }),
+        },
+    ]
+}
+
+/// Parks a service's root process forever (its ORB and loops run in the
+/// same group).
+fn park(rt: &Rt) {
+    loop {
+        rt.sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Creates missing plain parent contexts for `path` (idempotent).
+fn ensure_path(ns: &NsHandle, rt: &Rt, path: &str) {
+    loop {
+        let mut at = String::new();
+        let mut ok = true;
+        for part in path.split('/') {
+            if !at.is_empty() {
+                at.push('/');
+            }
+            at.push_str(part);
+            match ns.bind_new_context(&at) {
+                Ok(_) | Err(NsError::AlreadyBound { .. }) => {}
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            return;
+        }
+        rt.sleep(Duration::from_secs(1));
+    }
+}
+
+/// Unbinds any stale binding at `path` (from a previous incarnation of
+/// this same per-node service) and binds `obj`; retries until the name
+/// service accepts. With `create_parents`, missing plain contexts on the
+/// way are created — leave it off for children of replicated contexts,
+/// whose parents the cluster-setup process creates with their selectors.
+fn rebind_own(ns: &NsHandle, rt: &Rt, path: &str, obj: ObjRef, create_parents: bool) {
+    loop {
+        let _ = ns.unbind(path);
+        match ns.bind(path, obj) {
+            Ok(()) => return,
+            Err(NsError::NotFound { .. }) if create_parents => {
+                if let Some((parent, _)) = path.rsplit_once('/') {
+                    ensure_path(ns, rt, parent);
+                }
+            }
+            Err(_) => {}
+        }
+        rt.sleep(Duration::from_secs(2));
+    }
+}

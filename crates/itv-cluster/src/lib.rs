@@ -1,0 +1,14 @@
+//! Cluster assembly for the ITV system reproduction: builds the paper's
+//! Fig. 1 deployment — multiprocessor servers running the full OCS
+//! service stack, settops partitioned into neighborhoods (§3.1) — wires
+//! the availability machinery together (SSC ↔ RAS ↔ name-service audit),
+//! and provides workload generation plus failure injection for the
+//! experiments in EXPERIMENTS.md.
+
+mod build;
+mod config;
+mod workload;
+
+pub use build::{standard_apps, Cluster, Intent, ServerHandle, SettopCtl, SettopTotals};
+pub use config::ClusterConfig;
+pub use workload::{exp_sample, EveningWorkload, PlannedSession, Zipf};

@@ -1,0 +1,165 @@
+//! Workload generation: the synthetic stand-in for the trial's 4,000
+//! subscribers — Zipf movie popularity, exponential think times, and an
+//! "evening" session mix of VOD viewing and shopping.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// A Zipf(θ) sampler over `n` items (item 0 most popular), built from a
+/// precomputed CDF — the standard popularity model for movie catalogs.
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `theta` (1.0 is
+    /// classic Zipf; 0.0 is uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf over zero items");
+        let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Zipf { cdf: weights }
+    }
+
+    /// Samples an item index in `[0, n)`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Samples an exponential duration with the given mean (Poisson
+/// inter-arrival times).
+pub fn exp_sample(rng: &mut SmallRng, mean: Duration) -> Duration {
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    Duration::from_micros((mean.as_micros() as f64 * -u.ln()) as u64)
+}
+
+/// Parameters for an "evening" of viewing: each settop repeatedly picks
+/// an activity (VOD with Zipf-chosen title, or shopping), with
+/// exponential think time in between.
+#[derive(Clone, Debug)]
+pub struct EveningWorkload {
+    /// RNG seed (derive per-settop streams from it).
+    pub seed: u64,
+    /// Number of catalog titles.
+    pub titles: usize,
+    /// Zipf exponent for title popularity.
+    pub zipf_theta: f64,
+    /// Fraction of sessions that are VOD (the rest shop).
+    pub vod_fraction: f64,
+    /// How much of a movie a viewer watches (ms).
+    pub watch_ms: u64,
+    /// Mean think time between sessions.
+    pub mean_think: Duration,
+}
+
+impl Default for EveningWorkload {
+    fn default() -> EveningWorkload {
+        EveningWorkload {
+            seed: 7,
+            titles: 8,
+            zipf_theta: 1.0,
+            vod_fraction: 0.7,
+            watch_ms: 20_000,
+            mean_think: Duration::from_secs(20),
+        }
+    }
+}
+
+/// One planned settop session.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlannedSession {
+    /// Watch `title` for `watch_ms`.
+    Vod { title: String, watch_ms: u64 },
+    /// Shop with `interactions` interactions.
+    Shop { interactions: u32 },
+}
+
+impl EveningWorkload {
+    /// Plans `count` sessions for settop `settop_idx`, with the think
+    /// time preceding each session.
+    pub fn plan(&self, settop_idx: usize, count: usize) -> Vec<(Duration, PlannedSession)> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ (settop_idx as u64).wrapping_mul(0x9e37));
+        let zipf = Zipf::new(self.titles, self.zipf_theta);
+        (0..count)
+            .map(|_| {
+                let think = exp_sample(&mut rng, self.mean_think);
+                let session = if rng.random::<f64>() < self.vod_fraction {
+                    PlannedSession::Vod {
+                        title: format!("movie-{}", zipf.sample(&mut rng)),
+                        watch_ms: self.watch_ms,
+                    }
+                } else {
+                    PlannedSession::Shop {
+                        interactions: 3 + (rng.random::<u32>() % 5),
+                    }
+                };
+                (think, session)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_popular_items() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let z = Zipf::new(10, 1.0);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[4], "item 0 beats item 4: {counts:?}");
+        assert!(counts[0] > counts[9] * 3, "heavy head: {counts:?}");
+        assert!(counts.iter().all(|c| *c > 0), "full support: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let z = Zipf::new(4, 0.0);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "roughly uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn exp_sample_has_roughly_right_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mean = Duration::from_secs(10);
+        let total: u128 = (0..10_000)
+            .map(|_| exp_sample(&mut rng, mean).as_micros())
+            .sum();
+        let avg_us = total / 10_000;
+        assert!((8_000_000..12_000_000).contains(&avg_us), "avg {avg_us}µs");
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_settop() {
+        let w = EveningWorkload::default();
+        assert_eq!(w.plan(3, 5), w.plan(3, 5));
+        assert_ne!(w.plan(3, 5), w.plan(4, 5));
+    }
+}

@@ -1,0 +1,372 @@
+//! The Connection Manager (§3.3): allocates (modelled ATM) connections
+//! between settops and servers, with admission control against per-settop
+//! and per-server bandwidth budgets — the trial's 6 Mbit/s downstream
+//! per settop and the server's aggregate egress.
+//!
+//! Replication (§5.2): "active replicas for each neighborhood ... backed
+//! up by passive replicas". Each neighborhood's instances race to bind
+//! `svc/cmgr/<nbhd>`; the loser waits as backup. A newly promoted backup
+//! starts with no allocation state and relearns it from the MMS's
+//! periodic `reassert` calls (the paper lists the CM as one of only two
+//! services with replicated state; reassertion is our documented
+//! substitution — see DESIGN.md).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ocs_orb::{declare_interface, Caller, ObjRef, Orb, ThreadModel};
+use ocs_sim::{NetError, NodeId, PortReq, Rt};
+use parking_lot::Mutex;
+
+use crate::types::{CmUsage, ConnDesc, MediaError};
+
+declare_interface! {
+    /// The Connection Manager interface.
+    pub interface CmApi [CmApiClient, CmApiServant]: "itv.cmgr" {
+        /// Reserve a downstream path of `down_bps` from `server` to
+        /// `settop`. Fails with `NoBandwidth` when either budget is
+        /// exhausted.
+        1 => fn allocate(&self, settop: NodeId, server: NodeId, down_bps: u64) -> Result<u64, MediaError>;
+        /// Release an allocation.
+        2 => fn release(&self, conn: u64) -> Result<(), MediaError>;
+        /// Re-register an allocation with a freshly promoted replica
+        /// (state recovery after fail-over).
+        3 => fn reassert(&self, desc: ConnDesc) -> Result<(), MediaError>;
+        /// Utilization snapshot.
+        4 => fn usage(&self) -> Result<CmUsage, MediaError>;
+        /// Per-settop resource accounting (§7.3's future-work item:
+        /// "accounting is needed both for discovering buggy clients and
+        /// for charging properly for resource usage"). Returns rows of
+        /// `(settop, allocations ever, refusals, bit-seconds consumed)`,
+        /// ordered by bit-seconds descending — buggy hoarders float to
+        /// the top.
+        5 => fn accounting(&self) -> Result<Vec<CmAccountRow>, MediaError>;
+    }
+}
+
+/// One settop's accounting record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CmAccountRow {
+    /// The settop.
+    pub settop: NodeId,
+    /// Allocations ever granted.
+    pub granted: u64,
+    /// Allocations refused (budget exhausted — a buggy-client signal).
+    pub refused: u64,
+    /// Bandwidth-time consumed so far, in bit-seconds (closed
+    /// allocations plus the elapsed portion of open ones).
+    pub bit_seconds: u64,
+}
+
+ocs_wire::impl_wire_struct!(CmAccountRow {
+    settop,
+    granted,
+    refused,
+    bit_seconds
+});
+
+/// Bandwidth budgets for admission control.
+#[derive(Clone, Copy, Debug)]
+pub struct CmBudgets {
+    /// Per-settop downstream cap (the trial: 6 Mbit/s).
+    pub settop_down_bps: u64,
+    /// Per-server egress cap.
+    pub server_egress_bps: u64,
+}
+
+impl Default for CmBudgets {
+    fn default() -> CmBudgets {
+        CmBudgets {
+            settop_down_bps: 6_000_000,
+            server_egress_bps: 200_000_000,
+        }
+    }
+}
+
+/// The Connection Manager service state.
+pub struct ConnectionManager {
+    budgets: CmBudgets,
+    rt: Option<Rt>,
+    state: Mutex<CmState>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct Account {
+    granted: u64,
+    refused: u64,
+    bit_seconds: u64,
+}
+
+#[derive(Default)]
+struct CmState {
+    next_conn: u64,
+    allocations: HashMap<u64, ConnDesc>,
+    /// When each open allocation started (µs), for accounting.
+    started_us: HashMap<u64, u64>,
+    settop_used: HashMap<NodeId, u64>,
+    server_used: HashMap<NodeId, u64>,
+    refused: u64,
+    accounts: HashMap<NodeId, Account>,
+}
+
+impl ConnectionManager {
+    /// Creates the manager with the given budgets. Accounting needs a
+    /// clock; without one (unit tests) bit-seconds stay zero.
+    pub fn new(budgets: CmBudgets) -> Arc<ConnectionManager> {
+        ConnectionManager::with_clock(budgets, None)
+    }
+
+    /// Creates the manager with a runtime clock for §7.3 accounting.
+    pub fn with_clock(budgets: CmBudgets, rt: Option<Rt>) -> Arc<ConnectionManager> {
+        Arc::new(ConnectionManager {
+            budgets,
+            rt,
+            state: Mutex::new(CmState {
+                next_conn: 1,
+                ..CmState::default()
+            }),
+        })
+    }
+
+    fn now_us(&self) -> u64 {
+        self.rt.as_ref().map(|rt| rt.now().as_micros()).unwrap_or(0)
+    }
+
+    /// Starts an ORB serving this manager on `port`; returns its
+    /// reference (the caller binds it under `svc/cmgr/<nbhd>`).
+    pub fn serve(self: &Arc<Self>, rt: Rt, port: u16) -> Result<ObjRef, NetError> {
+        let orb = Orb::build(
+            rt,
+            PortReq::Fixed(port),
+            ThreadModel::PerRequest,
+            None,
+            Arc::new(ocs_orb::NoAuth),
+        )?;
+        let obj = orb.export_root(Arc::new(CmApiServant(Arc::clone(self))));
+        orb.start();
+        Ok(obj)
+    }
+
+    fn admit(&self, st: &mut CmState, desc: &ConnDesc) -> bool {
+        let settop_after = st.settop_used.get(&desc.settop).copied().unwrap_or(0) + desc.down_bps;
+        let server_after = st.server_used.get(&desc.server).copied().unwrap_or(0) + desc.down_bps;
+        if settop_after > self.budgets.settop_down_bps
+            || server_after > self.budgets.server_egress_bps
+        {
+            return false;
+        }
+        *st.settop_used.entry(desc.settop).or_insert(0) += desc.down_bps;
+        *st.server_used.entry(desc.server).or_insert(0) += desc.down_bps;
+        st.allocations.insert(desc.conn, *desc);
+        true
+    }
+}
+
+impl CmApi for ConnectionManager {
+    fn allocate(
+        &self,
+        _caller: &Caller,
+        settop: NodeId,
+        server: NodeId,
+        down_bps: u64,
+    ) -> Result<u64, MediaError> {
+        let mut st = self.state.lock();
+        let conn = st.next_conn;
+        let desc = ConnDesc {
+            conn,
+            settop,
+            server,
+            down_bps,
+        };
+        if !self.admit(&mut st, &desc) {
+            st.refused += 1;
+            st.accounts.entry(settop).or_default().refused += 1;
+            return Err(MediaError::NoBandwidth);
+        }
+        st.next_conn += 1;
+        st.accounts.entry(settop).or_default().granted += 1;
+        let now = self.now_us();
+        st.started_us.insert(conn, now);
+        Ok(conn)
+    }
+
+    fn release(&self, _caller: &Caller, conn: u64) -> Result<(), MediaError> {
+        let now = self.now_us();
+        let mut st = self.state.lock();
+        let desc = st
+            .allocations
+            .remove(&conn)
+            .ok_or(MediaError::UnknownSession { id: conn })?;
+        if let Some(u) = st.settop_used.get_mut(&desc.settop) {
+            *u = u.saturating_sub(desc.down_bps);
+        }
+        if let Some(u) = st.server_used.get_mut(&desc.server) {
+            *u = u.saturating_sub(desc.down_bps);
+        }
+        if let Some(start) = st.started_us.remove(&conn) {
+            let secs = now.saturating_sub(start) / 1_000_000;
+            st.accounts.entry(desc.settop).or_default().bit_seconds += desc.down_bps * secs;
+        }
+        Ok(())
+    }
+
+    fn reassert(&self, _caller: &Caller, desc: ConnDesc) -> Result<(), MediaError> {
+        let mut st = self.state.lock();
+        if st.allocations.contains_key(&desc.conn) {
+            return Ok(()); // Already known (same incarnation).
+        }
+        if !self.admit(&mut st, &desc) {
+            return Err(MediaError::NoBandwidth);
+        }
+        let now = self.now_us();
+        st.started_us.insert(desc.conn, now);
+        st.accounts.entry(desc.settop).or_default().granted += 1;
+        // Keep conn ids unique past reasserted ones.
+        if desc.conn >= st.next_conn {
+            st.next_conn = desc.conn + 1;
+        }
+        Ok(())
+    }
+
+    fn usage(&self, _caller: &Caller) -> Result<CmUsage, MediaError> {
+        let st = self.state.lock();
+        Ok(CmUsage {
+            allocations: st.allocations.len() as u32,
+            reserved_down_bps: st.settop_used.values().sum(),
+            refused: st.refused,
+        })
+    }
+
+    fn accounting(&self, _caller: &Caller) -> Result<Vec<CmAccountRow>, MediaError> {
+        let now = self.now_us();
+        let st = self.state.lock();
+        let mut rows: Vec<CmAccountRow> = st
+            .accounts
+            .iter()
+            .map(|(settop, a)| {
+                // Add the elapsed portion of still-open allocations.
+                let open: u64 = st
+                    .allocations
+                    .values()
+                    .filter(|d| d.settop == *settop)
+                    .map(|d| {
+                        let start = st.started_us.get(&d.conn).copied().unwrap_or(now);
+                        d.down_bps * (now.saturating_sub(start) / 1_000_000)
+                    })
+                    .sum();
+                CmAccountRow {
+                    settop: *settop,
+                    granted: a.granted,
+                    refused: a.refused,
+                    bit_seconds: a.bit_seconds + open,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.bit_seconds.cmp(&a.bit_seconds).then(a.settop.cmp(&b.settop)));
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caller() -> Caller {
+        Caller::local(NodeId(1))
+    }
+
+    #[test]
+    fn admission_respects_settop_cap() {
+        let cm = ConnectionManager::new(CmBudgets {
+            settop_down_bps: 6_000_000,
+            server_egress_bps: 1_000_000_000,
+        });
+        let c = caller();
+        let settop = NodeId(100);
+        let server = NodeId(1);
+        let a = cm.allocate(&c, settop, server, 4_000_000).unwrap();
+        // Second 4 Mb/s stream to the same settop exceeds 6 Mb/s.
+        assert_eq!(
+            cm.allocate(&c, settop, server, 4_000_000).unwrap_err(),
+            MediaError::NoBandwidth
+        );
+        // A 2 Mb/s one fits exactly.
+        let b = cm.allocate(&c, settop, server, 2_000_000).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(cm.usage(&c).unwrap().allocations, 2);
+        assert_eq!(cm.usage(&c).unwrap().refused, 1);
+        // Releasing frees the budget.
+        cm.release(&c, a).unwrap();
+        cm.allocate(&c, settop, server, 4_000_000).unwrap();
+    }
+
+    #[test]
+    fn admission_respects_server_cap() {
+        let cm = ConnectionManager::new(CmBudgets {
+            settop_down_bps: 6_000_000,
+            server_egress_bps: 10_000_000,
+        });
+        let c = caller();
+        let server = NodeId(1);
+        cm.allocate(&c, NodeId(100), server, 4_000_000).unwrap();
+        cm.allocate(&c, NodeId(101), server, 4_000_000).unwrap();
+        assert_eq!(
+            cm.allocate(&c, NodeId(102), server, 4_000_000).unwrap_err(),
+            MediaError::NoBandwidth
+        );
+    }
+
+    #[test]
+    fn release_unknown_is_an_error() {
+        let cm = ConnectionManager::new(CmBudgets::default());
+        assert_eq!(
+            cm.release(&caller(), 99).unwrap_err(),
+            MediaError::UnknownSession { id: 99 }
+        );
+    }
+
+    #[test]
+    fn accounting_identifies_heavy_and_refused_settops() {
+        let cm = ConnectionManager::new(CmBudgets::default());
+        let c = caller();
+        let hog = NodeId(100);
+        let modest = NodeId(101);
+        let server = NodeId(1);
+        cm.allocate(&c, hog, server, 4_000_000).unwrap();
+        cm.allocate(&c, hog, server, 2_000_000).unwrap();
+        assert!(cm.allocate(&c, hog, server, 2_000_000).is_err());
+        cm.allocate(&c, modest, server, 2_000_000).unwrap();
+        let rows = cm.accounting(&c).unwrap();
+        assert_eq!(rows.len(), 2);
+        let hog_row = rows.iter().find(|r| r.settop == hog).unwrap();
+        assert_eq!(hog_row.granted, 2);
+        assert_eq!(hog_row.refused, 1, "refusals flag buggy clients");
+        let modest_row = rows.iter().find(|r| r.settop == modest).unwrap();
+        assert_eq!(modest_row.refused, 0);
+    }
+
+    #[test]
+    fn reassert_rebuilds_state() {
+        let cm = ConnectionManager::new(CmBudgets::default());
+        let c = caller();
+        let desc = ConnDesc {
+            conn: 42,
+            settop: NodeId(100),
+            server: NodeId(1),
+            down_bps: 4_000_000,
+        };
+        cm.reassert(&c, desc).unwrap();
+        // Idempotent.
+        cm.reassert(&c, desc).unwrap();
+        assert_eq!(cm.usage(&c).unwrap().allocations, 1);
+        // Fresh allocations do not collide with reasserted ids.
+        let next = cm.allocate(&c, NodeId(101), NodeId(1), 1_000_000).unwrap();
+        assert!(next > 42);
+        // And the reasserted budget counts.
+        assert_eq!(
+            cm.allocate(&c, NodeId(100), NodeId(1), 4_000_000)
+                .unwrap_err(),
+            MediaError::NoBandwidth
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! The content catalog: movies and downloadable application images.
+//!
+//! Substitutes for the trial's striped MPEG storage: titles carry a
+//! bit rate, duration and the set of servers holding a replica; the
+//! actual bytes are synthesized on demand. Shared by the MDS (which
+//! serves only locally stored titles), the MMS (which places streams
+//! where content lives) and the RDS (application images).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ocs_sim::NodeId;
+use parking_lot::RwLock;
+
+/// One movie title.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MovieInfo {
+    /// Title (the name clients open).
+    pub title: String,
+    /// Constant bit rate in bits per second (e.g. 4 Mb/s MPEG-2).
+    pub bitrate_bps: u64,
+    /// Duration in milliseconds.
+    pub duration_ms: u64,
+    /// Servers holding a replica of the content.
+    pub replicas: Vec<NodeId>,
+}
+
+impl MovieInfo {
+    /// Total content size implied by rate × duration.
+    pub fn size_bytes(&self) -> u64 {
+        self.bitrate_bps / 8 * self.duration_ms / 1000
+    }
+}
+
+/// One downloadable object (application binary, font, image).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DownloadInfo {
+    /// Name (the RDS `open_data` argument).
+    pub name: String,
+    /// Size in bytes (drives transfer-time modelling).
+    pub size: u64,
+}
+
+/// The cluster-wide catalog. Cheap to clone (shared interior).
+#[derive(Clone, Default)]
+pub struct Catalog {
+    inner: Arc<RwLock<CatalogInner>>,
+}
+
+#[derive(Default)]
+struct CatalogInner {
+    movies: BTreeMap<String, MovieInfo>,
+    downloads: BTreeMap<String, DownloadInfo>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Adds (or replaces) a movie.
+    pub fn add_movie(&self, info: MovieInfo) {
+        self.inner.write().movies.insert(info.title.clone(), info);
+    }
+
+    /// Adds (or replaces) a downloadable object.
+    pub fn add_download(&self, info: DownloadInfo) {
+        self.inner.write().downloads.insert(info.name.clone(), info);
+    }
+
+    /// Looks up a movie.
+    pub fn movie(&self, title: &str) -> Option<MovieInfo> {
+        self.inner.read().movies.get(title).cloned()
+    }
+
+    /// Looks up a downloadable object.
+    pub fn download(&self, name: &str) -> Option<DownloadInfo> {
+        self.inner.read().downloads.get(name).cloned()
+    }
+
+    /// All movie titles.
+    pub fn movie_titles(&self) -> Vec<String> {
+        self.inner.read().movies.keys().cloned().collect()
+    }
+
+    /// All download names.
+    pub fn download_names(&self) -> Vec<String> {
+        self.inner.read().downloads.keys().cloned().collect()
+    }
+
+    /// Whether `node` stores a replica of `title`.
+    pub fn stored_on(&self, title: &str, node: NodeId) -> bool {
+        self.inner
+            .read()
+            .movies
+            .get(title)
+            .map(|m| m.replicas.contains(&node))
+            .unwrap_or(false)
+    }
+
+    /// Synthesizes `len` bytes of content (zeroed; the byte values are
+    /// irrelevant to every experiment, only the size matters).
+    pub fn synthesize(len: usize) -> Bytes {
+        Bytes::from(vec![0u8; len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_lookup() {
+        let c = Catalog::new();
+        c.add_movie(MovieInfo {
+            title: "T2".into(),
+            bitrate_bps: 4_000_000,
+            duration_ms: 2 * 3600 * 1000,
+            replicas: vec![NodeId(1), NodeId(2)],
+        });
+        c.add_download(DownloadInfo {
+            name: "vod".into(),
+            size: 2_000_000,
+        });
+        assert!(c.movie("T2").is_some());
+        assert!(c.movie("nope").is_none());
+        assert!(c.stored_on("T2", NodeId(1)));
+        assert!(!c.stored_on("T2", NodeId(3)));
+        assert_eq!(c.download("vod").unwrap().size, 2_000_000);
+        assert_eq!(c.movie_titles(), vec!["T2".to_string()]);
+    }
+
+    #[test]
+    fn movie_size_from_rate_and_duration() {
+        let m = MovieInfo {
+            title: "x".into(),
+            bitrate_bps: 8_000_000, // 1 MB/s
+            duration_ms: 10_000,    // 10 s
+            replicas: vec![],
+        };
+        assert_eq!(m.size_bytes(), 10_000_000);
+    }
+}

@@ -1,0 +1,258 @@
+//! The Media Delivery Service (§3.3): "delivers constant bit rate data
+//! (e.g. MPEG video) to settops."
+//!
+//! One replica per server; it serves only titles stored locally and
+//! creates one dynamically exported *movie object* per open (§9.2: "the
+//! only services that dynamically create objects are the Media Delivery
+//! Service, which creates one object for every open movie, and the name
+//! service"). A delivery process per playing movie pushes [`Segment`]s
+//! to the settop's stream port at the title's bit rate.
+//!
+//! Replicated for performance, not availability: "if a server is
+//! unavailable, there is no reason to restart its MDS replica on another
+//! server" (§8.1) — clients recover by re-opening through the MMS on a
+//! surviving replica (§3.5.2).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use ocs_orb::{declare_interface, Caller, ObjRef, Orb, ThreadModel};
+use ocs_sim::{Addr, NetError, NodeRtExt, PortReq, Rt};
+use ocs_wire::Wire;
+use parking_lot::Mutex;
+
+use crate::content::Catalog;
+use crate::types::{MdsSession, MdsStatus, MediaError, Segment};
+
+declare_interface! {
+    /// The Media Delivery Service interface.
+    pub interface MdsApi [MdsApiClient, MdsApiServant]: "itv.mds" {
+        /// Open a movie for delivery to `dest` (the settop stream port),
+        /// starting paused at `resume_ms`. Returns the movie object.
+        1 => fn open(&self, title: String, dest: Addr, resume_ms: u64) -> Result<ObjRef, MediaError>;
+        /// Close a movie by its object id, reclaiming delivery resources
+        /// (invoked by the MMS, §3.4.5).
+        2 => fn close(&self, object_id: u64) -> Result<(), MediaError>;
+        /// Capacity snapshot.
+        3 => fn status(&self) -> Result<MdsStatus, MediaError>;
+        /// All open sessions, for MMS state recovery (§10.1.1).
+        4 => fn open_sessions(&self) -> Result<Vec<MdsSession>, MediaError>;
+    }
+}
+
+declare_interface! {
+    /// Control interface of one open movie.
+    pub interface MovieCtl [MovieCtlClient, MovieCtlServant]: "itv.movie" {
+        /// Start (or resume) delivery from `from_ms`.
+        1 => fn play(&self, from_ms: u64) -> Result<(), MediaError>;
+        /// Pause delivery, keeping the position.
+        2 => fn pause(&self) -> Result<(), MediaError>;
+        /// Stop delivery (position kept; `play` restarts).
+        3 => fn stop(&self) -> Result<(), MediaError>;
+        /// Current position in milliseconds.
+        4 => fn position(&self) -> Result<u64, MediaError>;
+    }
+}
+
+/// Delivery pacing: one segment per tick.
+const TICK: Duration = Duration::from_millis(500);
+
+struct MovieState {
+    title: String,
+    dest: Addr,
+    bitrate_bps: u64,
+    duration_ms: u64,
+    object_id: Mutex<u64>,
+    position_ms: Mutex<u64>,
+    playing: AtomicBool,
+    closed: AtomicBool,
+}
+
+/// The Media Delivery Service.
+pub struct Mds {
+    rt: Rt,
+    catalog: Catalog,
+    max_streams: u32,
+    orb: Mutex<Weak<Orb>>,
+    movies: Mutex<HashMap<u64, Arc<MovieState>>>,
+}
+
+impl Mds {
+    /// Starts the MDS: opens its ORB on `port` and returns the service
+    /// instance plus its root reference (bind it at `svc/mds/<node>`).
+    pub fn serve(
+        rt: Rt,
+        port: u16,
+        catalog: Catalog,
+        max_streams: u32,
+    ) -> Result<(Arc<Mds>, ObjRef), NetError> {
+        let mds = Arc::new(Mds {
+            rt: rt.clone(),
+            catalog,
+            max_streams,
+            orb: Mutex::new(Weak::new()),
+            movies: Mutex::new(HashMap::new()),
+        });
+        let orb = Orb::build(
+            rt,
+            PortReq::Fixed(port),
+            ThreadModel::PerRequest,
+            None,
+            Arc::new(ocs_orb::NoAuth),
+        )?;
+        *mds.orb.lock() = Arc::downgrade(&orb);
+        let obj = orb.export_root(Arc::new(MdsApiServant(Arc::clone(&mds))));
+        orb.start();
+        Ok((mds, obj))
+    }
+
+    /// Streams currently open (the load metric for dynamic selectors).
+    pub fn open_count(&self) -> u32 {
+        self.movies.lock().len() as u32
+    }
+
+    fn delivery_loop(rt: Rt, movie: Arc<MovieState>) {
+        let Ok(ep) = rt.open(PortReq::Ephemeral) else {
+            return;
+        };
+        let bytes_per_tick = (movie.bitrate_bps / 8) as u128 * TICK.as_millis() / 1000;
+        let ms_per_tick = TICK.as_millis() as u64;
+        loop {
+            if movie.closed.load(Ordering::Relaxed) {
+                return;
+            }
+            if movie.playing.load(Ordering::Relaxed) {
+                let (position_ms, last) = {
+                    let mut pos = movie.position_ms.lock();
+                    *pos = (*pos + ms_per_tick).min(movie.duration_ms);
+                    (*pos, *pos >= movie.duration_ms)
+                };
+                let seg = Segment {
+                    object_id: *movie.object_id.lock(),
+                    position_ms,
+                    last,
+                    data: Catalog::synthesize(bytes_per_tick as usize),
+                };
+                let _ = ep.send(movie.dest, seg.to_bytes());
+                if last {
+                    movie.playing.store(false, Ordering::Relaxed);
+                }
+            }
+            rt.sleep(TICK);
+        }
+    }
+}
+
+impl MdsApi for Mds {
+    fn open(
+        &self,
+        _caller: &Caller,
+        title: String,
+        dest: Addr,
+        resume_ms: u64,
+    ) -> Result<ObjRef, MediaError> {
+        let info = self
+            .catalog
+            .movie(&title)
+            .ok_or_else(|| MediaError::NotFound {
+                title: title.clone(),
+            })?;
+        if !info.replicas.contains(&self.rt.node()) {
+            return Err(MediaError::NoReplica);
+        }
+        let orb = self
+            .orb
+            .lock()
+            .upgrade()
+            .ok_or_else(|| MediaError::Dependency {
+                what: "orb gone".to_string(),
+            })?;
+        let movie = {
+            let mut movies = self.movies.lock();
+            if movies.len() as u32 >= self.max_streams {
+                return Err(MediaError::Busy);
+            }
+            let movie = Arc::new(MovieState {
+                title,
+                dest,
+                bitrate_bps: info.bitrate_bps,
+                duration_ms: info.duration_ms,
+                object_id: Mutex::new(0),
+                position_ms: Mutex::new(resume_ms.min(info.duration_ms)),
+                playing: AtomicBool::new(false),
+                closed: AtomicBool::new(false),
+            });
+            // Export the movie object and record it under its id.
+            let obj = orb.export(Arc::new(MovieCtlServant(Arc::clone(&movie))));
+            *movie.object_id.lock() = obj.object_id;
+            movies.insert(obj.object_id, Arc::clone(&movie));
+            (Arc::clone(&movie), obj)
+        };
+        let (state, obj) = movie;
+        let rt = self.rt.clone();
+        self.rt
+            .spawn_fn(&format!("mds-stream-{}", obj.object_id), move || {
+                Mds::delivery_loop(rt, state)
+            });
+        Ok(obj)
+    }
+
+    fn close(&self, _caller: &Caller, object_id: u64) -> Result<(), MediaError> {
+        let movie = self
+            .movies
+            .lock()
+            .remove(&object_id)
+            .ok_or(MediaError::UnknownSession { id: object_id })?;
+        movie.closed.store(true, Ordering::Relaxed);
+        if let Some(orb) = self.orb.lock().upgrade() {
+            orb.unexport(object_id);
+        }
+        Ok(())
+    }
+
+    fn status(&self, _caller: &Caller) -> Result<MdsStatus, MediaError> {
+        Ok(MdsStatus {
+            open_streams: self.open_count(),
+            max_streams: self.max_streams,
+        })
+    }
+
+    fn open_sessions(&self, _caller: &Caller) -> Result<Vec<MdsSession>, MediaError> {
+        Ok(self
+            .movies
+            .lock()
+            .values()
+            .map(|m| MdsSession {
+                object_id: *m.object_id.lock(),
+                title: m.title.clone(),
+                dest: m.dest,
+                position_ms: *m.position_ms.lock(),
+                playing: m.playing.load(Ordering::Relaxed),
+            })
+            .collect())
+    }
+}
+
+impl MovieCtl for MovieState {
+    fn play(&self, _caller: &Caller, from_ms: u64) -> Result<(), MediaError> {
+        *self.position_ms.lock() = from_ms.min(self.duration_ms);
+        self.playing.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn pause(&self, _caller: &Caller) -> Result<(), MediaError> {
+        self.playing.store(false, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn stop(&self, _caller: &Caller) -> Result<(), MediaError> {
+        self.playing.store(false, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn position(&self, _caller: &Caller) -> Result<u64, MediaError> {
+        Ok(*self.position_ms.lock())
+    }
+}

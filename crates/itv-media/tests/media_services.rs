@@ -1,0 +1,253 @@
+//! Direct integration tests of the media services over the simulated
+//! runtime: MDS stream delivery and movie-object lifecycle, capacity
+//! limits, session recovery data, and the file service's naming face.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use itv_media::{
+    Catalog, FileApiClient, FileSvc, FileSvcClient, Mds, MdsApiClient, MovieCtlClient, MovieInfo,
+    Segment,
+};
+use ocs_name::{NamingContextClient, NsError};
+use ocs_orb::{Caller, ClientCtx, ObjRef, Proxy};
+use ocs_sim::{Addr, NodeRt, NodeRtExt, PortReq, Rt, Sim, SimChan, SimTime};
+use ocs_wire::Wire;
+
+fn catalog(server: ocs_sim::NodeId) -> Catalog {
+    let c = Catalog::new();
+    c.add_movie(MovieInfo {
+        title: "t2".into(),
+        bitrate_bps: 4_000_000,
+        duration_ms: 10_000, // A short movie: ends quickly.
+        replicas: vec![server],
+    });
+    c
+}
+
+#[test]
+fn mds_streams_segments_at_the_bit_rate() {
+    let sim = Sim::new(1);
+    let server = sim.add_node("server");
+    let settop = sim.add_node("settop");
+    let cat = catalog(server.node());
+    let (mds, mds_ref) = Mds::serve(server.clone() as Rt, 21, cat, 10).unwrap();
+    let out: SimChan<(u64, u64, bool)> = SimChan::new(&sim); // (bytes, segments, saw_last)
+    let out2 = out.clone();
+    let st = settop.clone();
+    settop.spawn_fn("viewer", move || {
+        let stream = st.open(PortReq::Fixed(98)).unwrap();
+        let client = MdsApiClient::attach(ClientCtx::new(st.clone()), mds_ref).unwrap();
+        let movie_ref = client
+            .open("t2".into(), Addr::new(st.node(), 98), 0)
+            .unwrap();
+        let movie = MovieCtlClient::attach(ClientCtx::new(st.clone()), movie_ref).unwrap();
+        movie.play(0).unwrap();
+        let mut bytes = 0u64;
+        let mut segments = 0u64;
+        let mut saw_last = false;
+        loop {
+            match stream.recv(Some(Duration::from_secs(5))) {
+                Ok((_, msg)) => {
+                    let seg = Segment::from_bytes(&msg).unwrap();
+                    bytes += seg.data.len() as u64;
+                    segments += 1;
+                    if seg.last {
+                        saw_last = true;
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+        out2.send((bytes, segments, saw_last));
+    });
+    sim.run_until(SimTime::from_secs(30));
+    let (bytes, segments, saw_last) = out.try_recv().unwrap();
+    assert!(saw_last, "movie should end");
+    // 10 s at 4 Mb/s = 5 MB total, in 500 ms segments = 20 segments.
+    assert_eq!(segments, 20);
+    assert_eq!(bytes, 5_000_000);
+    assert_eq!(mds.open_count(), 1, "session remains until closed");
+}
+
+#[test]
+fn mds_enforces_stream_slots_and_close_frees_them() {
+    let sim = Sim::new(2);
+    let server = sim.add_node("server");
+    let cat = catalog(server.node());
+    let (_mds, mds_ref) = Mds::serve(server.clone() as Rt, 21, cat, 2).unwrap();
+    let out: SimChan<String> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let srv = server.clone();
+    server.spawn_fn("driver", move || {
+        let client = MdsApiClient::attach(ClientCtx::new(srv.clone()), mds_ref).unwrap();
+        let dest = Addr::new(srv.node(), 98);
+        let a = client.open("t2".into(), dest, 0).unwrap();
+        let _b = client.open("t2".into(), dest, 0).unwrap();
+        // Third open exceeds max_streams = 2.
+        let e = client.open("t2".into(), dest, 0).unwrap_err();
+        out2.send(format!("busy:{e:?}"));
+        // Closing one frees a slot.
+        client.close(a.object_id).unwrap();
+        let c = client.open("t2".into(), dest, 0).unwrap();
+        out2.send(format!("reopened:{}", c.object_id));
+        // Recovery data: open_sessions describes live streams (§10.1.1).
+        let sessions = client.open_sessions().unwrap();
+        out2.send(format!("sessions:{}", sessions.len()));
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert!(out.try_recv().unwrap().starts_with("busy:Busy"));
+    assert!(out.try_recv().unwrap().starts_with("reopened:"));
+    assert_eq!(out.try_recv().unwrap(), "sessions:2");
+}
+
+#[test]
+fn mds_refuses_titles_it_does_not_store() {
+    let sim = Sim::new(3);
+    let server = sim.add_node("server");
+    let other = sim.add_node("other");
+    // The catalog stores "t2" only on `other`, not on `server`.
+    let cat = catalog(other.node());
+    let (_mds, mds_ref) = Mds::serve(server.clone() as Rt, 21, cat, 10).unwrap();
+    let out: SimChan<String> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let srv = server.clone();
+    server.spawn_fn("driver", move || {
+        let client = MdsApiClient::attach(ClientCtx::new(srv.clone()), mds_ref).unwrap();
+        let dest = Addr::new(srv.node(), 98);
+        let e1 = client.open("t2".into(), dest, 0).unwrap_err();
+        let e2 = client.open("ghost".into(), dest, 0).unwrap_err();
+        out2.send(format!("{e1:?}|{e2:?}"));
+    });
+    sim.run_until(SimTime::from_secs(5));
+    let line = out.try_recv().unwrap();
+    assert!(line.starts_with("NoReplica"), "{line}");
+    assert!(line.contains("NotFound"), "{line}");
+}
+
+#[test]
+fn movie_resume_position_is_honoured() {
+    // §10.1.1: the client remembers the playback position and re-opens
+    // from it.
+    let sim = Sim::new(4);
+    let server = sim.add_node("server");
+    let cat = catalog(server.node());
+    let (_mds, mds_ref) = Mds::serve(server.clone() as Rt, 21, cat, 10).unwrap();
+    let out: SimChan<u64> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let srv = server.clone();
+    server.spawn_fn("driver", move || {
+        let client = MdsApiClient::attach(ClientCtx::new(srv.clone()), mds_ref).unwrap();
+        let dest = Addr::new(srv.node(), 98);
+        let movie_ref = client.open("t2".into(), dest, 7_000).unwrap();
+        let movie = MovieCtlClient::attach(ClientCtx::new(srv.clone()), movie_ref).unwrap();
+        out2.send(movie.position().unwrap());
+    });
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(out.try_recv().unwrap(), 7_000);
+}
+
+#[test]
+fn file_service_contexts_list_and_reject_binds() {
+    let sim = Sim::new(5);
+    let server = sim.add_node("server");
+    let (_svc, root_ref, create_ref) = FileSvc::serve(server.clone() as Rt, 26).unwrap();
+    assert_eq!(root_ref.type_id, ocs_name::NAMING_TYPE_ID);
+    let out: SimChan<String> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let srv = server.clone();
+    server.spawn_fn("driver", move || {
+        let fsvc = FileSvcClient::attach(ClientCtx::new(srv.clone()), create_ref).unwrap();
+        fsvc.mkdir("movies".into()).unwrap();
+        fsvc.create("movies/a.dat".into()).unwrap();
+        fsvc.create("movies/b.dat".into()).unwrap();
+        fsvc.create("readme".into()).unwrap();
+        // The root is a NamingContext: list it, resolve through it.
+        let root = NamingContextClient::attach(ClientCtx::new(srv.clone()), root_ref).unwrap();
+        let entries = root.list(".".into()).unwrap();
+        let names: Vec<String> = entries.iter().map(|b| b.name.clone()).collect();
+        out2.send(names.join(","));
+        let sub = root.list("movies".into()).unwrap();
+        out2.send(sub.len().to_string());
+        // Binding arbitrary objects into the file system is refused.
+        let err = root
+            .bind(
+                "intruder".into(),
+                ObjRef {
+                    addr: Addr::new(srv.node(), 1),
+                    incarnation: 1,
+                    type_id: 1,
+                    object_id: 0,
+                },
+            )
+            .unwrap_err();
+        out2.send(matches!(err, NsError::BadName { .. }).to_string());
+        // Files read and write through their objects.
+        let f_ref = root.resolve("movies/a.dat".into()).unwrap();
+        let file = FileApiClient::attach(ClientCtx::new(srv.clone()), f_ref).unwrap();
+        file.write(0, Bytes::from_static(b"hello")).unwrap();
+        out2.send(file.size().unwrap().to_string());
+        // Removal: non-empty directories are protected.
+        let e = fsvc.remove("movies".into()).unwrap_err();
+        out2.send(format!("{e:?}").contains("not empty").to_string());
+        fsvc.remove("movies/a.dat".into()).unwrap();
+        fsvc.remove("movies/b.dat".into()).unwrap();
+        fsvc.remove("movies".into()).unwrap();
+        out2.send("done".into());
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(out.try_recv().unwrap(), "movies,readme");
+    assert_eq!(out.try_recv().unwrap(), "2");
+    assert_eq!(out.try_recv().unwrap(), "true");
+    assert_eq!(out.try_recv().unwrap(), "5");
+    assert_eq!(out.try_recv().unwrap(), "true");
+    assert_eq!(out.try_recv().unwrap(), "done");
+}
+
+#[test]
+fn stale_movie_reference_rejected_after_mds_restart() {
+    // §3.2.1's lifetime rule on the media path: a movie reference from a
+    // previous MDS incarnation is rejected by its successor.
+    let sim = Sim::new(6);
+    let server = sim.add_node("server");
+    let cat = catalog(server.node());
+    let slot: Arc<parking_lot::Mutex<Option<ObjRef>>> = Default::default();
+    let slot2 = Arc::clone(&slot);
+    let cat2 = cat.clone();
+    let srv = server.clone();
+    let group = server.spawn_group(
+        "mds-v1",
+        Box::new(move || {
+            let (_mds, mds_ref) = Mds::serve(srv.clone() as Rt, 21, cat2, 10).unwrap();
+            let client = MdsApiClient::attach(ClientCtx::new(srv.clone()), mds_ref).unwrap();
+            let movie = client
+                .open("t2".into(), Addr::new(srv.node(), 98), 0)
+                .unwrap();
+            *slot2.lock() = Some(movie);
+            loop {
+                srv.sleep(Duration::from_secs(3600));
+            }
+        }),
+    );
+    sim.run_until(SimTime::from_secs(2));
+    let old_movie = slot.lock().expect("opened");
+    group.kill();
+    sim.run_for(Duration::from_secs(1));
+    // New incarnation on the same port.
+    let (_mds2, _ref2) = Mds::serve(server.clone() as Rt, 21, cat, 10).unwrap();
+    let out: SimChan<String> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let srv = server.clone();
+    server.spawn_fn("prober", move || {
+        let movie = MovieCtlClient::attach(ClientCtx::new(srv.clone()), old_movie).unwrap();
+        out2.send(format!("{:?}", movie.position().unwrap_err()));
+    });
+    sim.run_until(SimTime::from_secs(10));
+    let err = out.try_recv().unwrap();
+    assert!(
+        err.contains("ObjectDead"),
+        "stale incarnation must be rejected: {err}"
+    );
+}

@@ -1,0 +1,236 @@
+//! Settop boot and the Application Manager (§3.4.1–§3.4.3).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use itv_media::{verify_kernel, BootApiClient, KbsApiClient, MediaError, RdsApiClient};
+use ocs_name::{NsHandle, RebindPolicy, Rebinding};
+use ocs_orb::{ClientCtx, ObjRef, RpcFault};
+use ocs_ras::{AgentRunner, SettopMgrClient, SETTOP_AGENT_PORT};
+use ocs_sim::{Addr, ProcGroup, Queue, Rt};
+
+use crate::metrics::SettopMetrics;
+
+/// What a settop knows before it boots (its "firmware" configuration):
+/// where the Boot Broadcast Service answers.
+#[derive(Clone, Copy, Debug)]
+pub struct SettopBootInfo {
+    /// Address of the Boot Broadcast Service.
+    pub bbs_addr: Addr,
+}
+
+/// Events delivered to the Application Manager (from the remote control).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SettopEvent {
+    /// The subscriber tuned to a channel; the AM downloads and runs the
+    /// matching application.
+    Channel { number: u32 },
+    /// Power off: the AM exits (ends the settop's process group).
+    PowerOff,
+}
+
+/// An application entry: which channel it answers to and its main
+/// function, run inside the settop's group with everything it needs.
+pub struct AppSlot {
+    /// Channel number.
+    pub channel: u32,
+    /// Name of the binary downloaded through the RDS.
+    pub binary: String,
+    /// The app main (receives the settop context; returns when the user
+    /// leaves the app).
+    pub main: Arc<dyn Fn(&AppCtx) + Send + Sync>,
+}
+
+/// Everything an application gets from the Application Manager.
+pub struct AppCtx {
+    /// The settop's runtime.
+    pub rt: Rt,
+    /// Name-service handle (through the boot-assigned replica).
+    pub ns: NsHandle,
+    /// The settop's metrics.
+    pub metrics: Arc<SettopMetrics>,
+    /// Event queue, so apps can react to further remote-control input.
+    pub events: Arc<Queue<SettopEvent>>,
+}
+
+/// Handle to a booted settop.
+pub struct SettopHandle {
+    /// The software process group (kill = settop crash).
+    pub group: Arc<dyn ProcGroup>,
+    /// Event injection (the remote control).
+    pub events: Arc<Queue<SettopEvent>>,
+    /// Live metrics.
+    pub metrics: Arc<SettopMetrics>,
+}
+
+impl SettopHandle {
+    /// Sends a channel-change event.
+    pub fn tune(&self, channel: u32) {
+        self.events.push(SettopEvent::Channel { number: channel });
+    }
+}
+
+/// The settop: boots the software stack on a node.
+pub struct Settop;
+
+impl Settop {
+    /// Boots a settop on `rt` with the given applications. Returns the
+    /// handle; the boot sequence runs asynchronously in the settop's
+    /// process group (watch `metrics.booted_at_us`).
+    pub fn boot(rt: Rt, info: SettopBootInfo, apps: Vec<AppSlot>) -> SettopHandle {
+        let metrics = SettopMetrics::new();
+        let events: Arc<Queue<SettopEvent>> = Arc::new(Queue::new(&rt));
+        let m = Arc::clone(&metrics);
+        let ev = Arc::clone(&events);
+        let rt2 = rt.clone();
+        let group = rt.spawn_group(
+            "settop-sw",
+            Box::new(move || {
+                settop_main(rt2, info, apps, m, ev);
+            }),
+        );
+        SettopHandle {
+            group,
+            events,
+            metrics,
+        }
+    }
+}
+
+/// §3.4.1's boot sequence, then the Application Manager loop.
+fn settop_main(
+    rt: Rt,
+    info: SettopBootInfo,
+    apps: Vec<AppSlot>,
+    metrics: Arc<SettopMetrics>,
+    events: Arc<Queue<SettopEvent>>,
+) {
+    // 0. The liveness agent, so the Settop Manager can ping us.
+    let _ = AgentRunner::start(rt.clone(), SETTOP_AGENT_PORT);
+
+    // 1. Boot parameters (retry until the head end answers).
+    let ctx = ClientCtx::new(rt.clone()).with_timeout(Duration::from_secs(2));
+    let boot_ref = ObjRef {
+        addr: info.bbs_addr,
+        incarnation: ObjRef::STABLE,
+        type_id: BootApiClient::TYPE_ID,
+        object_id: 0,
+    };
+    let boot = BootApiClient::attach(ctx.clone(), boot_ref).expect("type id matches");
+    let params = loop {
+        match boot.boot_params(rt.node()) {
+            Ok(p) => break p,
+            Err(_) => rt.sleep(Duration::from_secs(2)),
+        }
+    };
+    let ns = NsHandle::new(ClientCtx::new(rt.clone()), params.ns_addr);
+
+    // 2. Kernel download + secure-boot verification. The kernel is
+    //    large; give the call a transfer-sized timeout.
+    let kernel_ok = loop {
+        let kbs: Result<KbsApiClient, _> = ns.resolve_as("svc/kbs");
+        if let Ok(kbs) = kbs {
+            let kbs = KbsApiClient::attach(
+                ClientCtx::new(rt.clone()).with_timeout(Duration::from_secs(60)),
+                ocs_orb::Proxy::target_ref(&kbs),
+            )
+            .expect("same type");
+            if let Ok(image) = kbs.kernel() {
+                break verify_kernel(&params, &image);
+            }
+        }
+        rt.sleep(Duration::from_secs(2));
+    };
+    if !kernel_ok {
+        metrics.log(rt.now(), "kernel failed verification; boot aborted");
+        return;
+    }
+
+    // 3. Register with the Settop Manager so the RAS can track us.
+    loop {
+        if let Ok(mgr) = ns.resolve_as::<SettopMgrClient>("svc/settop-mgr") {
+            if mgr.register(rt.node(), SETTOP_AGENT_PORT).is_ok() {
+                break;
+            }
+        }
+        rt.sleep(Duration::from_secs(2));
+    }
+
+    metrics
+        .booted_at_us
+        .store(rt.now().as_micros().max(1), Ordering::Relaxed);
+    metrics.log(rt.now(), "booted");
+
+    // 4. The Application Manager: resolve the RDS once and reuse the
+    //    reference; rebind automatically when it dies (§3.4.2).
+    // Long-timeout handle for transfer-sized calls (a 2-4 MB binary at
+    // 1 MB/s takes seconds; the default 3 s call timeout would cut it).
+    let ns_long = NsHandle::new(
+        ClientCtx::new(rt.clone()).with_timeout(Duration::from_secs(60)),
+        params.ns_addr,
+    );
+    let rds: Rebinding<RdsApiClient> = Rebinding::new(
+        ns_long,
+        "svc/rds",
+        RebindPolicy {
+            retry_interval: Duration::from_secs(1),
+            give_up_after: Duration::from_secs(120),
+            jitter: true,
+        },
+    );
+    let app_ctx = AppCtx {
+        rt: rt.clone(),
+        ns: ns.clone(),
+        metrics: Arc::clone(&metrics),
+        events: Arc::clone(&events),
+    };
+    loop {
+        let Some(event) = events.pop(&rt, None) else {
+            continue;
+        };
+        match event {
+            SettopEvent::PowerOff => return,
+            SettopEvent::Channel { number } => {
+                let Some(slot) = apps.iter().find(|a| a.channel == number) else {
+                    metrics.log(rt.now(), format!("channel {number}: nothing there"));
+                    continue;
+                };
+                let t0 = rt.now();
+                // Cover (a still image or settop-generated animation) is
+                // displayed immediately — this is what makes the user-
+                // visible response beat 0.5 s while the download runs
+                // (§9.3).
+                metrics
+                    .last_cover_us
+                    .store((rt.now() - t0).as_micros() as u64, Ordering::Relaxed);
+                // Download the application binary via the RDS. The call
+                // timeout must cover the transfer (1 MB/s downlink).
+                let binary = slot.binary.clone();
+                let download: Result<bytes::Bytes, MediaError> =
+                    rds.call(|c| c.open_data(binary.clone()));
+                match download {
+                    Ok(image) => {
+                        let elapsed = (rt.now() - t0).as_micros() as u64;
+                        metrics.app_downloads.fetch_add(1, Ordering::Relaxed);
+                        metrics
+                            .app_download_us
+                            .fetch_add(elapsed, Ordering::Relaxed);
+                        metrics.last_app_start_us.store(elapsed, Ordering::Relaxed);
+                        metrics.log(
+                            rt.now(),
+                            format!("app {} ({} bytes) started", slot.binary, image.len()),
+                        );
+                        (slot.main)(&app_ctx);
+                    }
+                    Err(e) => {
+                        if e.orb_error().is_some() {
+                            metrics.rebinds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        metrics.log(rt.now(), format!("app download failed: {e}"));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The settop side of the ITV system (paper §3.4): secure boot, the
+//! Application Manager, and the applications (navigator, video on
+//! demand, home shopping).
+//!
+//! A settop is one simulated node running one process group (killing the
+//! group models a settop crash or power-off, §3.5.1). The boot sequence
+//! follows §3.4.1: fetch boot parameters (which carry the name-service
+//! replica address and the kernel digest), download and verify the
+//! kernel, register with the Settop Manager, and start the Application
+//! Manager, which reacts to channel-change events by downloading the
+//! matching application through the Reliable Delivery Service and
+//! running it.
+
+mod am;
+mod apps;
+mod metrics;
+
+pub use am::{AppCtx, AppSlot, Settop, SettopBootInfo, SettopEvent, SettopHandle};
+pub use apps::{run_navigator, run_shopping, run_vod, VodOutcome};
+pub use metrics::SettopMetrics;

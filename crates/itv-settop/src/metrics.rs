@@ -1,0 +1,63 @@
+//! Per-settop metrics, shared with experiment harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ocs_sim::SimTime;
+use parking_lot::Mutex;
+
+/// Counters and timings a settop records as it runs; experiments read
+/// these to regenerate the paper's §9 numbers.
+#[derive(Default)]
+pub struct SettopMetrics {
+    /// Boot completed (kernel verified, AM started), µs since sim start.
+    pub booted_at_us: AtomicU64,
+    /// App downloads completed.
+    pub app_downloads: AtomicU64,
+    /// Cumulative app download time, µs.
+    pub app_download_us: AtomicU64,
+    /// Time from channel change to *cover* display, µs, most recent
+    /// (§9.3: cover within 0.5 s masks the download).
+    pub last_cover_us: AtomicU64,
+    /// Time from channel change to the app actually running, µs, most
+    /// recent (§9.3: 2–4 s for a rich application).
+    pub last_app_start_us: AtomicU64,
+    /// Movies opened successfully.
+    pub movies_opened: AtomicU64,
+    /// Movie opens that failed.
+    pub movie_failures: AtomicU64,
+    /// Stream stalls detected (MDS crash or link trouble, §3.5.2).
+    pub stalls: AtomicU64,
+    /// Cumulative playback interruption, µs (stall detection + reopen).
+    pub interruption_us: AtomicU64,
+    /// Segments received.
+    pub segments: AtomicU64,
+    /// Shopping interactions completed.
+    pub interactions: AtomicU64,
+    /// Times the settop had to rebind a service reference (§8.2).
+    pub rebinds: AtomicU64,
+    /// Most recent playback position, ms.
+    pub position_ms: AtomicU64,
+    /// Free-form event log (small; for debugging failed runs).
+    pub events: Mutex<Vec<(SimTime, String)>>,
+}
+
+impl SettopMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Arc<SettopMetrics> {
+        Arc::new(SettopMetrics::default())
+    }
+
+    /// Appends a log line (kept bounded).
+    pub fn log(&self, now: SimTime, msg: impl Into<String>) {
+        let mut events = self.events.lock();
+        if events.len() < 256 {
+            events.push((now, msg.into()));
+        }
+    }
+
+    /// Adds a duration in µs to a counter.
+    pub fn add_us(counter: &AtomicU64, us: u64) {
+        counter.fetch_add(us, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,23 @@
+//! The OCS authentication service (paper §3.3).
+//!
+//! A Kerberos-like, single-realm scheme: principals share keys with the
+//! authentication service, clients obtain tickets, and the OCS runtime
+//! signs every call by default (optionally encrypting it) so that "when
+//! an object method is invoked, the object can securely determine the
+//! identity of the caller" and "a client knows that any replies it
+//! receives come from the intended recipient".
+//!
+//! Crypto primitives (SHA-256, HMAC, a keystream cipher) are implemented
+//! from scratch in [`crypto`] — educational quality, NOT production
+//! grade; see that module's docs.
+
+pub mod crypto;
+mod service;
+mod tickets;
+
+pub use service::{
+    AuthApi, AuthApiClient, AuthApiServant, AuthClientHandle, AuthError, AuthService, TicketGrant,
+};
+pub use tickets::{
+    seal_ticket, unseal_ticket, RealmServerAuth, Ticket, TicketClientAuth, TICKET_LIFETIME,
+};

@@ -1,0 +1,94 @@
+//! Property-based tests over the crypto substrate and ticket sealing.
+
+use bytes::Bytes;
+use ocs_auth::crypto::{digest_eq, hmac_sha256, keystream_xor, sha256, Sha256};
+use ocs_auth::{seal_ticket, unseal_ticket, Ticket};
+use ocs_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        cuts in prop::collection::vec(0usize..512, 0..6),
+    ) {
+        let mut cuts: Vec<usize> = cuts.into_iter().filter(|c| *c <= data.len()).collect();
+        cuts.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for c in cuts {
+            h.update(&data[prev..c]);
+            prev = c;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finish(), sha256(&data));
+    }
+
+    /// The keystream cipher is an involution and never the identity on
+    /// non-empty input (overwhelmingly).
+    #[test]
+    fn keystream_involution(
+        key in prop::collection::vec(any::<u8>(), 1..32),
+        nonce: u64,
+        mut data in prop::collection::vec(any::<u8>(), 1..256),
+    ) {
+        let original = data.clone();
+        keystream_xor(&key, nonce, &mut data);
+        let encrypted = data.clone();
+        keystream_xor(&key, nonce, &mut data);
+        prop_assert_eq!(&data, &original);
+        if original.len() >= 8 {
+            prop_assert_ne!(encrypted, original, "8+ bytes never encrypt to themselves");
+        }
+    }
+
+    /// Distinct messages (virtually) never share an HMAC; same message +
+    /// key always does; digest_eq agrees with equality.
+    #[test]
+    fn hmac_distinguishes(
+        key in prop::collection::vec(any::<u8>(), 1..64),
+        a in prop::collection::vec(any::<u8>(), 0..128),
+        b in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let ha = hmac_sha256(&key, &a);
+        let hb = hmac_sha256(&key, &b);
+        prop_assert_eq!(digest_eq(&ha, &hb), a == b);
+        prop_assert!(digest_eq(&ha, &hmac_sha256(&key, &a)));
+    }
+
+    /// Tickets round-trip under the right realm key and fail closed
+    /// under a wrong one or tampering.
+    #[test]
+    fn tickets_seal_soundly(
+        principal in "[a-z]{1,12}",
+        key_bytes in prop::collection::vec(any::<u8>(), 8..32),
+        realm in prop::collection::vec(any::<u8>(), 8..32),
+        nonce: u64,
+        flip in 8usize..64,
+    ) {
+        let t = Ticket {
+            principal,
+            session_key: Bytes::from(key_bytes),
+            expires: SimTime::from_secs(3600),
+        };
+        let sealed = seal_ticket(&realm, &t, nonce);
+        let unsealed = unseal_ticket(&realm, &sealed);
+        prop_assert_eq!(unsealed, Some(t.clone()));
+        // Tampering with any ciphertext byte must not yield the ticket.
+        let mut tampered = sealed.to_vec();
+        let idx = flip % tampered.len().max(1);
+        tampered[idx] ^= 0x5a;
+        match unseal_ticket(&realm, &tampered) {
+            None => {}
+            Some(t2) => prop_assert_ne!(t2, t.clone()),
+        }
+        // A different realm key must not yield the ticket either.
+        let mut wrong = realm.clone();
+        wrong[0] ^= 1;
+        match unseal_ticket(&wrong, &sealed) {
+            None => {}
+            Some(t2) => prop_assert_ne!(t2, t),
+        }
+    }
+}

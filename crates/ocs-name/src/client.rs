@@ -1,0 +1,304 @@
+//! Client-side naming library: resolution sugar, the §8.2 automatic
+//! rebind loop, and the §5.2 primary-acquisition helper.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ocs_orb::{ClientCtx, ObjRef, Proxy, RpcFault};
+use ocs_sim::{Addr, Rt};
+use parking_lot::Mutex;
+
+use crate::iface::{NamingContextClient, NAMING_TYPE_ID};
+use crate::types::{Binding, NsError, SelectorSpec};
+
+/// A handle on the name space through one replica (the one whose address
+/// a settop learns at boot, §3.4.1).
+#[derive(Clone)]
+pub struct NsHandle {
+    ctx: ClientCtx,
+    root: NamingContextClient,
+}
+
+impl NsHandle {
+    /// Builds the stable root-context reference for a replica address.
+    pub fn root_ref(ns_addr: Addr) -> ObjRef {
+        ObjRef {
+            addr: ns_addr,
+            incarnation: ObjRef::STABLE,
+            type_id: NAMING_TYPE_ID,
+            object_id: 0,
+        }
+    }
+
+    /// Creates a handle talking to the replica at `ns_addr`.
+    pub fn new(ctx: ClientCtx, ns_addr: Addr) -> NsHandle {
+        let root = NamingContextClient::attach(ctx.clone(), Self::root_ref(ns_addr))
+            .expect("root reference always has the naming type id");
+        NsHandle { ctx, root }
+    }
+
+    /// The client context used for calls.
+    pub fn ctx(&self) -> &ClientCtx {
+        &self.ctx
+    }
+
+    /// The root context proxy.
+    pub fn root(&self) -> &NamingContextClient {
+        &self.root
+    }
+
+    /// Resolves a name to a raw object reference.
+    pub fn resolve(&self, path: &str) -> Result<ObjRef, NsError> {
+        self.root.resolve(path.to_string())
+    }
+
+    /// Resolves a name and binds it to a typed proxy.
+    pub fn resolve_as<C: Proxy>(&self, path: &str) -> Result<C, NsError> {
+        let obj = self.resolve(path)?;
+        C::bind_ref(self.ctx.clone(), obj).map_err(|err| NsError::Comm { err })
+    }
+
+    /// Binds an object at a path.
+    pub fn bind(&self, path: &str, obj: ObjRef) -> Result<(), NsError> {
+        self.root.bind(path.to_string(), obj)
+    }
+
+    /// Removes a binding.
+    pub fn unbind(&self, path: &str) -> Result<(), NsError> {
+        self.root.unbind(path.to_string())
+    }
+
+    /// Creates an ordinary context.
+    pub fn bind_new_context(&self, path: &str) -> Result<ObjRef, NsError> {
+        self.root.bind_new_context(path.to_string())
+    }
+
+    /// Creates a replicated context with a selector (§4.5).
+    pub fn bind_repl_context(&self, path: &str, selector: SelectorSpec) -> Result<ObjRef, NsError> {
+        self.root.bind_repl_context(path.to_string(), selector)
+    }
+
+    /// Lists a context (selected binding only, for replicated contexts).
+    pub fn list(&self, path: &str) -> Result<Vec<Binding>, NsError> {
+        self.root.list(path.to_string())
+    }
+
+    /// Lists all bindings of a replicated context.
+    pub fn list_repl(&self, path: &str) -> Result<Vec<Binding>, NsError> {
+        self.root.list_repl(path.to_string())
+    }
+
+    /// Reports a load hint for a binding (dynamic selectors).
+    pub fn report_load(&self, path: &str, load: u32) -> Result<(), NsError> {
+        self.root.report_load(path.to_string(), load)
+    }
+}
+
+/// Retry policy for the automatic rebind loop (§8.2).
+#[derive(Clone, Copy, Debug)]
+pub struct RebindPolicy {
+    /// Delay between re-resolve attempts. The paper notes resolve is fast
+    /// but anticipates adding back-off against recovery storms; jitter is
+    /// applied on top of this base.
+    pub retry_interval: Duration,
+    /// Total time to keep retrying before giving up.
+    pub give_up_after: Duration,
+    /// Randomize each wait in `[interval/2, interval*3/2)` to spread
+    /// recovery storms (§8.2's suggested mitigation).
+    pub jitter: bool,
+}
+
+impl Default for RebindPolicy {
+    fn default() -> RebindPolicy {
+        RebindPolicy {
+            retry_interval: Duration::from_secs(1),
+            give_up_after: Duration::from_secs(60),
+            jitter: false,
+        }
+    }
+}
+
+/// A self-healing typed proxy: resolves through the name service on first
+/// use, and on a dead-reference failure re-resolves and retries until the
+/// service recovers or the policy gives up — the client-side library
+/// behaviour of §8.2.
+pub struct Rebinding<C: Proxy + Clone> {
+    ns: NsHandle,
+    path: String,
+    policy: RebindPolicy,
+    cached: Mutex<Option<C>>,
+    /// Context used for the *service* calls (may differ from the naming
+    /// context, e.g. when service calls are ticket-signed but naming
+    /// traffic is not).
+    service_ctx: Option<ClientCtx>,
+}
+
+impl<C: Proxy + Clone> Rebinding<C> {
+    /// Creates a rebinding proxy for `path`.
+    pub fn new(ns: NsHandle, path: impl Into<String>, policy: RebindPolicy) -> Rebinding<C> {
+        Rebinding {
+            ns,
+            path: path.into(),
+            policy,
+            cached: Mutex::new(None),
+            service_ctx: None,
+        }
+    }
+
+    /// Uses a distinct client context for the service's calls (e.g. one
+    /// carrying authentication), keeping naming traffic on the handle's
+    /// own context.
+    pub fn with_service_ctx(mut self, ctx: ClientCtx) -> Rebinding<C> {
+        self.service_ctx = Some(ctx);
+        self
+    }
+
+    fn rt(&self) -> &Rt {
+        self.ns.ctx().rt()
+    }
+
+    fn get(&self) -> Result<C, NsError> {
+        if let Some(c) = self.cached.lock().clone() {
+            return Ok(c);
+        }
+        let obj = self.ns.resolve(&self.path)?;
+        let ctx = self
+            .service_ctx
+            .clone()
+            .unwrap_or_else(|| self.ns.ctx().clone());
+        let c = C::bind_ref(ctx, obj).map_err(|err| NsError::Comm { err })?;
+        *self.cached.lock() = Some(c.clone());
+        Ok(c)
+    }
+
+    /// Drops the cached proxy, forcing a re-resolve on next use.
+    pub fn invalidate(&self) {
+        *self.cached.lock() = None;
+    }
+
+    /// Invokes `f` on the proxy, transparently re-resolving and retrying
+    /// on dead references. Application errors return immediately.
+    ///
+    /// Returns the number of rebinds performed alongside the result via
+    /// [`Rebinding::call_counted`]; this plain form discards it.
+    pub fn call<R, E: RpcFault>(&self, f: impl Fn(&C) -> Result<R, E>) -> Result<R, E> {
+        self.call_counted(f).map(|(r, _)| r)
+    }
+
+    /// Like [`Rebinding::call`], also reporting how many rebind rounds
+    /// were needed (0 = first try succeeded) — used by the fail-over
+    /// experiments to attribute latency.
+    pub fn call_counted<R, E: RpcFault>(
+        &self,
+        f: impl Fn(&C) -> Result<R, E>,
+    ) -> Result<(R, u64), E> {
+        let rt = self.rt().clone();
+        let deadline = rt.now() + self.policy.give_up_after;
+        let mut rounds = 0u64;
+        loop {
+            let proxy = match self.get() {
+                Ok(p) => Some(p),
+                Err(NsError::Comm { err }) if !err.is_dead_reference() => {
+                    return Err(E::from_orb(err))
+                }
+                Err(_) => None, // Not (re)bound yet; wait and retry.
+            };
+            if let Some(proxy) = proxy {
+                match f(&proxy) {
+                    Ok(r) => return Ok((r, rounds)),
+                    Err(e) if e.is_dead_reference() => {
+                        // The reference died: discard it and re-resolve
+                        // (the §8.2 library path).
+                        self.invalidate();
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            rounds += 1;
+            let now = rt.now();
+            if now >= deadline {
+                return Err(E::from_orb(ocs_orb::OrbError::Timeout));
+            }
+            let base = self.policy.retry_interval;
+            let wait = if self.policy.jitter {
+                let us = base.as_micros() as u64;
+                Duration::from_micros(us / 2 + rt.rand_u64() % us.max(1))
+            } else {
+                base
+            };
+            rt.sleep(wait.min(deadline - now));
+        }
+    }
+}
+
+/// Blocks until this service instance becomes the primary for `path` by
+/// winning the `bind` race (§5.2): the first replica to bind is primary;
+/// the rest retry every `retry` until the name service's audit removes a
+/// dead primary's binding.
+///
+/// Returns the number of bind attempts (1 = became primary immediately).
+pub fn acquire_primary(ns: &NsHandle, rt: &Rt, path: &str, obj: ObjRef, retry: Duration) -> u64 {
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        match ns.bind(path, obj) {
+            Ok(()) => return attempts,
+            Err(NsError::AlreadyBound { .. })
+            | Err(NsError::NoMaster)
+            | Err(NsError::Comm { .. }) => {
+                rt.sleep(retry);
+            }
+            Err(NsError::NotFound { .. }) => {
+                // Parent context missing: create it and retry.
+                if let Some((parent, _)) = path.rsplit_once('/') {
+                    let _ = ns.bind_new_context(parent);
+                }
+                rt.sleep(retry);
+            }
+            Err(_) => rt.sleep(retry),
+        }
+    }
+}
+
+/// Spawns a standard primary/backup service skeleton: a process that
+/// acquires primacy for `path` then runs `serve` (which should not
+/// return while healthy).
+pub fn spawn_primary_backup(
+    rt: &Rt,
+    ns: NsHandle,
+    name: &str,
+    path: String,
+    obj: ObjRef,
+    retry: Duration,
+    serve: impl FnOnce() + Send + 'static,
+) {
+    let rt2 = rt.clone();
+    rt.spawn(
+        name,
+        Box::new(move || {
+            acquire_primary(&ns, &rt2, &path, obj, retry);
+            serve();
+        }),
+    );
+}
+
+/// How a client should configure its name-service access, as handed out
+/// by the boot broadcast (§3.4.1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NsBootstrap {
+    /// The name-service replica this client should use.
+    pub ns_addr: Addr,
+}
+
+impl NsBootstrap {
+    /// Opens a handle using this bootstrap information.
+    pub fn connect(&self, ctx: ClientCtx) -> NsHandle {
+        NsHandle::new(ctx, self.ns_addr)
+    }
+}
+
+ocs_wire::impl_wire_struct!(NsBootstrap { ns_addr });
+
+/// Convenience: an `Arc`-wrapped rebinding proxy (most services hold one
+/// per dependency).
+pub type SharedRebinding<C> = Arc<Rebinding<C>>;

@@ -1,0 +1,41 @@
+//! The OCS name service (paper §4) and its client library.
+//!
+//! The name service is the system's fundamental availability tool:
+//!
+//! * a hierarchical, Unix-like name space of [`NamingContext`] objects,
+//!   resolvable and listable at **any** replica (reads are local);
+//! * [`ReplicatedContext`](SelectorSpec)s whose *selector objects* choose
+//!   one of several bound replicas per resolve — hiding replication from
+//!   clients and implementing the paper's per-neighborhood and per-server
+//!   load-spreading (§5.1);
+//! * master/slave replication with an Echo-style majority election;
+//!   updates are serialized through the master and multicast to slaves
+//!   (§4.6);
+//! * *auditing*: the master removes bindings whose objects have died,
+//!   within seconds, driven by a liveness oracle (the Resource Audit
+//!   Service in the full system, §4.7) — which is what lets a §5.2
+//!   backup's retried `bind` take over from a dead primary;
+//! * the client-side rebind library (§8.2): [`Rebinding`] proxies
+//!   re-resolve and retry transparently when a reference dies.
+
+mod client;
+mod iface;
+mod replica;
+mod selector;
+mod state;
+mod types;
+
+pub use client::{
+    acquire_primary, spawn_primary_backup, NsBootstrap, NsHandle, RebindPolicy, Rebinding,
+    SharedRebinding,
+};
+pub use iface::{
+    NamingContext, NamingContextClient, NamingContextServant, NsPeer, NsPeerClient, NsPeerServant,
+    Selector, SelectorClient, SelectorServant, NAMING_TYPE_ID, NAMING_TYPE_NAME,
+};
+pub use replica::{AlwaysAlive, LivenessOracle, NsConfig, NsCore, NsReplica};
+pub use selector::{eval_static, StaticEval};
+pub use state::{
+    Context, CtxId, Entry, NsState, ResolveOut, SelectorEval, SnapCtx, Snapshot, ROOT_CTX,
+};
+pub use types::{split_path, Binding, NsError, NsUpdate, SelectorSpec};

@@ -1,0 +1,800 @@
+//! One name-service replica (§4.6).
+//!
+//! A replica runs on every server node. All replicas answer `resolve` and
+//! `list` from local state; updates are forwarded to the elected master,
+//! which serializes them (assigning sequence numbers) and multicasts them
+//! to the slaves. The master is elected with a majority scheme in the
+//! style of the Echo file system: candidates carry their log position, and
+//! peers refuse to vote for candidates behind themselves, so the most
+//! up-to-date reachable replica wins. A master that loses contact with a
+//! majority steps down; replicas that fall behind pull a snapshot.
+//!
+//! The master also runs the §4.7 audit: every `audit_interval` it asks
+//! the liveness oracle (in the full system, the local Resource Audit
+//! Service) about every bound object and unbinds the dead ones — the
+//! mechanism that breaks a failed primary's binding so that a §5.2
+//! backup's retried `bind` can succeed.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use ocs_orb::{Caller, ClientCtx, NoAuth, ObjRef, Orb, ThreadModel};
+use ocs_sim::{Addr, NetError, NodeId, NodeRtExt, PortReq, Rt, Semaphore, SimTime};
+use parking_lot::Mutex;
+
+use crate::iface::{
+    NamingContext, NamingContextServant, NsPeer, NsPeerClient, NsPeerServant, SelectorClient,
+    NAMING_TYPE_ID,
+};
+use crate::selector::eval_static;
+use crate::state::{CtxId, NsState, ResolveOut, SelectorEval, Snapshot, ROOT_CTX};
+use crate::types::{Binding, NsError, NsUpdate, SelectorSpec};
+
+/// Object id of the `NsPeer` servant on every replica's ORB.
+const PEER_OBJ: u64 = 1;
+/// Object ids of non-root context servants start here.
+const CTX_OBJ_BASE: u64 = 16;
+
+/// Deciding liveness of bound objects for the audit (§4.7). The real
+/// oracle is the local Resource Audit Service; tests may plug anything.
+pub trait LivenessOracle: Send + Sync {
+    /// For each `(path, object)` pair, report whether it is alive.
+    fn check(&self, objs: &[(String, ObjRef)]) -> Vec<bool>;
+}
+
+/// An oracle that never declares anything dead (auditing disabled).
+pub struct AlwaysAlive;
+
+impl LivenessOracle for AlwaysAlive {
+    fn check(&self, objs: &[(String, ObjRef)]) -> Vec<bool> {
+        vec![true; objs.len()]
+    }
+}
+
+/// Configuration of a name-service replica group member.
+#[derive(Clone, Debug)]
+pub struct NsConfig {
+    /// This replica's index into `peers`.
+    pub replica_id: u32,
+    /// The request endpoints of all replicas (including this one).
+    pub peers: Vec<Addr>,
+    /// Master → slave heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// How long a slave tolerates heartbeat silence before campaigning.
+    pub election_timeout: Duration,
+    /// How often the master audits bound objects against the liveness
+    /// oracle (the paper's "name service polls RAS every 10 seconds").
+    pub audit_interval: Duration,
+    /// Timeout for replica-to-replica calls.
+    pub peer_timeout: Duration,
+    /// Modelled CPU cost of one resolve/list, serialized per replica.
+    pub resolve_cost: Duration,
+}
+
+impl NsConfig {
+    /// The paper's deployed parameters (§9.7) for a replica group.
+    pub fn paper_defaults(replica_id: u32, peers: Vec<Addr>) -> NsConfig {
+        NsConfig {
+            replica_id,
+            peers,
+            heartbeat_interval: Duration::from_secs(2),
+            election_timeout: Duration::from_secs(5),
+            audit_interval: Duration::from_secs(10),
+            peer_timeout: Duration::from_millis(800),
+            resolve_cost: Duration::from_micros(200),
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.peers.len() / 2 + 1
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Role {
+    /// Elected master; `missed_rounds` counts consecutive heartbeat
+    /// rounds without majority acks.
+    Master { missed_rounds: u32 },
+    /// Following `master`; `last_heartbeat` is the most recent one seen.
+    Slave {
+        master: u32,
+        last_heartbeat: SimTime,
+    },
+    /// No known master; will campaign after a jittered delay.
+    Searching { since: SimTime },
+}
+
+struct Repl {
+    ns: NsState,
+    epoch: u64,
+    voted_for: Option<(u64, u32)>,
+    role: Role,
+    needs_catchup: bool,
+    catching_up: bool,
+    last_hb_round: SimTime,
+}
+
+/// The core of a replica, shared by its servants and loops.
+pub struct NsCore {
+    rt: Rt,
+    cfg: NsConfig,
+    st: Mutex<Repl>,
+    rr: AtomicU64,
+    cpu: Semaphore,
+    orb: Mutex<Weak<Orb>>,
+    oracle: Mutex<Arc<dyn LivenessOracle>>,
+    exported: Mutex<HashSet<CtxId>>,
+}
+
+/// A running name-service replica.
+pub struct NsReplica {
+    core: Arc<NsCore>,
+    orb: Arc<Orb>,
+}
+
+impl NsReplica {
+    /// Opens the replica's endpoint, exports the root context and peer
+    /// objects, and spawns the server, election and audit processes.
+    pub fn start(
+        rt: Rt,
+        cfg: NsConfig,
+        oracle: Arc<dyn LivenessOracle>,
+    ) -> Result<Arc<NsReplica>, NetError> {
+        let my_addr = cfg.peers[cfg.replica_id as usize];
+        assert_eq!(
+            my_addr.node,
+            rt.node(),
+            "replica {} configured for a different node",
+            cfg.replica_id
+        );
+        let now = rt.now();
+        let core = Arc::new(NsCore {
+            cpu: Semaphore::new(&rt, 1),
+            rt: rt.clone(),
+            cfg,
+            st: Mutex::new(Repl {
+                ns: NsState::new(),
+                epoch: 0,
+                voted_for: None,
+                role: Role::Searching { since: now },
+                needs_catchup: false,
+                catching_up: false,
+                last_hb_round: now,
+            }),
+            rr: AtomicU64::new(0),
+            orb: Mutex::new(Weak::new()),
+            oracle: Mutex::new(oracle),
+            exported: Mutex::new(HashSet::new()),
+        });
+        let orb = Orb::build(
+            rt.clone(),
+            PortReq::Fixed(my_addr.port),
+            ThreadModel::PerRequest,
+            Some(ObjRef::STABLE),
+            Arc::new(NoAuth),
+        )?;
+        *core.orb.lock() = Arc::downgrade(&orb);
+        orb.export_at(
+            0,
+            Arc::new(NamingContextServant(Arc::new(CtxView {
+                core: Arc::clone(&core),
+                ctx: ROOT_CTX,
+            }))),
+        );
+        orb.export_at(
+            PEER_OBJ,
+            Arc::new(NsPeerServant(Arc::new(PeerView {
+                core: Arc::clone(&core),
+            }))),
+        );
+        orb.start();
+        let c = Arc::clone(&core);
+        rt.spawn_fn("ns-election", move || c.election_loop());
+        let c = Arc::clone(&core);
+        rt.spawn_fn("ns-audit", move || c.audit_loop());
+        Ok(Arc::new(NsReplica { core, orb }))
+    }
+
+    /// The stable reference to this replica's root context (valid across
+    /// replica restarts — the paper's name-service exception to the
+    /// reference-lifetime rule, §3.2.1).
+    pub fn root_ref(&self) -> ObjRef {
+        self.core.ctx_objref(ROOT_CTX)
+    }
+
+    /// Whether this replica currently believes it is the master.
+    pub fn is_master(&self) -> bool {
+        matches!(self.core.st.lock().role, Role::Master { .. })
+    }
+
+    /// The current election epoch.
+    pub fn epoch(&self) -> u64 {
+        self.core.st.lock().epoch
+    }
+
+    /// Sequence number of the last applied update.
+    pub fn last_seq(&self) -> u64 {
+        self.core.st.lock().ns.last_seq
+    }
+
+    /// Replaces the liveness oracle (wired to the local RAS at cluster
+    /// start-up, after the RAS itself is running).
+    pub fn set_oracle(&self, oracle: Arc<dyn LivenessOracle>) {
+        *self.core.oracle.lock() = oracle;
+    }
+
+    /// The replica's ORB (for tests).
+    pub fn orb(&self) -> &Arc<Orb> {
+        &self.orb
+    }
+}
+
+impl NsCore {
+    fn ctx_objref(&self, ctx: CtxId) -> ObjRef {
+        let object_id = if ctx == ROOT_CTX {
+            0
+        } else {
+            CTX_OBJ_BASE + ctx
+        };
+        ObjRef {
+            addr: self.cfg.peers[self.cfg.replica_id as usize],
+            incarnation: ObjRef::STABLE,
+            type_id: NAMING_TYPE_ID,
+            object_id,
+        }
+    }
+
+    fn client_ctx(&self) -> ClientCtx {
+        ClientCtx::new(self.rt.clone()).with_timeout(self.cfg.peer_timeout)
+    }
+
+    fn peer_client(&self, peer: u32) -> Result<NsPeerClient, NsError> {
+        let addr = self.cfg.peers[peer as usize];
+        let target = ObjRef {
+            addr,
+            incarnation: ObjRef::STABLE,
+            type_id: NsPeerClient::TYPE_ID,
+            object_id: PEER_OBJ,
+        };
+        NsPeerClient::attach(self.client_ctx(), target).map_err(|err| NsError::Comm { err })
+    }
+
+    /// Ensures a context servant is exported for every live context id.
+    fn sync_ctx_exports(self: &Arc<Self>) {
+        let Some(orb) = self.orb.lock().upgrade() else {
+            return;
+        };
+        let ids: Vec<CtxId> = self.st.lock().ns.context_ids();
+        let mut exported = self.exported.lock();
+        for id in ids {
+            if id != ROOT_CTX && !exported.contains(&id) {
+                orb.export_at(
+                    CTX_OBJ_BASE + id,
+                    Arc::new(NamingContextServant(Arc::new(CtxView {
+                        core: Arc::clone(self),
+                        ctx: id,
+                    }))),
+                );
+                exported.insert(id);
+            }
+        }
+    }
+
+    // ---- update path ---------------------------------------------------
+
+    /// Applies an update as master: assign the next sequence number,
+    /// apply locally, then multicast to the slaves.
+    fn master_apply(self: &Arc<Self>, update: NsUpdate) -> Result<(), NsError> {
+        let (seq, result, epoch) = {
+            let mut st = self.st.lock();
+            if !matches!(st.role, Role::Master { .. }) {
+                return Err(NsError::NoMaster);
+            }
+            let seq = st.ns.last_seq + 1;
+            let result = st.ns.apply(seq, &update);
+            (seq, result, st.epoch)
+        };
+        self.sync_ctx_exports();
+        // Multicast regardless of the update's own success: failures are
+        // deterministic, so slaves replay them and stay in lockstep.
+        let ctx = self.client_ctx();
+        for (i, addr) in self.cfg.peers.iter().enumerate() {
+            if i as u32 == self.cfg.replica_id {
+                continue;
+            }
+            let target = ObjRef {
+                addr: *addr,
+                incarnation: ObjRef::STABLE,
+                type_id: NsPeerClient::TYPE_ID,
+                object_id: PEER_OBJ,
+            };
+            let mut e = ocs_wire::Encoder::new();
+            ocs_wire::Wire::encode_into(&epoch, &mut e);
+            ocs_wire::Wire::encode_into(&seq, &mut e);
+            ocs_wire::Wire::encode_into(&update, &mut e);
+            let _ = ctx.notify(&target, 3, e.finish());
+        }
+        result
+    }
+
+    /// Routes an update: apply here if master, otherwise forward.
+    fn submit_update(self: &Arc<Self>, update: NsUpdate) -> Result<(), NsError> {
+        let master = {
+            let st = self.st.lock();
+            match st.role {
+                Role::Master { .. } => None,
+                Role::Slave { master, .. } => Some(master),
+                Role::Searching { .. } => return Err(NsError::NoMaster),
+            }
+        };
+        match master {
+            None => self.master_apply(update),
+            Some(m) => {
+                let peer = self.peer_client(m)?;
+                peer.forward_update(update)
+            }
+        }
+    }
+
+    /// Absolute path of a name bound in context `ctx`.
+    fn abs_path(&self, ctx: CtxId, name: &str) -> Result<String, NsError> {
+        let st = self.st.lock();
+        match st.ns.path_of_ctx(ctx) {
+            Some(prefix) if prefix.is_empty() => Ok(name.to_string()),
+            Some(prefix) => Ok(format!("{prefix}/{name}")),
+            None => Err(NsError::NotFound {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    // ---- read path -----------------------------------------------------
+
+    fn read_state(&self) -> NsState {
+        self.st.lock().ns.clone()
+    }
+
+    fn charge_resolve(&self) {
+        if self.cfg.resolve_cost > Duration::ZERO {
+            self.cpu.acquire();
+            self.rt.busy(self.cfg.resolve_cost);
+            self.cpu.release();
+        }
+    }
+
+    fn do_resolve(
+        self: &Arc<Self>,
+        start: CtxId,
+        name: &str,
+        caller: NodeId,
+    ) -> Result<ObjRef, NsError> {
+        self.charge_resolve();
+        let ns = self.read_state();
+        let ctx_ref = |id: CtxId| self.ctx_objref(id);
+        let mut eval = ReplicaEval { core: self };
+        match ns.resolve(start, name, caller, &ctx_ref, &mut eval, NAMING_TYPE_ID)? {
+            ResolveOut::Obj(obj) => Ok(obj),
+            ResolveOut::LocalCtx(id) => Ok(self.ctx_objref(id)),
+            ResolveOut::Forward { ctx, rest } => {
+                // Recursive resolve through a remotely implemented
+                // context (§4.3).
+                let remote = crate::iface::NamingContextClient::attach(self.client_ctx(), ctx)
+                    .map_err(|err| NsError::Comm { err })?;
+                remote.resolve(rest)
+            }
+        }
+    }
+
+    fn do_list(
+        self: &Arc<Self>,
+        start: CtxId,
+        name: &str,
+        caller: NodeId,
+        all: bool,
+    ) -> Result<Vec<Binding>, NsError> {
+        self.charge_resolve();
+        let ns = self.read_state();
+        let ctx_ref = |id: CtxId| self.ctx_objref(id);
+        let mut eval = ReplicaEval { core: self };
+        ns.list(
+            start,
+            name,
+            caller,
+            all,
+            &ctx_ref,
+            &mut eval,
+            NAMING_TYPE_ID,
+        )
+    }
+
+    // ---- election / replication loops ----------------------------------
+
+    fn election_loop(self: Arc<Self>) {
+        // Small tick; all real pacing happens against recorded times.
+        let tick = self.cfg.heartbeat_interval / 4;
+        // Desynchronize cold-start campaigns.
+        self.rt
+            .sleep(self.rt.rand_jitter(self.cfg.election_timeout / 2));
+        loop {
+            enum Act {
+                HeartbeatRound,
+                Campaign,
+                CatchUp(u32),
+                Nothing,
+            }
+            let act = {
+                let mut st = self.st.lock();
+                let now = self.rt.now();
+                match st.role {
+                    Role::Master { .. } => {
+                        if now.saturating_since(st.last_hb_round) >= self.cfg.heartbeat_interval {
+                            st.last_hb_round = now;
+                            Act::HeartbeatRound
+                        } else {
+                            Act::Nothing
+                        }
+                    }
+                    Role::Slave {
+                        master,
+                        last_heartbeat,
+                    } => {
+                        if now.saturating_since(last_heartbeat) > self.cfg.election_timeout {
+                            st.role = Role::Searching { since: now };
+                            Act::Campaign
+                        } else if st.needs_catchup && !st.catching_up {
+                            st.catching_up = true;
+                            Act::CatchUp(master)
+                        } else {
+                            Act::Nothing
+                        }
+                    }
+                    Role::Searching { since } => {
+                        // Stagger campaigns by replica id (plus jitter) so
+                        // concurrent candidates don't split votes forever —
+                        // low ids win ties quickly.
+                        let wait = Duration::from_millis(
+                            200 + self.cfg.replica_id as u64 * 400 + (self.rt.rand_u64() % 300),
+                        );
+                        if now.saturating_since(since) >= wait {
+                            Act::Campaign
+                        } else {
+                            Act::Nothing
+                        }
+                    }
+                }
+            };
+            match act {
+                Act::HeartbeatRound => self.heartbeat_round(),
+                Act::Campaign => self.campaign(),
+                Act::CatchUp(master) => self.catch_up(master),
+                Act::Nothing => {}
+            }
+            self.rt.sleep(tick);
+        }
+    }
+
+    fn heartbeat_round(self: &Arc<Self>) {
+        let (epoch, last_seq) = {
+            let st = self.st.lock();
+            if !matches!(st.role, Role::Master { .. }) {
+                return;
+            }
+            (st.epoch, st.ns.last_seq)
+        };
+        let me = self.cfg.replica_id;
+        let mut acks = 1; // self
+        for i in 0..self.cfg.peers.len() as u32 {
+            if i == me {
+                continue;
+            }
+            if let Ok(peer) = self.peer_client(i) {
+                if peer.heartbeat(epoch, me, last_seq).is_ok() {
+                    acks += 1;
+                }
+            }
+        }
+        let mut st = self.st.lock();
+        if let Role::Master { missed_rounds } = &mut st.role {
+            if acks < self.cfg.majority() {
+                *missed_rounds += 1;
+                if *missed_rounds >= 3 {
+                    // Lost the majority: step down (no updates without a
+                    // quorum — the §4.6 availability rule).
+                    self.rt.trace("ns: master stepping down (no majority)");
+                    st.role = Role::Searching {
+                        since: self.rt.now(),
+                    };
+                }
+            } else {
+                *missed_rounds = 0;
+            }
+        }
+    }
+
+    fn campaign(self: &Arc<Self>) {
+        let (epoch, last_seq) = {
+            let mut st = self.st.lock();
+            st.epoch += 1;
+            st.voted_for = Some((st.epoch, self.cfg.replica_id));
+            st.role = Role::Searching {
+                since: self.rt.now(),
+            };
+            (st.epoch, st.ns.last_seq)
+        };
+        let me = self.cfg.replica_id;
+        let mut votes = 1; // self
+        for i in 0..self.cfg.peers.len() as u32 {
+            if i == me {
+                continue;
+            }
+            if let Ok(peer) = self.peer_client(i) {
+                if peer.request_vote(epoch, me, last_seq) == Ok(true) {
+                    votes += 1;
+                }
+            }
+        }
+        let won = {
+            let mut st = self.st.lock();
+            if votes >= self.cfg.majority() && st.epoch == epoch {
+                st.role = Role::Master { missed_rounds: 0 };
+                st.last_hb_round = self.rt.now();
+                true
+            } else {
+                if st.epoch == epoch && matches!(st.role, Role::Searching { .. }) {
+                    st.role = Role::Searching {
+                        since: self.rt.now(),
+                    };
+                }
+                false
+            }
+        };
+        if won {
+            self.rt
+                .trace(&format!("ns: replica {me} elected master (epoch {epoch})"));
+            self.heartbeat_round();
+        }
+    }
+
+    fn catch_up(self: &Arc<Self>, master: u32) {
+        let result = self
+            .peer_client(master)
+            .and_then(|peer| peer.fetch_snapshot());
+        let mut st = self.st.lock();
+        st.catching_up = false;
+        if let Ok(snap) = result {
+            if snap.last_seq > st.ns.last_seq {
+                st.ns.restore(snap);
+                st.needs_catchup = false;
+                drop(st);
+                self.sync_ctx_exports();
+                return;
+            }
+            st.needs_catchup = false;
+        }
+    }
+
+    fn audit_loop(self: Arc<Self>) {
+        loop {
+            self.rt.sleep(self.cfg.audit_interval);
+            let is_master = matches!(self.st.lock().role, Role::Master { .. });
+            if !is_master {
+                continue;
+            }
+            let leaves: Vec<(String, ObjRef)> = {
+                let st = self.st.lock();
+                st.ns
+                    .collect_leaves()
+                    .into_iter()
+                    // Stable references (other name-service contexts)
+                    // survive restarts and are not auditable by
+                    // incarnation; skip them.
+                    .filter(|(_, obj)| obj.incarnation != ObjRef::STABLE)
+                    .collect()
+            };
+            if leaves.is_empty() {
+                continue;
+            }
+            let oracle = Arc::clone(&*self.oracle.lock());
+            let alive = oracle.check(&leaves);
+            for ((path, _), alive) in leaves.iter().zip(alive) {
+                if !alive {
+                    self.rt.trace(&format!("ns: audit removing dead {path}"));
+                    let _ = self.master_apply(NsUpdate::Unbind { path: path.clone() });
+                }
+            }
+        }
+    }
+}
+
+/// Selector evaluation with remote-selector support.
+struct ReplicaEval<'a> {
+    core: &'a Arc<NsCore>,
+}
+
+impl SelectorEval for ReplicaEval<'_> {
+    fn select(
+        &mut self,
+        spec: &SelectorSpec,
+        caller: NodeId,
+        candidates: &[Binding],
+    ) -> Option<usize> {
+        match spec {
+            SelectorSpec::Remote { selector } => {
+                let client = SelectorClient::attach(self.core.client_ctx(), *selector).ok()?;
+                let idx = client.select(caller, candidates.to_vec()).ok()? as usize;
+                (idx < candidates.len()).then_some(idx)
+            }
+            other => {
+                let mut rr = self.core.rr.load(Ordering::Relaxed);
+                let out = eval_static(other, caller, candidates, &mut rr);
+                self.core.rr.store(rr, Ordering::Relaxed);
+                out
+            }
+        }
+    }
+}
+
+/// Servant view of one context (exported per context id).
+struct CtxView {
+    core: Arc<NsCore>,
+    ctx: CtxId,
+}
+
+impl NamingContext for CtxView {
+    fn resolve(&self, caller: &Caller, name: String) -> Result<ObjRef, NsError> {
+        self.core.do_resolve(self.ctx, &name, caller.node)
+    }
+
+    fn bind(&self, _caller: &Caller, name: String, obj: ObjRef) -> Result<(), NsError> {
+        let path = self.core.abs_path(self.ctx, &name)?;
+        self.core.submit_update(NsUpdate::Bind { path, obj })
+    }
+
+    fn unbind(&self, _caller: &Caller, name: String) -> Result<(), NsError> {
+        let path = self.core.abs_path(self.ctx, &name)?;
+        self.core.submit_update(NsUpdate::Unbind { path })
+    }
+
+    fn bind_new_context(&self, caller: &Caller, name: String) -> Result<ObjRef, NsError> {
+        let path = self.core.abs_path(self.ctx, &name)?;
+        self.core
+            .submit_update(NsUpdate::NewContext { path: path.clone() })?;
+        // Resolve locally to return the fresh context's reference (the
+        // update applied locally if we are master; otherwise resolve may
+        // briefly race the multicast — retry once after a beat).
+        match self.core.do_resolve(self.ctx, &name, caller.node) {
+            Ok(obj) => Ok(obj),
+            Err(NsError::NotFound { .. }) => {
+                self.core.rt.sleep(self.core.cfg.peer_timeout);
+                self.core.do_resolve(self.ctx, &name, caller.node)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn bind_repl_context(
+        &self,
+        _caller: &Caller,
+        name: String,
+        selector: SelectorSpec,
+    ) -> Result<ObjRef, NsError> {
+        let path = self.core.abs_path(self.ctx, &name)?;
+        self.core
+            .submit_update(NsUpdate::NewReplContext { path, selector })?;
+        // A replicated context resolves to a *member*, so return the
+        // context reference by id lookup instead.
+        let st = self.core.st.lock();
+        match st.ns.ctx_of_name(self.ctx, &name) {
+            Some(id) => Ok(self.core.ctx_objref(id)),
+            None => Ok(self.core.ctx_objref(self.ctx)),
+        }
+    }
+
+    fn list(&self, caller: &Caller, name: String) -> Result<Vec<Binding>, NsError> {
+        self.core.do_list(self.ctx, &name, caller.node, false)
+    }
+
+    fn list_repl(&self, caller: &Caller, name: String) -> Result<Vec<Binding>, NsError> {
+        self.core.do_list(self.ctx, &name, caller.node, true)
+    }
+
+    fn report_load(&self, _caller: &Caller, name: String, load: u32) -> Result<(), NsError> {
+        let path = self.core.abs_path(self.ctx, &name)?;
+        self.core.submit_update(NsUpdate::ReportLoad { path, load })
+    }
+}
+
+/// Servant view of the replica-to-replica protocol.
+struct PeerView {
+    core: Arc<NsCore>,
+}
+
+impl NsPeer for PeerView {
+    fn request_vote(
+        &self,
+        _caller: &Caller,
+        epoch: u64,
+        candidate: u32,
+        last_seq: u64,
+    ) -> Result<bool, NsError> {
+        let mut st = self.core.st.lock();
+        if epoch < st.epoch {
+            return Ok(false);
+        }
+        if epoch > st.epoch {
+            st.epoch = epoch;
+            st.voted_for = None;
+            st.role = Role::Searching {
+                since: self.core.rt.now(),
+            };
+        }
+        if last_seq < st.ns.last_seq {
+            // Refuse candidates behind our log (Echo-style freshness).
+            return Ok(false);
+        }
+        match st.voted_for {
+            Some((e, c)) if e == epoch && c != candidate => Ok(false),
+            _ => {
+                st.voted_for = Some((epoch, candidate));
+                Ok(true)
+            }
+        }
+    }
+
+    fn heartbeat(
+        &self,
+        _caller: &Caller,
+        epoch: u64,
+        master: u32,
+        last_seq: u64,
+    ) -> Result<u64, NsError> {
+        let mut st = self.core.st.lock();
+        if epoch < st.epoch {
+            return Err(NsError::NoMaster);
+        }
+        st.epoch = epoch;
+        st.role = Role::Slave {
+            master,
+            last_heartbeat: self.core.rt.now(),
+        };
+        if last_seq > st.ns.last_seq {
+            st.needs_catchup = true;
+        }
+        Ok(st.ns.last_seq)
+    }
+
+    fn apply_update(
+        &self,
+        _caller: &Caller,
+        epoch: u64,
+        seq: u64,
+        update: NsUpdate,
+    ) -> Result<(), NsError> {
+        {
+            let mut st = self.core.st.lock();
+            if epoch < st.epoch {
+                return Ok(());
+            }
+            if seq == st.ns.last_seq + 1 {
+                let _ = st.ns.apply(seq, &update);
+            } else if seq > st.ns.last_seq + 1 {
+                st.needs_catchup = true;
+                return Ok(());
+            } else {
+                return Ok(()); // Duplicate.
+            }
+        }
+        self.core.sync_ctx_exports();
+        Ok(())
+    }
+
+    fn fetch_snapshot(&self, _caller: &Caller) -> Result<Snapshot, NsError> {
+        Ok(self.core.st.lock().ns.snapshot())
+    }
+
+    fn forward_update(&self, _caller: &Caller, update: NsUpdate) -> Result<(), NsError> {
+        self.core.master_apply(update)
+    }
+}

@@ -1,0 +1,162 @@
+//! Selector evaluation: choosing one replica from a replicated context's
+//! bindings (§4.5, §5.1).
+
+use ocs_sim::NodeId;
+
+use crate::state::SelectorEval;
+use crate::types::{Binding, SelectorSpec};
+
+/// Evaluates the static (non-remote) selector policies.
+///
+/// Returns the index of the chosen candidate, or `None` when no candidate
+/// is acceptable. `rr_counter` supplies (and is advanced for) round-robin
+/// state.
+pub fn eval_static(
+    spec: &SelectorSpec,
+    caller: NodeId,
+    candidates: &[Binding],
+    rr_counter: &mut u64,
+) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    match spec {
+        SelectorSpec::First => Some(0),
+        SelectorSpec::RoundRobin => {
+            let idx = (*rr_counter as usize) % candidates.len();
+            *rr_counter = rr_counter.wrapping_add(1);
+            Some(idx)
+        }
+        SelectorSpec::Neighborhood { map } => {
+            let nbhd = map.get(&caller)?;
+            let want = nbhd.to_string();
+            candidates.iter().position(|b| b.name == want)
+        }
+        SelectorSpec::SameServer => candidates.iter().position(|b| b.obj.addr.node == caller),
+        SelectorSpec::LeastLoaded => candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| b.load)
+            .map(|(i, _)| i),
+        SelectorSpec::Remote { .. } => {
+            // Remote selectors need an RPC; handled by the replica layer.
+            None
+        }
+    }
+}
+
+/// A [`SelectorEval`] that handles only static policies (used by unit
+/// tests and by replicas as the fallback under the remote-capable
+/// evaluator).
+#[derive(Default)]
+pub struct StaticEval {
+    /// Round-robin cursor, advanced on each round-robin selection.
+    pub rr_counter: u64,
+}
+
+impl SelectorEval for StaticEval {
+    fn select(
+        &mut self,
+        spec: &SelectorSpec,
+        caller: NodeId,
+        candidates: &[Binding],
+    ) -> Option<usize> {
+        eval_static(spec, caller, candidates, &mut self.rr_counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_orb::ObjRef;
+    use ocs_sim::Addr;
+    use std::collections::BTreeMap;
+
+    fn binding(name: &str, node: u32, load: u32) -> Binding {
+        Binding {
+            name: name.to_string(),
+            obj: ObjRef {
+                addr: Addr::new(NodeId(node), 20),
+                incarnation: 1,
+                type_id: 7,
+                object_id: 0,
+            },
+            load,
+        }
+    }
+
+    #[test]
+    fn first_picks_lowest_name() {
+        let cands = [binding("1", 1, 0), binding("2", 2, 0)];
+        let mut rr = 0;
+        assert_eq!(
+            eval_static(&SelectorSpec::First, NodeId(9), &cands, &mut rr),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let cands = [binding("1", 1, 0), binding("2", 2, 0), binding("3", 3, 0)];
+        let mut rr = 0;
+        let picks: Vec<_> = (0..6)
+            .map(|_| eval_static(&SelectorSpec::RoundRobin, NodeId(9), &cands, &mut rr).unwrap())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn neighborhood_matches_caller() {
+        let mut map = BTreeMap::new();
+        map.insert(NodeId(100), 2u32); // settop 100 is in neighborhood 2
+        let spec = SelectorSpec::Neighborhood { map };
+        let cands = [binding("1", 1, 0), binding("2", 2, 0)];
+        let mut rr = 0;
+        assert_eq!(eval_static(&spec, NodeId(100), &cands, &mut rr), Some(1));
+        // Unknown caller: no neighborhood, no selection.
+        assert_eq!(eval_static(&spec, NodeId(999), &cands, &mut rr), None);
+    }
+
+    #[test]
+    fn neighborhood_with_missing_replica() {
+        let mut map = BTreeMap::new();
+        map.insert(NodeId(100), 3u32);
+        let spec = SelectorSpec::Neighborhood { map };
+        let cands = [binding("1", 1, 0), binding("2", 2, 0)];
+        let mut rr = 0;
+        // Neighborhood 3 has no bound replica (its server crashed and the
+        // audit removed it): selection fails, surfacing the §8.1 case
+        // where per-neighborhood services wait for operator action.
+        assert_eq!(eval_static(&spec, NodeId(100), &cands, &mut rr), None);
+    }
+
+    #[test]
+    fn same_server_matches_node() {
+        let spec = SelectorSpec::SameServer;
+        let cands = [binding("a", 1, 0), binding("b", 2, 0)];
+        let mut rr = 0;
+        assert_eq!(eval_static(&spec, NodeId(2), &cands, &mut rr), Some(1));
+        assert_eq!(eval_static(&spec, NodeId(3), &cands, &mut rr), None);
+    }
+
+    #[test]
+    fn least_loaded_prefers_small_load() {
+        let spec = SelectorSpec::LeastLoaded;
+        let cands = [
+            binding("a", 1, 50),
+            binding("b", 2, 10),
+            binding("c", 3, 90),
+        ];
+        let mut rr = 0;
+        assert_eq!(eval_static(&spec, NodeId(9), &cands, &mut rr), Some(1));
+    }
+
+    #[test]
+    fn empty_candidates_select_nothing() {
+        let mut rr = 0;
+        assert_eq!(
+            eval_static(&SelectorSpec::First, NodeId(1), &[], &mut rr),
+            None
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests on the naming state machine: replica
+//! convergence under identical update streams, snapshot fidelity, and
+//! totality of resolution.
+
+use ocs_name::{NsState, NsUpdate, SelectorSpec, StaticEval, NAMING_TYPE_ID, ROOT_CTX};
+use ocs_orb::ObjRef;
+use ocs_sim::{Addr, NodeId};
+use proptest::prelude::*;
+
+fn arb_obj() -> impl Strategy<Value = ObjRef> {
+    (1u32..5, 1u16..100, 0u64..4, 1u32..4).prop_map(|(node, port, inc, ty)| ObjRef {
+        addr: Addr::new(NodeId(node), port),
+        incarnation: inc,
+        type_id: if ty == 1 { NAMING_TYPE_ID } else { ty },
+        object_id: 0,
+    })
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "svc", "x"]), 1..4)
+        .prop_map(|parts| parts.join("/"))
+}
+
+fn arb_update() -> impl Strategy<Value = NsUpdate> {
+    prop_oneof![
+        (arb_path(), arb_obj()).prop_map(|(path, obj)| NsUpdate::Bind { path, obj }),
+        arb_path().prop_map(|path| NsUpdate::Unbind { path }),
+        arb_path().prop_map(|path| NsUpdate::NewContext { path }),
+        arb_path().prop_map(|path| NsUpdate::NewReplContext {
+            path,
+            selector: SelectorSpec::First,
+        }),
+        (arb_path(), 0u32..100).prop_map(|(path, load)| NsUpdate::ReportLoad { path, load }),
+    ]
+}
+
+proptest! {
+    /// Two replicas applying the same update stream converge to
+    /// identical states — the invariant §4.6's replication rests on.
+    #[test]
+    fn replicas_converge(updates in prop::collection::vec(arb_update(), 0..40)) {
+        let mut a = NsState::new();
+        let mut b = NsState::new();
+        for (i, u) in updates.iter().enumerate() {
+            let ra = a.apply(i as u64 + 1, u);
+            let rb = b.apply(i as u64 + 1, u);
+            prop_assert_eq!(ra, rb, "same update, same outcome");
+        }
+        prop_assert_eq!(a, b);
+    }
+
+    /// Snapshot + restore reproduces the exact state (replica catch-up).
+    #[test]
+    fn snapshot_is_faithful(updates in prop::collection::vec(arb_update(), 0..40)) {
+        let mut st = NsState::new();
+        for (i, u) in updates.iter().enumerate() {
+            let _ = st.apply(i as u64 + 1, u);
+        }
+        let mut restored = NsState::new();
+        restored.restore(st.snapshot());
+        prop_assert_eq!(&st, &restored);
+        // And further identical updates keep them identical.
+        let extra = NsUpdate::NewContext { path: "post".into() };
+        let mut st2 = st.clone();
+        let _ = st2.apply(100, &extra);
+        let _ = restored.apply(100, &extra);
+        prop_assert_eq!(st2, restored);
+    }
+
+    /// Resolution and listing never panic, whatever the state and path.
+    #[test]
+    fn resolve_is_total(
+        updates in prop::collection::vec(arb_update(), 0..30),
+        path in arb_path(),
+        caller in 1u32..8,
+    ) {
+        let mut st = NsState::new();
+        for (i, u) in updates.iter().enumerate() {
+            let _ = st.apply(i as u64 + 1, u);
+        }
+        let ctx_ref = |id: u64| ObjRef {
+            addr: Addr::new(NodeId(99), 10),
+            incarnation: ObjRef::STABLE,
+            type_id: NAMING_TYPE_ID,
+            object_id: id,
+        };
+        let mut eval = StaticEval::default();
+        let _ = st.resolve(ROOT_CTX, &path, NodeId(caller), &ctx_ref, &mut eval, NAMING_TYPE_ID);
+        let _ = st.list(ROOT_CTX, &path, NodeId(caller), false, &ctx_ref, &mut eval, NAMING_TYPE_ID);
+        let _ = st.list(ROOT_CTX, &path, NodeId(caller), true, &ctx_ref, &mut eval, NAMING_TYPE_ID);
+        let _ = st.collect_leaves();
+        let _ = st.path_of_ctx(3);
+    }
+
+    /// A bound leaf resolves to exactly what was bound, however the rest
+    /// of the tree churns afterwards (as long as its path survives).
+    #[test]
+    fn bound_objects_resolve_back(obj in arb_obj(), churn in prop::collection::vec(arb_update(), 0..20)) {
+        let mut st = NsState::new();
+        st.apply(1, &NsUpdate::Bind { path: "anchor".into(), obj }).unwrap();
+        let mut seq = 2;
+        for u in &churn {
+            // Keep the anchor alive: skip updates that would remove it.
+            if let NsUpdate::Unbind { path } = u {
+                if path == "anchor" {
+                    continue;
+                }
+            }
+            let _ = st.apply(seq, u);
+            seq += 1;
+        }
+        let ctx_ref = |id: u64| ObjRef {
+            addr: Addr::new(NodeId(99), 10),
+            incarnation: ObjRef::STABLE,
+            type_id: NAMING_TYPE_ID,
+            object_id: id,
+        };
+        let mut eval = StaticEval::default();
+        let out = st
+            .resolve(ROOT_CTX, "anchor", NodeId(1), &ctx_ref, &mut eval, NAMING_TYPE_ID)
+            .unwrap();
+        prop_assert_eq!(out, ocs_name::ResolveOut::Obj(obj));
+    }
+}

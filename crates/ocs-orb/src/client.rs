@@ -1,0 +1,199 @@
+//! Client-side invocation machinery.
+//!
+//! [`ClientCtx`] bundles everything a client stub needs: the node
+//! runtime, the authentication hook and call options. Generated stubs
+//! (see [`declare_interface!`](crate::declare_interface)) call
+//! [`ClientCtx::call`] with a method id and marshalled arguments.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use ocs_sim::{PortReq, RecvError, Rt};
+use ocs_wire::Wire;
+
+use crate::auth::{ClientAuth, NoAuth};
+use crate::types::{ObjRef, OrbError, Reply, Request, FRAME_REPLY, FRAME_REQUEST};
+
+/// Options governing a single remote call.
+#[derive(Clone, Copy, Debug)]
+pub struct CallOpts {
+    /// How long to wait for the reply before raising
+    /// [`OrbError::Timeout`]. The paper's services declare a peer dead
+    /// "within a few seconds"; 3 s is the default.
+    pub timeout: Duration,
+}
+
+impl Default for CallOpts {
+    fn default() -> CallOpts {
+        CallOpts {
+            timeout: Duration::from_secs(3),
+        }
+    }
+}
+
+/// Shared client-side context: runtime + authentication + options.
+#[derive(Clone)]
+pub struct ClientCtx {
+    rt: Rt,
+    auth: Arc<dyn ClientAuth>,
+    opts: CallOpts,
+}
+
+impl ClientCtx {
+    /// A context with pass-through authentication and default options.
+    pub fn new(rt: Rt) -> ClientCtx {
+        ClientCtx {
+            rt,
+            auth: Arc::new(NoAuth),
+            opts: CallOpts::default(),
+        }
+    }
+
+    /// Replaces the authentication hook.
+    pub fn with_auth(mut self, auth: Arc<dyn ClientAuth>) -> ClientCtx {
+        self.auth = auth;
+        self
+    }
+
+    /// Replaces the call timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> ClientCtx {
+        self.opts.timeout = timeout;
+        self
+    }
+
+    /// The underlying node runtime.
+    pub fn rt(&self) -> &Rt {
+        &self.rt
+    }
+
+    /// The configured call options.
+    pub fn opts(&self) -> CallOpts {
+        self.opts
+    }
+
+    /// Invokes `method` on `target` with pre-marshalled `args`, returning
+    /// the raw reply body (a wire-encoded `Result<T, E>`).
+    ///
+    /// Failure mapping:
+    /// * transport bounce (peer process died)  → [`OrbError::ObjectDead`]
+    /// * stale incarnation rejected by server  → [`OrbError::ObjectDead`]
+    /// * no reply within the timeout           → [`OrbError::Timeout`]
+    pub fn call(&self, target: &ObjRef, method: u32, args: Bytes) -> Result<Bytes, OrbError> {
+        let ep = self
+            .rt
+            .open(PortReq::Ephemeral)
+            .map_err(|e| OrbError::Transport {
+                what: e.to_string(),
+            })?;
+        let result = self.call_on(&*ep, target, method, args, false);
+        ep.close();
+        result
+    }
+
+    /// Fire-and-forget invocation: the server dispatches the method but
+    /// sends no reply. Used for notifications and broadcast-style calls.
+    pub fn notify(&self, target: &ObjRef, method: u32, args: Bytes) -> Result<(), OrbError> {
+        let ep = self
+            .rt
+            .open(PortReq::Ephemeral)
+            .map_err(|e| OrbError::Transport {
+                what: e.to_string(),
+            })?;
+        let r = self.send_request(&*ep, target, method, args, true);
+        ep.close();
+        r.map(|_| ())
+    }
+
+    fn send_request(
+        &self,
+        ep: &dyn ocs_sim::Endpoint,
+        target: &ObjRef,
+        method: u32,
+        args: Bytes,
+        oneway: bool,
+    ) -> Result<u64, OrbError> {
+        let (body, auth_blob) = self.auth.seal(args);
+        let request_id = self.rt.rand_u64();
+        let req = Request {
+            request_id,
+            object_id: target.object_id,
+            incarnation: target.incarnation,
+            type_id: target.type_id,
+            method,
+            oneway,
+            principal: self.auth.principal(),
+            auth: auth_blob,
+            body,
+        };
+        let mut e = ocs_wire::Encoder::with_capacity(req.body.len() + 64);
+        e.put_u8(FRAME_REQUEST);
+        req.encode_into(&mut e);
+        ep.send(target.addr, e.finish())
+            .map_err(|err| OrbError::Transport {
+                what: err.to_string(),
+            })?;
+        Ok(request_id)
+    }
+
+    fn call_on(
+        &self,
+        ep: &dyn ocs_sim::Endpoint,
+        target: &ObjRef,
+        method: u32,
+        args: Bytes,
+        oneway: bool,
+    ) -> Result<Bytes, OrbError> {
+        let request_id = self.send_request(ep, target, method, args, oneway)?;
+        let deadline = self.rt.now() + self.opts.timeout;
+        loop {
+            let now = self.rt.now();
+            if now >= deadline {
+                return Err(OrbError::Timeout);
+            }
+            let remaining = deadline - now;
+            match ep.recv(Some(remaining)) {
+                Ok((_from, msg)) => {
+                    let Some((kind, rest)) = msg.split_first() else {
+                        continue;
+                    };
+                    if *kind != FRAME_REPLY {
+                        continue; // Stray frame; ignore.
+                    }
+                    let Ok(reply) = Reply::from_bytes(rest) else {
+                        continue; // Corrupt frame; keep waiting.
+                    };
+                    if reply.request_id != request_id {
+                        continue; // Stale reply from an earlier call.
+                    }
+                    return match reply.result {
+                        Ok(body) => self.auth.unseal_reply(body).ok_or(OrbError::AuthFailed),
+                        Err(e) => Err(e),
+                    };
+                }
+                Err(RecvError::Unreachable(addr)) if addr == target.addr => {
+                    return Err(OrbError::ObjectDead);
+                }
+                Err(RecvError::Unreachable(_)) => continue,
+                Err(RecvError::TimedOut) => return Err(OrbError::Timeout),
+                Err(RecvError::Closed) => {
+                    return Err(OrbError::Transport {
+                        what: "reply endpoint closed".to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_timeout_is_seconds_scale() {
+        let opts = CallOpts::default();
+        assert!(opts.timeout >= Duration::from_secs(1));
+        assert!(opts.timeout <= Duration::from_secs(10));
+    }
+}

@@ -1,0 +1,277 @@
+//! Server-side object table and request dispatch loop.
+//!
+//! An [`Orb`] corresponds to one *service process* in the paper: it owns
+//! a request endpoint, an incarnation timestamp minted at start-up, and
+//! the table of objects the process exports. When the process dies, the
+//! endpoint closes (so in-flight requests bounce) and any references
+//! carrying the old incarnation are rejected by a successor — exactly the
+//! §3.2.1 lifetime rule for object references.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ocs_sim::{Addr, Endpoint, NetError, PortReq, RecvError, Rt};
+use ocs_wire::Wire;
+
+use crate::auth::{NoAuth, ServerAuth};
+use crate::types::{Caller, ObjRef, OrbError, Reply, Request, FRAME_REPLY, FRAME_REQUEST};
+
+/// A dispatchable object implementation, produced by the
+/// [`declare_interface!`](crate::declare_interface) macro's generated
+/// `*Servant` adapters.
+pub trait Servant: Send + Sync {
+    /// The interface type id this servant implements.
+    fn type_id(&self) -> u32;
+
+    /// Unmarshals arguments, invokes the method, and returns the
+    /// marshalled reply body (a wire-encoded `Result<T, E>`).
+    fn dispatch(&self, caller: &Caller, method: u32, args: &[u8]) -> Result<Bytes, OrbError>;
+}
+
+/// How the server loop handles concurrent requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadModel {
+    /// One request at a time. Simple, but the process cannot respond
+    /// while a handler blocks — the behaviour that defeated ping-based
+    /// liveness checks in the paper (§7.2). Services whose handlers make
+    /// nested remote calls should not use this model.
+    SingleThreaded,
+    /// A fresh process per request; handlers may block and make nested
+    /// calls freely.
+    PerRequest,
+}
+
+struct Exported {
+    servant: Arc<dyn Servant>,
+}
+
+/// The per-process object request broker.
+pub struct Orb {
+    rt: Rt,
+    ep: Arc<dyn Endpoint>,
+    incarnation: u64,
+    threading: ThreadModel,
+    auth: Arc<dyn ServerAuth>,
+    objects: parking_lot::Mutex<std::collections::HashMap<u64, Exported>>,
+    next_obj: AtomicU64,
+    started: AtomicU64,
+}
+
+impl Orb {
+    /// Creates an ORB listening on `port` with a fresh random incarnation.
+    pub fn new(rt: Rt, port: PortReq) -> Result<Arc<Orb>, NetError> {
+        Orb::build(rt, port, ThreadModel::PerRequest, None, Arc::new(NoAuth))
+    }
+
+    /// Creates an ORB with full control over threading, incarnation and
+    /// authentication. Pass `incarnation: Some(ObjRef::STABLE)` for
+    /// services (like the name service) whose references must survive
+    /// restarts.
+    pub fn build(
+        rt: Rt,
+        port: PortReq,
+        threading: ThreadModel,
+        incarnation: Option<u64>,
+        auth: Arc<dyn ServerAuth>,
+    ) -> Result<Arc<Orb>, NetError> {
+        let ep = rt.open(port)?;
+        // The endpoint must track the lifetime of the *serving* process,
+        // not whichever boot code constructed the ORB: detach it now and
+        // let the serve loop adopt it.
+        ep.disown();
+        let incarnation = incarnation.unwrap_or_else(|| {
+            // Random, but never the STABLE sentinel.
+            rt.rand_u64() | 1
+        });
+        Ok(Arc::new(Orb {
+            rt,
+            ep,
+            incarnation,
+            threading,
+            auth,
+            objects: parking_lot::Mutex::new(Default::default()),
+            next_obj: AtomicU64::new(1),
+            started: AtomicU64::new(0),
+        }))
+    }
+
+    /// The address of this ORB's request endpoint.
+    pub fn addr(&self) -> Addr {
+        self.ep.local()
+    }
+
+    /// This process's incarnation timestamp.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
+    /// The node runtime this ORB runs on.
+    pub fn rt(&self) -> &Rt {
+        &self.rt
+    }
+
+    /// Exports the process's root object (object id 0) and returns its
+    /// reference. Most services export exactly one object (§9.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a root object is already exported.
+    pub fn export_root(&self, servant: Arc<dyn Servant>) -> ObjRef {
+        let type_id = servant.type_id();
+        let mut objects = self.objects.lock();
+        assert!(
+            !objects.contains_key(&0),
+            "root object already exported on this ORB"
+        );
+        objects.insert(0, Exported { servant });
+        self.objref_for(0, type_id)
+    }
+
+    /// Exports a dynamically created object under a fresh object id and
+    /// returns its reference (the Media Delivery Service does this for
+    /// every open movie).
+    pub fn export(&self, servant: Arc<dyn Servant>) -> ObjRef {
+        let id = self.next_obj.fetch_add(1, Ordering::Relaxed);
+        let type_id = servant.type_id();
+        self.objects.lock().insert(id, Exported { servant });
+        self.objref_for(id, type_id)
+    }
+
+    /// Exports an object under a caller-chosen id, replacing any previous
+    /// object at that id. The name service uses this so that replicated
+    /// context objects receive identical ids on every replica.
+    pub fn export_at(&self, object_id: u64, servant: Arc<dyn Servant>) -> ObjRef {
+        let type_id = servant.type_id();
+        self.objects.lock().insert(object_id, Exported { servant });
+        // Keep dynamically assigned ids clear of caller-chosen ones.
+        self.next_obj.fetch_max(object_id + 1, Ordering::Relaxed);
+        self.objref_for(object_id, type_id)
+    }
+
+    /// Withdraws a dynamically created object; later calls on its
+    /// references fail with `UnknownObject`.
+    pub fn unexport(&self, object_id: u64) {
+        self.objects.lock().remove(&object_id);
+    }
+
+    /// Number of currently exported objects.
+    pub fn exported_count(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    fn objref_for(&self, object_id: u64, type_id: u32) -> ObjRef {
+        ObjRef {
+            addr: self.ep.local(),
+            incarnation: self.incarnation,
+            type_id,
+            object_id,
+        }
+    }
+
+    /// Shuts the ORB down: closes the request endpoint, so the serve
+    /// loop exits and in-flight requests from clients bounce. Used by
+    /// services that terminate deliberately (and by tests simulating a
+    /// service crash).
+    pub fn shutdown(&self) {
+        self.ep.close();
+    }
+
+    /// Starts the request loop in a new process on this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(self: &Arc<Self>) {
+        let already = self.started.swap(1, Ordering::Relaxed);
+        assert_eq!(already, 0, "Orb::start called twice");
+        let orb = Arc::clone(self);
+        self.rt.spawn(
+            "orb-server",
+            Box::new(move || {
+                orb.serve_loop();
+            }),
+        );
+    }
+
+    /// The request loop body; public so tests and custom service mains
+    /// can run it inline in an existing process.
+    pub fn serve_loop(self: &Arc<Self>) {
+        self.ep.adopt();
+        loop {
+            match self.ep.recv(None) {
+                Ok((from, msg)) => self.handle_frame(from, msg),
+                Err(RecvError::Unreachable(_)) => continue,
+                Err(RecvError::TimedOut) => continue,
+                Err(RecvError::Closed) => return,
+            }
+        }
+    }
+
+    fn handle_frame(self: &Arc<Self>, from: Addr, msg: Bytes) {
+        let Some((&kind, rest)) = msg.split_first() else {
+            return;
+        };
+        if kind != FRAME_REQUEST {
+            return;
+        }
+        let Ok(req) = Request::from_bytes(rest) else {
+            return; // Corrupt request; nothing to reply to.
+        };
+        match self.threading {
+            ThreadModel::SingleThreaded => self.handle_request(from, req),
+            ThreadModel::PerRequest => {
+                let orb = Arc::clone(self);
+                self.rt.spawn(
+                    "orb-worker",
+                    Box::new(move || {
+                        orb.handle_request(from, req);
+                    }),
+                );
+            }
+        }
+    }
+
+    fn handle_request(&self, from: Addr, req: Request) {
+        let oneway = req.oneway;
+        let request_id = req.request_id;
+        let principal = req.principal.clone();
+        let result = self.dispatch_request(from, req);
+        if oneway {
+            return;
+        }
+        let result = result.map(|body| self.auth.seal_reply(&principal, body));
+        let reply = Reply { request_id, result };
+        let mut e = ocs_wire::Encoder::new();
+        e.put_u8(FRAME_REPLY);
+        reply.encode_into(&mut e);
+        let _ = self.ep.send(from, e.finish());
+    }
+
+    fn dispatch_request(&self, from: Addr, req: Request) -> Result<Bytes, OrbError> {
+        // Incarnation check: stale references (from before this process
+        // was last restarted) are rejected so clients re-resolve.
+        if req.incarnation != ObjRef::STABLE && req.incarnation != self.incarnation {
+            return Err(OrbError::ObjectDead);
+        }
+        let body = self
+            .auth
+            .unseal(&req.principal, &req.auth, req.body)
+            .ok_or(OrbError::AuthFailed)?;
+        let servant = {
+            let objects = self.objects.lock();
+            objects
+                .get(&req.object_id)
+                .map(|e| Arc::clone(&e.servant))
+                .ok_or(OrbError::UnknownObject)?
+        };
+        if servant.type_id() != req.type_id {
+            return Err(OrbError::WrongType);
+        }
+        let caller = Caller {
+            principal: req.principal,
+            node: from.node,
+        };
+        servant.dispatch(&caller, req.method, &body)
+    }
+}

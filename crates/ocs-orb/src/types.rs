@@ -1,0 +1,316 @@
+//! Core wire-visible types of the object exchange layer: object
+//! references, callers, errors and the request/reply frames.
+
+use std::fmt;
+
+use bytes::Bytes;
+use ocs_sim::{Addr, NodeId};
+use ocs_wire::{impl_wire_enum, impl_wire_struct};
+
+/// A reference to a remote (or local) object, exactly as §3.2.1 of the
+/// paper describes it:
+///
+/// > *the IP address and port number of the server process implementing
+/// > the object; a timestamp, used to prevent use of this reference after
+/// > the implementing process dies; an object type identifier; and an
+/// > object id, which identifies this object amongst those defined by the
+/// > implementing process. Typically the object id is null, because most
+/// > services export only one object.*
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjRef {
+    /// Address of the server process's request endpoint.
+    pub addr: Addr,
+    /// Incarnation timestamp of the implementing process. A reference
+    /// with a stale incarnation is rejected with `InvalidRef`, which the
+    /// client surfaces as [`OrbError::ObjectDead`]. The value
+    /// [`ObjRef::STABLE`] opts out of the check (used by the name
+    /// service, whose references survive restarts).
+    pub incarnation: u64,
+    /// Interface type identifier (FNV-1a of the interface name).
+    pub type_id: u32,
+    /// Object id within the implementing process; 0 for the root object.
+    pub object_id: u64,
+}
+
+impl ObjRef {
+    /// Incarnation value meaning "valid across restarts".
+    pub const STABLE: u64 = 0;
+}
+
+impl fmt::Debug for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ObjRef({} inc={} ty={:08x} id={})",
+            self.addr, self.incarnation, self.type_id, self.object_id
+        )
+    }
+}
+
+impl_wire_struct!(ObjRef {
+    addr,
+    incarnation,
+    type_id,
+    object_id
+});
+
+/// The authenticated identity of a request's sender, surfaced to every
+/// servant method (the paper: "each incoming call on an object contains
+/// the caller's identity", §9.2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Caller {
+    /// Verified principal name ("anonymous" when authentication is off).
+    pub principal: String,
+    /// The node the request arrived from; selectors use this the way the
+    /// paper's selectors use the caller's IP address (§5.1).
+    pub node: NodeId,
+}
+
+impl Caller {
+    /// A caller value for in-process (non-RPC) invocations.
+    pub fn local(node: NodeId) -> Caller {
+        Caller {
+            principal: "local".to_string(),
+            node,
+        }
+    }
+}
+
+/// System-level errors raised by the object exchange layer itself
+/// (as opposed to application errors declared in interfaces).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrbError {
+    /// No reply within the call timeout: the host may be down or
+    /// partitioned. The reference may still be valid.
+    Timeout,
+    /// The implementing process is gone: the transport bounced the
+    /// request, or the server rejected a stale incarnation. The client
+    /// must re-resolve the service (§8.2).
+    ObjectDead,
+    /// The reference's type id does not match the target interface.
+    WrongType,
+    /// The object id is not exported by the target process.
+    UnknownObject,
+    /// The method id is not defined by the interface.
+    UnknownMethod,
+    /// Arguments or reply failed to decode.
+    Decode { what: String },
+    /// The server rejected the caller's credentials.
+    AuthFailed,
+    /// The local endpoint could not be opened or used.
+    Transport { what: String },
+    /// The server reported an internal failure.
+    Internal { what: String },
+}
+
+impl OrbError {
+    /// Whether the error indicates the reference is permanently dead and
+    /// the client should re-resolve (the §8.2 rebind trigger).
+    pub fn is_dead_reference(&self) -> bool {
+        matches!(self, OrbError::ObjectDead)
+    }
+
+    /// Whether retrying the same reference might succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OrbError::Timeout | OrbError::Transport { .. })
+    }
+}
+
+impl fmt::Display for OrbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrbError::Timeout => write!(f, "call timed out"),
+            OrbError::ObjectDead => write!(f, "object reference is dead"),
+            OrbError::WrongType => write!(f, "reference type mismatch"),
+            OrbError::UnknownObject => write!(f, "unknown object id"),
+            OrbError::UnknownMethod => write!(f, "unknown method id"),
+            OrbError::Decode { what } => write!(f, "decode error: {what}"),
+            OrbError::AuthFailed => write!(f, "authentication failed"),
+            OrbError::Transport { what } => write!(f, "transport error: {what}"),
+            OrbError::Internal { what } => write!(f, "server internal error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OrbError {}
+
+impl_wire_enum!(OrbError {
+    0 => Timeout,
+    1 => ObjectDead,
+    2 => WrongType,
+    3 => UnknownObject,
+    4 => UnknownMethod,
+    5 => Decode { what },
+    6 => AuthFailed,
+    7 => Transport { what },
+    8 => Internal { what },
+});
+
+/// Application error types that can also carry transport failures.
+///
+/// Every interface error enum provides a variant holding an [`OrbError`]
+/// so that client stubs return a single error type; the
+/// [`impl_rpc_fault!`](crate::impl_rpc_fault) macro generates this impl.
+pub trait RpcFault: Sized {
+    /// Wraps a system-level error.
+    fn from_orb(e: OrbError) -> Self;
+    /// The wrapped system-level error, if this is one.
+    fn orb_error(&self) -> Option<&OrbError>;
+
+    /// Whether this failure means the target reference is dead and the
+    /// caller should re-resolve and retry (§8.2).
+    fn is_dead_reference(&self) -> bool {
+        self.orb_error().is_some_and(|e| e.is_dead_reference())
+    }
+}
+
+impl RpcFault for OrbError {
+    fn from_orb(e: OrbError) -> Self {
+        e
+    }
+    fn orb_error(&self) -> Option<&OrbError> {
+        Some(self)
+    }
+}
+
+/// Implements [`RpcFault`] for an interface error enum with a
+/// `Comm { err: OrbError }` variant.
+///
+/// # Examples
+///
+/// ```
+/// use ocs_orb::{impl_rpc_fault, OrbError, RpcFault};
+/// use ocs_wire::impl_wire_enum;
+///
+/// #[derive(Debug, PartialEq)]
+/// enum MyError {
+///     NotFound,
+///     Comm { err: OrbError },
+/// }
+/// impl_wire_enum!(MyError { 0 => NotFound, 1 => Comm { err } });
+/// impl_rpc_fault!(MyError);
+///
+/// assert!(MyError::from_orb(OrbError::ObjectDead).is_dead_reference());
+/// assert!(MyError::NotFound.orb_error().is_none());
+/// ```
+#[macro_export]
+macro_rules! impl_rpc_fault {
+    ($name:ident) => {
+        impl $crate::RpcFault for $name {
+            fn from_orb(err: $crate::OrbError) -> Self {
+                $name::Comm { err }
+            }
+            fn orb_error(&self) -> Option<&$crate::OrbError> {
+                match self {
+                    $name::Comm { err } => Some(err),
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+/// A generated client proxy type, bindable to an object reference.
+///
+/// Implemented by every `*Client` type that
+/// [`declare_interface!`](crate::declare_interface) generates; lets
+/// generic code (like the name-service typed resolver) bind proxies
+/// without naming the concrete type.
+pub trait Proxy: Sized {
+    /// The interface's type identifier.
+    const TYPE_ID: u32;
+
+    /// Binds a proxy to a reference, checking its type id.
+    fn bind_ref(ctx: crate::ClientCtx, target: ObjRef) -> Result<Self, OrbError>;
+
+    /// The bound object reference.
+    fn target_ref(&self) -> ObjRef;
+}
+
+/// Frame kind discriminants (first byte of every ORB message).
+pub(crate) const FRAME_REQUEST: u8 = 1;
+pub(crate) const FRAME_REPLY: u8 = 2;
+
+/// A request frame as carried on the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Request {
+    pub request_id: u64,
+    pub object_id: u64,
+    pub incarnation: u64,
+    pub type_id: u32,
+    pub method: u32,
+    /// When set, the server dispatches but sends no reply.
+    pub oneway: bool,
+    pub principal: String,
+    pub auth: Bytes,
+    pub body: Bytes,
+}
+
+impl_wire_struct!(Request {
+    request_id,
+    object_id,
+    incarnation,
+    type_id,
+    method,
+    oneway,
+    principal,
+    auth,
+    body
+});
+
+/// A reply frame: either an application-level body (itself a
+/// wire-encoded `Result<T, E>`) or a system error.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Reply {
+    pub request_id: u64,
+    pub result: Result<Bytes, OrbError>,
+}
+
+impl_wire_struct!(Reply { request_id, result });
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_sim::NodeId;
+    use ocs_wire::Wire;
+
+    #[test]
+    fn objref_round_trips() {
+        let r = ObjRef {
+            addr: Addr::new(NodeId(4), 1234),
+            incarnation: 99,
+            type_id: 0xdead_beef,
+            object_id: 7,
+        };
+        assert_eq!(ObjRef::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let req = Request {
+            request_id: 1,
+            object_id: 0,
+            incarnation: 5,
+            type_id: 9,
+            method: 2,
+            oneway: false,
+            principal: "settop-12".into(),
+            auth: Bytes::from_static(b"sig"),
+            body: Bytes::from_static(b"args"),
+        };
+        assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+        let rep = Reply {
+            request_id: 1,
+            result: Err(OrbError::WrongType),
+        };
+        assert_eq!(Reply::from_bytes(&rep.to_bytes()).unwrap(), rep);
+    }
+
+    #[test]
+    fn error_classification() {
+        assert!(OrbError::ObjectDead.is_dead_reference());
+        assert!(!OrbError::Timeout.is_dead_reference());
+        assert!(OrbError::Timeout.is_retryable());
+        assert!(!OrbError::WrongType.is_retryable());
+    }
+}

@@ -1,0 +1,180 @@
+//! The resource-recovery alternatives of §7.1, as pure lease/timeout
+//! tables plus harness notes.
+//!
+//! The paper weighed four designs before choosing the RAS:
+//!
+//! 1. **Duration timeouts** — estimate how long a resource will be used
+//!    and revoke at the deadline. "Too conservative": long estimates leak
+//!    for a long time, short ones revoke live sessions.
+//! 2. **Short leases** — grant briefly, require the client to renew.
+//!    Bounds leakage tightly but "could consume too much network
+//!    bandwidth and server CPU cycles" at scale.
+//! 3. **Per-service client tracking** — every service pings its own
+//!    clients. Message cost proportional to (services × clients).
+//! 4. **Centralized audit (the RAS)** — one tracker per server; services
+//!    ask locally, RAS instances poll each other node-to-node.
+//!
+//! The tables here implement the bookkeeping for (1) and (2); experiment
+//! E3 composes them (and (3)/(4)) into full client/server setups and
+//! measures messages per second and leaked resource-seconds.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use ocs_sim::SimTime;
+
+/// Duration-timeout bookkeeping (§7.1 alternative 1): each grant carries
+/// an absolute deadline; resources are reclaimed at the deadline whether
+/// or not the holder is alive.
+#[derive(Default)]
+pub struct DurationTable<K: Eq + Hash + Clone> {
+    grants: HashMap<K, SimTime>,
+}
+
+impl<K: Eq + Hash + Clone> DurationTable<K> {
+    /// Creates an empty table.
+    pub fn new() -> DurationTable<K> {
+        DurationTable {
+            grants: HashMap::new(),
+        }
+    }
+
+    /// Records a grant expiring at `deadline`.
+    pub fn grant(&mut self, key: K, deadline: SimTime) {
+        self.grants.insert(key, deadline);
+    }
+
+    /// Releases a grant explicitly (the normal path).
+    pub fn release(&mut self, key: &K) -> bool {
+        self.grants.remove(key).is_some()
+    }
+
+    /// Removes and returns all grants whose deadline has passed.
+    pub fn reap(&mut self, now: SimTime) -> Vec<K> {
+        let expired: Vec<K> = self
+            .grants
+            .iter()
+            .filter(|(_, d)| **d <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &expired {
+            self.grants.remove(k);
+        }
+        expired
+    }
+
+    /// Outstanding grants.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether no grants are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+}
+
+/// Short-lease bookkeeping (§7.1 alternative 2): grants expire unless
+/// renewed within the lease interval.
+#[derive(Default)]
+pub struct LeaseTable<K: Eq + Hash + Clone> {
+    leases: HashMap<K, SimTime>,
+}
+
+impl<K: Eq + Hash + Clone> LeaseTable<K> {
+    /// Creates an empty table.
+    pub fn new() -> LeaseTable<K> {
+        LeaseTable {
+            leases: HashMap::new(),
+        }
+    }
+
+    /// Grants or renews a lease until `expires`.
+    pub fn renew(&mut self, key: K, expires: SimTime) {
+        self.leases.insert(key, expires);
+    }
+
+    /// Releases a lease explicitly.
+    pub fn release(&mut self, key: &K) -> bool {
+        self.leases.remove(key).is_some()
+    }
+
+    /// Whether the lease is currently valid.
+    pub fn valid(&self, key: &K, now: SimTime) -> bool {
+        self.leases.get(key).map(|e| *e > now).unwrap_or(false)
+    }
+
+    /// Removes and returns all lapsed leases.
+    pub fn reap(&mut self, now: SimTime) -> Vec<K> {
+        let lapsed: Vec<K> = self
+            .leases
+            .iter()
+            .filter(|(_, e)| **e <= now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &lapsed {
+            self.leases.remove(k);
+        }
+        lapsed
+    }
+
+    /// Outstanding leases.
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Whether no leases are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn duration_table_reaps_at_deadline() {
+        let mut d = DurationTable::new();
+        d.grant("movie-1", t(100));
+        d.grant("movie-2", t(200));
+        assert_eq!(d.len(), 2);
+        assert!(d.reap(t(50)).is_empty());
+        let expired = d.reap(t(150));
+        assert_eq!(expired, vec!["movie-1"]);
+        assert_eq!(d.len(), 1);
+        // Explicit release beats the deadline.
+        assert!(d.release(&"movie-2"));
+        assert!(d.reap(t(1000)).is_empty());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn lease_table_requires_renewal() {
+        let mut l = LeaseTable::new();
+        l.renew("conn-1", t(10));
+        assert!(l.valid(&"conn-1", t(5)));
+        assert!(!l.valid(&"conn-1", t(10)));
+        // Renewal extends.
+        l.renew("conn-1", t(20));
+        assert!(l.valid(&"conn-1", t(15)));
+        // Lapse reaps.
+        let lapsed = l.reap(t(25));
+        assert_eq!(lapsed, vec!["conn-1"]);
+        assert!(l.is_empty());
+        assert!(!l.valid(&"conn-1", t(26)));
+    }
+
+    #[test]
+    fn release_prevents_reap() {
+        let mut l = LeaseTable::new();
+        l.renew(1u32, t(10));
+        assert!(l.release(&1));
+        assert!(!l.release(&1));
+        assert!(l.reap(t(100)).is_empty());
+    }
+}

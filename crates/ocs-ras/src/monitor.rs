@@ -1,0 +1,118 @@
+//! The client-side callback library over `checkStatus` (§7.2).
+//!
+//! The paper deliberately implements failure callbacks in *library code*
+//! rather than in the RAS itself: "the RAS is not forced to remember
+//! callbacks when it recovers after a failure". [`RasMonitor`] is that
+//! library: services register a callback per entity; a poll process
+//! invokes `checkStatus` for all watched entities and fires callbacks
+//! for the dead ones.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ocs_orb::{ClientCtx, ObjRef};
+use ocs_sim::{Addr, NodeId, NodeRtExt, Rt};
+use parking_lot::Mutex;
+
+use crate::types::{EntityId, EntityStatus, RasApiClient};
+
+/// A watch callback: invoked once when the entity is found dead.
+pub type DeathCallback = Box<dyn FnOnce() + Send>;
+
+struct Watch {
+    entity: EntityId,
+    cb: Option<DeathCallback>,
+}
+
+/// Client library polling the local RAS and dispatching death callbacks.
+pub struct RasMonitor {
+    rt: Rt,
+    ras: RasApiClient,
+    watches: Mutex<Vec<Watch>>,
+}
+
+impl RasMonitor {
+    /// Creates a monitor polling the RAS at `ras_addr` every `interval`
+    /// (the paper's MMS polls its local RAS; §9.7 uses 10 s).
+    pub fn start(rt: Rt, ras_addr: Addr, interval: Duration) -> Arc<RasMonitor> {
+        let target = ObjRef {
+            addr: ras_addr,
+            incarnation: ObjRef::STABLE,
+            type_id: RasApiClient::TYPE_ID,
+            object_id: 0,
+        };
+        let ctx = ClientCtx::new(rt.clone()).with_timeout(interval / 2);
+        let ras = RasApiClient::attach(ctx, target).expect("type id matches");
+        let monitor = Arc::new(RasMonitor {
+            rt: rt.clone(),
+            ras,
+            watches: Mutex::new(Vec::new()),
+        });
+        let m = Arc::clone(&monitor);
+        rt.spawn_fn("ras-monitor", move || m.poll_loop(interval));
+        monitor
+    }
+
+    /// Registers a death callback for an entity.
+    pub fn watch(&self, entity: EntityId, cb: DeathCallback) {
+        self.watches.lock().push(Watch {
+            entity,
+            cb: Some(cb),
+        });
+    }
+
+    /// Convenience: watch a settop.
+    pub fn watch_settop(&self, node: NodeId, cb: DeathCallback) {
+        self.watch(EntityId::Settop { node }, cb);
+    }
+
+    /// Convenience: watch a service object.
+    pub fn watch_object(&self, obj: ObjRef, cb: DeathCallback) {
+        self.watch(EntityId::Object { obj }, cb);
+    }
+
+    /// Stops watching an entity (e.g. the resource was released cleanly).
+    pub fn unwatch(&self, entity: &EntityId) {
+        self.watches.lock().retain(|w| w.entity != *entity);
+    }
+
+    /// Number of active watches.
+    pub fn watch_count(&self) -> usize {
+        self.watches.lock().len()
+    }
+
+    fn poll_loop(self: Arc<Self>, interval: Duration) {
+        loop {
+            self.rt.sleep(interval);
+            let entities: Vec<EntityId> = {
+                let watches = self.watches.lock();
+                watches.iter().map(|w| w.entity).collect()
+            };
+            if entities.is_empty() {
+                continue;
+            }
+            let Ok(statuses) = self.ras.check_status(entities.clone()) else {
+                continue; // Local RAS restarting; retry next round.
+            };
+            let mut fired: Vec<DeathCallback> = Vec::new();
+            {
+                let mut watches = self.watches.lock();
+                for (entity, status) in entities.iter().zip(statuses) {
+                    if status == EntityStatus::Dead {
+                        for w in watches.iter_mut() {
+                            if w.entity == *entity {
+                                if let Some(cb) = w.cb.take() {
+                                    fired.push(cb);
+                                }
+                            }
+                        }
+                    }
+                }
+                watches.retain(|w| w.cb.is_some());
+            }
+            for cb in fired {
+                cb();
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Adapter exposing `checkStatus` as the name service's liveness oracle,
+//! closing the §4.7 loop: "the name service uses the Resource Audit
+//! Service to determine if a service object is alive or dead and removes
+//! an object within a few seconds of its death."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ocs_name::LivenessOracle;
+use ocs_orb::{ClientCtx, ObjRef};
+use ocs_sim::{Addr, Rt};
+
+use crate::types::{EntityId, EntityStatus, RasApiClient};
+
+/// A [`LivenessOracle`] backed by a (typically local) RAS instance.
+pub struct RasOracle {
+    ras: RasApiClient,
+}
+
+impl RasOracle {
+    /// Creates the oracle against the RAS at `ras_addr`.
+    pub fn new(rt: Rt, ras_addr: Addr) -> Arc<RasOracle> {
+        let target = ObjRef {
+            addr: ras_addr,
+            incarnation: ObjRef::STABLE,
+            type_id: RasApiClient::TYPE_ID,
+            object_id: 0,
+        };
+        let ctx = ClientCtx::new(rt).with_timeout(Duration::from_secs(1));
+        Arc::new(RasOracle {
+            ras: RasApiClient::attach(ctx, target).expect("type id matches"),
+        })
+    }
+}
+
+impl LivenessOracle for RasOracle {
+    fn check(&self, objs: &[(String, ObjRef)]) -> Vec<bool> {
+        let entities: Vec<EntityId> = objs
+            .iter()
+            .map(|(_, obj)| EntityId::Object { obj: *obj })
+            .collect();
+        match self.ras.check_status(entities) {
+            Ok(statuses) => statuses
+                .into_iter()
+                // Only a positive Dead verdict unbinds; Unknown is
+                // treated as alive (the RAS is still learning).
+                .map(|s| s != EntityStatus::Dead)
+                .collect(),
+            // RAS unreachable (e.g. restarting): keep everything.
+            Err(_) => vec![true; objs.len()],
+        }
+    }
+}

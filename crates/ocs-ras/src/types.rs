@@ -1,0 +1,138 @@
+//! Wire types and interfaces of the Resource Audit Service (§7) and the
+//! Settop Manager (§3.3).
+
+use std::fmt;
+
+use ocs_orb::{declare_interface, impl_rpc_fault, ObjRef, OrbError};
+use ocs_sim::NodeId;
+use ocs_wire::impl_wire_enum;
+
+/// An entity whose liveness the RAS tracks: a settop computer or a
+/// service object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityId {
+    /// A settop, identified by its host.
+    Settop { node: NodeId },
+    /// A service object, identified by its full reference (address,
+    /// incarnation, type, id) — so a restarted service's new objects are
+    /// distinct entities from its dead predecessor's.
+    Object { obj: ObjRef },
+}
+
+impl_wire_enum!(EntityId {
+    0 => Settop { node },
+    1 => Object { obj },
+});
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EntityId::Settop { node } => write!(f, "settop:{node}"),
+            EntityId::Object { obj } => write!(f, "object:{obj:?}"),
+        }
+    }
+}
+
+/// Liveness verdict for an entity.
+///
+/// `Unknown` is the RAS's cold-start answer (§7.2: "the first time that
+/// it is asked about the state of a service or settop, the RAS records
+/// that entity with status unknown") and must be treated as
+/// possibly-alive by consumers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntityStatus {
+    /// Not yet determined; monitoring has just begun.
+    Unknown,
+    /// Positively known alive.
+    Alive,
+    /// Positively known dead; resources may be reclaimed.
+    Dead,
+}
+
+impl_wire_enum!(EntityStatus {
+    0 => Unknown,
+    1 => Alive,
+    2 => Dead,
+});
+
+/// Errors from the RAS and Settop Manager.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RasError {
+    /// Transport failure.
+    Comm { err: OrbError },
+}
+
+impl fmt::Display for RasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasError::Comm { err } => write!(f, "communication failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RasError {}
+
+impl_wire_enum!(RasError {
+    0 => Comm { err },
+});
+impl_rpc_fault!(RasError);
+
+declare_interface! {
+    /// The Resource Audit Service interface: the single `checkStatus`
+    /// operation of §7.2, which "accepts a list of service and settop
+    /// objects and returns the status of each" and "returns immediately
+    /// and does not block for the RAS to contact other services".
+    pub interface RasApi [RasApiClient, RasApiServant]: "ocs.ras" {
+        /// Status of each entity; unknown entities begin being tracked.
+        1 => fn check_status(&self, entities: Vec<EntityId>) -> Result<Vec<EntityStatus>, RasError>;
+    }
+}
+
+declare_interface! {
+    /// The Settop Manager (§3.3): "maintains information on settop
+    /// status (up or down)".
+    pub interface SettopMgrApi [SettopMgrClient, SettopMgrServant]: "ocs.settop-mgr" {
+        /// A settop announces itself after boot; the manager starts
+        /// pinging its agent port.
+        1 => fn register(&self, settop: NodeId, agent_port: u16) -> Result<(), RasError>;
+        /// Status of the given settops.
+        2 => fn status(&self, settops: Vec<NodeId>) -> Result<Vec<EntityStatus>, RasError>;
+    }
+}
+
+declare_interface! {
+    /// The tiny agent every settop runs so the Settop Manager can ping it.
+    pub interface SettopAgent [SettopAgentClient, SettopAgentServant]: "itv.settop-agent" {
+        /// Liveness probe; echoes a counter.
+        1 => fn ping(&self, seq: u64) -> Result<u64, RasError>;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_sim::Addr;
+    use ocs_wire::Wire;
+
+    #[test]
+    fn entities_round_trip() {
+        let e1 = EntityId::Settop { node: NodeId(9) };
+        let e2 = EntityId::Object {
+            obj: ObjRef {
+                addr: Addr::new(NodeId(1), 22),
+                incarnation: 7,
+                type_id: 3,
+                object_id: 4,
+            },
+        };
+        assert_eq!(EntityId::from_bytes(&e1.to_bytes()).unwrap(), e1);
+        assert_eq!(EntityId::from_bytes(&e2.to_bytes()).unwrap(), e2);
+        for s in [
+            EntityStatus::Unknown,
+            EntityStatus::Alive,
+            EntityStatus::Dead,
+        ] {
+            assert_eq!(EntityStatus::from_bytes(&s.to_bytes()).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,1105 @@
+//! The discrete-event kernel: virtual time, processes, endpoints, links.
+//!
+//! Every simulated *process* is backed by an OS thread, but the kernel
+//! runs exactly one of them at a time: the scheduler thread (whoever calls
+//! [`run_until`](crate::Sim::run_until)) and the process threads hand a
+//! baton back and forth through per-process condvars. Blocking operations
+//! (sleep, receive, wait) register a wakeup in the event queue and yield
+//! the baton. Events are ordered by `(time, sequence)`, so a run is fully
+//! deterministic given its seed.
+//!
+//! The kernel also owns the network model: nodes, ports, per-link latency
+//! and bandwidth, partitions, message loss, and crash semantics (process
+//! death closes its ports and bounces later messages; node death is
+//! silence).
+
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rt::{Addr, NodeId};
+use crate::time::SimTime;
+
+pub(crate) type Pid = u64;
+pub(crate) type EpKey = Addr;
+
+/// Unwind payload used to terminate a killed process's thread quietly.
+pub(crate) struct KillSignal;
+
+/// First non-ephemeral port number handed out for `PortReq::Ephemeral`.
+pub(crate) const EPHEMERAL_BASE: u16 = 32768;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Turn {
+    Process,
+    Scheduler,
+}
+
+/// Baton for the scheduler <-> process handoff.
+pub(crate) struct ProcSync {
+    turn: Mutex<Turn>,
+    cv: Condvar,
+}
+
+impl ProcSync {
+    fn new() -> ProcSync {
+        ProcSync {
+            turn: Mutex::new(Turn::Scheduler),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Scheduler side: give the baton to the process, wait to get it back.
+    fn resume(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Process;
+        self.cv.notify_all();
+        while *turn != Turn::Scheduler {
+            self.cv.wait(&mut turn);
+        }
+    }
+
+    /// Process side: give the baton back and wait for the next turn.
+    fn yield_to_scheduler(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Scheduler;
+        self.cv.notify_all();
+        while *turn != Turn::Process {
+            self.cv.wait(&mut turn);
+        }
+    }
+
+    /// Process side, at thread exit: give the baton back without waiting.
+    fn release_final(&self) {
+        let mut turn = self.turn.lock();
+        *turn = Turn::Scheduler;
+        self.cv.notify_all();
+    }
+
+    /// Process side, at thread start: wait for the first turn.
+    fn wait_first_turn(&self) {
+        let mut turn = self.turn.lock();
+        while *turn != Turn::Process {
+            self.cv.wait(&mut turn);
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum PState {
+    Runnable,
+    Running,
+    Blocked,
+    Dead,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum WakeReason {
+    None,
+    Timeout,
+    Notified,
+    Delivered,
+    Killed,
+}
+
+pub(crate) struct Proc {
+    pub name: String,
+    pub node: Option<NodeId>,
+    /// Process group (inherited from the spawner), the unit of service
+    /// lifetime the Server Service Controller manages.
+    pub group: Option<u64>,
+    pub sync: Arc<ProcSync>,
+    pub state: PState,
+    pub wait_gen: u64,
+    pub killed: bool,
+    pub wake_reason: WakeReason,
+    pub join: Option<std::thread::JoinHandle<()>>,
+    /// Endpoints opened by this process; closed when it dies.
+    pub endpoints: Vec<EpKey>,
+}
+
+pub(crate) enum Item {
+    Msg(Addr, Bytes),
+    Unreach(Addr),
+}
+
+pub(crate) struct EpState {
+    pub open: bool,
+    pub owner: Pid,
+    pub queue: VecDeque<Item>,
+    pub waiters: VecDeque<(Pid, u64)>,
+}
+
+pub(crate) struct NodeState {
+    #[allow(dead_code)] // Diagnostic value, surfaced in future tooling.
+    pub name: String,
+    pub up: bool,
+    pub next_ephemeral: u16,
+}
+
+/// Per-directed-link model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Serialization bandwidth in bytes per second; `None` = infinite.
+    pub bandwidth: Option<u64>,
+    /// Probability in `[0, 1]` that a message on this link is lost.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// Latency-only link with no bandwidth limit or loss.
+    pub fn latency_only(latency: Duration) -> LinkParams {
+        LinkParams {
+            latency,
+            bandwidth: None,
+            loss: 0.0,
+        }
+    }
+}
+
+/// Network-wide default parameters; per-pair overrides take precedence.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Link used when source and destination node are the same.
+    pub local: LinkParams,
+    /// Link used between distinct nodes without an override.
+    pub default: LinkParams,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            local: LinkParams::latency_only(Duration::from_micros(20)),
+            default: LinkParams::latency_only(Duration::from_micros(500)),
+        }
+    }
+}
+
+/// Aggregate network statistics for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network by senders.
+    pub msgs_sent: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+    /// Messages enqueued at an open destination endpoint.
+    pub msgs_delivered: u64,
+    /// Messages dropped (dead node, partition, loss, closed-at-delivery).
+    pub msgs_dropped: u64,
+    /// Unreachable bounces generated (closed port on a live node).
+    pub bounces: u64,
+}
+
+enum EventKind {
+    Wake { pid: Pid, gen: u64 },
+    Deliver { to: Addr, item: Item },
+}
+
+struct Event {
+    at: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Event) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    // Reverse ordering so the BinaryHeap pops the earliest event first.
+    fn cmp(&self, other: &Event) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+pub(crate) struct WaitObjState {
+    waiters: VecDeque<(Pid, u64)>,
+    generation: u64,
+}
+
+pub(crate) struct Kernel {
+    pub now: u64,
+    seq: u64,
+    events: BinaryHeap<Event>,
+    pub procs: BTreeMap<Pid, Proc>,
+    next_pid: Pid,
+    pub runnable: VecDeque<Pid>,
+    pub shutdown: bool,
+    pub rng: SmallRng,
+    pub nodes: BTreeMap<NodeId, NodeState>,
+    next_node: u32,
+    pub endpoints: HashMap<EpKey, EpState>,
+    pub net_cfg: NetConfig,
+    pub link_overrides: HashMap<(NodeId, NodeId), LinkParams>,
+    link_free: HashMap<(NodeId, NodeId), u64>,
+    pub partitions: std::collections::HashSet<(NodeId, NodeId)>,
+    pub stats: NetStats,
+    pub counters: BTreeMap<String, u64>,
+    pub panics: Vec<String>,
+    pub(crate) next_group: u64,
+    next_waitobj: u64,
+    waitobjs: HashMap<u64, WaitObjState>,
+    pub trace: bool,
+}
+
+thread_local! {
+    static CUR_PID: std::cell::Cell<Option<Pid>> = const { std::cell::Cell::new(None) };
+}
+
+/// The pid of the simulated process running on this thread, if any.
+pub(crate) fn cur_pid() -> Option<Pid> {
+    CUR_PID.with(|c| c.get())
+}
+
+impl Kernel {
+    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool) -> Kernel {
+        Kernel {
+            now: 0,
+            seq: 0,
+            events: BinaryHeap::new(),
+            procs: BTreeMap::new(),
+            next_pid: 1,
+            runnable: VecDeque::new(),
+            shutdown: false,
+            rng: SmallRng::seed_from_u64(seed),
+            nodes: BTreeMap::new(),
+            next_node: 1,
+            endpoints: HashMap::new(),
+            net_cfg,
+            link_overrides: HashMap::new(),
+            link_free: HashMap::new(),
+            partitions: std::collections::HashSet::new(),
+            stats: NetStats::default(),
+            counters: BTreeMap::new(),
+            panics: Vec::new(),
+            next_group: 1,
+            next_waitobj: 1,
+            waitobjs: HashMap::new(),
+            trace,
+        }
+    }
+
+    fn push_event(&mut self, at: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event { at, seq, kind });
+    }
+
+    pub fn add_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(
+            id,
+            NodeState {
+                name: name.to_string(),
+                up: true,
+                next_ephemeral: EPHEMERAL_BASE,
+            },
+        );
+        id
+    }
+
+    pub fn link_params(&self, from: NodeId, to: NodeId) -> LinkParams {
+        if from == to {
+            self.net_cfg.local
+        } else if let Some(p) = self.link_overrides.get(&(from, to)) {
+            *p
+        } else {
+            self.net_cfg.default
+        }
+    }
+
+    /// Wakes a blocked process if its wait generation still matches.
+    /// Returns true if the process was actually woken.
+    fn wake(&mut self, pid: Pid, gen: u64, reason: WakeReason) -> bool {
+        if let Some(p) = self.procs.get_mut(&pid) {
+            if p.state == PState::Blocked && p.wait_gen == gen {
+                p.wait_gen += 1;
+                p.state = PState::Runnable;
+                p.wake_reason = reason;
+                self.runnable.push_back(pid);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Pops the first still-valid waiter off `waiters` and wakes it.
+    fn wake_one_waiter(
+        &mut self,
+        mut waiters: VecDeque<(Pid, u64)>,
+        reason: WakeReason,
+    ) -> VecDeque<(Pid, u64)> {
+        while let Some((pid, gen)) = waiters.pop_front() {
+            if self.wake(pid, gen, reason) {
+                break;
+            }
+        }
+        waiters
+    }
+
+    fn apply(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Wake { pid, gen } => {
+                self.wake(pid, gen, WakeReason::Timeout);
+            }
+            EventKind::Deliver { to, item } => {
+                let node_up = self.nodes.get(&to.node).map(|n| n.up).unwrap_or(false);
+                if !node_up {
+                    self.stats.msgs_dropped += 1;
+                    return;
+                }
+                let open = self.endpoints.get(&to).map(|e| e.open).unwrap_or(false);
+                if !open {
+                    // Bounce data messages back to the sender (RST-like);
+                    // never bounce a bounce.
+                    if let Item::Msg(from, _) = item {
+                        self.stats.bounces += 1;
+                        let lat = self.link_params(to.node, from.node).latency;
+                        let at = self.now + lat.as_micros() as u64;
+                        self.push_event(
+                            at,
+                            EventKind::Deliver {
+                                to: from,
+                                item: Item::Unreach(to),
+                            },
+                        );
+                    } else {
+                        self.stats.msgs_dropped += 1;
+                    }
+                    return;
+                }
+                self.stats.msgs_delivered += 1;
+                let ep = self.endpoints.get_mut(&to).expect("endpoint checked open");
+                ep.queue.push_back(item);
+                let waiters = std::mem::take(&mut ep.waiters);
+                let rest = self.wake_one_waiter(waiters, WakeReason::Delivered);
+                if let Some(ep) = self.endpoints.get_mut(&to) {
+                    // Preserve any remaining (possibly stale) waiters.
+                    let newly = std::mem::take(&mut ep.waiters);
+                    ep.waiters = rest;
+                    ep.waiters.extend(newly);
+                }
+            }
+        }
+    }
+
+    /// Sends a message into the network model. Called with the kernel lock
+    /// held, from the sending process's thread.
+    pub fn net_send(&mut self, from: Addr, to: Addr, msg: Bytes) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += msg.len() as u64;
+        if self.trace {
+            eprintln!(
+                "[{}] send {} -> {} ({} bytes)",
+                SimTime::from_micros(self.now),
+                from,
+                to,
+                msg.len()
+            );
+        }
+        let dest_up = self.nodes.get(&to.node).map(|n| n.up).unwrap_or(false);
+        let key = (from.node, to.node);
+        let partitioned =
+            self.partitions.contains(&key) || self.partitions.contains(&(to.node, from.node));
+        if !dest_up || partitioned {
+            self.stats.msgs_dropped += 1;
+            return;
+        }
+        let params = self.link_params(from.node, to.node);
+        if params.loss > 0.0 {
+            let roll = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+            if roll < params.loss {
+                self.stats.msgs_dropped += 1;
+                return;
+            }
+        }
+        let ser_us = match params.bandwidth {
+            Some(bw) if bw > 0 => (msg.len() as u128 * 1_000_000 / bw as u128) as u64,
+            _ => 0,
+        };
+        let free = self.link_free.entry(key).or_insert(0);
+        let start = (*free).max(self.now);
+        *free = start + ser_us;
+        let at = start + ser_us + params.latency.as_micros() as u64;
+        self.push_event(
+            at,
+            EventKind::Deliver {
+                to,
+                item: Item::Msg(from, msg),
+            },
+        );
+    }
+
+    /// Closes an endpoint, dropping queued messages and waking blocked
+    /// receivers so they observe `Closed`.
+    pub fn close_endpoint(&mut self, key: EpKey) {
+        if let Some(ep) = self.endpoints.get_mut(&key) {
+            if !ep.open {
+                return;
+            }
+            ep.open = false;
+            ep.queue.clear();
+            let waiters = std::mem::take(&mut ep.waiters);
+            for (pid, gen) in waiters {
+                self.wake(pid, gen, WakeReason::Notified);
+            }
+        }
+    }
+
+    /// Kills every live member of a process group.
+    pub fn kill_group(&mut self, group: u64) {
+        let pids: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| p.group == Some(group) && p.state != PState::Dead)
+            .map(|(pid, _)| *pid)
+            .collect();
+        for pid in pids {
+            self.kill_proc(pid);
+        }
+    }
+
+    /// Whether any member of a process group is still alive.
+    pub fn group_alive(&self, group: u64) -> bool {
+        self.procs
+            .values()
+            .any(|p| p.group == Some(group) && p.state != PState::Dead && !p.killed)
+    }
+
+    /// Reassigns an endpoint's owning process: `None` detaches it (it
+    /// survives any process exit), `Some(pid)` ties it to that process.
+    pub fn ep_set_owner(&mut self, key: EpKey, new_owner: Option<Pid>) {
+        let Some(ep) = self.endpoints.get_mut(&key) else {
+            return;
+        };
+        let old = ep.owner;
+        ep.owner = new_owner.unwrap_or(0);
+        if old != 0 {
+            if let Some(p) = self.procs.get_mut(&old) {
+                p.endpoints.retain(|k| *k != key);
+            }
+        }
+        if let Some(pid) = new_owner {
+            if let Some(p) = self.procs.get_mut(&pid) {
+                p.endpoints.push(key);
+            }
+        }
+    }
+
+    /// Marks a process as killed and schedules it to unwind.
+    pub fn kill_proc(&mut self, pid: Pid) {
+        let Some(p) = self.procs.get_mut(&pid) else {
+            return;
+        };
+        if p.state == PState::Dead || p.killed {
+            p.killed = true;
+            return;
+        }
+        p.killed = true;
+        if p.state == PState::Blocked {
+            p.wait_gen += 1;
+            p.state = PState::Runnable;
+            p.wake_reason = WakeReason::Killed;
+            self.runnable.push_back(pid);
+        }
+        // Runnable / Running processes observe the flag at their next
+        // kernel interaction.
+    }
+
+    /// Kills all processes on `node` and closes the node's endpoints.
+    /// Returns whether the calling process itself was on the node.
+    pub fn crash_node(&mut self, node: NodeId) -> bool {
+        if let Some(n) = self.nodes.get_mut(&node) {
+            n.up = false;
+        }
+        let pids: Vec<Pid> = self
+            .procs
+            .iter()
+            .filter(|(_, p)| p.node == Some(node) && p.state != PState::Dead)
+            .map(|(pid, _)| *pid)
+            .collect();
+        let me = cur_pid();
+        let mut self_on_node = false;
+        for pid in pids {
+            if Some(pid) == me {
+                self_on_node = true;
+                continue;
+            }
+            self.kill_proc(pid);
+        }
+        let eps: Vec<EpKey> = self
+            .endpoints
+            .keys()
+            .filter(|a| a.node == node)
+            .copied()
+            .collect();
+        for key in eps {
+            self.close_endpoint(key);
+        }
+        if self_on_node {
+            if let Some(p) = self.procs.get_mut(&me.expect("checked")) {
+                p.killed = true;
+            }
+        }
+        self_on_node
+    }
+
+    pub fn waitobj_create(&mut self) -> u64 {
+        let id = self.next_waitobj;
+        self.next_waitobj += 1;
+        self.waitobjs.insert(
+            id,
+            WaitObjState {
+                waiters: VecDeque::new(),
+                generation: 0,
+            },
+        );
+        id
+    }
+
+    /// Increments a wait object's generation and wakes all its waiters.
+    pub fn waitobj_bump(&mut self, id: u64) {
+        let Some(w) = self.waitobjs.get_mut(&id) else {
+            return;
+        };
+        w.generation += 1;
+        let waiters = std::mem::take(&mut w.waiters);
+        for (pid, gen) in waiters {
+            self.wake(pid, gen, WakeReason::Notified);
+        }
+    }
+
+    pub fn waitobj_generation(&self, id: u64) -> u64 {
+        self.waitobjs.get(&id).map(|w| w.generation).unwrap_or(0)
+    }
+
+    pub fn waitobj_notify(&mut self, id: u64, n: usize) {
+        let Some(w) = self.waitobjs.get_mut(&id) else {
+            return;
+        };
+        let mut waiters = std::mem::take(&mut w.waiters);
+        let mut woken = 0;
+        while woken < n {
+            let Some((pid, gen)) = waiters.pop_front() else {
+                break;
+            };
+            if self.wake(pid, gen, WakeReason::Notified) {
+                woken += 1;
+            }
+        }
+        if let Some(w) = self.waitobjs.get_mut(&id) {
+            let newly = std::mem::take(&mut w.waiters);
+            w.waiters = waiters;
+            w.waiters.extend(newly);
+        }
+    }
+}
+
+/// Shared kernel wrapper: the single lock plus the scheduler entry points.
+pub(crate) struct SimInner {
+    pub kernel: Mutex<Kernel>,
+}
+
+impl SimInner {
+    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool) -> Arc<SimInner> {
+        Arc::new(SimInner {
+            kernel: Mutex::new(Kernel::new(seed, net_cfg, trace)),
+        })
+    }
+
+    // ---- process-side primitives -------------------------------------
+
+    /// Unwinds the current process thread with the kill signal.
+    fn kill_unwind() -> ! {
+        panic::resume_unwind(Box::new(KillSignal))
+    }
+
+    /// Blocks the current process; returns the wake reason.
+    ///
+    /// `prepare` runs under the kernel lock after the wait generation has
+    /// been bumped; it receives the generation so it can register the
+    /// process on wait lists. `wake_at` optionally schedules a timeout.
+    fn block_current<F>(&self, wake_at: Option<u64>, prepare: F) -> WakeReason
+    where
+        F: FnOnce(&mut Kernel, Pid, u64),
+    {
+        let pid = cur_pid().expect("blocking call outside a simulated process");
+        let sync;
+        {
+            let mut k = self.kernel.lock();
+            if k.shutdown {
+                drop(k);
+                Self::kill_unwind();
+            }
+            let p = k.procs.get_mut(&pid).expect("current process missing");
+            if p.killed {
+                drop(k);
+                Self::kill_unwind();
+            }
+            p.wait_gen += 1;
+            let gen = p.wait_gen;
+            p.state = PState::Blocked;
+            p.wake_reason = WakeReason::None;
+            sync = p.sync.clone();
+            if let Some(at) = wake_at {
+                k.push_event(at, EventKind::Wake { pid, gen });
+            }
+            prepare(&mut k, pid, gen);
+        }
+        sync.yield_to_scheduler();
+        let reason = {
+            let k = self.kernel.lock();
+            let p = k.procs.get(&pid).expect("current process missing");
+            if k.shutdown || p.killed {
+                WakeReason::Killed
+            } else {
+                p.wake_reason
+            }
+        };
+        if reason == WakeReason::Killed {
+            Self::kill_unwind();
+        }
+        reason
+    }
+
+    /// Sleeps the current process for `d` of virtual time.
+    pub fn sleep(&self, d: Duration) {
+        let at = {
+            let k = self.kernel.lock();
+            k.now + d.as_micros() as u64
+        };
+        self.block_current(Some(at), |_, _, _| {});
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_micros(self.kernel.lock().now)
+    }
+
+    pub fn rand_u64(&self) -> u64 {
+        self.kernel.lock().rng.next_u64()
+    }
+
+    /// Waits on a wait object. Returns true if notified, false on timeout.
+    pub fn waitobj_wait(&self, id: u64, timeout: Option<Duration>) -> bool {
+        let wake_at = timeout.map(|t| {
+            let k = self.kernel.lock();
+            k.now + t.as_micros() as u64
+        });
+        let reason = self.block_current(wake_at, |k, pid, gen| {
+            if let Some(w) = k.waitobjs.get_mut(&id) {
+                w.waiters.push_back((pid, gen));
+            }
+        });
+        reason == WakeReason::Notified
+    }
+
+    pub fn waitobj_create(&self) -> u64 {
+        self.kernel.lock().waitobj_create()
+    }
+
+    /// Blocks until the wait object's generation exceeds `seen` (or the
+    /// timeout elapses); returns the generation observed on wake.
+    pub fn waitobj_wait_newer(&self, id: u64, seen: u64, timeout: Option<Duration>) -> u64 {
+        loop {
+            let wake_at;
+            {
+                let k = self.kernel.lock();
+                let gen = k.waitobjs.get(&id).map(|w| w.generation).unwrap_or(0);
+                if gen > seen {
+                    return gen;
+                }
+                wake_at = timeout.map(|t| k.now + t.as_micros() as u64);
+            }
+            let reason = self.block_current(wake_at, |k, pid, gen| {
+                if let Some(w) = k.waitobjs.get_mut(&id) {
+                    w.waiters.push_back((pid, gen));
+                }
+            });
+            let k = self.kernel.lock();
+            let gen = k.waitobjs.get(&id).map(|w| w.generation).unwrap_or(0);
+            if gen > seen || reason == WakeReason::Timeout {
+                return gen;
+            }
+        }
+    }
+
+    pub fn waitobj_bump(&self, id: u64) {
+        self.kernel.lock().waitobj_bump(id);
+    }
+
+    pub fn waitobj_notify(&self, id: u64, n: usize) {
+        self.kernel.lock().waitobj_notify(id, n);
+    }
+
+    /// Receives from an endpoint with an optional timeout.
+    pub fn ep_recv(
+        &self,
+        key: EpKey,
+        timeout: Option<Duration>,
+    ) -> Result<(Addr, Bytes), crate::rt::RecvError> {
+        use crate::rt::RecvError;
+        loop {
+            let wake_at;
+            {
+                let mut k = self.kernel.lock();
+                let pid = cur_pid().expect("recv outside a simulated process");
+                if k.shutdown || k.procs.get(&pid).map(|p| p.killed).unwrap_or(true) {
+                    drop(k);
+                    Self::kill_unwind();
+                }
+                match k.endpoints.get_mut(&key) {
+                    None => return Err(RecvError::Closed),
+                    Some(ep) if !ep.open => return Err(RecvError::Closed),
+                    Some(ep) => {
+                        if let Some(item) = ep.queue.pop_front() {
+                            return match item {
+                                Item::Msg(from, msg) => Ok((from, msg)),
+                                Item::Unreach(addr) => Err(RecvError::Unreachable(addr)),
+                            };
+                        }
+                    }
+                }
+                if timeout == Some(Duration::ZERO) {
+                    return Err(RecvError::TimedOut);
+                }
+                wake_at = timeout.map(|t| k.now + t.as_micros() as u64);
+            }
+            let reason = self.block_current(wake_at, |k, pid, gen| {
+                if let Some(ep) = k.endpoints.get_mut(&key) {
+                    ep.waiters.push_back((pid, gen));
+                }
+            });
+            // Re-check the queue under the lock; clean our stale waiter
+            // entry if we woke for a timeout.
+            let mut k = self.kernel.lock();
+            let pid = cur_pid().expect("recv outside a simulated process");
+            match k.endpoints.get_mut(&key) {
+                None => return Err(RecvError::Closed),
+                Some(ep) => {
+                    ep.waiters.retain(|(p, _)| *p != pid);
+                    if !ep.open {
+                        return Err(RecvError::Closed);
+                    }
+                    if let Some(item) = ep.queue.pop_front() {
+                        return match item {
+                            Item::Msg(from, msg) => Ok((from, msg)),
+                            Item::Unreach(addr) => Err(RecvError::Unreachable(addr)),
+                        };
+                    }
+                }
+            }
+            if reason == WakeReason::Timeout {
+                return Err(RecvError::TimedOut);
+            }
+            // Spuriously woken (e.g. message raced away); loop and block
+            // again with the remaining... full timeout. Timeout extension
+            // on races is acceptable: races are rare and deterministic.
+        }
+    }
+
+    // ---- spawning -----------------------------------------------------
+
+    /// Spawns a process. `node` of `None` is a free-floating controller.
+    /// The process joins the spawner's process group unless `group`
+    /// overrides it.
+    pub fn spawn(self: &Arc<Self>, node: Option<NodeId>, name: &str, f: Box<dyn FnOnce() + Send>) {
+        self.spawn_in(node, name, None, f);
+    }
+
+    /// Spawns a process into an explicit group (`Some`) or inheriting the
+    /// current process's group (`None`).
+    pub fn spawn_in(
+        self: &Arc<Self>,
+        node: Option<NodeId>,
+        name: &str,
+        group: Option<u64>,
+        f: Box<dyn FnOnce() + Send>,
+    ) {
+        let mut k = self.kernel.lock();
+        if k.shutdown {
+            return;
+        }
+        if let Some(n) = node {
+            let up = k.nodes.get(&n).map(|s| s.up).unwrap_or(false);
+            if !up {
+                if k.trace {
+                    eprintln!(
+                        "[{}] spawn of '{}' dropped: {} is down",
+                        SimTime::from_micros(k.now),
+                        name,
+                        n
+                    );
+                }
+                return;
+            }
+        }
+        let group =
+            group.or_else(|| cur_pid().and_then(|me| k.procs.get(&me).and_then(|p| p.group)));
+        let pid = k.next_pid;
+        k.next_pid += 1;
+        let sync = Arc::new(ProcSync::new());
+        let inner = Arc::clone(self);
+        let sync2 = Arc::clone(&sync);
+        let tname = name.to_string();
+        let join = std::thread::Builder::new()
+            .name(format!("sim-{tname}"))
+            .stack_size(512 * 1024)
+            .spawn(move || proc_main(inner, pid, sync2, f))
+            .expect("failed to spawn simulation thread");
+        k.procs.insert(
+            pid,
+            Proc {
+                name: name.to_string(),
+                node,
+                group,
+                sync,
+                state: PState::Runnable,
+                wait_gen: 0,
+                killed: false,
+                wake_reason: WakeReason::None,
+                join: Some(join),
+                endpoints: Vec::new(),
+            },
+        );
+        k.runnable.push_back(pid);
+    }
+
+    // ---- scheduler ----------------------------------------------------
+
+    /// Runs the simulation until virtual time reaches `limit` (inclusive
+    /// of events at `limit`), or until quiescence if `limit` is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic observed in any simulated process.
+    pub fn run_until(&self, limit: Option<u64>) {
+        loop {
+            enum Step {
+                Run(Pid, Arc<ProcSync>),
+                Continue,
+                Done,
+            }
+            let step = {
+                let mut k = self.kernel.lock();
+                if let Some(pid) = k.runnable.pop_front() {
+                    match k.procs.get_mut(&pid) {
+                        Some(p) if p.state == PState::Runnable => {
+                            p.state = PState::Running;
+                            Step::Run(pid, p.sync.clone())
+                        }
+                        _ => Step::Continue,
+                    }
+                } else {
+                    match k.events.peek() {
+                        Some(ev) if limit.is_none_or(|l| ev.at <= l) => {
+                            let ev = k.events.pop().expect("peeked");
+                            debug_assert!(ev.at >= k.now, "event in the past");
+                            k.now = ev.at.max(k.now);
+                            k.apply(ev.kind);
+                            Step::Continue
+                        }
+                        _ => {
+                            if let Some(l) = limit {
+                                if l > k.now {
+                                    k.now = l;
+                                }
+                            }
+                            Step::Done
+                        }
+                    }
+                }
+            };
+            match step {
+                Step::Run(pid, sync) => {
+                    sync.resume();
+                    self.reap(pid);
+                    self.check_panics();
+                }
+                Step::Continue => continue,
+                Step::Done => break,
+            }
+        }
+        self.check_panics();
+    }
+
+    /// If `pid` finished, join its thread and remove it.
+    fn reap(&self, pid: Pid) {
+        let join = {
+            let mut k = self.kernel.lock();
+            match k.procs.get_mut(&pid) {
+                Some(p) if p.state == PState::Dead => {
+                    let j = p.join.take();
+                    k.procs.remove(&pid);
+                    j
+                }
+                _ => None,
+            }
+        };
+        if let Some(j) = join {
+            let _ = j.join();
+        }
+    }
+
+    fn check_panics(&self) {
+        let msg = {
+            let mut k = self.kernel.lock();
+            if k.panics.is_empty() {
+                None
+            } else {
+                Some(k.panics.remove(0))
+            }
+        };
+        if let Some(m) = msg {
+            panic!("simulated process panicked: {m}");
+        }
+    }
+
+    /// Shuts the simulation down: kills every process and drains them.
+    pub fn shutdown(&self) {
+        {
+            let mut k = self.kernel.lock();
+            k.shutdown = true;
+            let pids: Vec<Pid> = k
+                .procs
+                .iter()
+                .filter(|(_, p)| p.state != PState::Dead)
+                .map(|(pid, _)| *pid)
+                .collect();
+            for pid in pids {
+                k.kill_proc(pid);
+            }
+        }
+        // Drain: resume every runnable process so it unwinds; loop until
+        // none are left. Ignore panics recorded during shutdown.
+        loop {
+            let step = {
+                let mut k = self.kernel.lock();
+                k.panics.clear();
+                match k.runnable.pop_front() {
+                    Some(pid) => match k.procs.get_mut(&pid) {
+                        Some(p) if p.state == PState::Runnable => {
+                            p.state = PState::Running;
+                            Some((pid, p.sync.clone()))
+                        }
+                        _ => continue,
+                    },
+                    None => None,
+                }
+            };
+            match step {
+                Some((pid, sync)) => {
+                    sync.resume();
+                    self.reap(pid);
+                }
+                None => break,
+            }
+        }
+        // Any processes still blocked have been marked killed but have no
+        // wakeup; wake-and-drain them explicitly.
+        loop {
+            let step = {
+                let mut k = self.kernel.lock();
+                let blocked: Vec<Pid> = k
+                    .procs
+                    .iter()
+                    .filter(|(_, p)| p.state == PState::Blocked)
+                    .map(|(pid, _)| *pid)
+                    .collect();
+                for pid in &blocked {
+                    if let Some(p) = k.procs.get_mut(pid) {
+                        p.wait_gen += 1;
+                        p.state = PState::Runnable;
+                        p.wake_reason = WakeReason::Killed;
+                    }
+                }
+                let runnable: Vec<(Pid, Arc<ProcSync>)> = k
+                    .procs
+                    .iter()
+                    .filter(|(_, p)| p.state == PState::Runnable)
+                    .map(|(pid, p)| (*pid, p.sync.clone()))
+                    .collect();
+                k.runnable.clear();
+                k.panics.clear();
+                runnable
+            };
+            if step.is_empty() {
+                break;
+            }
+            for (pid, sync) in step {
+                {
+                    let mut k = self.kernel.lock();
+                    match k.procs.get_mut(&pid) {
+                        Some(p) if p.state == PState::Runnable => p.state = PState::Running,
+                        _ => continue,
+                    }
+                }
+                sync.resume();
+                self.reap(pid);
+            }
+        }
+    }
+}
+
+/// Entry point for every simulated process thread.
+fn proc_main(inner: Arc<SimInner>, pid: Pid, sync: Arc<ProcSync>, f: Box<dyn FnOnce() + Send>) {
+    CUR_PID.with(|c| c.set(Some(pid)));
+    sync.wait_first_turn();
+    let start_killed = {
+        let k = inner.kernel.lock();
+        k.shutdown || k.procs.get(&pid).map(|p| p.killed).unwrap_or(true)
+    };
+    if !start_killed {
+        let result = panic::catch_unwind(AssertUnwindSafe(f));
+        if let Err(payload) = result {
+            if !payload.is::<KillSignal>() {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                };
+                let mut k = inner.kernel.lock();
+                let name = k
+                    .procs
+                    .get(&pid)
+                    .map(|p| p.name.clone())
+                    .unwrap_or_default();
+                k.panics.push(format!("process '{name}': {msg}"));
+            }
+        }
+    }
+    // Mark dead and close owned endpoints.
+    {
+        let mut k = inner.kernel.lock();
+        let eps = k
+            .procs
+            .get_mut(&pid)
+            .map(|p| std::mem::take(&mut p.endpoints))
+            .unwrap_or_default();
+        for key in eps {
+            k.close_endpoint(key);
+        }
+        if let Some(p) = k.procs.get_mut(&pid) {
+            p.state = PState::Dead;
+        }
+    }
+    sync.release_final();
+}

@@ -1,0 +1,36 @@
+//! Runtime substrate for the ITV system reproduction.
+//!
+//! This crate provides the two execution environments that every OCS
+//! service in the workspace runs on:
+//!
+//! * **The deterministic discrete-event simulation** ([`Sim`]): virtual
+//!   time, one OS thread per simulated process but exactly one runnable at
+//!   a time, a network model with per-link latency/bandwidth/loss,
+//!   partitions, and node/process crash injection. Runs are reproducible
+//!   from a seed, and a "25-second fail-over" completes in microseconds of
+//!   wall time — which is what makes the paper's §9.7 experiments
+//!   practical to sweep.
+//! * **The real runtime** ([`real::RealNet`]): OS threads, the wall clock,
+//!   and TCP on the loopback interface.
+//!
+//! Services are written once against [`NodeRt`]/[`Endpoint`] and run
+//! unchanged on both. The message model is datagram-like with two failure
+//! signals, mirroring what the paper's object exchange layer observed on
+//! IRIX: a *bounce* ([`RecvError::Unreachable`]) when the peer process
+//! died but its host is alive, and silence (a timeout) when the host died.
+
+mod kernel;
+mod rt;
+mod sim;
+mod time;
+
+pub mod real;
+pub mod sync;
+
+pub use kernel::{LinkParams, NetConfig, NetStats};
+pub use rt::{
+    Addr, Endpoint, NetError, NodeId, NodeRt, NodeRtExt, PortReq, ProcGroup, RecvError, Rt,
+};
+pub use sim::{Sim, SimChan, SimConfig, SimNode};
+pub use sync::{Gate, Queue, Semaphore, SyncObj};
+pub use time::SimTime;

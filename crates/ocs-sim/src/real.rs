@@ -1,0 +1,530 @@
+//! The real runtime: OS threads, the wall clock, and TCP on loopback.
+//!
+//! [`RealNet`] plays the role of the simulated network: it maps [`NodeId`]s
+//! to TCP listeners on `127.0.0.1`. Each node runs a router thread that
+//! accepts connections and delivers length-prefixed frames to per-port
+//! channels; outgoing messages reuse one cached connection per destination
+//! node. Endpoint semantics mirror the simulation: datagram-like sends,
+//! blocking receives with timeouts, and `Unreachable` bounces when a frame
+//! arrives for a closed port.
+//!
+//! Service code written against [`NodeRt`] runs unchanged on either
+//! runtime; see `examples/tcp_cluster.rs` for a full cluster on TCP.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::rt::{Addr, Endpoint, NetError, NodeId, NodeRt, PortReq, RecvError};
+use crate::time::SimTime;
+
+/// Frame kinds on the wire.
+const FRAME_MSG: u8 = 0;
+const FRAME_UNREACH: u8 = 1;
+
+enum Delivered {
+    Msg(Addr, Bytes),
+    Unreach(Addr),
+}
+
+/// Registry mapping node ids to TCP socket addresses, shared by all nodes
+/// of one logical cluster (typically within one OS process, but the
+/// registry can be pre-populated for multi-process setups).
+pub struct RealNet {
+    epoch: Instant,
+    directory: Mutex<HashMap<NodeId, SocketAddr>>,
+    next_node: Mutex<u32>,
+    counters: Mutex<std::collections::BTreeMap<String, u64>>,
+    trace: bool,
+}
+
+impl RealNet {
+    /// Creates an empty network registry.
+    pub fn new() -> Arc<RealNet> {
+        Arc::new(RealNet {
+            epoch: Instant::now(),
+            directory: Mutex::new(HashMap::new()),
+            next_node: Mutex::new(1),
+            counters: Mutex::new(Default::default()),
+            trace: std::env::var_os("OCS_TRACE").is_some(),
+        })
+    }
+
+    /// Creates a node: binds a listener on an OS-assigned loopback port
+    /// and starts its router thread.
+    pub fn add_node(self: &Arc<Self>, name: &str) -> std::io::Result<Arc<RealNode>> {
+        let id = {
+            let mut n = self.next_node.lock();
+            let id = NodeId(*n);
+            *n += 1;
+            id
+        };
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let local = listener.local_addr()?;
+        self.directory.lock().insert(id, local);
+        let node = Arc::new(RealNode {
+            net: Arc::clone(self),
+            id,
+            name: name.to_string(),
+            ports: Arc::new(Mutex::new(HashMap::new())),
+            next_ephemeral: Mutex::new(crate::kernel::EPHEMERAL_BASE),
+            stop: Arc::new(AtomicBool::new(false)),
+        });
+        let ports = Arc::clone(&node.ports);
+        let stop = Arc::clone(&node.stop);
+        let net = Arc::clone(self);
+        let nid = id;
+        std::thread::Builder::new()
+            .name(format!("router-{name}"))
+            .spawn(move || router_main(listener, ports, stop, net, nid))
+            .map_err(std::io::Error::other)?;
+        Ok(node)
+    }
+
+    /// Looks up the socket address registered for a node.
+    pub fn lookup(&self, id: NodeId) -> Option<SocketAddr> {
+        self.directory.lock().get(&id).copied()
+    }
+
+    /// Snapshot of all counters recorded through node runtimes.
+    pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        self.counters.lock().clone()
+    }
+}
+
+type PortMap = Arc<Mutex<HashMap<u16, Sender<Delivered>>>>;
+
+fn router_main(
+    listener: TcpListener,
+    ports: PortMap,
+    stop: Arc<AtomicBool>,
+    net: Arc<RealNet>,
+    node: NodeId,
+) {
+    // Accept until the node stops; each connection gets a reader thread.
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let ports = Arc::clone(&ports);
+        let stop = Arc::clone(&stop);
+        let net = Arc::clone(&net);
+        let _ = std::thread::Builder::new()
+            .name("conn-reader".into())
+            .spawn(move || reader_main(stream, ports, stop, net, node));
+    }
+}
+
+fn reader_main(
+    mut stream: TcpStream,
+    ports: PortMap,
+    stop: Arc<AtomicBool>,
+    net: Arc<RealNet>,
+    node: NodeId,
+) {
+    let mut hdr = [0u8; 15];
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        if stream.read_exact(&mut hdr).is_err() {
+            return;
+        }
+        let kind = hdr[0];
+        let len = u32::from_le_bytes([hdr[1], hdr[2], hdr[3], hdr[4]]) as usize;
+        let src_node = NodeId(u32::from_le_bytes([hdr[5], hdr[6], hdr[7], hdr[8]]));
+        let src_port = u16::from_le_bytes([hdr[9], hdr[10]]);
+        let dst_port = u16::from_le_bytes([hdr[11], hdr[12]]);
+        let _unused = u16::from_le_bytes([hdr[13], hdr[14]]);
+        if len > 64 * 1024 * 1024 {
+            return; // Corrupt frame; drop the connection.
+        }
+        let mut payload = vec![0u8; len];
+        if stream.read_exact(&mut payload).is_err() {
+            return;
+        }
+        let from = Addr::new(src_node, src_port);
+        let _to = Addr::new(node, dst_port);
+        let sender = ports.lock().get(&dst_port).cloned();
+        match (kind, sender) {
+            (FRAME_MSG, Some(tx)) => {
+                let _ = tx.send(Delivered::Msg(from, Bytes::from(payload)));
+            }
+            (FRAME_MSG, None) => {
+                // Closed port on a live node: bounce, as the sim does.
+                send_frame(&net, node, dst_port, from, FRAME_UNREACH, &[]);
+            }
+            (FRAME_UNREACH, Some(tx)) => {
+                let _ = tx.send(Delivered::Unreach(from));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Writes one frame to `to` via a fresh or cached connection. Used by the
+/// bounce path (which has no endpoint); endpoint sends use the node cache.
+fn send_frame(
+    net: &Arc<RealNet>,
+    src_node: NodeId,
+    src_port: u16,
+    to: Addr,
+    kind: u8,
+    payload: &[u8],
+) {
+    let Some(sockaddr) = net.lookup(to.node) else {
+        return;
+    };
+    let Ok(mut stream) = TcpStream::connect(sockaddr) else {
+        return;
+    };
+    let _ = write_frame(&mut stream, kind, src_node, src_port, to.port, payload);
+}
+
+fn write_frame(
+    stream: &mut TcpStream,
+    kind: u8,
+    src_node: NodeId,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> std::io::Result<()> {
+    let mut hdr = [0u8; 15];
+    hdr[0] = kind;
+    hdr[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    hdr[5..9].copy_from_slice(&src_node.0.to_le_bytes());
+    hdr[9..11].copy_from_slice(&src_port.to_le_bytes());
+    hdr[11..13].copy_from_slice(&dst_port.to_le_bytes());
+    stream.write_all(&hdr)?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// A host on the real runtime. Implements [`NodeRt`].
+pub struct RealNode {
+    net: Arc<RealNet>,
+    id: NodeId,
+    name: String,
+    ports: PortMap,
+    next_ephemeral: Mutex<u16>,
+    stop: Arc<AtomicBool>,
+}
+
+impl RealNode {
+    /// Stops the router; endpoints return `Closed` on later receives.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Poke the listener so the accept loop observes the flag.
+        if let Some(addr) = self.net.lookup(self.id) {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    /// The node's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl NodeRt for RealNode {
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.net.epoch.elapsed().as_micros() as u64)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        let _ = std::thread::Builder::new()
+            .name(format!("{}-{}", self.name, name))
+            .spawn(f);
+    }
+
+    fn spawn_group(
+        &self,
+        name: &str,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> Arc<dyn crate::rt::ProcGroup> {
+        // Threads cannot be force-killed: group membership on the real
+        // runtime tracks only the root thread, and `kill` is advisory.
+        let alive = Arc::new(AtomicBool::new(true));
+        let alive2 = Arc::clone(&alive);
+        let _ = std::thread::Builder::new()
+            .name(format!("{}-{}", self.name, name))
+            .spawn(move || {
+                f();
+                alive2.store(false, Ordering::Relaxed);
+            });
+        Arc::new(RealProcGroup { alive })
+    }
+
+    fn open(&self, port: PortReq) -> Result<Arc<dyn Endpoint>, NetError> {
+        let mut ports = self.ports.lock();
+        let portno = match port {
+            PortReq::Fixed(p) => {
+                if ports.contains_key(&p) {
+                    return Err(NetError::PortInUse(p));
+                }
+                p
+            }
+            PortReq::Ephemeral => {
+                let mut next = self.next_ephemeral.lock();
+                let mut cand = *next;
+                while ports.contains_key(&cand) {
+                    cand = cand.checked_add(1).unwrap_or(crate::kernel::EPHEMERAL_BASE);
+                }
+                *next = cand.checked_add(1).unwrap_or(crate::kernel::EPHEMERAL_BASE);
+                cand
+            }
+        };
+        let (tx, rx) = unbounded();
+        ports.insert(portno, tx);
+        Ok(Arc::new(RealEndpoint {
+            node: NodeId(self.id.0),
+            port: portno,
+            rx,
+            ports: Arc::clone(&self.ports),
+            owner: FrameSender {
+                net: Arc::clone(&self.net),
+                id: self.id,
+                conns: Mutex::new(HashMap::new()),
+            },
+            closed: AtomicBool::new(false),
+        }))
+    }
+
+    fn node(&self) -> NodeId {
+        self.id
+    }
+
+    fn rand_u64(&self) -> u64 {
+        use rand::Rng;
+        rand::rng().next_u64()
+    }
+
+    fn trace(&self, msg: &str) {
+        if self.net.trace {
+            eprintln!("[{}] {}: {}", self.now(), self.id, msg);
+        }
+    }
+
+    fn make_sync(&self) -> Arc<dyn crate::sync::SyncObj> {
+        Arc::new(RealSyncObj {
+            gen: Mutex::new(0),
+            cv: parking_lot::Condvar::new(),
+        })
+    }
+}
+
+/// Advisory process-group handle for the real runtime.
+struct RealProcGroup {
+    alive: Arc<AtomicBool>,
+}
+
+impl crate::rt::ProcGroup for RealProcGroup {
+    fn alive(&self) -> bool {
+        self.alive.load(Ordering::Relaxed)
+    }
+
+    fn kill(&self) {
+        // Advisory: threads cannot be force-killed. Services stopped on
+        // the real runtime should observe closed endpoints and exit.
+        self.alive.store(false, Ordering::Relaxed);
+    }
+
+    fn id(&self) -> u64 {
+        0
+    }
+}
+
+/// Condvar-backed wait/notify object for the real runtime.
+struct RealSyncObj {
+    gen: Mutex<u64>,
+    cv: parking_lot::Condvar,
+}
+
+impl crate::sync::SyncObj for RealSyncObj {
+    fn generation(&self) -> u64 {
+        *self.gen.lock()
+    }
+
+    fn wait_newer(&self, seen: u64, timeout: Option<Duration>) -> u64 {
+        let mut g = self.gen.lock();
+        match timeout {
+            Some(t) => {
+                let deadline = Instant::now() + t;
+                while *g <= seen {
+                    if self.cv.wait_until(&mut g, deadline).timed_out() {
+                        break;
+                    }
+                }
+            }
+            None => {
+                while *g <= seen {
+                    self.cv.wait(&mut g);
+                }
+            }
+        }
+        *g
+    }
+
+    fn bump(&self) {
+        *self.gen.lock() += 1;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-endpoint sending machinery (each endpoint keeps its own connection
+/// cache to avoid head-of-line locking across endpoints).
+struct FrameSender {
+    net: Arc<RealNet>,
+    id: NodeId,
+    conns: Mutex<HashMap<NodeId, TcpStream>>,
+}
+
+impl FrameSender {
+    fn send_bytes(&self, from_port: u16, to: Addr, kind: u8, msg: &[u8]) -> Result<(), NetError> {
+        let mut conns = self.conns.lock();
+        for _attempt in 0..2 {
+            if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(to.node) {
+                let sockaddr = self
+                    .net
+                    .lookup(to.node)
+                    .ok_or_else(|| NetError::SendFailed(format!("unknown node {}", to.node)))?;
+                let stream = TcpStream::connect(sockaddr)
+                    .map_err(|e| NetError::SendFailed(e.to_string()))?;
+                stream.set_nodelay(true).ok();
+                e.insert(stream);
+            }
+            let stream = conns.get_mut(&to.node).expect("just inserted");
+            match write_frame(stream, kind, self.id, from_port, to.port, msg) {
+                Ok(()) => return Ok(()),
+                Err(_) => {
+                    conns.remove(&to.node);
+                }
+            }
+        }
+        Err(NetError::SendFailed("connection failed twice".into()))
+    }
+}
+
+/// A TCP-backed message endpoint.
+pub struct RealEndpoint {
+    node: NodeId,
+    port: u16,
+    rx: Receiver<Delivered>,
+    ports: PortMap,
+    owner: FrameSender,
+    closed: AtomicBool,
+}
+
+impl Endpoint for RealEndpoint {
+    fn send(&self, to: Addr, msg: Bytes) -> Result<(), NetError> {
+        self.owner.send_bytes(self.port, to, FRAME_MSG, &msg)
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<(Addr, Bytes), RecvError> {
+        if self.closed.load(Ordering::Relaxed) {
+            return Err(RecvError::Closed);
+        }
+        let item = match timeout {
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => RecvError::TimedOut,
+                RecvTimeoutError::Disconnected => RecvError::Closed,
+            })?,
+            None => self.rx.recv().map_err(|_| RecvError::Closed)?,
+        };
+        match item {
+            Delivered::Msg(from, msg) => Ok((from, msg)),
+            Delivered::Unreach(addr) => Err(RecvError::Unreachable(addr)),
+        }
+    }
+
+    fn local(&self) -> Addr {
+        Addr::new(self.node, self.port)
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Relaxed);
+        self.ports.lock().remove(&self.port);
+    }
+}
+
+impl Drop for RealEndpoint {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rt::NodeRtExt;
+
+    #[test]
+    fn tcp_round_trip() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let server = b.open(PortReq::Fixed(100)).unwrap();
+        let b_addr = server.local();
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let b2: Arc<dyn NodeRt> = b.clone();
+        b.spawn_fn("echo", move || {
+            let _ = b2; // keep node alive in the thread
+            let (from, msg) = server.recv(Some(Duration::from_secs(5))).unwrap();
+            server.send(from, msg).unwrap();
+            done2.store(true, Ordering::Relaxed);
+        });
+        let client = a.open(PortReq::Ephemeral).unwrap();
+        client.send(b_addr, Bytes::from_static(b"ping")).unwrap();
+        let (from, reply) = client.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(&reply[..], b"ping");
+        assert_eq!(from, b_addr);
+        assert!(done.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn closed_port_bounces() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let client = a.open(PortReq::Ephemeral).unwrap();
+        let dead = Addr::new(b.node(), 999);
+        client.send(dead, Bytes::from_static(b"hello")).unwrap();
+        match client.recv(Some(Duration::from_secs(5))) {
+            Err(RecvError::Unreachable(addr)) => assert_eq!(addr, dead),
+            other => panic!("expected unreachable bounce, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_port_conflict() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let _e1 = a.open(PortReq::Fixed(7)).unwrap();
+        assert!(matches!(
+            a.open(PortReq::Fixed(7)),
+            Err(NetError::PortInUse(7))
+        ));
+    }
+
+    #[test]
+    fn recv_timeout() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let ep = a.open(PortReq::Ephemeral).unwrap();
+        let r = ep.recv(Some(Duration::from_millis(20)));
+        assert_eq!(r.unwrap_err(), RecvError::TimedOut);
+    }
+}

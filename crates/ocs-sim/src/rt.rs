@@ -1,0 +1,282 @@
+//! The runtime abstraction that OCS services are written against.
+//!
+//! Every service in this system (name service, RAS, MMS, ...) is ordinary
+//! blocking Rust code that talks to the outside world only through
+//! [`NodeRt`] and [`Endpoint`]. Two implementations exist:
+//!
+//! * the deterministic discrete-event runtime ([`crate::Sim`]), where time
+//!   is virtual and every run is reproducible from a seed, and
+//! * the real runtime ([`crate::real::RealNet`]), where processes are OS
+//!   threads and messages travel over TCP on the loopback interface.
+//!
+//! The message model is datagram-like (as the paper's object exchange layer
+//! is): a node opens numbered *endpoints* (ports), sends byte messages to
+//! `(node, port)` addresses, and receives with optional timeouts. Failure
+//! of the destination surfaces either as an [`RecvError::Unreachable`]
+//! notification (process died, host alive — the RST-like case) or as
+//! silence leading to a timeout (host died).
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::time::SimTime;
+
+/// Identifier of a host in the system.
+///
+/// Plays the role of the IP address in the paper: selectors derive the
+/// *neighborhood* of a caller from it (§5.1), and object references embed
+/// it (§3.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A message endpoint address: host plus port number.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    /// The host.
+    pub node: NodeId,
+    /// The endpoint number on that host.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Creates an address from raw parts.
+    pub const fn new(node: NodeId, port: u16) -> Addr {
+        Addr { node, port }
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.node, self.port)
+    }
+}
+
+/// How to choose the port number when opening an endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PortReq {
+    /// A well-known port; fails if already open.
+    Fixed(u16),
+    /// Any free port (ephemeral range).
+    Ephemeral,
+}
+
+/// Errors from opening endpoints or sending messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The requested fixed port is already open on this node.
+    PortInUse(u16),
+    /// The local node is down (only meaningful in simulation).
+    NodeDown,
+    /// The transport failed to hand the message off (real runtime only;
+    /// the simulated network never fails a send — failures surface at the
+    /// receiver).
+    SendFailed(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::PortInUse(p) => write!(f, "port {p} already in use"),
+            NetError::NodeDown => write!(f, "local node is down"),
+            NetError::SendFailed(e) => write!(f, "send failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Errors from [`Endpoint::recv`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived within the timeout.
+    TimedOut,
+    /// A previously sent message bounced: the destination host was up but
+    /// the destination port was closed (the process implementing it died).
+    /// Carries the unreachable address.
+    Unreachable(Addr),
+    /// The endpoint was closed locally.
+    Closed,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvError::TimedOut => write!(f, "receive timed out"),
+            RecvError::Unreachable(a) => write!(f, "destination {a} unreachable"),
+            RecvError::Closed => write!(f, "endpoint closed"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A message endpoint: the unit of addressability on a node.
+///
+/// Endpoints are cheap; the ORB opens one per outstanding client call for
+/// reply delivery and one well-known endpoint per exported service.
+pub trait Endpoint: Send + Sync {
+    /// Sends `msg` to `to`. Datagram semantics: delivery is not
+    /// acknowledged, and loss surfaces at the receiver as a timeout or an
+    /// [`RecvError::Unreachable`] bounce.
+    fn send(&self, to: Addr, msg: Bytes) -> Result<(), NetError>;
+
+    /// Receives the next message, blocking up to `timeout` (forever if
+    /// `None`). Returns the source address alongside the payload.
+    fn recv(&self, timeout: Option<Duration>) -> Result<(Addr, Bytes), RecvError>;
+
+    /// The address of this endpoint.
+    fn local(&self) -> Addr;
+
+    /// Closes the endpoint; subsequent receives return
+    /// [`RecvError::Closed`], and messages sent to it bounce.
+    fn close(&self);
+
+    /// Transfers ownership of the endpoint to the calling process, so it
+    /// closes when that process dies (simulation only; no-op on the real
+    /// runtime, where endpoints close on drop).
+    fn adopt(&self) {}
+
+    /// Detaches the endpoint from its owning process so it survives the
+    /// opener's exit until adopted (simulation only; no-op on the real
+    /// runtime).
+    fn disown(&self) {}
+}
+
+/// A handle on a spawned process group — the unit of service lifetime.
+///
+/// Mirrors what the paper's Server Service Controller gets from UNIX: it
+/// can tell whether the service (all its processes) is still alive, and
+/// kill it. On the real runtime `kill` is advisory only (threads cannot
+/// be force-killed); the simulation kills the whole group.
+pub trait ProcGroup: Send + Sync {
+    /// Whether any process of the group is alive.
+    fn alive(&self) -> bool;
+
+    /// Kills every process in the group (simulation; advisory on the
+    /// real runtime).
+    fn kill(&self);
+
+    /// An opaque id for logging.
+    fn id(&self) -> u64;
+}
+
+/// The per-node runtime handle: clock, scheduling and endpoint factory.
+///
+/// Object-safe so that services can hold `Arc<dyn NodeRt>` and run
+/// unchanged on either runtime.
+pub trait NodeRt: Send + Sync {
+    /// Current time (virtual in simulation, relative-monotonic for real).
+    fn now(&self) -> SimTime;
+
+    /// Blocks the calling process for `d`.
+    fn sleep(&self, d: Duration);
+
+    /// Occupies the calling process for `d` of service time.
+    ///
+    /// Semantically distinct from [`NodeRt::sleep`]: it models CPU work,
+    /// so a single-threaded server that is `busy` cannot answer pings —
+    /// the phenomenon that led the paper to replace ping-based liveness
+    /// with Service-Controller callbacks (§7.2).
+    fn busy(&self, d: Duration) {
+        self.sleep(d);
+    }
+
+    /// Spawns a new process on this node running `f`. The process joins
+    /// the calling process's group (like `fork`).
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>);
+
+    /// Spawns `f` as the root of a *new* process group and returns its
+    /// handle. Everything it transitively spawns joins the group; killing
+    /// the group kills them all and closes their endpoints.
+    fn spawn_group(&self, name: &str, f: Box<dyn FnOnce() + Send>) -> Arc<dyn ProcGroup>;
+
+    /// Opens a message endpoint on this node.
+    fn open(&self, port: PortReq) -> Result<Arc<dyn Endpoint>, NetError>;
+
+    /// This node's identifier.
+    fn node(&self) -> NodeId;
+
+    /// Deterministic (in simulation) random 64-bit value.
+    fn rand_u64(&self) -> u64;
+
+    /// Emits a trace line attributed to this node, if tracing is enabled.
+    fn trace(&self, msg: &str);
+
+    /// Creates a wait/notify synchronization object (see
+    /// [`crate::sync::SyncObj`]) safe to block on from this runtime.
+    fn make_sync(&self) -> Arc<dyn crate::sync::SyncObj>;
+}
+
+/// Convenience extensions over [`NodeRt`].
+pub trait NodeRtExt: NodeRt {
+    /// Spawns a process from a plain closure (sugar over the boxed form).
+    fn spawn_fn<F: FnOnce() + Send + 'static>(&self, name: &str, f: F) {
+        self.spawn(name, Box::new(f));
+    }
+
+    /// A random value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    fn rand_below(&self, n: u64) -> u64 {
+        assert!(n > 0, "rand_below(0)");
+        self.rand_u64() % n
+    }
+
+    /// A random duration in `[0, d)`, used to jitter periodic timers.
+    fn rand_jitter(&self, d: Duration) -> Duration {
+        let us = d.as_micros() as u64;
+        if us == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.rand_u64() % us)
+        }
+    }
+}
+
+impl<T: NodeRt + ?Sized> NodeRtExt for T {}
+
+/// Shared handle to a node runtime.
+pub type Rt = Arc<dyn NodeRt>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_display() {
+        let a = Addr::new(NodeId(3), 80);
+        assert_eq!(a.to_string(), "n3:80");
+        assert_eq!(format!("{a:?}"), "n3:80");
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(NetError::PortInUse(5).to_string(), "port 5 already in use");
+        assert_eq!(RecvError::TimedOut.to_string(), "receive timed out");
+        let u = RecvError::Unreachable(Addr::new(NodeId(1), 2));
+        assert_eq!(u.to_string(), "destination n1:2 unreachable");
+    }
+}

@@ -1,0 +1,497 @@
+//! Public facade over the discrete-event kernel: building nodes, running
+//! the clock, injecting failures, and reading statistics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use crate::kernel::{cur_pid, EpState, LinkParams, NetConfig, NetStats, SimInner};
+use crate::rt::{Addr, Endpoint, NetError, NodeId, NodeRt, PortReq, RecvError};
+use crate::time::SimTime;
+
+/// Configuration for a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the deterministic RNG.
+    pub seed: u64,
+    /// Network model defaults.
+    pub net: NetConfig,
+    /// Emit a trace line per message send and lifecycle event.
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            seed: 0,
+            net: NetConfig::default(),
+            trace: std::env::var_os("OCS_TRACE").is_some(),
+        }
+    }
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// Cloning the handle is cheap; all clones drive the same simulation.
+/// Dropping the last handle shuts the simulation down, unwinding every
+/// simulated process.
+///
+/// # Examples
+///
+/// ```
+/// use ocs_sim::{Sim, SimTime, NodeRt, NodeRtExt};
+/// use std::time::Duration;
+///
+/// let sim = Sim::new(42);
+/// let node = sim.add_node("server");
+/// let rt = node.clone();
+/// node.spawn_fn("hello", move || {
+///     rt.sleep(Duration::from_secs(1));
+/// });
+/// sim.run_until(SimTime::from_secs(2));
+/// assert_eq!(sim.now(), SimTime::from_secs(2));
+/// ```
+pub struct Sim {
+    inner: Arc<SimInner>,
+    /// Only the original handle shuts down on drop.
+    owner: bool,
+}
+
+impl Clone for Sim {
+    fn clone(&self) -> Sim {
+        Sim {
+            inner: Arc::clone(&self.inner),
+            owner: false,
+        }
+    }
+}
+
+impl Sim {
+    /// Creates a simulation with default configuration and the given seed.
+    pub fn new(seed: u64) -> Sim {
+        Sim::with_config(SimConfig {
+            seed,
+            ..SimConfig::default()
+        })
+    }
+
+    /// Creates a simulation with explicit configuration.
+    pub fn with_config(cfg: SimConfig) -> Sim {
+        Sim {
+            inner: SimInner::new(cfg.seed, cfg.net, cfg.trace),
+            owner: true,
+        }
+    }
+
+    /// Adds a host to the simulated network and returns its runtime.
+    pub fn add_node(&self, name: &str) -> Arc<SimNode> {
+        let id = self.inner.kernel.lock().add_node(name);
+        Arc::new(SimNode {
+            inner: Arc::clone(&self.inner),
+            id,
+        })
+    }
+
+    /// Returns a runtime handle for an existing node.
+    pub fn node_handle(&self, id: NodeId) -> Arc<SimNode> {
+        Arc::new(SimNode {
+            inner: Arc::clone(&self.inner),
+            id,
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    /// Runs the simulation until virtual time `t`.
+    pub fn run_until(&self, t: SimTime) {
+        self.inner.run_until(Some(t.as_micros()));
+    }
+
+    /// Runs the simulation for `d` beyond the current time.
+    pub fn run_for(&self, d: Duration) {
+        let t = self.now() + d;
+        self.run_until(t);
+    }
+
+    /// Runs until no events remain (quiescence). Periodic services never
+    /// quiesce; prefer [`Sim::run_until`] when any are running.
+    pub fn run(&self) {
+        self.inner.run_until(None);
+    }
+
+    /// Spawns a free-floating controller process not tied to any node.
+    pub fn spawn_root<F: FnOnce() + Send + 'static>(&self, name: &str, f: F) {
+        self.inner.spawn(None, name, Box::new(f));
+    }
+
+    /// Crashes a node: kills its processes, closes its endpoints, and
+    /// silences its links (messages in flight are dropped).
+    ///
+    /// May be called from the scheduler context or from a simulated
+    /// process; a process crashing its own node unwinds immediately.
+    pub fn crash_node(&self, node: NodeId) {
+        let self_on_node = self.inner.kernel.lock().crash_node(node);
+        if self_on_node && cur_pid().is_some() {
+            std::panic::resume_unwind(Box::new(crate::kernel::KillSignal));
+        }
+    }
+
+    /// Brings a crashed node back up (with no processes; callers spawn a
+    /// fresh init/SSC process afterwards, per the paper's §6.3 sequence).
+    pub fn restart_node(&self, node: NodeId) {
+        let mut k = self.inner.kernel.lock();
+        if let Some(n) = k.nodes.get_mut(&node) {
+            n.up = true;
+        }
+    }
+
+    /// Whether a node is currently up.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.inner
+            .kernel
+            .lock()
+            .nodes
+            .get(&node)
+            .map(|n| n.up)
+            .unwrap_or(false)
+    }
+
+    /// Overrides the directed link `from -> to`.
+    pub fn set_link(&self, from: NodeId, to: NodeId, params: LinkParams) {
+        self.inner
+            .kernel
+            .lock()
+            .link_overrides
+            .insert((from, to), params);
+    }
+
+    /// Sets or clears a (symmetric) partition between two nodes.
+    pub fn set_partitioned(&self, a: NodeId, b: NodeId, partitioned: bool) {
+        let mut k = self.inner.kernel.lock();
+        if partitioned {
+            k.partitions.insert((a, b));
+        } else {
+            k.partitions.remove(&(a, b));
+            k.partitions.remove(&(b, a));
+        }
+    }
+
+    /// Snapshot of aggregate network statistics.
+    pub fn net_stats(&self) -> NetStats {
+        self.inner.kernel.lock().stats
+    }
+
+    /// Adds to a named counter (shared metric registry).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut k = self.inner.kernel.lock();
+        *k.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a named counter (0 if never written).
+    pub fn counter_get(&self, name: &str) -> u64 {
+        self.inner
+            .kernel
+            .lock()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of all counters.
+    pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
+        self.inner.kernel.lock().counters.clone()
+    }
+
+    /// Number of live (non-dead) processes, for tests and diagnostics.
+    pub fn live_processes(&self) -> usize {
+        self.inner
+            .kernel
+            .lock()
+            .procs
+            .values()
+            .filter(|p| p.state != crate::kernel::PState::Dead)
+            .count()
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<SimInner> {
+        &self.inner
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        if self.owner {
+            self.inner.shutdown();
+        }
+    }
+}
+
+/// The runtime for one simulated host. Implements [`NodeRt`].
+pub struct SimNode {
+    inner: Arc<SimInner>,
+    id: NodeId,
+}
+
+impl SimNode {
+    /// A simulation handle sharing this node's kernel (for failure
+    /// injection from controller processes).
+    pub fn sim(&self) -> Sim {
+        Sim {
+            inner: Arc::clone(&self.inner),
+            owner: false,
+        }
+    }
+}
+
+impl NodeRt for SimNode {
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+
+    fn sleep(&self, d: Duration) {
+        self.inner.sleep(d);
+    }
+
+    fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        self.inner.spawn(Some(self.id), name, f);
+    }
+
+    fn spawn_group(
+        &self,
+        name: &str,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> Arc<dyn crate::rt::ProcGroup> {
+        let gid = {
+            let mut k = self.inner.kernel.lock();
+            let gid = k.next_group;
+            k.next_group += 1;
+            gid
+        };
+        self.inner.spawn_in(Some(self.id), name, Some(gid), f);
+        Arc::new(SimProcGroup {
+            inner: Arc::clone(&self.inner),
+            gid,
+        })
+    }
+
+    fn open(&self, port: PortReq) -> Result<Arc<dyn Endpoint>, NetError> {
+        let mut k = self.inner.kernel.lock();
+        let node_up = k.nodes.get(&self.id).map(|n| n.up).unwrap_or(false);
+        if !node_up {
+            return Err(NetError::NodeDown);
+        }
+        let portno = match port {
+            PortReq::Fixed(p) => {
+                let key = Addr::new(self.id, p);
+                if k.endpoints.get(&key).map(|e| e.open).unwrap_or(false) {
+                    return Err(NetError::PortInUse(p));
+                }
+                p
+            }
+            PortReq::Ephemeral => {
+                // Scan from the node's ephemeral cursor for a free port.
+                let mut cand = {
+                    let n = k.nodes.get_mut(&self.id).expect("node exists");
+                    n.next_ephemeral
+                };
+                loop {
+                    let key = Addr::new(self.id, cand);
+                    if !k.endpoints.get(&key).map(|e| e.open).unwrap_or(false) {
+                        break;
+                    }
+                    cand = cand.checked_add(1).unwrap_or(crate::kernel::EPHEMERAL_BASE);
+                }
+                let n = k.nodes.get_mut(&self.id).expect("node exists");
+                n.next_ephemeral = cand.checked_add(1).unwrap_or(crate::kernel::EPHEMERAL_BASE);
+                cand
+            }
+        };
+        let key = Addr::new(self.id, portno);
+        let owner = cur_pid().unwrap_or(0);
+        k.endpoints.insert(
+            key,
+            EpState {
+                open: true,
+                owner,
+                queue: Default::default(),
+                waiters: Default::default(),
+            },
+        );
+        if owner != 0 {
+            if let Some(p) = k.procs.get_mut(&owner) {
+                p.endpoints.push(key);
+            }
+        }
+        drop(k);
+        Ok(Arc::new(SimEndpoint {
+            inner: Arc::clone(&self.inner),
+            addr: key,
+        }))
+    }
+
+    fn node(&self) -> NodeId {
+        self.id
+    }
+
+    fn rand_u64(&self) -> u64 {
+        self.inner.rand_u64()
+    }
+
+    fn trace(&self, msg: &str) {
+        let k = self.inner.kernel.lock();
+        if k.trace {
+            eprintln!("[{}] {}: {}", SimTime::from_micros(k.now), self.id, msg);
+        }
+    }
+
+    fn make_sync(&self) -> Arc<dyn crate::sync::SyncObj> {
+        Arc::new(SimSyncObj {
+            inner: Arc::clone(&self.inner),
+            id: self.inner.waitobj_create(),
+        })
+    }
+}
+
+/// A simulation-backed wait/notify object.
+struct SimSyncObj {
+    inner: Arc<SimInner>,
+    id: u64,
+}
+
+impl crate::sync::SyncObj for SimSyncObj {
+    fn generation(&self) -> u64 {
+        self.inner.kernel.lock().waitobj_generation(self.id)
+    }
+
+    fn wait_newer(&self, seen: u64, timeout: Option<Duration>) -> u64 {
+        self.inner.waitobj_wait_newer(self.id, seen, timeout)
+    }
+
+    fn bump(&self) {
+        self.inner.waitobj_bump(self.id);
+    }
+}
+
+/// Handle on a simulated process group.
+struct SimProcGroup {
+    inner: Arc<SimInner>,
+    gid: u64,
+}
+
+impl crate::rt::ProcGroup for SimProcGroup {
+    fn alive(&self) -> bool {
+        self.inner.kernel.lock().group_alive(self.gid)
+    }
+
+    fn kill(&self) {
+        self.inner.kernel.lock().kill_group(self.gid);
+    }
+
+    fn id(&self) -> u64 {
+        self.gid
+    }
+}
+
+/// A simulated message endpoint.
+pub struct SimEndpoint {
+    inner: Arc<SimInner>,
+    addr: Addr,
+}
+
+impl Endpoint for SimEndpoint {
+    fn send(&self, to: Addr, msg: Bytes) -> Result<(), NetError> {
+        let mut k = self.inner.kernel.lock();
+        let up = k.nodes.get(&self.addr.node).map(|n| n.up).unwrap_or(false);
+        if !up {
+            return Err(NetError::NodeDown);
+        }
+        k.net_send(self.addr, to, msg);
+        Ok(())
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<(Addr, Bytes), RecvError> {
+        self.inner.ep_recv(self.addr, timeout)
+    }
+
+    fn local(&self) -> Addr {
+        self.addr
+    }
+
+    fn close(&self) {
+        let mut k = self.inner.kernel.lock();
+        k.ep_set_owner(self.addr, None);
+        k.close_endpoint(self.addr);
+    }
+
+    fn adopt(&self) {
+        if let Some(pid) = cur_pid() {
+            self.inner.kernel.lock().ep_set_owner(self.addr, Some(pid));
+        }
+    }
+
+    fn disown(&self) {
+        self.inner.kernel.lock().ep_set_owner(self.addr, None);
+    }
+}
+
+/// An in-simulation channel for coordinating processes (not part of the
+/// modelled network; carries no latency and sends no messages).
+///
+/// Useful for workload generators and test harnesses that need to hand
+/// results between simulated processes.
+pub struct SimChan<T> {
+    inner: Arc<SimInner>,
+    queue: Arc<parking_lot::Mutex<std::collections::VecDeque<T>>>,
+    waitobj: u64,
+}
+
+impl<T> Clone for SimChan<T> {
+    fn clone(&self) -> SimChan<T> {
+        SimChan {
+            inner: Arc::clone(&self.inner),
+            queue: Arc::clone(&self.queue),
+            waitobj: self.waitobj,
+        }
+    }
+}
+
+impl<T: Send + 'static> SimChan<T> {
+    /// Creates a channel bound to a simulation.
+    pub fn new(sim: &Sim) -> SimChan<T> {
+        SimChan {
+            inner: Arc::clone(sim.inner()),
+            queue: Arc::new(parking_lot::Mutex::new(Default::default())),
+            waitobj: sim.inner().waitobj_create(),
+        }
+    }
+
+    /// Enqueues a value and wakes one waiting receiver.
+    pub fn send(&self, v: T) {
+        self.queue.lock().push_back(v);
+        self.inner.waitobj_notify(self.waitobj, 1);
+    }
+
+    /// Dequeues a value, blocking the calling process up to `timeout`
+    /// (forever if `None`). Returns `None` on timeout.
+    pub fn recv(&self, timeout: Option<Duration>) -> Option<T> {
+        loop {
+            if let Some(v) = self.queue.lock().pop_front() {
+                return Some(v);
+            }
+            if !self.inner.waitobj_wait(self.waitobj, timeout) {
+                // Timed out; one last check for a raced-in value.
+                return self.queue.lock().pop_front();
+            }
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_recv(&self) -> Option<T> {
+        self.queue.lock().pop_front()
+    }
+}

@@ -1,0 +1,581 @@
+//! Behavioral tests for the discrete-event kernel: time, scheduling,
+//! messaging, failure injection, and determinism.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use ocs_sim::{
+    Addr, Endpoint, LinkParams, NodeRt, NodeRtExt, PortReq, RecvError, Sim, SimChan, SimTime,
+};
+
+fn secs(s: u64) -> Duration {
+    Duration::from_secs(s)
+}
+
+#[test]
+fn virtual_time_advances_only_with_events() {
+    let sim = Sim::new(1);
+    let node = sim.add_node("a");
+    let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let log2 = Arc::clone(&log);
+    let rt = node.clone();
+    node.spawn_fn("sleeper", move || {
+        log2.lock().push(rt.now());
+        rt.sleep(secs(5));
+        log2.lock().push(rt.now());
+        rt.sleep(secs(3));
+        log2.lock().push(rt.now());
+    });
+    sim.run_until(SimTime::from_secs(100));
+    let l = log.lock();
+    assert_eq!(
+        *l,
+        vec![SimTime::ZERO, SimTime::from_secs(5), SimTime::from_secs(8)]
+    );
+    // run_until advances the clock to the limit even when idle.
+    assert_eq!(sim.now(), SimTime::from_secs(100));
+}
+
+#[test]
+fn messages_respect_link_latency() {
+    let sim = Sim::new(2);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.set_link(
+        a.node(),
+        b.node(),
+        LinkParams::latency_only(Duration::from_millis(10)),
+    );
+    let got = Arc::new(AtomicU64::new(0));
+    let got2 = Arc::clone(&got);
+    let b_rt = b.clone();
+    b.spawn_fn("recv", move || {
+        let ep = b_rt.open(PortReq::Fixed(80)).unwrap();
+        let (_, _msg) = ep.recv(None).unwrap();
+        got2.store(b_rt.now().as_micros(), Ordering::Relaxed);
+    });
+    let a_rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    a.spawn_fn("send", move || {
+        a_rt.sleep(Duration::from_millis(1));
+        let ep = a_rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from_static(b"x")).unwrap();
+    });
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(got.load(Ordering::Relaxed), 11_000); // 1ms send time + 10ms latency
+}
+
+#[test]
+fn bandwidth_adds_serialization_delay() {
+    let sim = Sim::new(3);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    // 1 MB/s, zero latency: a 500_000-byte message takes 0.5s.
+    sim.set_link(
+        a.node(),
+        b.node(),
+        LinkParams {
+            latency: Duration::ZERO,
+            bandwidth: Some(1_000_000),
+            loss: 0.0,
+        },
+    );
+    let got = Arc::new(AtomicU64::new(0));
+    let got2 = Arc::clone(&got);
+    let b_rt = b.clone();
+    b.spawn_fn("recv", move || {
+        let ep = b_rt.open(PortReq::Fixed(80)).unwrap();
+        ep.recv(None).unwrap();
+        got2.store(b_rt.now().as_micros(), Ordering::Relaxed);
+    });
+    let a_rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    a.spawn_fn("send", move || {
+        let ep = a_rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from(vec![0u8; 500_000])).unwrap();
+    });
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(got.load(Ordering::Relaxed), 500_000);
+}
+
+#[test]
+fn back_to_back_sends_queue_on_the_link() {
+    let sim = Sim::new(4);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.set_link(
+        a.node(),
+        b.node(),
+        LinkParams {
+            latency: Duration::ZERO,
+            bandwidth: Some(1_000_000),
+            loss: 0.0,
+        },
+    );
+    let times = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let times2 = Arc::clone(&times);
+    let b_rt = b.clone();
+    b.spawn_fn("recv", move || {
+        let ep = b_rt.open(PortReq::Fixed(80)).unwrap();
+        for _ in 0..2 {
+            ep.recv(None).unwrap();
+            times2.lock().push(b_rt.now().as_micros());
+        }
+    });
+    let a_rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    a.spawn_fn("send", move || {
+        let ep = a_rt.open(PortReq::Ephemeral).unwrap();
+        // Two 100 KB messages sent back to back serialize sequentially.
+        ep.send(to, Bytes::from(vec![0u8; 100_000])).unwrap();
+        ep.send(to, Bytes::from(vec![0u8; 100_000])).unwrap();
+    });
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(*times.lock(), vec![100_000, 200_000]);
+}
+
+#[test]
+fn recv_timeout_fires() {
+    let sim = Sim::new(5);
+    let a = sim.add_node("a");
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt = a.clone();
+    a.spawn_fn("w", move || {
+        let ep = rt.open(PortReq::Fixed(1)).unwrap();
+        let r = ep.recv(Some(secs(3)));
+        *seen2.lock() = Some((r, rt.now()));
+    });
+    sim.run_until(SimTime::from_secs(10));
+    let s = seen.lock();
+    let (r, t) = s.as_ref().unwrap();
+    assert_eq!(*r.as_ref().unwrap_err(), RecvError::TimedOut);
+    assert_eq!(*t, SimTime::from_secs(3));
+}
+
+#[test]
+fn send_to_closed_port_bounces() {
+    let sim = Sim::new(6);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt = a.clone();
+    let dead = Addr::new(b.node(), 555);
+    a.spawn_fn("w", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(dead, Bytes::from_static(b"hi")).unwrap();
+        *seen2.lock() = Some(ep.recv(Some(secs(5))));
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(
+        seen.lock().take().unwrap(),
+        Err(RecvError::Unreachable(dead))
+    );
+    assert_eq!(sim.net_stats().bounces, 1);
+}
+
+#[test]
+fn send_to_dead_node_is_silence() {
+    let sim = Sim::new(7);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.crash_node(b.node());
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt = a.clone();
+    let dead = Addr::new(b.node(), 555);
+    a.spawn_fn("w", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(dead, Bytes::from_static(b"hi")).unwrap();
+        *seen2.lock() = Some(ep.recv(Some(secs(5))));
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(seen.lock().take().unwrap(), Err(RecvError::TimedOut));
+    assert_eq!(sim.net_stats().msgs_dropped, 1);
+}
+
+#[test]
+fn crash_kills_processes_and_closes_ports() {
+    let sim = Sim::new(8);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let progressed = Arc::new(AtomicU64::new(0));
+    let p2 = Arc::clone(&progressed);
+    let rt = b.clone();
+    b.spawn_fn("victim", move || {
+        let _ep = rt.open(PortReq::Fixed(80)).unwrap();
+        loop {
+            rt.sleep(secs(1));
+            p2.fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    sim.run_until(SimTime::from_secs(5) + Duration::from_millis(500));
+    let before = progressed.load(Ordering::Relaxed);
+    assert_eq!(before, 5);
+    sim.crash_node(b.node());
+    sim.run_until(SimTime::from_secs(20));
+    assert_eq!(progressed.load(Ordering::Relaxed), before);
+    assert_eq!(sim.live_processes(), 0);
+    // After crash, sends to the old port bounce only if the node is up;
+    // here the node is down, so silence.
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    a.spawn_fn("probe", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from_static(b"hi")).unwrap();
+        *seen2.lock() = Some(ep.recv(Some(secs(2))));
+    });
+    sim.run_until(SimTime::from_secs(30));
+    assert_eq!(seen.lock().take().unwrap(), Err(RecvError::TimedOut));
+}
+
+#[test]
+fn process_death_closes_its_endpoints() {
+    let sim = Sim::new(9);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let rt = b.clone();
+    b.spawn_fn("short-lived", move || {
+        let _ep = rt.open(PortReq::Fixed(80)).unwrap();
+        rt.sleep(secs(1));
+        // Exits; the endpoint must close with it.
+    });
+    sim.run_until(SimTime::from_secs(2));
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    a.spawn_fn("probe", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from_static(b"hi")).unwrap();
+        *seen2.lock() = Some(ep.recv(Some(secs(2))));
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(seen.lock().take().unwrap(), Err(RecvError::Unreachable(to)));
+}
+
+#[test]
+fn restart_allows_reopening_ports() {
+    let sim = Sim::new(10);
+    let b = sim.add_node("b");
+    let rt = b.clone();
+    b.spawn_fn("v1", move || {
+        let _ep = rt.open(PortReq::Fixed(80)).unwrap();
+        loop {
+            rt.sleep(secs(1));
+        }
+    });
+    sim.run_until(SimTime::from_secs(1));
+    sim.crash_node(b.node());
+    sim.restart_node(b.node());
+    let ok = Arc::new(AtomicU64::new(0));
+    let ok2 = Arc::clone(&ok);
+    let rt = b.clone();
+    b.spawn_fn("v2", move || {
+        rt.open(PortReq::Fixed(80)).unwrap();
+        ok2.store(1, Ordering::Relaxed);
+    });
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(ok.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn partition_blocks_messages_both_ways() {
+    let sim = Sim::new(11);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.set_partitioned(a.node(), b.node(), true);
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt_b = b.clone();
+    b.spawn_fn("recv", move || {
+        let ep = rt_b.open(PortReq::Fixed(80)).unwrap();
+        *seen2.lock() = Some(ep.recv(Some(secs(3))));
+    });
+    let rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    a.spawn_fn("send", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from_static(b"hi")).unwrap();
+    });
+    sim.run_until(SimTime::from_secs(5));
+    assert_eq!(seen.lock().take().unwrap(), Err(RecvError::TimedOut));
+    // Healing the partition allows traffic again.
+    sim.set_partitioned(a.node(), b.node(), false);
+    let seen3 = Arc::clone(&seen);
+    let rt_b = b.clone();
+    b.spawn_fn("recv2", move || {
+        let ep = rt_b.open(PortReq::Fixed(81)).unwrap();
+        *seen3.lock() = Some(ep.recv(Some(secs(3))));
+    });
+    let rt = a.clone();
+    let to = Addr::new(b.node(), 81);
+    a.spawn_fn("send2", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from_static(b"hi")).unwrap();
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert!(seen.lock().take().unwrap().is_ok());
+}
+
+#[test]
+fn lossy_link_drops_messages() {
+    let sim = Sim::new(12);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    sim.set_link(
+        a.node(),
+        b.node(),
+        LinkParams {
+            latency: Duration::from_micros(100),
+            bandwidth: None,
+            loss: 1.0,
+        },
+    );
+    let rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    let rt_b = b.clone();
+    b.spawn_fn("recv", move || {
+        let ep = rt_b.open(PortReq::Fixed(80)).unwrap();
+        let _ = ep.recv(None);
+    });
+    a.spawn_fn("send", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        for _ in 0..10 {
+            ep.send(to, Bytes::from_static(b"hi")).unwrap();
+        }
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let st = sim.net_stats();
+    assert_eq!(st.msgs_sent, 10);
+    assert_eq!(st.msgs_dropped, 10);
+    assert_eq!(st.msgs_delivered, 0);
+}
+
+#[test]
+fn sim_chan_coordinates_processes() {
+    let sim = Sim::new(13);
+    let a = sim.add_node("a");
+    let ch: SimChan<u64> = SimChan::new(&sim);
+    let ch2 = ch.clone();
+    let rt = a.clone();
+    a.spawn_fn("producer", move || {
+        for i in 0..3 {
+            rt.sleep(secs(1));
+            ch2.send(i);
+        }
+    });
+    let out = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let out2 = Arc::clone(&out);
+    let ch3 = ch.clone();
+    let rt = a.clone();
+    a.spawn_fn("consumer", move || {
+        for _ in 0..3 {
+            let v = ch3.recv(None).unwrap();
+            out2.lock().push((v, rt.now().as_micros() / 1_000_000));
+        }
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(*out.lock(), vec![(0, 1), (1, 2), (2, 3)]);
+}
+
+#[test]
+fn deterministic_with_same_seed() {
+    fn run(seed: u64) -> (u64, Vec<u64>) {
+        let sim = Sim::new(seed);
+        let a = sim.add_node("a");
+        let b = sim.add_node("b");
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (idx, node) in [a.clone(), b.clone()].into_iter().enumerate() {
+            let order = Arc::clone(&order);
+            let rt = node.clone();
+            node.spawn_fn(&format!("p{idx}"), move || {
+                for _ in 0..50 {
+                    let jitter = rt.rand_below(1000);
+                    rt.sleep(Duration::from_micros(500 + jitter));
+                    order
+                        .lock()
+                        .push(idx as u64 * 10_000 + rt.now().as_micros() % 10_000);
+                }
+            });
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let v = order.lock().clone();
+        (sim.net_stats().msgs_sent, v)
+    }
+    let r1 = run(99);
+    let r2 = run(99);
+    assert_eq!(r1, r2);
+    let r3 = run(100);
+    assert_ne!(r1.1, r3.1, "different seeds should diverge");
+}
+
+#[test]
+fn counters_accumulate() {
+    let sim = Sim::new(14);
+    sim.counter_add("x", 2);
+    sim.counter_add("x", 3);
+    assert_eq!(sim.counter_get("x"), 5);
+    assert_eq!(sim.counter_get("missing"), 0);
+    assert_eq!(sim.counters().len(), 1);
+}
+
+#[test]
+fn busy_occupies_the_process() {
+    // A single-threaded server that is busy cannot answer: model check.
+    let sim = Sim::new(15);
+    let a = sim.add_node("a");
+    let served_at = Arc::new(AtomicU64::new(0));
+    let served2 = Arc::clone(&served_at);
+    let rt = a.clone();
+    a.spawn_fn("server", move || {
+        let ep = rt.open(PortReq::Fixed(80)).unwrap();
+        // Busy for 10 seconds before first serving.
+        rt.busy(secs(10));
+        let _ = ep.recv(None);
+        served2.store(rt.now().as_micros(), Ordering::Relaxed);
+    });
+    let rt = a.clone();
+    let to = Addr::new(a.node(), 80);
+    a.spawn_fn("client", move || {
+        rt.sleep(secs(1));
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from_static(b"ping")).unwrap();
+    });
+    sim.run_until(SimTime::from_secs(30));
+    assert_eq!(served_at.load(Ordering::Relaxed), 10_000_000);
+}
+
+#[test]
+fn spawned_process_panics_propagate() {
+    let sim = Sim::new(16);
+    let a = sim.add_node("a");
+    a.spawn_fn("bad", || panic!("boom"));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.run_until(SimTime::from_secs(1));
+    }));
+    assert!(result.is_err());
+}
+
+#[test]
+fn zero_timeout_recv_polls() {
+    let sim = Sim::new(17);
+    let a = sim.add_node("a");
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt = a.clone();
+    a.spawn_fn("poll", move || {
+        let ep = rt.open(PortReq::Fixed(1)).unwrap();
+        let t0 = rt.now();
+        let r = ep.recv(Some(Duration::ZERO));
+        *seen2.lock() = Some((r, rt.now() == t0));
+    });
+    sim.run_until(SimTime::from_secs(1));
+    let (r, instant) = seen.lock().take().unwrap();
+    assert_eq!(r.unwrap_err(), RecvError::TimedOut);
+    assert!(instant, "zero-timeout poll must not advance time");
+}
+
+#[test]
+fn many_processes_run_to_completion() {
+    let sim = Sim::new(18);
+    let a = sim.add_node("a");
+    let done = Arc::new(AtomicU64::new(0));
+    for i in 0..200 {
+        let rt = a.clone();
+        let done = Arc::clone(&done);
+        a.spawn_fn(&format!("w{i}"), move || {
+            rt.sleep(Duration::from_millis(i as u64 % 17));
+            done.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    sim.run_until(SimTime::from_secs(1));
+    assert_eq!(done.load(Ordering::Relaxed), 200);
+    assert_eq!(sim.live_processes(), 0);
+}
+
+#[test]
+fn process_groups_inherit_and_kill_together() {
+    let sim = Sim::new(19);
+    let a = sim.add_node("a");
+    let counter = Arc::new(AtomicU64::new(0));
+    let c2 = Arc::clone(&counter);
+    let rt = a.clone();
+    let group = a.spawn_group(
+        "service",
+        Box::new(move || {
+            // Children spawned from inside inherit the group.
+            for i in 0..3 {
+                let rt2 = rt.clone();
+                let c3 = Arc::clone(&c2);
+                rt.spawn_fn(&format!("child{i}"), move || loop {
+                    rt2.sleep(Duration::from_secs(1));
+                    c3.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            loop {
+                rt.sleep(Duration::from_secs(10));
+            }
+        }),
+    );
+    sim.run_until(SimTime::from_secs(5) + Duration::from_millis(1));
+    assert!(group.alive());
+    let before = counter.load(Ordering::Relaxed);
+    assert_eq!(before, 15); // 3 children x 5 ticks
+    group.kill();
+    sim.run_until(SimTime::from_secs(20));
+    assert!(!group.alive());
+    assert_eq!(counter.load(Ordering::Relaxed), before);
+}
+
+#[test]
+fn killing_group_closes_its_endpoints() {
+    let sim = Sim::new(20);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let rt = b.clone();
+    let group = b.spawn_group(
+        "svc",
+        Box::new(move || {
+            let ep = rt.open(PortReq::Fixed(80)).unwrap();
+            loop {
+                let _ = ep.recv(None);
+            }
+        }),
+    );
+    sim.run_until(SimTime::from_secs(1));
+    group.kill();
+    sim.run_until(SimTime::from_secs(2));
+    // Sends to the killed service's port now bounce.
+    let seen = Arc::new(parking_lot::Mutex::new(None));
+    let seen2 = Arc::clone(&seen);
+    let rt = a.clone();
+    let to = Addr::new(b.node(), 80);
+    a.spawn_fn("probe", move || {
+        let ep = rt.open(PortReq::Ephemeral).unwrap();
+        ep.send(to, Bytes::from_static(b"hi")).unwrap();
+        *seen2.lock() = Some(ep.recv(Some(secs(2))));
+    });
+    sim.run_until(SimTime::from_secs(10));
+    assert_eq!(seen.lock().take().unwrap(), Err(RecvError::Unreachable(to)));
+}
+
+#[test]
+fn group_dies_when_root_and_children_exit() {
+    let sim = Sim::new(21);
+    let a = sim.add_node("a");
+    let rt = a.clone();
+    let group = a.spawn_group(
+        "short",
+        Box::new(move || {
+            rt.sleep(Duration::from_secs(1));
+        }),
+    );
+    sim.run_until(SimTime::from_secs(5));
+    assert!(!group.alive());
+}

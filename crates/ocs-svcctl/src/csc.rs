@@ -1,0 +1,311 @@
+//! The Cluster Service Controller (§6.2): primary/backup service that
+//! reads the static placement configuration from the database, pings the
+//! SSC on every server, and directs SSCs to start (and re-start, after a
+//! node recovers) the services assigned to them. Also exports the
+//! operator tools for stopping, starting and moving services.
+//!
+//! The backup replica keeps no state: on promotion it re-reads the
+//! placement table and re-queries every SSC — exactly the "backup
+//! discovers the cluster state by querying each SSC" recovery of §6.2.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ocs_db::{DbApiClient, DbTables, ServicePlacement};
+use ocs_name::{acquire_primary, NsHandle, RebindPolicy, Rebinding};
+use ocs_orb::{Caller, ObjRef, Orb, OrbError, RpcFault, ThreadModel};
+use ocs_sim::{NetError, NodeId, PortReq, Rt};
+use parking_lot::Mutex;
+
+use crate::types::{CscApi, CscApiServant, NodeServices, SscApiClient, SvcError};
+
+/// CSC tuning knobs.
+#[derive(Clone, Debug)]
+pub struct CscConfig {
+    /// Request port of the CSC's ORB.
+    pub port: u16,
+    /// Name under which the primary binds itself (the §5.2 bind race).
+    pub bind_path: String,
+    /// Context that holds one SSC binding per node.
+    pub ssc_prefix: String,
+    /// Name the database service is bound at.
+    pub db_path: String,
+    /// How often the primary pings SSCs and reconciles placement.
+    pub ping_interval: Duration,
+    /// Bind retry interval while acting as backup (§9.7: 10 s).
+    pub bind_retry: Duration,
+}
+
+impl Default for CscConfig {
+    fn default() -> CscConfig {
+        CscConfig {
+            port: 15,
+            bind_path: "svc/csc".to_string(),
+            ssc_prefix: "svc/ssc".to_string(),
+            db_path: "svc/db".to_string(),
+            ping_interval: Duration::from_secs(2),
+            bind_retry: Duration::from_secs(10),
+        }
+    }
+}
+
+struct CscState {
+    /// Last observed cluster status, refreshed every reconcile pass.
+    status: Vec<NodeServices>,
+    /// Nodes whose SSC was unreachable on the previous pass (to detect
+    /// recoveries, §6.3: "the CSC detects the presence of the new SSC and
+    /// instructs it to start the appropriate services").
+    unreachable: Vec<NodeId>,
+    is_primary: bool,
+}
+
+/// The Cluster Service Controller.
+pub struct Csc {
+    rt: Rt,
+    cfg: CscConfig,
+    ns: NsHandle,
+    db: Rebinding<DbApiClient>,
+    state: Mutex<CscState>,
+}
+
+impl Csc {
+    /// Starts a CSC replica: it campaigns for the `bind_path` name and
+    /// runs the reconcile loop once primary. Returns the instance (the
+    /// serve loop runs in the calling process's group via `run`).
+    pub fn new(rt: Rt, cfg: CscConfig, ns: NsHandle) -> Arc<Csc> {
+        let db = Rebinding::new(
+            ns.clone(),
+            cfg.db_path.clone(),
+            RebindPolicy {
+                retry_interval: Duration::from_secs(1),
+                give_up_after: Duration::from_secs(20),
+                jitter: false,
+            },
+        );
+        Arc::new(Csc {
+            rt,
+            cfg,
+            ns,
+            db,
+            state: Mutex::new(CscState {
+                status: Vec::new(),
+                unreachable: Vec::new(),
+                is_primary: false,
+            }),
+        })
+    }
+
+    /// Whether this replica is currently the primary.
+    pub fn is_primary(&self) -> bool {
+        self.state.lock().is_primary
+    }
+
+    /// Latest cluster status snapshot (primary only; empty otherwise).
+    pub fn status(&self) -> Vec<NodeServices> {
+        self.state.lock().status.clone()
+    }
+
+    /// The CSC main: opens the ORB, races for primacy, then reconciles
+    /// until killed. Run inside an SSC-managed process group.
+    pub fn run(self: &Arc<Self>, notify_ready: impl Fn(Vec<ObjRef>)) -> Result<(), NetError> {
+        let orb = Orb::build(
+            self.rt.clone(),
+            PortReq::Fixed(self.cfg.port),
+            ThreadModel::PerRequest,
+            None,
+            Arc::new(ocs_orb::NoAuth),
+        )?;
+        let self_ref = orb.export_root(Arc::new(CscApiServant(Arc::clone(self))));
+        orb.start();
+        notify_ready(vec![self_ref]);
+        // §5.2: backups block here retrying bind until the primary's
+        // binding disappears.
+        acquire_primary(
+            &self.ns,
+            &self.rt,
+            &self.cfg.bind_path,
+            self_ref,
+            self.cfg.bind_retry,
+        );
+        self.state.lock().is_primary = true;
+        self.rt.trace("csc: promoted to primary");
+        loop {
+            self.reconcile();
+            self.rt.sleep(self.cfg.ping_interval);
+        }
+    }
+
+    /// SSC bindings as `(node, client)`, from the name service.
+    fn sscs(&self) -> Vec<(NodeId, SscApiClient)> {
+        let Ok(bindings) = self.ns.list(&self.cfg.ssc_prefix) else {
+            return Vec::new();
+        };
+        bindings
+            .into_iter()
+            .filter_map(|b| {
+                let node = NodeId(b.name.parse().ok()?);
+                let ctx = ocs_orb::ClientCtx::new(self.rt.clone())
+                    .with_timeout(Duration::from_millis(800));
+                SscApiClient::attach(ctx, b.obj).ok().map(|c| (node, c))
+            })
+            .collect()
+    }
+
+    fn placements(&self) -> Vec<ServicePlacement> {
+        self.db.call(DbTables::placements).unwrap_or_default()
+    }
+
+    /// One reconcile pass: ping every SSC, detect recoveries, and start
+    /// any placed-but-not-running services.
+    fn reconcile(self: &Arc<Self>) {
+        let placements = self.placements();
+        let mut by_node: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
+        for p in &placements {
+            for node in &p.nodes {
+                by_node.entry(*node).or_default().push(p.service.clone());
+            }
+        }
+        let mut status = Vec::new();
+        let mut unreachable = Vec::new();
+        for (node, ssc) in self.sscs() {
+            match ssc.running_services() {
+                Ok(services) => {
+                    let wanted = by_node.get(&node).cloned().unwrap_or_default();
+                    for name in wanted {
+                        let running = services.iter().any(|s| s.name == name && s.running);
+                        if !running {
+                            let _ = ssc.start_service(name);
+                        }
+                    }
+                    status.push(NodeServices {
+                        node,
+                        reachable: true,
+                        services,
+                    });
+                }
+                Err(_) => {
+                    unreachable.push(node);
+                    status.push(NodeServices {
+                        node,
+                        reachable: false,
+                        services: Vec::new(),
+                    });
+                }
+            }
+        }
+        let mut st = self.state.lock();
+        st.status = status;
+        st.unreachable = unreachable;
+    }
+
+    fn ssc_for(&self, node: NodeId) -> Result<SscApiClient, SvcError> {
+        self.sscs()
+            .into_iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, c)| c)
+            .ok_or(SvcError::NodeUnreachable { node })
+    }
+}
+
+impl CscApi for Csc {
+    fn cluster_status(&self, _caller: &Caller) -> Result<Vec<NodeServices>, SvcError> {
+        Ok(self.state.lock().status.clone())
+    }
+
+    fn move_service(
+        &self,
+        _caller: &Caller,
+        name: String,
+        from: NodeId,
+        to: NodeId,
+    ) -> Result<(), SvcError> {
+        self.update_placement(&name, |nodes| {
+            nodes.retain(|n| *n != from);
+            if !nodes.contains(&to) {
+                nodes.push(to);
+            }
+        })?;
+        if let Ok(ssc) = self.ssc_for(from) {
+            let _ = ssc.stop_service(name.clone());
+        }
+        let ssc = self.ssc_for(to)?;
+        ssc.start_service(name)
+    }
+
+    fn set_placement(
+        &self,
+        _caller: &Caller,
+        node: NodeId,
+        name: String,
+        run: bool,
+    ) -> Result<(), SvcError> {
+        self.update_placement(&name, |nodes| {
+            if run {
+                if !nodes.contains(&node) {
+                    nodes.push(node);
+                }
+            } else {
+                nodes.retain(|n| *n != node);
+            }
+        })?;
+        let ssc = self.ssc_for(node)?;
+        if run {
+            ssc.start_service(name)
+        } else {
+            ssc.stop_service(name)
+        }
+    }
+}
+
+impl Csc {
+    fn update_placement(&self, name: &str, f: impl Fn(&mut Vec<NodeId>)) -> Result<(), SvcError> {
+        self.db
+            .call(|db| {
+                let mut rows = DbTables::placements(db)?;
+                let mut found = false;
+                for row in &mut rows {
+                    if row.service == name {
+                        f(&mut row.nodes);
+                        DbTables::put_placement(db, row)?;
+                        found = true;
+                    }
+                }
+                if !found {
+                    let mut nodes = Vec::new();
+                    f(&mut nodes);
+                    DbTables::put_placement(
+                        db,
+                        &ServicePlacement {
+                            service: name.to_string(),
+                            nodes,
+                        },
+                    )?;
+                }
+                Ok(())
+            })
+            .map_err(|e: ocs_db::DbError| match e.orb_error() {
+                Some(err) => SvcError::Comm { err: err.clone() },
+                None => SvcError::Dependency {
+                    what: e.to_string(),
+                },
+            })
+    }
+}
+
+/// Convenience: resolve the primary CSC through the name service.
+pub fn csc_client(ns: &NsHandle, path: &str) -> Result<crate::types::CscApiClient, SvcError> {
+    ns.resolve_as::<crate::types::CscApiClient>(path)
+        .map_err(|e| match e {
+            ocs_name::NsError::Comm { err } => SvcError::Comm { err },
+            other => SvcError::Dependency {
+                what: other.to_string(),
+            },
+        })
+}
+
+/// Guard against accidentally unused import of OrbError in signatures.
+#[allow(dead_code)]
+fn _orb_error_is_used(e: OrbError) -> OrbError {
+    e
+}

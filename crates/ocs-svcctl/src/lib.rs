@@ -1,0 +1,21 @@
+//! The OCS service controllers (paper §6).
+//!
+//! * [`Ssc`] — the Server Service Controller: one per server, started at
+//!   node boot ("by init"); starts the basic services, monitors every
+//!   managed service's process group, restarts the dead ones, and feeds
+//!   object-liveness callbacks to the Resource Audit Service.
+//! * [`Csc`] — the Cluster Service Controller: primary/backup (via the
+//!   §5.2 bind race); reads the static placement table from the database,
+//!   pings every SSC, restarts placement on recovered nodes, and exposes
+//!   the operator tools (`move_service`, `set_placement`).
+
+mod csc;
+mod ssc;
+mod types;
+
+pub use csc::{csc_client, Csc, CscConfig};
+pub use ssc::{ServiceDef, ServiceFactory, ServiceRunCtx, Ssc, SscConfig};
+pub use types::{
+    CscApi, CscApiClient, CscApiServant, NodeServices, ServiceStatus, SscApi, SscApiClient,
+    SscApiServant, SscCallback, SscCallbackClient, SscCallbackServant, SvcError,
+};

@@ -1,0 +1,173 @@
+//! Wire types and interfaces of the service controllers (§6).
+
+use std::fmt;
+
+use ocs_orb::{declare_interface, impl_rpc_fault, ObjRef, OrbError};
+use ocs_sim::NodeId;
+use ocs_wire::{impl_wire_enum, impl_wire_struct};
+
+/// Errors from the service controllers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SvcError {
+    /// No service with that name is registered on the node.
+    UnknownService { name: String },
+    /// The target node's SSC is unreachable.
+    NodeUnreachable { node: NodeId },
+    /// The operation needs the database or name service and it failed.
+    Dependency { what: String },
+    /// Transport failure.
+    Comm { err: OrbError },
+}
+
+impl fmt::Display for SvcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvcError::UnknownService { name } => write!(f, "unknown service: {name}"),
+            SvcError::NodeUnreachable { node } => write!(f, "node unreachable: {node}"),
+            SvcError::Dependency { what } => write!(f, "dependency failure: {what}"),
+            SvcError::Comm { err } => write!(f, "communication failure: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SvcError {}
+
+impl_wire_enum!(SvcError {
+    0 => UnknownService { name },
+    1 => NodeUnreachable { node },
+    2 => Dependency { what },
+    3 => Comm { err },
+});
+impl_rpc_fault!(SvcError);
+
+/// Status of one managed service instance on a node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceStatus {
+    /// Service name.
+    pub name: String,
+    /// Whether its process group is currently alive.
+    pub running: bool,
+    /// How many times the SSC has restarted it.
+    pub restarts: u32,
+    /// Whether the SSC starts it unconditionally at boot (a "basic"
+    /// service per §6.3 step 2, outside the CSC's placement control).
+    pub basic: bool,
+    /// Objects the instance registered via `notify_ready`.
+    pub objects: Vec<ObjRef>,
+}
+
+impl_wire_struct!(ServiceStatus {
+    name,
+    running,
+    restarts,
+    basic,
+    objects
+});
+
+/// One node's worth of cluster status, as reported by the CSC.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeServices {
+    /// The node.
+    pub node: NodeId,
+    /// Whether its SSC answered the last ping.
+    pub reachable: bool,
+    /// Service statuses (empty when unreachable).
+    pub services: Vec<ServiceStatus>,
+}
+
+impl_wire_struct!(NodeServices {
+    node,
+    reachable,
+    services
+});
+
+declare_interface! {
+    /// The Server Service Controller interface (§6.1).
+    pub interface SscApi [SscApiClient, SscApiServant]: "ocs.ssc" {
+        /// Liveness probe; returns the SSC's uptime in microseconds.
+        1 => fn ping(&self) -> Result<u64, SvcError>;
+        /// Marks a registered service as wanted and starts it.
+        2 => fn start_service(&self, name: String) -> Result<(), SvcError>;
+        /// Marks a service unwanted and kills its process group.
+        3 => fn stop_service(&self, name: String) -> Result<(), SvcError>;
+        /// Status of every registered service.
+        4 => fn running_services(&self) -> Result<Vec<ServiceStatus>, SvcError>;
+        /// A service instance registers its exported objects (§6.1
+        /// `notifyReady`).
+        5 => fn notify_ready(&self, service: String, objects: Vec<ObjRef>) -> Result<(), SvcError>;
+        /// Registers a callback object (implementing `ocs.ssc-callback`)
+        /// to be told when the set of live objects changes; invoked
+        /// immediately with all currently live objects (§6.1
+        /// `registerCallback`).
+        6 => fn register_callback(&self, cb: ObjRef) -> Result<(), SvcError>;
+    }
+}
+
+declare_interface! {
+    /// Callback interface for SSC object-liveness notifications, used by
+    /// the Resource Audit Service (§7.2).
+    pub interface SscCallback [SscCallbackClient, SscCallbackServant]: "ocs.ssc-callback" {
+        /// Objects newly registered by live services.
+        1 => fn objects_up(&self, objects: Vec<ObjRef>) -> Result<(), SvcError>;
+        /// Objects whose implementing service instance died.
+        2 => fn objects_down(&self, objects: Vec<ObjRef>) -> Result<(), SvcError>;
+    }
+}
+
+declare_interface! {
+    /// The Cluster Service Controller interface (§6.2): cluster-wide
+    /// placement plus the operator tools for stopping, starting and
+    /// moving services.
+    pub interface CscApi [CscApiClient, CscApiServant]: "ocs.csc" {
+        /// Status of every node's SSC and services.
+        1 => fn cluster_status(&self) -> Result<Vec<NodeServices>, SvcError>;
+        /// Moves a service's placement from one node to another.
+        2 => fn move_service(&self, name: String, from: NodeId, to: NodeId) -> Result<(), SvcError>;
+        /// Adds (`run = true`) or removes a service from a node's
+        /// placement.
+        3 => fn set_placement(&self, node: NodeId, name: String, run: bool) -> Result<(), SvcError>;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_sim::Addr;
+    use ocs_wire::Wire;
+
+    #[test]
+    fn status_round_trips() {
+        let s = ServiceStatus {
+            name: "mms".into(),
+            running: true,
+            restarts: 2,
+            basic: false,
+            objects: vec![ObjRef {
+                addr: Addr::new(NodeId(1), 22),
+                incarnation: 3,
+                type_id: 9,
+                object_id: 0,
+            }],
+        };
+        assert_eq!(ServiceStatus::from_bytes(&s.to_bytes()).unwrap(), s);
+        let n = NodeServices {
+            node: NodeId(4),
+            reachable: false,
+            services: vec![s],
+        };
+        assert_eq!(NodeServices::from_bytes(&n.to_bytes()).unwrap(), n);
+    }
+
+    #[test]
+    fn errors_round_trip() {
+        for e in [
+            SvcError::UnknownService { name: "x".into() },
+            SvcError::NodeUnreachable { node: NodeId(3) },
+            SvcError::Comm {
+                err: OrbError::Timeout,
+            },
+        ] {
+            assert_eq!(SvcError::from_bytes(&e.to_bytes()).unwrap(), e);
+        }
+    }
+}

@@ -1,0 +1,665 @@
+//! Marshalling for the OCS object exchange layer.
+//!
+//! The paper's system defined all client/server interfaces in CORBA IDL
+//! and generated C++ stubs that marshalled arguments onto the wire. This
+//! crate is the equivalent runtime: a compact little-endian, length-
+//! prefixed format (in the spirit of CORBA's CDR) with a [`Wire`] trait
+//! implemented for primitives, strings, containers and the runtime's
+//! address types, plus [`impl_wire_struct!`]/[`impl_wire_enum!`] macros
+//! that stand in for the IDL compiler.
+//!
+//! # Format
+//!
+//! * fixed-width integers and floats: little-endian, natural width
+//! * `bool`: one byte, `0`/`1` (anything else is a decode error)
+//! * `String` / `Vec<T>` / maps: `u32` element count, then elements
+//! * `Option<T>`: one tag byte then the payload
+//! * enums (via [`impl_wire_enum!`]): one tag byte then the variant fields
+//!
+//! Decoding is strict: unknown tags, non-UTF-8 strings, truncated input
+//! and (optionally) trailing bytes are all errors, never panics, so a
+//! malformed message from the network can't take a service down.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use ocs_sim::{Addr, NodeId, SimTime};
+
+/// Errors produced while decoding a wire message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// An enum/option tag byte had no corresponding variant.
+    InvalidTag(u8),
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// A declared length exceeds the remaining input (corrupt or hostile).
+    LengthOverrun { declared: usize, remaining: usize },
+    /// A `bool` byte was neither 0 nor 1.
+    BadBool(u8),
+    /// Input remained after the top-level value was decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            WireError::BadUtf8 => write!(f, "string is not valid UTF-8"),
+            WireError::LengthOverrun {
+                declared,
+                remaining,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining {remaining} bytes"
+            ),
+            WireError::BadBool(b) => write!(f, "invalid bool byte {b}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// An append-only encoder over a growable buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// Creates an encoder with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Encoder {
+        Encoder {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Appends one raw byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.extend_from_slice(&[v]);
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a `u32` element count.
+    pub fn put_len(&mut self, n: usize) {
+        (n as u32).encode_into(self);
+    }
+
+    /// Finishes encoding, returning the frozen buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A cursor-based decoder over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Takes one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Takes a `u32` element count, validated against the remaining input
+    /// assuming at least `min_elem_size` bytes per element.
+    pub fn len_prefix(&mut self, min_elem_size: usize) -> Result<usize, WireError> {
+        let n = u32::decode_from(self)? as usize;
+        let need = n.saturating_mul(min_elem_size.max(1));
+        if need > self.remaining() {
+            return Err(WireError::LengthOverrun {
+                declared: n,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    /// Returns an error if any input remains.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            Err(WireError::TrailingBytes(self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A value that can be marshalled to and from the wire format.
+pub trait Wire: Sized {
+    /// Appends this value to the encoder.
+    fn encode_into(&self, e: &mut Encoder);
+
+    /// Decodes one value from the cursor.
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError>;
+
+    /// Encodes this value into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut e = Encoder::new();
+        self.encode_into(&mut e);
+        e.finish()
+    }
+
+    /// Decodes a complete value, rejecting trailing bytes.
+    fn from_bytes(b: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new(b);
+        let v = Self::decode_from(&mut d)?;
+        d.expect_end()?;
+        Ok(v)
+    }
+}
+
+macro_rules! wire_int {
+    ($($ty:ty),*) => {
+        $(
+            impl Wire for $ty {
+                fn encode_into(&self, e: &mut Encoder) {
+                    e.put_raw(&self.to_le_bytes());
+                }
+                fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+                    let n = std::mem::size_of::<$ty>();
+                    let s = d.take(n)?;
+                    let mut a = [0u8; std::mem::size_of::<$ty>()];
+                    a.copy_from_slice(s);
+                    Ok(<$ty>::from_le_bytes(a))
+                }
+            }
+        )*
+    };
+}
+
+wire_int!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Wire for bool {
+    fn encode_into(&self, e: &mut Encoder) {
+        e.put_u8(*self as u8);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::BadBool(b)),
+        }
+    }
+}
+
+impl Wire for () {
+    fn encode_into(&self, _e: &mut Encoder) {}
+    fn decode_from(_d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn encode_into(&self, e: &mut Encoder) {
+        e.put_len(self.len());
+        e.put_raw(self.as_bytes());
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = d.len_prefix(1)?;
+        let s = d.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl Wire for Bytes {
+    fn encode_into(&self, e: &mut Encoder) {
+        e.put_len(self.len());
+        e.put_raw(self);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = d.len_prefix(1)?;
+        Ok(Bytes::copy_from_slice(d.take(n)?))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode_into(&self, e: &mut Encoder) {
+        e.put_len(self.len());
+        for v in self {
+            v.encode_into(e);
+        }
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = d.len_prefix(1)?;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            out.push(T::decode_from(d)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode_into(&self, e: &mut Encoder) {
+        match self {
+            None => e.put_u8(0),
+            Some(v) => {
+                e.put_u8(1);
+                v.encode_into(e);
+            }
+        }
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(d)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<T: Wire, E: Wire> Wire for Result<T, E> {
+    fn encode_into(&self, e: &mut Encoder) {
+        match self {
+            Ok(v) => {
+                e.put_u8(0);
+                v.encode_into(e);
+            }
+            Err(err) => {
+                e.put_u8(1);
+                err.encode_into(e);
+            }
+        }
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.u8()? {
+            0 => Ok(Ok(T::decode_from(d)?)),
+            1 => Ok(Err(E::decode_from(d)?)),
+            t => Err(WireError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<K: Wire + Ord, V: Wire> Wire for BTreeMap<K, V> {
+    fn encode_into(&self, e: &mut Encoder) {
+        e.put_len(self.len());
+        for (k, v) in self {
+            k.encode_into(e);
+            v.encode_into(e);
+        }
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = d.len_prefix(2)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..n {
+            let k = K::decode_from(d)?;
+            let v = V::decode_from(d)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode_into(&self, e: &mut Encoder) {
+                $( self.$idx.encode_into(e); )+
+            }
+            fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+                Ok(($( $name::decode_from(d)?, )+))
+            }
+        }
+    };
+}
+
+wire_tuple!(A: 0);
+wire_tuple!(A: 0, B: 1);
+wire_tuple!(A: 0, B: 1, C: 2);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl Wire for Duration {
+    fn encode_into(&self, e: &mut Encoder) {
+        (self.as_micros() as u64).encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Duration::from_micros(u64::decode_from(d)?))
+    }
+}
+
+impl Wire for SimTime {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.as_micros().encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SimTime::from_micros(u64::decode_from(d)?))
+    }
+}
+
+impl Wire for NodeId {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.0.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(NodeId(u32::decode_from(d)?))
+    }
+}
+
+impl Wire for Addr {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.node.encode_into(e);
+        self.port.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Addr {
+            node: NodeId::decode_from(d)?,
+            port: u16::decode_from(d)?,
+        })
+    }
+}
+
+/// Implements [`Wire`] for a struct from its field list, in declaration
+/// order — the stand-in for IDL-compiled struct marshalling.
+///
+/// # Examples
+///
+/// ```
+/// use ocs_wire::{impl_wire_struct, Wire};
+///
+/// #[derive(Debug, PartialEq)]
+/// struct Movie { title: String, bitrate: u32 }
+/// impl_wire_struct!(Movie { title, bitrate });
+///
+/// let m = Movie { title: "T2".into(), bitrate: 4_000_000 };
+/// assert_eq!(Movie::from_bytes(&m.to_bytes()).unwrap(), m);
+/// ```
+#[macro_export]
+macro_rules! impl_wire_struct {
+    ($name:ident { $($field:ident),* $(,)? }) => {
+        impl $crate::Wire for $name {
+            fn encode_into(&self, e: &mut $crate::Encoder) {
+                $( $crate::Wire::encode_into(&self.$field, e); )*
+            }
+            fn decode_from(d: &mut $crate::Decoder<'_>) -> Result<Self, $crate::WireError> {
+                Ok($name { $( $field: $crate::Wire::decode_from(d)? ),* })
+            }
+        }
+    };
+}
+
+/// Implements [`Wire`] for an enum with unit and struct-style variants,
+/// each assigned an explicit tag byte — the stand-in for IDL unions and
+/// exception types.
+///
+/// # Examples
+///
+/// ```
+/// use ocs_wire::{impl_wire_enum, Wire};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum PlayError {
+///     NotFound,
+///     Busy { retry_after_ms: u64 },
+/// }
+/// impl_wire_enum!(PlayError {
+///     0 => NotFound,
+///     1 => Busy { retry_after_ms },
+/// });
+///
+/// let e = PlayError::Busy { retry_after_ms: 250 };
+/// assert_eq!(PlayError::from_bytes(&e.to_bytes()).unwrap(), e);
+/// ```
+#[macro_export]
+macro_rules! impl_wire_enum {
+    ($name:ident { $($tag:literal => $variant:ident $({ $($f:ident),* $(,)? })? ),* $(,)? }) => {
+        impl $crate::Wire for $name {
+            fn encode_into(&self, e: &mut $crate::Encoder) {
+                match self {
+                    $(
+                        $name::$variant $({ $($f),* })? => {
+                            e.put_u8($tag);
+                            $($( $crate::Wire::encode_into($f, e); )*)?
+                        }
+                    )*
+                }
+            }
+            fn decode_from(d: &mut $crate::Decoder<'_>) -> Result<Self, $crate::WireError> {
+                match d.u8()? {
+                    $(
+                        $tag => Ok($name::$variant $({ $($f: $crate::Wire::decode_from(d)?),* })?),
+                    )*
+                    other => Err($crate::WireError::InvalidTag(other)),
+                }
+            }
+        }
+    };
+}
+
+/// FNV-1a hash of a name, used for interface type identifiers.
+///
+/// Stable across runs and platforms so that object references marshalled
+/// by one node verify on another.
+pub const fn type_id_of(name: &str) -> u32 {
+    let bytes = name.as_bytes();
+    let mut hash: u32 = 0x811c9dc5;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u32;
+        hash = hash.wrapping_mul(0x01000193);
+        i += 1;
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let b = v.to_bytes();
+        assert_eq!(T::from_bytes(&b).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(-1i8);
+        round_trip(i16::MIN);
+        round_trip(i32::MIN);
+        round_trip(i64::MIN);
+        round_trip(1.5f32);
+        round_trip(-2.75f64);
+        round_trip(true);
+        round_trip(false);
+        round_trip(());
+    }
+
+    #[test]
+    fn strings_and_bytes() {
+        round_trip(String::new());
+        round_trip("héllo wörld".to_string());
+        round_trip(Bytes::from_static(b"raw"));
+    }
+
+    #[test]
+    fn containers() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<String>::new());
+        round_trip(Some("x".to_string()));
+        round_trip(None::<u64>);
+        round_trip(Ok::<u32, String>(7));
+        round_trip(Err::<u32, String>("bad".into()));
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2);
+        round_trip(m);
+        round_trip((1u8, "two".to_string(), 3u64));
+    }
+
+    #[test]
+    fn runtime_types() {
+        round_trip(Duration::from_millis(1500));
+        round_trip(SimTime::from_secs(42));
+        round_trip(NodeId(7));
+        round_trip(Addr::new(NodeId(3), 9000));
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let b = 12345u64.to_bytes();
+        assert_eq!(
+            u64::from_bytes(&b[..4]).unwrap_err(),
+            WireError::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = 7u32.to_bytes().to_vec();
+        b.push(9);
+        assert_eq!(
+            u32::from_bytes(&b).unwrap_err(),
+            WireError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // Declares 4 billion elements with a 2-byte body.
+        let mut e = Encoder::new();
+        e.put_len(u32::MAX as usize);
+        e.put_raw(b"xx");
+        let b = e.finish();
+        match Vec::<u8>::from_bytes(&b).unwrap_err() {
+            WireError::LengthOverrun { .. } => {}
+            other => panic!("expected overrun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        assert_eq!(bool::from_bytes(&[2]).unwrap_err(), WireError::BadBool(2));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.put_len(2);
+        e.put_raw(&[0xff, 0xfe]);
+        assert_eq!(
+            String::from_bytes(&e.finish()).unwrap_err(),
+            WireError::BadUtf8
+        );
+    }
+
+    #[test]
+    fn bad_option_tag_rejected() {
+        assert_eq!(
+            Option::<u8>::from_bytes(&[7]).unwrap_err(),
+            WireError::InvalidTag(7)
+        );
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Inner {
+        a: u16,
+        b: Option<String>,
+    }
+    impl_wire_struct!(Inner { a, b });
+
+    #[derive(Debug, PartialEq)]
+    struct Outer {
+        xs: Vec<Inner>,
+        tag: String,
+    }
+    impl_wire_struct!(Outer { xs, tag });
+
+    #[test]
+    fn nested_structs_round_trip() {
+        round_trip(Outer {
+            xs: vec![
+                Inner { a: 1, b: None },
+                Inner {
+                    a: 2,
+                    b: Some("x".into()),
+                },
+            ],
+            tag: "t".into(),
+        });
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Mixed {
+        Unit,
+        One { v: u32 },
+        Two { s: String, n: i64 },
+    }
+    impl_wire_enum!(Mixed {
+        0 => Unit,
+        1 => One { v },
+        2 => Two { s, n },
+    });
+
+    #[test]
+    fn enums_round_trip() {
+        round_trip(Mixed::Unit);
+        round_trip(Mixed::One { v: 9 });
+        round_trip(Mixed::Two {
+            s: "hi".into(),
+            n: -3,
+        });
+        assert_eq!(
+            Mixed::from_bytes(&[9]).unwrap_err(),
+            WireError::InvalidTag(9)
+        );
+    }
+
+    #[test]
+    fn type_id_is_stable_and_distinct() {
+        assert_eq!(type_id_of("itv.mms"), type_id_of("itv.mms"));
+        assert_ne!(type_id_of("itv.mms"), type_id_of("itv.mds"));
+        assert_ne!(type_id_of(""), type_id_of("a"));
+    }
+}

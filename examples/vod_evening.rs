@@ -1,0 +1,94 @@
+//! An evening of interactive TV: every settop runs a Zipf-popularity
+//! workload of VOD viewing and home shopping for half an hour of virtual
+//! time, with one server failure injected in the middle — the paper's
+//! normal operating mode (§3, §9.5).
+//!
+//! ```sh
+//! cargo run --example vod_evening
+//! ```
+
+use std::time::Duration;
+
+use itv_system::cluster::{Cluster, ClusterConfig, EveningWorkload, PlannedSession};
+use itv_system::sim::{NodeRt, NodeRtExt, Sim, SimTime};
+
+fn main() {
+    let sim = Sim::new(2026);
+    let mut cfg = ClusterConfig::orlando();
+    cfg.settops = 12;
+    cfg.movie_replicas = 2;
+    let mut cluster = Cluster::build(&sim, cfg);
+    sim.run_until(SimTime::from_secs(40));
+    cluster.boot_settops();
+    sim.run_until(SimTime::from_secs(80));
+    println!(
+        "[{}] {} settops up; starting the evening",
+        sim.now(),
+        cluster.settop_totals().booted
+    );
+
+    // Drive each settop through its planned sessions.
+    let workload = EveningWorkload {
+        titles: cluster.cfg.movies,
+        watch_ms: 20_000,
+        mean_think: Duration::from_secs(25),
+        ..EveningWorkload::default()
+    };
+    for (idx, settop) in cluster.settops.iter().enumerate() {
+        let plan = workload.plan(idx, 6);
+        let intent = settop.intent.clone();
+        let events = settop.handle.events.clone();
+        let node = settop.node.clone();
+        let node2 = node.clone();
+        node.spawn_fn("viewer", move || {
+            for (think, session) in plan {
+                node2.sleep(think);
+                match session {
+                    PlannedSession::Vod { title, watch_ms } => {
+                        {
+                            let mut i = intent.lock();
+                            i.title = title;
+                            i.watch_ms = watch_ms;
+                        }
+                        events.push(itv_system::settop::SettopEvent::Channel {
+                            number: ClusterConfig::CHANNEL_VOD,
+                        });
+                    }
+                    PlannedSession::Shop { interactions } => {
+                        {
+                            let mut i = intent.lock();
+                            i.interactions = interactions;
+                            i.think = Duration::from_secs(2);
+                        }
+                        events.push(itv_system::settop::SettopEvent::Channel {
+                            number: ClusterConfig::CHANNEL_SHOP,
+                        });
+                    }
+                }
+            }
+        });
+    }
+
+    // Let the evening run; crash a server in the middle and bring it back.
+    sim.run_for(Duration::from_secs(400));
+    println!("[{}] injecting a server failure (server 2)", sim.now());
+    cluster.crash_server(2);
+    sim.run_for(Duration::from_secs(60));
+    println!("[{}] operator restarts server 2", sim.now());
+    cluster.restart_server(2);
+    sim.run_for(Duration::from_secs(900));
+
+    let t = cluster.settop_totals();
+    println!("---- evening summary ----");
+    println!("movies opened:        {}", t.movies_opened);
+    println!("open failures:        {}", t.movie_failures);
+    println!("segments delivered:   {}", t.segments);
+    println!("stream stalls:        {}", t.stalls);
+    println!(
+        "total interruption:   {:.1}s",
+        t.interruption_us as f64 / 1e6
+    );
+    println!("shop interactions:    {}", t.interactions);
+    println!("app downloads:        {}", t.app_downloads);
+    println!("network: {:?}", sim.net_stats());
+}

@@ -1,0 +1,87 @@
+//! # itv-system — a reproduction of "A Highly Available, Scalable ITV System" (SOSP '95)
+//!
+//! This workspace rebuilds, in Rust, the distributed system Silicon
+//! Graphics deployed for Time Warner's interactive-TV trial in Orlando:
+//! the **Object Communication System (OCS)** — distributed objects, a
+//! replication-aware name service, service controllers and the Resource
+//! Audit Service — plus the ITV services built on it (media management
+//! and delivery, connection management, reliable download, boot
+//! broadcast, file service) and the settop software.
+//!
+//! Everything runs on two interchangeable runtimes:
+//!
+//! * [`sim`]: a deterministic discrete-event simulation (virtual time,
+//!   reproducible from a seed, crash/partition injection) — what the
+//!   experiments in `EXPERIMENTS.md` use;
+//! * [`sim::real`]: OS threads and TCP on loopback, for end-to-end runs
+//!   on a real transport (see `examples/tcp_cluster.rs`).
+//!
+//! ## Layer map (paper § → crate)
+//!
+//! | Layer | Re-exported as | Paper |
+//! |---|---|---|
+//! | runtimes, network model | [`sim`] | §3.1 |
+//! | marshalling ("IDL") | [`wire`] | §3.2 |
+//! | object exchange | [`orb`] | §3.2 |
+//! | authentication | [`auth`] | §3.3 |
+//! | name service + selectors | [`name`] | §4, §5 |
+//! | database | [`db`] | §3.3 |
+//! | service controllers | [`svcctl`] | §6 |
+//! | resource audit + settop mgr | [`ras`] | §7 |
+//! | ITV services | [`media`] | §3.3–3.5 |
+//! | settop software | [`settop`] | §3.4 |
+//! | cluster assembly + workload | [`cluster`] | Fig. 1, §6.3 |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use itv_system::cluster::{Cluster, ClusterConfig};
+//! use itv_system::sim::{Sim, SimTime};
+//! use std::time::Duration;
+//!
+//! let sim = Sim::new(42);
+//! let mut cluster = Cluster::build(&sim, ClusterConfig::small());
+//! sim.run_until(SimTime::from_secs(40));   // elections + placement
+//! cluster.boot_settops();
+//! sim.run_until(SimTime::from_secs(70));   // settops boot
+//! cluster.settops[0].handle.tune(ClusterConfig::CHANNEL_VOD);
+//! sim.run_for(Duration::from_secs(60));    // movie plays
+//! println!("{:?}", cluster.settop_totals());
+//! ```
+//!
+//! See `examples/` for complete scenarios (quickstart, an evening of
+//! viewing under failures, a fail-over drill, resource reclamation from
+//! buggy clients, and a cluster on real TCP).
+
+/// Runtimes: deterministic simulation and real threads/TCP.
+pub use ocs_sim as sim;
+
+/// Marshalling (the IDL-compiler stand-in).
+pub use ocs_wire as wire;
+
+/// The object exchange layer (distributed objects).
+pub use ocs_orb as orb;
+
+/// The authentication service (Kerberos-like tickets).
+pub use ocs_auth as auth;
+
+/// The name service: contexts, selectors, replication, auditing.
+pub use ocs_name as name;
+
+/// The database service.
+pub use ocs_db as db;
+
+/// The service controllers (SSC/CSC).
+pub use ocs_svcctl as svcctl;
+
+/// The Resource Audit Service and Settop Manager.
+pub use ocs_ras as ras;
+
+/// The ITV services (MMS, MDS, CM, RDS, broadcast, file, shop).
+pub use itv_media as media;
+
+/// The settop software (boot, Application Manager, apps).
+pub use itv_settop as settop;
+
+/// Cluster assembly, workloads and failure injection.
+pub use itv_cluster as cluster;

@@ -1,0 +1,179 @@
+//! Workspace-level integration tests following the paper's own
+//! narratives: the §3.4 movie-playing walkthrough, the §4.3 remote
+//! naming-context forward into the file service, and whole-run
+//! determinism of the simulation.
+
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use itv_system::cluster::{Cluster, ClusterConfig};
+use itv_system::media::{FileApiClient, FileSvcClient, MmsApiClient, MovieCtlClient, RdsApiClient};
+use itv_system::orb::ClientCtx;
+use itv_system::sim::{NodeRt, NodeRtExt, Sim, SimChan, SimTime};
+
+fn ready(seed: u64, cfg: ClusterConfig) -> (Sim, Cluster) {
+    let sim = Sim::new(seed);
+    let mut cluster = Cluster::build(&sim, cfg);
+    sim.run_until(SimTime::from_secs(40));
+    cluster.boot_settops();
+    sim.run_until(SimTime::from_secs(75));
+    (sim, cluster)
+}
+
+/// §3.4.2 + §3.4.4, step by step from a settop's point of view: resolve
+/// the RDS, download; resolve the MMS, open a movie, play it, observe
+/// the stream, close it.
+#[test]
+fn paper_section_3_4_walkthrough() {
+    let (sim, cluster) = ready(201, ClusterConfig::small());
+    let settop = &cluster.settops[0];
+    let node = settop.node.clone();
+    let ns = itv_system::name::NsHandle::new(
+        ClientCtx::new(node.clone()).with_timeout(Duration::from_secs(30)),
+        cluster.ns_peers[0],
+    );
+    let out: SimChan<String> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let node2 = node.clone();
+    node.spawn_fn("walkthrough", move || {
+        // Fig. 3: AM resolves "svc/rds"; the neighborhood selector picks
+        // this settop's replica; openData returns the executable.
+        let rds: RdsApiClient = ns.resolve_as("svc/rds").expect("resolve rds");
+        let app = rds.open_data("navigator".to_string()).expect("openData");
+        out2.send(format!("rds:{}", app.len()));
+        // Fig. 4: resolve "svc/mms", open "movie-0", get a movie object,
+        // invoke play on it.
+        let mms: MmsApiClient = ns.resolve_as("svc/mms").expect("resolve mms");
+        let ticket = mms.open("movie-0".to_string(), 0).expect("mms.open");
+        let movie =
+            MovieCtlClient::attach(ClientCtx::new(node2.clone()), ticket.movie).expect("movie ref");
+        movie.play(0).expect("movie.play");
+        node2.sleep(Duration::from_secs(3));
+        let pos = movie.position().expect("position");
+        out2.send(format!("pos:{pos}"));
+        // §3.4.5: close; the MMS reclaims MDS + connection resources.
+        mms.close(ticket.session).expect("mms.close");
+        out2.send("closed".to_string());
+    });
+    sim.run_for(Duration::from_secs(30));
+    let rds_line = out.try_recv().expect("rds step");
+    assert_eq!(rds_line, "rds:200000", "navigator binary delivered");
+    let pos_line = out.try_recv().expect("play step");
+    let pos: u64 = pos_line.strip_prefix("pos:").unwrap().parse().unwrap();
+    assert!(pos >= 2000, "movie advanced ~3s, at {pos}ms");
+    assert_eq!(out.try_recv().expect("close step"), "closed");
+}
+
+/// §4.3/§4.6: the file service's FileSystemContext is bound into the
+/// cluster name space; resolving a multi-component name through the name
+/// service forwards into it, returning file objects a settop can read.
+#[test]
+fn file_service_resolves_through_name_space() {
+    let (sim, cluster) = ready(202, ClusterConfig::small());
+    let node = cluster.settops[0].node.clone();
+    let ns = itv_system::name::NsHandle::new(ClientCtx::new(node.clone()), cluster.ns_peers[0]);
+    let out: SimChan<String> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let node2 = node.clone();
+    node.spawn_fn("files", move || {
+        // Create a directory and a file through the creation interface.
+        let fsvc: FileSvcClient = ns.resolve_as("svc/file").expect("resolve svc/file");
+        fsvc.mkdir("media".to_string()).expect("mkdir");
+        let file_ref = fsvc.create("media/promo.txt".to_string()).expect("create");
+        let file =
+            FileApiClient::attach(ClientCtx::new(node2.clone()), file_ref).expect("file ref");
+        file.write(0, bytes::Bytes::from_static(b"coming attractions"))
+            .expect("write");
+        // Now resolve the SAME file through the global name space: the
+        // name service walks to "fs" (a remotely implemented context)
+        // and forwards "media/promo.txt" into the file service.
+        let via_ns = ns.resolve("fs/media/promo.txt").expect("forwarded resolve");
+        let file2 =
+            FileApiClient::attach(ClientCtx::new(node2.clone()), via_ns).expect("file ref via ns");
+        let data = file2.read(0, 64).expect("read");
+        out2.send(String::from_utf8_lossy(&data).to_string());
+    });
+    sim.run_for(Duration::from_secs(20));
+    assert_eq!(out.try_recv().expect("file read"), "coming attractions");
+}
+
+/// The simulation is deterministic: identical seeds and scripts produce
+/// identical system-wide outcomes.
+#[test]
+fn whole_cluster_runs_are_deterministic() {
+    fn run(seed: u64) -> (u64, u64, u64) {
+        let (sim, cluster) = ready(seed, ClusterConfig::small());
+        let settop = &cluster.settops[0];
+        {
+            let mut i = settop.intent.lock();
+            i.title = "movie-0".into();
+            i.watch_ms = 8_000;
+        }
+        settop.handle.tune(ClusterConfig::CHANNEL_VOD);
+        sim.run_for(Duration::from_secs(40));
+        let t = cluster.settop_totals();
+        (t.segments, t.movies_opened, sim.net_stats().msgs_sent)
+    }
+    let a = run(203);
+    let b = run(203);
+    assert_eq!(a, b, "same seed, same universe");
+    let c = run(204);
+    assert_ne!(a.2, c.2, "different seed, different message interleaving");
+}
+
+/// §9.2: the only services that create objects dynamically are the MDS
+/// (one per open movie) and the name service — check the MDS's dynamic
+/// object lifecycle (created on open, invalid after close).
+#[test]
+fn mds_movie_objects_are_created_and_destroyed() {
+    // Two concurrent streams to one settop: halve the bit rate so both
+    // fit inside the 6 Mb/s per-settop budget (§3.1).
+    let mut cfg = ClusterConfig::small();
+    cfg.movie_bitrate_bps = 2_000_000;
+    let (sim, cluster) = ready(205, cfg);
+    let node = cluster.settops[0].node.clone();
+    let ns = itv_system::name::NsHandle::new(ClientCtx::new(node.clone()), cluster.ns_peers[0]);
+    let out: SimChan<String> = SimChan::new(&sim);
+    let out2 = out.clone();
+    let node2 = node.clone();
+    node.spawn_fn("lifecycle", move || {
+        let mms: MmsApiClient = ns.resolve_as("svc/mms").expect("resolve mms");
+        let t1 = mms.open("movie-0".to_string(), 0).expect("open 1");
+        let t2 = mms.open("movie-1".to_string(), 0).expect("open 2");
+        assert_ne!(
+            t1.movie, t2.movie,
+            "each open movie gets its own object (§9.2)"
+        );
+        mms.close(t1.session).expect("close 1");
+        // The closed movie's object is gone; calls on it fail.
+        let movie1 = MovieCtlClient::attach(ClientCtx::new(node2.clone()), t1.movie).expect("ref");
+        let err = movie1.position().expect_err("closed movie object");
+        out2.send(format!("{err:?}"));
+        mms.close(t2.session).expect("close 2");
+    });
+    sim.run_for(Duration::from_secs(20));
+    let err = out.try_recv().expect("lifecycle finished");
+    assert!(
+        err.contains("UnknownObject") || err.contains("UnknownSession"),
+        "closed object rejected: {err}"
+    );
+}
+
+/// Settop totals reflect real work (sanity for the metric plumbing every
+/// experiment relies on).
+#[test]
+fn settop_metrics_accumulate() {
+    let (sim, cluster) = ready(206, ClusterConfig::small());
+    let settop = &cluster.settops[0];
+    {
+        let mut i = settop.intent.lock();
+        i.interactions = 5;
+        i.think = Duration::from_millis(300);
+    }
+    settop.handle.tune(ClusterConfig::CHANNEL_SHOP);
+    sim.run_for(Duration::from_secs(30));
+    let m = &settop.handle.metrics;
+    assert_eq!(m.interactions.load(Ordering::Relaxed), 5);
+    assert!(m.app_downloads.load(Ordering::Relaxed) >= 1);
+    assert!(m.booted_at_us.load(Ordering::Relaxed) > 0);
+}
