@@ -11,7 +11,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+            "e14", "e15",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -33,6 +34,7 @@ fn main() {
             "e12" => exps::e12(),
             "e13" => exps::e13(),
             "e14" => exps::e14(),
+            "e15" => exps::e15(),
             other => eprintln!("unknown experiment: {other}"),
         }
     }

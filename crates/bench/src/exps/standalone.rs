@@ -420,6 +420,7 @@ fn storm_once(n_clients: usize, jitter: bool) -> (f64, f64, f64) {
                 "svc-echo",
                 RebindPolicy {
                     retry_interval: Duration::from_millis(500),
+                    backoff_cap: Duration::from_secs(1),
                     give_up_after: Duration::from_secs(60),
                     jitter,
                 },

@@ -519,7 +519,14 @@ impl Cluster {
                 name: format!("cmgr-{n}"),
                 basic: false,
                 factory: Arc::new(move |ctx: ServiceRunCtx| {
-                    let cm = ConnectionManager::with_clock(budgets, Some(ctx.rt.clone()));
+                    // Lease = 4x the MMS reassert interval (5 s): a lost
+                    // release or a dead owner frees its bandwidth within
+                    // 20 s instead of pinning the settop's budget forever.
+                    let cm = ConnectionManager::with_lease(
+                        budgets,
+                        Some(ctx.rt.clone()),
+                        Some(Duration::from_secs(20)),
+                    );
                     let Ok(obj) = cm.serve(ctx.rt.clone(), 2000 + n as u16) else {
                         return;
                     };

@@ -6,9 +6,11 @@
 //! experiments in EXPERIMENTS.md.
 
 mod build;
+mod chaos;
 mod config;
 mod workload;
 
 pub use build::{standard_apps, Cluster, Intent, ServerHandle, SettopCtl, SettopTotals};
+pub use chaos::ChaosOutcome;
 pub use config::ClusterConfig;
 pub use workload::{exp_sample, EveningWorkload, PlannedSession, Zipf};

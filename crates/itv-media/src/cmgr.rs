@@ -10,9 +10,16 @@
 //! periodic `reassert` calls (the paper lists the CM as one of only two
 //! services with replicated state; reassertion is our documented
 //! substitution — see DESIGN.md).
+//!
+//! Reassertion doubles as a *lease*: when a lease TTL is configured,
+//! an allocation whose owner has stopped reasserting it (the release
+//! RPC was lost in a partition, or the owner died without cleanup) is
+//! expired and its bandwidth reclaimed — otherwise a single lost
+//! `release` would pin a settop's budget forever.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Duration;
 
 use ocs_orb::{declare_interface, Caller, ObjRef, Orb, ThreadModel};
 use ocs_sim::{NetError, NodeId, PortReq, Rt};
@@ -87,6 +94,9 @@ impl Default for CmBudgets {
 pub struct ConnectionManager {
     budgets: CmBudgets,
     rt: Option<Rt>,
+    /// Allocations not allocated/reasserted for this long are expired
+    /// (None disables leasing; requires a clock to do anything).
+    lease_ttl: Option<Duration>,
     state: Mutex<CmState>,
 }
 
@@ -103,6 +113,10 @@ struct CmState {
     allocations: HashMap<u64, ConnDesc>,
     /// When each open allocation started (µs), for accounting.
     started_us: HashMap<u64, u64>,
+    /// When each allocation's lease was last renewed (µs).
+    asserted_us: HashMap<u64, u64>,
+    /// Allocations reclaimed by lease expiry since start.
+    expired: u64,
     settop_used: HashMap<NodeId, u64>,
     server_used: HashMap<NodeId, u64>,
     refused: u64,
@@ -118,9 +132,21 @@ impl ConnectionManager {
 
     /// Creates the manager with a runtime clock for §7.3 accounting.
     pub fn with_clock(budgets: CmBudgets, rt: Option<Rt>) -> Arc<ConnectionManager> {
+        ConnectionManager::with_lease(budgets, rt, None)
+    }
+
+    /// Creates the manager with a clock and a lease TTL: allocations the
+    /// owner stops reasserting are expired after `lease_ttl` (set it to
+    /// several reassert intervals).
+    pub fn with_lease(
+        budgets: CmBudgets,
+        rt: Option<Rt>,
+        lease_ttl: Option<Duration>,
+    ) -> Arc<ConnectionManager> {
         Arc::new(ConnectionManager {
             budgets,
             rt,
+            lease_ttl,
             state: Mutex::new(CmState {
                 next_conn: 1,
                 ..CmState::default()
@@ -160,6 +186,46 @@ impl ConnectionManager {
         st.allocations.insert(desc.conn, *desc);
         true
     }
+
+    /// Removes `conn` and returns the freed bandwidth to its budgets.
+    fn drop_alloc(st: &mut CmState, conn: u64, now: u64) -> Option<ConnDesc> {
+        let desc = st.allocations.remove(&conn)?;
+        if let Some(u) = st.settop_used.get_mut(&desc.settop) {
+            *u = u.saturating_sub(desc.down_bps);
+        }
+        if let Some(u) = st.server_used.get_mut(&desc.server) {
+            *u = u.saturating_sub(desc.down_bps);
+        }
+        st.asserted_us.remove(&conn);
+        if let Some(start) = st.started_us.remove(&conn) {
+            let secs = now.saturating_sub(start) / 1_000_000;
+            st.accounts.entry(desc.settop).or_default().bit_seconds += desc.down_bps * secs;
+        }
+        Some(desc)
+    }
+
+    /// Expires allocations whose lease ran out (run at the top of every
+    /// request — the CM has no loop of its own, so incoming traffic is
+    /// its clock tick).
+    fn expire_stale(&self, st: &mut CmState) {
+        let Some(ttl) = self.lease_ttl else { return };
+        if self.rt.is_none() {
+            return;
+        }
+        let now = self.now_us();
+        let ttl_us = ttl.as_micros() as u64;
+        let mut stale: Vec<u64> = st
+            .asserted_us
+            .iter()
+            .filter(|&(_, &at)| now.saturating_sub(at) > ttl_us)
+            .map(|(&conn, _)| conn)
+            .collect();
+        stale.sort_unstable();
+        for conn in stale {
+            ConnectionManager::drop_alloc(st, conn, now);
+            st.expired += 1;
+        }
+    }
 }
 
 impl CmApi for ConnectionManager {
@@ -171,6 +237,7 @@ impl CmApi for ConnectionManager {
         down_bps: u64,
     ) -> Result<u64, MediaError> {
         let mut st = self.state.lock();
+        self.expire_stale(&mut st);
         let conn = st.next_conn;
         let desc = ConnDesc {
             conn,
@@ -187,39 +254,33 @@ impl CmApi for ConnectionManager {
         st.accounts.entry(settop).or_default().granted += 1;
         let now = self.now_us();
         st.started_us.insert(conn, now);
+        st.asserted_us.insert(conn, now);
         Ok(conn)
     }
 
     fn release(&self, _caller: &Caller, conn: u64) -> Result<(), MediaError> {
         let now = self.now_us();
         let mut st = self.state.lock();
-        let desc = st
-            .allocations
-            .remove(&conn)
-            .ok_or(MediaError::UnknownSession { id: conn })?;
-        if let Some(u) = st.settop_used.get_mut(&desc.settop) {
-            *u = u.saturating_sub(desc.down_bps);
-        }
-        if let Some(u) = st.server_used.get_mut(&desc.server) {
-            *u = u.saturating_sub(desc.down_bps);
-        }
-        if let Some(start) = st.started_us.remove(&conn) {
-            let secs = now.saturating_sub(start) / 1_000_000;
-            st.accounts.entry(desc.settop).or_default().bit_seconds += desc.down_bps * secs;
-        }
-        Ok(())
+        self.expire_stale(&mut st);
+        ConnectionManager::drop_alloc(&mut st, conn, now)
+            .map(|_| ())
+            .ok_or(MediaError::UnknownSession { id: conn })
     }
 
     fn reassert(&self, _caller: &Caller, desc: ConnDesc) -> Result<(), MediaError> {
+        let now = self.now_us();
         let mut st = self.state.lock();
+        self.expire_stale(&mut st);
         if st.allocations.contains_key(&desc.conn) {
-            return Ok(()); // Already known (same incarnation).
+            // Already known (same incarnation): renew the lease.
+            st.asserted_us.insert(desc.conn, now);
+            return Ok(());
         }
         if !self.admit(&mut st, &desc) {
             return Err(MediaError::NoBandwidth);
         }
-        let now = self.now_us();
         st.started_us.insert(desc.conn, now);
+        st.asserted_us.insert(desc.conn, now);
         st.accounts.entry(desc.settop).or_default().granted += 1;
         // Keep conn ids unique past reasserted ones.
         if desc.conn >= st.next_conn {
@@ -229,11 +290,13 @@ impl CmApi for ConnectionManager {
     }
 
     fn usage(&self, _caller: &Caller) -> Result<CmUsage, MediaError> {
-        let st = self.state.lock();
+        let mut st = self.state.lock();
+        self.expire_stale(&mut st);
         Ok(CmUsage {
             allocations: st.allocations.len() as u32,
             reserved_down_bps: st.settop_used.values().sum(),
             refused: st.refused,
+            expired: st.expired,
         })
     }
 
@@ -343,6 +406,38 @@ mod tests {
         assert_eq!(hog_row.refused, 1, "refusals flag buggy clients");
         let modest_row = rows.iter().find(|r| r.settop == modest).unwrap();
         assert_eq!(modest_row.refused, 0);
+    }
+
+    #[test]
+    fn unasserted_allocations_expire_after_lease() {
+        let sim = ocs_sim::Sim::new(9);
+        let node = sim.add_node("cm");
+        let cm = ConnectionManager::with_lease(
+            CmBudgets::default(),
+            Some(node.clone()),
+            Some(Duration::from_secs(10)),
+        );
+        let c = caller();
+        let settop = NodeId(100);
+        let a = cm.allocate(&c, settop, NodeId(1), 4_000_000).unwrap();
+        let b = cm.allocate(&c, settop, NodeId(1), 2_000_000).unwrap();
+        // Keep `b` alive by reasserting; let `a`'s lease run out (its
+        // owner lost the release RPC and gave up).
+        sim.run_until(ocs_sim::SimTime::from_secs(6));
+        let desc_b = ConnDesc {
+            conn: b,
+            settop,
+            server: NodeId(1),
+            down_bps: 2_000_000,
+        };
+        cm.reassert(&c, desc_b).unwrap();
+        sim.run_until(ocs_sim::SimTime::from_secs(12));
+        let usage = cm.usage(&c).unwrap();
+        assert_eq!(usage.allocations, 1, "stale allocation expired: {usage:?}");
+        assert_eq!(usage.expired, 1);
+        assert!(cm.release(&c, a).is_err(), "a is gone");
+        // The freed budget admits a new stream again.
+        cm.allocate(&c, settop, NodeId(1), 4_000_000).unwrap();
     }
 
     #[test]

@@ -19,7 +19,7 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use ocs_orb::{declare_interface, Caller, ObjRef, Orb, ThreadModel};
-use ocs_sim::{Addr, NetError, NodeRtExt, PortReq, Rt};
+use ocs_sim::{Addr, NetError, NodeRtExt, PortReq, RecvError, Rt};
 use ocs_wire::Wire;
 use parking_lot::Mutex;
 
@@ -59,6 +59,14 @@ declare_interface! {
 /// Delivery pacing: one segment per tick.
 const TICK: Duration = Duration::from_millis(500);
 
+/// Bounced segments before a playing stream concludes its settop is gone
+/// and closes itself (§3.5: delivery-failure detection). Bounces only
+/// occur when the destination port is closed on a *live* node — a settop
+/// that tore down its stream without a reachable MMS `close` — so a few
+/// of them are conclusive; the count guards against a stray bounce from
+/// a duplicated frame on a chaotic link.
+const ABANDON_BOUNCES: u32 = 6;
+
 struct MovieState {
     title: String,
     dest: Addr,
@@ -76,6 +84,7 @@ pub struct Mds {
     catalog: Catalog,
     max_streams: u32,
     orb: Mutex<Weak<Orb>>,
+    me: Mutex<Weak<Mds>>,
     movies: Mutex<HashMap<u64, Arc<MovieState>>>,
 }
 
@@ -93,8 +102,10 @@ impl Mds {
             catalog,
             max_streams,
             orb: Mutex::new(Weak::new()),
+            me: Mutex::new(Weak::new()),
             movies: Mutex::new(HashMap::new()),
         });
+        *mds.me.lock() = Arc::downgrade(&mds);
         let orb = Orb::build(
             rt,
             PortReq::Fixed(port),
@@ -113,12 +124,13 @@ impl Mds {
         self.movies.lock().len() as u32
     }
 
-    fn delivery_loop(rt: Rt, movie: Arc<MovieState>) {
+    fn delivery_loop(rt: Rt, me: Weak<Mds>, movie: Arc<MovieState>) {
         let Ok(ep) = rt.open(PortReq::Ephemeral) else {
             return;
         };
         let bytes_per_tick = (movie.bitrate_bps / 8) as u128 * TICK.as_millis() / 1000;
         let ms_per_tick = TICK.as_millis() as u64;
+        let mut bounced = 0u32;
         loop {
             if movie.closed.load(Ordering::Relaxed) {
                 return;
@@ -139,8 +151,42 @@ impl Mds {
                 if last {
                     movie.playing.store(false, Ordering::Relaxed);
                 }
+                // Delivery-failure detection (§3.5): sends are datagrams,
+                // but a closed destination port bounces. A playing stream
+                // whose settop tore its port down will never be closed by
+                // an MMS whose `close` was lost in transit — the stream
+                // has to notice and reclaim itself, or it holds a movie
+                // object (and through it a session and a neighborhood
+                // bandwidth allocation) for the rest of the title.
+                loop {
+                    match ep.recv(Some(Duration::ZERO)) {
+                        Err(RecvError::Unreachable(a)) if a == movie.dest => bounced += 1,
+                        Err(RecvError::TimedOut) => break,
+                        Err(RecvError::Closed) => return,
+                        _ => {}
+                    }
+                }
+                if bounced >= ABANDON_BOUNCES {
+                    let id = *movie.object_id.lock();
+                    rt.trace(&format!("mds: stream {id} bounced {bounced}x; abandoning"));
+                    movie.playing.store(false, Ordering::Relaxed);
+                    movie.closed.store(true, Ordering::Relaxed);
+                    if let Some(mds) = me.upgrade() {
+                        mds.reap(id);
+                    }
+                    return;
+                }
             }
             rt.sleep(TICK);
+        }
+    }
+
+    /// Removes an abandoned stream's movie object, as `close` would.
+    fn reap(&self, object_id: u64) {
+        if self.movies.lock().remove(&object_id).is_some() {
+            if let Some(orb) = self.orb.lock().upgrade() {
+                orb.unexport(object_id);
+            }
         }
     }
 }
@@ -192,9 +238,10 @@ impl MdsApi for Mds {
         };
         let (state, obj) = movie;
         let rt = self.rt.clone();
+        let me = self.me.lock().clone();
         self.rt
             .spawn_fn(&format!("mds-stream-{}", obj.object_id), move || {
-                Mds::delivery_loop(rt, state)
+                Mds::delivery_loop(rt, me, state)
             });
         Ok(obj)
     }
@@ -220,7 +267,7 @@ impl MdsApi for Mds {
     }
 
     fn open_sessions(&self, _caller: &Caller) -> Result<Vec<MdsSession>, MediaError> {
-        Ok(self
+        let mut out: Vec<MdsSession> = self
             .movies
             .lock()
             .values()
@@ -231,7 +278,11 @@ impl MdsApi for Mds {
                 position_ms: *m.position_ms.lock(),
                 playing: m.playing.load(Ordering::Relaxed),
             })
-            .collect())
+            .collect();
+        // Fixed reply order: the map's iteration order is random, and
+        // the reply bytes (and the MMS's recovery order) flow from it.
+        out.sort_by_key(|s| s.object_id);
+        Ok(out)
     }
 }
 

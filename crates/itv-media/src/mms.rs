@@ -18,7 +18,7 @@ use std::time::Duration;
 use ocs_name::{acquire_primary, NsHandle};
 use ocs_orb::{declare_interface, Caller, ClientCtx, ObjRef, Orb, ThreadModel};
 use ocs_ras::RasMonitor;
-use ocs_sim::{Addr, NodeId, NodeRtExt, PortReq, Rt};
+use ocs_sim::{Addr, NodeId, NodeRtExt, PortReq, Rt, SimTime};
 use parking_lot::Mutex;
 
 use crate::cmgr::CmApiClient;
@@ -136,6 +136,7 @@ impl Mms {
         self.rt.spawn_fn("mms-reassert", move || loop {
             mms.rt.sleep(mms.cfg.reassert_interval);
             mms.reassert_all();
+            mms.audit_sessions();
         });
         // This process parks; the ORB serves. If it is killed, the whole
         // group (including the ORB) dies with it.
@@ -144,15 +145,21 @@ impl Mms {
         }
     }
 
-    /// All known MDS replicas `(node, client)`.
-    fn mds_replicas(&self) -> Vec<(NodeId, MdsApiClient)> {
+    /// All known MDS replicas `(node, client)`. A `deadline` threads the
+    /// caller's remaining budget into every status/open call on the
+    /// replicas, so a slow candidate can't eat the whole budget.
+    fn mds_replicas(&self, deadline: Option<SimTime>) -> Vec<(NodeId, MdsApiClient)> {
         let Ok(bindings) = self.ns.list_repl(&self.cfg.mds_ctx) else {
             return Vec::new();
         };
         bindings
             .into_iter()
             .filter_map(|b| {
-                let ctx = ClientCtx::new(self.rt.clone()).with_timeout(Duration::from_millis(1500));
+                let mut ctx =
+                    ClientCtx::new(self.rt.clone()).with_timeout(Duration::from_millis(1500));
+                if let Some(d) = deadline {
+                    ctx = ctx.with_deadline(d);
+                }
                 MdsApiClient::attach(ctx, b.obj)
                     .ok()
                     .map(|c| (b.obj.addr.node, c))
@@ -160,19 +167,26 @@ impl Mms {
             .collect()
     }
 
-    fn cmgr_for(&self, nbhd: u32) -> Result<CmApiClient, MediaError> {
-        self.ns
-            .resolve_as::<CmApiClient>(&format!("{}/{}", self.cfg.cmgr_prefix, nbhd))
-            .map_err(|e| MediaError::Dependency {
-                what: e.to_string(),
-            })
+    fn cmgr_for(&self, nbhd: u32, deadline: Option<SimTime>) -> Result<CmApiClient, MediaError> {
+        let path = format!("{}/{}", self.cfg.cmgr_prefix, nbhd);
+        let dep = |e: &dyn std::fmt::Display| MediaError::Dependency {
+            what: e.to_string(),
+        };
+        match deadline {
+            None => self.ns.resolve_as::<CmApiClient>(&path).map_err(|e| dep(&e)),
+            Some(d) => {
+                let obj = self.ns.resolve(&path).map_err(|e| dep(&e))?;
+                let ctx = ClientCtx::new(self.rt.clone()).with_deadline(d);
+                CmApiClient::attach(ctx, obj).map_err(|e| dep(&e))
+            }
+        }
     }
 
     /// §10.1.1: rebuild the session table by querying every MDS replica,
     /// then re-allocate the connections those streams need.
     fn recover_state(self: &Arc<Self>) {
         let mut recovered = 0u32;
-        for (node, mds) in self.mds_replicas() {
+        for (node, mds) in self.mds_replicas(None) {
             let Ok(open) = mds.open_sessions() else {
                 continue;
             };
@@ -191,7 +205,7 @@ impl Mms {
                     server: node,
                     down_bps: info.bitrate_bps,
                 };
-                if let Ok(cm) = self.cmgr_for(nbhd) {
+                if let Ok(cm) = self.cmgr_for(nbhd, None) {
                     let _ = cm.reassert(conn);
                 }
                 // The movie object lives on the MDS's current
@@ -225,13 +239,61 @@ impl Mms {
     }
 
     fn reassert_all(&self) {
-        let conns: Vec<(u32, ConnDesc)> = {
+        let mut conns: Vec<(u32, ConnDesc)> = {
             let sessions = self.sessions.lock();
             sessions.values().map(|s| (s.nbhd, s.conn)).collect()
         };
+        // Reassert in a fixed order: the session map's iteration order
+        // is not deterministic, and RPC order shapes the event trace.
+        conns.sort_by_key(|(nbhd, c)| (*nbhd, c.conn));
         for (nbhd, conn) in conns {
-            if let Ok(cm) = self.cmgr_for(nbhd) {
+            if let Ok(cm) = self.cmgr_for(nbhd, None) {
                 let _ = cm.reassert(conn);
+            }
+        }
+    }
+
+    /// Drops sessions whose MDS no longer has the movie open. Such a
+    /// session is an orphan: the settop closed it through a different
+    /// MMS incarnation (a false-positive fail-over promoted a backup
+    /// that §10.1.1-recovered the session, while the close went to the
+    /// settop's cached binding on the old primary), or the MDS restarted
+    /// and lost the stream. Positive evidence only — an unreachable MDS
+    /// drops nothing, so a partition cannot fake a close.
+    fn audit_sessions(&self) {
+        let by_mds: Vec<(NodeId, Vec<(u64, u64)>)> = {
+            let sessions = self.sessions.lock();
+            let mut m: BTreeMap<NodeId, Vec<(u64, u64)>> = BTreeMap::new();
+            for (id, s) in sessions.iter() {
+                m.entry(s.mds_node)
+                    .or_default()
+                    .push((*id, s.movie.object_id));
+            }
+            m.into_iter()
+                .map(|(n, mut v)| {
+                    v.sort_unstable();
+                    (n, v)
+                })
+                .collect()
+        };
+        if by_mds.is_empty() {
+            return;
+        }
+        let replicas = self.mds_replicas(None);
+        for (node, sess) in by_mds {
+            let Some((_, mds)) = replicas.iter().find(|(n, _)| *n == node) else {
+                continue;
+            };
+            let Ok(open) = mds.open_sessions() else {
+                continue;
+            };
+            for (id, obj) in sess {
+                if !open.iter().any(|o| o.object_id == obj) {
+                    self.rt.trace(&format!(
+                        "mms: session {id} gone at its mds; reclaiming"
+                    ));
+                    let _ = self.close_session(id);
+                }
             }
         }
     }
@@ -270,7 +332,7 @@ impl Mms {
             }
         }
         // ...and the connection manager to deallocate bandwidth (§3.4.5).
-        if let Ok(cm) = self.cmgr_for(s.nbhd) {
+        if let Ok(cm) = self.cmgr_for(s.nbhd, None) {
             let _ = cm.release(s.conn.conn);
         }
         Ok(())
@@ -297,11 +359,16 @@ impl MmsApi for Mms {
             .ok_or_else(|| MediaError::NotFound {
                 title: title.clone(),
             })?;
+        // One end-to-end budget for the whole open: MDS status probes,
+        // the connection allocation, and the movie open all share it, so
+        // a slow first step shrinks what the rest may spend and a settop
+        // that has already given up never ties down a stream slot.
+        let budget = self.rt.now() + Duration::from_millis(2500);
         // Candidate MDS replicas: those storing the title, least loaded
         // first ("based on where the movie is available and the current
         // loads at servers", §3.4.4).
         let mut candidates: Vec<(u32, NodeId, MdsApiClient)> = Vec::new();
-        for (node, mds) in self.mds_replicas() {
+        for (node, mds) in self.mds_replicas(Some(budget)) {
             if !info.replicas.contains(&node) {
                 continue;
             }
@@ -317,7 +384,7 @@ impl MmsApi for Mms {
         if candidates.is_empty() {
             return Err(MediaError::NoReplica);
         }
-        let cm = self.cmgr_for(nbhd)?;
+        let cm = self.cmgr_for(nbhd, Some(budget))?;
         let dest = Addr::new(settop, ports::SETTOP_STREAM);
         let mut last_err = MediaError::NoReplica;
         for (_, node, mds) in candidates {

@@ -122,12 +122,15 @@ pub struct CmUsage {
     pub reserved_down_bps: u64,
     /// Allocations refused since start (blocking count, for E10).
     pub refused: u64,
+    /// Allocations reclaimed by lease expiry (owner stopped reasserting).
+    pub expired: u64,
 }
 
 impl_wire_struct!(CmUsage {
     allocations,
     reserved_down_bps,
-    refused
+    refused,
+    expired
 });
 
 /// Status of one MDS replica.

@@ -6,9 +6,10 @@ use std::time::Duration;
 
 use itv_media::{verify_kernel, BootApiClient, KbsApiClient, MediaError, RdsApiClient};
 use ocs_name::{NsHandle, RebindPolicy, Rebinding};
-use ocs_orb::{ClientCtx, ObjRef, RpcFault};
+use ocs_orb::{BreakerPolicy, CircuitBreaker, ClientCtx, ObjRef, RpcFault};
 use ocs_ras::{AgentRunner, SettopMgrClient, SETTOP_AGENT_PORT};
 use ocs_sim::{Addr, ProcGroup, Queue, Rt};
+use parking_lot::Mutex;
 
 use crate::metrics::SettopMetrics;
 
@@ -52,6 +53,10 @@ pub struct AppCtx {
     pub metrics: Arc<SettopMetrics>,
     /// Event queue, so apps can react to further remote-control input.
     pub events: Arc<Queue<SettopEvent>>,
+    /// Last catalog the navigator fetched successfully. When the RDS is
+    /// unreachable (or its circuit breaker is open), the navigator keeps
+    /// answering from this — stale data beats a blank screen.
+    pub catalog_cache: Arc<Mutex<Vec<String>>>,
 }
 
 /// Handle to a booted settop.
@@ -175,15 +180,25 @@ fn settop_main(
         "svc/rds",
         RebindPolicy {
             retry_interval: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(8),
             give_up_after: Duration::from_secs(120),
             jitter: true,
         },
-    );
+    )
+    // Per-settop RDS breaker: after repeated failures the AM stops
+    // hammering the RDS and waits for the half-open probe instead —
+    // thousands of settops doing this is what keeps a recovering head
+    // end from being crushed by its own clients.
+    .with_breaker(Arc::new(CircuitBreaker::new(BreakerPolicy {
+        failure_threshold: 4,
+        open_for: Duration::from_secs(5),
+    })));
     let app_ctx = AppCtx {
         rt: rt.clone(),
         ns: ns.clone(),
         metrics: Arc::clone(&metrics),
         events: Arc::clone(&events),
+        catalog_cache: Arc::new(Mutex::new(Vec::new())),
     };
     loop {
         let Some(event) = events.pop(&rt, None) else {
@@ -227,6 +242,10 @@ fn settop_main(
                         if e.orb_error().is_some() {
                             metrics.rebinds.fetch_add(1, Ordering::Relaxed);
                         }
+                        // Graceful degradation: the cover stays on screen
+                        // and the AM returns to its event loop instead of
+                        // wedging — the user can tune elsewhere.
+                        metrics.degraded.fetch_add(1, Ordering::Relaxed);
                         metrics.log(rt.now(), format!("app download failed: {e}"));
                     }
                 }

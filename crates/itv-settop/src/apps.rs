@@ -3,9 +3,11 @@
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use itv_media::{ports, MmsApiClient, MovieCtlClient, RdsApiClient, Segment, ShopApiClient};
 use ocs_name::{RebindPolicy, Rebinding};
-use ocs_orb::{ClientCtx, RpcFault};
+use ocs_orb::{BreakerPolicy, CircuitBreaker, ClientCtx, OrbError, RpcFault};
 use ocs_sim::{PortReq, RecvError};
 use ocs_wire::Wire;
 
@@ -42,10 +44,15 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
         "svc/mms",
         RebindPolicy {
             retry_interval: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(4),
             give_up_after: Duration::from_secs(60),
             jitter: true,
         },
-    );
+    )
+    .with_breaker(Arc::new(CircuitBreaker::new(BreakerPolicy {
+        failure_threshold: 5,
+        open_for: Duration::from_secs(5),
+    })));
     // The stream arrives on the settop's well-known stream port.
     let Ok(stream) = rt.open(PortReq::Fixed(ports::SETTOP_STREAM)) else {
         metrics.log(rt.now(), "vod: stream port busy");
@@ -65,7 +72,18 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
             Ok(v) => v,
             Err(e) => {
                 metrics.movie_failures.fetch_add(1, Ordering::Relaxed);
-                metrics.log(rt.now(), format!("vod: open failed: {e}"));
+                if matches!(e.orb_error(), Some(OrbError::CircuitOpen)) {
+                    // Paused-playback degradation: the MMS circuit is
+                    // open, so keep the position and stop cleanly; the
+                    // next tune-in resumes from here (§10.1.1).
+                    metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    metrics.log(
+                        rt.now(),
+                        format!("vod: paused at {position_ms}ms (mms circuit open)"),
+                    );
+                } else {
+                    metrics.log(rt.now(), format!("vod: open failed: {e}"));
+                }
                 break 'sessions;
             }
         };
@@ -149,14 +167,26 @@ pub fn run_navigator(ctx: &AppCtx) -> Vec<String> {
         Rebinding::new(ctx.ns.clone(), "svc/rds", RebindPolicy::default());
     match rds.call(|c| c.list()) {
         Ok(apps) => {
+            *ctx.catalog_cache.lock() = apps.clone();
             ctx.metrics
                 .log(ctx.rt.now(), format!("navigator: {} apps", apps.len()));
             apps
         }
         Err(e) => {
-            ctx.metrics
-                .log(ctx.rt.now(), format!("navigator failed: {e}"));
-            Vec::new()
+            // Stale-catalog degradation: show what we knew before the
+            // outage rather than an empty screen.
+            let cached = ctx.catalog_cache.lock().clone();
+            if cached.is_empty() {
+                ctx.metrics
+                    .log(ctx.rt.now(), format!("navigator failed: {e}"));
+            } else {
+                ctx.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.log(
+                    ctx.rt.now(),
+                    format!("navigator: stale catalog ({} apps; {e})", cached.len()),
+                );
+            }
+            cached
         }
     }
 }
@@ -170,6 +200,7 @@ pub fn run_shopping(ctx: &AppCtx, interactions: u32, think: Duration) -> u32 {
         "svc/shop",
         RebindPolicy {
             retry_interval: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(4),
             give_up_after: Duration::from_secs(30),
             jitter: true,
         },

@@ -36,6 +36,10 @@ pub struct SettopMetrics {
     pub interactions: AtomicU64,
     /// Times the settop had to rebind a service reference (§8.2).
     pub rebinds: AtomicU64,
+    /// Times an application fell back to degraded behaviour instead of
+    /// failing outright: the navigator serving its stale cached catalog,
+    /// or VOD pausing playback while the MMS circuit is open.
+    pub degraded: AtomicU64,
     /// Most recent playback position, ms.
     pub position_ms: AtomicU64,
     /// Free-form event log (small; for debugging failed runs).

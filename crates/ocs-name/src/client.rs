@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use ocs_orb::{ClientCtx, ObjRef, Proxy, RpcFault};
+use ocs_orb::{Admission, CircuitBreaker, ClientCtx, ObjRef, Proxy, RetryPolicy, RpcFault};
 use ocs_sim::{Addr, Rt};
 use parking_lot::Mutex;
 
@@ -97,14 +97,19 @@ impl NsHandle {
 /// Retry policy for the automatic rebind loop (§8.2).
 #[derive(Clone, Copy, Debug)]
 pub struct RebindPolicy {
-    /// Delay between re-resolve attempts. The paper notes resolve is fast
-    /// but anticipates adding back-off against recovery storms; jitter is
-    /// applied on top of this base.
+    /// Base delay between re-resolve attempts (the floor of the backoff
+    /// envelope). The paper notes resolve is fast but anticipates adding
+    /// back-off against recovery storms; the envelope doubles from this
+    /// value up to [`RebindPolicy::backoff_cap`].
     pub retry_interval: Duration,
+    /// Ceiling of the exponential backoff envelope. Equal to
+    /// `retry_interval` this degenerates to the paper's flat retry timer.
+    pub backoff_cap: Duration,
     /// Total time to keep retrying before giving up.
     pub give_up_after: Duration,
-    /// Randomize each wait in `[interval/2, interval*3/2)` to spread
-    /// recovery storms (§8.2's suggested mitigation).
+    /// Draw each wait uniformly from `[interval, envelope(attempt)]`
+    /// (full jitter) to spread recovery storms — §8.2's suggested
+    /// mitigation. Without jitter the wait is the envelope itself.
     pub jitter: bool,
 }
 
@@ -112,9 +117,17 @@ impl Default for RebindPolicy {
     fn default() -> RebindPolicy {
         RebindPolicy {
             retry_interval: Duration::from_secs(1),
+            backoff_cap: Duration::from_secs(4),
             give_up_after: Duration::from_secs(60),
             jitter: false,
         }
+    }
+}
+
+impl RebindPolicy {
+    /// The unified backoff schedule this policy induces.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::new(self.retry_interval, self.backoff_cap.max(self.retry_interval))
     }
 }
 
@@ -131,6 +144,10 @@ pub struct Rebinding<C: Proxy + Clone> {
     /// context, e.g. when service calls are ticket-signed but naming
     /// traffic is not).
     service_ctx: Option<ClientCtx>,
+    /// Optional per-service circuit breaker. While open, retry rounds
+    /// sleep instead of placing calls (shedding load off a struggling
+    /// service); the breaker's half-open probe re-admits traffic.
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl<C: Proxy + Clone> Rebinding<C> {
@@ -142,6 +159,7 @@ impl<C: Proxy + Clone> Rebinding<C> {
             policy,
             cached: Mutex::new(None),
             service_ctx: None,
+            breaker: None,
         }
     }
 
@@ -151,6 +169,18 @@ impl<C: Proxy + Clone> Rebinding<C> {
     pub fn with_service_ctx(mut self, ctx: ClientCtx) -> Rebinding<C> {
         self.service_ctx = Some(ctx);
         self
+    }
+
+    /// Attaches a circuit breaker, shared by every caller of this proxy
+    /// (and possibly by other proxies for the same service).
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> Rebinding<C> {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// The attached breaker, if any.
+    pub fn breaker(&self) -> Option<&Arc<CircuitBreaker>> {
+        self.breaker.as_ref()
     }
 
     fn rt(&self) -> &Rt {
@@ -194,37 +224,90 @@ impl<C: Proxy + Clone> Rebinding<C> {
     ) -> Result<(R, u64), E> {
         let rt = self.rt().clone();
         let deadline = rt.now() + self.policy.give_up_after;
+        let backoff = self.policy.retry_policy();
         let mut rounds = 0u64;
         loop {
-            let proxy = match self.get() {
-                Ok(p) => Some(p),
-                Err(NsError::Comm { err }) if !err.is_dead_reference() => {
-                    return Err(E::from_orb(err))
-                }
-                Err(_) => None, // Not (re)bound yet; wait and retry.
+            // Ask the breaker (if any) before touching the network: while
+            // it is open, this client backs off without placing calls.
+            let admitted = match &self.breaker {
+                Some(b) => match b.try_acquire(rt.now()) {
+                    Admission::Admit { .. } => true,
+                    Admission::Reject => false,
+                },
+                None => true,
             };
-            if let Some(proxy) = proxy {
-                match f(&proxy) {
-                    Ok(r) => return Ok((r, rounds)),
-                    Err(e) if e.is_dead_reference() => {
-                        // The reference died: discard it and re-resolve
-                        // (the §8.2 library path).
-                        self.invalidate();
+            // Whether this round's obstacle was an open breaker (reported
+            // as `CircuitOpen` on give-up, so callers can tell
+            // load-shedding from plain unavailability).
+            let shed = !admitted;
+            if admitted {
+                let proxy = match self.get() {
+                    Ok(p) => Some(p),
+                    Err(NsError::Comm { err }) if !err.is_dead_reference() => {
+                        if let Some(b) = &self.breaker {
+                            b.on_probe_abandoned();
+                        }
+                        return Err(E::from_orb(err));
                     }
-                    Err(e) => return Err(e),
+                    Err(_) => None, // Not (re)bound yet; wait and retry.
+                };
+                if let Some(proxy) = proxy {
+                    match f(&proxy) {
+                        Ok(r) => {
+                            if let Some(b) = &self.breaker {
+                                b.on_success();
+                            }
+                            return Ok((r, rounds));
+                        }
+                        Err(e) if e.is_dead_reference() => {
+                            // The reference died: discard it and
+                            // re-resolve (the §8.2 library path).
+                            if let Some(b) = &self.breaker {
+                                b.on_failure(rt.now());
+                            }
+                            self.invalidate();
+                        }
+                        Err(e) => {
+                            let failed = e.orb_error().is_some_and(|oe| oe.is_retryable());
+                            if let Some(b) = &self.breaker {
+                                if failed {
+                                    b.on_failure(rt.now());
+                                } else {
+                                    // The service answered (with an
+                                    // application error): it is healthy.
+                                    b.on_success();
+                                }
+                            }
+                            if failed {
+                                // Unified retry: retryable transport
+                                // failures stay inside the loop instead
+                                // of surfacing to every caller.
+                                self.invalidate();
+                            } else {
+                                return Err(e);
+                            }
+                        }
+                    }
+                } else if let Some(b) = &self.breaker {
+                    // Resolution failed before any call was placed; the
+                    // admission (possibly a probe) had no outcome.
+                    b.on_probe_abandoned();
                 }
             }
+            let attempt = u32::try_from(rounds).unwrap_or(u32::MAX);
             rounds += 1;
             let now = rt.now();
             if now >= deadline {
-                return Err(E::from_orb(ocs_orb::OrbError::Timeout));
+                return Err(E::from_orb(if shed {
+                    ocs_orb::OrbError::CircuitOpen
+                } else {
+                    ocs_orb::OrbError::Timeout
+                }));
             }
-            let base = self.policy.retry_interval;
             let wait = if self.policy.jitter {
-                let us = base.as_micros() as u64;
-                Duration::from_micros(us / 2 + rt.rand_u64() % us.max(1))
+                backoff.backoff(attempt, rt.rand_u64())
             } else {
-                base
+                backoff.envelope(attempt)
             };
             rt.sleep(wait.min(deadline - now));
         }

@@ -347,6 +347,7 @@ fn rebinding_client_recovers_transparently() {
         "app",
         RebindPolicy {
             retry_interval: Duration::from_millis(500),
+            backoff_cap: Duration::from_millis(500),
             give_up_after: Duration::from_secs(30),
             jitter: false,
         },

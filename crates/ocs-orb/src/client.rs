@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use ocs_sim::{PortReq, RecvError, Rt};
+use ocs_sim::{PortReq, RecvError, Rt, SimTime};
 use ocs_wire::Wire;
 
 use crate::auth::{ClientAuth, NoAuth};
@@ -22,12 +22,20 @@ pub struct CallOpts {
     /// [`OrbError::Timeout`]. The paper's services declare a peer dead
     /// "within a few seconds"; 3 s is the default.
     pub timeout: Duration,
+    /// Optional absolute deadline budget. When set, calls placed at or
+    /// past the deadline fail locally with [`OrbError::DeadlineExpired`],
+    /// the wait for a reply is clipped to it, and it is carried in the
+    /// request frame so the server sheds the work if it arrives late.
+    /// Lets a multi-hop operation hand one shrinking budget down its
+    /// call chain instead of stacking fixed timeouts.
+    pub deadline: Option<SimTime>,
 }
 
 impl Default for CallOpts {
     fn default() -> CallOpts {
         CallOpts {
             timeout: Duration::from_secs(3),
+            deadline: None,
         }
     }
 }
@@ -59,6 +67,13 @@ impl ClientCtx {
     /// Replaces the call timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> ClientCtx {
         self.opts.timeout = timeout;
+        self
+    }
+
+    /// Sets an absolute deadline budget for calls through this context
+    /// (see [`CallOpts::deadline`]).
+    pub fn with_deadline(mut self, deadline: SimTime) -> ClientCtx {
+        self.opts.deadline = Some(deadline);
         self
     }
 
@@ -100,9 +115,32 @@ impl ClientCtx {
             .map_err(|e| OrbError::Transport {
                 what: e.to_string(),
             })?;
-        let r = self.send_request(&*ep, target, method, args, true);
+        let (deadline, _) = self.effective_deadline()?;
+        let r = self.send_request(&*ep, target, method, args, true, deadline);
         ep.close();
         r.map(|_| ())
+    }
+
+    /// The binding deadline for a call placed now: the sooner of
+    /// `now + timeout` and the configured budget. Returns whether the
+    /// budget (not the per-call timeout) is the binding constraint, and
+    /// fails with [`OrbError::DeadlineExpired`] if the budget is already
+    /// spent.
+    fn effective_deadline(&self) -> Result<(SimTime, bool), OrbError> {
+        let now = self.rt.now();
+        let by_timeout = now + self.opts.timeout;
+        match self.opts.deadline {
+            Some(budget) => {
+                if now >= budget {
+                    Err(OrbError::DeadlineExpired)
+                } else if budget < by_timeout {
+                    Ok((budget, true))
+                } else {
+                    Ok((by_timeout, false))
+                }
+            }
+            None => Ok((by_timeout, false)),
+        }
     }
 
     fn send_request(
@@ -112,6 +150,7 @@ impl ClientCtx {
         method: u32,
         args: Bytes,
         oneway: bool,
+        deadline: SimTime,
     ) -> Result<u64, OrbError> {
         let (body, auth_blob) = self.auth.seal(args);
         let request_id = self.rt.rand_u64();
@@ -122,6 +161,7 @@ impl ClientCtx {
             type_id: target.type_id,
             method,
             oneway,
+            deadline_us: deadline.as_micros(),
             principal: self.auth.principal(),
             auth: auth_blob,
             body,
@@ -144,12 +184,19 @@ impl ClientCtx {
         args: Bytes,
         oneway: bool,
     ) -> Result<Bytes, OrbError> {
-        let request_id = self.send_request(ep, target, method, args, oneway)?;
-        let deadline = self.rt.now() + self.opts.timeout;
+        let (deadline, budget_bound) = self.effective_deadline()?;
+        let expired = || {
+            if budget_bound {
+                OrbError::DeadlineExpired
+            } else {
+                OrbError::Timeout
+            }
+        };
+        let request_id = self.send_request(ep, target, method, args, oneway, deadline)?;
         loop {
             let now = self.rt.now();
             if now >= deadline {
-                return Err(OrbError::Timeout);
+                return Err(expired());
             }
             let remaining = deadline - now;
             match ep.recv(Some(remaining)) {
@@ -175,7 +222,7 @@ impl ClientCtx {
                     return Err(OrbError::ObjectDead);
                 }
                 Err(RecvError::Unreachable(_)) => continue,
-                Err(RecvError::TimedOut) => return Err(OrbError::Timeout),
+                Err(RecvError::TimedOut) => return Err(expired()),
                 Err(RecvError::Closed) => {
                     return Err(OrbError::Transport {
                         what: "reply endpoint closed".to_string(),

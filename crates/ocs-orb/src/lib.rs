@@ -18,11 +18,13 @@
 mod auth;
 mod client;
 mod interface;
+mod resilience;
 mod server;
 mod types;
 
 pub use auth::{ClientAuth, NamedPrincipal, NoAuth, ServerAuth};
 pub use client::{CallOpts, ClientCtx};
+pub use resilience::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use server::{Orb, Servant, ThreadModel};
 pub use types::{Caller, ObjRef, OrbError, Proxy, RpcFault};
 

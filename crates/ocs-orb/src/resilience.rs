@@ -1,0 +1,325 @@
+//! Unified resilience policy for ORB clients: jittered exponential
+//! backoff with per-call deadline budgets, and a per-service circuit
+//! breaker.
+//!
+//! The paper's clients retry on their own ad-hoc timers (§8.2's
+//! auto-rebind loop, §9.7's 10-second bind retries). This module gives
+//! every retry loop in the workspace one policy vocabulary:
+//!
+//! * [`RetryPolicy`] — how long to wait between attempts. The wait for
+//!   attempt `n` is drawn uniformly from `[base, envelope(n)]` where
+//!   `envelope(n) = min(cap, base * 2^n)`: full jitter under a bounded,
+//!   monotonically non-decreasing envelope, so synchronized clients
+//!   (e.g. every settop in a neighborhood rebinding after a server
+//!   crash) spread out instead of stampeding the replacement.
+//! * [`CircuitBreaker`] — a per-service closed → open → half-open state
+//!   machine. After `failure_threshold` consecutive failures the breaker
+//!   opens and calls are shed locally; after `open_for` it admits one
+//!   single-flight probe, and the probe's outcome decides between
+//!   closing and re-opening. Time is passed in explicitly (`SimTime`),
+//!   which keeps the machine pure and deterministic under simulation.
+
+use std::time::Duration;
+
+use ocs_sim::SimTime;
+use parking_lot::Mutex;
+
+/// Backoff schedule for retry loops: full jitter under an exponential,
+/// capped envelope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Minimum wait between attempts (and the envelope's starting value).
+    pub base: Duration,
+    /// Upper bound on the envelope regardless of attempt count.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Duration::from_millis(250),
+            cap: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    pub fn new(base: Duration, cap: Duration) -> RetryPolicy {
+        RetryPolicy { base, cap }
+    }
+
+    /// A fixed-interval policy (no exponential growth): the degenerate
+    /// case used where the paper prescribes a flat retry timer.
+    pub fn fixed(interval: Duration) -> RetryPolicy {
+        RetryPolicy {
+            base: interval,
+            cap: interval,
+        }
+    }
+
+    /// The backoff envelope for `attempt` (0-based):
+    /// `min(cap, base * 2^attempt)`, saturating.
+    pub fn envelope(&self, attempt: u32) -> Duration {
+        let base_us = self.base.as_micros() as u64;
+        let cap_us = self.cap.as_micros() as u64;
+        let factor = 1u64 << attempt.min(63);
+        let env = base_us.saturating_mul(factor);
+        Duration::from_micros(env.min(cap_us).max(base_us.min(cap_us)))
+    }
+
+    /// The jittered wait before retrying after `attempt` (0-based)
+    /// failures, drawn uniformly from `[base, envelope(attempt)]` using
+    /// the caller-provided random word (deterministic in simulation).
+    pub fn backoff(&self, attempt: u32, rand: u64) -> Duration {
+        let lo = self.base.as_micros() as u64;
+        let hi = self.envelope(attempt).as_micros() as u64;
+        let lo = lo.min(hi);
+        let span = hi - lo + 1;
+        Duration::from_micros(lo + rand % span)
+    }
+}
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub open_for: Duration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> BreakerPolicy {
+        BreakerPolicy {
+            failure_threshold: 5,
+            open_for: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are shed until `open_for` elapses.
+    Open,
+    /// One probe call is in flight; its outcome decides the next state.
+    HalfOpen,
+}
+
+/// Outcome of asking the breaker for admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Proceed with the call (and report the outcome back).
+    Admit {
+        /// This call is the half-open probe: exactly one is granted per
+        /// open → half-open transition.
+        probe: bool,
+    },
+    /// Shed the call locally; retry after the breaker's next probe
+    /// window at the earliest.
+    Reject,
+}
+
+struct BreakerCore {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+    probe_in_flight: bool,
+}
+
+/// A per-service circuit breaker (thread-safe; time injected by caller).
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    core: Mutex<BreakerCore>,
+}
+
+impl CircuitBreaker {
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            policy,
+            core: Mutex::new(BreakerCore {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: SimTime::from_micros(0),
+                probe_in_flight: false,
+            }),
+        }
+    }
+
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.core.lock().state
+    }
+
+    /// Asks to place a call at time `now`.
+    pub fn try_acquire(&self, now: SimTime) -> Admission {
+        let mut c = self.core.lock();
+        match c.state {
+            BreakerState::Closed => Admission::Admit { probe: false },
+            BreakerState::Open => {
+                if now >= c.opened_at + self.policy.open_for {
+                    c.state = BreakerState::HalfOpen;
+                    c.probe_in_flight = true;
+                    Admission::Admit { probe: true }
+                } else {
+                    Admission::Reject
+                }
+            }
+            BreakerState::HalfOpen => {
+                if c.probe_in_flight {
+                    Admission::Reject
+                } else {
+                    c.probe_in_flight = true;
+                    Admission::Admit { probe: true }
+                }
+            }
+        }
+    }
+
+    /// Reports a successful call: the breaker closes and resets.
+    pub fn on_success(&self) {
+        let mut c = self.core.lock();
+        c.state = BreakerState::Closed;
+        c.consecutive_failures = 0;
+        c.probe_in_flight = false;
+    }
+
+    /// Reports a failed call at time `now`.
+    pub fn on_failure(&self, now: SimTime) {
+        let mut c = self.core.lock();
+        match c.state {
+            BreakerState::HalfOpen => {
+                // The probe failed: back to fully open.
+                c.state = BreakerState::Open;
+                c.opened_at = now;
+                c.probe_in_flight = false;
+            }
+            BreakerState::Closed => {
+                c.consecutive_failures += 1;
+                if c.consecutive_failures >= self.policy.failure_threshold {
+                    c.state = BreakerState::Open;
+                    c.opened_at = now;
+                }
+            }
+            BreakerState::Open => {
+                // Late failure from a call admitted before the trip;
+                // keep the open window anchored at the first trip.
+            }
+        }
+    }
+
+    /// Reports that an admitted probe was abandoned without an outcome
+    /// (e.g. the caller unwound). Frees the single-flight slot.
+    pub fn on_probe_abandoned(&self) {
+        let mut c = self.core.lock();
+        if c.state == BreakerState::HalfOpen {
+            c.probe_in_flight = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_doubles_then_caps() {
+        let p = RetryPolicy::new(Duration::from_millis(100), Duration::from_secs(2));
+        assert_eq!(p.envelope(0), Duration::from_millis(100));
+        assert_eq!(p.envelope(1), Duration::from_millis(200));
+        assert_eq!(p.envelope(4), Duration::from_millis(1600));
+        assert_eq!(p.envelope(5), Duration::from_secs(2));
+        assert_eq!(p.envelope(63), Duration::from_secs(2));
+        assert_eq!(p.envelope(u32::MAX), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn backoff_stays_in_bounds() {
+        let p = RetryPolicy::new(Duration::from_millis(100), Duration::from_secs(2));
+        for attempt in 0..10 {
+            for rand in [0u64, 1, 12345, u64::MAX] {
+                let b = p.backoff(attempt, rand);
+                assert!(b >= p.base, "attempt {attempt} rand {rand}: {b:?}");
+                assert!(b <= p.envelope(attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_policy_never_grows() {
+        let p = RetryPolicy::fixed(Duration::from_secs(1));
+        assert_eq!(p.backoff(0, 123), Duration::from_secs(1));
+        assert_eq!(p.backoff(30, u64::MAX), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 3,
+            open_for: Duration::from_secs(5),
+        });
+        let t = SimTime::from_secs(1);
+        for _ in 0..2 {
+            assert_eq!(b.try_acquire(t), Admission::Admit { probe: false });
+            b.on_failure(t);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        b.on_failure(t);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(t + Duration::from_secs(1)), Admission::Reject);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_single_flight() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            open_for: Duration::from_secs(5),
+        });
+        b.on_failure(SimTime::from_secs(1));
+        let after = SimTime::from_secs(7);
+        assert_eq!(b.try_acquire(after), Admission::Admit { probe: true });
+        // Second caller while the probe is out: rejected.
+        assert_eq!(b.try_acquire(after), Admission::Reject);
+        // Probe succeeds: closed again.
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(after), Admission::Admit { probe: false });
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            open_for: Duration::from_secs(5),
+        });
+        b.on_failure(SimTime::from_secs(1));
+        let t1 = SimTime::from_secs(7);
+        assert_eq!(b.try_acquire(t1), Admission::Admit { probe: true });
+        b.on_failure(t1);
+        assert_eq!(b.state(), BreakerState::Open);
+        // Window restarts from the failed probe.
+        assert_eq!(b.try_acquire(t1 + Duration::from_secs(4)), Admission::Reject);
+        assert_eq!(
+            b.try_acquire(t1 + Duration::from_secs(5)),
+            Admission::Admit { probe: true }
+        );
+    }
+
+    #[test]
+    fn abandoned_probe_frees_slot() {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            open_for: Duration::from_secs(1),
+        });
+        b.on_failure(SimTime::from_secs(1));
+        let t = SimTime::from_secs(3);
+        assert_eq!(b.try_acquire(t), Admission::Admit { probe: true });
+        b.on_probe_abandoned();
+        assert_eq!(b.try_acquire(t), Admission::Admit { probe: true });
+    }
+}

@@ -249,6 +249,13 @@ impl Orb {
     }
 
     fn dispatch_request(&self, from: Addr, req: Request) -> Result<Bytes, OrbError> {
+        // Shed work whose caller has already given up: the deadline the
+        // client stamped into the frame has passed, so computing a reply
+        // would only burn server capacity during exactly the overload /
+        // recovery windows when it is scarcest.
+        if req.deadline_us != 0 && self.rt.now().as_micros() >= req.deadline_us {
+            return Err(OrbError::DeadlineExpired);
+        }
         // Incarnation check: stale references (from before this process
         // was last restarted) are rejected so clients re-resolve.
         if req.incarnation != ObjRef::STABLE && req.incarnation != self.incarnation {

@@ -101,6 +101,16 @@ pub enum OrbError {
     Transport { what: String },
     /// The server reported an internal failure.
     Internal { what: String },
+    /// The call's deadline budget was exhausted before a reply arrived —
+    /// either the client refused to send an already-expired request, or
+    /// the server shed the request because its carried deadline had
+    /// passed on arrival. Unlike [`OrbError::Timeout`], retrying the same
+    /// call is pointless: the budget is gone.
+    DeadlineExpired,
+    /// A circuit breaker is open for the target service: recent calls
+    /// failed consistently and the client is shedding load until the
+    /// breaker's probe succeeds.
+    CircuitOpen,
 }
 
 impl OrbError {
@@ -111,8 +121,32 @@ impl OrbError {
     }
 
     /// Whether retrying the same reference might succeed.
+    ///
+    /// Every variant is classified here, on purpose with no `_` arm:
+    /// adding an `OrbError` variant must force a decision about its
+    /// retry semantics (see the exhaustiveness test below).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, OrbError::Timeout | OrbError::Transport { .. })
+        match self {
+            // The host may be slow, partitioned, or mid-restart; a later
+            // attempt on the same reference can succeed.
+            OrbError::Timeout | OrbError::Transport { .. } => true,
+            // Rebind, don't retry: the reference itself is dead.
+            OrbError::ObjectDead => false,
+            // Deterministic client/server disagreements: retrying the
+            // identical call yields the identical answer.
+            OrbError::WrongType
+            | OrbError::UnknownObject
+            | OrbError::UnknownMethod
+            | OrbError::Decode { .. }
+            | OrbError::AuthFailed
+            | OrbError::Internal { .. } => false,
+            // The budget is spent; only a caller with a fresh deadline
+            // may try again.
+            OrbError::DeadlineExpired => false,
+            // The breaker re-admits traffic by itself (half-open probe);
+            // hammering it defeats the point.
+            OrbError::CircuitOpen => false,
+        }
     }
 }
 
@@ -128,6 +162,8 @@ impl fmt::Display for OrbError {
             OrbError::AuthFailed => write!(f, "authentication failed"),
             OrbError::Transport { what } => write!(f, "transport error: {what}"),
             OrbError::Internal { what } => write!(f, "server internal error: {what}"),
+            OrbError::DeadlineExpired => write!(f, "deadline budget exhausted"),
+            OrbError::CircuitOpen => write!(f, "circuit breaker open"),
         }
     }
 }
@@ -144,6 +180,8 @@ impl_wire_enum!(OrbError {
     6 => AuthFailed,
     7 => Transport { what },
     8 => Internal { what },
+    9 => DeadlineExpired,
+    10 => CircuitOpen,
 });
 
 /// Application error types that can also carry transport failures.
@@ -241,6 +279,10 @@ pub(crate) struct Request {
     pub method: u32,
     /// When set, the server dispatches but sends no reply.
     pub oneway: bool,
+    /// Absolute virtual-time deadline in microseconds (0 = none). The
+    /// deadline rides in the frame so servers can shed work whose caller
+    /// has already given up instead of computing replies nobody reads.
+    pub deadline_us: u64,
     pub principal: String,
     pub auth: Bytes,
     pub body: Bytes,
@@ -253,6 +295,7 @@ impl_wire_struct!(Request {
     type_id,
     method,
     oneway,
+    deadline_us,
     principal,
     auth,
     body
@@ -294,6 +337,7 @@ mod tests {
             type_id: 9,
             method: 2,
             oneway: false,
+            deadline_us: 7_000_000,
             principal: "settop-12".into(),
             auth: Bytes::from_static(b"sig"),
             body: Bytes::from_static(b"args"),
@@ -312,5 +356,44 @@ mod tests {
         assert!(!OrbError::Timeout.is_dead_reference());
         assert!(OrbError::Timeout.is_retryable());
         assert!(!OrbError::WrongType.is_retryable());
+    }
+
+    /// Every `OrbError` variant, with its expected retry / dead-reference
+    /// classification. The match below has no `_` arm: adding a variant
+    /// without extending this test is a compile error.
+    #[test]
+    fn error_classification_is_exhaustive() {
+        let all = [
+            OrbError::Timeout,
+            OrbError::ObjectDead,
+            OrbError::WrongType,
+            OrbError::UnknownObject,
+            OrbError::UnknownMethod,
+            OrbError::Decode { what: "x".into() },
+            OrbError::AuthFailed,
+            OrbError::Transport { what: "x".into() },
+            OrbError::Internal { what: "x".into() },
+            OrbError::DeadlineExpired,
+            OrbError::CircuitOpen,
+        ];
+        for e in &all {
+            let (want_retry, want_dead) = match e {
+                OrbError::Timeout => (true, false),
+                OrbError::ObjectDead => (false, true),
+                OrbError::WrongType => (false, false),
+                OrbError::UnknownObject => (false, false),
+                OrbError::UnknownMethod => (false, false),
+                OrbError::Decode { .. } => (false, false),
+                OrbError::AuthFailed => (false, false),
+                OrbError::Transport { .. } => (true, false),
+                OrbError::Internal { .. } => (false, false),
+                OrbError::DeadlineExpired => (false, false),
+                OrbError::CircuitOpen => (false, false),
+            };
+            assert_eq!(e.is_retryable(), want_retry, "is_retryable({e:?})");
+            assert_eq!(e.is_dead_reference(), want_dead, "is_dead_reference({e:?})");
+            // Wire round-trip must also cover every variant.
+            assert_eq!(&OrbError::from_bytes(&e.to_bytes()).unwrap(), e);
+        }
     }
 }

@@ -1,0 +1,137 @@
+//! Property tests for the unified resilience layer: backoff jitter
+//! bounds and the circuit-breaker state machine.
+
+use std::time::Duration;
+
+use ocs_orb::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
+use ocs_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// The jittered backoff never exceeds the cap, never drops below the
+    /// base, and always stays inside the attempt's envelope.
+    #[test]
+    fn backoff_within_bounds(
+        base_ms in 1u64..5_000,
+        cap_mult in 1u64..64,
+        attempt in 0u32..200,
+        rand in proptest::prelude::any::<u64>(),
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let cap = Duration::from_millis(base_ms * cap_mult);
+        let p = RetryPolicy::new(base, cap);
+        let b = p.backoff(attempt, rand);
+        prop_assert!(b >= base, "below base: {:?} < {:?}", b, base);
+        prop_assert!(b <= cap, "above cap: {:?} > {:?}", b, cap);
+        prop_assert!(b <= p.envelope(attempt));
+    }
+
+    /// The envelope is monotone non-decreasing in the attempt number and
+    /// capped: more failures never shrink the ceiling.
+    #[test]
+    fn envelope_monotone_and_capped(
+        base_ms in 1u64..5_000,
+        cap_mult in 1u64..64,
+        attempts in 1u32..80,
+    ) {
+        let p = RetryPolicy::new(
+            Duration::from_millis(base_ms),
+            Duration::from_millis(base_ms * cap_mult),
+        );
+        let mut prev = Duration::ZERO;
+        for a in 0..attempts {
+            let e = p.envelope(a);
+            prop_assert!(e >= prev, "envelope shrank at attempt {}", a);
+            prop_assert!(e <= p.cap);
+            prev = e;
+        }
+    }
+
+    /// Driving the breaker with an arbitrary failure/success/time script:
+    /// it only opens after `failure_threshold` consecutive failures, and
+    /// in the half-open state at most one probe is ever in flight.
+    #[test]
+    fn breaker_state_machine_invariants(
+        threshold in 1u32..8,
+        open_for_ms in 100u64..10_000,
+        script in proptest::collection::vec((0u8..3, 0u64..5_000), 1..60),
+    ) {
+        let policy = BreakerPolicy {
+            failure_threshold: threshold,
+            open_for: Duration::from_millis(open_for_ms),
+        };
+        let b = CircuitBreaker::new(policy);
+        let mut now_ms = 0u64;
+        let mut consecutive_failures = 0u32;
+        let mut probe_out = false;
+        for (op, dt) in script {
+            now_ms += dt;
+            let now = SimTime::from_micros(now_ms * 1_000);
+            match op {
+                // A call attempt: ask for admission, then fail it.
+                0 => {
+                    let was = b.state();
+                    match b.try_acquire(now) {
+                        Admission::Admit { probe } => {
+                            if probe {
+                                prop_assert!(!probe_out, "two probes in flight");
+                                probe_out = true;
+                            } else {
+                                prop_assert_eq!(was, BreakerState::Closed,
+                                    "non-probe admit outside Closed");
+                            }
+                            b.on_failure(now);
+                            if probe {
+                                probe_out = false;
+                                prop_assert_eq!(b.state(), BreakerState::Open,
+                                    "failed probe must re-open");
+                            } else {
+                                consecutive_failures += 1;
+                            }
+                        }
+                        Admission::Reject => {
+                            prop_assert!(b.state() != BreakerState::Closed,
+                                "Closed breaker rejected a call");
+                        }
+                    }
+                }
+                // A call attempt that succeeds if admitted.
+                1 => {
+                    if let Admission::Admit { probe } = b.try_acquire(now) {
+                        if probe {
+                            prop_assert!(!probe_out, "two probes in flight");
+                        }
+                        b.on_success();
+                        probe_out = false;
+                        consecutive_failures = 0;
+                        prop_assert_eq!(b.state(), BreakerState::Closed);
+                    }
+                }
+                // Just let time pass.
+                _ => {}
+            }
+            // The breaker never opens before the threshold is reached.
+            if consecutive_failures < threshold && b.state() == BreakerState::Open {
+                // Only legal if a probe failure re-opened it; that path
+                // resets our failure counter expectations.
+                prop_assert!(consecutive_failures == 0 || probe_out == false);
+            }
+        }
+    }
+
+    /// Closed breaker opens exactly at the threshold-th consecutive
+    /// failure, never before.
+    #[test]
+    fn breaker_opens_only_at_threshold(threshold in 1u32..16) {
+        let b = CircuitBreaker::new(BreakerPolicy {
+            failure_threshold: threshold,
+            open_for: Duration::from_secs(1),
+        });
+        let t = SimTime::from_secs(1);
+        for i in 1..=threshold {
+            prop_assert_eq!(b.state(), BreakerState::Closed, "opened early at {}", i);
+            b.on_failure(t);
+        }
+        prop_assert_eq!(b.state(), BreakerState::Open);
+    }
+}

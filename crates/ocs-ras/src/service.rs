@@ -204,6 +204,10 @@ impl Ras {
                 }
                 m
             };
+            // Poll peers in node order so the run's event trace does not
+            // depend on the map's random iteration order.
+            let mut by_node: Vec<(NodeId, Vec<EntityId>)> = by_node.into_iter().collect();
+            by_node.sort_by_key(|(n, _)| n.0);
             for (node, entities) in by_node {
                 let peer_ref = ObjRef {
                     addr: Addr::new(node, self.cfg.port),

@@ -79,13 +79,16 @@ impl SettopMgr {
     fn ping_loop(self: Arc<Self>) {
         loop {
             self.rt.sleep(self.cfg.ping_interval);
-            let targets: Vec<(NodeId, u16, u64)> = {
+            let mut targets: Vec<(NodeId, u16, u64)> = {
                 let settops = self.settops.lock();
                 settops
                     .iter()
                     .map(|(n, e)| (*n, e.agent_port, e.seq))
                     .collect()
             };
+            // Ping in node order: the map's iteration order is not
+            // deterministic, and ping order shapes the event trace.
+            targets.sort_by_key(|(n, _, _)| n.0);
             for (node, port, seq) in targets {
                 let agent_ref = ObjRef {
                     addr: Addr::new(node, port),

@@ -196,7 +196,59 @@ pub struct NetStats {
     pub msgs_dropped: u64,
     /// Unreachable bounces generated (closed port on a live node).
     pub bounces: u64,
+    /// Extra copies injected by a duplication impairment.
+    pub msgs_duplicated: u64,
+    /// Messages delayed out of order by a reorder impairment.
+    pub msgs_reordered: u64,
 }
+
+/// Fault-injection impairment applied on top of a link's base
+/// [`LinkParams`]: extra loss, duplication, reordering and latency
+/// spikes. Installed per node pair (symmetric) by the nemesis.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkImpairment {
+    /// Additional drop probability in `[0, 1]`, rolled independently of
+    /// the link's base loss.
+    pub loss: f64,
+    /// Probability that a surviving message is delivered twice.
+    pub dup: f64,
+    /// Probability that a surviving message is held back by a random
+    /// extra delay, letting later sends overtake it.
+    pub reorder: f64,
+    /// Flat latency added to every message on the link.
+    pub extra_latency: Duration,
+}
+
+impl LinkImpairment {
+    /// Lossy link: drop `p` of messages.
+    pub fn lossy(p: f64) -> LinkImpairment {
+        LinkImpairment {
+            loss: p,
+            ..LinkImpairment::default()
+        }
+    }
+
+    /// Chaotic link: some loss, duplication and reordering at once.
+    pub fn chaotic(loss: f64, dup: f64, reorder: f64) -> LinkImpairment {
+        LinkImpairment {
+            loss,
+            dup,
+            reorder,
+            ..LinkImpairment::default()
+        }
+    }
+
+    /// Latency spike: add `extra` to every message.
+    pub fn slow(extra: Duration) -> LinkImpairment {
+        LinkImpairment {
+            extra_latency: extra,
+            ..LinkImpairment::default()
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 enum EventKind {
     Wake { pid: Pid, gen: u64 },
@@ -248,6 +300,11 @@ pub(crate) struct Kernel {
     pub link_overrides: HashMap<(NodeId, NodeId), LinkParams>,
     link_free: HashMap<(NodeId, NodeId), u64>,
     pub partitions: std::collections::HashSet<(NodeId, NodeId)>,
+    pub impairments: HashMap<(NodeId, NodeId), LinkImpairment>,
+    /// FNV-1a digest of the observable event trace (sends, deliveries,
+    /// fault actions). Two runs with the same seed and workload must end
+    /// with the same digest; see `Sim::trace_hash`.
+    pub trace_hash: u64,
     pub stats: NetStats,
     pub counters: BTreeMap<String, u64>,
     pub panics: Vec<String>,
@@ -284,6 +341,8 @@ impl Kernel {
             link_overrides: HashMap::new(),
             link_free: HashMap::new(),
             partitions: std::collections::HashSet::new(),
+            impairments: HashMap::new(),
+            trace_hash: FNV_OFFSET,
             stats: NetStats::default(),
             counters: BTreeMap::new(),
             panics: Vec::new(),
@@ -298,6 +357,30 @@ impl Kernel {
         let seq = self.seq;
         self.seq += 1;
         self.events.push(Event { at, seq, kind });
+    }
+
+    /// Folds a trace record into the run's event digest. The first word
+    /// is a record tag, the rest are record fields.
+    pub fn trace_note(&mut self, words: &[u64]) {
+        let mut h = self.trace_hash;
+        for w in words {
+            for b in w.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        self.trace_hash = h;
+    }
+
+    /// The impairment installed for a node pair, looked up symmetrically.
+    fn impairment(&self, a: NodeId, b: NodeId) -> Option<LinkImpairment> {
+        self.impairments
+            .get(&(a, b))
+            .or_else(|| self.impairments.get(&(b, a)))
+            .copied()
+    }
+
+    fn roll(&mut self) -> f64 {
+        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
     }
 
     pub fn add_node(&mut self, name: &str) -> NodeId {
@@ -359,6 +442,11 @@ impl Kernel {
                 self.wake(pid, gen, WakeReason::Timeout);
             }
             EventKind::Deliver { to, item } => {
+                let size = match &item {
+                    Item::Msg(_, m) => m.len() as u64,
+                    Item::Unreach(_) => 0,
+                };
+                self.trace_note(&[2, self.now, to.node.0 as u64, to.port as u64, size]);
                 let node_up = self.nodes.get(&to.node).map(|n| n.up).unwrap_or(false);
                 if !node_up {
                     self.stats.msgs_dropped += 1;
@@ -404,6 +492,15 @@ impl Kernel {
     pub fn net_send(&mut self, from: Addr, to: Addr, msg: Bytes) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += msg.len() as u64;
+        self.trace_note(&[
+            1,
+            self.now,
+            from.node.0 as u64,
+            from.port as u64,
+            to.node.0 as u64,
+            to.port as u64,
+            msg.len() as u64,
+        ]);
         if self.trace {
             eprintln!(
                 "[{}] send {} -> {} ({} bytes)",
@@ -422,9 +519,13 @@ impl Kernel {
             return;
         }
         let params = self.link_params(from.node, to.node);
-        if params.loss > 0.0 {
-            let roll = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-            if roll < params.loss {
+        if params.loss > 0.0 && self.roll() < params.loss {
+            self.stats.msgs_dropped += 1;
+            return;
+        }
+        let imp = self.impairment(from.node, to.node);
+        if let Some(imp) = imp {
+            if imp.loss > 0.0 && self.roll() < imp.loss {
                 self.stats.msgs_dropped += 1;
                 return;
             }
@@ -436,7 +537,28 @@ impl Kernel {
         let free = self.link_free.entry(key).or_insert(0);
         let start = (*free).max(self.now);
         *free = start + ser_us;
-        let at = start + ser_us + params.latency.as_micros() as u64;
+        let mut at = start + ser_us + params.latency.as_micros() as u64;
+        if let Some(imp) = imp {
+            at += imp.extra_latency.as_micros() as u64;
+            if imp.reorder > 0.0 && self.roll() < imp.reorder {
+                // Hold the message back far enough that later sends on
+                // the link can overtake it.
+                let span = 4 * params.latency.as_micros() as u64 + 1_000;
+                at += 1 + self.rng.next_u64() % span;
+                self.stats.msgs_reordered += 1;
+            }
+            if imp.dup > 0.0 && self.roll() < imp.dup {
+                let echo = at + 1 + self.rng.next_u64() % 1_000;
+                self.stats.msgs_duplicated += 1;
+                self.push_event(
+                    echo,
+                    EventKind::Deliver {
+                        to,
+                        item: Item::Msg(from, msg.clone()),
+                    },
+                );
+            }
+        }
         self.push_event(
             at,
             EventKind::Deliver {
@@ -525,6 +647,7 @@ impl Kernel {
     /// Kills all processes on `node` and closes the node's endpoints.
     /// Returns whether the calling process itself was on the node.
     pub fn crash_node(&mut self, node: NodeId) -> bool {
+        self.trace_note(&[3, self.now, node.0 as u64]);
         if let Some(n) = self.nodes.get_mut(&node) {
             n.up = false;
         }

@@ -24,10 +24,12 @@ mod rt;
 mod sim;
 mod time;
 
+pub mod fault;
 pub mod real;
 pub mod sync;
 
-pub use kernel::{LinkParams, NetConfig, NetStats};
+pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanSpec, Nemesis};
+pub use kernel::{LinkImpairment, LinkParams, NetConfig, NetStats};
 pub use rt::{
     Addr, Endpoint, NetError, NodeId, NodeRt, NodeRtExt, PortReq, ProcGroup, RecvError, Rt,
 };

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use crate::kernel::{cur_pid, EpState, LinkParams, NetConfig, NetStats, SimInner};
+use crate::kernel::{cur_pid, EpState, LinkImpairment, LinkParams, NetConfig, NetStats, SimInner};
 use crate::rt::{Addr, Endpoint, NetError, NodeId, NodeRt, PortReq, RecvError};
 use crate::time::SimTime;
 
@@ -128,6 +128,18 @@ impl Sim {
         self.inner.spawn(None, name, Box::new(f));
     }
 
+    /// Sleeps the calling *simulated* process for `d` of virtual time.
+    /// Panics if called from outside the simulation (e.g. the driver
+    /// thread); root processes spawned with [`Sim::spawn_root`] use this
+    /// since they have no node runtime.
+    pub fn sleep(&self, d: Duration) {
+        assert!(
+            cur_pid().is_some(),
+            "Sim::sleep must be called from a simulated process"
+        );
+        self.inner.sleep(d);
+    }
+
     /// Crashes a node: kills its processes, closes its endpoints, and
     /// silences its links (messages in flight are dropped).
     ///
@@ -144,6 +156,8 @@ impl Sim {
     /// fresh init/SSC process afterwards, per the paper's §6.3 sequence).
     pub fn restart_node(&self, node: NodeId) {
         let mut k = self.inner.kernel.lock();
+        let now = k.now;
+        k.trace_note(&[4, now, node.0 as u64]);
         if let Some(n) = k.nodes.get_mut(&node) {
             n.up = true;
         }
@@ -172,12 +186,56 @@ impl Sim {
     /// Sets or clears a (symmetric) partition between two nodes.
     pub fn set_partitioned(&self, a: NodeId, b: NodeId, partitioned: bool) {
         let mut k = self.inner.kernel.lock();
+        let now = k.now;
+        k.trace_note(&[
+            if partitioned { 5 } else { 6 },
+            now,
+            a.0 as u64,
+            b.0 as u64,
+        ]);
         if partitioned {
             k.partitions.insert((a, b));
         } else {
             k.partitions.remove(&(a, b));
             k.partitions.remove(&(b, a));
         }
+    }
+
+    /// Installs a fault-injection impairment (extra loss, duplication,
+    /// reordering, latency spikes) on the symmetric link between two
+    /// nodes, replacing any previous impairment for the pair.
+    pub fn set_impairment(&self, a: NodeId, b: NodeId, imp: LinkImpairment) {
+        let mut k = self.inner.kernel.lock();
+        let now = k.now;
+        k.trace_note(&[
+            7,
+            now,
+            a.0 as u64,
+            b.0 as u64,
+            (imp.loss * 1e6) as u64,
+            (imp.dup * 1e6) as u64,
+            (imp.reorder * 1e6) as u64,
+            imp.extra_latency.as_micros() as u64,
+        ]);
+        k.impairments.remove(&(b, a));
+        k.impairments.insert((a, b), imp);
+    }
+
+    /// Removes any impairment between two nodes (either direction).
+    pub fn clear_impairment(&self, a: NodeId, b: NodeId) {
+        let mut k = self.inner.kernel.lock();
+        let now = k.now;
+        k.trace_note(&[8, now, a.0 as u64, b.0 as u64]);
+        k.impairments.remove(&(a, b));
+        k.impairments.remove(&(b, a));
+    }
+
+    /// FNV-1a digest of the run's observable event trace so far (network
+    /// sends and deliveries plus fault actions). Two runs of the same
+    /// workload with the same seed yield identical digests; any
+    /// divergence in scheduling or faults changes the value.
+    pub fn trace_hash(&self) -> u64 {
+        self.inner.kernel.lock().trace_hash
     }
 
     /// Snapshot of aggregate network statistics.

@@ -1,0 +1,143 @@
+//! Determinism regression: identical seeds (and fault plans) must yield
+//! bit-identical event-trace digests; different seeds must diverge.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ocs_sim::{
+    FaultPlan, FaultPlanSpec, LinkImpairment, Nemesis, NodeId, NodeRt, NodeRtExt, PortReq, Sim,
+    SimTime,
+};
+
+/// A small chatty workload: `n` nodes ping a hub and each other with
+/// randomized payloads and sleeps, exercising the rng, the network model
+/// and the scheduler.
+fn run_workload(seed: u64, plan: Option<FaultPlan>) -> (u64, u64) {
+    let sim = Sim::new(seed);
+    let hub = sim.add_node("hub");
+    let mut others = Vec::new();
+    for i in 0..4 {
+        others.push(sim.add_node(&format!("n{i}")));
+    }
+    // Hub echo server.
+    {
+        let rt = Arc::clone(&hub);
+        hub.spawn_fn("echo", move || {
+            let ep = rt.open(PortReq::Fixed(9)).expect("open");
+            while let Ok((from, msg)) = ep.recv(None) {
+                let _ = ep.send(from, msg);
+            }
+        });
+    }
+    let hub_id = hub.node();
+    for (i, n) in others.iter().enumerate() {
+        let rt = Arc::clone(n);
+        n.spawn_fn(&format!("client{i}"), move || {
+            let ep = rt.open(PortReq::Ephemeral).expect("open");
+            for _ in 0..50 {
+                let len = 8 + (rt.rand_u64() % 200) as usize;
+                let _ = ep.send(
+                    ocs_sim::Addr::new(hub_id, 9),
+                    bytes::Bytes::from(vec![0u8; len]),
+                );
+                let _ = ep.recv(Some(Duration::from_millis(200)));
+                rt.sleep(Duration::from_millis(10 + rt.rand_u64() % 90));
+            }
+        });
+    }
+    if let Some(plan) = plan {
+        Nemesis::spawn(&sim, plan);
+    }
+    sim.run_until(SimTime::from_secs(30));
+    let delivered = sim.net_stats().msgs_delivered;
+    (sim.trace_hash(), delivered)
+}
+
+fn plan_for(seed: u64) -> FaultPlan {
+    // Nodes are allocated in add_node order: hub=1, clients 2..=5.
+    let spec = FaultPlanSpec {
+        start: SimTime::from_secs(1),
+        heal_by: SimTime::from_secs(20),
+        faults: 5,
+        max_fault_duration: Duration::from_secs(5),
+        ..FaultPlanSpec::new(
+            vec![NodeId(3), NodeId(4)],
+            vec![(NodeId(1), NodeId(2)), (NodeId(1), NodeId(5))],
+        )
+    };
+    FaultPlan::random(seed, &spec)
+}
+
+#[test]
+fn same_seed_same_trace_hash() {
+    let (h1, d1) = run_workload(42, None);
+    let (h2, d2) = run_workload(42, None);
+    assert_eq!(h1, h2, "same seed must reproduce the event trace");
+    assert_eq!(d1, d2);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let (h1, _) = run_workload(42, None);
+    let (h2, _) = run_workload(43, None);
+    assert_ne!(h1, h2, "different seeds should produce different traces");
+}
+
+#[test]
+fn same_fault_plan_same_trace_hash() {
+    let (h1, _) = run_workload(7, Some(plan_for(99)));
+    let (h2, _) = run_workload(7, Some(plan_for(99)));
+    assert_eq!(h1, h2, "identical seeded fault campaigns must reproduce");
+}
+
+#[test]
+fn different_fault_plans_diverge() {
+    let (h1, _) = run_workload(7, Some(plan_for(99)));
+    let (h2, _) = run_workload(7, Some(plan_for(100)));
+    assert_ne!(h1, h2, "different fault plans must perturb the trace");
+}
+
+#[test]
+fn faults_perturb_the_fault_free_trace() {
+    let (clean, _) = run_workload(7, None);
+    let (faulty, _) = run_workload(7, Some(plan_for(99)));
+    assert_ne!(clean, faulty);
+}
+
+#[test]
+fn impairments_duplicate_and_reorder() {
+    let sim = Sim::new(5);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let (aid, bid) = (a.node(), b.node());
+    sim.set_impairment(
+        aid,
+        bid,
+        LinkImpairment::chaotic(0.0, 0.5, 0.5),
+    );
+    {
+        let rt = Arc::clone(&b);
+        b.spawn_fn("sink", move || {
+            let ep = rt.open(PortReq::Fixed(7)).expect("open");
+            while ep.recv(None).is_ok() {}
+        });
+    }
+    {
+        let rt = Arc::clone(&a);
+        a.spawn_fn("src", move || {
+            let ep = rt.open(PortReq::Ephemeral).expect("open");
+            for _ in 0..200 {
+                let _ = ep.send(ocs_sim::Addr::new(bid, 7), bytes::Bytes::from(vec![1u8; 32]));
+                rt.sleep(Duration::from_millis(5));
+            }
+        });
+    }
+    sim.run_until(SimTime::from_secs(5));
+    let stats = sim.net_stats();
+    assert!(stats.msgs_duplicated > 0, "dup impairment never fired");
+    assert!(stats.msgs_reordered > 0, "reorder impairment never fired");
+    assert!(
+        stats.msgs_delivered > 200,
+        "duplicates should inflate deliveries: {stats:?}"
+    );
+}

@@ -79,6 +79,7 @@ impl Csc {
             cfg.db_path.clone(),
             RebindPolicy {
                 retry_interval: Duration::from_secs(1),
+                backoff_cap: Duration::from_secs(4),
                 give_up_after: Duration::from_secs(20),
                 jitter: false,
             },

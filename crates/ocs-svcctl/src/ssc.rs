@@ -285,13 +285,16 @@ fn monitor_loop(ssc: Weak<Ssc>) {
     let interval = first.cfg.monitor_interval;
     let restart_delay = first.cfg.restart_delay;
     // Launch basic services immediately (§6.3 step 2).
-    let basics: Vec<String> = first
+    let mut basics: Vec<String> = first
         .services
         .lock()
         .values()
         .filter(|m| m.def.basic)
         .map(|m| m.def.name.clone())
         .collect();
+    // Launch in name order: the registry map iterates in random order,
+    // and spawn order shapes the whole run's event trace.
+    basics.sort();
     for name in basics {
         let _ = first.launch(&name);
     }
@@ -329,6 +332,10 @@ fn monitor_loop(ssc: Weak<Ssc>) {
                 }
             }
         }
+        // Fixed orders (the service map iterates randomly; both the
+        // death report and the relaunch sequence shape the event trace).
+        downed.sort_by_key(|o| (o.addr.node.0, o.addr.port, o.object_id));
+        to_restart.sort();
         ssc.fire_callbacks(false, downed);
         for name in to_restart {
             let _ = ssc.launch(&name);
@@ -395,6 +402,7 @@ impl SscApi for SscFace {
             .filter(|m| m.group.as_ref().map(|g| g.alive()).unwrap_or(false))
             .flat_map(|m| m.objects.iter().copied())
             .collect();
+        live.sort_by_key(|o| (o.addr.node.0, o.addr.port, o.object_id));
         live.push(s.self_ref());
         if !live.is_empty() {
             if let Ok(client) = SscCallbackClient::attach(

@@ -127,5 +127,6 @@ fn cm_usage(cluster: &Cluster, nbhd: u32) -> itv_system::media::CmUsage {
         allocations: 0,
         reserved_down_bps: 0,
         refused: 0,
+        expired: 0,
     })
 }

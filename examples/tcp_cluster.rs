@@ -133,6 +133,7 @@ fn main() {
         "svc/shop",
         RebindPolicy {
             retry_interval: Duration::from_millis(200),
+            backoff_cap: Duration::from_millis(200),
             give_up_after: Duration::from_secs(10),
             jitter: false,
         },

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): full release build, the complete
+# workspace test suite, and a pinned-seed chaos smoke — one seeded fault
+# campaign must converge and two identically-seeded runs must replay the
+# exact same event trace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test --offline --workspace -q
+cargo test --offline -p itv-cluster --test chaos -q -- \
+    crash_and_restart_campaign_converges \
+    same_seed_chaos_run_has_identical_trace_hash
+
+echo "tier1: OK"

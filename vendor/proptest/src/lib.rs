@@ -1,0 +1,563 @@
+//! Offline shim for `proptest`: deterministic random sampling with the
+//! same surface API (the subset this workspace uses). No shrinking — a
+//! failing case panics with the case index so it can be replayed by seed.
+//!
+//! Supported: `proptest!` with `x: T` and `x in strategy` parameters,
+//! `any::<T>()`, integer ranges, tuples, `&str` regex-lite patterns
+//! (`.{0,64}`, `[a-z]{1,12}`), `Just`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::sample::select`, `.prop_map`, and the `prop_assert*` macros.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 RNG used for all sampling.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
+        /// The RNG for one test case: seeded from the test's name and the
+        /// case index so every case is independently reproducible.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::seeded(h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES` overrides).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generator of values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+        }
+    }
+
+    /// Type-erased strategy (single-threaded; tests sample on one thread).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        alts: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(alts: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+            Union { alts }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.alts.len() as u64) as usize;
+            self.alts[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = (hi - lo + 1) as u64;
+                    (lo + rng.below(width) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident . $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// `&str` as a strategy: a regex-lite pattern generating strings.
+    ///
+    /// Supported syntax: literal chars, `.` (printable ASCII), `[a-z0-9_]`
+    /// character classes with ranges, each optionally followed by
+    /// `{m}`, `{m,n}`, `*` or `+`.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    enum Atom {
+        Any,
+        Class(Vec<char>),
+        Lit(char),
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<(Atom, u32, u32)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                            for c in lo..=hi {
+                                if let Some(c) = char::from_u32(c) {
+                                    set.push(c);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ']'
+                    Atom::Class(set)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            // Optional repetition suffix.
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| i + p)
+                    .expect("unclosed {} in pattern");
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad pattern min"),
+                        n.trim().parse().expect("bad pattern max"),
+                    ),
+                    None => {
+                        let m: u32 = body.trim().parse().expect("bad pattern count");
+                        (m, m)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else {
+                (1, 1)
+            };
+            out.push((atom, min, max));
+        }
+        out
+    }
+
+    fn sample_pattern(pat: &str, rng: &mut TestRng) -> String {
+        let mut s = String::new();
+        for (atom, min, max) in parse_pattern(pat) {
+            let n = min + rng.below((max - min + 1) as u64) as u32;
+            for _ in 0..n {
+                match &atom {
+                    Atom::Any => {
+                        // Printable ASCII, plus occasional non-ASCII to
+                        // exercise UTF-8 paths.
+                        if rng.below(16) == 0 {
+                            s.push(char::from_u32(0xA0 + rng.below(0x500) as u32).unwrap_or('\u{00e9}'));
+                        } else {
+                            s.push((0x20 + rng.below(0x5f) as u8) as char);
+                        }
+                    }
+                    Atom::Class(set) => {
+                        if !set.is_empty() {
+                            s.push(set[rng.below(set.len() as u64) as usize]);
+                        }
+                    }
+                    Atom::Lit(c) => s.push(*c),
+                }
+            }
+        }
+        s
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias towards edge values now and then, like proptest.
+                    match rng.below(16) {
+                        0 => 0 as $t,
+                        1 => <$t>::MAX,
+                        2 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary(rng: &mut TestRng) -> Option<T> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(T::arbitrary(rng))
+            }
+        }
+    }
+
+    impl Arbitrary for String {
+        fn arbitrary(rng: &mut TestRng) -> String {
+            let n = rng.below(33);
+            (0..n)
+                .map(|_| (0x20 + rng.below(0x5f) as u8) as char)
+                .collect()
+        }
+    }
+
+    impl Arbitrary for () {
+        fn arbitrary(_rng: &mut TestRng) -> () {}
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(elem, size_range)`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let width = (self.size.end - self.size.start) as u64;
+            let n = self.size.start + rng.below(width) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// `prop::sample::select(options)`: uniformly picks one element.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty set");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Namespace re-exports matching `proptest::prelude::prop::*`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Binds one test-parameter list entry per step: `x in strategy`,
+/// `mut x in strategy`, or `x: Type` (sugar for `any::<Type>()`).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $x:ident in $s:expr) => {
+        let mut $x = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+    };
+    ($rng:ident; mut $x:ident in $s:expr, $($rest:tt)*) => {
+        let mut $x = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:ident; $x:ident in $s:expr) => {
+        let $x = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+    };
+    ($rng:ident; $x:ident in $s:expr, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::sample(&($s), &mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+    ($rng:ident; $x:ident : $t:ty) => {
+        let $x = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$t>(), &mut $rng);
+    };
+    ($rng:ident; $x:ident : $t:ty, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::sample(
+            &$crate::arbitrary::any::<$t>(), &mut $rng);
+        $crate::__proptest_bindings!($rng; $($rest)*);
+    };
+}
+
+/// The property-test harness macro. Each function runs
+/// [`test_runner::cases`] sampled cases; a failure panics with the case
+/// index (replay by re-running — sampling is deterministic per test name).
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$fattr:meta])* fn $name:ident($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$fattr])*
+            fn $name() {
+                let __pt_cases = $crate::test_runner::cases();
+                for __pt_case in 0..__pt_cases {
+                    let mut __pt_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __pt_case,
+                    );
+                    $crate::__proptest_bindings!(__pt_rng; $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategies_respect_bounds() {
+        let mut rng = TestRng::seeded(1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&".{0,64}", &mut rng);
+            assert!(s.chars().count() <= 64);
+            let t = Strategy::sample(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn ranges_and_vec_sizes_hold() {
+        let mut rng = TestRng::seeded(2);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let xs = Strategy::sample(&prop::collection::vec(any::<u8>(), 2..5), &mut rng);
+            assert!((2..5).contains(&xs.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn harness_binds_all_forms(
+            a: u64,
+            b in 1u32..10,
+            mut c in prop::collection::vec(any::<u8>(), 0..4),
+            d in prop_oneof![Just(1i32), Just(2i32)],
+        ) {
+            let _ = a;
+            prop_assert!(b >= 1 && b < 10);
+            c.push(0);
+            prop_assert!(c.len() <= 4);
+            prop_assert!(d == 1 || d == 2);
+        }
+    }
+}

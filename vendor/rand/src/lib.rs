@@ -1,0 +1,253 @@
+//! Offline shim for the `rand` crate: the subset of the API this
+//! workspace uses. `SmallRng` is xoshiro256++ seeded via splitmix64,
+//! so streams are deterministic, well-mixed, and stable across builds —
+//! which the simulation's reproducibility guarantees depend on.
+
+/// Core RNG interface (the subset the workspace uses).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let v = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&v[..rem.len()]);
+        }
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from an RNG (`rng.random::<T>()`).
+pub trait Uniformable {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniformable for u64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Uniformable for u32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Uniformable for u16 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> u16 {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Uniformable for u8 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> u8 {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Uniformable for i64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl Uniformable for i32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> i32 {
+        rng.next_u32() as i32
+    }
+}
+
+impl Uniformable for usize {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Uniformable for bool {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Uniformable for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Uniformable for f32 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+}
+
+/// Convenience sampling methods (rand 0.9+ style `random*` names).
+pub trait RngExt: Rng {
+    fn random<T: Uniformable>(&mut self) -> T {
+        T::sample_uniform(self)
+    }
+
+    /// Uniform value in `[0, n)`. Uses 128-bit multiply to avoid modulo
+    /// bias. Panics if `n == 0`.
+    fn random_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "random_below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in a half-open `u64` range.
+    fn random_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.random_below(range.end - range.start)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A lazily seeded thread-local RNG (non-deterministic; real runtime only).
+pub struct ThreadRng;
+
+impl Rng for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        use std::cell::RefCell;
+        thread_local! {
+            static TRNG: RefCell<rngs::SmallRng> = RefCell::new(entropy_rng());
+        }
+        TRNG.with(|r| r.borrow_mut().next_u64())
+    }
+}
+
+fn entropy_rng() -> rngs::SmallRng {
+    use std::hash::{BuildHasher, Hasher};
+    // RandomState is seeded from OS entropy once per process; mix in the
+    // thread id and clock so distinct threads diverge.
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0),
+    );
+    std::thread::current().id().hash(&mut h);
+    rngs::SmallRng::seed_from_u64(h.finish())
+}
+
+use std::hash::Hash;
+
+/// Returns the thread-local RNG handle (rand 0.9+ `rand::rng()`).
+pub fn rng() -> ThreadRng {
+    ThreadRng
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_below_is_bounded_and_covers() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.random_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn fill_bytes_fills() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|b| *b != 0));
+    }
+}
