@@ -3,22 +3,47 @@
 //! ```sh
 //! cargo run --release -p bench --bin experiments -- all
 //! cargo run --release -p bench --bin experiments -- e1 e7
+//! cargo run --release -p bench --bin experiments -- e16 --spans 5
 //! ```
+//!
+//! Besides the stdout tables (captured into `experiments_output.txt`),
+//! every experiment writes a machine-readable `BENCH_<exp>.json` with
+//! its headline numbers, a telemetry metrics snapshot where a cluster
+//! was involved, and the wall/virtual run times. `--spans N` sets how
+//! many of the slowest request trees E16's span dump renders.
 
-use bench::exps;
+use bench::{exps, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut spans = 3usize;
+    let mut picked: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--spans" => {
+                spans = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--spans needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            _ => picked.push(a),
+        }
+    }
+    let which: Vec<&str> = if picked.is_empty() || picked.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15",
+            "e14", "e15", "e16",
         ]
     } else {
-        args.iter().map(|s| s.as_str()).collect()
+        picked.iter().map(|s| s.as_str()).collect()
     };
     println!("ITV system reproduction — experiment suite (virtual-time simulation)");
     for w in which {
+        report::begin(w);
+        let wall = std::time::Instant::now();
         match w {
             "e1" => exps::e1(),
             "e2" => exps::e2(),
@@ -35,7 +60,15 @@ fn main() {
             "e13" => exps::e13(),
             "e14" => exps::e14(),
             "e15" => exps::e15(),
-            other => eprintln!("unknown experiment: {other}"),
+            "e16" => exps::e16(spans),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                report::abandon();
+                continue;
+            }
+        }
+        if let Some(path) = report::finish(wall.elapsed().as_secs_f64()) {
+            println!("    [wrote {}]", path.display());
         }
     }
 }

@@ -3,15 +3,16 @@
 //! (E8), reclamation latency (E13), rolling upgrade (E14) and
 //! fault-storm convergence (E15).
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
-use itv_cluster::ClusterConfig;
+use itv_cluster::{ClusterConfig, TelemetrySnapshot};
 use itv_media::CmApiClient;
-use ocs_sim::{FaultPlan, SimTime};
+use ocs_sim::{FaultPlan, NodeRt, SimTime};
+use ocs_telemetry::{render_span_trees, span_forest, MetricsSnapshot, Span};
 
 use crate::exps::{primary_server_of, probe, ready_cluster, watch_rebind};
-use crate::{f, Stats, Table};
+use crate::json::Json;
+use crate::{f, report, Stats, Table};
 
 /// E1 (§9.7): primary/backup fail-over time of the MMS with the paper's
 /// deployed parameters, across randomized crash phases.
@@ -35,6 +36,10 @@ pub fn e1() {
         if let Some(at) = watcher.try_recv() {
             samples.push(at.saturating_since(t0).as_secs_f64());
         }
+        if k == trials - 1 {
+            report::put_metrics("metrics", &cluster.telemetry_snapshot().merged);
+        }
+        report::add_virtual_secs(sim.now().as_secs_f64());
     }
     let s = Stats::of(&samples);
     let mut t = Table::new(&["trials", "min", "median", "mean", "max", "paper max"]);
@@ -47,6 +52,8 @@ pub fn e1() {
         "25.0".into(),
     ]);
     t.print();
+    report::put("failover_seconds", report::stats_json(&s));
+    report::put("table", t.to_json());
 }
 
 /// E2 (§7.2.1, §9.7): fail-over time vs the three polling intervals,
@@ -95,8 +102,11 @@ pub fn e2() {
             f(rate, 1),
             f(retry + audit + ras, 1),
         ]);
+        report::put_metrics("metrics", &cluster.telemetry_snapshot().merged);
+        report::add_virtual_secs(sim.now().as_secs_f64());
     }
     t.print();
+    report::put("table", t.to_json());
     println!("    shape: fail-over shrinks with the intervals; message rate grows.");
 }
 
@@ -144,8 +154,11 @@ pub fn e4() {
             f(rate / servers as f64, 1),
             format!("{:.2}x", rate / base),
         ]);
+        report::put_metrics("metrics", &cluster.telemetry_snapshot().merged);
+        report::add_virtual_secs(sim.now().as_secs_f64());
     }
     t.print();
+    report::put("table", t.to_json());
     println!("    shape: per-server rate roughly flat => linear scaling.");
 }
 
@@ -168,8 +181,8 @@ pub fn e7() {
         settop.handle.tune(ClusterConfig::CHANNEL_VOD);
         sim.run_for(Duration::from_secs(30));
         let m = &settop.handle.metrics;
-        let cover = m.last_cover_us.load(Ordering::Relaxed) as f64 / 1e6;
-        let start = m.last_app_start_us.load(Ordering::Relaxed) as f64 / 1e6;
+        let cover = m.last_cover_us.get() as f64 / 1e6;
+        let start = m.last_app_start_us.get() as f64 / 1e6;
         let expected = if (2.0..=4.0).contains(&size_mb) {
             "2-4s rich app"
         } else {
@@ -181,8 +194,11 @@ pub fn e7() {
             f(start, 2),
             expected.to_string(),
         ]);
+        report::put_metrics("metrics", &cluster.telemetry_snapshot().merged);
+        report::add_virtual_secs(sim.now().as_secs_f64());
     }
     t.print();
+    report::put("table", t.to_json());
 }
 
 /// E8 (§3.5.2): playback interruption when the serving MDS crashes —
@@ -207,12 +223,16 @@ pub fn e8() {
         cluster.kill_service((k % 2) as usize, "mds");
         sim.run_for(Duration::from_secs(150));
         let m = &settop.handle.metrics;
-        let stalls = m.stalls.load(Ordering::Relaxed);
+        let stalls = m.stalls.get();
         stalls_total += stalls;
         if stalls > 0 {
             interruptions
-                .push(m.interruption_us.load(Ordering::Relaxed) as f64 / 1e6 / stalls as f64);
+                .push(m.interruption_us.get() as f64 / 1e6 / stalls as f64);
         }
+        if k == 4 {
+            report::put_metrics("metrics", &cluster.telemetry_snapshot().merged);
+        }
+        report::add_virtual_secs(sim.now().as_secs_f64());
     }
     let s = Stats::of(&interruptions);
     let mut t = Table::new(&[
@@ -230,6 +250,8 @@ pub fn e8() {
         f(s.max, 1),
     ]);
     t.print();
+    report::put("interruption_seconds", report::stats_json(&s));
+    report::put("table", t.to_json());
     println!("    (stall detection threshold is 2.5s; recovery adds the re-open round trips)");
 }
 
@@ -273,9 +295,13 @@ pub fn e13() {
             }
         }
         t.row(&[poll.to_string(), f(reclaimed, 0)]);
+        report::put_metrics("metrics", &cluster.telemetry_snapshot().merged);
+        report::add_virtual_secs(sim.now().as_secs_f64());
     }
     t.print();
-    println!("    shape: reclamation latency tracks the poll interval stack.");
+    report::put("table", t.to_json());
+    println!("    shape: mid-stream crashes hit the delivery-failure fast path,");
+    println!("    so reclamation beats the poll chain regardless of the interval.");
 }
 
 /// E14 (§9.5): rolling upgrade — kill a service, the SSC restarts the
@@ -292,7 +318,7 @@ pub fn e14() {
     }
     settop.handle.tune(ClusterConfig::CHANNEL_SHOP);
     sim.run_for(Duration::from_secs(10));
-    let before = settop.handle.metrics.interactions.load(Ordering::Relaxed);
+    let before = settop.handle.metrics.interactions.get();
     // "Copy a corrected binary and kill the service" on both servers in
     // sequence (the RoundRobin selector spreads clients over replicas).
     cluster.kill_service(0, "shop");
@@ -300,7 +326,7 @@ pub fn e14() {
     cluster.kill_service(1, "shop");
     sim.run_for(Duration::from_secs(60));
     let m = &settop.handle.metrics;
-    let after = m.interactions.load(Ordering::Relaxed);
+    let after = m.interactions.get();
     let mut t = Table::new(&[
         "interactions before kill",
         "after both restarts",
@@ -310,7 +336,7 @@ pub fn e14() {
     t.row(&[
         before.to_string(),
         after.to_string(),
-        m.rebinds.load(Ordering::Relaxed).to_string(),
+        m.rebinds.get().to_string(),
         (m.events
             .lock()
             .iter()
@@ -319,6 +345,9 @@ pub fn e14() {
         .to_string(),
     ]);
     t.print();
+    report::put_metrics("metrics", &cluster.telemetry_snapshot().merged);
+    report::add_virtual_secs(sim.now().as_secs_f64());
+    report::put("table", t.to_json());
     println!(
         "    SSC auto-restart counts (0 = the CSC re-placed it instead): {:?}",
         cluster
@@ -357,6 +386,7 @@ pub fn e15() {
         "median recovery (s)",
         "max (s)",
     ]);
+    let mut storm_metrics = MetricsSnapshot::default();
     for faults in [1u32, 3, 6] {
         let trials = 4u64;
         let mut samples = Vec::new();
@@ -398,6 +428,10 @@ pub fn e15() {
                     break;
                 }
             }
+            // Fold this storm's cluster-wide counters into the E15
+            // telemetry record (retries, sheds, breaker transitions...).
+            storm_metrics.merge(&cluster.telemetry_snapshot().merged);
+            report::add_virtual_secs(sim.now().as_secs_f64());
         }
         let s = Stats::of(&samples);
         t.row(&[
@@ -409,6 +443,135 @@ pub fn e15() {
         ]);
     }
     t.print();
+    report::put("table", t.to_json());
     println!("    shape: recovery stays bounded as the storm intensifies;");
     println!("    misses would show as converged < trials.");
+
+    // Telemetry view of the same storms: one deterministic partition leg
+    // (run twice with the same seed) checks that the causal span trees
+    // replay bit-identically, and its counters — merged with the random
+    // storms above — show the whole resilience stack firing.
+    println!("\n    telemetry: deterministic partition leg, same-seed replay");
+    let (dump_a, snap_a) = breaker_leg();
+    let (dump_b, _snap_b) = breaker_leg();
+    let deterministic = dump_a == dump_b;
+    storm_metrics.merge(&snap_a.merged);
+    println!("    span trees identical across same-seed runs: {deterministic}");
+    println!(
+        "    retries {}  rebinds {}  breaker opened/half/closed {}/{}/{}  shed {}  deadline-shed {}",
+        storm_metrics.counter("orb.rebind.retries"),
+        storm_metrics.counter("orb.rebind.rebinds"),
+        storm_metrics.counter("orb.breaker.opened"),
+        storm_metrics.counter("orb.breaker.half_opened"),
+        storm_metrics.counter("orb.breaker.closed"),
+        storm_metrics.counter("orb.rebind.breaker_shed"),
+        storm_metrics.counter("orb.server.deadline_shed"),
+    );
+    if let Some(tree) = slowest_movie_open(&snap_a.spans) {
+        println!("    slowest movie-open request tree (partition leg):");
+        print!("{tree}");
+        report::put("slowest_movie_open_tree", Json::from(tree));
+    }
+    report::put("span_trees_deterministic", Json::from(deterministic));
+    report::put_metrics("metrics", &storm_metrics);
+}
+
+/// One deterministic partition campaign whose shape provably drives a
+/// client circuit breaker through a full open → half-open → closed
+/// cycle: the chosen settop keeps resolving the MMS through its own
+/// (reachable) name service while the MMS primary stays cut off, so its
+/// calls keep failing until the heal lets a half-open probe through.
+fn breaker_leg() -> (String, TelemetrySnapshot) {
+    let mut cfg = ClusterConfig::small();
+    cfg.movie_replicas = 2;
+    let (sim, cluster) = ready_cluster(15_999, cfg);
+    for s in &cluster.settops {
+        {
+            let mut i = s.intent.lock();
+            i.title = "movie-0".to_string();
+            i.watch_ms = 20_000;
+        }
+        s.handle.tune(ClusterConfig::CHANNEL_VOD);
+    }
+    sim.run_for(Duration::from_secs(2));
+    let (a, b) = (
+        cluster.servers[0].node.node(),
+        cluster.servers[1].node.node(),
+    );
+    // Cut the settop whose home server is NOT the MMS primary off from
+    // the primary; its home name service stays reachable throughout.
+    let primary = primary_server_of(&cluster, "svc/mms").map_or(0, |(idx, _)| idx);
+    let victim = cluster.settops[1 - (primary % 2)].node.node();
+    let primary_node = cluster.servers[primary].node.node();
+    let plan = FaultPlan::new()
+        .partition(a, b, SimTime::from_secs(82), SimTime::from_secs(99))
+        .partition(primary_node, victim, SimTime::from_secs(84), SimTime::from_secs(119));
+    let outcome = cluster.run_fault_plan(&plan);
+    sim.run_until(outcome.healed_at + Duration::from_secs(40));
+    let snap = cluster.telemetry_snapshot();
+    report::add_virtual_secs(sim.now().as_secs_f64());
+    (render_span_trees(&snap.spans, 3), snap)
+}
+
+/// Renders the slowest trace rooted at a settop's `itv.mms.open` call —
+/// the canonical "movie open" request tree crossing name service, CM,
+/// MMS and MDS.
+fn slowest_movie_open(spans: &[Span]) -> Option<String> {
+    let forest = span_forest(spans);
+    let mut best: Option<(u64, &Vec<Span>)> = None;
+    for trace in forest.values() {
+        let Some(root) = trace.iter().find(|s| s.parent.0 == 0) else {
+            continue;
+        };
+        if root.name != "client:itv.mms.open" {
+            continue;
+        }
+        let start = trace.iter().map(|s| s.start).min()?;
+        let end = trace.iter().map(|s| s.end).max()?;
+        let dur = end.as_micros().saturating_sub(start.as_micros());
+        if best.is_none_or(|(d, _)| dur > d) {
+            best = Some((dur, trace));
+        }
+    }
+    best.map(|(_, trace)| render_span_trees(trace, 1))
+}
+
+/// E16: causal span dump — one settop changes channel into a VOD
+/// session; every RPC the fan-out makes (name service, Connection
+/// Manager, MMS, MDS, RAS) lands in one causally-linked span forest,
+/// and the dump renders the slowest `top_n` request trees.
+pub fn e16(top_n: usize) {
+    println!("\nE16. Causal RPC span dump: slowest {top_n} request trees (1 settop, one movie)");
+    println!("    every span carries (trace, span, parent) propagated in the ORB frames\n");
+    let mut cfg = ClusterConfig::small();
+    cfg.settops = 1;
+    let (sim, cluster) = ready_cluster(16_000, cfg);
+    let settop = &cluster.settops[0];
+    {
+        let mut i = settop.intent.lock();
+        i.title = "movie-0".to_string();
+        i.watch_ms = 10_000;
+    }
+    settop.handle.tune(ClusterConfig::CHANNEL_VOD);
+    sim.run_for(Duration::from_secs(60));
+    let snap = cluster.telemetry_snapshot();
+    report::add_virtual_secs(sim.now().as_secs_f64());
+    let traces = span_forest(&snap.spans).len();
+    println!(
+        "    scraped {} spans in {} traces; movies opened: {}",
+        snap.spans.len(),
+        traces,
+        settop.handle.metrics.movies_opened.get()
+    );
+    let dump = render_span_trees(&snap.spans, top_n);
+    print!("{dump}");
+    if let Some(tree) = slowest_movie_open(&snap.spans) {
+        println!("    slowest movie-open request tree:");
+        print!("{tree}");
+        report::put("slowest_movie_open_tree", Json::from(tree));
+    }
+    report::put("spans", Json::U64(snap.spans.len() as u64));
+    report::put("traces", Json::U64(traces as u64));
+    report::put("span_dump", Json::from(dump));
+    report::put_metrics("metrics", &snap.merged);
 }

@@ -96,6 +96,7 @@ pub fn e3() {
         ]);
     }
     t.print();
+    crate::report::put("table", t.to_json());
     let _ = crash_frac;
     println!("    shape: lease/per-service traffic grows with services x clients;");
     println!("    the RAS's stays flat in services (checks are node-local).");
@@ -210,6 +211,7 @@ fn measure_periodic_traffic(
     sim.run_until(SimTime::from_secs(20));
     let before = sim.net_stats().msgs_sent;
     sim.run_for(Duration::from_secs(60));
+    crate::report::add_virtual_secs(sim.now().as_secs_f64());
     (sim.net_stats().msgs_sent - before) as f64 / 60.0
 }
 
@@ -291,6 +293,7 @@ pub fn e5() {
         sim.run_for(Duration::from_secs(20));
         let r = (reads.load(Ordering::Relaxed) - t0_reads) as f64 / 20.0;
         let w = (writes.load(Ordering::Relaxed) - t0_writes) as f64 / 20.0;
+        crate::report::add_virtual_secs(sim.now().as_secs_f64());
         if replicas == 1 {
             base_r = r;
             base_w = w;
@@ -304,6 +307,7 @@ pub fn e5() {
         ]);
     }
     t.print();
+    crate::report::put("table", t.to_json());
     println!("    shape: resolves/s grows ~linearly with replicas; update rate stays flat.");
 }
 
@@ -332,6 +336,7 @@ pub fn e6() {
         }
     }
     t.print();
+    crate::report::put("table", t.to_json());
     println!("    paper: \"because the resolve operation is quite fast, we do not");
     println!("    expect this to be a problem\" — outages stay near the restart time.");
 }
@@ -458,6 +463,7 @@ fn storm_once(n_clients: usize, jitter: bool) -> (f64, f64, f64) {
         let _ = c.start_service("echo".to_string());
     });
     sim.run_for(Duration::from_secs(40));
+    crate::report::add_virtual_secs(sim.now().as_secs_f64());
     let msgs = (sim.net_stats().msgs_sent - msgs_before) as f64;
     let o = outages.lock().clone();
     let s = Stats::of(&o);
@@ -518,8 +524,10 @@ pub fn e9() {
             }
         }
         t.row(&[replicas.to_string(), f(cold, 1), f(reelect, 1)]);
+        crate::report::add_virtual_secs(sim.now().as_secs_f64());
     }
     t.print();
+    crate::report::put("table", t.to_json());
     println!("    (election timeout 5s + jittered campaign; crash detection dominates)");
 }
 
@@ -573,6 +581,7 @@ pub fn e10() {
             });
         }
         sim.run_until(SimTime::from_secs(1800));
+        crate::report::add_virtual_secs(sim.now().as_secs_f64());
         let a = attempts.load(Ordering::Relaxed);
         let b = blocked.load(Ordering::Relaxed);
         // offered erlangs ~ settops * hold/(hold+think) with means 90/60.
@@ -586,6 +595,7 @@ pub fn e10() {
         ]);
     }
     t.print();
+    crate::report::put("table", t.to_json());
     println!("    shape: negligible blocking below ~50 erlang (the 50-stream budget),");
     println!("    rising steeply past it — the Erlang-B knee.");
 }
@@ -679,9 +689,11 @@ pub fn e11() {
             break;
         }
     }
+    crate::report::add_virtual_secs(sim.now().as_secs_f64());
     let mut t = Table::new(&["tracked before crash", "after restart: 50% by", "100% by"]);
     t.row(&[tracked_before.to_string(), f(half, 0), f(full, 0)]);
     t.print();
+    crate::report::put("table", t.to_json());
     println!("    (clients re-ask every 10s; the tracking set rebuilds within one period)");
 }
 
@@ -776,6 +788,7 @@ pub fn e12() {
             }
         });
         sim.run_until(SimTime::from_secs(600));
+        crate::report::add_virtual_secs(sim.now().as_secs_f64());
         // The SSC-callback design never false-positives here: the
         // process group is alive the whole time.
         t.row(&[
@@ -785,6 +798,7 @@ pub fn e12() {
         ]);
     }
     t.print();
+    crate::report::put("table", t.to_json());
     println!("    shape: false deaths appear as busy time approaches the ping window,");
     println!("    while group-liveness callbacks never misfire — the paper's fix.");
 }

@@ -5,6 +5,8 @@
 //! `experiments` binary (`cargo run -p bench --bin experiments -- all`).
 
 pub mod exps;
+pub mod json;
+pub mod report;
 
 use std::time::Duration;
 
@@ -59,6 +61,26 @@ impl Table {
     /// Appends one row.
     pub fn row(&mut self, cells: &[String]) {
         self.rows.push(cells.to_vec());
+    }
+
+    /// The table as a JSON array of row objects (header → cell, both as
+    /// printed) — the machine-readable mirror of [`Table::print`] used
+    /// for the `BENCH_<exp>.json` artifacts.
+    pub fn to_json(&self) -> json::Json {
+        json::Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    json::Json::Obj(
+                        self.headers
+                            .iter()
+                            .zip(row)
+                            .map(|(h, c)| (h.clone(), json::Json::Str(c.clone())))
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
     }
 
     /// Prints the table to stdout.

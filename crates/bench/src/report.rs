@@ -1,0 +1,156 @@
+//! Per-experiment JSON artifacts.
+//!
+//! The `experiments` binary brackets every experiment with
+//! [`begin`]/[`finish`]; the experiment body contributes fields with
+//! [`put`], [`add_virtual_secs`] and [`put_metrics`]. `finish` writes
+//! `BENCH_<exp>.json` into the working directory — next to the
+//! `experiments_output.txt` the suite's stdout is captured into — with
+//! the collected fields plus wall-clock and virtual run time.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use ocs_telemetry::{HistoSnapshot, MetricsSnapshot};
+
+use crate::json::Json;
+
+static CURRENT: Mutex<Option<Report>> = Mutex::new(None);
+
+struct Report {
+    name: String,
+    virtual_secs: f64,
+    fields: BTreeMap<String, Json>,
+}
+
+/// Opens the collection scope for experiment `name`, discarding any
+/// scope left open by a previous experiment.
+pub fn begin(name: &str) {
+    *CURRENT.lock().unwrap() = Some(Report {
+        name: name.to_string(),
+        virtual_secs: 0.0,
+        fields: BTreeMap::new(),
+    });
+}
+
+/// Records one field of the current experiment's artifact (last write
+/// per key wins). No-op outside a [`begin`]/[`finish`] scope, so
+/// experiments stay callable from tests without producing files.
+pub fn put(key: &str, value: Json) {
+    if let Some(r) = CURRENT.lock().unwrap().as_mut() {
+        r.fields.insert(key.to_string(), value);
+    }
+}
+
+/// Accumulates virtual (simulated) run time; experiments that drive
+/// several `Sim`s call this once per sim with its final clock.
+pub fn add_virtual_secs(secs: f64) {
+    if let Some(r) = CURRENT.lock().unwrap().as_mut() {
+        r.virtual_secs += secs;
+    }
+}
+
+/// Records a metrics snapshot under `key` as nested counter/gauge/histo
+/// objects.
+pub fn put_metrics(key: &str, m: &MetricsSnapshot) {
+    put(key, metrics_json(m));
+}
+
+/// Renders [`crate::Stats`] as a JSON object.
+pub fn stats_json(s: &crate::Stats) -> Json {
+    Json::obj([
+        ("n".to_string(), Json::U64(s.n as u64)),
+        ("min".to_string(), Json::F64(s.min)),
+        ("mean".to_string(), Json::F64(s.mean)),
+        ("p50".to_string(), Json::F64(s.p50)),
+        ("max".to_string(), Json::F64(s.max)),
+    ])
+}
+
+/// Renders a [`MetricsSnapshot`] as a JSON object.
+pub fn metrics_json(m: &MetricsSnapshot) -> Json {
+    Json::obj([
+        (
+            "counters".to_string(),
+            Json::Obj(
+                m.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::U64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "gauges".to_string(),
+            Json::Obj(
+                m.gauges
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::I64(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "histograms".to_string(),
+            Json::Obj(
+                m.histos
+                    .iter()
+                    .map(|(k, h)| (k.clone(), histo_json(h)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn histo_json(h: &HistoSnapshot) -> Json {
+    Json::obj([
+        (
+            "bounds_us".to_string(),
+            Json::Arr(h.bounds.iter().map(|b| Json::U64(*b)).collect()),
+        ),
+        (
+            "buckets".to_string(),
+            Json::Arr(h.buckets.iter().map(|b| Json::U64(*b)).collect()),
+        ),
+        ("count".to_string(), Json::U64(h.count)),
+        ("sum_us".to_string(), Json::U64(h.sum)),
+    ])
+}
+
+/// Closes the scope and writes `BENCH_<exp>.json`. Returns the path on
+/// success; `None` when no scope is open or the write fails (the
+/// experiment's stdout results are the primary record either way).
+pub fn finish(wall_secs: f64) -> Option<PathBuf> {
+    let report = CURRENT.lock().unwrap().take()?;
+    let mut fields = report.fields;
+    fields.insert("experiment".to_string(), Json::from(report.name.as_str()));
+    fields.insert("wall_seconds".to_string(), Json::F64(wall_secs));
+    fields.insert(
+        "virtual_seconds".to_string(),
+        Json::F64(report.virtual_secs),
+    );
+    let path = PathBuf::from(format!("BENCH_{}.json", report.name));
+    match std::fs::write(&path, Json::Obj(fields).render()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Drops an open scope without writing anything (unknown experiment).
+pub fn abandon() {
+    *CURRENT.lock().unwrap() = None;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_outside_scope_is_a_noop() {
+        abandon();
+        put("x", Json::from(1u64));
+        add_virtual_secs(5.0);
+        assert!(finish(0.1).is_none());
+    }
+}

@@ -334,6 +334,20 @@ impl Cluster {
             });
         }
 
+        // --- basic: telemetry servant ------------------------------------
+        // Scrape endpoint for counters and spans; restarted by the SSC
+        // like any basic service so reboots come back observable.
+        defs.push(ServiceDef {
+            name: "telemetry".into(),
+            basic: true,
+            factory: Arc::new(move |ctx: ServiceRunCtx| {
+                if let Ok(obj) = ocs_orb::export_telemetry(ctx.rt.clone(), ports::TELEMETRY) {
+                    (ctx.notify_ready)(vec![obj]);
+                    park(&ctx.rt)
+                }
+            }),
+        });
+
         // --- basic: authentication service -------------------------------
         defs.push(ServiceDef {
             name: "auth".into(),
@@ -756,18 +770,17 @@ impl Cluster {
 
     /// Aggregate settop metrics snapshot (sums across settops).
     pub fn settop_totals(&self) -> SettopTotals {
-        use std::sync::atomic::Ordering::Relaxed;
         let mut t = SettopTotals::default();
         for s in &self.settops {
             let m = &s.handle.metrics;
-            t.booted += (m.booted_at_us.load(Relaxed) > 0) as u64;
-            t.app_downloads += m.app_downloads.load(Relaxed);
-            t.movies_opened += m.movies_opened.load(Relaxed);
-            t.movie_failures += m.movie_failures.load(Relaxed);
-            t.stalls += m.stalls.load(Relaxed);
-            t.segments += m.segments.load(Relaxed);
-            t.interactions += m.interactions.load(Relaxed);
-            t.interruption_us += m.interruption_us.load(Relaxed);
+            t.booted += (m.booted_at_us.get() > 0) as u64;
+            t.app_downloads += m.app_downloads.get();
+            t.movies_opened += m.movies_opened.get();
+            t.movie_failures += m.movie_failures.get();
+            t.stalls += m.stalls.get();
+            t.segments += m.segments.get();
+            t.interactions += m.interactions.get();
+            t.interruption_us += m.interruption_us.get();
         }
         t
     }

@@ -8,9 +8,11 @@
 mod build;
 mod chaos;
 mod config;
+mod telemetry;
 mod workload;
 
 pub use build::{standard_apps, Cluster, Intent, ServerHandle, SettopCtl, SettopTotals};
 pub use chaos::ChaosOutcome;
 pub use config::ClusterConfig;
+pub use telemetry::TelemetrySnapshot;
 pub use workload::{exp_sample, EveningWorkload, PlannedSession, Zipf};

@@ -1,0 +1,94 @@
+//! Cluster-wide telemetry: scrapes every node's on-box `Telemetry`
+//! servant (servers and settops alike) and folds the results into one
+//! [`TelemetrySnapshot`] — the operator's single view of ORB resilience
+//! counters, service metrics and causal RPC spans across the deployment.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use itv_media::ports;
+use ocs_orb::{telemetry_ref, ClientCtx, TelemetryClient};
+use ocs_sim::{Addr, NodeId, NodeRt, NodeRtExt, SimChan};
+use ocs_telemetry::{MetricsSnapshot, Span};
+
+use crate::build::Cluster;
+
+/// Everything one scrape pass saw, cluster-wide.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Per-node metric snapshots, for every node that answered.
+    pub nodes: BTreeMap<NodeId, MetricsSnapshot>,
+    /// All per-node snapshots merged: counters and gauges add, matching
+    /// fixed-bucket histograms add bucketwise.
+    pub merged: MetricsSnapshot,
+    /// Finished spans from every node, in a deterministic order
+    /// (trace id, start time, span id).
+    pub spans: Vec<Span>,
+    /// Nodes whose telemetry servant did not answer (crashed, not yet
+    /// booted, or partitioned away at scrape time).
+    pub unreachable: Vec<NodeId>,
+}
+
+impl TelemetrySnapshot {
+    /// Merged-counter lookup (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.merged.counter(name)
+    }
+
+    /// Sum of every merged counter whose name starts with `prefix`.
+    pub fn counters_with_prefix(&self, prefix: &str) -> u64 {
+        self.merged
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+}
+
+impl Cluster {
+    /// Scrapes the telemetry servant of every node in the cluster from a
+    /// probe process on server 0, running the simulation until the
+    /// scrape completes (at most ~2 s of virtual time per node).
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut targets: Vec<NodeId> = self.servers.iter().map(|s| s.node.node()).collect();
+        targets.extend(self.settop_nodes.iter().map(|n| n.node()));
+
+        let out: SimChan<TelemetrySnapshot> = SimChan::new(&self.sim);
+        let out2 = out.clone();
+        let probe = self.servers[0].node.clone();
+        let rt = probe.clone();
+        probe.spawn_fn("telemetry-scrape", move || {
+            let mut snap = TelemetrySnapshot::default();
+            for node in targets {
+                let ctx = ClientCtx::new(rt.clone()).with_timeout(Duration::from_millis(1500));
+                let tele = telemetry_ref(Addr::new(node, ports::TELEMETRY));
+                let Ok(client) = TelemetryClient::attach(ctx, tele) else {
+                    snap.unreachable.push(node);
+                    continue;
+                };
+                let (metrics, spans) = (client.metrics(), client.spans());
+                match metrics {
+                    Ok(m) => {
+                        snap.merged.merge(&m);
+                        snap.nodes.insert(node, m);
+                    }
+                    Err(_) => {
+                        snap.unreachable.push(node);
+                        continue;
+                    }
+                }
+                if let Ok(spans) = spans {
+                    snap.spans.extend(spans);
+                }
+            }
+            snap.spans
+                .sort_by_key(|s| (s.trace.0, s.start.as_micros(), s.span.0));
+            out2.send(snap);
+        });
+        // One RPC pair per node plus slack; virtual time is free.
+        self.sim
+            .run_for(Duration::from_secs(2) * (self.servers.len() + self.settop_nodes.len()) as u32);
+        out.try_recv().expect("telemetry scrape completed")
+    }
+}

@@ -135,11 +135,49 @@ fn partition_and_heal_campaign_converges() {
         cluster.servers[0].node.node(),
         cluster.servers[1].node.node(),
     );
-    let plan = FaultPlan::new().partition(a, b, SimTime::from_secs(78), SimTime::from_secs(95));
+    // Also cut settop 1 off from server 0 (the MMS primary) while its
+    // own name service (server 1) stays reachable: its MMS calls keep
+    // resolving and keep failing, which is exactly what drives a client
+    // circuit breaker through a full open → half-open → closed cycle.
+    let settop1 = cluster.settops[1].node.node();
+    let plan = FaultPlan::new()
+        .partition(a, b, SimTime::from_secs(78), SimTime::from_secs(95))
+        .partition(a, settop1, SimTime::from_secs(80), SimTime::from_secs(115));
     assert!(plan.fully_healed());
     let outcome = cluster.run_fault_plan(&plan);
     sim.run_until(outcome.healed_at + Duration::from_secs(40));
     assert_converged(&cluster, Duration::from_secs(90));
+    // Breaker observability (satellite of the telemetry PR): the settop's
+    // breaker tripped during the partition, probed half-open, and closed
+    // again; the transition counters and state gauges record the cycle.
+    let snap = cluster.telemetry_snapshot();
+    eprintln!(
+        "breaker counters: opened={} half_opened={} closed={} shed={}",
+        snap.counter("orb.breaker.opened"),
+        snap.counter("orb.breaker.half_opened"),
+        snap.counter("orb.breaker.closed"),
+        snap.counter("orb.rebind.breaker_shed"),
+    );
+    assert!(
+        snap.counter("orb.breaker.opened") >= 1,
+        "a breaker opened during the partition"
+    );
+    assert!(
+        snap.counter("orb.breaker.half_opened") >= 1,
+        "an open breaker probed half-open"
+    );
+    assert!(
+        snap.counter("orb.breaker.closed") >= 1,
+        "a probe succeeded and re-closed its breaker"
+    );
+    // After convergence every breaker is Closed again (gauge == 0).
+    for (node, m) in &snap.nodes {
+        for (name, v) in &m.gauges {
+            if name.starts_with("orb.breaker.state.") {
+                assert_eq!(*v, 0, "node {node}: {name} should be Closed");
+            }
+        }
+    }
 }
 
 #[test]

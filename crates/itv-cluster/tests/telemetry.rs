@@ -1,0 +1,91 @@
+//! Telemetry tests: a settop movie open yields one connected causal
+//! span tree crossing the name service, MMS, CM and MDS; and the span
+//! trees are bit-identical across two same-seed runs.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use itv_cluster::{Cluster, ClusterConfig, TelemetrySnapshot};
+use ocs_sim::{Sim, SimTime};
+use ocs_telemetry::{render_span_trees, span_forest};
+
+/// Boots a small cluster, has settop 0 open and watch `movie-0`, and
+/// returns the cluster-wide telemetry snapshot plus the open count.
+fn movie_run(seed: u64) -> (TelemetrySnapshot, u64) {
+    let sim = Sim::new(seed);
+    let mut cluster = Cluster::build(&sim, ClusterConfig::small());
+    sim.run_until(SimTime::from_secs(40));
+    cluster.boot_settops();
+    sim.run_until(SimTime::from_secs(70));
+    let settop = &cluster.settops[0];
+    {
+        let mut intent = settop.intent.lock();
+        intent.title = "movie-0".to_string();
+        intent.watch_ms = 10_000;
+    }
+    settop.handle.tune(ClusterConfig::CHANNEL_VOD);
+    sim.run_for(Duration::from_secs(60));
+    let opened = settop.handle.metrics.movies_opened.get();
+    (cluster.telemetry_snapshot(), opened)
+}
+
+/// `"client:itv.mms.open"` → `"itv.mms"`.
+fn service_of(span_name: &str) -> Option<&str> {
+    let qualified = span_name.split(':').nth(1)?;
+    Some(qualified.rsplit_once('.')?.0)
+}
+
+#[test]
+fn movie_open_produces_connected_span_tree_across_services() {
+    let (snap, opened) = movie_run(601);
+    assert!(opened >= 1, "movie opened");
+    assert!(!snap.spans.is_empty(), "spans were scraped");
+
+    let forest = span_forest(&snap.spans);
+    let mut services_seen: Vec<BTreeSet<&str>> = Vec::new();
+    for spans in forest.values() {
+        // Only traces rooted at a settop's MMS open.
+        let Some(root) = spans.iter().find(|s| s.parent.0 == 0) else {
+            continue;
+        };
+        if root.name != "client:itv.mms.open" {
+            continue;
+        }
+        // The tree must be connected: every non-root span's parent is
+        // also in the trace (no orphaned spans).
+        let ids: BTreeSet<u64> = spans.iter().map(|s| s.span.0).collect();
+        assert!(
+            spans
+                .iter()
+                .all(|s| s.parent.0 == 0 || ids.contains(&s.parent.0)),
+            "movie-open trace is one connected tree"
+        );
+        services_seen.push(spans.iter().filter_map(|s| service_of(&s.name)).collect());
+    }
+    let best = services_seen
+        .iter()
+        .max_by_key(|s| s.len())
+        .expect("at least one MMS-open rooted trace");
+    assert!(
+        best.len() >= 4,
+        "movie open crossed >= 4 services, got {best:?}"
+    );
+    for svc in ["itv.mms", "itv.cmgr", "itv.mds"] {
+        assert!(best.contains(svc), "trace includes {svc}: {best:?}");
+    }
+}
+
+#[test]
+fn same_seed_runs_produce_identical_span_trees() {
+    let (a, opened_a) = movie_run(602);
+    let (b, opened_b) = movie_run(602);
+    assert!(opened_a >= 1);
+    assert_eq!(opened_a, opened_b);
+    assert_eq!(a.spans, b.spans, "same seed, same spans");
+    assert_eq!(
+        render_span_trees(&a.spans, 10),
+        render_span_trees(&b.spans, 10),
+        "rendered span trees identical"
+    );
+    assert_eq!(a.merged.counters, b.merged.counters);
+}

@@ -158,6 +158,27 @@ impl ConnectionManager {
         self.rt.as_ref().map(|rt| rt.now().as_micros()).unwrap_or(0)
     }
 
+    /// Bumps a node-level telemetry counter. Managers built without a
+    /// runtime (unit tests) have no node registry, so this is a no-op.
+    fn count(&self, name: &str) {
+        if let Some(rt) = &self.rt {
+            ocs_telemetry::NodeTelemetry::of(&**rt)
+                .registry
+                .counter(name)
+                .inc();
+        }
+    }
+
+    /// Publishes the current allocation-table size as a gauge.
+    fn track_allocs(&self, n: usize) {
+        if let Some(rt) = &self.rt {
+            ocs_telemetry::NodeTelemetry::of(&**rt)
+                .registry
+                .gauge("cm.active_allocs")
+                .set(n as i64);
+        }
+    }
+
     /// Starts an ORB serving this manager on `port`; returns its
     /// reference (the caller binds it under `svc/cmgr/<nbhd>`).
     pub fn serve(self: &Arc<Self>, rt: Rt, port: u16) -> Result<ObjRef, NetError> {
@@ -248,6 +269,7 @@ impl CmApi for ConnectionManager {
         if !self.admit(&mut st, &desc) {
             st.refused += 1;
             st.accounts.entry(settop).or_default().refused += 1;
+            self.count("cm.admission.rejected");
             return Err(MediaError::NoBandwidth);
         }
         st.next_conn += 1;
@@ -255,6 +277,8 @@ impl CmApi for ConnectionManager {
         let now = self.now_us();
         st.started_us.insert(conn, now);
         st.asserted_us.insert(conn, now);
+        self.count("cm.admission.accepted");
+        self.track_allocs(st.allocations.len());
         Ok(conn)
     }
 
@@ -262,9 +286,14 @@ impl CmApi for ConnectionManager {
         let now = self.now_us();
         let mut st = self.state.lock();
         self.expire_stale(&mut st);
-        ConnectionManager::drop_alloc(&mut st, conn, now)
+        let r = ConnectionManager::drop_alloc(&mut st, conn, now)
             .map(|_| ())
-            .ok_or(MediaError::UnknownSession { id: conn })
+            .ok_or(MediaError::UnknownSession { id: conn });
+        if r.is_ok() {
+            self.count("cm.released");
+        }
+        self.track_allocs(st.allocations.len());
+        r
     }
 
     fn reassert(&self, _caller: &Caller, desc: ConnDesc) -> Result<(), MediaError> {
@@ -286,6 +315,8 @@ impl CmApi for ConnectionManager {
         if desc.conn >= st.next_conn {
             st.next_conn = desc.conn + 1;
         }
+        self.count("cm.reasserted");
+        self.track_allocs(st.allocations.len());
         Ok(())
     }
 

@@ -160,7 +160,13 @@ impl Mds {
                 // bandwidth allocation) for the rest of the title.
                 loop {
                     match ep.recv(Some(Duration::ZERO)) {
-                        Err(RecvError::Unreachable(a)) if a == movie.dest => bounced += 1,
+                        Err(RecvError::Unreachable(a)) if a == movie.dest => {
+                            bounced += 1;
+                            ocs_telemetry::NodeTelemetry::of(&*rt)
+                                .registry
+                                .counter("mds.stream.bounces")
+                                .inc();
+                        }
                         Err(RecvError::TimedOut) => break,
                         Err(RecvError::Closed) => return,
                         _ => {}
@@ -169,6 +175,10 @@ impl Mds {
                 if bounced >= ABANDON_BOUNCES {
                     let id = *movie.object_id.lock();
                     rt.trace(&format!("mds: stream {id} bounced {bounced}x; abandoning"));
+                    ocs_telemetry::NodeTelemetry::of(&*rt)
+                        .registry
+                        .counter("mds.stream.abandoned")
+                        .inc();
                     movie.playing.store(false, Ordering::Relaxed);
                     movie.closed.store(true, Ordering::Relaxed);
                     if let Some(mds) = me.upgrade() {
@@ -187,6 +197,10 @@ impl Mds {
             if let Some(orb) = self.orb.lock().upgrade() {
                 orb.unexport(object_id);
             }
+            ocs_telemetry::NodeTelemetry::of(&*self.rt)
+                .registry
+                .gauge("mds.open_streams")
+                .set(self.open_count() as i64);
         }
     }
 }
@@ -218,6 +232,10 @@ impl MdsApi for Mds {
         let movie = {
             let mut movies = self.movies.lock();
             if movies.len() as u32 >= self.max_streams {
+                ocs_telemetry::NodeTelemetry::of(&*self.rt)
+                    .registry
+                    .counter("mds.stream.busy_rejects")
+                    .inc();
                 return Err(MediaError::Busy);
             }
             let movie = Arc::new(MovieState {
@@ -237,6 +255,11 @@ impl MdsApi for Mds {
             (Arc::clone(&movie), obj)
         };
         let (state, obj) = movie;
+        let tel = ocs_telemetry::NodeTelemetry::of(&*self.rt);
+        tel.registry.counter("mds.stream.opened").inc();
+        tel.registry
+            .gauge("mds.open_streams")
+            .set(self.open_count() as i64);
         let rt = self.rt.clone();
         let me = self.me.lock().clone();
         self.rt
@@ -256,6 +279,11 @@ impl MdsApi for Mds {
         if let Some(orb) = self.orb.lock().upgrade() {
             orb.unexport(object_id);
         }
+        let tel = ocs_telemetry::NodeTelemetry::of(&*self.rt);
+        tel.registry.counter("mds.stream.closed").inc();
+        tel.registry
+            .gauge("mds.open_streams")
+            .set(self.open_count() as i64);
         Ok(())
     }
 

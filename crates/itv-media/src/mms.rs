@@ -319,6 +319,11 @@ impl Mms {
             .lock()
             .remove(&session)
             .ok_or(MediaError::UnknownSession { id: session })?;
+        let tel = ocs_telemetry::NodeTelemetry::of(&*self.rt);
+        tel.registry.counter("mms.closed").inc();
+        tel.registry
+            .gauge("mms.sessions")
+            .set(self.sessions.lock().len() as i64);
         // Tell the MDS to deallocate movie resources...
         if let Ok(bindings) = self.ns.list_repl(&self.cfg.mds_ctx) {
             for b in bindings {
@@ -346,6 +351,8 @@ impl MmsApi for Mms {
         title: String,
         resume_ms: u64,
     ) -> Result<MovieTicket, MediaError> {
+        let tel = ocs_telemetry::NodeTelemetry::of(&*self.rt);
+        tel.registry.counter("mms.open.requests").inc();
         let settop = caller.node;
         let nbhd = self
             .cfg
@@ -414,6 +421,10 @@ impl MmsApi for Mms {
                         },
                     );
                     self.watch_settop_ref(session, settop);
+                    tel.registry.counter("mms.open.ok").inc();
+                    tel.registry
+                        .gauge("mms.sessions")
+                        .set(self.sessions.lock().len() as i64);
                     return Ok(MovieTicket {
                         session,
                         movie,

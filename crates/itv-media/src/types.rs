@@ -40,6 +40,8 @@ pub mod ports {
     pub const FILE: u16 = 26;
     /// Interactive application service (shopping/games back end).
     pub const SHOP: u16 = 27;
+    /// Telemetry servant (every node — servers and settops alike).
+    pub const TELEMETRY: u16 = 19;
     /// Settop: media stream receive port.
     pub const SETTOP_STREAM: u16 = 98;
     /// Settop: liveness agent port.

@@ -11,7 +11,7 @@ use itv_media::{
     Segment,
 };
 use ocs_name::{NamingContextClient, NsError};
-use ocs_orb::{Caller, ClientCtx, ObjRef, Proxy};
+use ocs_orb::{ClientCtx, ObjRef};
 use ocs_sim::{Addr, NodeRt, NodeRtExt, PortReq, Rt, Sim, SimChan, SimTime};
 use ocs_wire::Wire;
 
@@ -47,18 +47,13 @@ fn mds_streams_segments_at_the_bit_rate() {
         let mut bytes = 0u64;
         let mut segments = 0u64;
         let mut saw_last = false;
-        loop {
-            match stream.recv(Some(Duration::from_secs(5))) {
-                Ok((_, msg)) => {
-                    let seg = Segment::from_bytes(&msg).unwrap();
-                    bytes += seg.data.len() as u64;
-                    segments += 1;
-                    if seg.last {
-                        saw_last = true;
-                        break;
-                    }
-                }
-                Err(_) => break,
+        while let Ok((_, msg)) = stream.recv(Some(Duration::from_secs(5))) {
+            let seg = Segment::from_bytes(&msg).unwrap();
+            bytes += seg.data.len() as u64;
+            segments += 1;
+            if seg.last {
+                saw_last = true;
+                break;
             }
         }
         out2.send((bytes, segments, saw_last));

@@ -1,6 +1,5 @@
 //! Settop boot and the Application Manager (§3.4.1–§3.4.3).
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -84,7 +83,10 @@ impl Settop {
     /// handle; the boot sequence runs asynchronously in the settop's
     /// process group (watch `metrics.booted_at_us`).
     pub fn boot(rt: Rt, info: SettopBootInfo, apps: Vec<AppSlot>) -> SettopHandle {
-        let metrics = SettopMetrics::new();
+        // Register the settop's counters on the node registry so the
+        // on-box `Telemetry` servant and cluster scrapes see them.
+        let metrics =
+            SettopMetrics::registered(&ocs_telemetry::NodeTelemetry::of(&*rt).registry);
         let events: Arc<Queue<SettopEvent>> = Arc::new(Queue::new(&rt));
         let m = Arc::clone(&metrics);
         let ev = Arc::clone(&events);
@@ -111,8 +113,10 @@ fn settop_main(
     metrics: Arc<SettopMetrics>,
     events: Arc<Queue<SettopEvent>>,
 ) {
-    // 0. The liveness agent, so the Settop Manager can ping us.
+    // 0. The liveness agent, so the Settop Manager can ping us, and the
+    //    telemetry servant, so scrapers can poll our counters and spans.
     let _ = AgentRunner::start(rt.clone(), SETTOP_AGENT_PORT);
+    let _ = ocs_orb::export_telemetry(rt.clone(), itv_media::ports::TELEMETRY);
 
     // 1. Boot parameters (retry until the head end answers).
     let ctx = ClientCtx::new(rt.clone()).with_timeout(Duration::from_secs(2));
@@ -164,7 +168,7 @@ fn settop_main(
 
     metrics
         .booted_at_us
-        .store(rt.now().as_micros().max(1), Ordering::Relaxed);
+        .set((rt.now().as_micros().max(1)) as i64);
     metrics.log(rt.now(), "booted");
 
     // 4. The Application Manager: resolve the RDS once and reuse the
@@ -192,7 +196,8 @@ fn settop_main(
     .with_breaker(Arc::new(CircuitBreaker::new(BreakerPolicy {
         failure_threshold: 4,
         open_for: Duration::from_secs(5),
-    })));
+    })))
+    .with_breaker_telemetry("rds");
     let app_ctx = AppCtx {
         rt: rt.clone(),
         ns: ns.clone(),
@@ -218,7 +223,7 @@ fn settop_main(
                 // (§9.3).
                 metrics
                     .last_cover_us
-                    .store((rt.now() - t0).as_micros() as u64, Ordering::Relaxed);
+                    .set(((rt.now() - t0).as_micros() as u64) as i64);
                 // Download the application binary via the RDS. The call
                 // timeout must cover the transfer (1 MB/s downlink).
                 let binary = slot.binary.clone();
@@ -227,11 +232,11 @@ fn settop_main(
                 match download {
                     Ok(image) => {
                         let elapsed = (rt.now() - t0).as_micros() as u64;
-                        metrics.app_downloads.fetch_add(1, Ordering::Relaxed);
+                        metrics.app_downloads.inc();
                         metrics
                             .app_download_us
-                            .fetch_add(elapsed, Ordering::Relaxed);
-                        metrics.last_app_start_us.store(elapsed, Ordering::Relaxed);
+                            .add(elapsed);
+                        metrics.last_app_start_us.set((elapsed) as i64);
                         metrics.log(
                             rt.now(),
                             format!("app {} ({} bytes) started", slot.binary, image.len()),
@@ -240,12 +245,12 @@ fn settop_main(
                     }
                     Err(e) => {
                         if e.orb_error().is_some() {
-                            metrics.rebinds.fetch_add(1, Ordering::Relaxed);
+                            metrics.rebinds.inc();
                         }
                         // Graceful degradation: the cover stays on screen
                         // and the AM returns to its event loop instead of
                         // wedging — the user can tune elsewhere.
-                        metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                        metrics.degraded.inc();
                         metrics.log(rt.now(), format!("app download failed: {e}"));
                     }
                 }

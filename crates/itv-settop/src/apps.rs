@@ -1,6 +1,5 @@
 //! The settop applications: navigator, video on demand, home shopping.
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use std::sync::Arc;
@@ -52,7 +51,8 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
     .with_breaker(Arc::new(CircuitBreaker::new(BreakerPolicy {
         failure_threshold: 5,
         open_for: Duration::from_secs(5),
-    })));
+    })))
+    .with_breaker_telemetry("mms");
     // The stream arrives on the settop's well-known stream port.
     let Ok(stream) = rt.open(PortReq::Fixed(ports::SETTOP_STREAM)) else {
         metrics.log(rt.now(), "vod: stream port busy");
@@ -71,12 +71,12 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
         let (ticket, rebinds) = match opened {
             Ok(v) => v,
             Err(e) => {
-                metrics.movie_failures.fetch_add(1, Ordering::Relaxed);
+                metrics.movie_failures.inc();
                 if matches!(e.orb_error(), Some(OrbError::CircuitOpen)) {
                     // Paused-playback degradation: the MMS circuit is
                     // open, so keep the position and stop cleanly; the
                     // next tune-in resumes from here (§10.1.1).
-                    metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    metrics.degraded.inc();
                     metrics.log(
                         rt.now(),
                         format!("vod: paused at {position_ms}ms (mms circuit open)"),
@@ -87,8 +87,8 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
                 break 'sessions;
             }
         };
-        metrics.rebinds.fetch_add(rebinds, Ordering::Relaxed);
-        metrics.movies_opened.fetch_add(1, Ordering::Relaxed);
+        metrics.rebinds.add(rebinds);
+        metrics.movies_opened.inc();
         let movie = match MovieCtlClient::attach(ClientCtx::new(rt.clone()), ticket.movie) {
             Ok(m) => m,
             Err(_) => break 'sessions,
@@ -97,7 +97,7 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
             // The MDS died between open and play: treat as a stall and
             // re-open.
             stalls += 1;
-            metrics.stalls.fetch_add(1, Ordering::Relaxed);
+            metrics.stalls.inc();
             continue 'sessions;
         }
         // Consume segments until done, stalled, or satisfied.
@@ -113,11 +113,11 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
                     }
                     if let Some(t0) = stall_started.take() {
                         let us = (rt.now() - t0).as_micros() as u64;
-                        metrics.interruption_us.fetch_add(us, Ordering::Relaxed);
+                        metrics.interruption_us.add(us);
                     }
                     position_ms = seg.position_ms;
-                    metrics.position_ms.store(position_ms, Ordering::Relaxed);
-                    metrics.segments.fetch_add(1, Ordering::Relaxed);
+                    metrics.position_ms.set((position_ms) as i64);
+                    metrics.segments.inc();
                     if position_ms >= watch_ms || seg.last {
                         completed = true;
                         let _ = mms.call(|m| m.close(ticket.session));
@@ -129,7 +129,7 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
                     // Close the broken session and re-open at the
                     // remembered position (§3.5.2 + §10.1.1).
                     stalls += 1;
-                    metrics.stalls.fetch_add(1, Ordering::Relaxed);
+                    metrics.stalls.inc();
                     metrics.log(
                         rt.now(),
                         format!("vod: stall at {position_ms}ms; re-opening"),
@@ -138,7 +138,7 @@ pub fn run_vod(ctx: &AppCtx, title: &str, watch_ms: u64) -> VodOutcome {
                     // interruption, then measure until the next segment.
                     metrics
                         .interruption_us
-                        .fetch_add(STALL_TIMEOUT.as_micros() as u64, Ordering::Relaxed);
+                        .add(STALL_TIMEOUT.as_micros() as u64);
                     let t_stall = rt.now();
                     let _ = mms.call(|m| m.close(ticket.session));
                     // Remember when the outage began for the resume
@@ -180,7 +180,7 @@ pub fn run_navigator(ctx: &AppCtx) -> Vec<String> {
                 ctx.metrics
                     .log(ctx.rt.now(), format!("navigator failed: {e}"));
             } else {
-                ctx.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.degraded.inc();
                 ctx.metrics.log(
                     ctx.rt.now(),
                     format!("navigator: stale catalog ({} apps; {e})", cached.len()),
@@ -213,11 +213,11 @@ pub fn run_shopping(ctx: &AppCtx, interactions: u32, think: Duration) -> u32 {
         match shop.call(|c| c.interact(session, input.clone())) {
             Ok(_) => {
                 done += 1;
-                ctx.metrics.interactions.fetch_add(1, Ordering::Relaxed);
+                ctx.metrics.interactions.inc();
             }
             Err(e) => {
                 if e.orb_error().is_some() {
-                    ctx.metrics.rebinds.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.rebinds.inc();
                 }
                 ctx.metrics
                     .log(ctx.rt.now(), format!("shopping failed: {e}"));

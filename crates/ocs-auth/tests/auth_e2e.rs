@@ -9,7 +9,7 @@ use ocs_auth::{AuthApiServant, AuthClientHandle, AuthService, RealmServerAuth};
 use ocs_orb::{
     declare_interface, impl_rpc_fault, Caller, ClientCtx, ObjRef, Orb, OrbError, ThreadModel,
 };
-use ocs_sim::{NodeRt, NodeRtExt, PortReq, Rt, Sim, SimChan, SimTime};
+use ocs_sim::{NodeRtExt, PortReq, Rt, Sim, SimChan, SimTime};
 use ocs_wire::impl_wire_enum;
 
 #[derive(Debug, PartialEq, Clone)]

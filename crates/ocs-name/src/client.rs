@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use ocs_orb::{Admission, CircuitBreaker, ClientCtx, ObjRef, Proxy, RetryPolicy, RpcFault};
 use ocs_sim::{Addr, Rt};
+use ocs_telemetry::NodeTelemetry;
 use parking_lot::Mutex;
 
 use crate::iface::{NamingContextClient, NAMING_TYPE_ID};
@@ -49,7 +50,13 @@ impl NsHandle {
 
     /// Resolves a name to a raw object reference.
     pub fn resolve(&self, path: &str) -> Result<ObjRef, NsError> {
-        self.root.resolve(path.to_string())
+        let tel = NodeTelemetry::of(&**self.ctx.rt());
+        tel.registry.counter("ns.client.lookups").inc();
+        let r = self.root.resolve(path.to_string());
+        if r.is_err() {
+            tel.registry.counter("ns.client.lookup_errors").inc();
+        }
+        r
     }
 
     /// Resolves a name and binds it to a typed proxy.
@@ -148,11 +155,14 @@ pub struct Rebinding<C: Proxy + Clone> {
     /// sleep instead of placing calls (shedding load off a struggling
     /// service); the breaker's half-open probe re-admits traffic.
     breaker: Option<Arc<CircuitBreaker>>,
+    /// This node's telemetry bundle (retry/rebind/shed counters).
+    tel: Arc<NodeTelemetry>,
 }
 
 impl<C: Proxy + Clone> Rebinding<C> {
     /// Creates a rebinding proxy for `path`.
     pub fn new(ns: NsHandle, path: impl Into<String>, policy: RebindPolicy) -> Rebinding<C> {
+        let tel = NodeTelemetry::of(&**ns.ctx().rt());
         Rebinding {
             ns,
             path: path.into(),
@@ -160,7 +170,18 @@ impl<C: Proxy + Clone> Rebinding<C> {
             cached: Mutex::new(None),
             service_ctx: None,
             breaker: None,
+            tel,
         }
+    }
+
+    /// Attaches the standard breaker telemetry (state gauge named after
+    /// `service` plus transition counters) to this proxy's breaker, if
+    /// one is configured.
+    pub fn with_breaker_telemetry(self, service: &str) -> Rebinding<C> {
+        if let Some(b) = &self.breaker {
+            ocs_orb::bind_breaker(b, &self.tel, service);
+        }
+        self
     }
 
     /// Uses a distinct client context for the service's calls (e.g. one
@@ -203,6 +224,7 @@ impl<C: Proxy + Clone> Rebinding<C> {
 
     /// Drops the cached proxy, forcing a re-resolve on next use.
     pub fn invalidate(&self) {
+        self.tel.registry.counter("ns.client.invalidations").inc();
         *self.cached.lock() = None;
     }
 
@@ -240,6 +262,9 @@ impl<C: Proxy + Clone> Rebinding<C> {
             // as `CircuitOpen` on give-up, so callers can tell
             // load-shedding from plain unavailability).
             let shed = !admitted;
+            if shed {
+                self.tel.registry.counter("orb.rebind.breaker_shed").inc();
+            }
             if admitted {
                 let proxy = match self.get() {
                     Ok(p) => Some(p),
@@ -265,6 +290,7 @@ impl<C: Proxy + Clone> Rebinding<C> {
                             if let Some(b) = &self.breaker {
                                 b.on_failure(rt.now());
                             }
+                            self.tel.registry.counter("orb.rebind.rebinds").inc();
                             self.invalidate();
                         }
                         Err(e) => {
@@ -296,8 +322,10 @@ impl<C: Proxy + Clone> Rebinding<C> {
             }
             let attempt = u32::try_from(rounds).unwrap_or(u32::MAX);
             rounds += 1;
+            self.tel.registry.counter("orb.rebind.retries").inc();
             let now = rt.now();
             if now >= deadline {
+                self.tel.registry.counter("orb.rebind.giveups").inc();
                 return Err(E::from_orb(if shed {
                     ocs_orb::OrbError::CircuitOpen
                 } else {

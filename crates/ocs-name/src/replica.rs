@@ -370,6 +370,10 @@ impl NsCore {
         name: &str,
         caller: NodeId,
     ) -> Result<ObjRef, NsError> {
+        ocs_telemetry::NodeTelemetry::of(&*self.rt)
+            .registry
+            .counter("ns.server.resolves")
+            .inc();
         self.charge_resolve();
         let ns = self.read_state();
         let ctx_ref = |id: CtxId| self.ctx_objref(id);
@@ -601,6 +605,10 @@ impl NsCore {
             for ((path, _), alive) in leaves.iter().zip(alive) {
                 if !alive {
                     self.rt.trace(&format!("ns: audit removing dead {path}"));
+                    ocs_telemetry::NodeTelemetry::of(&*self.rt)
+                        .registry
+                        .counter("ns.server.audit_removed")
+                        .inc();
                     let _ = self.master_apply(NsUpdate::Unbind { path: path.clone() });
                 }
             }

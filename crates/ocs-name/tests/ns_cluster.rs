@@ -10,7 +10,7 @@ use ocs_name::{
     acquire_primary, AlwaysAlive, LivenessOracle, NsConfig, NsError, NsHandle, NsReplica,
     RebindPolicy, Rebinding, SelectorSpec,
 };
-use ocs_orb::{ClientCtx, ObjRef, OrbError};
+use ocs_orb::{ClientCtx, ObjRef};
 use ocs_sim::{Addr, NodeId, NodeRt, NodeRtExt, Rt, Sim, SimChan, SimNode, SimTime};
 use parking_lot::Mutex;
 
@@ -451,7 +451,7 @@ fn neighborhood_selector_routes_by_caller() {
         });
     }
     sim.run_until(SimTime::from_secs(15));
-    let mut got = vec![results.try_recv().unwrap(), results.try_recv().unwrap()];
+    let mut got = [results.try_recv().unwrap(), results.try_recv().unwrap()];
     got.sort_by_key(|(t, _)| *t);
     assert_eq!(got[0].1, leaf(1, 23), "settop A routed to replica 1");
     assert_eq!(got[1].1, leaf(2, 23), "settop B routed to replica 2");

@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use ocs_sim::{PortReq, RecvError, Rt, SimTime};
+use ocs_telemetry::{current_ctx, NodeTelemetry, Span, SpanCtx, SpanId};
 use ocs_wire::Wire;
 
 use crate::auth::{ClientAuth, NoAuth};
@@ -46,15 +47,18 @@ pub struct ClientCtx {
     rt: Rt,
     auth: Arc<dyn ClientAuth>,
     opts: CallOpts,
+    tel: Arc<NodeTelemetry>,
 }
 
 impl ClientCtx {
     /// A context with pass-through authentication and default options.
     pub fn new(rt: Rt) -> ClientCtx {
+        let tel = NodeTelemetry::of(&*rt);
         ClientCtx {
             rt,
             auth: Arc::new(NoAuth),
             opts: CallOpts::default(),
+            tel,
         }
     }
 
@@ -95,30 +99,87 @@ impl ClientCtx {
     /// * stale incarnation rejected by server  → [`OrbError::ObjectDead`]
     /// * no reply within the timeout           → [`OrbError::Timeout`]
     pub fn call(&self, target: &ObjRef, method: u32, args: Bytes) -> Result<Bytes, OrbError> {
-        let ep = self
-            .rt
-            .open(PortReq::Ephemeral)
-            .map_err(|e| OrbError::Transport {
-                what: e.to_string(),
-            })?;
-        let result = self.call_on(&*ep, target, method, args, false);
-        ep.close();
+        self.call_named(target, method, args, "call")
+    }
+
+    /// [`ClientCtx::call`] with an operation name for the client span
+    /// (generated stubs pass `"<interface>.<method>"`). Every invocation
+    /// records a span: a child of the caller's current trace context when
+    /// one exists, otherwise the root of a fresh trace.
+    pub fn call_named(
+        &self,
+        target: &ObjRef,
+        method: u32,
+        args: Bytes,
+        op: &str,
+    ) -> Result<Bytes, OrbError> {
+        let (ctx, parent) = self.span_for_call();
+        let start = self.rt.now();
+        let result = (|| {
+            let ep = self
+                .rt
+                .open(PortReq::Ephemeral)
+                .map_err(|e| OrbError::Transport {
+                    what: e.to_string(),
+                })?;
+            let result = self.call_on(&*ep, target, method, args, false, ctx);
+            ep.close();
+            result
+        })();
+        self.finish_span(ctx, parent, op, start, result.is_err());
         result
     }
 
     /// Fire-and-forget invocation: the server dispatches the method but
     /// sends no reply. Used for notifications and broadcast-style calls.
     pub fn notify(&self, target: &ObjRef, method: u32, args: Bytes) -> Result<(), OrbError> {
-        let ep = self
-            .rt
-            .open(PortReq::Ephemeral)
-            .map_err(|e| OrbError::Transport {
-                what: e.to_string(),
-            })?;
-        let (deadline, _) = self.effective_deadline()?;
-        let r = self.send_request(&*ep, target, method, args, true, deadline);
-        ep.close();
-        r.map(|_| ())
+        let (ctx, parent) = self.span_for_call();
+        let start = self.rt.now();
+        let r = (|| {
+            let ep = self
+                .rt
+                .open(PortReq::Ephemeral)
+                .map_err(|e| OrbError::Transport {
+                    what: e.to_string(),
+                })?;
+            let (deadline, _) = self.effective_deadline()?;
+            let r = self.send_request(&*ep, target, method, args, true, deadline, ctx);
+            ep.close();
+            r.map(|_| ())
+        })();
+        self.finish_span(ctx, parent, "notify", start, r.is_err());
+        r
+    }
+
+    /// Allocates the span for one outgoing call: a child of the calling
+    /// process's current context, or a fresh root trace.
+    fn span_for_call(&self) -> (SpanCtx, SpanId) {
+        match current_ctx() {
+            Some(cur) => (self.tel.tracer.child_of(cur), cur.span),
+            None => (self.tel.tracer.new_root(), SpanId(0)),
+        }
+    }
+
+    fn finish_span(&self, ctx: SpanCtx, parent: SpanId, op: &str, start: SimTime, err: bool) {
+        self.tel.registry.counter("orb.client.calls").inc();
+        if err {
+            self.tel.registry.counter("orb.client.errors").inc();
+        }
+        let end = self.rt.now();
+        self.tel
+            .registry
+            .histo("orb.client.latency_us")
+            .observe(end.as_micros().saturating_sub(start.as_micros()));
+        self.tel.tracer.record(Span {
+            trace: ctx.trace,
+            span: ctx.span,
+            parent,
+            name: format!("client:{op}"),
+            node: self.rt.node(),
+            start,
+            end,
+            err,
+        });
     }
 
     /// The binding deadline for a call placed now: the sooner of
@@ -143,6 +204,7 @@ impl ClientCtx {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn send_request(
         &self,
         ep: &dyn ocs_sim::Endpoint,
@@ -151,6 +213,7 @@ impl ClientCtx {
         args: Bytes,
         oneway: bool,
         deadline: SimTime,
+        span: SpanCtx,
     ) -> Result<u64, OrbError> {
         let (body, auth_blob) = self.auth.seal(args);
         let request_id = self.rt.rand_u64();
@@ -162,6 +225,8 @@ impl ClientCtx {
             method,
             oneway,
             deadline_us: deadline.as_micros(),
+            trace_id: span.trace.0,
+            span_id: span.span.0,
             principal: self.auth.principal(),
             auth: auth_blob,
             body,
@@ -183,6 +248,7 @@ impl ClientCtx {
         method: u32,
         args: Bytes,
         oneway: bool,
+        span: SpanCtx,
     ) -> Result<Bytes, OrbError> {
         let (deadline, budget_bound) = self.effective_deadline()?;
         let expired = || {
@@ -192,7 +258,7 @@ impl ClientCtx {
                 OrbError::Timeout
             }
         };
-        let request_id = self.send_request(ep, target, method, args, oneway, deadline)?;
+        let request_id = self.send_request(ep, target, method, args, oneway, deadline, span)?;
         loop {
             let now = self.rt.now();
             if now >= deadline {

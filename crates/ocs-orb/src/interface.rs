@@ -110,9 +110,15 @@ macro_rules! declare_interface {
             $(
                 $(#[$mmeta])*
                 pub fn $method(&self $(, $arg: $aty)*) -> Result<$ok, $err> {
+                    #[allow(unused_mut)]
                     let mut e = $crate::ocs_wire::Encoder::new();
                     $( $crate::ocs_wire::Wire::encode_into(&$arg, &mut e); )*
-                    match self.ctx.call(&self.target, $mid, e.finish()) {
+                    match self.ctx.call_named(
+                        &self.target,
+                        $mid,
+                        e.finish(),
+                        concat!($tyname, ".", stringify!($method)),
+                    ) {
                         Ok(body) => {
                             match <Result<$ok, $err> as $crate::ocs_wire::Wire>::from_bytes(&body) {
                                 Ok(r) => r,
@@ -150,6 +156,17 @@ macro_rules! declare_interface {
                 $crate::ocs_wire::type_id_of($tyname)
             }
 
+            fn type_name(&self) -> &'static str {
+                $tyname
+            }
+
+            fn method_name(&self, method: u32) -> &'static str {
+                match method {
+                    $( $mid => stringify!($method), )*
+                    _ => "?",
+                }
+            }
+
             fn dispatch(
                 &self,
                 caller: &$crate::Caller,
@@ -159,6 +176,7 @@ macro_rules! declare_interface {
                 match method {
                     $(
                         $mid => {
+                            #[allow(unused_mut)]
                             let mut d = $crate::ocs_wire::Decoder::new(args);
                             $(
                                 let $arg = <$aty as $crate::ocs_wire::Wire>::decode_from(&mut d)

@@ -20,12 +20,19 @@ mod client;
 mod interface;
 mod resilience;
 mod server;
+pub mod telemetry;
 mod types;
 
 pub use auth::{ClientAuth, NamedPrincipal, NoAuth, ServerAuth};
 pub use client::{CallOpts, ClientCtx};
-pub use resilience::{Admission, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
+pub use resilience::{
+    Admission, BreakerObserver, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy,
+};
 pub use server::{Orb, Servant, ThreadModel};
+pub use telemetry::{
+    bind_breaker, export_telemetry, telemetry_ref, NodeTelemetryService, TelemetryApi,
+    TelemetryClient, TelemetryError, TelemetryServant,
+};
 pub use types::{Caller, ObjRef, OrbError, Proxy, RpcFault};
 
 // Re-exported so generated code can reference them from user crates.

@@ -129,10 +129,17 @@ struct BreakerCore {
     probe_in_flight: bool,
 }
 
+/// Hook fired on every breaker state transition `(from, to)`. Must be
+/// cheap and must not call back into the breaker (it runs under the
+/// breaker's lock); the intended use is bumping telemetry counters and
+/// a state gauge.
+pub type BreakerObserver = Box<dyn Fn(BreakerState, BreakerState) + Send + Sync>;
+
 /// A per-service circuit breaker (thread-safe; time injected by caller).
 pub struct CircuitBreaker {
     policy: BreakerPolicy,
     core: Mutex<BreakerCore>,
+    observer: Mutex<Option<BreakerObserver>>,
 }
 
 impl CircuitBreaker {
@@ -145,6 +152,7 @@ impl CircuitBreaker {
                 opened_at: SimTime::from_micros(0),
                 probe_in_flight: false,
             }),
+            observer: Mutex::new(None),
         }
     }
 
@@ -156,6 +164,23 @@ impl CircuitBreaker {
         self.core.lock().state
     }
 
+    /// Installs the transition observer (replacing any previous one).
+    pub fn set_observer(&self, f: BreakerObserver) {
+        *self.observer.lock() = Some(f);
+    }
+
+    /// Moves `c` to `to`, firing the observer if the state changed.
+    fn transition(&self, c: &mut BreakerCore, to: BreakerState) {
+        let from = c.state;
+        if from == to {
+            return;
+        }
+        c.state = to;
+        if let Some(obs) = self.observer.lock().as_ref() {
+            obs(from, to);
+        }
+    }
+
     /// Asks to place a call at time `now`.
     pub fn try_acquire(&self, now: SimTime) -> Admission {
         let mut c = self.core.lock();
@@ -163,7 +188,7 @@ impl CircuitBreaker {
             BreakerState::Closed => Admission::Admit { probe: false },
             BreakerState::Open => {
                 if now >= c.opened_at + self.policy.open_for {
-                    c.state = BreakerState::HalfOpen;
+                    self.transition(&mut c, BreakerState::HalfOpen);
                     c.probe_in_flight = true;
                     Admission::Admit { probe: true }
                 } else {
@@ -184,7 +209,7 @@ impl CircuitBreaker {
     /// Reports a successful call: the breaker closes and resets.
     pub fn on_success(&self) {
         let mut c = self.core.lock();
-        c.state = BreakerState::Closed;
+        self.transition(&mut c, BreakerState::Closed);
         c.consecutive_failures = 0;
         c.probe_in_flight = false;
     }
@@ -195,14 +220,14 @@ impl CircuitBreaker {
         match c.state {
             BreakerState::HalfOpen => {
                 // The probe failed: back to fully open.
-                c.state = BreakerState::Open;
+                self.transition(&mut c, BreakerState::Open);
                 c.opened_at = now;
                 c.probe_in_flight = false;
             }
             BreakerState::Closed => {
                 c.consecutive_failures += 1;
                 if c.consecutive_failures >= self.policy.failure_threshold {
-                    c.state = BreakerState::Open;
+                    self.transition(&mut c, BreakerState::Open);
                     c.opened_at = now;
                 }
             }

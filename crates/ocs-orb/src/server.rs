@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use ocs_sim::{Addr, Endpoint, NetError, PortReq, RecvError, Rt};
+use ocs_telemetry::{CtxGuard, NodeTelemetry, Span, SpanCtx, SpanId, TraceId};
 use ocs_wire::Wire;
 
 use crate::auth::{NoAuth, ServerAuth};
@@ -27,6 +28,18 @@ pub trait Servant: Send + Sync {
     /// Unmarshals arguments, invokes the method, and returns the
     /// marshalled reply body (a wire-encoded `Result<T, E>`).
     fn dispatch(&self, caller: &Caller, method: u32, args: &[u8]) -> Result<Bytes, OrbError>;
+
+    /// The interface's type name string, for server span names
+    /// (generated servants return their declared name).
+    fn type_name(&self) -> &'static str {
+        "?"
+    }
+
+    /// The name of `method`, for server span names.
+    fn method_name(&self, method: u32) -> &'static str {
+        let _ = method;
+        "?"
+    }
 }
 
 /// How the server loop handles concurrent requests.
@@ -56,6 +69,7 @@ pub struct Orb {
     objects: parking_lot::Mutex<std::collections::HashMap<u64, Exported>>,
     next_obj: AtomicU64,
     started: AtomicU64,
+    tel: Arc<NodeTelemetry>,
 }
 
 impl Orb {
@@ -84,6 +98,7 @@ impl Orb {
             // Random, but never the STABLE sentinel.
             rt.rand_u64() | 1
         });
+        let tel = NodeTelemetry::of(&*rt);
         Ok(Arc::new(Orb {
             rt,
             ep,
@@ -93,6 +108,7 @@ impl Orb {
             objects: parking_lot::Mutex::new(Default::default()),
             next_obj: AtomicU64::new(1),
             started: AtomicU64::new(0),
+            tel,
         }))
     }
 
@@ -236,7 +252,45 @@ impl Orb {
         let oneway = req.oneway;
         let request_id = req.request_id;
         let principal = req.principal.clone();
-        let result = self.dispatch_request(from, req);
+        // Server span: a child of the client span carried in the frame.
+        // Installing it as the worker's current context makes any nested
+        // calls the servant places come out as its children — this is
+        // what stitches one settop request into a cross-service tree.
+        let span = (req.trace_id != 0).then(|| {
+            let parent = SpanCtx {
+                trace: TraceId(req.trace_id),
+                span: SpanId(req.span_id),
+            };
+            let ctx = self.tel.tracer.child_of(parent);
+            let name = {
+                let objects = self.objects.lock();
+                match objects.get(&req.object_id) {
+                    Some(e) => format!(
+                        "server:{}.{}",
+                        e.servant.type_name(),
+                        e.servant.method_name(req.method)
+                    ),
+                    None => format!("server:obj{}.m{}", req.object_id, req.method),
+                }
+            };
+            (ctx, parent.span, name, self.rt.now())
+        });
+        let result = {
+            let _guard = span.as_ref().map(|(ctx, _, _, _)| CtxGuard::enter(*ctx));
+            self.dispatch_request(from, req)
+        };
+        if let Some((ctx, parent, name, start)) = span {
+            self.tel.tracer.record(Span {
+                trace: ctx.trace,
+                span: ctx.span,
+                parent,
+                name,
+                node: self.rt.node(),
+                start,
+                end: self.rt.now(),
+                err: result.is_err(),
+            });
+        }
         if oneway {
             return;
         }
@@ -249,11 +303,13 @@ impl Orb {
     }
 
     fn dispatch_request(&self, from: Addr, req: Request) -> Result<Bytes, OrbError> {
+        self.tel.registry.counter("orb.server.requests").inc();
         // Shed work whose caller has already given up: the deadline the
         // client stamped into the frame has passed, so computing a reply
         // would only burn server capacity during exactly the overload /
         // recovery windows when it is scarcest.
         if req.deadline_us != 0 && self.rt.now().as_micros() >= req.deadline_us {
+            self.tel.registry.counter("orb.server.deadline_shed").inc();
             return Err(OrbError::DeadlineExpired);
         }
         // Incarnation check: stale references (from before this process

@@ -239,6 +239,9 @@ macro_rules! impl_rpc_fault {
                 $name::Comm { err }
             }
             fn orb_error(&self) -> Option<&$crate::OrbError> {
+                // Single-variant error enums make the catch-all arm
+                // unreachable; that's fine.
+                #[allow(unreachable_patterns)]
                 match self {
                     $name::Comm { err } => Some(err),
                     _ => None,
@@ -283,6 +286,14 @@ pub(crate) struct Request {
     /// deadline rides in the frame so servers can shed work whose caller
     /// has already given up instead of computing replies nobody reads.
     pub deadline_us: u64,
+    /// Trace id of the request tree this call belongs to (0 = untraced).
+    /// Together with `span_id` this is the propagated trace context: the
+    /// server records its span as a child of the client's span, so a
+    /// settop channel-change stitches into one causal tree across the
+    /// name service → CM → MMS → MDS fan-out.
+    pub trace_id: u64,
+    /// The client span this call was made under (0 = none).
+    pub span_id: u64,
     pub principal: String,
     pub auth: Bytes,
     pub body: Bytes,
@@ -296,6 +307,8 @@ impl_wire_struct!(Request {
     method,
     oneway,
     deadline_us,
+    trace_id,
+    span_id,
     principal,
     auth,
     body
@@ -338,6 +351,8 @@ mod tests {
             method: 2,
             oneway: false,
             deadline_us: 7_000_000,
+            trace_id: 0x42,
+            span_id: 0x43,
             principal: "settop-12".into(),
             auth: Bytes::from_static(b"sig"),
             body: Bytes::from_static(b"args"),

@@ -338,7 +338,7 @@ fn single_threaded_server_serializes_requests() {
         }
     });
     sim.run_until(SimTime::from_secs(30));
-    let mut done = vec![
+    let mut done = [
         results.try_recv().unwrap() / 1000,
         results.try_recv().unwrap() / 1000,
     ];
@@ -447,4 +447,40 @@ fn oneway_notify_dispatches_without_reply() {
     });
     sim.run_until(SimTime::from_secs(2));
     assert_eq!(counted.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn rpc_spans_link_client_and_server() {
+    let sim = Sim::new(77);
+    let server = sim.add_node("server");
+    let settop = sim.add_node("settop");
+    let server2 = server.clone();
+    let settop_rt: ocs_sim::Rt = settop.clone();
+    server.spawn_fn("boot", move || {
+        let obj = start_echo(&server2, 100, ThreadModel::PerRequest);
+        let ctx = ClientCtx::new(settop_rt.clone());
+        settop_rt.spawn(
+            "client",
+            Box::new(move || {
+                let client = EchoClient::attach(ctx, obj).unwrap();
+                client.echo("traced".into()).unwrap();
+            }),
+        );
+    });
+    sim.run_until(SimTime::from_secs(5));
+
+    let client_spans = ocs_telemetry::NodeTelemetry::of(&*settop).tracer.finished();
+    let server_spans = ocs_telemetry::NodeTelemetry::of(&*server).tracer.finished();
+    let c = client_spans
+        .iter()
+        .find(|s| s.name == "client:test.echo.echo")
+        .expect("client span recorded");
+    assert_eq!(c.parent.0, 0, "no enclosing context → root span");
+    let s = server_spans
+        .iter()
+        .find(|s| s.name == "server:test.echo.echo")
+        .expect("server span recorded");
+    assert_eq!(s.trace, c.trace, "one causal trace across both nodes");
+    assert_eq!(s.parent, c.span, "server span is the client span's child");
+    assert!(s.start >= c.start && s.end <= c.end, "causal nesting in time");
 }

@@ -114,7 +114,7 @@ proptest! {
             if consecutive_failures < threshold && b.state() == BreakerState::Open {
                 // Only legal if a probe failure re-opened it; that path
                 // resets our failure counter expectations.
-                prop_assert!(consecutive_failures == 0 || probe_out == false);
+                prop_assert!(consecutive_failures == 0 || !probe_out);
             }
         }
     }

@@ -737,13 +737,23 @@ impl Kernel {
 /// Shared kernel wrapper: the single lock plus the scheduler entry points.
 pub(crate) struct SimInner {
     pub kernel: Mutex<Kernel>,
+    /// Per-node extension maps (see [`crate::rt::Extensions`]). Outside
+    /// the kernel lock: extensions are touched from running processes and
+    /// must not contend with the scheduler.
+    ext: Mutex<BTreeMap<NodeId, Arc<crate::rt::Extensions>>>,
 }
 
 impl SimInner {
     pub fn new(seed: u64, net_cfg: NetConfig, trace: bool) -> Arc<SimInner> {
         Arc::new(SimInner {
             kernel: Mutex::new(Kernel::new(seed, net_cfg, trace)),
+            ext: Mutex::new(BTreeMap::new()),
         })
+    }
+
+    /// The extension map for `node`, shared by every handle to it.
+    pub fn node_extensions(&self, node: NodeId) -> Arc<crate::rt::Extensions> {
+        Arc::clone(self.ext.lock().entry(node).or_default())
     }
 
     // ---- process-side primitives -------------------------------------

@@ -31,7 +31,8 @@ pub mod sync;
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanSpec, Nemesis};
 pub use kernel::{LinkImpairment, LinkParams, NetConfig, NetStats};
 pub use rt::{
-    Addr, Endpoint, NetError, NodeId, NodeRt, NodeRtExt, PortReq, ProcGroup, RecvError, Rt,
+    Addr, Endpoint, Extensions, NetError, NodeId, NodeRt, NodeRtExt, PortReq, ProcGroup,
+    RecvError, Rt,
 };
 pub use sim::{Sim, SimChan, SimConfig, SimNode};
 pub use sync::{Gate, Queue, Semaphore, SyncObj};

@@ -76,6 +76,7 @@ impl RealNet {
             ports: Arc::new(Mutex::new(HashMap::new())),
             next_ephemeral: Mutex::new(crate::kernel::EPHEMERAL_BASE),
             stop: Arc::new(AtomicBool::new(false)),
+            ext: Arc::new(crate::rt::Extensions::new()),
         });
         let ports = Arc::clone(&node.ports);
         let stop = Arc::clone(&node.stop);
@@ -216,6 +217,7 @@ pub struct RealNode {
     ports: PortMap,
     next_ephemeral: Mutex<u16>,
     stop: Arc<AtomicBool>,
+    ext: Arc<crate::rt::Extensions>,
 }
 
 impl RealNode {
@@ -322,6 +324,10 @@ impl NodeRt for RealNode {
             gen: Mutex::new(0),
             cv: parking_lot::Condvar::new(),
         })
+    }
+
+    fn extensions(&self) -> Arc<crate::rt::Extensions> {
+        Arc::clone(&self.ext)
     }
 }
 

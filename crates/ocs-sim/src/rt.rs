@@ -16,11 +16,14 @@
 //! notification (process died, host alive — the RST-like case) or as
 //! silence leading to a timeout (host died).
 
+use std::any::{Any, TypeId};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 
 use crate::time::SimTime;
 
@@ -181,6 +184,51 @@ pub trait ProcGroup: Send + Sync {
     fn id(&self) -> u64;
 }
 
+/// Typed per-node extension storage.
+///
+/// Cross-cutting substrates (telemetry being the motivating one) need
+/// exactly one instance of their state per node without threading a
+/// handle through every service constructor. `Extensions` is a small
+/// type-keyed map hung off each [`NodeRt`]: the first
+/// [`get_or_init`](Extensions::get_or_init) for a type installs it, and
+/// every later call — from any handle to the same node — sees the same
+/// `Arc`. Storage is tied to the runtime instance, so two simulations in
+/// one OS process never share state (which would break same-seed
+/// determinism checks).
+#[derive(Default)]
+pub struct Extensions {
+    map: Mutex<BTreeMap<TypeId, Arc<dyn Any + Send + Sync>>>,
+}
+
+impl Extensions {
+    /// Creates an empty extension map.
+    pub fn new() -> Extensions {
+        Extensions::default()
+    }
+
+    /// Returns the extension of type `T`, installing `init()` on first use.
+    pub fn get_or_init<T, F>(&self, init: F) -> Arc<T>
+    where
+        T: Any + Send + Sync,
+        F: FnOnce() -> T,
+    {
+        let mut map = self.map.lock();
+        let slot = map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(init()) as Arc<dyn Any + Send + Sync>);
+        Arc::clone(slot)
+            .downcast::<T>()
+            .expect("extension slot holds the keyed type")
+    }
+
+    /// Returns the extension of type `T` if one has been installed.
+    pub fn get<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        let map = self.map.lock();
+        map.get(&TypeId::of::<T>())
+            .map(|a| Arc::clone(a).downcast::<T>().expect("keyed type"))
+    }
+}
+
 /// The per-node runtime handle: clock, scheduling and endpoint factory.
 ///
 /// Object-safe so that services can hold `Arc<dyn NodeRt>` and run
@@ -226,6 +274,10 @@ pub trait NodeRt: Send + Sync {
     /// Creates a wait/notify synchronization object (see
     /// [`crate::sync::SyncObj`]) safe to block on from this runtime.
     fn make_sync(&self) -> Arc<dyn crate::sync::SyncObj>;
+
+    /// Shared per-node extension storage (see [`Extensions`]). Every
+    /// handle to the same node returns the same map.
+    fn extensions(&self) -> Arc<Extensions>;
 }
 
 /// Convenience extensions over [`NodeRt`].

@@ -413,6 +413,10 @@ impl NodeRt for SimNode {
             id: self.inner.waitobj_create(),
         })
     }
+
+    fn extensions(&self) -> Arc<crate::rt::Extensions> {
+        self.inner.node_extensions(self.id)
+    }
 }
 
 /// A simulation-backed wait/notify object.

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use ocs_sim::{
-    Addr, Endpoint, LinkParams, NodeRt, NodeRtExt, PortReq, RecvError, Sim, SimChan, SimTime,
+    Addr, LinkParams, NodeRt, NodeRtExt, PortReq, RecvError, Sim, SimChan, SimTime,
 };
 
 fn secs(s: u64) -> Duration {

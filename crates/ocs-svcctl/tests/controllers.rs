@@ -6,11 +6,10 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
 use ocs_db::{Db, DbApiServant, DbTables, MemStorage, ServicePlacement};
 use ocs_name::{AlwaysAlive, NsConfig, NsHandle, NsReplica};
 use ocs_orb::{Caller, ClientCtx, ObjRef, Orb};
-use ocs_sim::{Addr, NodeId, NodeRt, NodeRtExt, PortReq, Rt, Sim, SimChan, SimNode, SimTime};
+use ocs_sim::{Addr, NodeRt, NodeRtExt, PortReq, Rt, Sim, SimChan, SimNode, SimTime};
 use ocs_svcctl::{
     Csc, CscConfig, ServiceDef, ServiceRunCtx, Ssc, SscApiClient, SscCallback, SscCallbackServant,
     SscConfig, SvcError,
@@ -21,7 +20,7 @@ const NS_PORT: u16 = 10;
 const DB_PORT: u16 = 12;
 
 /// Boots NS replicas on each node and returns handles.
-fn boot_ns(sim: &Sim, nodes: &[Arc<SimNode>]) -> Vec<Addr> {
+fn boot_ns(_sim: &Sim, nodes: &[Arc<SimNode>]) -> Vec<Addr> {
     let peers: Vec<Addr> = nodes.iter().map(|n| Addr::new(n.node(), NS_PORT)).collect();
     for (i, node) in nodes.iter().enumerate() {
         let rt: Rt = node.clone();
@@ -121,7 +120,7 @@ impl SscCallback for Recorder {
 fn ssc_restarts_dead_service_and_fires_callbacks() {
     let sim = Sim::new(1);
     let server = sim.add_node("server0");
-    let peers = boot_ns(&sim, &[server.clone()]);
+    let peers = boot_ns(&sim, std::slice::from_ref(&server));
     let ns = ns_handle(&server, peers[0]);
     let lives = Arc::new(AtomicU32::new(0));
     let rt: Rt = server.clone();
@@ -163,7 +162,7 @@ fn ssc_restarts_dead_service_and_fires_callbacks() {
 fn ssc_stop_service_kills_group_and_reports_down() {
     let sim = Sim::new(2);
     let server = sim.add_node("server0");
-    let peers = boot_ns(&sim, &[server.clone()]);
+    let peers = boot_ns(&sim, std::slice::from_ref(&server));
     let ns = ns_handle(&server, peers[0]);
     let lives = Arc::new(AtomicU32::new(0));
     let rt: Rt = server.clone();

@@ -1,0 +1,330 @@
+//! Deterministic, lock-cheap metrics: atomics behind a name-keyed
+//! registry. Histograms use fixed virtual-microsecond buckets — there is
+//! no wall-clock dependency anywhere, so a metrics snapshot from a seeded
+//! simulation run is itself reproducible.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ocs_wire::impl_wire_struct;
+use parking_lot::Mutex;
+
+/// Default histogram bucket upper bounds, in microseconds (roughly
+/// logarithmic from 100 µs to 10 s; an implicit overflow bucket follows).
+pub const DUR_BOUNDS_US: &[u64] = &[
+    100,
+    300,
+    1_000,
+    3_000,
+    10_000,
+    30_000,
+    100_000,
+    300_000,
+    1_000_000,
+    3_000_000,
+    10_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a signed instantaneous value (sessions open, breaker state).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations (virtual µs by
+/// convention). The last bucket counts overflow beyond the final bound.
+#[derive(Debug)]
+pub struct Histo {
+    bounds: &'static [u64],
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histo {
+    /// Creates a histogram with the given upper bounds (plus overflow).
+    pub fn new(bounds: &'static [u64]) -> Histo {
+        Histo {
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| v > b);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistoSnapshot {
+        HistoSnapshot {
+            bounds: self.bounds.to_vec(),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Bucket upper bounds (µs).
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts; one longer than `bounds` (overflow).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+impl_wire_struct!(HistoSnapshot {
+    bounds,
+    buckets,
+    count,
+    sum,
+});
+
+impl HistoSnapshot {
+    /// Mean observation, or 0 with no data.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A name-keyed collection of metrics. Creation takes a lock; hot-path
+/// updates are plain atomics on the returned `Arc`s.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histos: Mutex<BTreeMap<String, Arc<Histo>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.counters.lock();
+        match m.get(name) {
+            Some(c) => Arc::clone(c),
+            None => {
+                let c = Arc::new(Counter::default());
+                m.insert(name.to_string(), Arc::clone(&c));
+                c
+            }
+        }
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.gauges.lock();
+        match m.get(name) {
+            Some(g) => Arc::clone(g),
+            None => {
+                let g = Arc::new(Gauge::default());
+                m.insert(name.to_string(), Arc::clone(&g));
+                g
+            }
+        }
+    }
+
+    /// The histogram named `name` (default duration buckets), created on
+    /// first use.
+    pub fn histo(&self, name: &str) -> Arc<Histo> {
+        let mut m = self.histos.lock();
+        match m.get(name) {
+            Some(h) => Arc::clone(h),
+            None => {
+                let h = Arc::new(Histo::new(DUR_BOUNDS_US));
+                m.insert(name.to_string(), Arc::clone(&h));
+                h
+            }
+        }
+    }
+
+    /// A point-in-time copy of every metric, deterministically ordered.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histos: self
+                .histos
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`] (or a merge of several — see
+/// [`MetricsSnapshot::merge`]). Wire-encodable so the `Telemetry` servant
+/// can ship it to scrapers.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histos: BTreeMap<String, HistoSnapshot>,
+}
+
+impl_wire_struct!(MetricsSnapshot {
+    counters,
+    gauges,
+    histos,
+});
+
+impl MetricsSnapshot {
+    /// Folds `other` into `self`: counters and gauges add, histograms
+    /// merge bucket-wise (mismatched bucket layouts keep `self`'s counts
+    /// and still accumulate `count`/`sum`).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histos {
+            let mine = self.histos.entry(k.clone()).or_default();
+            if mine.bounds.is_empty() {
+                *mine = h.clone();
+                continue;
+            }
+            if mine.bounds == h.bounds {
+                for (a, b) in mine.buckets.iter_mut().zip(&h.buckets) {
+                    *a += b;
+                }
+            }
+            mine.count += h.count;
+            mine.sum += h.sum;
+        }
+    }
+
+    /// Counter value by name, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name, 0 if absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histo_buckets_and_overflow() {
+        let h = Histo::new(&[10, 100]);
+        h.observe(5);
+        h.observe(10); // inclusive upper bound
+        h.observe(50);
+        h.observe(1000); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![2, 1, 1]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1065);
+    }
+
+    #[test]
+    fn registry_snapshot_and_merge() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.gauge("g").set(3);
+        r.histo("h").observe(50);
+        let mut s1 = r.snapshot();
+        r.counter("a").inc();
+        let s2 = r.snapshot();
+        s1.merge(&s2);
+        assert_eq!(s1.counter("a"), 5);
+        assert_eq!(s1.gauge("g"), 6);
+        assert_eq!(s1.histos["h"].count, 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_on_wire() {
+        use ocs_wire::Wire;
+        let r = Registry::new();
+        r.counter("c").inc();
+        r.gauge("g").set(-4);
+        r.histo("h").observe(123);
+        let s = r.snapshot();
+        let b = s.to_bytes();
+        assert_eq!(MetricsSnapshot::from_bytes(&b).unwrap(), s);
+    }
+}

@@ -1,0 +1,90 @@
+//! A bounded log that keeps the *tail*: when full it evicts the oldest
+//! entry and counts the eviction, so a chaos run's final minutes — the
+//! part an operator actually reads — are never lost to an early burst.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity ring log with an eviction counter.
+#[derive(Debug)]
+pub struct RingLog<T> {
+    cap: usize,
+    buf: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T> RingLog<T> {
+    /// Creates a log holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> RingLog<T> {
+        RingLog {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends `v`, evicting the oldest entry if the log is full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(v);
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Entries evicted to make room since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+impl<T: Clone> RingLog<T> {
+    /// Clones the retained entries, oldest first.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.buf.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_tail_and_counts_drops() {
+        let mut r = RingLog::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.to_vec(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn zero_cap_clamps_to_one() {
+        let mut r = RingLog::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.to_vec(), vec![2]);
+        assert_eq!(r.dropped(), 1);
+    }
+}

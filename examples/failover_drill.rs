@@ -5,7 +5,6 @@
 //! cargo run --example failover_drill
 //! ```
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use itv_system::cluster::{Cluster, ClusterConfig};
@@ -43,9 +42,9 @@ fn main() {
             "[{}] drill 1 result: position {}ms, {} stall(s), \
              total interruption {:.1}s (player re-opened via MMS)",
             sim.now(),
-            m.position_ms.load(Ordering::Relaxed),
-            m.stalls.load(Ordering::Relaxed),
-            m.interruption_us.load(Ordering::Relaxed) as f64 / 1e6
+            m.position_ms.get(),
+            m.stalls.get(),
+            m.interruption_us.get() as f64 / 1e6
         );
     }
 
@@ -146,8 +145,8 @@ fn main() {
             "[{}] drill 4 result: {} interactions completed across the restart, \
              {} rebinds",
             sim.now(),
-            m.interactions.load(Ordering::Relaxed),
-            m.rebinds.load(Ordering::Relaxed)
+            m.interactions.get(),
+            m.rebinds.get()
         );
     }
 

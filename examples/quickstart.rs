@@ -6,7 +6,6 @@
 //! cargo run --example quickstart
 //! ```
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use itv_system::cluster::{Cluster, ClusterConfig};
@@ -53,10 +52,10 @@ fn main() {
         "[{}] app start took {:.2}s (cover shown in {:.3}s); \
          {} segments received, playback position {}ms",
         sim.now(),
-        m.last_app_start_us.load(Ordering::Relaxed) as f64 / 1e6,
-        m.last_cover_us.load(Ordering::Relaxed) as f64 / 1e6,
-        m.segments.load(Ordering::Relaxed),
-        m.position_ms.load(Ordering::Relaxed),
+        m.last_app_start_us.get() as f64 / 1e6,
+        m.last_cover_us.get() as f64 / 1e6,
+        m.segments.get(),
+        m.position_ms.get(),
     );
 
     // A second subscriber goes shopping at the same time.

@@ -1,15 +1,34 @@
 #!/usr/bin/env bash
-# Tier-1 gate (see ROADMAP.md): full release build, the complete
-# workspace test suite, and a pinned-seed chaos smoke — one seeded fault
-# campaign must converge and two identically-seeded runs must replay the
-# exact same event trace.
+# Tier-1 gate (see ROADMAP.md): full release build, a clean clippy run,
+# the complete workspace test suite, a pinned-seed chaos smoke — one
+# seeded fault campaign must converge and two identically-seeded runs
+# must replay the exact same event trace — and a telemetry smoke: a
+# 1-settop run must produce a causal span dump whose movie-open tree
+# crosses the MMS, Connection Manager and MDS.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
 cargo test --offline --workspace -q
 cargo test --offline -p itv-cluster --test chaos -q -- \
     crash_and_restart_campaign_converges \
     same_seed_chaos_run_has_identical_trace_hash
+
+# Telemetry smoke: E16 scrapes every node's Telemetry servant and dumps
+# the causal span forest of a single settop's movie open. Run from a
+# temp dir so the BENCH_e16.json it writes doesn't touch the committed
+# artifact.
+repo="$(pwd)"
+tmp="$(mktemp -d)"
+spans="$(cd "$tmp" && cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- e16)"
+rm -rf "$tmp"
+for needle in "client:itv.mms.open" "client:itv.cmgr.allocate" "client:itv.mds.open"; do
+    if ! grep -qF "$needle" <<<"$spans"; then
+        echo "tier1: telemetry smoke FAILED - span dump missing $needle" >&2
+        exit 1
+    fi
+done
 
 echo "tier1: OK"

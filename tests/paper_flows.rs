@@ -3,7 +3,6 @@
 //! naming-context forward into the file service, and whole-run
 //! determinism of the simulation.
 
-use std::sync::atomic::Ordering;
 use std::time::Duration;
 
 use itv_system::cluster::{Cluster, ClusterConfig};
@@ -173,7 +172,7 @@ fn settop_metrics_accumulate() {
     settop.handle.tune(ClusterConfig::CHANNEL_SHOP);
     sim.run_for(Duration::from_secs(30));
     let m = &settop.handle.metrics;
-    assert_eq!(m.interactions.load(Ordering::Relaxed), 5);
-    assert!(m.app_downloads.load(Ordering::Relaxed) >= 1);
-    assert!(m.booted_at_us.load(Ordering::Relaxed) > 0);
+    assert_eq!(m.interactions.get(), 5);
+    assert!(m.app_downloads.get() >= 1);
+    assert!(m.booted_at_us.get() > 0);
 }

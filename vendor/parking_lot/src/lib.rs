@@ -3,6 +3,10 @@
 //! Poisoned std locks are recovered transparently (a panicking holder
 //! does not poison for everyone else, matching parking_lot semantics).
 
+// These shims mirror external APIs verbatim; clippy style lints that
+// would reshape them away from the upstream surface are not useful here.
+#![allow(clippy::all)]
+
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::time::{Duration, Instant};

@@ -7,6 +7,10 @@
 //! (`.{0,64}`, `[a-z]{1,12}`), `Just`, `prop_oneof!`, `prop::collection::vec`,
 //! `prop::sample::select`, `.prop_map`, and the `prop_assert*` macros.
 
+// These shims mirror external APIs verbatim; clippy style lints that
+// would reshape them away from the upstream surface are not useful here.
+#![allow(clippy::all)]
+
 pub mod test_runner {
     /// Deterministic splitmix64 RNG used for all sampling.
     #[derive(Clone, Debug)]
