@@ -10,12 +10,14 @@
 //! every experiment writes a machine-readable `BENCH_<exp>.json` with
 //! its headline numbers, a telemetry metrics snapshot where a cluster
 //! was involved, and the wall/virtual run times. `--spans N` sets how
-//! many of the slowest request trees E16's span dump renders.
+//! many of the slowest request trees E16's span dump renders;
+//! `--settops N` sets E17's simulated settop population.
 
 use bench::{exps, report};
 
 fn main() {
     let mut spans = 3usize;
+    let mut settops = 50_000usize;
     let mut picked: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -29,13 +31,22 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--settops" => {
+                settops = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--settops needs a number");
+                        std::process::exit(2);
+                    });
+            }
             _ => picked.push(a),
         }
     }
     let which: Vec<&str> = if picked.is_empty() || picked.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16",
+            "e14", "e15", "e16", "e17",
         ]
     } else {
         picked.iter().map(|s| s.as_str()).collect()
@@ -61,6 +72,7 @@ fn main() {
             "e14" => exps::e14(),
             "e15" => exps::e15(),
             "e16" => exps::e16(spans),
+            "e17" => exps::e17(settops),
             other => {
                 eprintln!("unknown experiment: {other}");
                 report::abandon();

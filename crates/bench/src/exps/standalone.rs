@@ -19,10 +19,10 @@ use parking_lot::Mutex;
 
 use crate::{f, Stats, Table};
 
-const NS_PORT: u16 = 10;
+pub(crate) const NS_PORT: u16 = 10;
 
 /// Starts `n` name-service replicas on fresh nodes; returns their nodes.
-fn ns_group(sim: &Sim, n: usize, audit: Duration) -> Vec<Arc<SimNode>> {
+pub(crate) fn ns_group(sim: &Sim, n: usize, audit: Duration) -> Vec<Arc<SimNode>> {
     let nodes: Vec<Arc<SimNode>> = (0..n).map(|i| sim.add_node(&format!("ns{i}"))).collect();
     let peers: Vec<Addr> = nodes
         .iter()

@@ -76,6 +76,24 @@ fn movie_open_produces_connected_span_tree_across_services() {
 }
 
 #[test]
+fn shared_resolve_cache_shows_up_in_cluster_metrics() {
+    let (snap, opened) = movie_run(603);
+    assert!(opened >= 1, "movie opened");
+    let m = &snap.merged;
+    // Settop rebinding proxies resolve through the node-shared cache:
+    // every remote lookup corresponds to a cache miss, never more.
+    let misses = m.counter("ns.cache.misses");
+    let lookups = m.counter("ns.client.lookups");
+    assert!(misses >= 1, "rebinding proxies went through the cache");
+    assert!(
+        lookups >= misses,
+        "each miss resolves remotely at most once (lookups {lookups} < misses {misses})"
+    );
+    // A healthy run (no fail-overs) never refuses an install as stale.
+    assert_eq!(m.counter("ns.cache.stale_installs"), 0);
+}
+
+#[test]
 fn same_seed_runs_produce_identical_span_trees() {
     let (a, opened_a) = movie_run(602);
     let (b, opened_b) = movie_run(602);

@@ -17,7 +17,7 @@
 //! expired and its bandwidth reclaimed — otherwise a single lost
 //! `release` would pin a settop's budget forever.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,28 +97,78 @@ pub struct ConnectionManager {
     /// Allocations not allocated/reasserted for this long are expired
     /// (None disables leasing; requires a clock to do anything).
     lease_ttl: Option<Duration>,
+    /// Metric handles resolved once at construction — the admission hot
+    /// path must not take the registry's name-lookup lock per request.
+    metrics: Option<CmMetrics>,
     state: Mutex<CmState>,
 }
 
+struct CmMetrics {
+    accepted: Arc<ocs_telemetry::Counter>,
+    rejected: Arc<ocs_telemetry::Counter>,
+    released: Arc<ocs_telemetry::Counter>,
+    reasserted: Arc<ocs_telemetry::Counter>,
+    active_allocs: Arc<ocs_telemetry::Gauge>,
+}
+
+impl CmMetrics {
+    fn of(rt: &Rt) -> CmMetrics {
+        let reg = &ocs_telemetry::NodeTelemetry::of(&**rt).registry;
+        CmMetrics {
+            accepted: reg.counter("cm.admission.accepted"),
+            rejected: reg.counter("cm.admission.rejected"),
+            released: reg.counter("cm.released"),
+            reasserted: reg.counter("cm.reasserted"),
+            active_allocs: reg.gauge("cm.active_allocs"),
+        }
+    }
+}
+
+/// Per-settop accounting. Bandwidth-time is kept as a *rate integral*:
+/// `bit_us` accumulates closed-out bit·µs, `open_bps` is the settop's
+/// currently reserved rate and `open_since_us` the last time that rate
+/// changed. Folding the open segment on every rate change makes a
+/// report row O(1) instead of a scan over the allocation table.
 #[derive(Clone, Copy, Default)]
 struct Account {
     granted: u64,
     refused: u64,
-    bit_seconds: u64,
+    bit_us: u64,
+    open_bps: u64,
+    open_since_us: u64,
+}
+
+impl Account {
+    /// Closes the open-rate segment at `now` and starts a new one.
+    fn fold(&mut self, now: u64) {
+        let seg = self.open_bps.saturating_mul(now.saturating_sub(self.open_since_us));
+        self.bit_us = self.bit_us.saturating_add(seg);
+        self.open_since_us = now;
+    }
+
+    /// Bit-seconds consumed up to `now` (closed + open segment).
+    fn bit_seconds(&self, now: u64) -> u64 {
+        let seg = self.open_bps.saturating_mul(now.saturating_sub(self.open_since_us));
+        self.bit_us.saturating_add(seg) / 1_000_000
+    }
 }
 
 #[derive(Default)]
 struct CmState {
     next_conn: u64,
     allocations: HashMap<u64, ConnDesc>,
-    /// When each open allocation started (µs), for accounting.
-    started_us: HashMap<u64, u64>,
     /// When each allocation's lease was last renewed (µs).
     asserted_us: HashMap<u64, u64>,
+    /// Leases ordered by renewal time: `(asserted_us, conn)`. Expiry
+    /// pops the stale prefix instead of scanning every allocation.
+    lease_q: BTreeSet<(u64, u64)>,
     /// Allocations reclaimed by lease expiry since start.
     expired: u64,
     settop_used: HashMap<NodeId, u64>,
     server_used: HashMap<NodeId, u64>,
+    /// Running total of all reserved downstream bandwidth (kept in step
+    /// with `settop_used`, so `usage` does not sum the table).
+    reserved_down_bps: u64,
     refused: u64,
     accounts: HashMap<NodeId, Account>,
 }
@@ -143,10 +193,12 @@ impl ConnectionManager {
         rt: Option<Rt>,
         lease_ttl: Option<Duration>,
     ) -> Arc<ConnectionManager> {
+        let metrics = rt.as_ref().map(CmMetrics::of);
         Arc::new(ConnectionManager {
             budgets,
             rt,
             lease_ttl,
+            metrics,
             state: Mutex::new(CmState {
                 next_conn: 1,
                 ..CmState::default()
@@ -158,24 +210,18 @@ impl ConnectionManager {
         self.rt.as_ref().map(|rt| rt.now().as_micros()).unwrap_or(0)
     }
 
-    /// Bumps a node-level telemetry counter. Managers built without a
+    /// Bumps one of the pre-resolved counters. Managers built without a
     /// runtime (unit tests) have no node registry, so this is a no-op.
-    fn count(&self, name: &str) {
-        if let Some(rt) = &self.rt {
-            ocs_telemetry::NodeTelemetry::of(&**rt)
-                .registry
-                .counter(name)
-                .inc();
+    fn count(&self, pick: impl FnOnce(&CmMetrics) -> &ocs_telemetry::Counter) {
+        if let Some(m) = &self.metrics {
+            pick(m).inc();
         }
     }
 
     /// Publishes the current allocation-table size as a gauge.
     fn track_allocs(&self, n: usize) {
-        if let Some(rt) = &self.rt {
-            ocs_telemetry::NodeTelemetry::of(&**rt)
-                .registry
-                .gauge("cm.active_allocs")
-                .set(n as i64);
+        if let Some(m) = &self.metrics {
+            m.active_allocs.set(n as i64);
         }
     }
 
@@ -194,7 +240,10 @@ impl ConnectionManager {
         Ok(obj)
     }
 
-    fn admit(&self, st: &mut CmState, desc: &ConnDesc) -> bool {
+    /// Admission check + bookkeeping: per-settop and per-server budgets,
+    /// the running reserved-bandwidth total, and the settop's accounting
+    /// rate integral — every piece O(1) per decision.
+    fn admit(&self, st: &mut CmState, desc: &ConnDesc, now: u64) -> bool {
         let settop_after = st.settop_used.get(&desc.settop).copied().unwrap_or(0) + desc.down_bps;
         let server_after = st.server_used.get(&desc.server).copied().unwrap_or(0) + desc.down_bps;
         if settop_after > self.budgets.settop_down_bps
@@ -204,8 +253,20 @@ impl ConnectionManager {
         }
         *st.settop_used.entry(desc.settop).or_insert(0) += desc.down_bps;
         *st.server_used.entry(desc.server).or_insert(0) += desc.down_bps;
+        st.reserved_down_bps += desc.down_bps;
+        let acc = st.accounts.entry(desc.settop).or_default();
+        acc.fold(now);
+        acc.open_bps += desc.down_bps;
         st.allocations.insert(desc.conn, *desc);
         true
+    }
+
+    /// Starts (or renews) `conn`'s lease at `now`.
+    fn renew_lease(st: &mut CmState, conn: u64, now: u64) {
+        if let Some(prev) = st.asserted_us.insert(conn, now) {
+            st.lease_q.remove(&(prev, conn));
+        }
+        st.lease_q.insert((now, conn));
     }
 
     /// Removes `conn` and returns the freed bandwidth to its budgets.
@@ -217,17 +278,20 @@ impl ConnectionManager {
         if let Some(u) = st.server_used.get_mut(&desc.server) {
             *u = u.saturating_sub(desc.down_bps);
         }
-        st.asserted_us.remove(&conn);
-        if let Some(start) = st.started_us.remove(&conn) {
-            let secs = now.saturating_sub(start) / 1_000_000;
-            st.accounts.entry(desc.settop).or_default().bit_seconds += desc.down_bps * secs;
+        st.reserved_down_bps = st.reserved_down_bps.saturating_sub(desc.down_bps);
+        if let Some(at) = st.asserted_us.remove(&conn) {
+            st.lease_q.remove(&(at, conn));
         }
+        let acc = st.accounts.entry(desc.settop).or_default();
+        acc.fold(now);
+        acc.open_bps = acc.open_bps.saturating_sub(desc.down_bps);
         Some(desc)
     }
 
     /// Expires allocations whose lease ran out (run at the top of every
     /// request — the CM has no loop of its own, so incoming traffic is
-    /// its clock tick).
+    /// its clock tick). Pops the stale prefix of the lease queue, so the
+    /// cost is O(expired · log n), independent of the table size.
     fn expire_stale(&self, st: &mut CmState) {
         let Some(ttl) = self.lease_ttl else { return };
         if self.rt.is_none() {
@@ -235,14 +299,10 @@ impl ConnectionManager {
         }
         let now = self.now_us();
         let ttl_us = ttl.as_micros() as u64;
-        let mut stale: Vec<u64> = st
-            .asserted_us
-            .iter()
-            .filter(|&(_, &at)| now.saturating_sub(at) > ttl_us)
-            .map(|(&conn, _)| conn)
-            .collect();
-        stale.sort_unstable();
-        for conn in stale {
+        while let Some(&(at, conn)) = st.lease_q.iter().next() {
+            if now.saturating_sub(at) <= ttl_us {
+                break;
+            }
             ConnectionManager::drop_alloc(st, conn, now);
             st.expired += 1;
         }
@@ -259,6 +319,7 @@ impl CmApi for ConnectionManager {
     ) -> Result<u64, MediaError> {
         let mut st = self.state.lock();
         self.expire_stale(&mut st);
+        let now = self.now_us();
         let conn = st.next_conn;
         let desc = ConnDesc {
             conn,
@@ -266,18 +327,16 @@ impl CmApi for ConnectionManager {
             server,
             down_bps,
         };
-        if !self.admit(&mut st, &desc) {
+        if !self.admit(&mut st, &desc, now) {
             st.refused += 1;
             st.accounts.entry(settop).or_default().refused += 1;
-            self.count("cm.admission.rejected");
+            self.count(|m| &m.rejected);
             return Err(MediaError::NoBandwidth);
         }
         st.next_conn += 1;
         st.accounts.entry(settop).or_default().granted += 1;
-        let now = self.now_us();
-        st.started_us.insert(conn, now);
-        st.asserted_us.insert(conn, now);
-        self.count("cm.admission.accepted");
+        ConnectionManager::renew_lease(&mut st, conn, now);
+        self.count(|m| &m.accepted);
         self.track_allocs(st.allocations.len());
         Ok(conn)
     }
@@ -290,7 +349,7 @@ impl CmApi for ConnectionManager {
             .map(|_| ())
             .ok_or(MediaError::UnknownSession { id: conn });
         if r.is_ok() {
-            self.count("cm.released");
+            self.count(|m| &m.released);
         }
         self.track_allocs(st.allocations.len());
         r
@@ -302,20 +361,19 @@ impl CmApi for ConnectionManager {
         self.expire_stale(&mut st);
         if st.allocations.contains_key(&desc.conn) {
             // Already known (same incarnation): renew the lease.
-            st.asserted_us.insert(desc.conn, now);
+            ConnectionManager::renew_lease(&mut st, desc.conn, now);
             return Ok(());
         }
-        if !self.admit(&mut st, &desc) {
+        if !self.admit(&mut st, &desc, now) {
             return Err(MediaError::NoBandwidth);
         }
-        st.started_us.insert(desc.conn, now);
-        st.asserted_us.insert(desc.conn, now);
+        ConnectionManager::renew_lease(&mut st, desc.conn, now);
         st.accounts.entry(desc.settop).or_default().granted += 1;
         // Keep conn ids unique past reasserted ones.
         if desc.conn >= st.next_conn {
             st.next_conn = desc.conn + 1;
         }
-        self.count("cm.reasserted");
+        self.count(|m| &m.reasserted);
         self.track_allocs(st.allocations.len());
         Ok(())
     }
@@ -325,7 +383,7 @@ impl CmApi for ConnectionManager {
         self.expire_stale(&mut st);
         Ok(CmUsage {
             allocations: st.allocations.len() as u32,
-            reserved_down_bps: st.settop_used.values().sum(),
+            reserved_down_bps: st.reserved_down_bps,
             refused: st.refused,
             expired: st.expired,
         })
@@ -337,23 +395,13 @@ impl CmApi for ConnectionManager {
         let mut rows: Vec<CmAccountRow> = st
             .accounts
             .iter()
-            .map(|(settop, a)| {
-                // Add the elapsed portion of still-open allocations.
-                let open: u64 = st
-                    .allocations
-                    .values()
-                    .filter(|d| d.settop == *settop)
-                    .map(|d| {
-                        let start = st.started_us.get(&d.conn).copied().unwrap_or(now);
-                        d.down_bps * (now.saturating_sub(start) / 1_000_000)
-                    })
-                    .sum();
-                CmAccountRow {
-                    settop: *settop,
-                    granted: a.granted,
-                    refused: a.refused,
-                    bit_seconds: a.bit_seconds + open,
-                }
+            .map(|(settop, a)| CmAccountRow {
+                settop: *settop,
+                granted: a.granted,
+                refused: a.refused,
+                // The rate integral already covers the open allocations'
+                // elapsed portion — no scan of the allocation table.
+                bit_seconds: a.bit_seconds(now),
             })
             .collect();
         rows.sort_by(|a, b| b.bit_seconds.cmp(&a.bit_seconds).then(a.settop.cmp(&b.settop)));
@@ -469,6 +517,36 @@ mod tests {
         assert!(cm.release(&c, a).is_err(), "a is gone");
         // The freed budget admits a new stream again.
         cm.allocate(&c, settop, NodeId(1), 4_000_000).unwrap();
+    }
+
+    #[test]
+    fn indexed_bookkeeping_matches_table_state() {
+        // The O(1) indexes (running reserved total, lease queue, rate
+        // integrals) must agree with what a full scan would report.
+        let sim = ocs_sim::Sim::new(21);
+        let node = sim.add_node("cm");
+        let cm = ConnectionManager::with_lease(
+            CmBudgets::default(),
+            Some(node.clone()),
+            Some(Duration::from_secs(30)),
+        );
+        let c = caller();
+        let a = cm.allocate(&c, NodeId(100), NodeId(1), 4_000_000).unwrap();
+        let _b = cm.allocate(&c, NodeId(101), NodeId(1), 2_000_000).unwrap();
+        assert_eq!(cm.usage(&c).unwrap().reserved_down_bps, 6_000_000);
+        // 10 s at 4 + 2 Mb/s, then close `a` and run 5 more seconds at
+        // 2 Mb/s: integrals must match rate × time per settop.
+        sim.run_until(ocs_sim::SimTime::from_secs(10));
+        cm.release(&c, a).unwrap();
+        assert_eq!(cm.usage(&c).unwrap().reserved_down_bps, 2_000_000);
+        sim.run_until(ocs_sim::SimTime::from_secs(15));
+        let rows = cm.accounting(&c).unwrap();
+        let r100 = rows.iter().find(|r| r.settop == NodeId(100)).unwrap();
+        let r101 = rows.iter().find(|r| r.settop == NodeId(101)).unwrap();
+        assert_eq!(r100.bit_seconds, 40_000_000, "4 Mb/s for 10 s");
+        assert_eq!(r101.bit_seconds, 30_000_000, "2 Mb/s for 15 s");
+        // Rows come heaviest-first.
+        assert_eq!(rows[0].settop, NodeId(100));
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Node-level shared resolve cache (§8.1: "name resolution is cached
+//! client-side"). Every [`Rebinding`](crate::Rebinding) proxy on a node
+//! consults one [`ResolveCache`], so a thousand proxies for
+//! `svc/cmgr/7` cost one remote resolve between failures instead of
+//! one each — the coalescing the paper's settop population count rests
+//! on.
+//!
+//! Entries are *generation-stamped*: `invalidate` bumps the path's
+//! generation, and an `install` only lands if the generation it read
+//! *before* resolving is still current. A resolve that raced with an
+//! invalidation (it may carry the very binding whose death triggered
+//! the invalidation) is refused instead of reinstalling a stale
+//! reference for every proxy on the node.
+
+use std::collections::HashMap;
+
+use ocs_orb::ObjRef;
+use ocs_sim::NodeRt;
+use parking_lot::Mutex;
+
+#[derive(Clone, Copy, Default)]
+struct Slot {
+    /// Bumped by every invalidation of this path.
+    generation: u64,
+    /// The cached reference, if any, valid for `generation`.
+    obj: Option<ObjRef>,
+}
+
+/// The per-node path → object-reference cache. Obtain with
+/// [`ResolveCache::of`]; all handles on one node share storage.
+#[derive(Default)]
+pub struct ResolveCache {
+    slots: Mutex<HashMap<String, Slot>>,
+}
+
+impl ResolveCache {
+    /// The node's shared cache, installed in the runtime's extension map
+    /// on first use (every caller on the node sees the same instance).
+    pub fn of(rt: &dyn NodeRt) -> std::sync::Arc<ResolveCache> {
+        rt.extensions().get_or_init(ResolveCache::default)
+    }
+
+    /// The current generation of `path` (0 if never seen). Read this
+    /// *before* a remote resolve and pass it to [`ResolveCache::install`].
+    pub fn generation(&self, path: &str) -> u64 {
+        self.slots
+            .lock()
+            .get(path)
+            .map(|s| s.generation)
+            .unwrap_or(0)
+    }
+
+    /// The cached binding for `path`, with the generation it was
+    /// installed at, or `None` after an invalidation or before the first
+    /// successful install.
+    pub fn lookup(&self, path: &str) -> Option<(u64, ObjRef)> {
+        let slots = self.slots.lock();
+        let slot = slots.get(path)?;
+        slot.obj.map(|obj| (slot.generation, obj))
+    }
+
+    /// Installs `obj` for `path`, but only if the path's generation is
+    /// still `seen_gen` (the value read before the resolve began).
+    /// Returns whether the install landed; `false` means an
+    /// `invalidate` raced the resolve and the binding may be stale.
+    pub fn install(&self, path: &str, seen_gen: u64, obj: ObjRef) -> bool {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(path.to_string()).or_default();
+        if slot.generation != seen_gen {
+            return false;
+        }
+        slot.obj = Some(obj);
+        true
+    }
+
+    /// Drops the cached binding for `path` and bumps its generation, so
+    /// in-flight resolves that started earlier cannot reinstall it.
+    /// Returns the new generation.
+    pub fn invalidate(&self, path: &str) -> u64 {
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(path.to_string()).or_default();
+        slot.generation += 1;
+        slot.obj = None;
+        slot.generation
+    }
+
+    /// Number of paths with a live cached binding (observability).
+    pub fn live_entries(&self) -> usize {
+        self.slots.lock().values().filter(|s| s.obj.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_sim::{Addr, NodeId};
+
+    fn obj(n: u32) -> ObjRef {
+        ObjRef {
+            addr: Addr::new(NodeId(n), 1),
+            incarnation: 7,
+            type_id: 1,
+            object_id: 0,
+        }
+    }
+
+    /// The regression for the stale-rebind race: a resolve that began
+    /// before an `invalidate` (and may therefore carry the dead binding)
+    /// must not be reinstalled. Under the old unconditional re-cache,
+    /// `install` here would have succeeded and every proxy on the node
+    /// would have been handed the stale reference again.
+    #[test]
+    fn invalidate_wins_over_inflight_resolve() {
+        let cache = ResolveCache::default();
+        let path = "svc/cmgr/3";
+        // Proxy A starts a resolve: reads the generation first.
+        let gen_seen = cache.generation(path);
+        // Before A's resolve returns, proxy B hits a dead reference and
+        // invalidates the path.
+        cache.invalidate(path);
+        // A's (now possibly stale) resolve completes and tries to cache.
+        assert!(!cache.install(path, gen_seen, obj(1)), "stale install refused");
+        assert_eq!(cache.lookup(path), None, "stale binding not reinstalled");
+        // A fresh resolve (reading the post-invalidation generation)
+        // installs fine.
+        let gen2 = cache.generation(path);
+        assert!(cache.install(path, gen2, obj(2)));
+        assert_eq!(cache.lookup(path), Some((gen2, obj(2))));
+    }
+
+    #[test]
+    fn cache_is_shared_per_node() {
+        let sim = ocs_sim::Sim::new(1);
+        let node = sim.add_node("n");
+        let a = ResolveCache::of(&*node);
+        let b = ResolveCache::of(&*node);
+        let g = a.generation("x");
+        assert!(a.install("x", g, obj(9)));
+        assert_eq!(b.lookup("x"), Some((g, obj(9))), "same cache instance");
+        let other = sim.add_node("m");
+        assert_eq!(ResolveCache::of(&*other).lookup("x"), None, "per node");
+    }
+
+    #[test]
+    fn generations_are_monotone_and_per_path() {
+        let cache = ResolveCache::default();
+        assert_eq!(cache.invalidate("a"), 1);
+        assert_eq!(cache.invalidate("a"), 2);
+        assert_eq!(cache.generation("b"), 0, "paths are independent");
+        assert_eq!(cache.live_entries(), 0);
+    }
+}

@@ -9,6 +9,7 @@ use ocs_sim::{Addr, Rt};
 use ocs_telemetry::NodeTelemetry;
 use parking_lot::Mutex;
 
+use crate::cache::ResolveCache;
 use crate::iface::{NamingContextClient, NAMING_TYPE_ID};
 use crate::types::{Binding, NsError, SelectorSpec};
 
@@ -146,7 +147,13 @@ pub struct Rebinding<C: Proxy + Clone> {
     ns: NsHandle,
     path: String,
     policy: RebindPolicy,
-    cached: Mutex<Option<C>>,
+    /// The node-wide shared path → reference cache; one remote resolve
+    /// serves every proxy on the node.
+    cache: Arc<ResolveCache>,
+    /// This proxy's typed stub plus the shared-cache generation it was
+    /// built at; a generation mismatch means some caller invalidated the
+    /// path since, and the stub must be rebuilt.
+    cached: Mutex<Option<(u64, C)>>,
     /// Context used for the *service* calls (may differ from the naming
     /// context, e.g. when service calls are ticket-signed but naming
     /// traffic is not).
@@ -163,10 +170,12 @@ impl<C: Proxy + Clone> Rebinding<C> {
     /// Creates a rebinding proxy for `path`.
     pub fn new(ns: NsHandle, path: impl Into<String>, policy: RebindPolicy) -> Rebinding<C> {
         let tel = NodeTelemetry::of(&**ns.ctx().rt());
+        let cache = ResolveCache::of(&**ns.ctx().rt());
         Rebinding {
             ns,
             path: path.into(),
             policy,
+            cache,
             cached: Mutex::new(None),
             service_ctx: None,
             breaker: None,
@@ -208,23 +217,53 @@ impl<C: Proxy + Clone> Rebinding<C> {
         self.ns.ctx().rt()
     }
 
+    fn service_ctx(&self) -> ClientCtx {
+        self.service_ctx
+            .clone()
+            .unwrap_or_else(|| self.ns.ctx().clone())
+    }
+
     fn get(&self) -> Result<C, NsError> {
-        if let Some(c) = self.cached.lock().clone() {
+        // Fast path: this proxy's stub is still at the path's current
+        // generation (no caller has invalidated it since it was built).
+        let cur_gen = self.cache.generation(&self.path);
+        if let Some((gen, c)) = self.cached.lock().clone() {
+            if gen == cur_gen {
+                return Ok(c);
+            }
+        }
+        // Next: another proxy on this node may already hold a live
+        // binding — adopt it without touching the name service.
+        if let Some((gen, obj)) = self.cache.lookup(&self.path) {
+            self.tel.registry.counter("ns.cache.hits").inc();
+            let c = C::bind_ref(self.service_ctx(), obj).map_err(|err| NsError::Comm { err })?;
+            *self.cached.lock() = Some((gen, c.clone()));
             return Ok(c);
         }
+        // Miss: resolve remotely. The generation read *before* the
+        // resolve is the install token — if an invalidation lands while
+        // the resolve is in flight, the install is refused (the resolve
+        // may carry the very binding whose death caused the
+        // invalidation) and the reference is used for this call only.
+        self.tel.registry.counter("ns.cache.misses").inc();
+        let gen_before = cur_gen;
         let obj = self.ns.resolve(&self.path)?;
-        let ctx = self
-            .service_ctx
-            .clone()
-            .unwrap_or_else(|| self.ns.ctx().clone());
-        let c = C::bind_ref(ctx, obj).map_err(|err| NsError::Comm { err })?;
-        *self.cached.lock() = Some(c.clone());
+        let c = C::bind_ref(self.service_ctx(), obj).map_err(|err| NsError::Comm { err })?;
+        if self.cache.install(&self.path, gen_before, obj) {
+            *self.cached.lock() = Some((gen_before, c.clone()));
+        } else {
+            self.tel.registry.counter("ns.cache.stale_installs").inc();
+        }
         Ok(c)
     }
 
-    /// Drops the cached proxy, forcing a re-resolve on next use.
+    /// Drops the cached binding — for this proxy *and*, via the shared
+    /// cache generation bump, for every other proxy of this path on the
+    /// node — forcing a re-resolve on next use. Resolves already in
+    /// flight cannot reinstall the invalidated binding.
     pub fn invalidate(&self) {
         self.tel.registry.counter("ns.client.invalidations").inc();
+        self.cache.invalidate(&self.path);
         *self.cached.lock() = None;
     }
 

@@ -18,6 +18,7 @@
 //! * the client-side rebind library (§8.2): [`Rebinding`] proxies
 //!   re-resolve and retry transparently when a reference dies.
 
+mod cache;
 mod client;
 mod iface;
 mod replica;
@@ -25,6 +26,7 @@ mod selector;
 mod state;
 mod types;
 
+pub use cache::ResolveCache;
 pub use client::{
     acquire_primary, spawn_primary_backup, NsBootstrap, NsHandle, RebindPolicy, Rebinding,
     SharedRebinding,

@@ -199,7 +199,12 @@ impl NsState {
         match update {
             NsUpdate::Bind { path, obj } => {
                 let (ctx, name) = self.walk_parent(path)?;
-                let c = self.ctxs.get_mut(&ctx).expect("walk returned live ctx");
+                // Paths arrive from remote callers: a coherence slip
+                // between walk and lookup must surface as an RPC error,
+                // never panic the replica.
+                let Some(c) = self.ctxs.get_mut(&ctx) else {
+                    return Err(NsError::NotFound { name: path.clone() });
+                };
                 if c.bindings.contains_key(&name) {
                     return Err(NsError::AlreadyBound { name: path.clone() });
                 }
@@ -208,7 +213,9 @@ impl NsState {
             }
             NsUpdate::Unbind { path } => {
                 let (ctx, name) = self.walk_parent(path)?;
-                let c = self.ctxs.get_mut(&ctx).expect("walk returned live ctx");
+                let Some(c) = self.ctxs.get_mut(&ctx) else {
+                    return Err(NsError::NotFound { name: path.clone() });
+                };
                 match c.bindings.remove(&name) {
                     None => Err(NsError::NotFound { name: path.clone() }),
                     Some(Entry::Ctx { id }) => {
@@ -224,7 +231,9 @@ impl NsState {
             }
             NsUpdate::ReportLoad { path, load } => {
                 let (ctx, name) = self.walk_parent(path)?;
-                let c = self.ctxs.get_mut(&ctx).expect("walk returned live ctx");
+                let Some(c) = self.ctxs.get_mut(&ctx) else {
+                    return Err(NsError::NotFound { name: path.clone() });
+                };
                 match c.bindings.get_mut(&name) {
                     Some(Entry::Leaf { load: l, .. }) => {
                         *l = *load;
@@ -239,7 +248,10 @@ impl NsState {
 
     fn new_ctx(&mut self, path: &str, ctx: Context) -> Result<(), NsError> {
         let (parent, name) = self.walk_parent(path)?;
-        let p = self.ctxs.get_mut(&parent).expect("walk returned live ctx");
+        let not_found = || NsError::NotFound {
+            name: path.to_string(),
+        };
+        let p = self.ctxs.get_mut(&parent).ok_or_else(not_found)?;
         if p.bindings.contains_key(&name) {
             return Err(NsError::AlreadyBound {
                 name: path.to_string(),
@@ -248,7 +260,7 @@ impl NsState {
         let id = self.next_ctx;
         self.next_ctx += 1;
         self.ctxs.insert(id, ctx);
-        let p = self.ctxs.get_mut(&parent).expect("still live");
+        let p = self.ctxs.get_mut(&parent).ok_or_else(not_found)?;
         p.bindings.insert(name, Entry::Ctx { id });
         Ok(())
     }

@@ -456,3 +456,68 @@ fn neighborhood_selector_routes_by_caller() {
     assert_eq!(got[0].1, leaf(1, 23), "settop A routed to replica 1");
     assert_eq!(got[1].1, leaf(2, 23), "settop B routed to replica 2");
 }
+
+#[test]
+fn shared_cache_coalesces_resolves_and_invalidation_is_node_wide() {
+    // The node-level resolve cache: many Rebinding proxies for one path
+    // cost one remote resolve, and an invalidate through any of them
+    // forces exactly one re-resolve for the whole node.
+    let sim = Sim::new(13);
+    let cluster = build_cluster(&sim, 1, Arc::new(AlwaysAlive));
+    let client = sim.add_node("client");
+    sim.run_until(SimTime::from_secs(10));
+
+    let ns0 = cluster.handle_via(&client, 0);
+    let step: SimChan<()> = SimChan::new(&sim);
+    let step2 = step.clone();
+    client.spawn_fn("seed", move || {
+        ns0.bind_new_context("app").unwrap();
+        ns0.bind("app/one", leaf(1, 1)).unwrap();
+        step2.send(());
+    });
+    sim.run_until(SimTime::from_secs(12));
+    step.try_recv().unwrap();
+
+    let tel = ocs_telemetry::NodeTelemetry::of(&*client);
+    let lookups_before = tel.registry.counter("ns.client.lookups").get();
+
+    let ns = cluster.handle_via(&client, 0);
+    let proxies: Vec<Arc<Rebinding<ocs_name::NamingContextClient>>> = (0..8)
+        .map(|_| Arc::new(Rebinding::new(ns.clone(), "app", RebindPolicy::default())))
+        .collect();
+    let proxies2 = proxies.clone();
+    let done: SimChan<usize> = SimChan::new(&sim);
+    let done2 = done.clone();
+    client.spawn_fn("users", move || {
+        let mut ok = 0;
+        for p in &proxies2 {
+            if p.call(|ctx| ctx.resolve("one".to_string())).is_ok() {
+                ok += 1;
+            }
+        }
+        // Round 2: one caller hits a dead reference and invalidates; the
+        // whole node re-resolves once, not once per proxy.
+        proxies2[3].invalidate();
+        for p in &proxies2 {
+            if p.call(|ctx| ctx.resolve("one".to_string())).is_ok() {
+                ok += 1;
+            }
+        }
+        done2.send(ok);
+    });
+    sim.run_until(SimTime::from_secs(20));
+    assert_eq!(done.try_recv().unwrap(), 16, "all calls succeeded");
+
+    let lookups = tel.registry.counter("ns.client.lookups").get() - lookups_before;
+    assert_eq!(
+        lookups, 2,
+        "8 proxies x 2 rounds cost exactly 2 remote resolves (1 + 1 after invalidate)"
+    );
+    assert_eq!(tel.registry.counter("ns.cache.misses").get(), 2);
+    assert_eq!(
+        tel.registry.counter("ns.cache.hits").get(),
+        14,
+        "the other 7 proxies each round adopted the shared binding"
+    );
+    assert_eq!(tel.registry.counter("ns.cache.stale_installs").get(), 0);
+}

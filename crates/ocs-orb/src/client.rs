@@ -10,7 +10,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use ocs_sim::{PortReq, RecvError, Rt, SimTime};
-use ocs_telemetry::{current_ctx, NodeTelemetry, Span, SpanCtx, SpanId};
+use ocs_telemetry::{current_ctx, Counter, Histo, NodeTelemetry, Span, SpanCtx, SpanId};
 use ocs_wire::Wire;
 
 use crate::auth::{ClientAuth, NoAuth};
@@ -48,17 +48,28 @@ pub struct ClientCtx {
     auth: Arc<dyn ClientAuth>,
     opts: CallOpts,
     tel: Arc<NodeTelemetry>,
+    /// Per-call metric handles resolved once here — the call hot path
+    /// must not take the registry's name-lookup lock per invocation.
+    calls: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histo>,
 }
 
 impl ClientCtx {
     /// A context with pass-through authentication and default options.
     pub fn new(rt: Rt) -> ClientCtx {
         let tel = NodeTelemetry::of(&*rt);
+        let calls = tel.registry.counter("orb.client.calls");
+        let errors = tel.registry.counter("orb.client.errors");
+        let latency = tel.registry.histo("orb.client.latency_us");
         ClientCtx {
             rt,
             auth: Arc::new(NoAuth),
             opts: CallOpts::default(),
             tel,
+            calls,
+            errors,
+            latency,
         }
     }
 
@@ -161,14 +172,12 @@ impl ClientCtx {
     }
 
     fn finish_span(&self, ctx: SpanCtx, parent: SpanId, op: &str, start: SimTime, err: bool) {
-        self.tel.registry.counter("orb.client.calls").inc();
+        self.calls.inc();
         if err {
-            self.tel.registry.counter("orb.client.errors").inc();
+            self.errors.inc();
         }
         let end = self.rt.now();
-        self.tel
-            .registry
-            .histo("orb.client.latency_us")
+        self.latency
             .observe(end.as_micros().saturating_sub(start.as_micros()));
         self.tel.tracer.record(Span {
             trace: ctx.trace,

@@ -70,6 +70,10 @@ pub struct Orb {
     next_obj: AtomicU64,
     started: AtomicU64,
     tel: Arc<NodeTelemetry>,
+    /// Dispatch-path metric handles resolved once at construction; the
+    /// per-request path never takes the registry's name-lookup lock.
+    requests: Arc<ocs_telemetry::Counter>,
+    deadline_shed: Arc<ocs_telemetry::Counter>,
 }
 
 impl Orb {
@@ -99,6 +103,8 @@ impl Orb {
             rt.rand_u64() | 1
         });
         let tel = NodeTelemetry::of(&*rt);
+        let requests = tel.registry.counter("orb.server.requests");
+        let deadline_shed = tel.registry.counter("orb.server.deadline_shed");
         Ok(Arc::new(Orb {
             rt,
             ep,
@@ -109,6 +115,8 @@ impl Orb {
             next_obj: AtomicU64::new(1),
             started: AtomicU64::new(0),
             tel,
+            requests,
+            deadline_shed,
         }))
     }
 
@@ -303,13 +311,13 @@ impl Orb {
     }
 
     fn dispatch_request(&self, from: Addr, req: Request) -> Result<Bytes, OrbError> {
-        self.tel.registry.counter("orb.server.requests").inc();
+        self.requests.inc();
         // Shed work whose caller has already given up: the deadline the
         // client stamped into the frame has passed, so computing a reply
         // would only burn server capacity during exactly the overload /
         // recovery windows when it is scarcest.
         if req.deadline_us != 0 && self.rt.now().as_micros() >= req.deadline_us {
-            self.tel.registry.counter("orb.server.deadline_shed").inc();
+            self.deadline_shed.inc();
             return Err(OrbError::DeadlineExpired);
         }
         // Incarnation check: stale references (from before this process

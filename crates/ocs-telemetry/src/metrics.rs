@@ -147,13 +147,45 @@ impl HistoSnapshot {
     }
 }
 
-/// A name-keyed collection of metrics. Creation takes a lock; hot-path
-/// updates are plain atomics on the returned `Arc`s.
+/// Number of registry shards. A power of two so the shard pick is a
+/// mask; 16 is far above the handful of threads any one node runs.
+const SHARDS: usize = 16;
+
+/// The shard a metric name lives in: FNV-1a of the name, masked. The
+/// hash is our own (not `std`'s seeded `RandomState`) so shard layout —
+/// and with it any iteration side effects — is identical across runs
+/// and processes, keeping same-seed simulations bit-identical.
+fn shard_of(name: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) & (SHARDS - 1)
+}
+
 #[derive(Debug, Default)]
-pub struct Registry {
+struct Shard {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histos: Mutex<BTreeMap<String, Arc<Histo>>>,
+}
+
+/// A name-keyed collection of metrics. Creation takes a *shard* lock
+/// (names are FNV-distributed over [`SHARDS`] shards, so unrelated
+/// lookups do not serialize on one mutex under high fan-in); hot-path
+/// updates are plain atomics on the returned `Arc`s.
+#[derive(Debug)]
+pub struct Registry {
+    shards: Vec<Shard>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+        }
+    }
 }
 
 impl Registry {
@@ -162,9 +194,13 @@ impl Registry {
         Registry::default()
     }
 
+    fn shard(&self, name: &str) -> &Shard {
+        &self.shards[shard_of(name)]
+    }
+
     /// The counter named `name`, created on first use.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut m = self.counters.lock();
+        let mut m = self.shard(name).counters.lock();
         match m.get(name) {
             Some(c) => Arc::clone(c),
             None => {
@@ -177,7 +213,7 @@ impl Registry {
 
     /// The gauge named `name`, created on first use.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut m = self.gauges.lock();
+        let mut m = self.shard(name).gauges.lock();
         match m.get(name) {
             Some(g) => Arc::clone(g),
             None => {
@@ -191,7 +227,7 @@ impl Registry {
     /// The histogram named `name` (default duration buckets), created on
     /// first use.
     pub fn histo(&self, name: &str) -> Arc<Histo> {
-        let mut m = self.histos.lock();
+        let mut m = self.shard(name).histos.lock();
         match m.get(name) {
             Some(h) => Arc::clone(h),
             None => {
@@ -202,28 +238,25 @@ impl Registry {
         }
     }
 
-    /// A point-in-time copy of every metric, deterministically ordered.
+    /// A point-in-time copy of every metric, deterministically ordered
+    /// (each name lives in exactly one shard, and the result maps are
+    /// sorted by name regardless of shard layout).
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            counters: self
-                .counters
-                .lock()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            gauges: self
-                .gauges
-                .lock()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.get()))
-                .collect(),
-            histos: self
-                .histos
-                .lock()
-                .iter()
-                .map(|(k, v)| (k.clone(), v.snapshot()))
-                .collect(),
+        let mut snap = MetricsSnapshot::default();
+        for shard in &self.shards {
+            snap.counters
+                .extend(shard.counters.lock().iter().map(|(k, v)| (k.clone(), v.get())));
+            snap.gauges
+                .extend(shard.gauges.lock().iter().map(|(k, v)| (k.clone(), v.get())));
+            snap.histos.extend(
+                shard
+                    .histos
+                    .lock()
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.snapshot())),
+            );
         }
+        snap
     }
 }
 
@@ -314,6 +347,27 @@ mod tests {
         assert_eq!(s1.counter("a"), 5);
         assert_eq!(s1.gauge("g"), 6);
         assert_eq!(s1.histos["h"].count, 2);
+    }
+
+    #[test]
+    fn sharded_snapshot_sees_every_name_exactly_once() {
+        let r = Registry::new();
+        // Enough names to land in many different shards.
+        let names: Vec<String> = (0..200).map(|i| format!("m.{i}")).collect();
+        for n in &names {
+            r.counter(n).inc();
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counters.len(), names.len());
+        assert!(names.iter().all(|n| s.counter(n) == 1));
+        // Handles stay stable across shard lookups.
+        let c = r.counter("m.7");
+        c.add(4);
+        assert_eq!(r.snapshot().counter("m.7"), 5);
+        // The names actually spread over multiple shards.
+        let used: std::collections::BTreeSet<usize> =
+            names.iter().map(|n| super::shard_of(n)).collect();
+        assert!(used.len() > SHARDS / 2, "poor shard spread: {}", used.len());
     }
 
     #[test]

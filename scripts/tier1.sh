@@ -31,4 +31,31 @@ for needle in "client:itv.mms.open" "client:itv.cmgr.allocate" "client:itv.mds.o
     fi
 done
 
+# Saturation smoke + bench guard: a small-population E17 must pass its
+# built-in determinism and O(1)-admission assertions, and its virtual
+# ops/sec — deterministic for a given settop count — must not regress
+# more than 20% against the committed full-scale BENCH_e17.json.
+# (ops/sec is virtual-time-derived, so the guard is machine-independent;
+# the committed artifact is at 50k settops, the smoke at 4k, and the
+# rate is scale-invariant by design — E17's point is that it is.)
+tmp="$(mktemp -d)"
+(cd "$tmp" && cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- \
+    e17 --settops 4000 >/dev/null)
+json_field() { # file key -> value
+    grep -oE "\"$2\": [0-9.]+" "$1" | head -1 | awk '{print $2}'
+}
+fresh="$(json_field "$tmp/BENCH_e17.json" ops_per_sec)"
+committed="$(json_field "$repo/BENCH_e17.json" ops_per_sec)"
+rm -rf "$tmp"
+if [ -z "$fresh" ] || [ -z "$committed" ]; then
+    echo "tier1: bench guard FAILED - ops_per_sec missing from BENCH_e17.json" >&2
+    exit 1
+fi
+if ! awk -v f="$fresh" -v c="$committed" 'BEGIN { exit !(f >= 0.8 * c) }'; then
+    echo "tier1: bench guard FAILED - E17 ops/sec regressed >20%: $fresh vs committed $committed" >&2
+    exit 1
+fi
+echo "tier1: E17 smoke ops/sec $fresh (committed $committed)"
+
 echo "tier1: OK"
