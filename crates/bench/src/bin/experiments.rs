@@ -15,6 +15,10 @@
 
 use bench::{exps, report};
 
+/// Count heap allocations so E18 can report allocations-per-event.
+#[global_allocator]
+static ALLOC: bench::alloc_track::CountingAlloc = bench::alloc_track::CountingAlloc;
+
 fn main() {
     let mut spans = 3usize;
     let mut settops = 50_000usize;
@@ -46,7 +50,7 @@ fn main() {
     let which: Vec<&str> = if picked.is_empty() || picked.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17",
+            "e14", "e15", "e16", "e17", "e18",
         ]
     } else {
         picked.iter().map(|s| s.as_str()).collect()
@@ -73,6 +77,7 @@ fn main() {
             "e15" => exps::e15(),
             "e16" => exps::e16(spans),
             "e17" => exps::e17(settops),
+            "e18" => exps::e18(settops),
             other => {
                 eprintln!("unknown experiment: {other}");
                 report::abandon();

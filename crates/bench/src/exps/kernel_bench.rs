@@ -1,0 +1,324 @@
+//! E18: the kernel fast-path microbenchmark. Measures what the other
+//! experiments only benefit from: the discrete-event kernel's raw
+//! wall-clock event throughput, with the scheduler fast path (handoff
+//! elision, direct process-to-process baton grants, indexed network
+//! state, pooled wire buffers) switched on and off *in the same binary*
+//! so the speedup ratio is machine-independent.
+//!
+//! Three legs, each run under both scheduler modes with the same seed:
+//!  1. **ping-pong** — two processes volleying a window of messages
+//!     (window `PP_WINDOW`). The first recv of each burst is a blocking
+//!     handoff; the rest arrive at the same virtual instant, so they
+//!     exercise exactly the elision the fast path exists for: a recv
+//!     satisfied by draining the same-timestamp delivery inline, with no
+//!     baton yield at all (the classic kernel pays a full driver round
+//!     trip per message);
+//!  2. **fan-in** — many senders converging on one receiver; stresses
+//!     the event queue and sleep-wake self-continues;
+//!  3. **settop replay** — the E17 admission storm, i.e. a real
+//!     ORB-over-simulated-network workload, timed wall-clock.
+//!
+//! Every leg asserts the two modes replay the *identical* event trace
+//! (same hash, same event count, same virtual end time) — the fast path
+//! must be behaviourally invisible — and a same-seed rerun must
+//! reproduce the allocation count and events-per-virtual-tick exactly.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ocs_sim::{Addr, NodeRt, NodeRtExt, PortReq, Sim, SimConfig};
+
+use crate::json::Json;
+use crate::{alloc_track, f, report, Table};
+
+use super::saturation;
+
+/// Ping-pong volleys; each volley is a pipelined burst of `PP_WINDOW`
+/// messages each way (2 × `PP_WINDOW` delivery events per volley).
+const PP_ROUNDS: u32 = 10_000;
+/// Messages in flight per volley direction. The sends share a virtual
+/// instant and the links are latency-only, so each burst lands as
+/// same-timestamp deliveries — the queued-item elision case.
+const PP_WINDOW: u32 = 8;
+/// Fan-in senders and messages per sender.
+const FAN_SENDERS: usize = 32;
+const FAN_PER_SENDER: u32 = 2_000;
+
+/// One measured run: kernel totals plus the wall-clock and allocation
+/// cost of reaching them.
+struct Leg {
+    events: u64,
+    wall: f64,
+    allocs: u64,
+    virtual_us: u64,
+    hash: u64,
+    stats: ocs_sim::KernelStats,
+}
+
+impl Leg {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall.max(f64::MIN_POSITIVE)
+    }
+
+    fn allocs_per_event(&self) -> f64 {
+        self.allocs as f64 / self.events.max(1) as f64
+    }
+
+    /// Events per virtual millisecond — derived purely from virtual
+    /// time, so it is deterministic per seed and machine-independent.
+    fn events_per_virtual_ms(&self) -> f64 {
+        self.events as f64 / (self.virtual_us.max(1) as f64 / 1_000.0)
+    }
+}
+
+/// Runs `sim` to quiescence, measuring the event loop only (the sim is
+/// dropped — and its processes unwound — inside this call, after the
+/// counters are read, so teardown never pollutes the next leg).
+fn run_and_measure(sim: Sim) -> Leg {
+    let a0 = alloc_track::allocations();
+    let t0 = std::time::Instant::now();
+    sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = alloc_track::allocations() - a0;
+    Leg {
+        events: sim.kernel_stats().events,
+        wall,
+        allocs,
+        virtual_us: sim.now().as_micros(),
+        hash: sim.trace_hash(),
+        stats: sim.kernel_stats(),
+    }
+}
+
+fn sim_with(fast: bool) -> Sim {
+    Sim::with_config(SimConfig {
+        seed: 0xE18,
+        fast,
+        ..SimConfig::default()
+    })
+}
+
+/// Leg 1: one client volleys `rounds` bursts of `PP_WINDOW` messages off
+/// an echo server on a second node. Per burst the fast path pays one
+/// direct handoff each way and drains the remaining same-timestamp
+/// deliveries inline; the classic path pays a full driver round trip
+/// (two thread switches) per message.
+fn ping_pong(fast: bool, rounds: u32) -> Leg {
+    let sim = sim_with(fast);
+    let a = sim.add_node("a");
+    let b = sim.add_node("b");
+    let b_id = b.node();
+    {
+        let rt = Arc::clone(&b);
+        b.spawn_fn("echo", move || {
+            let ep = rt.open(PortReq::Fixed(9)).expect("open");
+            while let Ok((from, msg)) = ep.recv(None) {
+                let _ = ep.send(from, msg);
+            }
+        });
+    }
+    {
+        let rt = Arc::clone(&a);
+        a.spawn_fn("pinger", move || {
+            let ep = rt.open(PortReq::Ephemeral).expect("open");
+            let payload = bytes::Bytes::from(vec![0u8; 32]);
+            for _ in 0..rounds {
+                for _ in 0..PP_WINDOW {
+                    let _ = ep.send(Addr::new(b_id, 9), payload.clone());
+                }
+                for _ in 0..PP_WINDOW {
+                    let _ = ep.recv(None);
+                }
+            }
+        });
+    }
+    run_and_measure(sim)
+}
+
+/// Leg 2: `FAN_SENDERS` nodes each fire `FAN_PER_SENDER` messages at
+/// one sink, with a per-message virtual pause so deliveries interleave
+/// across the event queue instead of forming one giant same-time batch.
+fn fan_in(fast: bool) -> Leg {
+    let sim = sim_with(fast);
+    let sink = sim.add_node("sink");
+    let total = FAN_SENDERS as u32 * FAN_PER_SENDER;
+    {
+        let rt = Arc::clone(&sink);
+        sink.spawn_fn("collector", move || {
+            let ep = rt.open(PortReq::Fixed(9)).expect("open");
+            for _ in 0..total {
+                let _ = ep.recv(None);
+            }
+        });
+    }
+    let sink_addr = Addr::new(sink.node(), 9);
+    for i in 0..FAN_SENDERS {
+        let node = sim.add_node(&format!("src{i}"));
+        let rt = Arc::clone(&node);
+        node.spawn_fn("sender", move || {
+            let ep = rt.open(PortReq::Ephemeral).expect("open");
+            let payload = bytes::Bytes::from(vec![0u8; 16]);
+            for _ in 0..FAN_PER_SENDER {
+                let _ = ep.send(sink_addr, payload.clone());
+                rt.sleep(Duration::from_micros(50 + (i as u64 % 7) * 10));
+            }
+        });
+    }
+    run_and_measure(sim)
+}
+
+/// Leg 3: the E17 settop admission storm under one scheduler mode,
+/// timed wall-clock.
+fn replay(fast: bool, settops: usize) -> (saturation::StormOut, f64) {
+    let t0 = std::time::Instant::now();
+    let out = saturation::storm_with(1717, settops, fast);
+    (out, t0.elapsed().as_secs_f64())
+}
+
+fn leg_rows(t: &mut Table, name: &str, fast: &Leg, slow: &Leg) {
+    let speedup = fast.events_per_sec() / slow.events_per_sec().max(f64::MIN_POSITIVE);
+    t.row(&[
+        name.into(),
+        fast.events.to_string(),
+        f(fast.events_per_sec(), 0),
+        f(slow.events_per_sec(), 0),
+        f(speedup, 2),
+        f(fast.allocs_per_event(), 2),
+        f(slow.allocs_per_event(), 2),
+    ]);
+}
+
+/// E18: wall-clock kernel throughput with the fast path on vs off.
+pub fn e18(settops: usize) {
+    println!("\nE18. Kernel fast path: events/sec with handoff elision on vs off");
+    println!(
+        "    ping-pong {PP_ROUNDS} volleys x{PP_WINDOW} window, fan-in {FAN_SENDERS}x{FAN_PER_SENDER}, replay {settops} settops\n"
+    );
+
+    // Warmup: touch every lazy static (parking tables, thread-spawn
+    // machinery, allocator arenas) so the measured runs — and their
+    // allocation counts — start from identical process state.
+    let _ = ping_pong(true, 1_000);
+    let _ = ping_pong(false, 1_000);
+
+    // Leg 1: ping-pong, both modes, plus a same-seed rerun of the fast
+    // mode for the determinism assert.
+    let pp_fast = ping_pong(true, PP_ROUNDS);
+    let pp_fast2 = ping_pong(true, PP_ROUNDS);
+    let pp_slow = ping_pong(false, PP_ROUNDS);
+    assert_eq!(
+        pp_fast.hash, pp_slow.hash,
+        "ping-pong: fast path changed the event trace"
+    );
+    assert_eq!(pp_fast.events, pp_slow.events);
+    assert_eq!(pp_fast.virtual_us, pp_slow.virtual_us);
+    let deterministic = pp_fast.hash == pp_fast2.hash
+        && pp_fast.events == pp_fast2.events
+        && pp_fast.virtual_us == pp_fast2.virtual_us
+        && pp_fast.allocs == pp_fast2.allocs;
+    assert!(
+        deterministic,
+        "same-seed reruns must match exactly (incl. allocation count): \
+         {} vs {} events, {} vs {} allocs",
+        pp_fast.events, pp_fast2.events, pp_fast.allocs, pp_fast2.allocs
+    );
+
+    // Leg 2: fan-in, both modes.
+    let fan_fast = fan_in(true);
+    let fan_slow = fan_in(false);
+    assert_eq!(
+        fan_fast.hash, fan_slow.hash,
+        "fan-in: fast path changed the event trace"
+    );
+    assert_eq!(fan_fast.events, fan_slow.events);
+
+    // Leg 3: the settop replay, both modes.
+    let (rep_fast, rep_fast_wall) = replay(true, settops);
+    let (rep_slow, rep_slow_wall) = replay(false, settops);
+    assert_eq!(
+        rep_fast.trace_hash, rep_slow.trace_hash,
+        "replay: fast path changed the event trace"
+    );
+    assert_eq!(rep_fast.events, rep_slow.events);
+
+    let mut t = Table::new(&[
+        "leg",
+        "events",
+        "ev/s fast",
+        "ev/s slow",
+        "speedup",
+        "alloc/ev fast",
+        "alloc/ev slow",
+    ]);
+    leg_rows(&mut t, "ping-pong", &pp_fast, &pp_slow);
+    leg_rows(&mut t, "fan-in", &fan_fast, &fan_slow);
+    let rep_fast_eps = rep_fast.events as f64 / rep_fast_wall.max(f64::MIN_POSITIVE);
+    let rep_slow_eps = rep_slow.events as f64 / rep_slow_wall.max(f64::MIN_POSITIVE);
+    t.row(&[
+        "replay".into(),
+        rep_fast.events.to_string(),
+        f(rep_fast_eps, 0),
+        f(rep_slow_eps, 0),
+        f(rep_fast_eps / rep_slow_eps.max(f64::MIN_POSITIVE), 2),
+        "-".into(),
+        "-".into(),
+    ]);
+    t.print();
+
+    let pp_speedup = pp_fast.events_per_sec() / pp_slow.events_per_sec().max(f64::MIN_POSITIVE);
+    println!(
+        "    scheduler: fast mode resumed the driver {} times vs {} in slow mode",
+        pp_fast.stats.driver_resumes, pp_slow.stats.driver_resumes
+    );
+    println!(
+        "    ({} direct handoffs, {} in-process continues across {} events)",
+        pp_fast.stats.direct_handoffs, pp_fast.stats.self_continues, pp_fast.events
+    );
+    println!(
+        "    determinism: same-seed rerun identical incl. allocations: {deterministic}"
+    );
+    println!(
+        "    trace equivalence: fast == slow hash on all three legs (asserted)"
+    );
+
+    report::put("pp_window", Json::U64(PP_WINDOW as u64));
+    report::put("pp_events", Json::U64(pp_fast.events));
+    report::put("pp_events_per_sec_fast", Json::F64(pp_fast.events_per_sec()));
+    report::put("pp_events_per_sec_slow", Json::F64(pp_slow.events_per_sec()));
+    report::put("pp_speedup", Json::F64(pp_speedup));
+    report::put("pp_allocs_per_event_fast", Json::F64(pp_fast.allocs_per_event()));
+    report::put("pp_allocs_per_event_slow", Json::F64(pp_slow.allocs_per_event()));
+    report::put(
+        "pp_events_per_virtual_ms",
+        Json::F64(pp_fast.events_per_virtual_ms()),
+    );
+    report::put("fanin_events", Json::U64(fan_fast.events));
+    report::put(
+        "fanin_events_per_sec_fast",
+        Json::F64(fan_fast.events_per_sec()),
+    );
+    report::put(
+        "fanin_events_per_sec_slow",
+        Json::F64(fan_slow.events_per_sec()),
+    );
+    report::put(
+        "fanin_speedup",
+        Json::F64(fan_fast.events_per_sec() / fan_slow.events_per_sec().max(f64::MIN_POSITIVE)),
+    );
+    report::put(
+        "fanin_allocs_per_event_fast",
+        Json::F64(fan_fast.allocs_per_event()),
+    );
+    report::put("replay_settops", Json::U64(settops as u64));
+    report::put("replay_events", Json::U64(rep_fast.events));
+    report::put("replay_wall_fast", Json::F64(rep_fast_wall));
+    report::put("replay_wall_slow", Json::F64(rep_slow_wall));
+    report::put(
+        "replay_speedup",
+        Json::F64(rep_slow_wall / rep_fast_wall.max(f64::MIN_POSITIVE)),
+    );
+    report::put("trace_equivalent", Json::from(true));
+    report::put("deterministic_rerun", Json::from(deterministic));
+    println!("    shape: the ping-pong speedup is pure scheduler overhead removed;");
+    println!("    the replay speedup is what real workloads actually reclaim.");
+}

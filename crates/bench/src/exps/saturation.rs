@@ -47,8 +47,8 @@ const PROXIES_PER_NBHD: usize = 2;
 const STREAM_BPS: u64 = 3_000_000;
 
 /// Virtual-time results of one storm run (deterministic per seed).
-struct StormOut {
-    ops: u64,
+pub(crate) struct StormOut {
+    pub(crate) ops: u64,
     failures: u64,
     elapsed_virtual: f64,
     latencies_us: Vec<u64>,
@@ -56,12 +56,27 @@ struct StormOut {
     cache_hits: u64,
     cache_misses: u64,
     cm_accepted: u64,
+    /// Kernel events processed (E18's replay leg divides wall time by
+    /// this).
+    pub(crate) events: u64,
+    /// Kernel event-trace hash, for fast-vs-slow equivalence checks.
+    pub(crate) trace_hash: u64,
 }
 
 /// Runs the storm at `settops` scale with `seed`; pure virtual-time
 /// measurement (no wall clock touches the outputs).
 fn storm(seed: u64, settops: usize) -> StormOut {
-    let sim = Sim::new(seed);
+    storm_with(seed, settops, ocs_sim::SimConfig::default().fast)
+}
+
+/// [`storm`] with explicit control over the scheduler fast path — the
+/// E18 replay leg runs the same storm under both modes.
+pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
+    let sim = Sim::with_config(ocs_sim::SimConfig {
+        seed,
+        fast,
+        ..ocs_sim::SimConfig::default()
+    });
     let ns_nodes = ns_group(&sim, 1, Duration::from_secs(3600));
     let ns_addr = Addr::new(ns_nodes[0].node(), NS_PORT);
 
@@ -207,6 +222,8 @@ fn storm(seed: u64, settops: usize) -> StormOut {
         cache_hits: drv.counter("ns.cache.hits"),
         cache_misses: drv.counter("ns.cache.misses"),
         cm_accepted: cm.counter("cm.admission.accepted"),
+        events: sim.kernel_stats().events,
+        trace_hash: sim.trace_hash(),
     }
 }
 

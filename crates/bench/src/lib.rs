@@ -10,6 +10,50 @@ pub mod report;
 
 use std::time::Duration;
 
+/// Heap-allocation counting for the kernel microbenchmark (E18).
+///
+/// The `experiments` binary registers [`alloc_track::CountingAlloc`] as
+/// its `#[global_allocator]`; E18 then reads allocation deltas around a
+/// run to report allocations-per-event. In builds that don't register
+/// it (unit tests, other binaries) the counter simply stays at zero.
+pub mod alloc_track {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// A [`System`] wrapper counting every `alloc`/`realloc`/
+    /// `alloc_zeroed` call (frees are not counted; the metric is
+    /// allocation pressure, not live bytes).
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    /// Allocation calls so far (monotonic; take deltas around a region).
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+}
+
 /// Simple summary statistics over a sample.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Stats {

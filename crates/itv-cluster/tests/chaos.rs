@@ -241,7 +241,16 @@ fn randomized_seeded_campaigns_converge() {
 
 /// One full chaos run, returning the kernel's event-trace hash.
 fn chaos_trace(sim_seed: u64, plan_seed: u64) -> u64 {
-    let sim = Sim::new(sim_seed);
+    chaos_trace_with(sim_seed, plan_seed, ocs_sim::SimConfig::default().fast)
+}
+
+/// [`chaos_trace`] with explicit control over the scheduler fast path.
+fn chaos_trace_with(sim_seed: u64, plan_seed: u64, fast: bool) -> u64 {
+    let sim = Sim::with_config(ocs_sim::SimConfig {
+        seed: sim_seed,
+        fast,
+        ..ocs_sim::SimConfig::default()
+    });
     let mut cfg = ClusterConfig::small();
     cfg.movie_replicas = 2;
     let cluster = ready_cluster(&sim, cfg);
@@ -266,4 +275,18 @@ fn same_seed_chaos_run_has_identical_trace_hash() {
     // sim seed) diverges.
     let h3 = chaos_trace(305, 8);
     assert_ne!(h1, h3, "different fault plans must diverge");
+}
+
+#[test]
+fn fast_path_preserves_chaos_trace_hash() {
+    // Handoff elision and the indexed network state are pure wall-clock
+    // optimizations: the full-cluster chaos campaign must replay the
+    // exact same event trace whether or not the scheduler fast path is
+    // enabled.
+    let fast = chaos_trace_with(305, 7, true);
+    let slow = chaos_trace_with(305, 7, false);
+    assert_eq!(
+        fast, slow,
+        "scheduler fast path must not change virtual-time behaviour"
+    );
 }

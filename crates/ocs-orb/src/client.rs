@@ -53,6 +53,9 @@ pub struct ClientCtx {
     calls: Arc<Counter>,
     errors: Arc<Counter>,
     latency: Arc<Histo>,
+    /// Node-shared encoder free-list; request frames reuse one arena
+    /// instead of allocating a fresh buffer per call.
+    pool: Arc<ocs_wire::BufPool>,
 }
 
 impl ClientCtx {
@@ -62,6 +65,7 @@ impl ClientCtx {
         let calls = tel.registry.counter("orb.client.calls");
         let errors = tel.registry.counter("orb.client.errors");
         let latency = tel.registry.histo("orb.client.latency_us");
+        let pool = rt.extensions().get_or_init(ocs_wire::BufPool::new);
         ClientCtx {
             rt,
             auth: Arc::new(NoAuth),
@@ -70,6 +74,7 @@ impl ClientCtx {
             calls,
             errors,
             latency,
+            pool,
         }
     }
 
@@ -240,7 +245,7 @@ impl ClientCtx {
             auth: auth_blob,
             body,
         };
-        let mut e = ocs_wire::Encoder::with_capacity(req.body.len() + 64);
+        let mut e = self.pool.encoder(req.body.len() + 64);
         e.put_u8(FRAME_REQUEST);
         req.encode_into(&mut e);
         ep.send(target.addr, e.finish())
@@ -276,13 +281,16 @@ impl ClientCtx {
             let remaining = deadline - now;
             match ep.recv(Some(remaining)) {
                 Ok((_from, msg)) => {
-                    let Some((kind, rest)) = msg.split_first() else {
+                    let Some(&kind) = msg.first() else {
                         continue;
                     };
-                    if *kind != FRAME_REPLY {
+                    if kind != FRAME_REPLY {
                         continue; // Stray frame; ignore.
                     }
-                    let Ok(reply) = Reply::from_bytes(rest) else {
+                    // Decode over the frame so the reply body comes out
+                    // as a zero-copy slice of it, not a fresh allocation.
+                    let rest = msg.slice(1..);
+                    let Ok(reply) = Reply::from_frame(&rest) else {
                         continue; // Corrupt frame; keep waiting.
                     };
                     if reply.request_id != request_id {

@@ -74,6 +74,9 @@ pub struct Orb {
     /// per-request path never takes the registry's name-lookup lock.
     requests: Arc<ocs_telemetry::Counter>,
     deadline_shed: Arc<ocs_telemetry::Counter>,
+    /// Node-shared encoder free-list; reply frames reuse one arena
+    /// instead of allocating a fresh buffer per request.
+    pool: Arc<ocs_wire::BufPool>,
 }
 
 impl Orb {
@@ -105,6 +108,7 @@ impl Orb {
         let tel = NodeTelemetry::of(&*rt);
         let requests = tel.registry.counter("orb.server.requests");
         let deadline_shed = tel.registry.counter("orb.server.deadline_shed");
+        let pool = rt.extensions().get_or_init(ocs_wire::BufPool::new);
         Ok(Arc::new(Orb {
             rt,
             ep,
@@ -117,6 +121,7 @@ impl Orb {
             tel,
             requests,
             deadline_shed,
+            pool,
         }))
     }
 
@@ -233,13 +238,16 @@ impl Orb {
     }
 
     fn handle_frame(self: &Arc<Self>, from: Addr, msg: Bytes) {
-        let Some((&kind, rest)) = msg.split_first() else {
+        let Some(&kind) = msg.first() else {
             return;
         };
         if kind != FRAME_REQUEST {
             return;
         }
-        let Ok(req) = Request::from_bytes(rest) else {
+        // Decode over the frame so the request body comes out as a
+        // zero-copy slice of it, not a fresh allocation.
+        let rest = msg.slice(1..);
+        let Ok(req) = Request::from_frame(&rest) else {
             return; // Corrupt request; nothing to reply to.
         };
         match self.threading {
@@ -304,7 +312,7 @@ impl Orb {
         }
         let result = result.map(|body| self.auth.seal_reply(&principal, body));
         let reply = Reply { request_id, result };
-        let mut e = ocs_wire::Encoder::new();
+        let mut e = self.pool.encoder(64);
         e.put_u8(FRAME_REPLY);
         reply.encode_into(&mut e);
         let _ = self.ep.send(from, e.finish());

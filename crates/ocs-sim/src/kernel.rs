@@ -1,20 +1,45 @@
 //! The discrete-event kernel: virtual time, processes, endpoints, links.
 //!
 //! Every simulated *process* is backed by an OS thread, but the kernel
-//! runs exactly one of them at a time: the scheduler thread (whoever calls
-//! [`run_until`](crate::Sim::run_until)) and the process threads hand a
-//! baton back and forth through per-process condvars. Blocking operations
-//! (sleep, receive, wait) register a wakeup in the event queue and yield
-//! the baton. Events are ordered by `(time, sequence)`, so a run is fully
-//! deterministic given its seed.
+//! runs exactly one of them at a time: a single "active" token moves
+//! between the driver thread (whoever calls
+//! [`run_until`](crate::Sim::run_until)) and the process threads through
+//! per-process batons. Blocking operations (sleep, receive, wait)
+//! register a wakeup in the event queue and pass the token on. Events are
+//! ordered by `(time, seq)`, so a run is fully deterministic given its
+//! seed.
+//!
+//! # Fast path
+//!
+//! In the default fast mode a blocking process runs the scheduler state
+//! machine ([`Kernel::next_step`]) itself, under the kernel lock, instead
+//! of waking the driver thread:
+//!
+//! * if the next runnable process is the caller itself (its timeout or a
+//!   same-instant delivery woke it), it simply keeps running — zero
+//!   thread switches;
+//! * if it is another process, the baton is granted directly — one
+//!   thread switch instead of the two a driver round-trip costs;
+//! * only quiescence, shutdown, a recorded panic, or `fast = false`
+//!   return the token to the driver.
+//!
+//! The state machine and every data structure consulted are identical in
+//! both modes; only the OS thread executing them changes, so virtual-time
+//! behaviour (event order, RNG draws, trace hashes) is bit-identical with
+//! the fast path on or off. `SimConfig { fast: false, .. }` forces the
+//! classic always-via-driver handoff and is used as the baseline by the
+//! E18 microbenchmark and the equivalence tests.
 //!
 //! The kernel also owns the network model: nodes, ports, per-link latency
 //! and bandwidth, partitions, message loss, and crash semantics (process
 //! death closes its ports and bounces later messages; node death is
-//! silence).
+//! silence). Node state lives in a dense vector indexed by `NodeId` and
+//! link state in flat per-pair tables, so the per-message path does no
+//! hashing in the default configuration.
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -35,60 +60,80 @@ pub(crate) struct KillSignal;
 /// First non-ephemeral port number handed out for `PortReq::Ephemeral`.
 pub(crate) const EPHEMERAL_BASE: u16 = 32768;
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum Turn {
-    Process,
-    Scheduler,
-}
-
-/// Baton for the scheduler <-> process handoff.
-pub(crate) struct ProcSync {
-    turn: Mutex<Turn>,
+/// One-shot-per-handoff wakeup flag. Unlike a turn-based condvar pair, a
+/// grant may arrive before the owner starts waiting (direct handoffs race
+/// the granting thread against the waking one); the flag absorbs that.
+pub(crate) struct Baton {
+    ready: AtomicBool,
+    m: Mutex<()>,
     cv: Condvar,
 }
 
-impl ProcSync {
-    fn new() -> ProcSync {
-        ProcSync {
-            turn: Mutex::new(Turn::Scheduler),
+/// How many `spin_loop` iterations a fast-path waiter burns before
+/// falling back to the condvar. A direct handoff's grant arrives after
+/// the peer's next scheduler step — typically well under a microsecond —
+/// so catching it in the spin window skips the futex round trip that
+/// otherwise dominates per-event cost. Bounded, so a waiter whose grant
+/// is genuinely far away wastes at most a few microseconds of one core.
+const SPIN_WAITS: u32 = 128;
+
+/// Spinning only pays when another core can be running the granting
+/// peer; on a single-CPU host the grant cannot arrive while we hold the
+/// core, so the whole spin window is wasted and we park immediately.
+fn spin_budget() -> u32 {
+    static SPIN: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *SPIN.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => SPIN_WAITS,
+        _ => 0,
+    })
+}
+
+impl Baton {
+    pub(crate) fn new() -> Baton {
+        Baton {
+            ready: AtomicBool::new(false),
+            m: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 
-    /// Scheduler side: give the baton to the process, wait to get it back.
-    fn resume(&self) {
-        let mut turn = self.turn.lock();
-        *turn = Turn::Process;
-        self.cv.notify_all();
-        while *turn != Turn::Scheduler {
-            self.cv.wait(&mut turn);
+    /// Makes the owner runnable; callable from any thread.
+    pub(crate) fn grant(&self) {
+        self.ready.store(true, Ordering::Release);
+        // The lock orders this grant against a waiter between its last
+        // flag check and `cv.wait`: we can't get the lock until it is
+        // inside `cv.wait` (or past it), so the notify always lands.
+        drop(self.m.lock());
+        self.cv.notify_one();
+    }
+
+    /// Owner side: block until granted, consuming the grant. Spins up to
+    /// `spin` iterations on the flag before sleeping on the condvar.
+    pub(crate) fn wait_spin(&self, spin: u32) {
+        for _ in 0..spin {
+            if self.ready.swap(false, Ordering::Acquire) {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut g = self.m.lock();
+        while !self.ready.swap(false, Ordering::Acquire) {
+            self.cv.wait(&mut g);
         }
     }
 
-    /// Process side: give the baton back and wait for the next turn.
-    fn yield_to_scheduler(&self) {
-        let mut turn = self.turn.lock();
-        *turn = Turn::Scheduler;
-        self.cv.notify_all();
-        while *turn != Turn::Process {
-            self.cv.wait(&mut turn);
-        }
+    /// Park immediately — the classic pre-fast-path behaviour, kept for
+    /// the driver gate and for `fast: false` baseline runs.
+    pub(crate) fn wait(&self) {
+        self.wait_spin(0);
     }
+}
 
-    /// Process side, at thread exit: give the baton back without waiting.
-    fn release_final(&self) {
-        let mut turn = self.turn.lock();
-        *turn = Turn::Scheduler;
-        self.cv.notify_all();
-    }
-
-    /// Process side, at thread start: wait for the first turn.
-    fn wait_first_turn(&self) {
-        let mut turn = self.turn.lock();
-        while *turn != Turn::Process {
-            self.cv.wait(&mut turn);
-        }
-    }
+/// What the scheduler state machine decided: hand the token to a process,
+/// or stop (quiescent / past the run limit).
+pub(crate) enum Step {
+    Run(Pid, Arc<Baton>),
+    Done,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,7 +159,7 @@ pub(crate) struct Proc {
     /// Process group (inherited from the spawner), the unit of service
     /// lifetime the Server Service Controller manages.
     pub group: Option<u64>,
-    pub sync: Arc<ProcSync>,
+    pub baton: Arc<Baton>,
     pub state: PState,
     pub wait_gen: u64,
     pub killed: bool,
@@ -202,6 +247,25 @@ pub struct NetStats {
     pub msgs_reordered: u64,
 }
 
+/// Scheduler and event-loop counters, exposed through
+/// [`Sim::kernel_stats`](crate::Sim::kernel_stats) for the E18 kernel
+/// microbenchmark. Purely observational: reading them never perturbs a
+/// run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Events popped off the queue (timer wakeups + network deliveries).
+    pub events: u64,
+    /// Baton grants issued by the driver thread (one pair of OS context
+    /// switches each).
+    pub driver_resumes: u64,
+    /// Process-to-process baton grants that skipped the driver (one
+    /// switch each).
+    pub direct_handoffs: u64,
+    /// Blocking calls where the caller continued inline with zero thread
+    /// switches (its own timeout or a same-instant delivery was next).
+    pub self_continues: u64,
+}
+
 /// Fault-injection impairment applied on top of a link's base
 /// [`LinkParams`]: extra loss, duplication, reordering and latency
 /// spikes. Installed per node pair (symmetric) by the nemesis.
@@ -250,6 +314,217 @@ impl LinkImpairment {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
+/// Node indices up to this many get dense per-pair rows; anything larger
+/// (synthetic ids used as plain data, e.g. E17's per-settop identities)
+/// spills to a hash map so exotic callers keep exact semantics without
+/// forcing quadratic dense storage.
+const DENSE_NODES: usize = 4096;
+
+/// Flat per-pair table for directed-link state: dense lazily-grown rows
+/// indexed by raw `NodeId` values, with a hash spill for out-of-range
+/// ids. Lookups on the hot path are two bounds checks when any entry
+/// exists and a single counter test when none do.
+pub(crate) struct PairTable<T: Copy> {
+    rows: Vec<Vec<Option<T>>>,
+    spill: HashMap<(u32, u32), T>,
+    count: usize,
+}
+
+impl<T: Copy> PairTable<T> {
+    fn new() -> PairTable<T> {
+        PairTable {
+            rows: Vec::new(),
+            spill: HashMap::new(),
+            count: 0,
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    pub fn get(&self, a: NodeId, b: NodeId) -> Option<T> {
+        if self.count == 0 {
+            return None;
+        }
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < DENSE_NODES && bi < DENSE_NODES {
+            self.rows.get(ai)?.get(bi).copied().flatten()
+        } else {
+            self.spill.get(&(a.0, b.0)).copied()
+        }
+    }
+
+    pub fn insert(&mut self, a: NodeId, b: NodeId, v: T) {
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < DENSE_NODES && bi < DENSE_NODES {
+            if self.rows.len() <= ai {
+                self.rows.resize_with(ai + 1, Vec::new);
+            }
+            let row = &mut self.rows[ai];
+            if row.len() <= bi {
+                row.resize(bi + 1, None);
+            }
+            if row[bi].is_none() {
+                self.count += 1;
+            }
+            row[bi] = Some(v);
+        } else if self.spill.insert((a.0, b.0), v).is_none() {
+            self.count += 1;
+        }
+    }
+
+    pub fn remove(&mut self, a: NodeId, b: NodeId) {
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < DENSE_NODES && bi < DENSE_NODES {
+            if let Some(slot) = self.rows.get_mut(ai).and_then(|r| r.get_mut(bi)) {
+                if slot.take().is_some() {
+                    self.count -= 1;
+                }
+            }
+        } else if self.spill.remove(&(a.0, b.0)).is_some() {
+            self.count -= 1;
+        }
+    }
+
+    /// Drops every entry whose value fails `keep`.
+    pub fn retain(&mut self, mut keep: impl FnMut(&T) -> bool) {
+        for row in &mut self.rows {
+            for slot in row.iter_mut() {
+                if let Some(v) = slot {
+                    if !keep(v) {
+                        *slot = None;
+                        self.count -= 1;
+                    }
+                }
+            }
+        }
+        let before = self.spill.len();
+        self.spill.retain(|_, v| keep(v));
+        self.count -= before - self.spill.len();
+    }
+}
+
+/// Directed node-pair membership as a bitset (used for partitions): one
+/// lazily-grown bit row per source node, with the same hash spill as
+/// [`PairTable`] for out-of-range ids.
+pub(crate) struct PairBits {
+    rows: Vec<Vec<u64>>,
+    spill: std::collections::HashSet<(u32, u32)>,
+    count: usize,
+}
+
+impl PairBits {
+    fn new() -> PairBits {
+        PairBits {
+            rows: Vec::new(),
+            spill: std::collections::HashSet::new(),
+            count: 0,
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    #[inline]
+    pub fn get(&self, a: NodeId, b: NodeId) -> bool {
+        if self.count == 0 {
+            return false;
+        }
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < DENSE_NODES && bi < DENSE_NODES {
+            self.rows
+                .get(ai)
+                .and_then(|r| r.get(bi / 64))
+                .is_some_and(|w| w & (1u64 << (bi % 64)) != 0)
+        } else {
+            self.spill.contains(&(a.0, b.0))
+        }
+    }
+
+    pub fn set(&mut self, a: NodeId, b: NodeId, on: bool) {
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if ai < DENSE_NODES && bi < DENSE_NODES {
+            if !on {
+                if let Some(w) = self.rows.get_mut(ai).and_then(|r| r.get_mut(bi / 64)) {
+                    if *w & (1u64 << (bi % 64)) != 0 {
+                        *w &= !(1u64 << (bi % 64));
+                        self.count -= 1;
+                    }
+                }
+                return;
+            }
+            if self.rows.len() <= ai {
+                self.rows.resize_with(ai + 1, Vec::new);
+            }
+            let row = &mut self.rows[ai];
+            if row.len() <= bi / 64 {
+                row.resize(bi / 64 + 1, 0);
+            }
+            if row[bi / 64] & (1u64 << (bi % 64)) == 0 {
+                row[bi / 64] |= 1u64 << (bi % 64);
+                self.count += 1;
+            }
+        } else if on {
+            if self.spill.insert((a.0, b.0)) {
+                self.count += 1;
+            }
+        } else if self.spill.remove(&(a.0, b.0)) {
+            self.count -= 1;
+        }
+    }
+}
+
+/// One-shot multiplicative hasher for [`Addr`] endpoint keys: the
+/// delivery path hashes an address per message, so the default SipHash
+/// is measurable overhead for zero benefit (keys come from the kernel,
+/// not the network).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct AddrHash(u64);
+
+impl std::hash::Hasher for AddrHash {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+}
+
+impl AddrHash {
+    #[inline]
+    fn mix(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(23);
+    }
+}
+
+type AddrBuild = std::hash::BuildHasherDefault<AddrHash>;
+
 enum EventKind {
     Wake { pid: Pid, gen: u64 },
     Deliver { to: Addr, item: Item },
@@ -293,25 +568,37 @@ pub(crate) struct Kernel {
     pub runnable: VecDeque<Pid>,
     pub shutdown: bool,
     pub rng: SmallRng,
-    pub nodes: BTreeMap<NodeId, NodeState>,
-    next_node: u32,
-    pub endpoints: HashMap<EpKey, EpState>,
+    /// Dense node table indexed by `NodeId - 1` (ids are handed out
+    /// sequentially from 1 and never removed).
+    nodes: Vec<NodeState>,
+    pub endpoints: HashMap<EpKey, EpState, AddrBuild>,
     pub net_cfg: NetConfig,
-    pub link_overrides: HashMap<(NodeId, NodeId), LinkParams>,
-    link_free: HashMap<(NodeId, NodeId), u64>,
-    pub partitions: std::collections::HashSet<(NodeId, NodeId)>,
-    pub impairments: HashMap<(NodeId, NodeId), LinkImpairment>,
+    pub link_overrides: PairTable<LinkParams>,
+    link_free: PairTable<u64>,
+    pub partitions: PairBits,
+    pub impairments: PairTable<LinkImpairment>,
     /// FNV-1a digest of the observable event trace (sends, deliveries,
     /// fault actions). Two runs with the same seed and workload must end
     /// with the same digest; see `Sim::trace_hash`.
     pub trace_hash: u64,
     pub stats: NetStats,
+    pub sched: KernelStats,
     pub counters: BTreeMap<String, u64>,
     pub panics: Vec<String>,
     pub(crate) next_group: u64,
     next_waitobj: u64,
     waitobjs: HashMap<u64, WaitObjState>,
     pub trace: bool,
+    /// Fast-path toggle (see the module docs); `false` forces every
+    /// handoff through the driver thread.
+    pub fast: bool,
+    /// Whether a driver is currently inside `run_until`.
+    in_run: bool,
+    /// Run limit for the current `run_until` (valid when `limited`).
+    run_limit: u64,
+    limited: bool,
+    /// Processes that finished and await a driver-side join.
+    pub(crate) dead: Vec<Pid>,
 }
 
 thread_local! {
@@ -324,7 +611,7 @@ pub(crate) fn cur_pid() -> Option<Pid> {
 }
 
 impl Kernel {
-    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool) -> Kernel {
+    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool, fast: bool) -> Kernel {
         Kernel {
             now: 0,
             seq: 0,
@@ -334,22 +621,27 @@ impl Kernel {
             runnable: VecDeque::new(),
             shutdown: false,
             rng: SmallRng::seed_from_u64(seed),
-            nodes: BTreeMap::new(),
-            next_node: 1,
-            endpoints: HashMap::new(),
+            nodes: Vec::new(),
+            endpoints: HashMap::default(),
             net_cfg,
-            link_overrides: HashMap::new(),
-            link_free: HashMap::new(),
-            partitions: std::collections::HashSet::new(),
-            impairments: HashMap::new(),
+            link_overrides: PairTable::new(),
+            link_free: PairTable::new(),
+            partitions: PairBits::new(),
+            impairments: PairTable::new(),
             trace_hash: FNV_OFFSET,
             stats: NetStats::default(),
+            sched: KernelStats::default(),
             counters: BTreeMap::new(),
             panics: Vec::new(),
             next_group: 1,
             next_waitobj: 1,
             waitobjs: HashMap::new(),
             trace,
+            fast,
+            in_run: false,
+            run_limit: 0,
+            limited: false,
+            dead: Vec::new(),
         }
     }
 
@@ -374,9 +666,8 @@ impl Kernel {
     /// The impairment installed for a node pair, looked up symmetrically.
     fn impairment(&self, a: NodeId, b: NodeId) -> Option<LinkImpairment> {
         self.impairments
-            .get(&(a, b))
-            .or_else(|| self.impairments.get(&(b, a)))
-            .copied()
+            .get(a, b)
+            .or_else(|| self.impairments.get(b, a))
     }
 
     fn roll(&mut self) -> f64 {
@@ -384,24 +675,38 @@ impl Kernel {
     }
 
     pub fn add_node(&mut self, name: &str) -> NodeId {
-        let id = NodeId(self.next_node);
-        self.next_node += 1;
-        self.nodes.insert(
-            id,
-            NodeState {
-                name: name.to_string(),
-                up: true,
-                next_ephemeral: EPHEMERAL_BASE,
-            },
-        );
+        let id = NodeId(self.nodes.len() as u32 + 1);
+        self.nodes.push(NodeState {
+            name: name.to_string(),
+            up: true,
+            next_ephemeral: EPHEMERAL_BASE,
+        });
         id
+    }
+
+    /// Node state by id; `None` for ids this kernel never handed out
+    /// (synthetic ids used as data are routinely probed here).
+    #[inline]
+    pub fn node(&self, id: NodeId) -> Option<&NodeState> {
+        match id.0 {
+            0 => None,
+            n => self.nodes.get(n as usize - 1),
+        }
+    }
+
+    #[inline]
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut NodeState> {
+        match id.0 {
+            0 => None,
+            n => self.nodes.get_mut(n as usize - 1),
+        }
     }
 
     pub fn link_params(&self, from: NodeId, to: NodeId) -> LinkParams {
         if from == to {
             self.net_cfg.local
-        } else if let Some(p) = self.link_overrides.get(&(from, to)) {
-            *p
+        } else if let Some(p) = self.link_overrides.get(from, to) {
+            p
         } else {
             self.net_cfg.default
         }
@@ -447,7 +752,7 @@ impl Kernel {
                     Item::Unreach(_) => 0,
                 };
                 self.trace_note(&[2, self.now, to.node.0 as u64, to.port as u64, size]);
-                let node_up = self.nodes.get(&to.node).map(|n| n.up).unwrap_or(false);
+                let node_up = self.node(to.node).map(|n| n.up).unwrap_or(false);
                 if !node_up {
                     self.stats.msgs_dropped += 1;
                     return;
@@ -487,6 +792,63 @@ impl Kernel {
         }
     }
 
+    /// The scheduler state machine: picks the next process to run, or
+    /// applies due events until one becomes runnable, or reports `Done`.
+    /// Shared verbatim by the driver loop and the in-process fast path so
+    /// both modes make identical decisions.
+    pub(crate) fn next_step(&mut self) -> Step {
+        loop {
+            while let Some(pid) = self.runnable.pop_front() {
+                if let Some(p) = self.procs.get_mut(&pid) {
+                    if p.state == PState::Runnable {
+                        p.state = PState::Running;
+                        return Step::Run(pid, Arc::clone(&p.baton));
+                    }
+                }
+            }
+            match self.events.peek() {
+                Some(ev) if !self.limited || ev.at <= self.run_limit => {
+                    let ev = self.events.pop().expect("peeked");
+                    debug_assert!(ev.at >= self.now, "event in the past");
+                    self.now = ev.at.max(self.now);
+                    self.sched.events += 1;
+                    // Amortized link_free pruning: entries at or behind
+                    // `now` are semantically identical to no entry, so
+                    // long runs must not accumulate dead pairs.
+                    if self.sched.events & 0xFFF == 0 && !self.link_free.is_empty() {
+                        let now = self.now;
+                        self.link_free.retain(|&f| f > now);
+                    }
+                    self.apply(ev.kind);
+                }
+                _ => {
+                    if self.limited && self.run_limit > self.now {
+                        self.now = self.run_limit;
+                    }
+                    return Step::Done;
+                }
+            }
+        }
+    }
+
+    /// Whether a blocking process may run the scheduler inline instead of
+    /// waking the driver. Shutdown drains and recorded panics always
+    /// route through the driver so their classic sequencing holds.
+    #[inline]
+    pub(crate) fn can_inline(&self) -> bool {
+        self.fast
+            && self.in_run
+            && !self.shutdown
+            && self.panics.is_empty()
+            // Joinable exited threads keep their stacks mapped until the
+            // driver joins them (and glibc can only recycle a joined
+            // thread's stack), so cap the reaping backlog: once it piles
+            // up, fall back to the driver for one sweep. Spawn-heavy
+            // workloads (the ORB's per-request servers) otherwise drag
+            // thousands of zombie stacks through a run window.
+            && self.dead.len() < 64
+    }
+
     /// Sends a message into the network model. Called with the kernel lock
     /// held, from the sending process's thread.
     pub fn net_send(&mut self, from: Addr, to: Addr, msg: Bytes) {
@@ -510,10 +872,9 @@ impl Kernel {
                 msg.len()
             );
         }
-        let dest_up = self.nodes.get(&to.node).map(|n| n.up).unwrap_or(false);
-        let key = (from.node, to.node);
-        let partitioned =
-            self.partitions.contains(&key) || self.partitions.contains(&(to.node, from.node));
+        let dest_up = self.node(to.node).map(|n| n.up).unwrap_or(false);
+        let partitioned = !self.partitions.is_empty()
+            && (self.partitions.get(from.node, to.node) || self.partitions.get(to.node, from.node));
         if !dest_up || partitioned {
             self.stats.msgs_dropped += 1;
             return;
@@ -534,9 +895,23 @@ impl Kernel {
             Some(bw) if bw > 0 => (msg.len() as u128 * 1_000_000 / bw as u128) as u64,
             _ => 0,
         };
-        let free = self.link_free.entry(key).or_insert(0);
-        let start = (*free).max(self.now);
-        *free = start + ser_us;
+        // A `link_free` entry at or behind `now` means the link is idle —
+        // exactly what no entry means — so the unconstrained default
+        // (no bandwidth cap, empty table) touches nothing at all, and a
+        // stale entry is dropped the next time its pair sends.
+        let start = if ser_us == 0 && self.link_free.is_empty() {
+            self.now
+        } else {
+            let free = self.link_free.get(from.node, to.node).unwrap_or(0);
+            let start = free.max(self.now);
+            let horizon = start + ser_us;
+            if horizon > self.now {
+                self.link_free.insert(from.node, to.node, horizon);
+            } else {
+                self.link_free.remove(from.node, to.node);
+            }
+            start
+        };
         let mut at = start + ser_us + params.latency.as_micros() as u64;
         if let Some(imp) = imp {
             at += imp.extra_latency.as_micros() as u64;
@@ -648,7 +1023,7 @@ impl Kernel {
     /// Returns whether the calling process itself was on the node.
     pub fn crash_node(&mut self, node: NodeId) -> bool {
         self.trace_note(&[3, self.now, node.0 as u64]);
-        if let Some(n) = self.nodes.get_mut(&node) {
+        if let Some(n) = self.node_mut(node) {
             n.up = false;
         }
         let pids: Vec<Pid> = self
@@ -737,6 +1112,9 @@ impl Kernel {
 /// Shared kernel wrapper: the single lock plus the scheduler entry points.
 pub(crate) struct SimInner {
     pub kernel: Mutex<Kernel>,
+    /// Woken when a process returns the active token to the driver
+    /// (quiescence, shutdown, panic, or fast path disabled).
+    gate: Baton,
     /// Per-node extension maps (see [`crate::rt::Extensions`]). Outside
     /// the kernel lock: extensions are touched from running processes and
     /// must not contend with the scheduler.
@@ -744,9 +1122,10 @@ pub(crate) struct SimInner {
 }
 
 impl SimInner {
-    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool) -> Arc<SimInner> {
+    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool, fast: bool) -> Arc<SimInner> {
         Arc::new(SimInner {
-            kernel: Mutex::new(Kernel::new(seed, net_cfg, trace)),
+            kernel: Mutex::new(Kernel::new(seed, net_cfg, trace, fast)),
+            gate: Baton::new(),
             ext: Mutex::new(BTreeMap::new()),
         })
     }
@@ -768,12 +1147,21 @@ impl SimInner {
     /// `prepare` runs under the kernel lock after the wait generation has
     /// been bumped; it receives the generation so it can register the
     /// process on wait lists. `wake_at` optionally schedules a timeout.
+    ///
+    /// On the fast path the caller runs the scheduler itself: if the next
+    /// runnable process turns out to be the caller (its own timeout or a
+    /// same-instant delivery), it continues with no thread switch at all;
+    /// otherwise it grants the next process's baton directly and parks.
     fn block_current<F>(&self, wake_at: Option<u64>, prepare: F) -> WakeReason
     where
         F: FnOnce(&mut Kernel, Pid, u64),
     {
         let pid = cur_pid().expect("blocking call outside a simulated process");
-        let sync;
+        let baton;
+        let spin;
+        // Some(baton): grant a peer directly. None: wake the driver.
+        let mut handoff: Option<Arc<Baton>> = None;
+        let mut park = true;
         {
             let mut k = self.kernel.lock();
             if k.shutdown {
@@ -789,13 +1177,36 @@ impl SimInner {
             let gen = p.wait_gen;
             p.state = PState::Blocked;
             p.wake_reason = WakeReason::None;
-            sync = p.sync.clone();
+            baton = Arc::clone(&p.baton);
+            // Fast mode: the wake usually comes from a peer's direct
+            // handoff moments later, so spin briefly before parking. The
+            // baseline keeps the classic park-immediately behaviour.
+            spin = if k.fast { spin_budget() } else { 0 };
             if let Some(at) = wake_at {
                 k.push_event(at, EventKind::Wake { pid, gen });
             }
             prepare(&mut k, pid, gen);
+            if k.can_inline() {
+                match k.next_step() {
+                    Step::Run(next, _) if next == pid => {
+                        k.sched.self_continues += 1;
+                        park = false;
+                    }
+                    Step::Run(_, b) => {
+                        k.sched.direct_handoffs += 1;
+                        handoff = Some(b);
+                    }
+                    Step::Done => {}
+                }
+            }
         }
-        sync.yield_to_scheduler();
+        if park {
+            match handoff {
+                Some(b) => b.grant(),
+                None => self.gate.grant(),
+            }
+            baton.wait_spin(spin);
+        }
         let reason = {
             let k = self.kernel.lock();
             let p = k.procs.get(&pid).expect("current process missing");
@@ -881,7 +1292,9 @@ impl SimInner {
         self.kernel.lock().waitobj_notify(id, n);
     }
 
-    /// Receives from an endpoint with an optional timeout.
+    /// Receives from an endpoint with an optional timeout. An item
+    /// already queued is returned immediately — no baton handoff, no
+    /// scheduler involvement (the receive-side half of handoff elision).
     pub fn ep_recv(
         &self,
         key: EpKey,
@@ -970,7 +1383,7 @@ impl SimInner {
             return;
         }
         if let Some(n) = node {
-            let up = k.nodes.get(&n).map(|s| s.up).unwrap_or(false);
+            let up = k.node(n).map(|s| s.up).unwrap_or(false);
             if !up {
                 if k.trace {
                     eprintln!(
@@ -987,14 +1400,14 @@ impl SimInner {
             group.or_else(|| cur_pid().and_then(|me| k.procs.get(&me).and_then(|p| p.group)));
         let pid = k.next_pid;
         k.next_pid += 1;
-        let sync = Arc::new(ProcSync::new());
+        let baton = Arc::new(Baton::new());
         let inner = Arc::clone(self);
-        let sync2 = Arc::clone(&sync);
+        let baton2 = Arc::clone(&baton);
         let tname = name.to_string();
         let join = std::thread::Builder::new()
             .name(format!("sim-{tname}"))
             .stack_size(512 * 1024)
-            .spawn(move || proc_main(inner, pid, sync2, f))
+            .spawn(move || proc_main(inner, pid, baton2, f))
             .expect("failed to spawn simulation thread");
         k.procs.insert(
             pid,
@@ -1002,7 +1415,7 @@ impl SimInner {
                 name: name.to_string(),
                 node,
                 group,
-                sync,
+                baton,
                 state: PState::Runnable,
                 wait_gen: 0,
                 killed: false,
@@ -1023,69 +1436,56 @@ impl SimInner {
     ///
     /// Re-raises the first panic observed in any simulated process.
     pub fn run_until(&self, limit: Option<u64>) {
+        {
+            let mut k = self.kernel.lock();
+            k.in_run = true;
+            k.limited = limit.is_some();
+            k.run_limit = limit.unwrap_or(0);
+        }
         loop {
-            enum Step {
-                Run(Pid, Arc<ProcSync>),
-                Continue,
-                Done,
-            }
             let step = {
                 let mut k = self.kernel.lock();
-                if let Some(pid) = k.runnable.pop_front() {
-                    match k.procs.get_mut(&pid) {
-                        Some(p) if p.state == PState::Runnable => {
-                            p.state = PState::Running;
-                            Step::Run(pid, p.sync.clone())
-                        }
-                        _ => Step::Continue,
-                    }
-                } else {
-                    match k.events.peek() {
-                        Some(ev) if limit.is_none_or(|l| ev.at <= l) => {
-                            let ev = k.events.pop().expect("peeked");
-                            debug_assert!(ev.at >= k.now, "event in the past");
-                            k.now = ev.at.max(k.now);
-                            k.apply(ev.kind);
-                            Step::Continue
-                        }
-                        _ => {
-                            if let Some(l) = limit {
-                                if l > k.now {
-                                    k.now = l;
-                                }
-                            }
-                            Step::Done
-                        }
-                    }
+                let step = k.next_step();
+                if let Step::Run(..) = step {
+                    k.sched.driver_resumes += 1;
                 }
+                step
             };
             match step {
-                Step::Run(pid, sync) => {
-                    sync.resume();
-                    self.reap(pid);
+                Step::Run(_pid, baton) => {
+                    baton.grant();
+                    // On the fast path processes hand the token between
+                    // themselves; the gate fires once control is ours.
+                    self.gate.wait();
+                    self.sweep_dead();
                     self.check_panics();
                 }
-                Step::Continue => continue,
                 Step::Done => break,
             }
         }
+        self.kernel.lock().in_run = false;
         self.check_panics();
     }
 
-    /// If `pid` finished, join its thread and remove it.
-    fn reap(&self, pid: Pid) {
-        let join = {
+    /// Joins and removes processes that finished since the driver last
+    /// held the token. Exits are deferred: an exiting thread hands its
+    /// token straight to the next process, so the driver sweeps later.
+    fn sweep_dead(&self) {
+        let joins: Vec<std::thread::JoinHandle<()>> = {
             let mut k = self.kernel.lock();
-            match k.procs.get_mut(&pid) {
-                Some(p) if p.state == PState::Dead => {
-                    let j = p.join.take();
+            if k.dead.is_empty() {
+                return;
+            }
+            let dead = std::mem::take(&mut k.dead);
+            dead.into_iter()
+                .filter_map(|pid| {
+                    let j = k.procs.get_mut(&pid).and_then(|p| p.join.take());
                     k.procs.remove(&pid);
                     j
-                }
-                _ => None,
-            }
+                })
+                .collect()
         };
-        if let Some(j) = join {
+        for j in joins {
             let _ = j.join();
         }
     }
@@ -1105,6 +1505,8 @@ impl SimInner {
     }
 
     /// Shuts the simulation down: kills every process and drains them.
+    /// With `shutdown` set, every handoff routes through the driver, so
+    /// the drain sequencing matches the classic path exactly.
     pub fn shutdown(&self) {
         {
             let mut k = self.kernel.lock();
@@ -1125,21 +1527,23 @@ impl SimInner {
             let step = {
                 let mut k = self.kernel.lock();
                 k.panics.clear();
-                match k.runnable.pop_front() {
-                    Some(pid) => match k.procs.get_mut(&pid) {
-                        Some(p) if p.state == PState::Runnable => {
+                let mut found = None;
+                while let Some(pid) = k.runnable.pop_front() {
+                    if let Some(p) = k.procs.get_mut(&pid) {
+                        if p.state == PState::Runnable {
                             p.state = PState::Running;
-                            Some((pid, p.sync.clone()))
+                            found = Some(Arc::clone(&p.baton));
+                            break;
                         }
-                        _ => continue,
-                    },
-                    None => None,
+                    }
                 }
+                found
             };
             match step {
-                Some((pid, sync)) => {
-                    sync.resume();
-                    self.reap(pid);
+                Some(baton) => {
+                    baton.grant();
+                    self.gate.wait();
+                    self.sweep_dead();
                 }
                 None => break,
             }
@@ -1162,11 +1566,11 @@ impl SimInner {
                         p.wake_reason = WakeReason::Killed;
                     }
                 }
-                let runnable: Vec<(Pid, Arc<ProcSync>)> = k
+                let runnable: Vec<(Pid, Arc<Baton>)> = k
                     .procs
                     .iter()
                     .filter(|(_, p)| p.state == PState::Runnable)
-                    .map(|(pid, p)| (*pid, p.sync.clone()))
+                    .map(|(pid, p)| (*pid, Arc::clone(&p.baton)))
                     .collect();
                 k.runnable.clear();
                 k.panics.clear();
@@ -1175,7 +1579,7 @@ impl SimInner {
             if step.is_empty() {
                 break;
             }
-            for (pid, sync) in step {
+            for (pid, baton) in step {
                 {
                     let mut k = self.kernel.lock();
                     match k.procs.get_mut(&pid) {
@@ -1183,17 +1587,18 @@ impl SimInner {
                         _ => continue,
                     }
                 }
-                sync.resume();
-                self.reap(pid);
+                baton.grant();
+                self.gate.wait();
+                self.sweep_dead();
             }
         }
     }
 }
 
 /// Entry point for every simulated process thread.
-fn proc_main(inner: Arc<SimInner>, pid: Pid, sync: Arc<ProcSync>, f: Box<dyn FnOnce() + Send>) {
+fn proc_main(inner: Arc<SimInner>, pid: Pid, baton: Arc<Baton>, f: Box<dyn FnOnce() + Send>) {
     CUR_PID.with(|c| c.set(Some(pid)));
-    sync.wait_first_turn();
+    baton.wait();
     let start_killed = {
         let k = inner.kernel.lock();
         k.shutdown || k.procs.get(&pid).map(|p| p.killed).unwrap_or(true)
@@ -1219,7 +1624,11 @@ fn proc_main(inner: Arc<SimInner>, pid: Pid, sync: Arc<ProcSync>, f: Box<dyn FnO
             }
         }
     }
-    // Mark dead and close owned endpoints.
+    // Mark dead, close owned endpoints, and pass the token on: to the
+    // next process directly on the fast path (the exiting thread touches
+    // no kernel state afterwards), else to the driver. A recorded panic
+    // disables the fast path, so the driver observes it immediately.
+    let mut next: Option<Arc<Baton>> = None;
     {
         let mut k = inner.kernel.lock();
         let eps = k
@@ -1233,6 +1642,20 @@ fn proc_main(inner: Arc<SimInner>, pid: Pid, sync: Arc<ProcSync>, f: Box<dyn FnO
         if let Some(p) = k.procs.get_mut(&pid) {
             p.state = PState::Dead;
         }
+        k.dead.push(pid);
+        if k.can_inline() {
+            match k.next_step() {
+                Step::Run(next_pid, b) => {
+                    debug_assert_ne!(next_pid, pid, "dead process scheduled");
+                    k.sched.direct_handoffs += 1;
+                    next = Some(b);
+                }
+                Step::Done => {}
+            }
+        }
     }
-    sync.release_final();
+    match next {
+        Some(b) => b.grant(),
+        None => inner.gate.grant(),
+    }
 }

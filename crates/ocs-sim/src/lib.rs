@@ -29,7 +29,7 @@ pub mod real;
 pub mod sync;
 
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanSpec, Nemesis};
-pub use kernel::{LinkImpairment, LinkParams, NetConfig, NetStats};
+pub use kernel::{KernelStats, LinkImpairment, LinkParams, NetConfig, NetStats};
 pub use rt::{
     Addr, Endpoint, Extensions, NetError, NodeId, NodeRt, NodeRtExt, PortReq, ProcGroup,
     RecvError, Rt,

@@ -391,17 +391,23 @@ impl crate::sync::SyncObj for RealSyncObj {
 
 /// Per-endpoint sending machinery (each endpoint keeps its own connection
 /// cache to avoid head-of-line locking across endpoints).
+///
+/// The cache maps each peer to its own lock slot: the map lock is held
+/// only long enough to find or insert the slot, and the (potentially
+/// slow) `connect` and blocking frame write happen under that peer's
+/// lock alone — one dead or slow peer cannot stall sends to the others.
 struct FrameSender {
     net: Arc<RealNet>,
     id: NodeId,
-    conns: Mutex<HashMap<NodeId, TcpStream>>,
+    conns: Mutex<HashMap<NodeId, Arc<Mutex<Option<TcpStream>>>>>,
 }
 
 impl FrameSender {
     fn send_bytes(&self, from_port: u16, to: Addr, kind: u8, msg: &[u8]) -> Result<(), NetError> {
-        let mut conns = self.conns.lock();
+        let slot = Arc::clone(self.conns.lock().entry(to.node).or_default());
+        let mut conn = slot.lock();
         for _attempt in 0..2 {
-            if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(to.node) {
+            if conn.is_none() {
                 let sockaddr = self
                     .net
                     .lookup(to.node)
@@ -409,13 +415,13 @@ impl FrameSender {
                 let stream = TcpStream::connect(sockaddr)
                     .map_err(|e| NetError::SendFailed(e.to_string()))?;
                 stream.set_nodelay(true).ok();
-                e.insert(stream);
+                *conn = Some(stream);
             }
-            let stream = conns.get_mut(&to.node).expect("just inserted");
+            let stream = conn.as_mut().expect("just connected");
             match write_frame(stream, kind, self.id, from_port, to.port, msg) {
                 Ok(()) => return Ok(()),
                 Err(_) => {
-                    conns.remove(&to.node);
+                    *conn = None;
                 }
             }
         }

@@ -6,7 +6,9 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use crate::kernel::{cur_pid, EpState, LinkImpairment, LinkParams, NetConfig, NetStats, SimInner};
+use crate::kernel::{
+    cur_pid, EpState, KernelStats, LinkImpairment, LinkParams, NetConfig, NetStats, SimInner,
+};
 use crate::rt::{Addr, Endpoint, NetError, NodeId, NodeRt, PortReq, RecvError};
 use crate::time::SimTime;
 
@@ -19,6 +21,11 @@ pub struct SimConfig {
     pub net: NetConfig,
     /// Emit a trace line per message send and lifecycle event.
     pub trace: bool,
+    /// Scheduler fast path (handoff elision + direct process-to-process
+    /// baton grants). Virtual-time behaviour is identical either way;
+    /// `false` forces the classic always-via-driver handoff and exists
+    /// for baseline benchmarking and equivalence tests.
+    pub fast: bool,
 }
 
 impl Default for SimConfig {
@@ -27,6 +34,7 @@ impl Default for SimConfig {
             seed: 0,
             net: NetConfig::default(),
             trace: std::env::var_os("OCS_TRACE").is_some(),
+            fast: std::env::var_os("OCS_SLOW").is_none(),
         }
     }
 }
@@ -79,7 +87,7 @@ impl Sim {
     /// Creates a simulation with explicit configuration.
     pub fn with_config(cfg: SimConfig) -> Sim {
         Sim {
-            inner: SimInner::new(cfg.seed, cfg.net, cfg.trace),
+            inner: SimInner::new(cfg.seed, cfg.net, cfg.trace, cfg.fast),
             owner: true,
         }
     }
@@ -158,7 +166,7 @@ impl Sim {
         let mut k = self.inner.kernel.lock();
         let now = k.now;
         k.trace_note(&[4, now, node.0 as u64]);
-        if let Some(n) = k.nodes.get_mut(&node) {
+        if let Some(n) = k.node_mut(node) {
             n.up = true;
         }
     }
@@ -168,8 +176,7 @@ impl Sim {
         self.inner
             .kernel
             .lock()
-            .nodes
-            .get(&node)
+            .node(node)
             .map(|n| n.up)
             .unwrap_or(false)
     }
@@ -180,7 +187,7 @@ impl Sim {
             .kernel
             .lock()
             .link_overrides
-            .insert((from, to), params);
+            .insert(from, to, params);
     }
 
     /// Sets or clears a (symmetric) partition between two nodes.
@@ -194,10 +201,10 @@ impl Sim {
             b.0 as u64,
         ]);
         if partitioned {
-            k.partitions.insert((a, b));
+            k.partitions.set(a, b, true);
         } else {
-            k.partitions.remove(&(a, b));
-            k.partitions.remove(&(b, a));
+            k.partitions.set(a, b, false);
+            k.partitions.set(b, a, false);
         }
     }
 
@@ -217,8 +224,8 @@ impl Sim {
             (imp.reorder * 1e6) as u64,
             imp.extra_latency.as_micros() as u64,
         ]);
-        k.impairments.remove(&(b, a));
-        k.impairments.insert((a, b), imp);
+        k.impairments.remove(b, a);
+        k.impairments.insert(a, b, imp);
     }
 
     /// Removes any impairment between two nodes (either direction).
@@ -226,8 +233,8 @@ impl Sim {
         let mut k = self.inner.kernel.lock();
         let now = k.now;
         k.trace_note(&[8, now, a.0 as u64, b.0 as u64]);
-        k.impairments.remove(&(a, b));
-        k.impairments.remove(&(b, a));
+        k.impairments.remove(a, b);
+        k.impairments.remove(b, a);
     }
 
     /// FNV-1a digest of the run's observable event trace so far (network
@@ -241,6 +248,13 @@ impl Sim {
     /// Snapshot of aggregate network statistics.
     pub fn net_stats(&self) -> NetStats {
         self.inner.kernel.lock().stats
+    }
+
+    /// Snapshot of the scheduler/event-loop counters (events applied,
+    /// driver resumes, direct handoffs, zero-switch continues). Used by
+    /// the E18 kernel microbenchmark.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.inner.kernel.lock().sched
     }
 
     /// Adds to a named counter (shared metric registry).
@@ -339,7 +353,7 @@ impl NodeRt for SimNode {
 
     fn open(&self, port: PortReq) -> Result<Arc<dyn Endpoint>, NetError> {
         let mut k = self.inner.kernel.lock();
-        let node_up = k.nodes.get(&self.id).map(|n| n.up).unwrap_or(false);
+        let node_up = k.node(self.id).map(|n| n.up).unwrap_or(false);
         if !node_up {
             return Err(NetError::NodeDown);
         }
@@ -354,7 +368,7 @@ impl NodeRt for SimNode {
             PortReq::Ephemeral => {
                 // Scan from the node's ephemeral cursor for a free port.
                 let mut cand = {
-                    let n = k.nodes.get_mut(&self.id).expect("node exists");
+                    let n = k.node_mut(self.id).expect("node exists");
                     n.next_ephemeral
                 };
                 loop {
@@ -364,7 +378,7 @@ impl NodeRt for SimNode {
                     }
                     cand = cand.checked_add(1).unwrap_or(crate::kernel::EPHEMERAL_BASE);
                 }
-                let n = k.nodes.get_mut(&self.id).expect("node exists");
+                let n = k.node_mut(self.id).expect("node exists");
                 n.next_ephemeral = cand.checked_add(1).unwrap_or(crate::kernel::EPHEMERAL_BASE);
                 cand
             }
@@ -468,7 +482,7 @@ pub struct SimEndpoint {
 impl Endpoint for SimEndpoint {
     fn send(&self, to: Addr, msg: Bytes) -> Result<(), NetError> {
         let mut k = self.inner.kernel.lock();
-        let up = k.nodes.get(&self.addr.node).map(|n| n.up).unwrap_or(false);
+        let up = k.node(self.addr.node).map(|n| n.up).unwrap_or(false);
         if !up {
             return Err(NetError::NodeDown);
         }

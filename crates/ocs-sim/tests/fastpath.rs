@@ -1,0 +1,234 @@
+//! Scheduler fast-path equivalence: handoff elision and the indexed
+//! network state are wall-clock optimizations only, so a workload must
+//! behave identically — same deliveries, same order, same trace hash —
+//! with the fast path on or off.
+//!
+//! Two angles:
+//! * a model-based proptest comparing delivery order against a reference
+//!   `BTreeMap<(time, seq), tag>` oracle over arbitrary send/sleep/crash
+//!   interleavings, run under both scheduler modes;
+//! * direct fast-vs-slow trace-hash comparison on the chatty hub
+//!   workload, plus a check that the fast path actually elides handoffs.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use std::collections::BTreeMap;
+
+use ocs_sim::{Addr, LinkParams, NodeRt, NodeRtExt, PortReq, Sim, SimConfig, SimTime};
+use proptest::prelude::*;
+
+/// One step of the random scenario, executed by the driver at a virtual
+/// time cursor.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Advance the cursor.
+    Sleep { ms: u64 },
+    /// Spawn a one-shot process on sender `s` that sends `tag` to the
+    /// receiver. Skipped (in sim and oracle alike) while `s` is down.
+    Send { s: usize, tag: u32 },
+    /// Crash sender `s`. In-flight messages from it stay deliverable.
+    Crash { s: usize },
+    /// Restart sender `s`.
+    Restart { s: usize },
+}
+
+const SENDERS: usize = 3;
+/// Distinct per-sender one-way latencies, so interleavings reorder
+/// deliveries relative to send order (and collide at equal times).
+const LAT_MS: [u64; SENDERS] = [10, 23, 41];
+const RX_PORT: u16 = 7;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..60).prop_map(|ms| Op::Sleep { ms }),
+        (0..SENDERS, any::<u32>()).prop_map(|(s, tag)| Op::Send { s, tag }),
+        (0..SENDERS).prop_map(|s| Op::Crash { s }),
+        (0..SENDERS).prop_map(|s| Op::Restart { s }),
+    ]
+}
+
+/// Runs the scenario under one scheduler mode, returning the receiver's
+/// delivery log (virtual micros, tag) and the kernel trace hash.
+fn run_scenario(ops: &[Op], fast: bool) -> (Vec<(u64, u32)>, u64) {
+    let sim = Sim::with_config(SimConfig {
+        seed: 0x5EED,
+        fast,
+        ..SimConfig::default()
+    });
+    let rx = sim.add_node("rx");
+    let senders: Vec<_> = (0..SENDERS)
+        .map(|i| sim.add_node(&format!("s{i}")))
+        .collect();
+    for (i, s) in senders.iter().enumerate() {
+        sim.set_link(
+            s.node(),
+            rx.node(),
+            LinkParams::latency_only(Duration::from_millis(LAT_MS[i])),
+        );
+    }
+    let log: Arc<Mutex<Vec<(u64, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    {
+        let rt = Arc::clone(&rx);
+        let log = Arc::clone(&log);
+        rx.spawn_fn("collector", move || {
+            let ep = rt.open(PortReq::Fixed(RX_PORT)).expect("open");
+            while let Ok((_from, msg)) = ep.recv(None) {
+                let mut tag = [0u8; 4];
+                tag.copy_from_slice(&msg[..4]);
+                log.lock()
+                    .unwrap()
+                    .push((rt.now().as_micros(), u32::from_le_bytes(tag)));
+            }
+        });
+    }
+    let rx_addr = Addr::new(rx.node(), RX_PORT);
+    let mut cursor_ms = 0u64;
+    let mut down = [false; SENDERS];
+    for &op in ops {
+        match op {
+            Op::Sleep { ms } => cursor_ms += ms,
+            Op::Send { s, tag } => {
+                if !down[s] {
+                    sim.run_until(SimTime::from_millis(cursor_ms));
+                    let rt = Arc::clone(&senders[s]);
+                    senders[s].spawn_fn("shot", move || {
+                        let ep = rt.open(PortReq::Ephemeral).expect("open");
+                        let _ = ep.send(rx_addr, bytes::Bytes::from(tag.to_le_bytes().to_vec()));
+                    });
+                }
+            }
+            Op::Crash { s } => {
+                if !down[s] {
+                    sim.run_until(SimTime::from_millis(cursor_ms));
+                    sim.crash_node(senders[s].node());
+                    down[s] = true;
+                }
+            }
+            Op::Restart { s } => {
+                if down[s] {
+                    sim.run_until(SimTime::from_millis(cursor_ms));
+                    sim.restart_node(senders[s].node());
+                    down[s] = false;
+                }
+            }
+        }
+    }
+    // Let every in-flight delivery land.
+    sim.run_until(SimTime::from_millis(cursor_ms + 1_000));
+    let hash = sim.trace_hash();
+    let out = log.lock().unwrap().clone();
+    (out, hash)
+}
+
+/// The reference model: deliveries ordered by `(arrival time, send
+/// seq)`, exactly the kernel's event-queue key. A send from an up
+/// sender at cursor `t` arrives at `t + latency`; crashing a sender
+/// suppresses its later sends but not in-flight ones.
+fn oracle(ops: &[Op]) -> Vec<(u64, u32)> {
+    let mut cursor_ms = 0u64;
+    let mut down = [false; SENDERS];
+    let mut seq = 0u64;
+    let mut expected: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+    for &op in ops {
+        match op {
+            Op::Sleep { ms } => cursor_ms += ms,
+            Op::Send { s, tag } => {
+                if !down[s] {
+                    let at = (cursor_ms + LAT_MS[s]) * 1_000;
+                    expected.insert((at, seq), tag);
+                    seq += 1;
+                }
+            }
+            Op::Crash { s } => down[s] = true,
+            Op::Restart { s } => down[s] = false,
+        }
+    }
+    expected.into_iter().map(|((at, _), tag)| (at, tag)).collect()
+}
+
+proptest! {
+    #[test]
+    fn delivery_order_matches_btreemap_oracle(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let want = oracle(&ops);
+        let (fast_log, fast_hash) = run_scenario(&ops, true);
+        let (slow_log, slow_hash) = run_scenario(&ops, false);
+        prop_assert_eq!(&fast_log, &want, "fast path diverged from the oracle");
+        prop_assert_eq!(&slow_log, &want, "classic path diverged from the oracle");
+        prop_assert_eq!(fast_hash, slow_hash, "trace hashes diverged between modes");
+    }
+}
+
+/// The determinism suite's chatty hub workload, parameterized over the
+/// scheduler mode.
+fn hub_workload(seed: u64, fast: bool) -> (u64, u64, ocs_sim::KernelStats) {
+    let sim = Sim::with_config(SimConfig {
+        seed,
+        fast,
+        ..SimConfig::default()
+    });
+    let hub = sim.add_node("hub");
+    let mut others = Vec::new();
+    for i in 0..4 {
+        others.push(sim.add_node(&format!("n{i}")));
+    }
+    {
+        let rt = Arc::clone(&hub);
+        hub.spawn_fn("echo", move || {
+            let ep = rt.open(PortReq::Fixed(9)).expect("open");
+            while let Ok((from, msg)) = ep.recv(None) {
+                let _ = ep.send(from, msg);
+            }
+        });
+    }
+    let hub_id = hub.node();
+    for (i, n) in others.iter().enumerate() {
+        let rt = Arc::clone(n);
+        n.spawn_fn(&format!("client{i}"), move || {
+            let ep = rt.open(PortReq::Ephemeral).expect("open");
+            for _ in 0..50 {
+                let len = 8 + (rt.rand_u64() % 200) as usize;
+                let _ = ep.send(Addr::new(hub_id, 9), bytes::Bytes::from(vec![0u8; len]));
+                let _ = ep.recv(Some(Duration::from_millis(200)));
+                rt.sleep(Duration::from_millis(10 + rt.rand_u64() % 90));
+            }
+        });
+    }
+    sim.run_until(SimTime::from_secs(30));
+    (
+        sim.trace_hash(),
+        sim.net_stats().msgs_delivered,
+        sim.kernel_stats(),
+    )
+}
+
+#[test]
+fn fast_and_slow_hub_workloads_are_trace_identical() {
+    let (fh, fd, fstats) = hub_workload(42, true);
+    let (sh, sd, sstats) = hub_workload(42, false);
+    assert_eq!(fh, sh, "trace hash must not depend on the scheduler mode");
+    assert_eq!(fd, sd);
+    assert_eq!(
+        fstats.events, sstats.events,
+        "both modes must process the same event stream"
+    );
+}
+
+#[test]
+fn fast_path_actually_elides_driver_round_trips() {
+    let (_, _, fstats) = hub_workload(42, true);
+    let (_, _, sstats) = hub_workload(42, false);
+    assert!(
+        fstats.direct_handoffs + fstats.self_continues > 0,
+        "fast mode never took the fast path: {fstats:?}"
+    );
+    assert_eq!(
+        sstats.direct_handoffs + sstats.self_continues,
+        0,
+        "slow mode must never elide the driver: {sstats:?}"
+    );
+    assert!(
+        fstats.driver_resumes < sstats.driver_resumes / 4,
+        "elision should remove most driver resumes: fast {fstats:?} vs slow {sstats:?}"
+    );
+}

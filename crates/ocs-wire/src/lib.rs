@@ -22,10 +22,59 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
 use ocs_sim::{Addr, NodeId, SimTime};
+
+/// A free-list of encoder buffers, shared per node (see
+/// [`ocs_sim::Extensions`]) so the RPC hot path reuses one arena instead
+/// of allocating a fresh `BytesMut` per message.
+///
+/// Lifecycle: [`BufPool::encoder`] pops a buffer (or starts an empty
+/// one); [`Encoder::finish`] splits the written prefix off as the frozen
+/// frame and returns the *remainder* handle to the pool. The next
+/// `reserve` on that handle reclaims the whole allocation once the
+/// in-flight frame has been consumed and dropped — the standard `bytes`
+/// arena idiom, so a pooled encode is amortized allocation-free.
+#[derive(Default)]
+pub struct BufPool {
+    free: parking_lot::Mutex<Vec<BytesMut>>,
+}
+
+/// Free-list depth cap; beyond this, returned buffers are simply dropped.
+const POOL_MAX: usize = 64;
+
+impl BufPool {
+    /// Creates an empty pool.
+    pub fn new() -> BufPool {
+        BufPool::default()
+    }
+
+    /// Checks out an encoder backed by this pool with at least `cap`
+    /// bytes of capacity.
+    pub fn encoder(self: &Arc<Self>, cap: usize) -> Encoder {
+        let mut buf = self.free.lock().pop().unwrap_or_default();
+        buf.reserve(cap);
+        Encoder {
+            buf,
+            pool: Some(Arc::clone(self)),
+        }
+    }
+
+    /// Buffers currently parked in the free list (diagnostics).
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    fn put_back(&self, buf: BytesMut) {
+        let mut free = self.free.lock();
+        if free.len() < POOL_MAX {
+            free.push(buf);
+        }
+    }
+}
 
 /// Errors produced while decoding a wire message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,10 +114,12 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// An append-only encoder over a growable buffer.
+/// An append-only encoder over a growable buffer, optionally checked out
+/// of a [`BufPool`].
 #[derive(Default)]
 pub struct Encoder {
     buf: BytesMut,
+    pool: Option<Arc<BufPool>>,
 }
 
 impl Encoder {
@@ -81,6 +132,7 @@ impl Encoder {
     pub fn with_capacity(cap: usize) -> Encoder {
         Encoder {
             buf: BytesMut::with_capacity(cap),
+            pool: None,
         }
     }
 
@@ -99,9 +151,19 @@ impl Encoder {
         (n as u32).encode_into(self);
     }
 
-    /// Finishes encoding, returning the frozen buffer.
+    /// Finishes encoding, returning the frozen buffer. A pooled encoder
+    /// splits the frame off and parks the backing buffer for reuse.
     pub fn finish(self) -> Bytes {
-        self.buf.freeze()
+        match self.pool {
+            None => self.buf.freeze(),
+            Some(pool) => {
+                let mut buf = self.buf;
+                let n = buf.len();
+                let out = buf.split_to(n).freeze();
+                pool.put_back(buf);
+                out
+            }
+        }
     }
 
     /// Number of bytes written so far.
@@ -115,16 +177,33 @@ impl Encoder {
     }
 }
 
-/// A cursor-based decoder over a byte slice.
+/// A cursor-based decoder over a byte slice. When constructed with
+/// [`Decoder::over`] a frozen frame, `Bytes` fields decode as zero-copy
+/// reference-counted slices of that frame instead of fresh allocations.
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    owner: Option<&'a Bytes>,
 }
 
 impl<'a> Decoder<'a> {
     /// Creates a decoder over `buf`.
     pub fn new(buf: &'a [u8]) -> Decoder<'a> {
-        Decoder { buf, pos: 0 }
+        Decoder {
+            buf,
+            pos: 0,
+            owner: None,
+        }
+    }
+
+    /// Creates a decoder over a frozen frame; `Bytes` fields become
+    /// slices sharing the frame's allocation.
+    pub fn over(frame: &'a Bytes) -> Decoder<'a> {
+        Decoder {
+            buf: frame,
+            pos: 0,
+            owner: Some(frame),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -193,6 +272,16 @@ pub trait Wire: Sized {
         d.expect_end()?;
         Ok(v)
     }
+
+    /// Decodes a complete value from a frozen frame, rejecting trailing
+    /// bytes. `Bytes` fields come out as zero-copy slices of the frame,
+    /// so a request/reply body costs a refcount bump instead of a copy.
+    fn from_frame(b: &Bytes) -> Result<Self, WireError> {
+        let mut d = Decoder::over(b);
+        let v = Self::decode_from(&mut d)?;
+        d.expect_end()?;
+        Ok(v)
+    }
 }
 
 macro_rules! wire_int {
@@ -255,7 +344,12 @@ impl Wire for Bytes {
     }
     fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         let n = d.len_prefix(1)?;
-        Ok(Bytes::copy_from_slice(d.take(n)?))
+        let start = d.pos;
+        d.take(n)?;
+        match d.owner {
+            Some(frame) => Ok(frame.slice(start..start + n)),
+            None => Ok(Bytes::copy_from_slice(&d.buf[start..start + n])),
+        }
     }
 }
 
@@ -654,6 +748,69 @@ mod tests {
             Mixed::from_bytes(&[9]).unwrap_err(),
             WireError::InvalidTag(9)
         );
+    }
+
+    #[test]
+    fn pooled_encoder_round_trips_and_reuses_buffers() {
+        let pool = Arc::new(BufPool::new());
+        let first = {
+            let mut e = pool.encoder(64);
+            e.put_u8(7);
+            42u64.encode_into(&mut e);
+            e.finish()
+        };
+        assert_eq!(pool.idle(), 1);
+        assert_eq!(first[0], 7);
+        assert_eq!(u64::from_bytes(&first[1..]).unwrap(), 42);
+        // Drop the in-flight frame, then encode again: the next checkout
+        // must produce correct bytes regardless of reclamation timing.
+        drop(first);
+        let second = {
+            let mut e = pool.encoder(64);
+            "hello".to_string().encode_into(&mut e);
+            e.finish()
+        };
+        assert_eq!(String::from_bytes(&second).unwrap(), "hello");
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pooled_frames_do_not_alias() {
+        // Two frames encoded back-to-back from one pool must stay
+        // independent even while both are alive.
+        let pool = Arc::new(BufPool::new());
+        let mut e = pool.encoder(16);
+        e.put_raw(b"first");
+        let a = e.finish();
+        let mut e = pool.encoder(16);
+        e.put_raw(b"second");
+        let b = e.finish();
+        assert_eq!(&a[..], b"first");
+        assert_eq!(&b[..], b"second");
+    }
+
+    #[test]
+    fn from_frame_bytes_are_zero_copy_slices() {
+        #[derive(Debug, PartialEq)]
+        struct Framed {
+            tag: u32,
+            body: Bytes,
+        }
+        impl_wire_struct!(Framed { tag, body });
+
+        let v = Framed {
+            tag: 9,
+            body: Bytes::from_static(b"payload"),
+        };
+        let frame = v.to_bytes();
+        let out = Framed::from_frame(&frame).unwrap();
+        assert_eq!(out, v);
+        // Zero-copy: the decoded body points into the frame allocation.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&(out.body.as_ptr() as usize)));
+        // And the plain byte-slice path still copies.
+        let copied = Framed::from_bytes(&frame).unwrap();
+        assert!(!frame_range.contains(&(copied.body.as_ptr() as usize)));
     }
 
     #[test]

@@ -58,4 +58,37 @@ if ! awk -v f="$fresh" -v c="$committed" 'BEGIN { exit !(f >= 0.8 * c) }'; then
 fi
 echo "tier1: E17 smoke ops/sec $fresh (committed $committed)"
 
+# Kernel fast-path smoke + bench guard: a reduced-replay E18 must pass
+# its built-in asserts (fast/slow trace equivalence on all three legs,
+# same-seed rerun identical including the allocation count), and its
+# deterministic fields must match the committed BENCH_e18.json exactly.
+# The ping-pong leg doesn't scale with --settops, and its event count,
+# events-per-virtual-ms and allocations-per-event are derived from
+# virtual time and same-binary allocation behaviour — deterministic, so
+# the equality check is machine-independent. Wall-clock events/sec and
+# the fast/slow speedup are informational.
+tmp="$(mktemp -d)"
+(cd "$tmp" && cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- \
+    e18 --settops 800 >/dev/null)
+for key in trace_equivalent deterministic_rerun; do
+    if ! grep -qE "\"$key\": true" "$tmp/BENCH_e18.json"; then
+        echo "tier1: E18 smoke FAILED - $key is not true in the fresh run" >&2
+        exit 1
+    fi
+done
+for key in pp_events pp_events_per_virtual_ms pp_allocs_per_event_fast; do
+    fresh="$(json_field "$tmp/BENCH_e18.json" "$key")"
+    committed="$(json_field "$repo/BENCH_e18.json" "$key")"
+    if [ -z "$fresh" ] || [ "$fresh" != "$committed" ]; then
+        echo "tier1: E18 guard FAILED - $key: fresh ${fresh:-missing} != committed baseline ${committed:-missing} (BENCH_e18.json)" >&2
+        exit 1
+    fi
+done
+eps="$(json_field "$tmp/BENCH_e18.json" pp_events_per_sec_fast)"
+speedup="$(json_field "$tmp/BENCH_e18.json" pp_speedup)"
+committed_speedup="$(json_field "$repo/BENCH_e18.json" pp_speedup)"
+rm -rf "$tmp"
+echo "tier1: E18 smoke ping-pong $eps ev/s wall-clock, ${speedup}x fast/slow (informational; committed baseline ${committed_speedup}x)"
+
 echo "tier1: OK"

@@ -217,9 +217,19 @@ impl FromIterator<u8> for Bytes {
 }
 
 /// A growable byte buffer that freezes into [`Bytes`].
-#[derive(Clone, Default, Debug, PartialEq, Eq)]
+///
+/// Like the upstream crate, the buffer is backed by the same
+/// reference-counted allocation as [`Bytes`]: `freeze` and `split_to`
+/// are zero-copy, and `reserve` reclaims the allocation once every
+/// frame split from it has been dropped. Writes that would touch a
+/// still-shared allocation copy out first (copy-on-write), so safety
+/// never depends on reclamation timing.
 pub struct BytesMut {
-    buf: Vec<u8>,
+    data: Arc<[u8]>,
+    /// Start of this buffer's region within `data`.
+    off: usize,
+    /// Written bytes: the content is `data[off..off + len]`.
+    len: usize,
 }
 
 impl BytesMut {
@@ -228,67 +238,180 @@ impl BytesMut {
     }
 
     pub fn with_capacity(cap: usize) -> BytesMut {
+        if cap == 0 {
+            return BytesMut::new();
+        }
         BytesMut {
-            buf: Vec::with_capacity(cap),
+            data: Arc::from(vec![0u8; cap]),
+            off: 0,
+            len: 0,
         }
     }
 
     pub fn len(&self) -> usize {
-        self.buf.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
+        self.len == 0
+    }
+
+    /// Usable bytes from this buffer's offset to the end of the
+    /// backing allocation.
+    pub fn capacity(&self) -> usize {
+        self.data.len() - self.off
+    }
+
+    /// Ensures `additional` more bytes can be written in place: the
+    /// allocation must be unshared and have room. Reclaims the front of
+    /// a uniquely-owned allocation (content slides to offset 0), else
+    /// copies out to a fresh one.
+    fn make_room(&mut self, additional: usize) {
+        let need = self.len.checked_add(additional).expect("capacity overflow");
+        let unique = Arc::get_mut(&mut self.data).is_some();
+        if unique {
+            if self.data.len() - self.off >= need {
+                return;
+            }
+            if self.data.len() >= need {
+                let d = Arc::get_mut(&mut self.data).unwrap();
+                d.copy_within(self.off..self.off + self.len, 0);
+                self.off = 0;
+                return;
+            }
+        }
+        // Grow geometrically only when a uniquely-owned allocation is
+        // genuinely too small (amortizes repeated appends). A merely
+        // *shared* allocation — split-off frames still alive, the normal
+        // state of a pooled buffer checked out while its previous frame
+        // is in flight — is replaced at exactly the needed size: doubling
+        // from the old arena would compound across checkouts and grow the
+        // arena without bound.
+        let new_cap = if unique {
+            need.max(self.data.len().saturating_mul(2))
+        } else {
+            need
+        }
+        .max(16);
+        let mut v = vec![0u8; new_cap];
+        v[..self.len].copy_from_slice(&self.data[self.off..self.off + self.len]);
+        self.data = Arc::from(v);
+        self.off = 0;
     }
 
     pub fn extend_from_slice(&mut self, s: &[u8]) {
-        self.buf.extend_from_slice(s);
+        if s.is_empty() {
+            return;
+        }
+        self.make_room(s.len());
+        let at = self.off + self.len;
+        Arc::get_mut(&mut self.data).expect("unshared after make_room")[at..at + s.len()]
+            .copy_from_slice(s);
+        self.len += s.len();
     }
 
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
+        self.extend_from_slice(&[v]);
     }
 
     pub fn put_slice(&mut self, s: &[u8]) {
-        self.buf.extend_from_slice(s);
+        self.extend_from_slice(s);
     }
 
     pub fn clear(&mut self) {
-        self.buf.clear();
+        self.off = 0;
+        self.len = 0;
     }
 
+    /// Ensures room for `additional` more bytes. On a buffer whose
+    /// frames have all been dropped this reclaims the existing
+    /// allocation without allocating.
     pub fn reserve(&mut self, additional: usize) {
-        self.buf.reserve(additional);
+        self.make_room(additional);
+    }
+
+    /// Splits off the first `at` written bytes as a new `BytesMut`
+    /// sharing the same allocation (zero-copy); `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len, "split_to out of bounds");
+        let front = BytesMut {
+            data: Arc::clone(&self.data),
+            off: self.off,
+            len: at,
+        };
+        self.off += at;
+        self.len -= at;
+        front
     }
 
     /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
-        Bytes::from(self.buf)
+        Bytes {
+            data: self.data,
+            start: self.off,
+            end: self.off + self.len,
+        }
+    }
+}
+
+impl Default for BytesMut {
+    fn default() -> BytesMut {
+        BytesMut {
+            data: Arc::from(&[][..]),
+            off: 0,
+            len: 0,
+        }
+    }
+}
+
+impl Clone for BytesMut {
+    fn clone(&self) -> BytesMut {
+        let mut b = BytesMut::with_capacity(self.len);
+        b.extend_from_slice(self);
+        b
     }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.buf
+        &self.data[self.off..self.off + self.len]
     }
 }
 
 impl DerefMut for BytesMut {
     fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.buf
+        self.make_room(0);
+        let off = self.off;
+        let len = self.len;
+        &mut Arc::get_mut(&mut self.data).expect("unshared after make_room")[off..off + len]
     }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
-        &self.buf
+        self
     }
 }
 
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&Bytes::copy_from_slice(self), f)
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &BytesMut) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for BytesMut {}
+
 impl Extend<u8> for BytesMut {
     fn extend<I: IntoIterator<Item = u8>>(&mut self, iter: I) {
-        self.buf.extend(iter);
+        for b in iter {
+            self.put_u8(b);
+        }
     }
 }
 
@@ -313,6 +436,69 @@ mod tests {
         m.extend_from_slice(b"abc");
         let b = m.freeze();
         assert_eq!(&b[..], &[7, b'a', b'b', b'c']);
+    }
+
+    #[test]
+    fn split_to_and_freeze_share_the_allocation() {
+        let mut m = BytesMut::with_capacity(32);
+        m.extend_from_slice(b"headbody");
+        let head = m.split_to(4).freeze();
+        assert_eq!(&head[..], b"head");
+        assert_eq!(&m[..], b"body");
+        let body = m.split_to(4).freeze();
+        // Zero-copy: both frames point into one allocation.
+        assert_eq!(head.as_ptr() as usize + 4, body.as_ptr() as usize);
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn reserve_reclaims_once_frames_drop() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"0123456789");
+        let frame = m.split_to(10).freeze();
+        let arena = frame.as_ptr() as usize;
+        drop(frame);
+        // Sole owner again: reserve slides the (empty) content back to
+        // offset 0 and reuses the allocation.
+        m.reserve(16);
+        m.extend_from_slice(b"abcdef");
+        assert_eq!(m.as_ptr() as usize, arena);
+        assert_eq!(&m[..], b"abcdef");
+    }
+
+    #[test]
+    fn writes_never_corrupt_live_frames() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(b"alive");
+        let frame = m.split_to(5).freeze();
+        // The frame is still alive, so the next write must copy out
+        // instead of scribbling over the shared allocation.
+        m.reserve(16);
+        m.extend_from_slice(b"overwrite");
+        assert_eq!(&frame[..], b"alive");
+        assert_eq!(&m[..], b"overwrite");
+    }
+
+    #[test]
+    fn contended_reserve_does_not_compound_capacity() {
+        // A pooled buffer checked out while its previous frame is still
+        // alive must not grow: each copy-out is sized by need, so the
+        // arena stays bounded no matter how many checkouts contend.
+        let mut m = BytesMut::with_capacity(64);
+        let mut live = Vec::new();
+        for _ in 0..40 {
+            m.reserve(64);
+            m.extend_from_slice(&[7u8; 48]);
+            live.push(m.split_to(48).freeze()); // keeps every arena alive
+        }
+        assert!(
+            m.capacity() <= 256,
+            "arena compounded under contention: capacity {}",
+            m.capacity()
+        );
+        for f in &live {
+            assert_eq!(&f[..], &[7u8; 48][..]);
+        }
     }
 
     #[test]
