@@ -8,11 +8,13 @@
 mod build;
 mod chaos;
 mod config;
+pub mod real;
 mod telemetry;
 mod workload;
 
 pub use build::{standard_apps, Cluster, Intent, ServerHandle, SettopCtl, SettopTotals};
 pub use chaos::ChaosOutcome;
+pub use real::{RealCluster, RealService, ViewerStats};
 pub use config::ClusterConfig;
 pub use telemetry::TelemetrySnapshot;
 pub use workload::{exp_sample, EveningWorkload, PlannedSession, Zipf};

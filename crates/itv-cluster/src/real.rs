@@ -1,0 +1,419 @@
+//! Real-runtime cluster assembly: the same OCS service stack the
+//! simulator runs, brought up on OS threads and TCP over loopback, with
+//! killable process groups per service.
+//!
+//! This is the chaos-campaign counterpart of [`crate::Cluster`]: where
+//! the simulated cluster asserts on deterministic event traces, the
+//! real cluster asserts on *outcomes within wall-clock bounds* —
+//! elections settle, leases expire, streams are abandoned — because
+//! thread scheduling and TCP timing are not reproducible. Every service
+//! runs in its own [`ProcGroup`], so `kill_service` exercises the real
+//! runtime's cooperative-kill path: member threads unwind at their next
+//! cancellation point and the service's sockets close immediately, so
+//! clients observe bounces and resets, not silence.
+//!
+//! The layout is fixed and small (this is a fault-parity harness, not a
+//! load rig): server 0 carries the connection manager, server 1 the
+//! MDS, server 2 the MMS; every server runs a name-service replica and
+//! a telemetry exporter, and each settop is its own node.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use itv_media::{
+    ports, Catalog, CmApiClient, CmBudgets, CmUsage, ConnectionManager, Mms, MmsApiClient,
+    MmsConfig, MovieCtlClient, MovieInfo, MovieTicket, Mds, Segment,
+};
+use ocs_name::{
+    acquire_primary, AlwaysAlive, NsConfig, NsHandle, NsReplica, SelectorSpec,
+};
+use ocs_orb::{telemetry_ref, ClientCtx, ObjRef, TelemetryClient};
+use ocs_sim::real::{RealNet, RealNode};
+use ocs_sim::{Addr, NodeId, NodeRt, PortReq, ProcGroup, Rt};
+use ocs_wire::Wire;
+use parking_lot::Mutex;
+
+use crate::telemetry::TelemetrySnapshot;
+
+/// The test movie streamed by campaign viewers: long enough that a
+/// stream outlives any campaign leg, light enough not to flood loopback.
+pub const MOVIE_TITLE: &str = "campaign-movie";
+const MOVIE_BITRATE_BPS: u64 = 800_000;
+const MOVIE_DURATION_MS: u64 = 600_000;
+
+/// How long `RealCluster` operations wait for an outcome before giving
+/// up (elections, rebinds). Campaign assertions use their own bounds.
+const SETTLE_TIMEOUT: Duration = Duration::from_secs(15);
+
+/// Counters a viewer group updates while it streams.
+#[derive(Default)]
+pub struct ViewerStats {
+    /// Segments received on the stream port.
+    pub segments: AtomicU64,
+    /// Bytes received on the stream port.
+    pub bytes: AtomicU64,
+    /// Set once the MMS granted the ticket and playback started.
+    pub playing: AtomicBool,
+    /// The granted ticket (session id + movie object), for the driver.
+    pub ticket: Mutex<Option<MovieTicket>>,
+}
+
+/// A service (or viewer) running in its own killable process group.
+pub struct RealService {
+    /// The service's process group; `kill()` is the chaos lever.
+    pub group: Arc<dyn ProcGroup>,
+    /// Which server/settop node the service runs on.
+    pub node: NodeId,
+}
+
+/// A small ITV cluster on the real runtime. See the module docs for the
+/// fixed layout.
+pub struct RealCluster {
+    net: Arc<RealNet>,
+    /// Server nodes (each runs an NS replica and a telemetry exporter).
+    pub servers: Vec<Arc<RealNode>>,
+    /// Settop nodes (each runs at most one viewer group).
+    pub settops: Vec<Arc<RealNode>>,
+    /// The NS replica handles, index-aligned with `servers`.
+    pub replicas: Vec<Arc<NsReplica>>,
+    ns_peers: Vec<Addr>,
+    catalog: Catalog,
+    nbhd_of: Arc<BTreeMap<NodeId, u32>>,
+    services: Mutex<BTreeMap<String, RealService>>,
+}
+
+impl RealCluster {
+    /// Brings up `n_servers` server nodes (NS replica group + telemetry
+    /// exporters, elections settled) and `n_settops` settop nodes, and
+    /// seeds the name space (`svc`, replicated `svc/mds`, `svc/cmgr`).
+    /// Media services start separately — see [`RealCluster::start_cm`],
+    /// [`RealCluster::start_mds`], [`RealCluster::start_mms`].
+    pub fn launch(n_servers: usize, n_settops: usize) -> RealCluster {
+        assert!(n_servers >= 3, "fixed layout needs >= 3 servers");
+        let net = RealNet::new();
+        let servers: Vec<Arc<RealNode>> = (0..n_servers)
+            .map(|i| net.add_node(&format!("server{i}")).expect("bind loopback"))
+            .collect();
+        let settops: Vec<Arc<RealNode>> = (0..n_settops)
+            .map(|i| net.add_node(&format!("settop{i}")).expect("bind loopback"))
+            .collect();
+        let ns_peers: Vec<Addr> = servers
+            .iter()
+            .map(|n| Addr::new(n.node(), ports::NS))
+            .collect();
+        let mut replicas = Vec::new();
+        for (i, node) in servers.iter().enumerate() {
+            let rt: Rt = node.clone();
+            let mut cfg = NsConfig::paper_defaults(i as u32, ns_peers.clone());
+            // Wall-clock-friendly timings (the paper's 10 s scales are
+            // for humans; the campaign budget is seconds).
+            cfg.heartbeat_interval = Duration::from_millis(200);
+            cfg.election_timeout = Duration::from_millis(600);
+            cfg.audit_interval = Duration::from_secs(2);
+            cfg.resolve_cost = Duration::ZERO;
+            replicas.push(NsReplica::start(rt.clone(), cfg, Arc::new(AlwaysAlive)).expect("ns"));
+            ocs_orb::export_telemetry(rt, ports::TELEMETRY).expect("telemetry exporter");
+        }
+        // All settops in neighborhood 0 (one CM serves the campaign).
+        let nbhd_of = Arc::new(
+            settops
+                .iter()
+                .map(|n| (n.node(), 0u32))
+                .collect::<BTreeMap<_, _>>(),
+        );
+        let catalog = Catalog::new();
+        catalog.add_movie(MovieInfo {
+            title: MOVIE_TITLE.into(),
+            bitrate_bps: MOVIE_BITRATE_BPS,
+            duration_ms: MOVIE_DURATION_MS,
+            replicas: vec![servers[1].node()],
+        });
+        let cluster = RealCluster {
+            net,
+            servers,
+            settops,
+            replicas,
+            ns_peers,
+            catalog,
+            nbhd_of,
+            services: Mutex::new(BTreeMap::new()),
+        };
+        cluster.await_single_master();
+        // Seed the name space from the driver thread.
+        let ns = cluster.ns(0);
+        ns.bind_new_context("svc").expect("mk svc");
+        ns.bind_repl_context("svc/mds", SelectorSpec::First)
+            .expect("mk svc/mds");
+        ns.bind_new_context("svc/cmgr").expect("mk svc/cmgr");
+        cluster
+    }
+
+    /// The network registry (fault injection, `real.net.*` counters).
+    pub fn net(&self) -> &Arc<RealNet> {
+        &self.net
+    }
+
+    /// A name-service handle talking to the replica on server `i`.
+    pub fn ns(&self, i: usize) -> NsHandle {
+        let rt: Rt = self.servers[i].clone();
+        NsHandle::new(ClientCtx::new(rt), self.ns_peers[i])
+    }
+
+    /// Blocks until exactly one NS replica believes it is master.
+    pub fn await_single_master(&self) {
+        assert!(
+            self.eventually(SETTLE_TIMEOUT, || {
+                self.replicas.iter().filter(|r| r.is_master()).count() == 1
+            }),
+            "NS election did not settle to one master"
+        );
+    }
+
+    /// Index of the current NS master replica.
+    pub fn master_index(&self) -> Option<usize> {
+        self.replicas.iter().position(|r| r.is_master())
+    }
+
+    /// Polls `cond` every 25 ms until true or `timeout` elapses.
+    pub fn eventually(&self, timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        cond()
+    }
+
+    fn register(&self, name: &str, group: Arc<dyn ProcGroup>, node: NodeId) {
+        self.services
+            .lock()
+            .insert(name.to_string(), RealService { group, node });
+    }
+
+    /// The process group of a started service.
+    pub fn service(&self, name: &str) -> Arc<dyn ProcGroup> {
+        Arc::clone(
+            &self
+                .services
+                .lock()
+                .get(name)
+                .unwrap_or_else(|| panic!("service {name} not started"))
+                .group,
+        )
+    }
+
+    /// Kills a service's process group (the chaos lever). The group's
+    /// endpoints close immediately; its threads unwind cooperatively.
+    pub fn kill_service(&self, name: &str) {
+        self.service(name).kill();
+    }
+
+    /// Starts the neighborhood-0 connection manager on server 0 with the
+    /// given lease TTL, bound at `svc/cmgr/0`.
+    pub fn start_cm(&self, lease_ttl: Duration) {
+        let rt: Rt = self.servers[0].clone();
+        let my_ns = self.ns_peers[0];
+        let node = self.servers[0].node();
+        let group = rt.clone().spawn_group(
+            "cmgr-0",
+            Box::new(move || {
+                let cm = ConnectionManager::with_lease(
+                    CmBudgets::default(),
+                    Some(rt.clone()),
+                    Some(lease_ttl),
+                );
+                let Ok(obj) = cm.serve(rt.clone(), 2000) else {
+                    return;
+                };
+                let ns = NsHandle::new(ClientCtx::new(rt.clone()), my_ns);
+                acquire_primary(&ns, &rt, "svc/cmgr/0", obj, Duration::from_millis(500));
+                loop {
+                    rt.sleep(Duration::from_secs(3600));
+                }
+            }),
+        );
+        self.register("cmgr-0", group, node);
+    }
+
+    /// Starts the MDS on server 1, bound under the replicated `svc/mds`
+    /// context. Restart = kill the previous instance, then call this
+    /// again (the fixed MDS port must be free first).
+    pub fn start_mds(&self) {
+        let rt: Rt = self.servers[1].clone();
+        let my_ns = self.ns_peers[1];
+        let node = self.servers[1].node();
+        let catalog = self.catalog.clone();
+        let group = rt.clone().spawn_group(
+            "mds",
+            Box::new(move || {
+                let Ok((_mds, obj)) = Mds::serve(rt.clone(), ports::MDS, catalog, 64) else {
+                    return;
+                };
+                let ns = NsHandle::new(ClientCtx::new(rt.clone()), my_ns);
+                let path = format!("svc/mds/{}", rt.node().0);
+                let _ = ns.unbind(&path);
+                let _ = ns.bind(&path, obj);
+                loop {
+                    rt.sleep(Duration::from_secs(3600));
+                }
+            }),
+        );
+        self.register("mds", group, node);
+    }
+
+    /// Starts the MMS on server 2 (primary at `svc/mms`), reasserting
+    /// connection leases every `reassert_interval`.
+    pub fn start_mms(&self, reassert_interval: Duration) {
+        let rt: Rt = self.servers[2].clone();
+        let my_ns = self.ns_peers[2];
+        let node = self.servers[2].node();
+        let catalog = self.catalog.clone();
+        let nbhd_of = Arc::clone(&self.nbhd_of);
+        let group = rt.clone().spawn_group(
+            "mms",
+            Box::new(move || {
+                let ns = NsHandle::new(ClientCtx::new(rt.clone()), my_ns);
+                let mms = Mms::new(
+                    rt.clone(),
+                    ns,
+                    MmsConfig {
+                        port: ports::MMS,
+                        bind_path: "svc/mms".into(),
+                        mds_ctx: "svc/mds".into(),
+                        cmgr_prefix: "svc/cmgr".into(),
+                        bind_retry: Duration::from_millis(500),
+                        ras_poll: Duration::from_secs(1),
+                        reassert_interval,
+                        nbhd_of,
+                    },
+                    catalog,
+                );
+                let _ = mms.run(|_| {});
+            }),
+        );
+        self.register("mms", group, node);
+    }
+
+    /// Starts a viewer on settop `i`: resolves the MMS, opens the test
+    /// movie, starts playback and counts stream segments until killed.
+    /// Returns the stats the driver asserts on.
+    pub fn start_viewer(&self, i: usize) -> Arc<ViewerStats> {
+        let rt: Rt = self.settops[i].clone();
+        let my_ns = self.ns_peers[i % self.ns_peers.len()];
+        let node = self.settops[i].node();
+        let stats = Arc::new(ViewerStats::default());
+        let stats2 = Arc::clone(&stats);
+        let group = rt.clone().spawn_group(
+            &format!("viewer-{i}"),
+            Box::new(move || {
+                let Ok(stream) = rt.open(PortReq::Fixed(ports::SETTOP_STREAM)) else {
+                    return;
+                };
+                let ns = NsHandle::new(ClientCtx::new(rt.clone()), my_ns);
+                // The MMS may still be racing for primacy: retry resolve.
+                let deadline = Instant::now() + SETTLE_TIMEOUT;
+                let ticket = loop {
+                    if let Ok(mms_ref) = ns.resolve("svc/mms") {
+                        let ctx =
+                            ClientCtx::new(rt.clone()).with_timeout(Duration::from_secs(3));
+                        if let Ok(mms) = MmsApiClient::attach(ctx, mms_ref) {
+                            if let Ok(t) = mms.open(MOVIE_TITLE.into(), 0) {
+                                break t;
+                            }
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return;
+                    }
+                    rt.sleep(Duration::from_millis(250));
+                };
+                let movie =
+                    MovieCtlClient::attach(ClientCtx::new(rt.clone()), ticket.movie).unwrap();
+                *stats2.ticket.lock() = Some(ticket);
+                if movie.play(0).is_err() {
+                    return;
+                }
+                stats2.playing.store(true, Ordering::SeqCst);
+                loop {
+                    match stream.recv(Some(Duration::from_secs(1))) {
+                        Ok((_, msg)) => {
+                            if let Ok(seg) = Segment::from_bytes(&msg) {
+                                stats2.bytes.fetch_add(seg.data.len() as u64, Ordering::Relaxed);
+                                stats2.segments.fetch_add(1, Ordering::Relaxed);
+                                if seg.last {
+                                    return;
+                                }
+                            }
+                        }
+                        Err(ocs_sim::RecvError::TimedOut) => continue,
+                        Err(_) => return,
+                    }
+                }
+            }),
+        );
+        self.register(&format!("viewer-{i}"), group, node);
+        stats
+    }
+
+    /// RPC view of the neighborhood-0 connection manager's usage, from
+    /// the driver thread.
+    pub fn cm_usage(&self) -> Option<CmUsage> {
+        let rt: Rt = self.servers[0].clone();
+        let obj = self.ns(0).resolve("svc/cmgr/0").ok()?;
+        let ctx = ClientCtx::new(rt).with_timeout(Duration::from_secs(2));
+        let cm = CmApiClient::attach(ctx, obj).ok()?;
+        cm.usage().ok()
+    }
+
+    /// The MMS's current binding (primary reference) if bound.
+    pub fn mms_ref(&self) -> Option<ObjRef> {
+        self.ns(0).resolve("svc/mms").ok()
+    }
+
+    /// Scrapes every node's telemetry servant from the driver thread and
+    /// folds the network's `real.net.*` counters into the merged view.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::default();
+        let probe: Rt = self.servers[0].clone();
+        let targets = self
+            .servers
+            .iter()
+            .map(|n| n.node())
+            .collect::<Vec<NodeId>>();
+        for node in targets {
+            let ctx = ClientCtx::new(probe.clone()).with_timeout(Duration::from_millis(1500));
+            let tele = telemetry_ref(Addr::new(node, ports::TELEMETRY));
+            let Ok(client) = TelemetryClient::attach(ctx, tele) else {
+                snap.unreachable.push(node);
+                continue;
+            };
+            let (metrics, spans) = (client.metrics(), client.spans());
+            match metrics {
+                Ok(m) => {
+                    snap.merged.merge(&m);
+                    snap.nodes.insert(node, m);
+                }
+                Err(_) => {
+                    snap.unreachable.push(node);
+                    continue;
+                }
+            }
+            if let Ok(spans) = spans {
+                snap.spans.extend(spans);
+            }
+        }
+        snap.spans
+            .sort_by_key(|s| (s.trace.0, s.start.as_micros(), s.span.0));
+        // The transport's own counters live on the network registry, not
+        // on any node's telemetry servant: fold them in so campaigns see
+        // one merged view.
+        for (name, v) in self.net.counters() {
+            *snap.merged.counters.entry(name).or_insert(0) += v;
+        }
+        snap
+    }
+}

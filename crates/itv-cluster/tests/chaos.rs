@@ -277,6 +277,22 @@ fn same_seed_chaos_run_has_identical_trace_hash() {
     assert_ne!(h1, h3, "different fault plans must diverge");
 }
 
+/// The E15 campaign trace hash for `(sim seed 305, plan seed 7)`,
+/// captured on the committed baseline. The real-runtime fault machinery
+/// (cooperative kill, TCP impairment shim) must be bit-invisible to the
+/// simulator: any drift in this hash means the sim path picked up a
+/// behavioural change it must not have.
+const E15_BASELINE_TRACE_HASH: u64 = 1711045672984434439;
+
+#[test]
+fn e15_trace_hash_matches_committed_baseline() {
+    assert_eq!(
+        chaos_trace(305, 7),
+        E15_BASELINE_TRACE_HASH,
+        "sim-side E15 trace hash drifted from the committed baseline"
+    );
+}
+
 #[test]
 fn fast_path_preserves_chaos_trace_hash() {
     // Handoff elision and the indexed network state are pure wall-clock

@@ -248,10 +248,16 @@ impl ClientCtx {
         let mut e = self.pool.encoder(req.body.len() + 64);
         e.put_u8(FRAME_REQUEST);
         req.encode_into(&mut e);
-        ep.send(target.addr, e.finish())
-            .map_err(|err| OrbError::Transport {
+        ep.send(target.addr, e.finish()).map_err(|err| match err {
+            // A refused connection is the TCP spelling of a bounce: the
+            // peer host answered and nothing is listening, so the
+            // reference is dead and the caller should re-resolve rather
+            // than retry the same address.
+            ocs_sim::NetError::PeerRefused(_) => OrbError::ObjectDead,
+            err => OrbError::Transport {
                 what: err.to_string(),
-            })?;
+            },
+        })?;
         Ok(request_id)
     }
 

@@ -228,6 +228,12 @@ impl Orb {
     pub fn serve_loop(self: &Arc<Self>) {
         self.ep.adopt();
         loop {
+            // Dispatch entry is a cancellation point: a killed process
+            // group stops taking requests even if its endpoint raced
+            // ahead of the close.
+            if self.rt.cancelled() {
+                return;
+            }
             match self.ep.recv(None) {
                 Ok((from, msg)) => self.handle_frame(from, msg),
                 Err(RecvError::Unreachable(_)) => continue,
@@ -320,6 +326,12 @@ impl Orb {
 
     fn dispatch_request(&self, from: Addr, req: Request) -> Result<Bytes, OrbError> {
         self.requests.inc();
+        // A killed group answers like a dead object: clients re-resolve
+        // instead of waiting out a timeout on a servant that will never
+        // make progress.
+        if self.rt.cancelled() {
+            return Err(OrbError::ObjectDead);
+        }
         // Shed work whose caller has already given up: the deadline the
         // client stamped into the frame has passed, so computing a reply
         // would only burn server capacity during exactly the overload /

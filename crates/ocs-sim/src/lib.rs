@@ -24,10 +24,12 @@ mod rt;
 mod sim;
 mod time;
 
+pub mod backoff;
 pub mod fault;
 pub mod real;
 pub mod sync;
 
+pub use backoff::RetryPolicy;
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanSpec, Nemesis};
 pub use kernel::{KernelStats, LinkImpairment, LinkParams, NetConfig, NetStats};
 pub use rt::{

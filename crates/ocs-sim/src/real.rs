@@ -8,20 +8,52 @@
 //! blocking receives with timeouts, and `Unreachable` bounces when a frame
 //! arrives for a closed port.
 //!
+//! ## Fault parity with the simulator
+//!
+//! The same failure machinery the simulator exposes works here, in wall
+//! time:
+//!
+//! * **Cooperative kill.** [`crate::rt::ProcGroup::kill`] is real: every
+//!   thread of the group unwinds at its next cancellation point — a
+//!   [`NodeRt::sleep`], a blocking [`Endpoint::recv`], a
+//!   [`crate::sync::SyncObj`] wait, or an explicit
+//!   [`NodeRt::cancelled`] poll — and the group's endpoints close
+//!   immediately, so in-flight frames from peers bounce
+//!   ([`RecvError::Unreachable`]) rather than time out. The unwind rides
+//!   a private panic payload through `resume_unwind` (no panic hook, no
+//!   spew), exactly like the simulator's kill path.
+//! * **Link faults.** [`RealNet::set_partitioned`],
+//!   [`RealNet::set_impairment`] and [`RealNet::set_reset_storm`]
+//!   install per-node-pair faults applied under every send: partitions
+//!   drop silently (an RPC sees a timeout, as across a real cut),
+//!   impairments drop/duplicate/delay frames on a monotonic-clock delay
+//!   line, and reset storms tear down cached connections mid-stream.
+//!   The table is guarded by one relaxed atomic, so the fault-free send
+//!   path pays a single load.
+//! * **[`RealNemesis`]** replays a [`FaultPlan`] against the real
+//!   network over the wall clock, mapping link actions onto the fault
+//!   table and handing node lifecycle actions to the campaign driver.
+//!
 //! Service code written against [`NodeRt`] runs unchanged on either
 //! runtime; see `examples/tcp_cluster.rs` for a full cluster on TCP.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use rand::{Rng, RngExt};
 
+use crate::backoff::RetryPolicy;
+use crate::fault::{FaultAction, FaultEvent, FaultPlan};
+use crate::kernel::LinkImpairment;
 use crate::rt::{Addr, Endpoint, NetError, NodeId, NodeRt, PortReq, RecvError};
 use crate::time::SimTime;
 
@@ -29,20 +61,336 @@ use crate::time::SimTime;
 const FRAME_MSG: u8 = 0;
 const FRAME_UNREACH: u8 = 1;
 
+/// How often blocked group members wake to poll their kill flag. Bounds
+/// the cooperative-kill latency of a thread parked in a receive or sync
+/// wait that nothing else will interrupt.
+const KILL_POLL: Duration = Duration::from_millis(25);
+
+/// Reconnect attempts per send before giving up on the peer.
+const RECONNECT_ATTEMPTS: u32 = 4;
+
+/// Backoff between reconnect attempts at an unresponsive peer: jittered
+/// exponential, tuned tight for loopback round-trips.
+const RECONNECT_POLICY: RetryPolicy = RetryPolicy {
+    base: Duration::from_millis(5),
+    cap: Duration::from_millis(50),
+};
+
 enum Delivered {
     Msg(Addr, Bytes),
     Unreach(Addr),
 }
 
+fn deliver(item: Delivered) -> Result<(Addr, Bytes), RecvError> {
+    match item {
+        Delivered::Msg(from, msg) => Ok((from, msg)),
+        Delivered::Unreach(addr) => Err(RecvError::Unreachable(addr)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative kill: process groups as cancellation scopes.
+
+/// Panic payload carried by `resume_unwind` to tear down a thread whose
+/// group was killed. `resume_unwind` does not run the panic hook, so a
+/// kill produces no panic output; the spawn wrappers catch and swallow
+/// it.
+struct KillSignal;
+
+thread_local! {
+    /// The process group of the current thread, inherited across
+    /// [`NodeRt::spawn`] like a fork.
+    static CURRENT_GROUP: RefCell<Option<Arc<GroupCore>>> = const { RefCell::new(None) };
+}
+
+fn current_group() -> Option<Arc<GroupCore>> {
+    CURRENT_GROUP.with(|g| g.borrow().clone())
+}
+
+fn group_killed() -> bool {
+    CURRENT_GROUP.with(|g| g.borrow().as_ref().is_some_and(|g| g.killed()))
+}
+
+/// Unwinds the calling thread if its group has been killed: the explicit
+/// cancellation point, also reachable through [`NodeRt::cancelled`].
+fn check_killed() {
+    if group_killed() {
+        panic::resume_unwind(Box::new(KillSignal));
+    }
+}
+
+/// Everything an endpoint needs closed when its owning group dies. A
+/// detached handle (rather than the endpoint itself) so the group
+/// registry imposes no lifetime on endpoints.
+#[derive(Clone)]
+struct EpHandle {
+    port: u16,
+    closed: Arc<AtomicBool>,
+    ports: PortMap,
+    conns: ConnCache,
+}
+
+impl EpHandle {
+    /// Closes the endpoint from the kill path: later receives return
+    /// `Closed`, frames arriving for the port bounce `Unreachable`, and
+    /// the cached outgoing connections are reset so peers notice now.
+    fn force_close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.ports.lock().remove(&self.port);
+        let slots: Vec<_> = self.conns.lock().values().cloned().collect();
+        for slot in slots {
+            if let Some(s) = slot.lock().take() {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// Shared state of one real process group: the cancellation token, the
+/// live-thread count, and the endpoints to close on kill.
+struct GroupCore {
+    id: u64,
+    killed: AtomicBool,
+    /// Threads currently running in the group (incremented by the
+    /// spawner before the thread exists, so `alive` never reads a false
+    /// zero between spawn and first schedule).
+    live: AtomicUsize,
+    /// When `kill` was called, for the kill-latency metric.
+    killed_at: Mutex<Option<Instant>>,
+    /// Endpoints owned by this group; closed on kill.
+    eps: Mutex<Vec<EpHandle>>,
+    /// Wakes group members out of cancellable sleeps.
+    lock: Mutex<()>,
+    cv: Condvar,
+    net: Weak<RealNet>,
+}
+
+impl GroupCore {
+    fn killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
+    }
+
+    fn kill(&self) {
+        if self.killed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        *self.killed_at.lock() = Some(Instant::now());
+        // Close every endpoint the group owns, so peers observe bounces
+        // and resets immediately — before the member threads have even
+        // reached their next cancellation point.
+        let eps = std::mem::take(&mut *self.eps.lock());
+        for ep in eps {
+            ep.force_close();
+        }
+        // Wake sleepers so they observe the flag and unwind.
+        let _guard = self.lock.lock();
+        self.cv.notify_all();
+    }
+
+    /// Cancellable sleep on the group's condvar (kill notifies it).
+    fn sleep(&self, d: Duration) {
+        let deadline = Instant::now() + d;
+        let mut guard = self.lock.lock();
+        loop {
+            if self.killed() {
+                drop(guard);
+                panic::resume_unwind(Box::new(KillSignal));
+            }
+            if self.cv.wait_until(&mut guard, deadline).timed_out() {
+                break;
+            }
+        }
+        drop(guard);
+        if self.killed() {
+            panic::resume_unwind(Box::new(KillSignal));
+        }
+    }
+
+    /// Called as each member thread exits; the last one out of a killed
+    /// group stamps the kill-latency metric.
+    fn thread_exit(&self) {
+        if self.live.fetch_sub(1, Ordering::SeqCst) == 1 && self.killed() {
+            if let (Some(at), Some(net)) = (*self.killed_at.lock(), self.net.upgrade()) {
+                net.counter_add("real.net.kills", 1);
+                // Sum of per-kill latencies; campaigns assert it nonzero
+                // and divide by `real.net.kills` for the average.
+                net.counter_add(
+                    "real.net.kill_latency_us",
+                    (at.elapsed().as_micros() as u64).max(1),
+                );
+            }
+        }
+    }
+}
+
+/// Sleeps `d`, unwinding early if the calling thread's group is killed
+/// meanwhile. Threads outside any group sleep plainly.
+fn cancellable_sleep(d: Duration) {
+    match current_group() {
+        None => std::thread::sleep(d),
+        Some(g) => g.sleep(d),
+    }
+}
+
+/// Runs one group member thread: installs the group as the thread's
+/// cancellation scope, swallows the kill unwind, and retires the thread
+/// from the group's live count.
+fn run_in_group(group: Option<Arc<GroupCore>>, f: Box<dyn FnOnce() + Send>) {
+    CURRENT_GROUP.with(|g| *g.borrow_mut() = group.clone());
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    if let Some(g) = &group {
+        g.thread_exit();
+    }
+    if let Err(payload) = result {
+        // A cooperative kill is a quiet exit; anything else already ran
+        // the panic hook (which printed) and ends the thread here.
+        if !payload.is::<KillSignal>() && group.is_none() {
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Link faults: partitions, impairments, reset storms.
+
+/// Symmetric-pair key: faults apply to the unordered node pair.
+fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[derive(Default)]
+struct FaultTable {
+    /// Partitioned pairs: all frames between them vanish.
+    cut: HashSet<(NodeId, NodeId)>,
+    /// Impaired pairs: loss/dup/reorder/latency per frame.
+    impair: HashMap<(NodeId, NodeId), LinkImpairment>,
+    /// Pairs under a connection-reset storm: every send first tears
+    /// down the cached connection, forcing a visible reset + reconnect.
+    storms: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultTable {
+    fn any(&self) -> bool {
+        !self.cut.is_empty() || !self.impair.is_empty() || !self.storms.is_empty()
+    }
+}
+
+/// What the fault table says to do with one frame.
+#[derive(Default)]
+struct LinkVerdict {
+    drop: bool,
+    dup: bool,
+    delay: Option<Duration>,
+    reset: bool,
+}
+
+/// A frame parked on the delay line until its due time.
+struct DelayedFrame {
+    due: Instant,
+    seq: u64,
+    to: SocketAddr,
+    bytes: Vec<u8>,
+}
+
+impl PartialEq for DelayedFrame {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for DelayedFrame {}
+impl PartialOrd for DelayedFrame {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DelayedFrame {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest due.
+        other.due.cmp(&self.due).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Monotonic-clock frame scheduler for impaired links: delayed frames
+/// are heaped by due time and written late over fresh connections by a
+/// single background thread.
+struct DelayLine {
+    heap: Mutex<BinaryHeap<DelayedFrame>>,
+    cv: Condvar,
+    seq: AtomicU64,
+}
+
+impl DelayLine {
+    fn start() -> Arc<DelayLine> {
+        let line = Arc::new(DelayLine {
+            heap: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&line);
+        let _ = std::thread::Builder::new()
+            .name("delay-line".into())
+            .spawn(move || worker.run());
+        line
+    }
+
+    fn push(&self, due: Instant, to: SocketAddr, bytes: Vec<u8>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.heap.lock().push(DelayedFrame {
+            due,
+            seq,
+            to,
+            bytes,
+        });
+        self.cv.notify_one();
+    }
+
+    fn run(&self) {
+        let mut heap = self.heap.lock();
+        loop {
+            match heap.peek() {
+                None => self.cv.wait(&mut heap),
+                Some(top) if top.due <= Instant::now() => {
+                    let f = heap.pop().expect("peeked");
+                    drop(heap);
+                    // Best effort, like any frame: the peer may be gone.
+                    if let Ok(mut s) = TcpStream::connect(f.to) {
+                        let _ = s.write_all(&f.bytes);
+                    }
+                    heap = self.heap.lock();
+                }
+                Some(top) => {
+                    let due = top.due;
+                    let _ = self.cv.wait_until(&mut heap, due);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The network registry.
+
 /// Registry mapping node ids to TCP socket addresses, shared by all nodes
 /// of one logical cluster (typically within one OS process, but the
-/// registry can be pre-populated for multi-process setups).
+/// registry can be pre-populated for multi-process setups). Also owns
+/// the cluster-wide link-fault table and the `real.net.*` counters.
 pub struct RealNet {
     epoch: Instant,
     directory: Mutex<HashMap<NodeId, SocketAddr>>,
+    nodes: Mutex<HashMap<NodeId, Weak<RealNode>>>,
     next_node: Mutex<u32>,
+    next_group: AtomicU64,
     counters: Mutex<std::collections::BTreeMap<String, u64>>,
     trace: bool,
+    faults: Mutex<FaultTable>,
+    /// True only while any fault is installed: the fault-free send path
+    /// pays exactly this one relaxed load.
+    any_faults: AtomicBool,
+    delay: Mutex<Option<Arc<DelayLine>>>,
 }
 
 impl RealNet {
@@ -51,9 +399,14 @@ impl RealNet {
         Arc::new(RealNet {
             epoch: Instant::now(),
             directory: Mutex::new(HashMap::new()),
+            nodes: Mutex::new(HashMap::new()),
             next_node: Mutex::new(1),
+            next_group: AtomicU64::new(1),
             counters: Mutex::new(Default::default()),
             trace: std::env::var_os("OCS_TRACE").is_some(),
+            faults: Mutex::new(FaultTable::default()),
+            any_faults: AtomicBool::new(false),
+            delay: Mutex::new(None),
         })
     }
 
@@ -76,8 +429,10 @@ impl RealNet {
             ports: Arc::new(Mutex::new(HashMap::new())),
             next_ephemeral: Mutex::new(crate::kernel::EPHEMERAL_BASE),
             stop: Arc::new(AtomicBool::new(false)),
+            groups: Mutex::new(Vec::new()),
             ext: Arc::new(crate::rt::Extensions::new()),
         });
+        self.nodes.lock().insert(id, Arc::downgrade(&node));
         let ports = Arc::clone(&node.ports);
         let stop = Arc::clone(&node.stop);
         let net = Arc::clone(self);
@@ -94,13 +449,120 @@ impl RealNet {
         self.directory.lock().get(&id).copied()
     }
 
+    /// The live [`RealNode`] handle for `id`, if the node still exists.
+    pub fn node_handle(&self, id: NodeId) -> Option<Arc<RealNode>> {
+        self.nodes.lock().get(&id).and_then(Weak::upgrade)
+    }
+
     /// Snapshot of all counters recorded through node runtimes.
     pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
         self.counters.lock().clone()
     }
+
+    /// Adds `delta` to the named cluster-wide counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut c = self.counters.lock();
+        match c.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                c.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn refresh_any_faults(&self, t: &FaultTable) {
+        self.any_faults.store(t.any(), Ordering::SeqCst);
+    }
+
+    /// Installs or heals a symmetric partition between `a` and `b`.
+    /// Takes effect on the next frame either way — partitions heal
+    /// mid-campaign without touching connections.
+    pub fn set_partitioned(&self, a: NodeId, b: NodeId, on: bool) {
+        let mut t = self.faults.lock();
+        if on {
+            t.cut.insert(pair_key(a, b));
+        } else {
+            t.cut.remove(&pair_key(a, b));
+        }
+        self.refresh_any_faults(&t);
+    }
+
+    /// Installs a loss/dup/reorder/latency impairment on `a — b`.
+    pub fn set_impairment(&self, a: NodeId, b: NodeId, imp: LinkImpairment) {
+        let mut t = self.faults.lock();
+        t.impair.insert(pair_key(a, b), imp);
+        self.refresh_any_faults(&t);
+    }
+
+    /// Removes any impairment on `a — b`.
+    pub fn clear_impairment(&self, a: NodeId, b: NodeId) {
+        let mut t = self.faults.lock();
+        t.impair.remove(&pair_key(a, b));
+        self.refresh_any_faults(&t);
+    }
+
+    /// Starts or stops a connection-reset storm on `a — b`: while on,
+    /// every send between the pair first resets the cached connection.
+    pub fn set_reset_storm(&self, a: NodeId, b: NodeId, on: bool) {
+        let mut t = self.faults.lock();
+        if on {
+            t.storms.insert(pair_key(a, b));
+        } else {
+            t.storms.remove(&pair_key(a, b));
+        }
+        self.refresh_any_faults(&t);
+    }
+
+    /// Clears every installed fault (the end-of-campaign guarantee).
+    pub fn heal_all(&self) {
+        let mut t = self.faults.lock();
+        *t = FaultTable::default();
+        self.refresh_any_faults(&t);
+    }
+
+    /// Rolls the dice for one frame on `a — b`. Only called while some
+    /// fault is installed.
+    fn link_verdict(&self, a: NodeId, b: NodeId) -> LinkVerdict {
+        let t = self.faults.lock();
+        let key = pair_key(a, b);
+        let mut v = LinkVerdict::default();
+        if t.cut.contains(&key) {
+            v.drop = true;
+            return v;
+        }
+        v.reset = t.storms.contains(&key);
+        if let Some(imp) = t.impair.get(&key) {
+            let mut rng = rand::rng();
+            if rng.random::<f64>() < imp.loss {
+                v.drop = true;
+                return v;
+            }
+            v.dup = rng.random::<f64>() < imp.dup;
+            let mut extra = imp.extra_latency;
+            if rng.random::<f64>() < imp.reorder {
+                // Enough spread to overtake frames sent just after.
+                extra += Duration::from_micros(rng.random_range(0..3_000));
+            }
+            if extra > Duration::ZERO {
+                v.delay = Some(extra);
+            }
+        }
+        v
+    }
+
+    /// Parks a raw frame on the delay line until `due`.
+    fn delay_frame(&self, due: Instant, to: SocketAddr, bytes: Vec<u8>) {
+        let line = {
+            let mut slot = self.delay.lock();
+            Arc::clone(slot.get_or_insert_with(DelayLine::start))
+        };
+        line.push(due, to, bytes);
+        self.counter_add("real.net.delayed", 1);
+    }
 }
 
 type PortMap = Arc<Mutex<HashMap<u16, Sender<Delivered>>>>;
+type ConnCache = Arc<Mutex<HashMap<NodeId, Arc<Mutex<Option<TcpStream>>>>>>;
 
 fn router_main(
     listener: TcpListener,
@@ -171,8 +633,8 @@ fn reader_main(
     }
 }
 
-/// Writes one frame to `to` via a fresh or cached connection. Used by the
-/// bounce path (which has no endpoint); endpoint sends use the node cache.
+/// Writes one frame to `to` via a fresh connection. Used by the bounce
+/// path (which has no endpoint); endpoint sends use the node cache.
 fn send_frame(
     net: &Arc<RealNet>,
     src_node: NodeId,
@@ -181,12 +643,18 @@ fn send_frame(
     kind: u8,
     payload: &[u8],
 ) {
+    // Even bounces honour partitions and loss: a cut link delivers
+    // nothing in either direction.
+    if net.any_faults.load(Ordering::Relaxed) && net.link_verdict(src_node, to.node).drop {
+        return;
+    }
     let Some(sockaddr) = net.lookup(to.node) else {
         return;
     };
     let Ok(mut stream) = TcpStream::connect(sockaddr) else {
         return;
     };
+    net.counter_add("real.net.conn_open", 1);
     let _ = write_frame(&mut stream, kind, src_node, src_port, to.port, payload);
 }
 
@@ -209,6 +677,19 @@ fn write_frame(
     stream.flush()
 }
 
+/// A complete wire frame as one buffer, for the delay line.
+fn frame_bytes(kind: u8, src_node: NodeId, src_port: u16, dst_port: u16, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(15 + payload.len());
+    buf.push(kind);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&src_node.0.to_le_bytes());
+    buf.extend_from_slice(&src_port.to_le_bytes());
+    buf.extend_from_slice(&dst_port.to_le_bytes());
+    buf.extend_from_slice(&[0, 0]);
+    buf.extend_from_slice(payload);
+    buf
+}
+
 /// A host on the real runtime. Implements [`NodeRt`].
 pub struct RealNode {
     net: Arc<RealNet>,
@@ -217,6 +698,8 @@ pub struct RealNode {
     ports: PortMap,
     next_ephemeral: Mutex<u16>,
     stop: Arc<AtomicBool>,
+    /// Every group ever rooted on this node, for node-level crash.
+    groups: Mutex<Vec<Weak<GroupCore>>>,
     ext: Arc<crate::rt::Extensions>,
 }
 
@@ -234,6 +717,58 @@ impl RealNode {
     pub fn name(&self) -> &str {
         &self.name
     }
+
+    /// The network this node belongs to.
+    pub fn net(&self) -> &Arc<RealNet> {
+        &self.net
+    }
+
+    /// Kills every process group rooted on this node — the real-runtime
+    /// counterpart of the simulator's `CrashNode`. The router stays up,
+    /// so frames to the dead services bounce (host alive, process dead).
+    pub fn kill_all_groups(&self) {
+        let groups: Vec<_> = self.groups.lock().clone();
+        for g in groups {
+            if let Some(g) = g.upgrade() {
+                g.kill();
+            }
+        }
+    }
+
+    fn new_group(&self) -> Arc<GroupCore> {
+        let core = Arc::new(GroupCore {
+            id: self.net.next_group.fetch_add(1, Ordering::Relaxed),
+            killed: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            killed_at: Mutex::new(None),
+            eps: Mutex::new(Vec::new()),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            net: Arc::downgrade(&self.net),
+        });
+        self.groups.lock().push(Arc::downgrade(&core));
+        core
+    }
+
+    fn spawn_thread(&self, name: &str, group: Option<Arc<GroupCore>>, f: Box<dyn FnOnce() + Send>) {
+        if let Some(g) = &group {
+            if g.killed() {
+                return; // A dead group spawns nothing.
+            }
+            g.live.fetch_add(1, Ordering::SeqCst);
+        }
+        let spawned = std::thread::Builder::new()
+            .name(format!("{}-{}", self.name, name))
+            .spawn({
+                let group = group.clone();
+                move || run_in_group(group, f)
+            });
+        if spawned.is_err() {
+            if let Some(g) = &group {
+                g.live.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
 }
 
 impl NodeRt for RealNode {
@@ -242,13 +777,12 @@ impl NodeRt for RealNode {
     }
 
     fn sleep(&self, d: Duration) {
-        std::thread::sleep(d);
+        cancellable_sleep(d);
     }
 
     fn spawn(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
-        let _ = std::thread::Builder::new()
-            .name(format!("{}-{}", self.name, name))
-            .spawn(f);
+        // Like fork: the child joins the spawner's group (if any).
+        self.spawn_thread(name, current_group(), f);
     }
 
     fn spawn_group(
@@ -256,17 +790,9 @@ impl NodeRt for RealNode {
         name: &str,
         f: Box<dyn FnOnce() + Send>,
     ) -> Arc<dyn crate::rt::ProcGroup> {
-        // Threads cannot be force-killed: group membership on the real
-        // runtime tracks only the root thread, and `kill` is advisory.
-        let alive = Arc::new(AtomicBool::new(true));
-        let alive2 = Arc::clone(&alive);
-        let _ = std::thread::Builder::new()
-            .name(format!("{}-{}", self.name, name))
-            .spawn(move || {
-                f();
-                alive2.store(false, Ordering::Relaxed);
-            });
-        Arc::new(RealProcGroup { alive })
+        let core = self.new_group();
+        self.spawn_thread(name, Some(Arc::clone(&core)), f);
+        Arc::new(RealProcGroup { core })
     }
 
     fn open(&self, port: PortReq) -> Result<Arc<dyn Endpoint>, NetError> {
@@ -290,7 +816,8 @@ impl NodeRt for RealNode {
         };
         let (tx, rx) = unbounded();
         ports.insert(portno, tx);
-        Ok(Arc::new(RealEndpoint {
+        drop(ports);
+        let ep = Arc::new(RealEndpoint {
             node: NodeId(self.id.0),
             port: portno,
             rx,
@@ -298,10 +825,15 @@ impl NodeRt for RealNode {
             owner: FrameSender {
                 net: Arc::clone(&self.net),
                 id: self.id,
-                conns: Mutex::new(HashMap::new()),
+                conns: Arc::new(Mutex::new(HashMap::new())),
             },
-            closed: AtomicBool::new(false),
-        }))
+            closed: Arc::new(AtomicBool::new(false)),
+            owner_group: Mutex::new(None),
+        });
+        // The opener's group owns the endpoint until adopt/disown says
+        // otherwise: killing the group closes it.
+        ep.register_current_group();
+        Ok(ep)
     }
 
     fn node(&self) -> NodeId {
@@ -309,8 +841,11 @@ impl NodeRt for RealNode {
     }
 
     fn rand_u64(&self) -> u64 {
-        use rand::Rng;
         rand::rng().next_u64()
+    }
+
+    fn cancelled(&self) -> bool {
+        group_killed()
     }
 
     fn trace(&self, msg: &str) {
@@ -331,28 +866,29 @@ impl NodeRt for RealNode {
     }
 }
 
-/// Advisory process-group handle for the real runtime.
+/// Process-group handle for the real runtime: a cooperative cancellation
+/// scope over the group's threads and endpoints.
 struct RealProcGroup {
-    alive: Arc<AtomicBool>,
+    core: Arc<GroupCore>,
 }
 
 impl crate::rt::ProcGroup for RealProcGroup {
     fn alive(&self) -> bool {
-        self.alive.load(Ordering::Relaxed)
+        !self.core.killed() && self.core.live.load(Ordering::SeqCst) > 0
     }
 
     fn kill(&self) {
-        // Advisory: threads cannot be force-killed. Services stopped on
-        // the real runtime should observe closed endpoints and exit.
-        self.alive.store(false, Ordering::Relaxed);
+        self.core.kill();
     }
 
     fn id(&self) -> u64 {
-        0
+        self.core.id
     }
 }
 
-/// Condvar-backed wait/notify object for the real runtime.
+/// Condvar-backed wait/notify object for the real runtime. Group members
+/// poll their kill flag while waiting, so a kill cancels the wait within
+/// [`KILL_POLL`].
 struct RealSyncObj {
     gen: Mutex<u64>,
     cv: parking_lot::Condvar,
@@ -364,21 +900,28 @@ impl crate::sync::SyncObj for RealSyncObj {
     }
 
     fn wait_newer(&self, seen: u64, timeout: Option<Duration>) -> u64 {
+        let group = current_group();
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut g = self.gen.lock();
-        match timeout {
-            Some(t) => {
-                let deadline = Instant::now() + t;
-                while *g <= seen {
-                    if self.cv.wait_until(&mut g, deadline).timed_out() {
-                        break;
-                    }
+        while *g <= seen {
+            if let Some(grp) = &group {
+                if grp.killed() {
+                    drop(g);
+                    panic::resume_unwind(Box::new(KillSignal));
                 }
             }
-            None => {
-                while *g <= seen {
+            let now = Instant::now();
+            let until = match (&group, deadline) {
+                (_, Some(d)) if now >= d => break,
+                (Some(_), Some(d)) => d.min(now + KILL_POLL),
+                (Some(_), None) => now + KILL_POLL,
+                (None, Some(d)) => d,
+                (None, None) => {
                     self.cv.wait(&mut g);
+                    continue;
                 }
-            }
+            };
+            let _ = self.cv.wait_until(&mut g, until);
         }
         *g
     }
@@ -399,33 +942,107 @@ impl crate::sync::SyncObj for RealSyncObj {
 struct FrameSender {
     net: Arc<RealNet>,
     id: NodeId,
-    conns: Mutex<HashMap<NodeId, Arc<Mutex<Option<TcpStream>>>>>,
+    conns: ConnCache,
 }
 
 impl FrameSender {
     fn send_bytes(&self, from_port: u16, to: Addr, kind: u8, msg: &[u8]) -> Result<(), NetError> {
+        let mut dup = false;
+        // Fault shim: when the table is empty this is one relaxed load.
+        if self.net.any_faults.load(Ordering::Relaxed) {
+            let v = self.net.link_verdict(self.id, to.node);
+            if v.drop {
+                // Datagram semantics: partition and loss are silent; the
+                // failure surfaces at the caller as a timeout.
+                self.net.counter_add("real.net.dropped", 1);
+                return Ok(());
+            }
+            if v.reset {
+                // Reset storm: tear down the cached connection so both
+                // ends see a mid-stream reset and must reconnect.
+                let slot = self.conns.lock().get(&to.node).cloned();
+                if let Some(slot) = slot {
+                    if let Some(s) = slot.lock().take() {
+                        let _ = s.shutdown(Shutdown::Both);
+                        self.net.counter_add("real.net.resets", 1);
+                    }
+                }
+            }
+            if let Some(d) = v.delay {
+                let Some(sockaddr) = self.net.lookup(to.node) else {
+                    return Ok(());
+                };
+                let bytes = frame_bytes(kind, self.id, from_port, to.port, msg);
+                if v.dup {
+                    self.net.delay_frame(Instant::now() + d, sockaddr, bytes.clone());
+                }
+                self.net.delay_frame(Instant::now() + d, sockaddr, bytes);
+                return Ok(());
+            }
+            dup = v.dup;
+        }
         let slot = Arc::clone(self.conns.lock().entry(to.node).or_default());
         let mut conn = slot.lock();
-        for _attempt in 0..2 {
+        let mut last_err = String::from("no attempt made");
+        let mut ever_connected = false;
+        for attempt in 0..RECONNECT_ATTEMPTS {
+            if attempt > 0 {
+                // Back off with jitter instead of hammering a dead peer;
+                // cancellable, so a killed group's senders don't linger.
+                cancellable_sleep(
+                    RECONNECT_POLICY.backoff(attempt - 1, rand::rng().next_u64()),
+                );
+            }
+            check_killed();
             if conn.is_none() {
                 let sockaddr = self
                     .net
                     .lookup(to.node)
                     .ok_or_else(|| NetError::SendFailed(format!("unknown node {}", to.node)))?;
-                let stream = TcpStream::connect(sockaddr)
-                    .map_err(|e| NetError::SendFailed(e.to_string()))?;
-                stream.set_nodelay(true).ok();
-                *conn = Some(stream);
+                match TcpStream::connect(sockaddr) {
+                    Ok(stream) => {
+                        stream.set_nodelay(true).ok();
+                        self.net.counter_add("real.net.conn_open", 1);
+                        ever_connected = true;
+                        *conn = Some(stream);
+                    }
+                    Err(e) => {
+                        last_err = e.to_string();
+                        continue;
+                    }
+                }
+            } else {
+                ever_connected = true;
             }
             let stream = conn.as_mut().expect("just connected");
-            match write_frame(stream, kind, self.id, from_port, to.port, msg) {
+            let wrote = write_frame(stream, kind, self.id, from_port, to.port, msg).and_then(|_| {
+                if dup {
+                    write_frame(stream, kind, self.id, from_port, to.port, msg)
+                } else {
+                    Ok(())
+                }
+            });
+            match wrote {
                 Ok(()) => return Ok(()),
-                Err(_) => {
+                Err(e) => {
+                    // A failed write on an established connection is the
+                    // RST-shaped failure: drop the cache and reconnect.
+                    last_err = e.to_string();
                     *conn = None;
+                    self.net.counter_add("real.net.resets", 1);
                 }
             }
         }
-        Err(NetError::SendFailed("connection failed twice".into()))
+        if ever_connected {
+            // The peer accepted at some point and the connection broke:
+            // a reset-shaped transient, worth retrying at a higher layer.
+            Err(NetError::SendFailed(format!(
+                "connection failed after {RECONNECT_ATTEMPTS} attempts: {last_err}"
+            )))
+        } else {
+            // Every attempt was refused outright: nothing listens there.
+            Err(NetError::PeerRefused(to.node))
+        }
     }
 }
 
@@ -436,7 +1053,41 @@ pub struct RealEndpoint {
     rx: Receiver<Delivered>,
     ports: PortMap,
     owner: FrameSender,
-    closed: AtomicBool,
+    closed: Arc<AtomicBool>,
+    /// The group whose kill closes this endpoint; adopt/disown move it.
+    owner_group: Mutex<Option<Weak<GroupCore>>>,
+}
+
+impl RealEndpoint {
+    fn handle(&self) -> EpHandle {
+        EpHandle {
+            port: self.port,
+            closed: Arc::clone(&self.closed),
+            ports: Arc::clone(&self.ports),
+            conns: Arc::clone(&self.owner.conns),
+        }
+    }
+
+    /// Registers the endpoint with the calling thread's group (after
+    /// deregistering from any previous owner).
+    fn register_current_group(&self) {
+        self.unregister();
+        if let Some(g) = current_group() {
+            g.eps.lock().push(self.handle());
+            *self.owner_group.lock() = Some(Arc::downgrade(&g));
+            if g.killed() {
+                // Lost the race with a concurrent kill: close now, the
+                // drain may already have passed us by.
+                self.close();
+            }
+        }
+    }
+
+    fn unregister(&self) {
+        if let Some(g) = self.owner_group.lock().take().and_then(|w| w.upgrade()) {
+            g.eps.lock().retain(|h| h.port != self.port);
+        }
+    }
 }
 
 impl Endpoint for RealEndpoint {
@@ -445,19 +1096,53 @@ impl Endpoint for RealEndpoint {
     }
 
     fn recv(&self, timeout: Option<Duration>) -> Result<(Addr, Bytes), RecvError> {
-        if self.closed.load(Ordering::Relaxed) {
-            return Err(RecvError::Closed);
-        }
-        let item = match timeout {
-            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
-                RecvTimeoutError::Timeout => RecvError::TimedOut,
-                RecvTimeoutError::Disconnected => RecvError::Closed,
-            })?,
-            None => self.rx.recv().map_err(|_| RecvError::Closed)?,
+        let Some(group) = current_group() else {
+            // No group (driver threads): plain blocking receive.
+            if self.closed.load(Ordering::Relaxed) {
+                return Err(RecvError::Closed);
+            }
+            let item = match timeout {
+                Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => RecvError::TimedOut,
+                    RecvTimeoutError::Disconnected => RecvError::Closed,
+                })?,
+                None => self.rx.recv().map_err(|_| RecvError::Closed)?,
+            };
+            return deliver(item);
         };
-        match item {
-            Delivered::Msg(from, msg) => Ok((from, msg)),
-            Delivered::Unreach(addr) => Err(RecvError::Unreachable(addr)),
+        // Group member: wait in short slices so a kill cancels the wait
+        // within KILL_POLL even if nothing else wakes it.
+        let deadline = timeout.map(|t| Instant::now() + t);
+        loop {
+            if group.killed() {
+                panic::resume_unwind(Box::new(KillSignal));
+            }
+            if self.closed.load(Ordering::Relaxed) {
+                return Err(RecvError::Closed);
+            }
+            // Drain anything already queued before consulting the
+            // deadline, so zero-timeout polls still see pending frames.
+            // (A disconnected channel reads as empty here; the timed
+            // receive below classifies it.)
+            if let Some(item) = self.rx.try_recv() {
+                return deliver(item);
+            }
+            let now = Instant::now();
+            let slice = match deadline {
+                Some(d) if now >= d => return Err(RecvError::TimedOut),
+                Some(d) => (d - now).min(KILL_POLL),
+                None => KILL_POLL,
+            };
+            match self.rx.recv_timeout(slice) {
+                Ok(item) => return deliver(item),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    if group.killed() {
+                        panic::resume_unwind(Box::new(KillSignal));
+                    }
+                    return Err(RecvError::Closed);
+                }
+            }
         }
     }
 
@@ -468,12 +1153,89 @@ impl Endpoint for RealEndpoint {
     fn close(&self) {
         self.closed.store(true, Ordering::Relaxed);
         self.ports.lock().remove(&self.port);
+        self.unregister();
+    }
+
+    fn adopt(&self) {
+        self.register_current_group();
+    }
+
+    fn disown(&self) {
+        self.unregister();
     }
 }
 
 impl Drop for RealEndpoint {
     fn drop(&mut self) {
         self.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The real-runtime nemesis.
+
+/// Replays a [`FaultPlan`] against a [`RealNet`] over the wall clock.
+///
+/// Link actions (partition/heal, impair/clear) map directly onto the
+/// network's fault table. Node lifecycle actions map `CrashNode` onto
+/// [`RealNode::kill_all_groups`] (the router stays up, so the crash
+/// looks like every process dying on a live host); `RestartNode` is the
+/// campaign driver's job — re-initialising software is an operator
+/// action, exactly as in the simulator — so it only reaches the
+/// `on_action` callback.
+pub struct RealNemesis;
+
+impl RealNemesis {
+    /// Runs the plan to completion on the calling thread, sleeping to
+    /// each action's time (the plan's virtual times are read as wall
+    /// durations from now). `on_action` runs after each applied action.
+    pub fn run_blocking<F>(net: &Arc<RealNet>, plan: &FaultPlan, mut on_action: F)
+    where
+        F: FnMut(&FaultEvent),
+    {
+        let start = Instant::now();
+        for ev in plan.sorted_events() {
+            let due = Duration::from_micros(ev.at.as_micros());
+            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            RealNemesis::apply(net, &ev.action);
+            on_action(&ev);
+        }
+    }
+
+    /// Applies one action to the real network.
+    pub fn apply(net: &Arc<RealNet>, action: &FaultAction) {
+        match *action {
+            FaultAction::CrashNode(n) => {
+                net.counter_add("nemesis.crash", 1);
+                if let Some(node) = net.node_handle(n) {
+                    node.kill_all_groups();
+                }
+            }
+            FaultAction::RestartNode(n) => {
+                // Software re-initialisation is the driver's job; the
+                // host itself (router, listener) never went away.
+                net.counter_add("nemesis.restart", 1);
+                let _ = n;
+            }
+            FaultAction::Partition(a, b) => {
+                net.counter_add("nemesis.partition", 1);
+                net.set_partitioned(a, b, true);
+            }
+            FaultAction::Heal(a, b) => {
+                net.counter_add("nemesis.heal", 1);
+                net.set_partitioned(a, b, false);
+            }
+            FaultAction::Impair(a, b, imp) => {
+                net.counter_add("nemesis.impair", 1);
+                net.set_impairment(a, b, imp);
+            }
+            FaultAction::ClearImpair(a, b) => {
+                net.counter_add("nemesis.clear_impair", 1);
+                net.clear_impairment(a, b);
+            }
+        }
     }
 }
 
@@ -538,5 +1300,240 @@ mod tests {
         let ep = a.open(PortReq::Ephemeral).unwrap();
         let r = ep.recv(Some(Duration::from_millis(20)));
         assert_eq!(r.unwrap_err(), RecvError::TimedOut);
+    }
+
+    /// Waits up to `timeout` for `cond` to become true.
+    fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cond()
+    }
+
+    #[test]
+    fn kill_cancels_sleep_and_closes_endpoints() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let a2: Arc<dyn NodeRt> = a.clone();
+        let opened = Arc::new(AtomicBool::new(false));
+        let opened2 = Arc::clone(&opened);
+        let group = a.spawn_group(
+            "sleeper",
+            Box::new(move || {
+                let _ep = a2.open(PortReq::Fixed(50)).unwrap();
+                opened2.store(true, Ordering::SeqCst);
+                loop {
+                    a2.sleep(Duration::from_secs(3600));
+                }
+            }),
+        );
+        assert!(eventually(Duration::from_secs(5), || opened
+            .load(Ordering::SeqCst)));
+        assert!(group.alive());
+        group.kill();
+        // The sleeper unwinds promptly despite the hour-long sleep.
+        assert!(
+            eventually(Duration::from_secs(5), || !group.alive()),
+            "killed group still alive"
+        );
+        // Its endpoint closed: a frame for the port bounces.
+        let client = b.open(PortReq::Ephemeral).unwrap();
+        let dead = Addr::new(a.node(), 50);
+        client.send(dead, Bytes::from_static(b"hi")).unwrap();
+        match client.recv(Some(Duration::from_secs(5))) {
+            Err(RecvError::Unreachable(addr)) => assert_eq!(addr, dead),
+            other => panic!("expected bounce from killed group's port, got {other:?}"),
+        }
+        let counters = net.counters();
+        assert!(counters.get("real.net.kills").copied().unwrap_or(0) >= 1);
+        assert!(counters.get("real.net.kill_latency_us").copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn kill_cancels_blocking_recv_and_child_processes() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let a2: Arc<dyn NodeRt> = a.clone();
+        let group = a.spawn_group(
+            "recv-forever",
+            Box::new(move || {
+                let child_rt = Arc::clone(&a2);
+                // The child joins the group (fork semantics) and parks in
+                // an infinite receive with no timeout.
+                a2.spawn_fn("child", move || {
+                    let ep = child_rt.open(PortReq::Ephemeral).unwrap();
+                    let _ = ep.recv(None);
+                });
+                let ep = a2.open(PortReq::Ephemeral).unwrap();
+                let _ = ep.recv(None);
+            }),
+        );
+        assert!(eventually(Duration::from_secs(2), || group.alive()));
+        group.kill();
+        assert!(
+            eventually(Duration::from_secs(5), || !group.alive()),
+            "group with blocked receivers survived kill"
+        );
+    }
+
+    #[test]
+    fn partition_drops_frames_and_heals() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let server = b.open(PortReq::Fixed(100)).unwrap();
+        let b_addr = server.local();
+        let b2: Arc<dyn NodeRt> = b.clone();
+        b.spawn_fn("echo", move || {
+            let _ = b2;
+            while let Ok((from, msg)) = server.recv(Some(Duration::from_secs(30))) {
+                let _ = server.send(from, msg);
+            }
+        });
+        let client = a.open(PortReq::Ephemeral).unwrap();
+        net.set_partitioned(a.node(), b.node(), true);
+        client.send(b_addr, Bytes::from_static(b"lost")).unwrap();
+        assert_eq!(
+            client.recv(Some(Duration::from_millis(200))).unwrap_err(),
+            RecvError::TimedOut,
+            "partitioned link delivered a frame"
+        );
+        net.set_partitioned(a.node(), b.node(), false);
+        client.send(b_addr, Bytes::from_static(b"back")).unwrap();
+        let (_, reply) = client.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(&reply[..], b"back");
+        assert!(net.counters().get("real.net.dropped").copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn impairment_duplicates_and_delays_frames() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let server = b.open(PortReq::Fixed(100)).unwrap();
+        let b_addr = server.local();
+        let client = a.open(PortReq::Ephemeral).unwrap();
+        // Certain duplication, no loss, no delay.
+        net.set_impairment(
+            a.node(),
+            b.node(),
+            LinkImpairment {
+                loss: 0.0,
+                dup: 1.0,
+                reorder: 0.0,
+                extra_latency: Duration::ZERO,
+            },
+        );
+        client.send(b_addr, Bytes::from_static(b"twice")).unwrap();
+        for _ in 0..2 {
+            let (_, msg) = server.recv(Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(&msg[..], b"twice");
+        }
+        // Pure delay: the frame arrives, but not immediately.
+        net.set_impairment(
+            a.node(),
+            b.node(),
+            LinkImpairment {
+                loss: 0.0,
+                dup: 0.0,
+                reorder: 0.0,
+                extra_latency: Duration::from_millis(150),
+            },
+        );
+        client.send(b_addr, Bytes::from_static(b"late")).unwrap();
+        assert_eq!(
+            server.recv(Some(Duration::from_millis(30))).unwrap_err(),
+            RecvError::TimedOut,
+            "delayed frame arrived early"
+        );
+        let (_, msg) = server.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(&msg[..], b"late");
+        net.clear_impairment(a.node(), b.node());
+        assert!(net.counters().get("real.net.delayed").copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn reconnect_backoff_sequence_is_bounded() {
+        // The reconnect path draws its waits from RECONNECT_POLICY with
+        // one random word per attempt. On a mock clock (a recorded rand
+        // feed; no sleeping), the bound sequence must sit inside the
+        // jitter envelope: wait(n) ∈ [base, min(cap, base·2ⁿ)].
+        let policy = RECONNECT_POLICY;
+        // rand = 0 → always the envelope floor.
+        let floor: Vec<Duration> = (0..RECONNECT_ATTEMPTS - 1)
+            .map(|a| policy.backoff(a, 0))
+            .collect();
+        assert!(floor.iter().all(|&d| d == policy.base), "{floor:?}");
+        // rand = span-1 → exactly the envelope ceiling, doubling then
+        // capped.
+        let ceil: Vec<Duration> = (0..RECONNECT_ATTEMPTS - 1)
+            .map(|a| {
+                let span = (policy.envelope(a) - policy.base).as_micros() as u64;
+                policy.backoff(a, span)
+            })
+            .collect();
+        assert_eq!(
+            ceil,
+            vec![
+                Duration::from_millis(5),
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+            ]
+        );
+        // Arbitrary feed stays inside the envelope and never shrinks it.
+        let mut feed = 0x9e3779b97f4a7c15u64;
+        for attempt in 0..RECONNECT_ATTEMPTS - 1 {
+            feed = feed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let d = policy.backoff(attempt, feed);
+            assert!(d >= policy.base && d <= policy.envelope(attempt));
+        }
+    }
+
+    #[test]
+    fn send_to_dead_peer_fails_after_bounded_retries() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let b_id = b.node();
+        b.stop();
+        // Give the router a beat to actually release the listener.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(b);
+        let client = a.open(PortReq::Ephemeral).unwrap();
+        let started = Instant::now();
+        let r = client.send(Addr::new(b_id, 100), Bytes::from_static(b"x"));
+        // The listener socket is still bound (the router thread owns it
+        // until process exit), so the send may succeed into a dead
+        // router or fail after retries — either way it must return
+        // within the bounded backoff budget, not hang.
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "send took {elapsed:?}, retries unbounded? ({r:?})"
+        );
+    }
+
+    #[test]
+    fn real_nemesis_applies_link_actions() {
+        let net = RealNet::new();
+        let a = net.add_node("a").unwrap();
+        let b = net.add_node("b").unwrap();
+        let plan = FaultPlan::new().partition(
+            a.node(),
+            b.node(),
+            SimTime::from_micros(0),
+            SimTime::from_micros(1_000),
+        );
+        RealNemesis::run_blocking(&net, &plan, |_| {});
+        // Plan fully executed: partition installed, then healed.
+        let counters = net.counters();
+        assert_eq!(counters.get("nemesis.partition"), Some(&1));
+        assert_eq!(counters.get("nemesis.heal"), Some(&1));
+        assert!(!net.faults.lock().any(), "plan left faults installed");
     }
 }

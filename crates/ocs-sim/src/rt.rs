@@ -95,6 +95,10 @@ pub enum NetError {
     /// the simulated network never fails a send — failures surface at the
     /// receiver).
     SendFailed(String),
+    /// The peer actively refused every connection attempt (real runtime
+    /// only): nothing is listening at the peer's address, which callers
+    /// should treat like a bounce — the destination is gone, not slow.
+    PeerRefused(NodeId),
 }
 
 impl fmt::Display for NetError {
@@ -103,6 +107,7 @@ impl fmt::Display for NetError {
             NetError::PortInUse(p) => write!(f, "port {p} already in use"),
             NetError::NodeDown => write!(f, "local node is down"),
             NetError::SendFailed(e) => write!(f, "send failed: {e}"),
+            NetError::PeerRefused(n) => write!(f, "peer {n} refused the connection"),
         }
     }
 }
@@ -170,14 +175,16 @@ pub trait Endpoint: Send + Sync {
 ///
 /// Mirrors what the paper's Server Service Controller gets from UNIX: it
 /// can tell whether the service (all its processes) is still alive, and
-/// kill it. On the real runtime `kill` is advisory only (threads cannot
-/// be force-killed); the simulation kills the whole group.
+/// kill it. The simulation kills the whole group at its next scheduling
+/// point; the real runtime kills cooperatively — every member thread
+/// unwinds at its next cancellation point (sleep, receive, sync wait,
+/// ORB dispatch entry) and the group's endpoints close immediately, so
+/// peers observe bounces rather than silence.
 pub trait ProcGroup: Send + Sync {
     /// Whether any process of the group is alive.
     fn alive(&self) -> bool;
 
-    /// Kills every process in the group (simulation; advisory on the
-    /// real runtime).
+    /// Kills every process in the group and closes its endpoints.
     fn kill(&self);
 
     /// An opaque id for logging.
@@ -267,6 +274,17 @@ pub trait NodeRt: Send + Sync {
 
     /// Deterministic (in simulation) random 64-bit value.
     fn rand_u64(&self) -> u64;
+
+    /// Whether the calling process's group has been killed and the
+    /// process should stop starting new work. Long-running loops (e.g.
+    /// the ORB's dispatch path) poll this between units of work. The
+    /// simulation always returns `false` — a killed simulated process
+    /// never runs again, so it can never observe the flag — and the
+    /// real runtime returns the calling thread's group-cancellation
+    /// token.
+    fn cancelled(&self) -> bool {
+        false
+    }
 
     /// Emits a trace line attributed to this node, if tracing is enabled.
     fn trace(&self, msg: &str);

@@ -1,0 +1,167 @@
+//! SSC restart-on-failure on the REAL runtime: the controller watches a
+//! service whose process group actually dies (threads unwind, sockets
+//! close) and restarts it, with wall-clock bounds instead of
+//! virtual-time checkpoints.
+//!
+//! Real-runtime twin of `controllers.rs`'s
+//! `ssc_restarts_dead_service_and_fires_callbacks`.
+//!
+//! Gated behind `real_chaos` so the default test pass stays fast:
+//!
+//! ```sh
+//! cargo test -p ocs-svcctl --features real_chaos --test real_controllers
+//! ```
+
+#![cfg(feature = "real_chaos")]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ocs_name::{AlwaysAlive, NsConfig, NsHandle, NsReplica};
+use ocs_orb::{Caller, ClientCtx, ObjRef, Orb};
+use ocs_sim::real::RealNet;
+use ocs_sim::{Addr, NodeRt, PortReq, Rt};
+use ocs_svcctl::{
+    ServiceDef, ServiceRunCtx, Ssc, SscApiClient, SscCallback, SscCallbackServant, SscConfig,
+    SvcError,
+};
+use parking_lot::Mutex;
+
+const NS_PORT: u16 = 10;
+
+/// Polls `cond` every 25 ms until true or `timeout` elapses.
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    cond()
+}
+
+/// A service whose first `die_first_n` instances exit shortly after
+/// starting (the group dies and the SSC notices); later ones settle.
+fn flaky_service(die_first_n: u32, lives: Arc<AtomicU32>) -> ServiceDef {
+    ServiceDef {
+        name: "flaky".to_string(),
+        basic: true,
+        factory: Arc::new(move |ctx: ServiceRunCtx| {
+            lives.fetch_add(1, Ordering::Relaxed);
+            let orb = Orb::new(ctx.rt.clone(), PortReq::Ephemeral).unwrap();
+            struct Nothing;
+            impl ocs_orb::Servant for Nothing {
+                fn type_id(&self) -> u32 {
+                    ocs_wire::type_id_of("test.nothing")
+                }
+                fn dispatch(
+                    &self,
+                    _c: &Caller,
+                    _m: u32,
+                    _a: &[u8],
+                ) -> Result<bytes::Bytes, ocs_orb::OrbError> {
+                    Ok(bytes::Bytes::new())
+                }
+            }
+            let obj = orb.export_root(Arc::new(Nothing));
+            orb.start();
+            (ctx.notify_ready)(vec![obj]);
+            if ctx.instance <= die_first_n {
+                // Crash after one second of wall clock: shutting the ORB
+                // down ends its serve thread, and returning ends the
+                // root, so the group's live count reaches zero.
+                ctx.rt.sleep(Duration::from_secs(1));
+                orb.shutdown();
+                return;
+            }
+            loop {
+                ctx.rt.sleep(Duration::from_secs(3600));
+            }
+        }),
+    }
+}
+
+/// Callback recorder.
+#[derive(Default)]
+struct Recorder {
+    ups: Mutex<Vec<ObjRef>>,
+    downs: Mutex<Vec<ObjRef>>,
+}
+
+impl SscCallback for Recorder {
+    fn objects_up(&self, _c: &Caller, objects: Vec<ObjRef>) -> Result<(), SvcError> {
+        self.ups.lock().extend(objects);
+        Ok(())
+    }
+    fn objects_down(&self, _c: &Caller, objects: Vec<ObjRef>) -> Result<(), SvcError> {
+        self.downs.lock().extend(objects);
+        Ok(())
+    }
+}
+
+#[test]
+fn ssc_restarts_dead_service_on_real_runtime() {
+    let net = RealNet::new();
+    let node = net.add_node("server0").expect("bind loopback");
+    let rt: Rt = node.clone();
+    let ns_addr = Addr::new(node.node(), NS_PORT);
+
+    let mut cfg = NsConfig::paper_defaults(0, vec![ns_addr]);
+    cfg.heartbeat_interval = Duration::from_millis(200);
+    cfg.election_timeout = Duration::from_millis(600);
+    cfg.audit_interval = Duration::from_secs(2);
+    cfg.resolve_cost = Duration::ZERO;
+    NsReplica::start(rt.clone(), cfg, Arc::new(AlwaysAlive)).unwrap();
+
+    let ns = NsHandle::new(ClientCtx::new(rt.clone()), ns_addr);
+    let lives = Arc::new(AtomicU32::new(0));
+    let ssc = Ssc::start(
+        rt.clone(),
+        SscConfig::default(),
+        ns,
+        vec![flaky_service(1, Arc::clone(&lives))],
+    )
+    .unwrap();
+
+    // Register a liveness callback (as the RAS would), from the driver
+    // thread over real loopback RPC.
+    let recorder = Arc::new(Recorder::default());
+    let cb_orb = Orb::new(rt.clone(), PortReq::Ephemeral).unwrap();
+    let cb_ref = cb_orb.export_root(Arc::new(SscCallbackServant(Arc::clone(&recorder))));
+    cb_orb.start();
+    let client = SscApiClient::attach(ClientCtx::new(rt.clone()), ssc.self_ref()).unwrap();
+    assert!(
+        eventually(Duration::from_secs(10), || client
+            .register_callback(cb_ref)
+            .is_ok()),
+        "SSC never accepted the callback registration"
+    );
+
+    // First instance dies at ~1 s; monitor (1 s) + restart delay (1 s)
+    // bound the restart, so well inside 20 s the second instance runs.
+    assert!(
+        eventually(Duration::from_secs(20), || lives.load(Ordering::Relaxed) >= 2),
+        "service was not restarted, lives={}",
+        lives.load(Ordering::Relaxed)
+    );
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            ssc.statuses()
+                .iter()
+                .any(|s| s.name == "flaky" && s.running && s.restarts >= 1)
+        }),
+        "second instance not reported running"
+    );
+    // Callbacks observed both the registration(s) and the death.
+    assert!(
+        eventually(Duration::from_secs(5), || !recorder.ups.lock().is_empty()),
+        "ups recorded"
+    );
+    assert!(
+        eventually(Duration::from_secs(5), || !recorder.downs.lock().is_empty()),
+        "downs recorded"
+    );
+    node.stop();
+}

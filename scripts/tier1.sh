@@ -2,7 +2,9 @@
 # Tier-1 gate (see ROADMAP.md): full release build, a clean clippy run,
 # the complete workspace test suite, a pinned-seed chaos smoke — one
 # seeded fault campaign must converge and two identically-seeded runs
-# must replay the exact same event trace — and a telemetry smoke: a
+# must replay the exact same event trace — a real-runtime chaos smoke
+# (one process-group kill and one partition-heal over TCP loopback,
+# time-bounded) — and a telemetry smoke: a
 # 1-settop run must produce a causal span dump whose movie-open tree
 # crosses the MMS, Connection Manager and MDS.
 set -euo pipefail
@@ -14,6 +16,19 @@ cargo test --offline --workspace -q
 cargo test --offline -p itv-cluster --test chaos -q -- \
     crash_and_restart_campaign_converges \
     same_seed_chaos_run_has_identical_trace_hash
+
+# Real-runtime chaos smoke (E19): one cooperative kill plus one
+# partition-heal cycle over actual TCP on loopback. Wall-clock timing is
+# not reproducible, so the leg gets a hard 60 s timeout and one retry
+# before it counts as a failure.
+real_chaos_smoke() {
+    timeout 60 cargo test --offline -p itv-cluster --features real_chaos \
+        --test real_chaos -q -- --exact smoke_kill_and_partition_heal_cycle
+}
+if ! real_chaos_smoke; then
+    echo "tier1: real chaos smoke failed once; retrying" >&2
+    real_chaos_smoke
+fi
 
 # Telemetry smoke: E16 scrapes every node's Telemetry servant and dumps
 # the causal span forest of a single settop's movie open. Run from a
