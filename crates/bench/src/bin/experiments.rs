@@ -11,7 +11,8 @@
 //! its headline numbers, a telemetry metrics snapshot where a cluster
 //! was involved, and the wall/virtual run times. `--spans N` sets how
 //! many of the slowest request trees E16's span dump renders;
-//! `--settops N` sets E17's simulated settop population.
+//! `--settops N` sets E17's simulated settop population; `--sim-only`
+//! skips E20's real-runtime leg (used by the tier-1 smoke).
 
 use bench::{exps, report};
 
@@ -22,10 +23,12 @@ static ALLOC: bench::alloc_track::CountingAlloc = bench::alloc_track::CountingAl
 fn main() {
     let mut spans = 3usize;
     let mut settops = 50_000usize;
+    let mut sim_only = false;
     let mut picked: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--sim-only" => sim_only = true,
             "--spans" => {
                 spans = args
                     .next()
@@ -50,7 +53,7 @@ fn main() {
     let which: Vec<&str> = if picked.is_empty() || picked.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18",
+            "e14", "e15", "e16", "e17", "e18", "e20",
         ]
     } else {
         picked.iter().map(|s| s.as_str()).collect()
@@ -78,6 +81,7 @@ fn main() {
             "e16" => exps::e16(spans),
             "e17" => exps::e17(settops),
             "e18" => exps::e18(settops),
+            "e20" => exps::e20(sim_only),
             other => {
                 eprintln!("unknown experiment: {other}");
                 report::abandon();

@@ -3,11 +3,13 @@
 //! recorded results).
 
 mod cluster_exps;
+mod failover;
 mod kernel_bench;
 mod saturation;
 mod standalone;
 
 pub use cluster_exps::{e1, e13, e14, e15, e16, e2, e4, e7, e8};
+pub use failover::e20;
 pub use kernel_bench::e18;
 pub use saturation::e17;
 pub use standalone::{e10, e11, e12, e3, e5, e6, e9};

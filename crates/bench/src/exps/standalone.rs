@@ -470,10 +470,10 @@ fn storm_once(n_clients: usize, jitter: bool) -> (f64, f64, f64) {
     (s.p50, s.max, msgs)
 }
 
-/// E9 (§4.6): Echo-style majority election — cold start and after a
-/// master crash, vs replica-group size.
+/// E9 (§4.6): VSR view establishment — cold start and view change
+/// after a primary crash, vs replica-group size.
 pub fn e9() {
-    println!("\nE9. Name-service master election (§4.6)\n");
+    println!("\nE9. Name-service master election (§4.6, VSR view change)\n");
     let mut t = Table::new(&[
         "replicas",
         "cold-start election (s)",
@@ -507,6 +507,15 @@ pub fn e9() {
                 break;
             }
         }
+        // Let every replica finish its recovery probation before the
+        // crash: killing the primary while a backup is still probing
+        // would leave fewer than a recovery quorum of participants.
+        for _ in 0..300 {
+            if reps.iter().all(|r| !r.in_probation()) {
+                break;
+            }
+            sim.run_for(Duration::from_millis(100));
+        }
         // Crash the master; time the takeover.
         let master = reps.iter().position(|r| r.is_master()).unwrap();
         sim.crash_node(nodes[master].node());
@@ -528,7 +537,7 @@ pub fn e9() {
     }
     t.print();
     crate::report::put("table", t.to_json());
-    println!("    (election timeout 5s + jittered campaign; crash detection dominates)");
+    println!("    (VSR view change: staggered 5s+ suspect timeouts; crash detection dominates)");
 }
 
 /// E10 (§3.1): Connection Manager admission control — blocking

@@ -76,8 +76,9 @@ pub struct RealCluster {
     pub servers: Vec<Arc<RealNode>>,
     /// Settop nodes (each runs at most one viewer group).
     pub settops: Vec<Arc<RealNode>>,
-    /// The NS replica handles, index-aligned with `servers`.
-    pub replicas: Vec<Arc<NsReplica>>,
+    /// The NS replica handles, index-aligned with `servers`. A slot is
+    /// `None` while that replica is killed (see [`RealCluster::kill_ns`]).
+    replicas: Arc<Mutex<Vec<Option<Arc<NsReplica>>>>>,
     ns_peers: Vec<Addr>,
     catalog: Catalog,
     nbhd_of: Arc<BTreeMap<NodeId, u32>>,
@@ -103,17 +104,9 @@ impl RealCluster {
             .iter()
             .map(|n| Addr::new(n.node(), ports::NS))
             .collect();
-        let mut replicas = Vec::new();
-        for (i, node) in servers.iter().enumerate() {
+        let replicas = Arc::new(Mutex::new(vec![None; n_servers]));
+        for node in &servers {
             let rt: Rt = node.clone();
-            let mut cfg = NsConfig::paper_defaults(i as u32, ns_peers.clone());
-            // Wall-clock-friendly timings (the paper's 10 s scales are
-            // for humans; the campaign budget is seconds).
-            cfg.heartbeat_interval = Duration::from_millis(200);
-            cfg.election_timeout = Duration::from_millis(600);
-            cfg.audit_interval = Duration::from_secs(2);
-            cfg.resolve_cost = Duration::ZERO;
-            replicas.push(NsReplica::start(rt.clone(), cfg, Arc::new(AlwaysAlive)).expect("ns"));
             ocs_orb::export_telemetry(rt, ports::TELEMETRY).expect("telemetry exporter");
         }
         // All settops in neighborhood 0 (one CM serves the campaign).
@@ -140,7 +133,24 @@ impl RealCluster {
             nbhd_of,
             services: Mutex::new(BTreeMap::new()),
         };
+        for i in 0..n_servers {
+            cluster.start_ns(i);
+        }
         cluster.await_single_master();
+        // Don't hand the cluster over while any replica is still in
+        // recovery probation: a test that immediately kills a replica
+        // would otherwise strand the group with fewer than a recovery
+        // quorum of participants (two unavailable replicas is beyond
+        // the f=1 fault model for three replicas).
+        assert!(
+            cluster.eventually(SETTLE_TIMEOUT, || {
+                let slots = cluster.replicas.lock();
+                slots
+                    .iter()
+                    .all(|r| r.as_ref().is_some_and(|r| !r.in_probation()))
+            }),
+            "an NS replica never left start-up probation"
+        );
         // Seed the name space from the driver thread.
         let ns = cluster.ns(0);
         ns.bind_new_context("svc").expect("mk svc");
@@ -161,19 +171,102 @@ impl RealCluster {
         NsHandle::new(ClientCtx::new(rt), self.ns_peers[i])
     }
 
+    /// The wall-clock-friendly NS replica configuration (the paper's
+    /// 10 s scales are for humans; the campaign budget is seconds). The
+    /// short log retention keeps the snapshot-transfer recovery path
+    /// reachable inside a test's write budget.
+    fn real_ns_config(&self, i: usize) -> NsConfig {
+        let mut cfg = NsConfig::paper_defaults(i as u32, self.ns_peers.clone());
+        cfg.heartbeat_interval = Duration::from_millis(200);
+        cfg.election_timeout = Duration::from_millis(600);
+        cfg.audit_interval = Duration::from_secs(2);
+        cfg.resolve_cost = Duration::ZERO;
+        cfg.log_retention = 64;
+        // Must scale down with the heartbeat: peer RPCs run sequentially
+        // in the heartbeat round, so one dead peer stalling for the
+        // default 800 ms would starve the live backups of heartbeats
+        // past their suspect timeouts and livelock the view change.
+        cfg.peer_timeout = Duration::from_millis(150);
+        cfg
+    }
+
+    /// Starts NS replica `i` in its own killable `ns-<i>` process group
+    /// and publishes its handle. Retries while the fixed NS port is
+    /// still held by a dying predecessor.
+    fn start_ns(&self, i: usize) {
+        let rt: Rt = self.servers[i].clone();
+        let node = self.servers[i].node();
+        let cfg = self.real_ns_config(i);
+        let slots = Arc::clone(&self.replicas);
+        let group = rt.clone().spawn_group(
+            &format!("ns-{i}"),
+            Box::new(move || loop {
+                match NsReplica::start(rt.clone(), cfg.clone(), Arc::new(AlwaysAlive)) {
+                    Ok(r) => {
+                        slots.lock()[i] = Some(r);
+                        loop {
+                            rt.sleep(Duration::from_secs(3600));
+                        }
+                    }
+                    Err(_) => rt.sleep(Duration::from_millis(100)),
+                }
+            }),
+        );
+        self.register(&format!("ns-{i}"), group, node);
+    }
+
+    /// Kills NS replica `i`'s process group (its log dies with it) and
+    /// clears its handle so `masters()` no longer consults the corpse.
+    pub fn kill_ns(&self, i: usize) {
+        self.kill_service(&format!("ns-{i}"));
+        self.replicas.lock()[i] = None;
+    }
+
+    /// Restarts NS replica `i` after [`RealCluster::kill_ns`]: a fresh
+    /// process group, an empty log, and the VSR recovery-probation walk
+    /// back into the group. Blocks until the new handle is published.
+    pub fn restart_ns(&self, i: usize) {
+        let name = format!("ns-{i}");
+        if self.services.lock().contains_key(&name) && self.service(&name).alive() {
+            self.kill_ns(i);
+        }
+        assert!(
+            self.eventually(SETTLE_TIMEOUT, || !self.service(&name).alive()),
+            "old ns-{i} group did not die"
+        );
+        self.start_ns(i);
+        assert!(
+            self.eventually(SETTLE_TIMEOUT, || self.replicas.lock()[i].is_some()),
+            "restarted ns-{i} never published its handle"
+        );
+    }
+
+    /// The live NS replica handle on server `i`, if any.
+    pub fn replica(&self, i: usize) -> Option<Arc<NsReplica>> {
+        self.replicas.lock()[i].clone()
+    }
+
+    /// Indices of the replicas that currently believe they are master.
+    pub fn masters(&self) -> Vec<usize> {
+        self.replicas
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().filter(|r| r.is_master()).map(|_| i))
+            .collect()
+    }
+
     /// Blocks until exactly one NS replica believes it is master.
     pub fn await_single_master(&self) {
         assert!(
-            self.eventually(SETTLE_TIMEOUT, || {
-                self.replicas.iter().filter(|r| r.is_master()).count() == 1
-            }),
+            self.eventually(SETTLE_TIMEOUT, || self.masters().len() == 1),
             "NS election did not settle to one master"
         );
     }
 
     /// Index of the current NS master replica.
     pub fn master_index(&self) -> Option<usize> {
-        self.replicas.iter().position(|r| r.is_master())
+        self.masters().first().copied()
     }
 
     /// Polls `cond` every 25 ms until true or `timeout` elapses.

@@ -239,6 +239,73 @@ fn randomized_seeded_campaigns_converge() {
     }
 }
 
+#[test]
+fn healed_partition_does_not_trigger_spurious_view_change() {
+    // Regression: a replica partitioned away from the group long enough
+    // to suspect the primary must NOT drag the group into a view change
+    // — neither while isolated (its proposals find no joiners and must
+    // abort) nor after the link heals (it reverts to the last normal
+    // view and catches up). Sticky primary: view changes require a
+    // second suspicious replica.
+    let sim = Sim::new(306);
+    let cfg = ClusterConfig::orlando(); // three servers → three NS replicas
+    let cluster = ready_cluster(&sim, cfg);
+    sim.run_for(Duration::from_secs(8)); // steady state, past boot elections
+
+    let before = cluster.telemetry_snapshot();
+    let view_before: Vec<i64> = cluster
+        .servers
+        .iter()
+        .map(|s| before.nodes[&s.node.node()].gauge("ns.vsr.view"))
+        .collect();
+    assert_eq!(
+        view_before[0], view_before[2],
+        "replicas should agree on the view before the fault"
+    );
+
+    // Isolate server 2's replica from both peers, well past its suspect
+    // timeout (~7 s), then heal.
+    let (a, b, c) = (
+        cluster.servers[0].node.node(),
+        cluster.servers[1].node.node(),
+        cluster.servers[2].node.node(),
+    );
+    let plan = FaultPlan::new()
+        .partition(a, c, SimTime::from_secs(85), SimTime::from_secs(117))
+        .partition(b, c, SimTime::from_secs(85), SimTime::from_secs(117));
+    assert!(plan.fully_healed());
+    let outcome = cluster.run_fault_plan(&plan);
+    sim.run_until(outcome.healed_at + Duration::from_secs(40));
+
+    let after = cluster.telemetry_snapshot();
+    let view_after: Vec<i64> = cluster
+        .servers
+        .iter()
+        .map(|s| after.nodes[&s.node.node()].gauge("ns.vsr.view"))
+        .collect();
+    assert_eq!(
+        view_before, view_after,
+        "a partitioned-then-healed replica must not move the view"
+    );
+    assert_eq!(
+        after.counter("ns.vsr.view_changes"),
+        before.counter("ns.vsr.view_changes"),
+        "no view change may be installed on account of the partition"
+    );
+    // The isolated replica really did suspect and propose — the stable
+    // view above is the sticky-primary logic working, not a vacuous run.
+    assert!(
+        after.counter("ns.vsr.suspects") > before.counter("ns.vsr.suspects"),
+        "the isolated replica should have suspected the primary"
+    );
+    assert!(
+        after.counter("ns.vsr.vc_aborted") > before.counter("ns.vsr.vc_aborted"),
+        "its joiner-less proposals should have aborted"
+    );
+    // And it is a functioning backup again: the whole cluster converges.
+    assert_converged(&cluster, Duration::from_secs(90));
+}
+
 /// One full chaos run, returning the kernel's event-trace hash.
 fn chaos_trace(sim_seed: u64, plan_seed: u64) -> u64 {
     chaos_trace_with(sim_seed, plan_seed, ocs_sim::SimConfig::default().fast)
@@ -282,7 +349,12 @@ fn same_seed_chaos_run_has_identical_trace_hash() {
 /// (cooperative kill, TCP impairment shim) must be bit-invisible to the
 /// simulator: any drift in this hash means the sim path picked up a
 /// behavioural change it must not have.
-const E15_BASELINE_TRACE_HASH: u64 = 1711045672984434439;
+///
+/// Re-captured when the name service moved to the VSR update log: the
+/// replica-to-replica protocol (prepares, heartbeats, view changes)
+/// changed the wire traffic, so the trace legitimately differs from the
+/// election-era baseline.
+const E15_BASELINE_TRACE_HASH: u64 = 11658680595248945527;
 
 #[test]
 fn e15_trace_hash_matches_committed_baseline() {

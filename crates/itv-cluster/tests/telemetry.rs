@@ -94,6 +94,32 @@ fn shared_resolve_cache_shows_up_in_cluster_metrics() {
 }
 
 #[test]
+fn vsr_replication_shows_up_in_cluster_metrics() {
+    let (snap, opened) = movie_run(604);
+    assert!(opened >= 1, "movie opened");
+    let m = &snap.merged;
+    // Cluster bring-up binds every service through the replicated log,
+    // so each NS replica applies a healthy stream of commits.
+    assert!(
+        m.counter("ns.vsr.commits") >= 3,
+        "NS mutations went through the VSR log: {:?}",
+        m.counters
+    );
+    // Commits on replicated paths bump the node resolve caches'
+    // generation stamp.
+    assert!(m.counter("ns.vsr.cache_invalidations") >= 1);
+    // A healthy run stays in the cold-start view with no elections.
+    assert_eq!(m.counter("ns.vsr.view_changes"), 0);
+    assert_eq!(m.counter("ns.vsr.suspects"), 0);
+    // And the per-node view gauges agree on that view.
+    for (node, metrics) in &snap.nodes {
+        if let Some(view) = metrics.gauges.get("ns.vsr.view") {
+            assert_eq!(*view, 0, "node {node:?} left view 0 without faults");
+        }
+    }
+}
+
+#[test]
 fn same_seed_runs_produce_identical_span_trees() {
     let (a, opened_a) = movie_run(602);
     let (b, opened_b) = movie_run(602);

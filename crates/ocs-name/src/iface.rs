@@ -4,8 +4,8 @@
 
 use ocs_orb::declare_interface;
 
-use crate::state::Snapshot;
 use crate::types::{Binding, NsError, NsUpdate, SelectorSpec};
+use crate::vsr::{DoViewChange, PeerAck, StartView, StateTransfer, SvcAck};
 use ocs_orb::ObjRef;
 use ocs_sim::NodeId;
 
@@ -58,21 +58,33 @@ declare_interface! {
 }
 
 declare_interface! {
-    /// Replica-to-replica protocol: Echo-style majority election (§4.6),
-    /// master-serialized update multicast, and snapshot state transfer.
+    /// Replica-to-replica protocol: Viewstamped Replication (§4.6
+    /// rebuilt per ROADMAP item 1). The primary sequences updates with
+    /// `prepare`, backups ack with their log watermark, view changes run
+    /// `start_view_change` → `do_view_change` → `start_view`, and
+    /// rejoining replicas pull state with `get_state`.
     pub interface NsPeer [NsPeerClient, NsPeerServant]: "ocs.ns-peer" {
-        /// Ask for a vote in `epoch`. `last_seq` is the candidate's log
-        /// position; peers refuse candidates behind themselves, so the
-        /// most up-to-date reachable replica wins.
-        1 => fn request_vote(&self, epoch: u64, candidate: u32, last_seq: u64) -> Result<bool, NsError>;
-        /// Master heartbeat; returns the slave's `last_seq` as the ack.
-        2 => fn heartbeat(&self, epoch: u64, master: u32, last_seq: u64) -> Result<u64, NsError>;
-        /// Master-multicast update application (in sequence order).
-        3 => fn apply_update(&self, epoch: u64, seq: u64, update: NsUpdate) -> Result<(), NsError>;
-        /// Full state transfer for replicas that fell behind.
-        4 => fn fetch_snapshot(&self) -> Result<Snapshot, NsError>;
-        /// Slave-to-master forwarding of a client update.
-        5 => fn forward_update(&self, update: NsUpdate) -> Result<(), NsError>;
+        /// Primary → backup: append op `op_num` of `view`; `commit_num`
+        /// piggybacks the commit point. The ack's `op_num` acknowledges
+        /// every op at or below it.
+        1 => fn prepare(&self, view: u64, op_num: u64, commit_num: u64, update: NsUpdate) -> Result<PeerAck, NsError>;
+        /// Primary → backup: idle heartbeat carrying the commit point.
+        2 => fn commit_hb(&self, view: u64, commit_num: u64) -> Result<PeerAck, NsError>;
+        /// Suspect → peers: propose `view`. A peer joins only if it
+        /// suspects the primary too; joiners send their `do_view_change`
+        /// to the proposed view's primary before acking.
+        3 => fn start_view_change(&self, view: u64) -> Result<SvcAck, NsError>;
+        /// Joiner → new primary: log + snapshot contribution for the
+        /// view change.
+        4 => fn do_view_change(&self, dvc: DoViewChange) -> Result<(), NsError>;
+        /// New primary → backups: the chosen log for the new view; the
+        /// ack doubles as a prepare-ok for the carried tail.
+        5 => fn start_view(&self, sv: StartView) -> Result<PeerAck, NsError>;
+        /// Rejoining replica → any peer: state after `from_op` (log
+        /// suffix while retained, snapshot once compacted).
+        6 => fn get_state(&self, from_op: u64) -> Result<StateTransfer, NsError>;
+        /// Backup → primary forwarding of a client update.
+        7 => fn forward_update(&self, update: NsUpdate) -> Result<(), NsError>;
     }
 }
 

@@ -8,9 +8,11 @@
 //!   one of several bound replicas per resolve — hiding replication from
 //!   clients and implementing the paper's per-neighborhood and per-server
 //!   load-spreading (§5.1);
-//! * master/slave replication with an Echo-style majority election;
-//!   updates are serialized through the master and multicast to slaves
-//!   (§4.6);
+//! * replication by Viewstamped Replication ([`vsr`]): all mutations
+//!   flow through a majority-committed update log sequenced by the view
+//!   primary, with sub-second view changes on primary failure and
+//!   snapshot-based state transfer for rejoining replicas — replacing
+//!   the paper's ~25 s master re-election window (§4.6, ROADMAP item 1);
 //! * *auditing*: the master removes bindings whose objects have died,
 //!   within seconds, driven by a liveness oracle (the Resource Audit
 //!   Service in the full system, §4.7) — which is what lets a §5.2
@@ -25,6 +27,7 @@ mod replica;
 mod selector;
 mod state;
 mod types;
+pub mod vsr;
 
 pub use cache::ResolveCache;
 pub use client::{

@@ -1,15 +1,24 @@
-//! One name-service replica (§4.6).
+//! One name-service replica (§4.6, rebuilt on Viewstamped Replication
+//! per ROADMAP item 1).
 //!
-//! A replica runs on every server node. All replicas answer `resolve` and
-//! `list` from local state; updates are forwarded to the elected master,
-//! which serializes them (assigning sequence numbers) and multicasts them
-//! to the slaves. The master is elected with a majority scheme in the
-//! style of the Echo file system: candidates carry their log position, and
-//! peers refuse to vote for candidates behind themselves, so the most
-//! up-to-date reachable replica wins. A master that loses contact with a
-//! majority steps down; replicas that fall behind pull a snapshot.
+//! A replica runs on every server node. All replicas answer `resolve`
+//! and `list` from local state; every mutation flows through the
+//! VSR-replicated update log ([`crate::vsr`]): the view primary
+//! sequences it, broadcasts `prepare`, commits at a majority of acks
+//! and applies committed updates in order. Backups forward client
+//! updates to the primary. When backups stop hearing from the primary
+//! they run a view change — sub-second with the deployed timeouts,
+//! versus the ~25 s master re-election window the paper measured — and
+//! a replica rejoining after a crash recovers by state transfer: log
+//! replay while the peers still retain the missing suffix, snapshot
+//! installation once compaction has dropped it.
 //!
-//! The master also runs the §4.7 audit: every `audit_interval` it asks
+//! This module is the *driver* around the pure [`VsrCore`] engine: it
+//! owns the ORB servants, the heartbeat/view-change/recovery loop, and
+//! the post-processing of engine events (telemetry, resolve-cache
+//! invalidation, context-servant export).
+//!
+//! The primary also runs the §4.7 audit: every `audit_interval` it asks
 //! the liveness oracle (in the full system, the local Resource Audit
 //! Service) about every bound object and unbinds the dead ones — the
 //! mechanism that breaks a failed primary's binding so that a §5.2
@@ -24,18 +33,24 @@ use ocs_orb::{Caller, ClientCtx, NoAuth, ObjRef, Orb, ThreadModel};
 use ocs_sim::{Addr, NetError, NodeId, NodeRtExt, PortReq, Rt, Semaphore, SimTime};
 use parking_lot::Mutex;
 
+use crate::cache::ResolveCache;
 use crate::iface::{
     NamingContext, NamingContextServant, NsPeer, NsPeerClient, NsPeerServant, SelectorClient,
     NAMING_TYPE_ID,
 };
 use crate::selector::eval_static;
-use crate::state::{CtxId, NsState, ResolveOut, SelectorEval, Snapshot, ROOT_CTX};
+use crate::state::{CtxId, NsState, ResolveOut, SelectorEval, ROOT_CTX};
 use crate::types::{Binding, NsError, NsUpdate, SelectorSpec};
+use crate::vsr::{
+    DoViewChange, Prepare, StartView, StateTransfer, SubmitRoute, VsrCore, VsrEvent, VsrStatus,
+};
 
 /// Object id of the `NsPeer` servant on every replica's ORB.
 const PEER_OBJ: u64 = 1;
 /// Object ids of non-root context servants start here.
 const CTX_OBJ_BASE: u64 = 16;
+/// Entries re-sent to one lagging backup per heartbeat round.
+const RESEND_BATCH: usize = 32;
 
 /// Deciding liveness of bound objects for the audit (§4.7). The real
 /// oracle is the local Resource Audit Service; tests may plug anything.
@@ -60,17 +75,22 @@ pub struct NsConfig {
     pub replica_id: u32,
     /// The request endpoints of all replicas (including this one).
     pub peers: Vec<Addr>,
-    /// Master → slave heartbeat period.
+    /// Primary → backup heartbeat period.
     pub heartbeat_interval: Duration,
-    /// How long a slave tolerates heartbeat silence before campaigning.
+    /// Base primary-suspect timeout: how long a backup tolerates primary
+    /// silence before proposing a view change. Each replica adds a small
+    /// id-proportional stagger so one backup moves first.
     pub election_timeout: Duration,
-    /// How often the master audits bound objects against the liveness
+    /// How often the primary audits bound objects against the liveness
     /// oracle (the paper's "name service polls RAS every 10 seconds").
     pub audit_interval: Duration,
     /// Timeout for replica-to-replica calls.
     pub peer_timeout: Duration,
     /// Modelled CPU cost of one resolve/list, serialized per replica.
     pub resolve_cost: Duration,
+    /// Committed log entries retained past the commit point for peer
+    /// catch-up; a replica further behind recovers by snapshot transfer.
+    pub log_retention: u64,
 }
 
 impl NsConfig {
@@ -84,43 +104,33 @@ impl NsConfig {
             audit_interval: Duration::from_secs(10),
             peer_timeout: Duration::from_millis(800),
             resolve_cost: Duration::from_micros(200),
+            log_retention: 512,
         }
     }
 
-    fn majority(&self) -> usize {
-        self.peers.len() / 2 + 1
+    /// This replica's effective suspect timeout: the base plus an
+    /// id-proportional stagger (half a heartbeat per id), so the lowest
+    /// live backup usually proposes the view change alone.
+    fn suspect_timeout(&self) -> Duration {
+        self.election_timeout + (self.heartbeat_interval / 2) * self.replica_id
     }
 }
 
-#[derive(Clone, Debug, PartialEq)]
-enum Role {
-    /// Elected master; `missed_rounds` counts consecutive heartbeat
-    /// rounds without majority acks.
-    Master { missed_rounds: u32 },
-    /// Following `master`; `last_heartbeat` is the most recent one seen.
-    Slave {
-        master: u32,
-        last_heartbeat: SimTime,
-    },
-    /// No known master; will campaign after a jittered delay.
-    Searching { since: SimTime },
-}
-
-struct Repl {
-    ns: NsState,
-    epoch: u64,
-    voted_for: Option<(u64, u32)>,
-    role: Role,
-    needs_catchup: bool,
-    catching_up: bool,
+/// Driver-side bookkeeping next to the engine.
+struct Driver {
+    /// Last heartbeat round the primary ran.
     last_hb_round: SimTime,
+    /// When the ongoing view change was first suspected (fail-over
+    /// latency clock, reported on `ns.vsr.view_change_us`).
+    vc_started: Option<SimTime>,
 }
 
 /// The core of a replica, shared by its servants and loops.
 pub struct NsCore {
     rt: Rt,
     cfg: NsConfig,
-    st: Mutex<Repl>,
+    st: Mutex<VsrCore>,
+    drv: Mutex<Driver>,
     rr: AtomicU64,
     cpu: Semaphore,
     orb: Mutex<Weak<Orb>>,
@@ -136,7 +146,7 @@ pub struct NsReplica {
 
 impl NsReplica {
     /// Opens the replica's endpoint, exports the root context and peer
-    /// objects, and spawns the server, election and audit processes.
+    /// objects, and spawns the VSR and audit processes.
     pub fn start(
         rt: Rt,
         cfg: NsConfig,
@@ -150,18 +160,21 @@ impl NsReplica {
             cfg.replica_id
         );
         let now = rt.now();
+        let engine = VsrCore::new(
+            cfg.replica_id,
+            cfg.peers.len(),
+            cfg.log_retention,
+            cfg.suspect_timeout(),
+            now,
+        );
         let core = Arc::new(NsCore {
             cpu: Semaphore::new(&rt, 1),
             rt: rt.clone(),
             cfg,
-            st: Mutex::new(Repl {
-                ns: NsState::new(),
-                epoch: 0,
-                voted_for: None,
-                role: Role::Searching { since: now },
-                needs_catchup: false,
-                catching_up: false,
+            st: Mutex::new(engine),
+            drv: Mutex::new(Driver {
                 last_hb_round: now,
+                vc_started: None,
             }),
             rr: AtomicU64::new(0),
             orb: Mutex::new(Weak::new()),
@@ -191,7 +204,7 @@ impl NsReplica {
         );
         orb.start();
         let c = Arc::clone(&core);
-        rt.spawn_fn("ns-election", move || c.election_loop());
+        rt.spawn_fn("ns-vsr", move || c.vsr_loop());
         let c = Arc::clone(&core);
         rt.spawn_fn("ns-audit", move || c.audit_loop());
         Ok(Arc::new(NsReplica { core, orb }))
@@ -204,19 +217,41 @@ impl NsReplica {
         self.core.ctx_objref(ROOT_CTX)
     }
 
-    /// Whether this replica currently believes it is the master.
+    /// Whether this replica is currently the view primary with a quorum
+    /// (the VSR notion of the paper's "master").
     pub fn is_master(&self) -> bool {
-        matches!(self.core.st.lock().role, Role::Master { .. })
+        self.core.st.lock().is_master()
     }
 
-    /// The current election epoch.
+    /// The current view number (the VSR notion of the election epoch).
     pub fn epoch(&self) -> u64 {
-        self.core.st.lock().epoch
+        self.core.st.lock().view()
     }
 
-    /// Sequence number of the last applied update.
+    /// Sequence number of the last committed (applied) update.
     pub fn last_seq(&self) -> u64 {
-        self.core.st.lock().ns.last_seq
+        self.core.st.lock().commit_num()
+    }
+
+    /// Whether the replica is still in start-up/recovery probation.
+    pub fn in_probation(&self) -> bool {
+        self.core.st.lock().in_probation()
+    }
+
+    /// One-line engine state dump for test failure diagnostics.
+    pub fn debug_status(&self) -> String {
+        let st = self.core.st.lock();
+        format!(
+            "view={} status={:?} primary={} master={} probation={} catchup={} op={} commit={}",
+            st.view(),
+            st.status(),
+            st.is_primary(),
+            st.is_master(),
+            st.in_probation(),
+            st.needs_catchup(),
+            st.op_num(),
+            st.commit_num(),
+        )
     }
 
     /// Replaces the liveness oracle (wired to the local RAS at cluster
@@ -261,12 +296,98 @@ impl NsCore {
         NsPeerClient::attach(self.client_ctx(), target).map_err(|err| NsError::Comm { err })
     }
 
+    fn peer_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.cfg.peers.len() as u32).filter(move |i| *i != self.cfg.replica_id)
+    }
+
+    /// Runs `f` against the engine, then post-processes the events it
+    /// produced. Never call engine methods while making RPCs — every
+    /// peer call in this module happens with the lock released.
+    fn with_engine<R>(self: &Arc<Self>, f: impl FnOnce(&mut VsrCore) -> R) -> R {
+        let (out, events) = {
+            let mut st = self.st.lock();
+            let out = f(&mut st);
+            (out, st.take_events())
+        };
+        if !events.is_empty() {
+            self.apply_events(events);
+        }
+        out
+    }
+
+    /// Engine-event post-processing: telemetry, node-wide resolve-cache
+    /// invalidation piggybacked on commit application, and context
+    /// servant export.
+    fn apply_events(self: &Arc<Self>, events: Vec<VsrEvent>) {
+        let reg = &ocs_telemetry::NodeTelemetry::of(&*self.rt).registry;
+        let mut ctxs_changed = false;
+        for ev in events {
+            match ev {
+                VsrEvent::Committed { update, .. } => {
+                    reg.counter("ns.vsr.commits").inc();
+                    let path = match &update {
+                        NsUpdate::Bind { path, .. }
+                        | NsUpdate::Unbind { path }
+                        | NsUpdate::NewContext { path }
+                        | NsUpdate::NewReplContext { path, .. }
+                        | NsUpdate::ReportLoad { path, .. } => path.clone(),
+                    };
+                    ResolveCache::of(&*self.rt).invalidate(&path);
+                    reg.counter("ns.vsr.cache_invalidations").inc();
+                    if matches!(
+                        update,
+                        NsUpdate::NewContext { .. } | NsUpdate::NewReplContext { .. }
+                    ) {
+                        ctxs_changed = true;
+                    }
+                }
+                VsrEvent::Suspected { view } => {
+                    reg.counter("ns.vsr.suspects").inc();
+                    let mut drv = self.drv.lock();
+                    if drv.vc_started.is_none() {
+                        drv.vc_started = Some(self.rt.now());
+                    }
+                    self.rt.trace(&format!("ns: vsr suspect, proposing view {view}"));
+                }
+                VsrEvent::ViewChanged { view, primary } => {
+                    reg.counter("ns.vsr.view_changes").inc();
+                    reg.gauge("ns.vsr.view").set(view as i64);
+                    if let Some(started) = self.drv.lock().vc_started.take() {
+                        let us = self.rt.now().saturating_since(started).as_micros() as u64;
+                        reg.histo("ns.vsr.view_change_us").observe(us);
+                    }
+                    self.rt
+                        .trace(&format!("ns: vsr entered view {view} (primary {primary})"));
+                }
+                VsrEvent::Aborted { view } => {
+                    reg.counter("ns.vsr.vc_aborted").inc();
+                    self.drv.lock().vc_started = None;
+                    self.rt.trace(&format!(
+                        "ns: vsr view change to {view} aborted (primary still healthy)"
+                    ));
+                }
+                VsrEvent::CaughtUp { via_snapshot } => {
+                    let name = if via_snapshot {
+                        "ns.vsr.state_transfer_snapshot"
+                    } else {
+                        "ns.vsr.state_transfer_log"
+                    };
+                    reg.counter(name).inc();
+                    ctxs_changed = true;
+                }
+            }
+        }
+        if ctxs_changed {
+            self.sync_ctx_exports();
+        }
+    }
+
     /// Ensures a context servant is exported for every live context id.
     fn sync_ctx_exports(self: &Arc<Self>) {
         let Some(orb) = self.orb.lock().upgrade() else {
             return;
         };
-        let ids: Vec<CtxId> = self.st.lock().ns.context_ids();
+        let ids: Vec<CtxId> = self.st.lock().state().context_ids();
         let mut exported = self.exported.lock();
         for id in ids {
             if id != ROOT_CTX && !exported.contains(&id) {
@@ -284,64 +405,65 @@ impl NsCore {
 
     // ---- update path ---------------------------------------------------
 
-    /// Applies an update as master: assign the next sequence number,
-    /// apply locally, then multicast to the slaves.
-    fn master_apply(self: &Arc<Self>, update: NsUpdate) -> Result<(), NsError> {
-        let (seq, result, epoch) = {
-            let mut st = self.st.lock();
-            if !matches!(st.role, Role::Master { .. }) {
+    /// Sequences and replicates an update as the view primary: broadcast
+    /// the prepare, then wait for the majority commit.
+    fn drive_prepare(self: &Arc<Self>, prep: Prepare) -> Result<(), NsError> {
+        for i in self.peer_ids() {
+            let ack = self.peer_client(i).and_then(|peer| {
+                peer.prepare(
+                    prep.view,
+                    prep.op_num,
+                    prep.commit_num,
+                    prep.update.clone(),
+                )
+            });
+            if let Ok(ack) = ack {
+                self.with_engine(|c| c.on_ack(i, &ack));
+            }
+        }
+        // The acks usually commit the op synchronously above; under
+        // partial connectivity a later round's piggybacked watermark may
+        // close the gap, so poll briefly before giving up.
+        let deadline = self.rt.now() + self.cfg.peer_timeout * 2;
+        loop {
+            if let Some(result) = self.st.lock().result_of(prep.op_num) {
+                return result;
+            }
+            if self.rt.now() >= deadline {
+                // Sequenced but not committed: no quorum reachable. The
+                // op may still commit after a heal; clients treat this
+                // like a master outage and retry.
                 return Err(NsError::NoMaster);
             }
-            let seq = st.ns.last_seq + 1;
-            let result = st.ns.apply(seq, &update);
-            (seq, result, st.epoch)
-        };
-        self.sync_ctx_exports();
-        // Multicast regardless of the update's own success: failures are
-        // deterministic, so slaves replay them and stay in lockstep.
-        let ctx = self.client_ctx();
-        for (i, addr) in self.cfg.peers.iter().enumerate() {
-            if i as u32 == self.cfg.replica_id {
-                continue;
-            }
-            let target = ObjRef {
-                addr: *addr,
-                incarnation: ObjRef::STABLE,
-                type_id: NsPeerClient::TYPE_ID,
-                object_id: PEER_OBJ,
-            };
-            let mut e = ocs_wire::Encoder::new();
-            ocs_wire::Wire::encode_into(&epoch, &mut e);
-            ocs_wire::Wire::encode_into(&seq, &mut e);
-            ocs_wire::Wire::encode_into(&update, &mut e);
-            let _ = ctx.notify(&target, 3, e.finish());
+            self.rt.sleep(self.cfg.heartbeat_interval / 8);
         }
-        result
     }
 
-    /// Routes an update: apply here if master, otherwise forward.
+    /// Applies an update on this replica as primary, without forwarding.
+    fn master_submit(self: &Arc<Self>, update: NsUpdate) -> Result<(), NsError> {
+        match self.with_engine(|c| c.client_op(update)) {
+            Ok(prep) => self.drive_prepare(prep),
+            Err(_) => Err(NsError::NoMaster),
+        }
+    }
+
+    /// Routes a client update: sequence here if primary, forward to the
+    /// primary if backup. Fails fast — mid-view-change the client sees
+    /// `NoMaster` and its rebind library retries (§8.2).
     fn submit_update(self: &Arc<Self>, update: NsUpdate) -> Result<(), NsError> {
-        let master = {
-            let st = self.st.lock();
-            match st.role {
-                Role::Master { .. } => None,
-                Role::Slave { master, .. } => Some(master),
-                Role::Searching { .. } => return Err(NsError::NoMaster),
+        match self.with_engine(|c| c.client_op(update.clone())) {
+            Ok(prep) => self.drive_prepare(prep),
+            Err(SubmitRoute::Forward(p)) => {
+                self.peer_client(p)?.forward_update(update)
             }
-        };
-        match master {
-            None => self.master_apply(update),
-            Some(m) => {
-                let peer = self.peer_client(m)?;
-                peer.forward_update(update)
-            }
+            Err(SubmitRoute::Unavailable) => Err(NsError::NoMaster),
         }
     }
 
     /// Absolute path of a name bound in context `ctx`.
     fn abs_path(&self, ctx: CtxId, name: &str) -> Result<String, NsError> {
         let st = self.st.lock();
-        match st.ns.path_of_ctx(ctx) {
+        match st.state().path_of_ctx(ctx) {
             Some(prefix) if prefix.is_empty() => Ok(name.to_string()),
             Some(prefix) => Ok(format!("{prefix}/{name}")),
             None => Err(NsError::NotFound {
@@ -353,7 +475,7 @@ impl NsCore {
     // ---- read path -----------------------------------------------------
 
     fn read_state(&self) -> NsState {
-        self.st.lock().ns.clone()
+        self.st.lock().state().clone()
     }
 
     fn charge_resolve(&self) {
@@ -361,6 +483,28 @@ impl NsCore {
             self.cpu.acquire();
             self.rt.busy(self.cfg.resolve_cost);
             self.cpu.release();
+        }
+    }
+
+    /// If a local resolve miss on this backup may be stale — it holds
+    /// prepared-but-unapplied ops, so the primary has committed writes
+    /// we have not applied yet — returns the primary to re-ask
+    /// (read-your-writes for a client that bound through the primary
+    /// and immediately resolves through a backup). Peer replicas never
+    /// get forwarded again, so forwards cannot loop.
+    fn stale_miss_primary(&self, caller: NodeId) -> Option<u32> {
+        if self.cfg.peers.iter().any(|p| p.node == caller) {
+            return None;
+        }
+        let st = self.st.lock();
+        if st.status() == VsrStatus::Normal
+            && !st.is_primary()
+            && !st.in_probation()
+            && st.commit_gap() > 0
+        {
+            Some(st.primary_of(st.view()))
+        } else {
+            None
         }
     }
 
@@ -413,182 +557,261 @@ impl NsCore {
         )
     }
 
-    // ---- election / replication loops ----------------------------------
+    // ---- VSR driver loop -----------------------------------------------
 
-    fn election_loop(self: Arc<Self>) {
-        // Small tick; all real pacing happens against recorded times.
+    fn vsr_loop(self: Arc<Self>) {
         let tick = self.cfg.heartbeat_interval / 4;
-        // Desynchronize cold-start campaigns.
-        self.rt
-            .sleep(self.rt.rand_jitter(self.cfg.election_timeout / 2));
+        // Desynchronize the replicas' ticks.
+        self.rt.sleep(self.rt.rand_jitter(tick));
         loop {
             enum Act {
+                Probe,
                 HeartbeatRound,
-                Campaign,
-                CatchUp(u32),
+                CatchUp,
+                ViewChange,
                 Nothing,
             }
             let act = {
-                let mut st = self.st.lock();
+                let st = self.st.lock();
                 let now = self.rt.now();
-                match st.role {
-                    Role::Master { .. } => {
-                        if now.saturating_since(st.last_hb_round) >= self.cfg.heartbeat_interval {
-                            st.last_hb_round = now;
-                            Act::HeartbeatRound
+                if st.in_probation() {
+                    Act::Probe
+                } else if st.needs_catchup() {
+                    // Must outrank the heartbeat arm: a stale primary
+                    // that has learned of a higher view would otherwise
+                    // heartbeat its dead view forever instead of
+                    // catching up (found by the model-based proptest).
+                    Act::CatchUp
+                } else if st.is_primary() {
+                    let due = {
+                        let mut drv = self.drv.lock();
+                        if now.saturating_since(drv.last_hb_round)
+                            >= self.cfg.heartbeat_interval
+                        {
+                            drv.last_hb_round = now;
+                            true
                         } else {
-                            Act::Nothing
+                            false
                         }
+                    };
+                    if due {
+                        Act::HeartbeatRound
+                    } else {
+                        Act::Nothing
                     }
-                    Role::Slave {
-                        master,
-                        last_heartbeat,
-                    } => {
-                        if now.saturating_since(last_heartbeat) > self.cfg.election_timeout {
-                            st.role = Role::Searching { since: now };
-                            Act::Campaign
-                        } else if st.needs_catchup && !st.catching_up {
-                            st.catching_up = true;
-                            Act::CatchUp(master)
-                        } else {
-                            Act::Nothing
-                        }
-                    }
-                    Role::Searching { since } => {
-                        // Stagger campaigns by replica id (plus jitter) so
-                        // concurrent candidates don't split votes forever —
-                        // low ids win ties quickly.
-                        let wait = Duration::from_millis(
-                            200 + self.cfg.replica_id as u64 * 400 + (self.rt.rand_u64() % 300),
-                        );
-                        if now.saturating_since(since) >= wait {
-                            Act::Campaign
-                        } else {
-                            Act::Nothing
-                        }
-                    }
+                } else if st.suspects(now) || st.vc_stuck(now) {
+                    Act::ViewChange
+                } else {
+                    Act::Nothing
                 }
             };
             match act {
+                Act::Probe => self.recovery_probe(),
                 Act::HeartbeatRound => self.heartbeat_round(),
-                Act::Campaign => self.campaign(),
-                Act::CatchUp(master) => self.catch_up(master),
+                Act::CatchUp => self.catch_up(),
+                Act::ViewChange => self.run_view_change(),
                 Act::Nothing => {}
+            }
+            {
+                let st = self.st.lock();
+                let reg = &ocs_telemetry::NodeTelemetry::of(&*self.rt).registry;
+                reg.gauge("ns.vsr.view").set(st.view() as i64);
+                reg.gauge("ns.vsr.commit_gap").set(st.commit_gap() as i64);
             }
             self.rt.sleep(tick);
         }
     }
 
+    /// One primary heartbeat round: broadcast the commit point, absorb
+    /// the watermark acks, re-send log entries to lagging backups, and
+    /// track quorum contact.
     fn heartbeat_round(self: &Arc<Self>) {
-        let (epoch, last_seq) = {
+        let (view, commit, op_num) = {
             let st = self.st.lock();
-            if !matches!(st.role, Role::Master { .. }) {
+            if !st.is_primary() {
                 return;
             }
-            (st.epoch, st.ns.last_seq)
+            (st.view(), st.commit_num(), st.op_num())
         };
-        let me = self.cfg.replica_id;
-        let mut acks = 1; // self
-        for i in 0..self.cfg.peers.len() as u32 {
-            if i == me {
-                continue;
-            }
-            if let Ok(peer) = self.peer_client(i) {
-                if peer.heartbeat(epoch, me, last_seq).is_ok() {
-                    acks += 1;
+        let mut acked = 0;
+        for i in self.peer_ids() {
+            let ack = self
+                .peer_client(i)
+                .and_then(|peer| peer.commit_hb(view, commit));
+            let Ok(ack) = ack else { continue };
+            self.with_engine(|c| c.on_ack(i, &ack));
+            if ack.view == view && ack.accepted {
+                acked += 1;
+                if ack.op_num < op_num {
+                    self.resend_to(i, view, ack.op_num);
                 }
             }
         }
-        let mut st = self.st.lock();
-        if let Role::Master { missed_rounds } = &mut st.role {
-            if acks < self.cfg.majority() {
-                *missed_rounds += 1;
-                if *missed_rounds >= 3 {
-                    // Lost the majority: step down (no updates without a
-                    // quorum — the §4.6 availability rule).
-                    self.rt.trace("ns: master stepping down (no majority)");
-                    st.role = Role::Searching {
-                        since: self.rt.now(),
-                    };
-                }
-            } else {
-                *missed_rounds = 0;
-            }
-        }
+        self.with_engine(|c| c.note_round(acked));
     }
 
-    fn campaign(self: &Arc<Self>) {
-        let (epoch, last_seq) = {
-            let mut st = self.st.lock();
-            st.epoch += 1;
-            st.voted_for = Some((st.epoch, self.cfg.replica_id));
-            st.role = Role::Searching {
-                since: self.rt.now(),
+    /// Re-sends the log suffix after `from` to one lagging backup
+    /// (bounded per round; state transfer covers bigger gaps).
+    fn resend_to(self: &Arc<Self>, peer: u32, view: u64, from: u64) {
+        let entries = {
+            let st = self.st.lock();
+            if !st.is_primary() || st.view() != view {
+                return;
+            }
+            st.entries_from(from + 1)
+        };
+        // `None` means the suffix was compacted: the backup's gap spans
+        // the retention window and it will request a snapshot itself.
+        let Some(entries) = entries else { return };
+        let Ok(client) = self.peer_client(peer) else {
+            return;
+        };
+        for e in entries.into_iter().take(RESEND_BATCH) {
+            let commit = self.st.lock().commit_num();
+            let Ok(ack) = client.prepare(e.view.max(view), e.op, commit, e.update) else {
+                return;
             };
-            (st.epoch, st.ns.last_seq)
-        };
-        let me = self.cfg.replica_id;
-        let mut votes = 1; // self
-        for i in 0..self.cfg.peers.len() as u32 {
-            if i == me {
-                continue;
+            self.with_engine(|c| c.on_ack(peer, &ack));
+            if !ack.accepted {
+                return;
             }
-            if let Ok(peer) = self.peer_client(i) {
-                if peer.request_vote(epoch, me, last_seq) == Ok(true) {
-                    votes += 1;
-                }
-            }
-        }
-        let won = {
-            let mut st = self.st.lock();
-            if votes >= self.cfg.majority() && st.epoch == epoch {
-                st.role = Role::Master { missed_rounds: 0 };
-                st.last_hb_round = self.rt.now();
-                true
-            } else {
-                if st.epoch == epoch && matches!(st.role, Role::Searching { .. }) {
-                    st.role = Role::Searching {
-                        since: self.rt.now(),
-                    };
-                }
-                false
-            }
-        };
-        if won {
-            self.rt
-                .trace(&format!("ns: replica {me} elected master (epoch {epoch})"));
-            self.heartbeat_round();
         }
     }
 
-    fn catch_up(self: &Arc<Self>, master: u32) {
-        let result = self
-            .peer_client(master)
-            .and_then(|peer| peer.fetch_snapshot());
-        let mut st = self.st.lock();
-        st.catching_up = false;
-        if let Ok(snap) = result {
-            if snap.last_seq > st.ns.last_seq {
-                st.ns.restore(snap);
-                st.needs_catchup = false;
-                drop(st);
-                self.sync_ctx_exports();
+    /// Proposes (or re-proposes) a view change: broadcast the proposal,
+    /// and either complete it — every joiner plus this initiator routes
+    /// a `DoViewChange` to the new view's primary — or revert.
+    fn run_view_change(self: &Arc<Self>) {
+        let now = self.rt.now();
+        let proposed = self.with_engine(|c| c.begin_view_change(now));
+        let mut joined = 1; // self
+        for i in self.peer_ids() {
+            match self
+                .peer_client(i)
+                .and_then(|peer| peer.start_view_change(proposed))
+            {
+                Ok(ack) if ack.joined => joined += 1,
+                Ok(ack) => self.with_engine(|c| c.note_view(ack.view)),
+                Err(_) => {}
+            }
+        }
+        let majority = self.cfg.peers.len() / 2 + 1;
+        if joined < majority {
+            let now = self.rt.now();
+            self.with_engine(|c| c.abort_view_change(proposed, now));
+            return;
+        }
+        // Quorum joined: contribute our own log to the new primary.
+        let new_primary = (proposed % self.cfg.peers.len() as u64) as u32;
+        let dvc = {
+            let st = self.st.lock();
+            if st.view() != proposed {
+                return; // Overtaken by a competing change.
+            }
+            st.dvc_payload()
+        };
+        self.deliver_dvc(new_primary, dvc);
+    }
+
+    /// Routes a `DoViewChange` to the new primary — locally when that is
+    /// this replica, by RPC otherwise.
+    fn deliver_dvc(self: &Arc<Self>, new_primary: u32, dvc: DoViewChange) {
+        if new_primary == self.cfg.replica_id {
+            let now = self.rt.now();
+            if let Some(sv) = self.with_engine(|c| c.on_do_view_change(dvc, now)) {
+                self.broadcast_start_view(sv);
+            }
+        } else if let Ok(peer) = self.peer_client(new_primary) {
+            let _ = peer.do_view_change(dvc);
+        }
+    }
+
+    /// New primary → backups: announce the chosen log. The acks double
+    /// as prepare-oks, so the carried tail usually commits in-round.
+    fn broadcast_start_view(self: &Arc<Self>, sv: StartView) {
+        for i in self.peer_ids() {
+            if let Ok(ack) = self
+                .peer_client(i)
+                .and_then(|peer| peer.start_view(sv.clone()))
+            {
+                self.with_engine(|c| c.on_ack(i, &ack));
+            }
+        }
+        self.drv.lock().last_hb_round = self.rt.now();
+    }
+
+    /// Collects `get_state` answers from every reachable peer and
+    /// returns the freshest, with the answer count.
+    fn poll_peers_state(self: &Arc<Self>) -> (usize, Option<StateTransfer>) {
+        let commit = self.st.lock().commit_num();
+        let mut answers = 0;
+        let mut best: Option<StateTransfer> = None;
+        for i in self.peer_ids() {
+            let Ok(st) = self
+                .peer_client(i)
+                .and_then(|peer| peer.get_state(commit))
+            else {
+                continue;
+            };
+            answers += 1;
+            let better = match &best {
+                None => true,
+                Some(b) => (st.view, st.op_num, st.commit_num) > (b.view, b.op_num, b.commit_num),
+            };
+            if better {
+                best = Some(st);
+            }
+        }
+        (answers, best)
+    }
+
+    /// Routine state transfer for a replica that saw a gap or a higher
+    /// view.
+    fn catch_up(self: &Arc<Self>) {
+        let (answers, best) = self.poll_peers_state();
+        if answers == 0 {
+            return; // Nobody reachable; retry next tick.
+        }
+        if let Some(best) = best {
+            let now = self.rt.now();
+            self.with_engine(|c| {
+                c.on_state_transfer(best, now);
+            });
+        }
+    }
+
+    /// Start-up recovery: a (re)starting replica's log may have died
+    /// with it, so it stays in probation — not acking, leading or
+    /// joining view changes — until a recovery quorum of peers has
+    /// answered and the freshest answer is installed. Any committed op
+    /// appears in at least one log of any `f+1` peers.
+    fn recovery_probe(self: &Arc<Self>) {
+        let required = self.st.lock().recovery_quorum();
+        let (answers, best) = self.poll_peers_state();
+        if answers < required {
+            return; // Keep probing; StartView can also end probation.
+        }
+        let now = self.rt.now();
+        self.with_engine(|c| {
+            if !c.in_probation() {
                 return;
             }
-            st.needs_catchup = false;
-        }
+            if let Some(best) = best {
+                c.on_state_transfer(best, now);
+            }
+            c.end_probation(now);
+        });
     }
 
     fn audit_loop(self: Arc<Self>) {
         loop {
             self.rt.sleep(self.cfg.audit_interval);
-            let is_master = matches!(self.st.lock().role, Role::Master { .. });
-            if !is_master {
+            if !self.st.lock().is_master() {
                 continue;
             }
             let leaves: Vec<(String, ObjRef)> = {
                 let st = self.st.lock();
-                st.ns
+                st.state()
                     .collect_leaves()
                     .into_iter()
                     // Stable references (other name-service contexts)
@@ -609,7 +832,7 @@ impl NsCore {
                         .registry
                         .counter("ns.server.audit_removed")
                         .inc();
-                    let _ = self.master_apply(NsUpdate::Unbind { path: path.clone() });
+                    let _ = self.master_submit(NsUpdate::Unbind { path: path.clone() });
                 }
             }
         }
@@ -652,7 +875,25 @@ struct CtxView {
 
 impl NamingContext for CtxView {
     fn resolve(&self, caller: &Caller, name: String) -> Result<ObjRef, NsError> {
-        self.core.do_resolve(self.ctx, &name, caller.node)
+        let local = self.core.do_resolve(self.ctx, &name, caller.node);
+        if let Err(NsError::NotFound { .. }) = &local {
+            if let Some(primary) = self.core.stale_miss_primary(caller.node) {
+                let mut target = self.core.ctx_objref(self.ctx);
+                target.addr = self.core.cfg.peers[primary as usize];
+                if let Ok(remote) =
+                    crate::iface::NamingContextClient::attach(self.core.client_ctx(), target)
+                {
+                    if let Ok(obj) = remote.resolve(name) {
+                        ocs_telemetry::NodeTelemetry::of(&*self.core.rt)
+                            .registry
+                            .counter("ns.vsr.read_forwards")
+                            .inc();
+                        return Ok(obj);
+                    }
+                }
+            }
+        }
+        local
     }
 
     fn bind(&self, _caller: &Caller, name: String, obj: ObjRef) -> Result<(), NsError> {
@@ -669,9 +910,8 @@ impl NamingContext for CtxView {
         let path = self.core.abs_path(self.ctx, &name)?;
         self.core
             .submit_update(NsUpdate::NewContext { path: path.clone() })?;
-        // Resolve locally to return the fresh context's reference (the
-        // update applied locally if we are master; otherwise resolve may
-        // briefly race the multicast — retry once after a beat).
+        // Commit application is synchronous on the primary but may
+        // still be in flight here on a backup — retry once after a beat.
         match self.core.do_resolve(self.ctx, &name, caller.node) {
             Ok(obj) => Ok(obj),
             Err(NsError::NotFound { .. }) => {
@@ -694,7 +934,7 @@ impl NamingContext for CtxView {
         // A replicated context resolves to a *member*, so return the
         // context reference by id lookup instead.
         let st = self.core.st.lock();
-        match st.ns.ctx_of_name(self.ctx, &name) {
+        match st.state().ctx_of_name(self.ctx, &name) {
             Some(id) => Ok(self.core.ctx_objref(id)),
             None => Ok(self.core.ctx_objref(self.ctx)),
         }
@@ -714,95 +954,67 @@ impl NamingContext for CtxView {
     }
 }
 
-/// Servant view of the replica-to-replica protocol.
+/// Servant view of the VSR replica-to-replica protocol.
 struct PeerView {
     core: Arc<NsCore>,
 }
 
 impl NsPeer for PeerView {
-    fn request_vote(
+    fn prepare(
         &self,
         _caller: &Caller,
-        epoch: u64,
-        candidate: u32,
-        last_seq: u64,
-    ) -> Result<bool, NsError> {
-        let mut st = self.core.st.lock();
-        if epoch < st.epoch {
-            return Ok(false);
-        }
-        if epoch > st.epoch {
-            st.epoch = epoch;
-            st.voted_for = None;
-            st.role = Role::Searching {
-                since: self.core.rt.now(),
-            };
-        }
-        if last_seq < st.ns.last_seq {
-            // Refuse candidates behind our log (Echo-style freshness).
-            return Ok(false);
-        }
-        match st.voted_for {
-            Some((e, c)) if e == epoch && c != candidate => Ok(false),
-            _ => {
-                st.voted_for = Some((epoch, candidate));
-                Ok(true)
-            }
-        }
-    }
-
-    fn heartbeat(
-        &self,
-        _caller: &Caller,
-        epoch: u64,
-        master: u32,
-        last_seq: u64,
-    ) -> Result<u64, NsError> {
-        let mut st = self.core.st.lock();
-        if epoch < st.epoch {
-            return Err(NsError::NoMaster);
-        }
-        st.epoch = epoch;
-        st.role = Role::Slave {
-            master,
-            last_heartbeat: self.core.rt.now(),
-        };
-        if last_seq > st.ns.last_seq {
-            st.needs_catchup = true;
-        }
-        Ok(st.ns.last_seq)
-    }
-
-    fn apply_update(
-        &self,
-        _caller: &Caller,
-        epoch: u64,
-        seq: u64,
+        view: u64,
+        op_num: u64,
+        commit_num: u64,
         update: NsUpdate,
-    ) -> Result<(), NsError> {
-        {
-            let mut st = self.core.st.lock();
-            if epoch < st.epoch {
-                return Ok(());
-            }
-            if seq == st.ns.last_seq + 1 {
-                let _ = st.ns.apply(seq, &update);
-            } else if seq > st.ns.last_seq + 1 {
-                st.needs_catchup = true;
-                return Ok(());
-            } else {
-                return Ok(()); // Duplicate.
-            }
+    ) -> Result<crate::vsr::PeerAck, NsError> {
+        let now = self.core.rt.now();
+        Ok(self
+            .core
+            .with_engine(|c| c.on_prepare(view, op_num, commit_num, update, now)))
+    }
+
+    fn commit_hb(
+        &self,
+        _caller: &Caller,
+        view: u64,
+        commit_num: u64,
+    ) -> Result<crate::vsr::PeerAck, NsError> {
+        let now = self.core.rt.now();
+        Ok(self.core.with_engine(|c| c.on_commit_hb(view, commit_num, now)))
+    }
+
+    fn start_view_change(&self, _caller: &Caller, view: u64) -> Result<crate::vsr::SvcAck, NsError> {
+        let now = self.core.rt.now();
+        let (ack, dvc) = self.core.with_engine(|c| c.on_start_view_change(view, now));
+        if let Some(dvc) = dvc {
+            // Route our log contribution to the proposed view's primary
+            // before acking, so the initiator's join count implies the
+            // primary has (or will have) a DVC quorum.
+            let new_primary = (view % self.core.cfg.peers.len() as u64) as u32;
+            self.core.deliver_dvc(new_primary, dvc);
         }
-        self.core.sync_ctx_exports();
+        Ok(ack)
+    }
+
+    fn do_view_change(&self, _caller: &Caller, dvc: DoViewChange) -> Result<(), NsError> {
+        let now = self.core.rt.now();
+        if let Some(sv) = self.core.with_engine(|c| c.on_do_view_change(dvc, now)) {
+            self.core.broadcast_start_view(sv);
+        }
         Ok(())
     }
 
-    fn fetch_snapshot(&self, _caller: &Caller) -> Result<Snapshot, NsError> {
-        Ok(self.core.st.lock().ns.snapshot())
+    fn start_view(&self, _caller: &Caller, sv: StartView) -> Result<crate::vsr::PeerAck, NsError> {
+        let now = self.core.rt.now();
+        Ok(self.core.with_engine(|c| c.on_start_view(sv, now)))
+    }
+
+    fn get_state(&self, _caller: &Caller, from_op: u64) -> Result<StateTransfer, NsError> {
+        Ok(self.core.st.lock().on_get_state(from_op))
     }
 
     fn forward_update(&self, _caller: &Caller, update: NsUpdate) -> Result<(), NsError> {
-        self.core.master_apply(update)
+        self.core.master_submit(update)
     }
 }

@@ -44,6 +44,15 @@ fn ns_config(i: u32, peers: Vec<Addr>) -> NsConfig {
 }
 
 fn build_cluster(sim: &Sim, n: usize, oracle: Arc<dyn LivenessOracle>) -> NsCluster {
+    build_cluster_with(sim, n, oracle, |_| {})
+}
+
+fn build_cluster_with(
+    sim: &Sim,
+    n: usize,
+    oracle: Arc<dyn LivenessOracle>,
+    tweak: impl Fn(&mut NsConfig),
+) -> NsCluster {
     let nodes: Vec<Arc<SimNode>> = (0..n)
         .map(|i| sim.add_node(&format!("server{i}")))
         .collect();
@@ -54,8 +63,9 @@ fn build_cluster(sim: &Sim, n: usize, oracle: Arc<dyn LivenessOracle>) -> NsClus
     let replicas = Arc::new(Mutex::new(vec![None; n]));
     for (i, node) in nodes.iter().enumerate() {
         let rt: Rt = node.clone();
-        let r = NsReplica::start(rt, ns_config(i as u32, peers.clone()), Arc::clone(&oracle))
-            .expect("replica starts");
+        let mut cfg = ns_config(i as u32, peers.clone());
+        tweak(&mut cfg);
+        let r = NsReplica::start(rt, cfg, Arc::clone(&oracle)).expect("replica starts");
         replicas.lock()[i] = Some(r);
     }
     NsCluster {
@@ -418,6 +428,65 @@ fn crashed_replica_catches_up_after_restart() {
     });
     sim.run_until(SimTime::from_secs(50));
     assert_eq!(results.try_recv().unwrap().unwrap(), leaf(4, 1));
+}
+
+#[test]
+fn restart_beyond_retention_recovers_via_snapshot_transfer() {
+    // A replica that stays dead while more updates commit than the VSR
+    // log retains cannot be caught up by log replay: its recovery probe
+    // must pull a full snapshot. (The test above stays within the
+    // retention window and exercises the log-replay path.)
+    let sim = Sim::new(12);
+    let retention = 8u64;
+    let cluster = build_cluster_with(&sim, 3, Arc::new(AlwaysAlive), |c| {
+        c.log_retention = retention;
+    });
+    let client = sim.add_node("client");
+    sim.run_until(SimTime::from_secs(10));
+    let victim = 2usize;
+    sim.crash_node(cluster.nodes[victim].node());
+    sim.run_until(SimTime::from_secs(20));
+    let masters = cluster.masters();
+    assert_eq!(masters.len(), 1);
+
+    // Commit well past the retention window while the victim is down.
+    let ns = cluster.handle_via(&client, masters[0] as usize);
+    let ops = retention + 12;
+    let step: SimChan<()> = SimChan::new(&sim);
+    let step2 = step.clone();
+    client.spawn_fn("writer", move || {
+        for i in 0..ops {
+            ns.bind(&format!("deep-{i}"), leaf(i as u32, 1)).unwrap();
+        }
+        step2.send(());
+    });
+    sim.run_until(SimTime::from_secs(40));
+    step.try_recv().unwrap();
+
+    sim.restart_node(cluster.nodes[victim].node());
+    let rt: Rt = cluster.nodes[victim].clone();
+    let mut cfg = ns_config(victim as u32, cluster.peers.clone());
+    cfg.log_retention = retention;
+    let r = NsReplica::start(rt, cfg, Arc::new(AlwaysAlive)).unwrap();
+    cluster.replicas.lock()[victim] = Some(r);
+    sim.run_until(SimTime::from_secs(60));
+
+    // The rejoin went through the snapshot path, not log replay.
+    let tel = ocs_telemetry::NodeTelemetry::of(&*cluster.nodes[victim]);
+    assert!(
+        tel.registry.counter("ns.vsr.state_transfer_snapshot").get() >= 1,
+        "a gap beyond the retention window must be filled by snapshot"
+    );
+    // And the replica serves the deep history locally.
+    let ns = cluster.handle_via(&client, victim);
+    let results: SimChan<Result<ObjRef, NsError>> = SimChan::new(&sim);
+    let results2 = results.clone();
+    let last = ops - 1;
+    client.spawn_fn("check", move || {
+        results2.send(ns.resolve(&format!("deep-{last}")));
+    });
+    sim.run_until(SimTime::from_secs(62));
+    assert_eq!(results.try_recv().unwrap().unwrap(), leaf(last as u32, 1));
 }
 
 #[test]

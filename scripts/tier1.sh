@@ -4,9 +4,11 @@
 # seeded fault campaign must converge and two identically-seeded runs
 # must replay the exact same event trace — a real-runtime chaos smoke
 # (one process-group kill and one partition-heal over TCP loopback,
-# time-bounded) — and a telemetry smoke: a
+# time-bounded) — a telemetry smoke: a
 # 1-settop run must produce a causal span dump whose movie-open tree
-# crosses the MMS, Connection Manager and MDS.
+# crosses the MMS, Connection Manager and MDS — and bench guards over
+# the committed E17/E18/E20 artifacts (throughput, kernel fast path,
+# NS view-change latency).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,5 +107,31 @@ speedup="$(json_field "$tmp/BENCH_e18.json" pp_speedup)"
 committed_speedup="$(json_field "$repo/BENCH_e18.json" pp_speedup)"
 rm -rf "$tmp"
 echo "tier1: E18 smoke ping-pong $eps ev/s wall-clock, ${speedup}x fast/slow (informational; committed baseline ${committed_speedup}x)"
+
+# View-change smoke + bench guard: E20's simulator legs (the real-TCP
+# leg is skipped with --sim-only to keep this deterministic and fast)
+# must elect a new master after every primary kill, with a sub-second
+# p99 under the deployed tuning. The committed full-run BENCH_e20.json
+# must also carry the headline claim: view-change p99 under 2 s on both
+# the tuned sim leg and the real TCP runtime (vs the paper's 25 s
+# bound).
+tmp="$(mktemp -d)"
+(cd "$tmp" && timeout 120 cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- \
+    e20 --sim-only >/dev/null)
+fresh="$(json_field "$tmp/BENCH_e20.json" sim_view_change_p99_s)"
+rm -rf "$tmp"
+if [ -z "$fresh" ] || ! awk -v f="$fresh" 'BEGIN { exit !(f < 2.0) }'; then
+    echo "tier1: E20 smoke FAILED - fresh sim view-change p99 ${fresh:-missing} not < 2.0 s" >&2
+    exit 1
+fi
+for key in sim_view_change_p99_s real_view_change_p99_s; do
+    committed="$(json_field "$repo/BENCH_e20.json" "$key")"
+    if [ -z "$committed" ] || ! awk -v c="$committed" 'BEGIN { exit !(c < 2.0) }'; then
+        echo "tier1: E20 guard FAILED - committed $key ${committed:-missing} not < 2.0 s (BENCH_e20.json)" >&2
+        exit 1
+    fi
+done
+echo "tier1: E20 smoke sim view-change p99 ${fresh}s (guard: < 2.0 s, paper bound 25 s)"
 
 echo "tier1: OK"
