@@ -353,8 +353,10 @@ fn same_seed_chaos_run_has_identical_trace_hash() {
 /// Re-captured when the name service moved to the VSR update log: the
 /// replica-to-replica protocol (prepares, heartbeats, view changes)
 /// changed the wire traffic, so the trace legitimately differs from the
-/// election-era baseline.
-const E15_BASELINE_TRACE_HASH: u64 = 11658680595248945527;
+/// election-era baseline. Re-captured again when view changes gained the
+/// two-phase DoViewChange release (`view_change_go`) and prepares began
+/// carrying the entry's original view beside the sender's.
+const E15_BASELINE_TRACE_HASH: u64 = 14580253440414717300;
 
 #[test]
 fn e15_trace_hash_matches_committed_baseline() {

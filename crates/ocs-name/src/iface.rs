@@ -64,16 +64,21 @@ declare_interface! {
     /// `start_view_change` → `do_view_change` → `start_view`, and
     /// rejoining replicas pull state with `get_state`.
     pub interface NsPeer [NsPeerClient, NsPeerServant]: "ocs.ns-peer" {
-        /// Primary → backup: append op `op_num` of `view`; `commit_num`
-        /// piggybacks the commit point. The ack's `op_num` acknowledges
-        /// every op at or below it.
-        1 => fn prepare(&self, view: u64, op_num: u64, commit_num: u64, update: NsUpdate) -> Result<PeerAck, NsError>;
+        /// Primary → backup: append op `op_num`; `commit_num` piggybacks
+        /// the commit point. `view` is the *sender's* current view and
+        /// gates acceptance; `entry_view` is the view that originally
+        /// sequenced the op and is what the log records — a re-send never
+        /// re-stamps an entry. The ack's `op_num` acknowledges every op
+        /// at or below it.
+        1 => fn prepare(&self, view: u64, entry_view: u64, op_num: u64, commit_num: u64, update: NsUpdate) -> Result<PeerAck, NsError>;
         /// Primary → backup: idle heartbeat carrying the commit point.
         2 => fn commit_hb(&self, view: u64, commit_num: u64) -> Result<PeerAck, NsError>;
         /// Suspect → peers: propose `view`. A peer joins only if it
-        /// suspects the primary too; joiners send their `do_view_change`
-        /// to the proposed view's primary before acking.
-        3 => fn start_view_change(&self, view: u64) -> Result<SvcAck, NsError>;
+        /// suspects the primary too (or `forced`, the re-admission path
+        /// for a replica whose emitted `do_view_change` pins it above
+        /// its last normal view). Joining does NOT release the payload —
+        /// that waits for `view_change_go`.
+        3 => fn start_view_change(&self, view: u64, forced: bool) -> Result<SvcAck, NsError>;
         /// Joiner → new primary: log + snapshot contribution for the
         /// view change.
         4 => fn do_view_change(&self, dvc: DoViewChange) -> Result<(), NsError>;
@@ -85,6 +90,9 @@ declare_interface! {
         6 => fn get_state(&self, from_op: u64) -> Result<StateTransfer, NsError>;
         /// Backup → primary forwarding of a client update.
         7 => fn forward_update(&self, update: NsUpdate) -> Result<(), NsError>;
+        /// Initiator → joiner: a majority has joined `view`, release the
+        /// `do_view_change` payload toward the new primary.
+        8 => fn view_change_go(&self, view: u64) -> Result<(), NsError>;
     }
 }
 

@@ -42,7 +42,8 @@ use crate::selector::eval_static;
 use crate::state::{CtxId, NsState, ResolveOut, SelectorEval, ROOT_CTX};
 use crate::types::{Binding, NsError, NsUpdate, SelectorSpec};
 use crate::vsr::{
-    DoViewChange, Prepare, StartView, StateTransfer, SubmitRoute, VsrCore, VsrEvent, VsrStatus,
+    DoViewChange, OpOutcome, Prepare, StartView, StateTransfer, SubmitRoute, VsrCore, VsrEvent,
+    VsrStatus,
 };
 
 /// Object id of the `NsPeer` servant on every replica's ORB.
@@ -412,6 +413,7 @@ impl NsCore {
             let ack = self.peer_client(i).and_then(|peer| {
                 peer.prepare(
                     prep.view,
+                    prep.view,
                     prep.op_num,
                     prep.commit_num,
                     prep.update.clone(),
@@ -423,11 +425,24 @@ impl NsCore {
         }
         // The acks usually commit the op synchronously above; under
         // partial connectivity a later round's piggybacked watermark may
-        // close the gap, so poll briefly before giving up.
+        // close the gap, so poll briefly before giving up. The poll is
+        // keyed by the viewstamp `(view, op)` we sequenced, never the op
+        // number alone: if we are deposed mid-poll and a view change
+        // commits a *different* update at our op number, the client must
+        // hear failure — its write may be lost — not the replacement's
+        // success.
         let deadline = self.rt.now() + self.cfg.peer_timeout * 2;
         loop {
-            if let Some(result) = self.st.lock().result_of(prep.op_num) {
-                return result;
+            match self.st.lock().outcome_of(prep.view, prep.op_num) {
+                OpOutcome::Done(result) => return result,
+                OpOutcome::Superseded => {
+                    ocs_telemetry::NodeTelemetry::of(&*self.rt)
+                        .registry
+                        .counter("ns.vsr.superseded")
+                        .inc();
+                    return Err(NsError::NoMaster);
+                }
+                OpOutcome::Pending => {}
             }
             if self.rt.now() >= deadline {
                 // Sequenced but not committed: no quorum reachable. The
@@ -668,7 +683,9 @@ impl NsCore {
         };
         for e in entries.into_iter().take(RESEND_BATCH) {
             let commit = self.st.lock().commit_num();
-            let Ok(ack) = client.prepare(e.view.max(view), e.op, commit, e.update) else {
+            // Sender view and the entry's original view travel
+            // separately: a re-send never re-stamps the entry.
+            let Ok(ack) = client.prepare(view, e.view, e.op, commit, e.update) else {
                 return;
             };
             self.with_engine(|c| c.on_ack(peer, &ack));
@@ -679,18 +696,29 @@ impl NsCore {
     }
 
     /// Proposes (or re-proposes) a view change: broadcast the proposal,
-    /// and either complete it — every joiner plus this initiator routes
-    /// a `DoViewChange` to the new view's primary — or revert.
+    /// and either complete it or revert. Only after a majority has
+    /// joined does anyone emit a `DoViewChange` — the initiator tells
+    /// each joiner to release its payload (`view_change_go`) and then
+    /// releases its own. Emitting earlier is unsafe: a payload from a
+    /// replica that later reverts to an older view could complete the
+    /// change with a log that omits ops newly committed there.
     fn run_view_change(self: &Arc<Self>) {
         let now = self.rt.now();
-        let proposed = self.with_engine(|c| c.begin_view_change(now));
+        let (proposed, forced) = self.with_engine(|c| {
+            let v = c.begin_view_change(now);
+            (v, c.vc_forced())
+        });
         let mut joined = 1; // self
+        let mut joiners = Vec::new();
         for i in self.peer_ids() {
             match self
                 .peer_client(i)
-                .and_then(|peer| peer.start_view_change(proposed))
+                .and_then(|peer| peer.start_view_change(proposed, forced))
             {
-                Ok(ack) if ack.joined => joined += 1,
+                Ok(ack) if ack.joined => {
+                    joined += 1;
+                    joiners.push(i);
+                }
                 Ok(ack) => self.with_engine(|c| c.note_view(ack.view)),
                 Err(_) => {}
             }
@@ -701,16 +729,17 @@ impl NsCore {
             self.with_engine(|c| c.abort_view_change(proposed, now));
             return;
         }
-        // Quorum joined: contribute our own log to the new primary.
+        // Quorum joined: release the DoViewChanges toward the new
+        // primary — the joiners' first, then our own.
         let new_primary = (proposed % self.cfg.peers.len() as u64) as u32;
-        let dvc = {
-            let st = self.st.lock();
-            if st.view() != proposed {
-                return; // Overtaken by a competing change.
+        for i in joiners {
+            if let Ok(peer) = self.peer_client(i) {
+                let _ = peer.view_change_go(proposed);
             }
-            st.dvc_payload()
-        };
-        self.deliver_dvc(new_primary, dvc);
+        }
+        if let Some(dvc) = self.with_engine(|c| c.emit_dvc(proposed)) {
+            self.deliver_dvc(new_primary, dvc);
+        }
     }
 
     /// Routes a `DoViewChange` to the new primary — locally when that is
@@ -740,12 +769,23 @@ impl NsCore {
         self.drv.lock().last_hb_round = self.rt.now();
     }
 
-    /// Collects `get_state` answers from every reachable peer and
-    /// returns the freshest, with the answer count.
-    fn poll_peers_state(self: &Arc<Self>) -> (usize, Option<StateTransfer>) {
+    /// Collects `get_state` answers from every reachable peer. Only
+    /// *authoritative* answers (Normal, out-of-probation responders)
+    /// count toward `countable` and compete for `best`: a probationary
+    /// or view-changing peer's log proves nothing about what committed.
+    /// Genuinely cold answers (empty, view 0 — a cold-starting group)
+    /// count toward `countable` but carry no state. Among authoritative
+    /// answers the `(view, op_num, commit_num)` maximum is taken, which
+    /// is the latest-view primary's log whenever the primary answered
+    /// (a backup never out-runs its primary within a view) — the VSR
+    /// recovery preference.
+    fn poll_peers_state(self: &Arc<Self>) -> PeerPoll {
         let commit = self.st.lock().commit_num();
-        let mut answers = 0;
-        let mut best: Option<StateTransfer> = None;
+        let mut poll = PeerPoll {
+            answers: 0,
+            countable: 0,
+            best: None,
+        };
         for i in self.peer_ids() {
             let Ok(st) = self
                 .peer_client(i)
@@ -753,26 +793,34 @@ impl NsCore {
             else {
                 continue;
             };
-            answers += 1;
-            let better = match &best {
+            poll.answers += 1;
+            if st.is_cold() {
+                poll.countable += 1;
+                continue;
+            }
+            if !st.authoritative() {
+                continue;
+            }
+            poll.countable += 1;
+            let better = match &poll.best {
                 None => true,
                 Some(b) => (st.view, st.op_num, st.commit_num) > (b.view, b.op_num, b.commit_num),
             };
             if better {
-                best = Some(st);
+                poll.best = Some(st);
             }
         }
-        (answers, best)
+        poll
     }
 
     /// Routine state transfer for a replica that saw a gap or a higher
-    /// view.
+    /// view. Installs only authoritative (Normal-responder) state.
     fn catch_up(self: &Arc<Self>) {
-        let (answers, best) = self.poll_peers_state();
-        if answers == 0 {
+        let poll = self.poll_peers_state();
+        if poll.answers == 0 {
             return; // Nobody reachable; retry next tick.
         }
-        if let Some(best) = best {
+        if let Some(best) = poll.best {
             let now = self.rt.now();
             self.with_engine(|c| {
                 c.on_state_transfer(best, now);
@@ -783,12 +831,15 @@ impl NsCore {
     /// Start-up recovery: a (re)starting replica's log may have died
     /// with it, so it stays in probation — not acking, leading or
     /// joining view changes — until a recovery quorum of peers has
-    /// answered and the freshest answer is installed. Any committed op
-    /// appears in at least one log of any `f+1` peers.
+    /// answered *authoritatively* and the freshest such answer is
+    /// installed. Any committed op appears in at least one of any `f+1`
+    /// Normal peers' logs; answers from probationary or view-changing
+    /// peers prove nothing and do not count (a group cold-starting in
+    /// unison bootstraps through the cold-answer carve-out instead).
     fn recovery_probe(self: &Arc<Self>) {
         let required = self.st.lock().recovery_quorum();
-        let (answers, best) = self.poll_peers_state();
-        if answers < required {
+        let poll = self.poll_peers_state();
+        if poll.countable < required {
             return; // Keep probing; StartView can also end probation.
         }
         let now = self.rt.now();
@@ -796,7 +847,7 @@ impl NsCore {
             if !c.in_probation() {
                 return;
             }
-            if let Some(best) = best {
+            if let Some(best) = poll.best {
                 c.on_state_transfer(best, now);
             }
             c.end_probation(now);
@@ -837,6 +888,17 @@ impl NsCore {
             }
         }
     }
+}
+
+/// Result of one `get_state` sweep over the peer set.
+struct PeerPoll {
+    /// Peers that answered at all (reachability signal).
+    answers: usize,
+    /// Answers that count toward a recovery quorum: authoritative
+    /// (Normal) ones plus genuinely cold ones.
+    countable: usize,
+    /// Freshest authoritative answer by `(view, op_num, commit_num)`.
+    best: Option<StateTransfer>,
 }
 
 /// Selector evaluation with remote-selector support.
@@ -964,6 +1026,7 @@ impl NsPeer for PeerView {
         &self,
         _caller: &Caller,
         view: u64,
+        entry_view: u64,
         op_num: u64,
         commit_num: u64,
         update: NsUpdate,
@@ -971,7 +1034,7 @@ impl NsPeer for PeerView {
         let now = self.core.rt.now();
         Ok(self
             .core
-            .with_engine(|c| c.on_prepare(view, op_num, commit_num, update, now)))
+            .with_engine(|c| c.on_prepare(view, entry_view, op_num, commit_num, update, now)))
     }
 
     fn commit_hb(
@@ -984,17 +1047,27 @@ impl NsPeer for PeerView {
         Ok(self.core.with_engine(|c| c.on_commit_hb(view, commit_num, now)))
     }
 
-    fn start_view_change(&self, _caller: &Caller, view: u64) -> Result<crate::vsr::SvcAck, NsError> {
+    fn start_view_change(
+        &self,
+        _caller: &Caller,
+        view: u64,
+        forced: bool,
+    ) -> Result<crate::vsr::SvcAck, NsError> {
         let now = self.core.rt.now();
-        let (ack, dvc) = self.core.with_engine(|c| c.on_start_view_change(view, now));
-        if let Some(dvc) = dvc {
-            // Route our log contribution to the proposed view's primary
-            // before acking, so the initiator's join count implies the
-            // primary has (or will have) a DVC quorum.
+        Ok(self
+            .core
+            .with_engine(|c| c.on_start_view_change(view, forced, now)))
+    }
+
+    fn view_change_go(&self, _caller: &Caller, view: u64) -> Result<(), NsError> {
+        // The initiator saw a join majority for `view`: releasing our
+        // DoViewChange is now safe — a majority has left older views,
+        // so no new op can commit below `view` behind our back.
+        if let Some(dvc) = self.core.with_engine(|c| c.emit_dvc(view)) {
             let new_primary = (view % self.core.cfg.peers.len() as u64) as u32;
             self.core.deliver_dvc(new_primary, dvc);
         }
-        Ok(ack)
+        Ok(())
     }
 
     fn do_view_change(&self, _caller: &Caller, dvc: DoViewChange) -> Result<(), NsError> {

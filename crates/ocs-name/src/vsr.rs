@@ -26,11 +26,18 @@
 //!   `StartViewChange`. Peers *join only if they suspect the primary
 //!   too* (or are already view-changing) — the sticky-primary rule that
 //!   keeps a partitioned-then-healed replica from deposing a healthy
-//!   primary. Once a majority joins, each joiner sends `DoViewChange`
-//!   (log tail + committed snapshot) to the new primary, which adopts
-//!   the log with the largest [`ViewStamp`] `(last_normal, op)` and
-//!   broadcasts `StartView`. An initiator that fails to gather a
-//!   majority *reverts* to its last normal view.
+//!   primary. Only once the initiator has observed a majority of joins
+//!   does anyone emit `DoViewChange` (log tail + committed snapshot) to
+//!   the new primary — the VSR-revisited rule: a `DoViewChange` is a
+//!   promise that a majority left the old view, so no op can commit
+//!   there concurrently. The new primary adopts the log with the
+//!   largest [`ViewStamp`] `(last_normal, op)` and broadcasts
+//!   `StartView`. An initiator that fails to gather a majority
+//!   *reverts* to its last normal view — unless it has emitted a
+//!   `DoViewChange` above that view, in which case reverting could
+//!   contradict a view change its payload later completes: it stays
+//!   between views and re-proposes with the sticky rule waived
+//!   (`forced`), so peers let it back in.
 //! * **State transfer / recovery** — a replica that detects a gap (or a
 //!   rejoining, restarted replica) requests state from a peer: a log
 //!   suffix when the peer still retains the needed entries, or a full
@@ -148,7 +155,9 @@ impl_wire_struct!(StartView {
     tail
 });
 
-/// Reply to a `start_view_change` proposal.
+/// Reply to a `start_view_change` proposal. Joining no longer carries a
+/// `DoViewChange`: joiners emit theirs only after the initiator reports
+/// a join majority (`view_change_go`).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SvcAck {
     /// Whether the callee joined the proposed view.
@@ -188,6 +197,26 @@ impl_wire_struct!(StateTransfer {
     tail
 });
 
+impl StateTransfer {
+    /// Whether this answer carries authoritative state: only a Normal,
+    /// out-of-probation responder's log is known to include every op it
+    /// ever acked committed. A probationary or view-changing peer may
+    /// install state over it, but must never be *trusted* with it.
+    pub fn authoritative(&self) -> bool {
+        self.normal
+    }
+
+    /// A genuinely cold responder: still in probation with an empty log
+    /// and no view history. Cold answers carry no state, but they do
+    /// witness a peer's existence — counting them (and only them) among
+    /// non-authoritative answers lets a cold-started group bootstrap
+    /// out of probation without weakening recovery: a peer that ever
+    /// held state never answers cold again.
+    pub fn is_cold(&self) -> bool {
+        !self.normal && self.view == 0 && self.op_num == 0 && self.commit_num == 0
+    }
+}
+
 /// Where a client update should go, when this replica cannot sequence
 /// it itself.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -211,6 +240,26 @@ pub struct Prepare {
     pub commit_num: OpNum,
     /// The update itself.
     pub update: NsUpdate,
+}
+
+/// The fate of a sequenced client op, as observed by the thread that
+/// sequenced it (keyed by the viewstamp `(view, op)` it was assigned,
+/// not by op number alone: a view change can commit a *different*
+/// update at the same op number).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpOutcome {
+    /// Not committed yet. The op may still commit — possibly carried
+    /// into a later view — so keep polling until the deadline.
+    Pending,
+    /// Committed under the caller's viewstamp: this result is the
+    /// caller's own update's.
+    Done(Result<(), NsError>),
+    /// The op number committed, but not under the caller's viewstamp —
+    /// a view change dropped the caller's entry and committed another
+    /// in its place (or the result window no longer attests it). The
+    /// caller's update may be lost; report failure so the client
+    /// retries.
+    Superseded,
 }
 
 /// Effects the driver must post-process after any engine call.
@@ -251,8 +300,11 @@ pub struct VsrCore {
     pending: BTreeMap<OpNum, LogEntry>,
     /// The replicated application state (committed prefix applied).
     state: NsState,
-    /// Apply results of recently committed ops, for client threads.
-    results: BTreeMap<OpNum, Result<(), NsError>>,
+    /// Apply results of recently committed ops, for client threads,
+    /// keyed by op number and stamped with the committed entry's
+    /// *original* view so a deposed primary cannot mistake a
+    /// replacement entry's result for its own.
+    results: BTreeMap<OpNum, (View, Result<(), NsError>)>,
     /// Primary only: per-backup cumulative ack watermark.
     acks: BTreeMap<u32, OpNum>,
     /// Primary only: heartbeat rounds without a majority of acks.
@@ -267,6 +319,15 @@ pub struct VsrCore {
     vc_since: SimTime,
     /// DoViewChange payloads collected for `view` (new primary only).
     dvc: BTreeMap<u32, DoViewChange>,
+    /// Highest view for which this replica handed out a `DoViewChange`
+    /// payload. Having emitted one for view `v`, the replica must never
+    /// again run Normal in a view `< v`: the payload may yet complete
+    /// view `v` with a log that omits anything acked below it.
+    dvc_emitted: View,
+    /// Highest view observed out-of-band (declined proposals, stale
+    /// acks); the next proposal starts above it so a replica stranded
+    /// in a high view can be reached in one round.
+    seen_view: View,
     /// Set when a gap or a higher view was observed: the driver should
     /// run state transfer.
     needs_catchup: bool,
@@ -306,6 +367,8 @@ impl VsrCore {
             last_pm: now,
             vc_since: now,
             dvc: BTreeMap::new(),
+            dvc_emitted: 0,
+            seen_view: 0,
             needs_catchup: false,
             probation: n > 1,
             events: Vec::new(),
@@ -385,12 +448,18 @@ impl VsrCore {
         self.needs_catchup
     }
 
-    /// The committed result of op `op`, once it committed.
-    pub fn result_of(&self, op: OpNum) -> Option<Result<(), NsError>> {
-        if op <= self.commit_num {
-            Some(self.results.get(&op).cloned().unwrap_or(Ok(())))
-        } else {
-            None
+    /// The fate of the op sequenced as `(view, op)`. `Done` only when
+    /// the entry that committed at `op` was originally prepared in
+    /// `view`; a result under any other viewstamp — or a committed op
+    /// whose result record is gone (snapshot install, window expiry) —
+    /// is `Superseded`, never a false success.
+    pub fn outcome_of(&self, view: View, op: OpNum) -> OpOutcome {
+        if op > self.commit_num {
+            return OpOutcome::Pending;
+        }
+        match self.results.get(&op) {
+            Some((v, result)) if *v == view => OpOutcome::Done(result.clone()),
+            _ => OpOutcome::Superseded,
         }
     }
 
@@ -435,7 +504,7 @@ impl VsrCore {
                 .expect("uncommitted entries are never compacted")
                 .clone();
             let result = self.state.apply(next, &entry.update);
-            self.results.insert(next, result);
+            self.results.insert(next, (entry.view, result));
             self.commit_num = next;
             self.events.push(VsrEvent::Committed {
                 op: next,
@@ -516,15 +585,22 @@ impl VsrCore {
         }
     }
 
-    /// Handles a `Prepare` from the view's primary.
+    /// Handles a `Prepare` from the view's primary. `view` is the
+    /// sender's current view (drives all the view checks); `entry_view`
+    /// is the view the entry was *originally* prepared in, preserved in
+    /// the log so an entry carries one identity `(entry_view, op)` on
+    /// every replica — re-sends of old entries by a newer view's
+    /// primary do not forge it.
     pub fn on_prepare(
         &mut self,
         view: View,
+        entry_view: View,
         op: OpNum,
         commit: OpNum,
         update: NsUpdate,
         now: SimTime,
     ) -> PeerAck {
+        debug_assert!(entry_view <= view, "an entry cannot outrank its sender");
         if view < self.view || self.probation {
             return self.reject();
         }
@@ -540,7 +616,7 @@ impl VsrCore {
         if op == self.op_num + 1 {
             self.log.push_back(LogEntry {
                 op,
-                view,
+                view: entry_view,
                 update,
             });
             self.op_num = op;
@@ -554,15 +630,23 @@ impl VsrCore {
             // Out of order: buffer briefly; a widening gap means loss —
             // ask for state transfer.
             if self.pending.len() < MAX_PENDING {
-                self.pending.insert(op, LogEntry { op, view, update });
+                self.pending.insert(
+                    op,
+                    LogEntry {
+                        op,
+                        view: entry_view,
+                        update,
+                    },
+                );
             } else {
                 self.needs_catchup = true;
             }
             self.apply_through(commit);
             return self.reject();
         }
-        // op <= op_num: duplicate of an entry we already hold (same view
-        // ⇒ same primary ⇒ same content) — ack idempotently.
+        // op <= op_num: duplicate of an entry we already hold (same
+        // `(entry_view, op)` ⇒ same sequencing primary ⇒ same content)
+        // — ack idempotently.
         self.apply_through(commit);
         PeerAck {
             accepted: true,
@@ -614,9 +698,11 @@ impl VsrCore {
     }
 
     /// Notes a peer's view seen out-of-band (e.g. in a declined
-    /// `SvcAck`): a higher view means we must catch up.
+    /// `SvcAck`): a higher view means we must catch up, and the next
+    /// proposal must start above it.
     pub fn note_view(&mut self, view: View) {
         if view > self.view {
+            self.seen_view = self.seen_view.max(view);
             self.needs_catchup = true;
         }
     }
@@ -658,12 +744,14 @@ impl VsrCore {
             && now.saturating_since(self.vc_since) > self.suspect_timeout
     }
 
-    /// Begins (or re-begins) a view change: proposes the next view and
-    /// returns it. The driver broadcasts `start_view_change(view)` and
-    /// either completes the change (majority joined) or calls
-    /// [`VsrCore::abort_view_change`].
+    /// Begins (or re-begins) a view change: proposes the next view —
+    /// above any view seen out-of-band, so a stranded high-view peer is
+    /// reachable in one proposal — and returns it. The driver
+    /// broadcasts `start_view_change(view, forced)` (see
+    /// [`VsrCore::vc_forced`]) and either completes the change
+    /// (majority joined) or calls [`VsrCore::abort_view_change`].
     pub fn begin_view_change(&mut self, now: SimTime) -> View {
-        self.view += 1;
+        self.view = self.view.max(self.seen_view) + 1;
         self.status = VsrStatus::ViewChange;
         self.vc_since = now;
         self.dvc.clear();
@@ -671,6 +759,15 @@ impl VsrCore {
         self.missed_rounds = 0;
         self.events.push(VsrEvent::Suspected { view: self.view });
         self.view
+    }
+
+    /// Whether this replica's proposals must waive the sticky-primary
+    /// rule: it has emitted a `DoViewChange` above its last normal view,
+    /// so it can never revert to Normal and can only rejoin the group
+    /// through a completed view change — peers must let it in even if
+    /// their own primary looks healthy.
+    pub fn vc_forced(&self) -> bool {
+        self.dvc_emitted > self.last_normal
     }
 
     /// Reverts an initiated view change that found no quorum of fellow
@@ -690,32 +787,37 @@ impl VsrCore {
         if self.status != VsrStatus::ViewChange || self.view != proposed {
             return; // A competing change overtook us; keep it.
         }
+        if self.vc_forced() {
+            // We handed a `DoViewChange` for a view above `last_normal`
+            // to a peer; that payload may yet complete its change with
+            // a log that omits anything we would ack back in the old
+            // view. Never revert below an emitted DVC: stay between
+            // views and let `vc_stuck` re-propose (forced) until some
+            // change completes.
+            return;
+        }
         self.events.push(VsrEvent::Aborted { view: self.view });
         self.view = self.last_normal;
         self.status = VsrStatus::Normal;
         self.dvc.clear();
     }
 
-    /// Handles a peer's `start_view_change(view)` proposal. Joins — and
-    /// returns the `DoViewChange` payload the driver must send to the
-    /// proposed view's primary — only if this replica suspects the
-    /// primary too (or is already view-changing).
-    pub fn on_start_view_change(
-        &mut self,
-        view: View,
-        now: SimTime,
-    ) -> (SvcAck, Option<DoViewChange>) {
+    /// Handles a peer's `start_view_change(view, forced)` proposal.
+    /// Joins only if this replica suspects the primary too (or is
+    /// already view-changing) — unless the proposal is `forced`, from a
+    /// replica that can no longer revert and must be re-admitted
+    /// through a view change. Joining emits nothing: the `DoViewChange`
+    /// is released later, by [`VsrCore::emit_dvc`], once the initiator
+    /// has observed a join majority.
+    pub fn on_start_view_change(&mut self, view: View, forced: bool, now: SimTime) -> SvcAck {
         let already_joined = self.status == VsrStatus::ViewChange && self.view == view;
         let join_higher = view > self.view
-            && (self.suspects(now) || self.status == VsrStatus::ViewChange);
+            && (forced || self.suspects(now) || self.status == VsrStatus::ViewChange);
         if !already_joined && !join_higher {
-            return (
-                SvcAck {
-                    joined: false,
-                    view: self.view,
-                },
-                None,
-            );
+            return SvcAck {
+                joined: false,
+                view: self.view,
+            };
         }
         if join_higher {
             self.view = view;
@@ -724,13 +826,25 @@ impl VsrCore {
             self.dvc.clear();
             self.events.push(VsrEvent::Suspected { view });
         }
-        (
-            SvcAck {
-                joined: true,
-                view: self.view,
-            },
-            Some(self.dvc_payload()),
-        )
+        SvcAck {
+            joined: true,
+            view: self.view,
+        }
+    }
+
+    /// Releases this replica's `DoViewChange` payload for `view` — the
+    /// initiator calls this on itself and (via `view_change_go`) on
+    /// every joiner once it has observed a majority of joins, and never
+    /// before: an emitted payload is a promise that a majority left the
+    /// older views, which is what makes it safe for the new primary to
+    /// choose a log from `f+1` of them. Emission is recorded so
+    /// [`VsrCore::abort_view_change`] can refuse to revert below it.
+    pub fn emit_dvc(&mut self, view: View) -> Option<DoViewChange> {
+        if self.status != VsrStatus::ViewChange || self.view != view {
+            return None; // Reverted or overtaken: the promise is off.
+        }
+        self.dvc_emitted = self.dvc_emitted.max(view);
+        Some(self.dvc_payload())
     }
 
     /// This replica's own `DoViewChange` payload for its current view.
@@ -910,9 +1024,9 @@ impl VsrCore {
             if snap.last_seq > self.commit_num {
                 self.state.restore(snap.clone());
                 self.commit_num = snap.last_seq;
-                // Results for the skipped range are unknown; polling
-                // clients get the default Ok (their primary died — they
-                // will have seen a transport error long before).
+                // Results for the skipped range are unknown: polling
+                // clients observe `Superseded` and retry (never a
+                // fabricated success).
                 self.results.clear();
             }
             // The snapshot is the authoritative base: rebuild the log
@@ -1002,6 +1116,7 @@ mod tests {
             }
             let ack = cores[i].on_prepare(
                 prep.view,
+                prep.view,
                 prep.op_num,
                 prep.commit_num,
                 prep.update.clone(),
@@ -1025,7 +1140,7 @@ mod tests {
         let mut cores = trio();
         let op = replicate(&mut cores, 0, bind("a", 1));
         assert_eq!(cores[0].commit_num(), op);
-        assert_eq!(cores[0].result_of(op), Some(Ok(())));
+        assert_eq!(cores[0].outcome_of(0, op), OpOutcome::Done(Ok(())));
         // Backups commit on the next piggybacked commit number.
         let op2 = replicate(&mut cores, 0, bind("b", 2));
         for c in &mut cores[1..] {
@@ -1049,9 +1164,9 @@ mod tests {
         // lets the primary commit both.
         let p1 = cores[0].client_op(bind("a", 1)).unwrap();
         let p2 = cores[0].client_op(bind("b", 2)).unwrap();
-        let ack = cores[1].on_prepare(0, p2.op_num, p2.commit_num, p2.update.clone(), t(1));
+        let ack = cores[1].on_prepare(0, 0, p2.op_num, p2.commit_num, p2.update.clone(), t(1));
         assert!(!ack.accepted, "gap is not acked");
-        let ack = cores[1].on_prepare(0, p1.op_num, p1.commit_num, p1.update.clone(), t(1));
+        let ack = cores[1].on_prepare(0, 0, p1.op_num, p1.commit_num, p1.update.clone(), t(1));
         assert!(ack.accepted);
         assert_eq!(ack.op_num, 2, "buffered successor drained");
         cores[0].on_ack(1, &ack);
@@ -1064,7 +1179,7 @@ mod tests {
         let prep = cores[0].client_op(bind("a", 1)).unwrap();
         // No backup ever acks.
         assert_eq!(cores[0].commit_num(), 0);
-        assert_eq!(cores[0].result_of(prep.op_num), None);
+        assert_eq!(cores[0].outcome_of(0, prep.op_num), OpOutcome::Pending);
         // Three silent heartbeat rounds and the primary steps down.
         for _ in 0..3 {
             cores[0].note_round(0);
@@ -1086,9 +1201,11 @@ mod tests {
         assert!(cores[1].suspects(late));
         let v = cores[1].begin_view_change(late);
         assert_eq!(v, 1);
-        // Backup 2 suspects too and joins.
-        let (ack, dvc) = cores[2].on_start_view_change(v, late);
+        // Backup 2 suspects too and joins; its DVC is released only
+        // once the initiator reports the join majority.
+        let ack = cores[2].on_start_view_change(v, false, late);
         assert!(ack.joined);
+        let dvc = cores[2].emit_dvc(v);
         // Joiner's DVC plus the initiator's own (inserted automatically)
         // complete the quorum at the new primary (replica 1 itself).
         let sv = cores[1]
@@ -1117,14 +1234,15 @@ mod tests {
         // Op 1 reaches backup 1 but the primary crashes before hearing
         // the ack — the op is uncommitted everywhere.
         let prep = cores[0].client_op(bind("a", 1)).unwrap();
-        cores[1].on_prepare(0, prep.op_num, prep.commit_num, prep.update, t(1));
+        cores[1].on_prepare(0, 0, prep.op_num, prep.commit_num, prep.update, t(1));
         assert_eq!(cores[1].commit_num(), 0);
         // View change to replica 1, with replica 2 joining.
         let late = t(10_000);
         let v = cores[1].begin_view_change(late);
-        let (_, dvc2) = cores[2].on_start_view_change(v, late);
+        cores[2].on_start_view_change(v, false, late);
+        let dvc2 = cores[2].emit_dvc(v).unwrap();
         let sv = cores[1]
-            .on_do_view_change(dvc2.unwrap(), late)
+            .on_do_view_change(dvc2, late)
             .expect("change completes");
         // The tail rode along: new primary has op 1 in its log.
         assert_eq!(cores[1].op_num(), 1);
@@ -1143,13 +1261,13 @@ mod tests {
         // suspects; 1 heard the primary just now and stays loyal.
         let now = t(10_000);
         let prep = cores[0].client_op(bind("b", 2)).unwrap();
-        let ack = cores[1].on_prepare(prep.view, prep.op_num, prep.commit_num, prep.update, now);
+        let ack =
+            cores[1].on_prepare(prep.view, prep.view, prep.op_num, prep.commit_num, prep.update, now);
         cores[0].on_ack(1, &ack);
         assert!(cores[2].suspects(now));
         let v = cores[2].begin_view_change(now);
-        let (ack, dvc) = cores[1].on_start_view_change(v, now);
+        let ack = cores[1].on_start_view_change(v, false, now);
         assert!(!ack.joined, "healthy backup declines the usurper");
-        assert!(dvc.is_none());
         // No quorum: the initiator reverts and rejoins the old view.
         cores[2].abort_view_change(v, now);
         assert_eq!(cores[2].view(), 0);
@@ -1231,18 +1349,152 @@ mod tests {
     }
 
     #[test]
+    fn superseded_op_is_never_reported_committed() {
+        // REVIEW: a deposed primary polling its op by number alone could
+        // be told "committed" after a view change replaced the entry at
+        // that op number. Outcomes are keyed by viewstamp instead.
+        let mut cores = trio();
+        // Primary 0 sequences an op that reaches nobody.
+        let prep = cores[0].client_op(bind("lost", 1)).unwrap();
+        assert_eq!(prep.op_num, 1);
+        // Replicas 1 and 2 change views without the op...
+        let late = t(10_000);
+        let v = cores[1].begin_view_change(late);
+        cores[2].on_start_view_change(v, false, late);
+        let dvc2 = cores[2].emit_dvc(v).unwrap();
+        let sv = cores[1]
+            .on_do_view_change(dvc2, late)
+            .unwrap();
+        cores[2].on_start_view(sv, late);
+        // ...and the new primary commits a *different* update at op 1.
+        let p2 = cores[1].client_op(bind("winner", 2)).unwrap();
+        assert_eq!(p2.op_num, 1);
+        let ack = cores[2].on_prepare(p2.view, p2.view, p2.op_num, p2.commit_num, p2.update, late);
+        cores[1].on_ack(2, &ack);
+        assert_eq!(cores[1].commit_num(), 1);
+        // The stale primary catches up; its own op must read as
+        // superseded, never as a success.
+        let st = cores[1].on_get_state(cores[0].commit_num());
+        assert!(st.authoritative());
+        assert!(cores[0].on_state_transfer(st, late));
+        assert_eq!(cores[0].commit_num(), 1);
+        assert_eq!(cores[0].outcome_of(0, 1), OpOutcome::Superseded);
+        // The replacement's own viewstamp still attests normally.
+        assert_eq!(cores[0].outcome_of(1, 1), OpOutcome::Done(Ok(())));
+    }
+
+    #[test]
+    fn entry_view_survives_view_change_and_attests_outcome() {
+        // REVIEW: re-sent entries used to be re-stamped with the
+        // sender's current view, eroding the "(view, op) names one
+        // update" invariant. The original prepare view now rides the
+        // wire next to the sender's view.
+        let mut cores = trio();
+        // Op 1 is prepared in view 0 on {0, 1}; replica 2 misses it.
+        let prep = cores[0].client_op(bind("a", 1)).unwrap();
+        let a1 = cores[1].on_prepare(0, 0, prep.op_num, prep.commit_num, prep.update, t(1));
+        cores[0].on_ack(1, &a1);
+        // View change to view 1 carries the entry in the tail.
+        let late = t(10_000);
+        let v = cores[1].begin_view_change(late);
+        cores[2].on_start_view_change(v, false, late);
+        let dvc2 = cores[2].emit_dvc(v).unwrap();
+        let sv = cores[1]
+            .on_do_view_change(dvc2, late)
+            .unwrap();
+        let ack = cores[2].on_start_view(sv, late);
+        cores[1].on_ack(2, &ack);
+        let commit = cores[1].commit_num();
+        cores[2].on_commit_hb(1, commit, late);
+        // Everyone's copy still carries the original view 0 — and the
+        // original sequencer's viewstamp still attests the commit.
+        for c in &cores[1..] {
+            assert_eq!(c.entries_from(1).unwrap()[0].view, 0);
+            assert_eq!(c.outcome_of(0, 1), OpOutcome::Done(Ok(())));
+        }
+    }
+
+    #[test]
+    fn dvc_released_only_while_still_in_the_proposed_view() {
+        // REVIEW: DoViewChange used to be emitted the moment a replica
+        // joined a proposal; a stale payload could then complete a view
+        // the sender had since left. Emission is now gated on the
+        // initiator observing a join majority, and refused once the
+        // sender moved on.
+        let mut cores = trio();
+        let late = t(10_000);
+        let v = cores[2].begin_view_change(late);
+        let v2 = cores[2].begin_view_change(t(20_000));
+        assert!(v2 > v);
+        assert!(cores[2].emit_dvc(v).is_none(), "old promise is off");
+        assert!(cores[2].emit_dvc(v2).is_some());
+    }
+
+    #[test]
+    fn emitted_dvc_blocks_revert_and_forces_readmission() {
+        let mut cores = trio();
+        let late = t(10_000);
+        // Replica 1 proposes view 1 with a majority; DVCs are released.
+        let v = cores[1].begin_view_change(late);
+        assert!(cores[2].on_start_view_change(v, false, late).joined);
+        assert!(cores[2].emit_dvc(v).is_some());
+        // The change stalls; 2's own follow-up proposal finds no quorum.
+        // It must NOT revert to Normal below its emitted DVC — that
+        // payload may still complete view 1 without its newer acks.
+        let v2 = cores[2].begin_view_change(t(20_000));
+        cores[2].abort_view_change(v2, t(20_000));
+        assert_eq!(cores[2].status(), VsrStatus::ViewChange);
+        assert!(cores[2].vc_forced());
+        // The initiator never emitted its own DVC, so it is free to
+        // revert; it becomes a loyal Normal backup again.
+        cores[1].abort_view_change(v, t(20_500));
+        assert_eq!(cores[1].status(), VsrStatus::Normal);
+        // A loyal backup (fresh primary contact) declines its ordinary
+        // proposal but admits the forced one: re-admission only through
+        // a completed view change.
+        let prep = cores[0].client_op(bind("fresh", 1)).unwrap();
+        let hb = cores[1].on_prepare(0, 0, prep.op_num, prep.commit_num, prep.update, t(21_000));
+        cores[0].on_ack(1, &hb);
+        let v3 = cores[2].begin_view_change(t(22_000));
+        assert!(!cores[1].on_start_view_change(v3, false, t(22_000)).joined);
+        assert!(cores[1].on_start_view_change(v3, true, t(22_000)).joined);
+    }
+
+    #[test]
+    fn recovery_counts_only_normal_or_cold_answers() {
+        // REVIEW: probationary / view-changing peers used to count
+        // toward the f+1 recovery quorum; only Normal replicas serve
+        // authoritative state, with genuinely cold peers admitted so a
+        // cold-started group can bootstrap.
+        let mut cores = trio();
+        replicate(&mut cores, 0, bind("a", 1));
+        let st = cores[0].on_get_state(0);
+        assert!(st.authoritative() && !st.is_cold());
+        cores[2].begin_view_change(t(10_000));
+        let st = cores[2].on_get_state(0);
+        assert!(!st.authoritative() && !st.is_cold(), "view-changing peers do not count");
+        let fresh = VsrCore::new(2, 3, 64, Duration::from_secs(5), t(0));
+        let st = fresh.on_get_state(0);
+        assert!(!st.authoritative() && st.is_cold(), "cold peers count but carry no state");
+    }
+
+    #[test]
     fn stale_view_messages_are_rejected() {
         let mut cores = trio();
         // Move 1 and 2 to view 1.
         let late = t(10_000);
         let v = cores[1].begin_view_change(late);
-        let (_, dvc2) = cores[2].on_start_view_change(v, late);
-        let sv = cores[1].on_do_view_change(dvc2.unwrap(), late).unwrap();
+        cores[2].on_start_view_change(v, false, late);
+        let dvc2 = cores[2].emit_dvc(v).unwrap();
+        let sv = cores[1]
+            .on_do_view_change(dvc2, late)
+            .unwrap();
         cores[2].on_start_view(sv, late);
         // The deposed view-0 primary's prepare bounces with the higher
         // view in the ack, flagging it for state transfer.
         let prep = cores[0].client_op(bind("x", 1)).unwrap();
-        let ack = cores[1].on_prepare(prep.view, prep.op_num, prep.commit_num, prep.update, late);
+        let ack =
+            cores[1].on_prepare(prep.view, prep.view, prep.op_num, prep.commit_num, prep.update, late);
         assert!(!ack.accepted);
         assert_eq!(ack.view, 1);
         cores[0].on_ack(1, &ack);

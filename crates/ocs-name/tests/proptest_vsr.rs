@@ -182,6 +182,7 @@ impl Harness {
             }
             let ack = self.engines[j].as_mut().unwrap().on_prepare(
                 view,
+                view,
                 op,
                 commit,
                 update.clone(),
@@ -222,16 +223,26 @@ impl Harness {
         }
     }
 
+    /// Mirrors the driver's `poll_peers_state`: only authoritative
+    /// (Normal) answers count toward the recovery quorum and compete
+    /// for `best`; genuinely cold answers count but carry no state.
     fn poll_state(&mut self, i: usize) -> (usize, Option<StateTransfer>) {
         let commit = self.engines[i].as_ref().unwrap().commit_num();
-        let mut answers = 0;
+        let mut countable = 0;
         let mut best: Option<StateTransfer> = None;
         for j in 0..N {
             if !self.reachable(i, j) {
                 continue;
             }
             let st = self.engines[j].as_ref().unwrap().on_get_state(commit);
-            answers += 1;
+            if st.is_cold() {
+                countable += 1;
+                continue;
+            }
+            if !st.authoritative() {
+                continue;
+            }
+            countable += 1;
             let better = match &best {
                 None => true,
                 Some(b) => (st.view, st.op_num, st.commit_num) > (b.view, b.op_num, b.commit_num),
@@ -240,13 +251,13 @@ impl Harness {
                 best = Some(st);
             }
         }
-        (answers, best)
+        (countable, best)
     }
 
     fn probe(&mut self, i: usize) {
         let required = self.engines[i].as_ref().unwrap().recovery_quorum();
-        let (answers, best) = self.poll_state(i);
-        if answers >= required {
+        let (countable, best) = self.poll_state(i);
+        if countable >= required {
             let engine = self.engines[i].as_mut().unwrap();
             if let Some(best) = best {
                 engine.on_state_transfer(best, self.now);
@@ -311,6 +322,7 @@ impl Harness {
             let commit = self.engines[i].as_ref().unwrap().commit_num();
             let ack = self.engines[j].as_mut().unwrap().on_prepare(
                 view,
+                entry.view,
                 entry.op,
                 commit,
                 entry.update,
@@ -326,23 +338,26 @@ impl Harness {
     }
 
     fn run_view_change(&mut self, i: usize) {
-        let proposed = self.engines[i].as_mut().unwrap().begin_view_change(self.now);
+        let (proposed, forced) = {
+            let e = self.engines[i].as_mut().unwrap();
+            let v = e.begin_view_change(self.now);
+            (v, e.vc_forced())
+        };
         self.drain(i);
         let mut joined = 1;
+        let mut joiners = Vec::new();
         for j in 0..N {
             if !self.reachable(i, j) {
                 continue;
             }
-            let (ack, dvc) = self.engines[j]
+            let ack = self.engines[j]
                 .as_mut()
                 .unwrap()
-                .on_start_view_change(proposed, self.now);
+                .on_start_view_change(proposed, forced, self.now);
             self.drain(j);
             if ack.joined {
                 joined += 1;
-                if let Some(dvc) = dvc {
-                    self.deliver_dvc(j, proposed, dvc);
-                }
+                joiners.push(j);
             } else if let Some(e) = self.engines[i].as_mut() {
                 e.note_view(ack.view);
             }
@@ -354,14 +369,18 @@ impl Harness {
             self.drain(i);
             return;
         }
-        let own = {
-            let e = self.engines[i].as_ref().unwrap();
-            if e.view() != proposed {
-                return;
+        // Majority joined: tell each joiner to release its DVC, then
+        // release our own — the two-phase release of the real driver.
+        for j in joiners {
+            let dvc = self.engines[j].as_mut().and_then(|e| e.emit_dvc(proposed));
+            if let Some(dvc) = dvc {
+                self.deliver_dvc(j, proposed, dvc);
             }
-            e.dvc_payload()
-        };
-        self.deliver_dvc(i, proposed, own);
+        }
+        let own = self.engines[i].as_mut().and_then(|e| e.emit_dvc(proposed));
+        if let Some(own) = own {
+            self.deliver_dvc(i, proposed, own);
+        }
     }
 
     fn deliver_dvc(&mut self, from: usize, view: u64, dvc: DoViewChange) {
