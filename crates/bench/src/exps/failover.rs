@@ -26,7 +26,7 @@ use crate::{f, report, Stats, Table};
 const NS_PORT: u16 = 10;
 
 /// `p`-th percentile of a sample by nearest-rank (p in [0, 1]).
-fn percentile(xs: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
@@ -38,16 +38,16 @@ fn percentile(xs: &[f64], p: f64) -> f64 {
 
 /// A 3-replica NS group in the simulator, plus a client node driving a
 /// background bind load.
-struct SimNsGroup {
-    sim: Sim,
-    nodes: Vec<Arc<SimNode>>,
-    replicas: Arc<Mutex<Vec<Option<Arc<NsReplica>>>>>,
-    peers: Vec<Addr>,
-    cfg_of: fn(u32, Vec<Addr>) -> NsConfig,
+pub(crate) struct SimNsGroup {
+    pub(crate) sim: Sim,
+    pub(crate) nodes: Vec<Arc<SimNode>>,
+    pub(crate) replicas: Arc<Mutex<Vec<Option<Arc<NsReplica>>>>>,
+    pub(crate) peers: Vec<Addr>,
+    pub(crate) cfg_of: fn(u32, Vec<Addr>) -> NsConfig,
 }
 
 impl SimNsGroup {
-    fn build(seed: u64, cfg_of: fn(u32, Vec<Addr>) -> NsConfig) -> SimNsGroup {
+    pub(crate) fn build(seed: u64, cfg_of: fn(u32, Vec<Addr>) -> NsConfig) -> SimNsGroup {
         let sim = Sim::new(seed);
         let nodes: Vec<Arc<SimNode>> = (0..3).map(|i| sim.add_node(&format!("ns{i}"))).collect();
         let peers: Vec<Addr> = nodes.iter().map(|n| Addr::new(n.node(), NS_PORT)).collect();
@@ -67,7 +67,7 @@ impl SimNsGroup {
         }
     }
 
-    fn masters(&self) -> Vec<usize> {
+    pub(crate) fn masters(&self) -> Vec<usize> {
         self.replicas
             .lock()
             .iter()
@@ -83,7 +83,7 @@ impl SimNsGroup {
     /// One master, every live replica out of probation (killing a
     /// replica before then would strand the group below its recovery
     /// quorum — see the real-cluster launch settle).
-    fn settled(&self) -> bool {
+    pub(crate) fn settled(&self) -> bool {
         self.masters().len() == 1
             && self
                 .replicas
@@ -98,7 +98,7 @@ impl SimNsGroup {
 
     /// Steps virtual time until `cond`, in `step` increments, up to
     /// `limit`. Returns whether the condition held.
-    fn run_until(&self, step: Duration, limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    pub(crate) fn run_until(&self, step: Duration, limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
         let deadline = self.sim.now() + limit;
         while self.sim.now() < deadline {
             if cond() {
@@ -197,11 +197,11 @@ fn sim_kill_rounds(
     (samples, binds.load(Ordering::Relaxed))
 }
 
-fn paper_cfg(i: u32, peers: Vec<Addr>) -> NsConfig {
+pub(crate) fn paper_cfg(i: u32, peers: Vec<Addr>) -> NsConfig {
     NsConfig::paper_defaults(i, peers)
 }
 
-fn tuned_cfg(i: u32, peers: Vec<Addr>) -> NsConfig {
+pub(crate) fn tuned_cfg(i: u32, peers: Vec<Addr>) -> NsConfig {
     let mut cfg = NsConfig::paper_defaults(i, peers);
     // The real-cluster deployment tuning (see RealCluster).
     cfg.heartbeat_interval = Duration::from_millis(200);

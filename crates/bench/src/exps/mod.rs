@@ -2,12 +2,14 @@
 //! EXPERIMENTS.md for the experiment ↔ paper-section mapping and the
 //! recorded results).
 
+mod availability;
 mod cluster_exps;
 mod failover;
 mod kernel_bench;
 mod saturation;
 mod standalone;
 
+pub use availability::{e19, e21};
 pub use cluster_exps::{e1, e13, e14, e15, e16, e2, e4, e7, e8};
 pub use failover::e20;
 pub use kernel_bench::e18;

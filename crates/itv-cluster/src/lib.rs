@@ -5,6 +5,7 @@
 //! and provides workload generation plus failure injection for the
 //! experiments in EXPERIMENTS.md.
 
+mod audit;
 mod build;
 mod chaos;
 mod config;
@@ -12,6 +13,7 @@ pub mod real;
 mod telemetry;
 mod workload;
 
+pub use audit::{AvailabilityAuditor, AvailabilityReport, BlackoutWindow, MttrRow};
 pub use build::{standard_apps, Cluster, Intent, ServerHandle, SettopCtl, SettopTotals};
 pub use chaos::ChaosOutcome;
 pub use real::{RealCluster, RealService, ViewerStats};

@@ -509,4 +509,23 @@ impl RealCluster {
         }
         snap
     }
+
+    /// Every node's flight-recorder events, read directly through the
+    /// node extensions (no RPC — dead services still contribute what
+    /// they recorded).
+    pub fn journal_events(&self) -> Vec<ocs_telemetry::JournalEvent> {
+        let mut events = Vec::new();
+        for n in self.servers.iter().chain(self.settops.iter()) {
+            events.extend(ocs_telemetry::Journal::of(&**n).events());
+        }
+        events
+    }
+
+    /// The cluster postmortem: all journals merged into one
+    /// causally-ordered timeline (see [`Cluster::postmortem`]).
+    ///
+    /// [`Cluster::postmortem`]: crate::Cluster::postmortem
+    pub fn postmortem(&self) -> String {
+        ocs_telemetry::render_timeline(&ocs_telemetry::merge_journals(self.journal_events()))
+    }
 }

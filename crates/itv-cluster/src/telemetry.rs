@@ -11,6 +11,8 @@ use ocs_orb::{telemetry_ref, ClientCtx, TelemetryClient};
 use ocs_sim::{Addr, NodeId, NodeRt, NodeRtExt, SimChan};
 use ocs_telemetry::{MetricsSnapshot, Span};
 
+use ocs_telemetry::{merge_journals, render_timeline, Journal, JournalEvent};
+
 use crate::build::Cluster;
 
 /// Everything one scrape pass saw, cluster-wide.
@@ -89,6 +91,41 @@ impl Cluster {
         // One RPC pair per node plus slack; virtual time is free.
         self.sim
             .run_for(Duration::from_secs(2) * (self.servers.len() + self.settop_nodes.len()) as u32);
-        out.try_recv().expect("telemetry scrape completed")
+        let mut snap = out.try_recv().expect("telemetry scrape completed");
+        // Kernel scheduler health rides along as driver-side gauges: the
+        // kernel is not a node, so no servant can export these.
+        let ks = self.sim.kernel_stats();
+        for (name, v) in [
+            ("sim.kernel.events", ks.events),
+            ("sim.kernel.driver_resumes", ks.driver_resumes),
+            ("sim.kernel.direct_handoffs", ks.direct_handoffs),
+            ("sim.kernel.self_continues", ks.self_continues),
+        ] {
+            snap.merged.gauges.insert(name.to_string(), v as i64);
+        }
+        snap
+    }
+
+    /// Every node's flight-recorder events, unmerged. Reads the journals
+    /// directly through the node extensions — no RPC — so crashed or
+    /// partitioned nodes still contribute everything they recorded
+    /// before dying.
+    pub fn journal_events(&self) -> Vec<JournalEvent> {
+        let mut events = Vec::new();
+        for s in &self.servers {
+            events.extend(Journal::of(&*s.node).events());
+        }
+        for n in &self.settop_nodes {
+            events.extend(Journal::of(&**n).events());
+        }
+        events
+    }
+
+    /// The cluster postmortem: every node's journal merged into one
+    /// causally-ordered timeline (timestamp, then node, then each node's
+    /// recording order), trace ids attached where the event fired inside
+    /// a traced request. Deterministic — same seed, same text.
+    pub fn postmortem(&self) -> String {
+        render_timeline(&merge_journals(self.journal_events()))
     }
 }

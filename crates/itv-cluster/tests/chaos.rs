@@ -69,6 +69,7 @@ fn assert_converged(cluster: &Cluster, recovery_bound: Duration) {
         for n in 0..cluster.cfg.neighborhoods() {
             eprintln!("cm {n}: {:?}", cm_usage(cluster, n));
         }
+        eprintln!("--- postmortem timeline ---\n{}", cluster.postmortem());
         panic!(
             "all {want} settops should re-open movies within {recovery_bound:?} \
              of heal; only {opened} did (before={before:?} after={after:?})"

@@ -108,18 +108,23 @@ struct CmMetrics {
     rejected: Arc<ocs_telemetry::Counter>,
     released: Arc<ocs_telemetry::Counter>,
     reasserted: Arc<ocs_telemetry::Counter>,
+    expired: Arc<ocs_telemetry::Counter>,
     active_allocs: Arc<ocs_telemetry::Gauge>,
+    journal: Arc<ocs_telemetry::Journal>,
 }
 
 impl CmMetrics {
     fn of(rt: &Rt) -> CmMetrics {
-        let reg = &ocs_telemetry::NodeTelemetry::of(&**rt).registry;
+        let tel = ocs_telemetry::NodeTelemetry::of(&**rt);
+        let reg = &tel.registry;
         CmMetrics {
             accepted: reg.counter("cm.admission.accepted"),
             rejected: reg.counter("cm.admission.rejected"),
             released: reg.counter("cm.released"),
             reasserted: reg.counter("cm.reasserted"),
+            expired: reg.counter("cm.lease.expired"),
             active_allocs: reg.gauge("cm.active_allocs"),
+            journal: Arc::clone(&tel.journal),
         }
     }
 }
@@ -225,6 +230,14 @@ impl ConnectionManager {
         }
     }
 
+    /// Drops a lease-lifecycle event into the node's flight recorder.
+    /// Managers without a runtime (unit tests) have no journal — no-op.
+    fn journal(&self, detail: String) {
+        if let (Some(m), Some(rt)) = (&self.metrics, &self.rt) {
+            m.journal.record(rt.now(), "cm", detail);
+        }
+    }
+
     /// Starts an ORB serving this manager on `port`; returns its
     /// reference (the caller binds it under `svc/cmgr/<nbhd>`).
     pub fn serve(self: &Arc<Self>, rt: Rt, port: u16) -> Result<ObjRef, NetError> {
@@ -303,8 +316,17 @@ impl ConnectionManager {
             if now.saturating_sub(at) <= ttl_us {
                 break;
             }
-            ConnectionManager::drop_alloc(st, conn, now);
+            let desc = ConnectionManager::drop_alloc(st, conn, now);
             st.expired += 1;
+            if let Some(m) = &self.metrics {
+                m.expired.inc();
+            }
+            if let Some(d) = desc {
+                self.journal(format!(
+                    "lease expired: conn {conn} (settop {}, {} bps reclaimed)",
+                    d.settop, d.down_bps
+                ));
+            }
         }
     }
 }
@@ -338,6 +360,7 @@ impl CmApi for ConnectionManager {
         ConnectionManager::renew_lease(&mut st, conn, now);
         self.count(|m| &m.accepted);
         self.track_allocs(st.allocations.len());
+        self.journal(format!("lease granted: conn {conn} settop {settop} {down_bps} bps"));
         Ok(conn)
     }
 
@@ -375,6 +398,10 @@ impl CmApi for ConnectionManager {
         }
         self.count(|m| &m.reasserted);
         self.track_allocs(st.allocations.len());
+        self.journal(format!(
+            "lease reasserted: conn {} settop {} re-admitted after restart",
+            desc.conn, desc.settop
+        ));
         Ok(())
     }
 

@@ -188,7 +188,7 @@ impl<C: Proxy + Clone> Rebinding<C> {
     /// one is configured.
     pub fn with_breaker_telemetry(self, service: &str) -> Rebinding<C> {
         if let Some(b) = &self.breaker {
-            ocs_orb::bind_breaker(b, &self.tel, service);
+            ocs_orb::bind_breaker(b, self.ns.ctx().rt(), &self.tel, service);
         }
         self
     }
@@ -303,6 +303,11 @@ impl<C: Proxy + Clone> Rebinding<C> {
             let shed = !admitted;
             if shed {
                 self.tel.registry.counter("orb.rebind.breaker_shed").inc();
+                self.tel.journal.record(
+                    rt.now(),
+                    "orb",
+                    format!("breaker shed: call to {} held back", self.path),
+                );
             }
             if admitted {
                 let proxy = match self.get() {
@@ -330,6 +335,11 @@ impl<C: Proxy + Clone> Rebinding<C> {
                                 b.on_failure(rt.now());
                             }
                             self.tel.registry.counter("orb.rebind.rebinds").inc();
+                            self.tel.journal.record(
+                                rt.now(),
+                                "orb",
+                                format!("dead reference on {}: rebinding", self.path),
+                            );
                             self.invalidate();
                         }
                         Err(e) => {
@@ -365,6 +375,11 @@ impl<C: Proxy + Clone> Rebinding<C> {
             let now = rt.now();
             if now >= deadline {
                 self.tel.registry.counter("orb.rebind.giveups").inc();
+                self.tel.journal.record(
+                    now,
+                    "orb",
+                    format!("retry exhausted on {} after {rounds} rounds", self.path),
+                );
                 return Err(E::from_orb(if shed {
                     ocs_orb::OrbError::CircuitOpen
                 } else {

@@ -204,6 +204,13 @@ impl NsReplica {
             }))),
         );
         orb.start();
+        if core.st.lock().in_probation() {
+            ocs_telemetry::NodeTelemetry::of(&*rt).journal.record(
+                rt.now(),
+                "vsr",
+                format!("replica {} starting in recovery probation", core.cfg.replica_id),
+            );
+        }
         let c = Arc::clone(&core);
         rt.spawn_fn("ns-vsr", move || c.vsr_loop());
         let c = Arc::clone(&core);
@@ -305,11 +312,22 @@ impl NsCore {
     /// produced. Never call engine methods while making RPCs — every
     /// peer call in this module happens with the lock released.
     fn with_engine<R>(self: &Arc<Self>, f: impl FnOnce(&mut VsrCore) -> R) -> R {
-        let (out, events) = {
+        let (out, events, probation_ended) = {
             let mut st = self.st.lock();
+            let before = st.in_probation();
             let out = f(&mut st);
-            (out, st.take_events())
+            let ended = before && !st.in_probation();
+            (out, st.take_events(), ended)
         };
+        if probation_ended {
+            // Both exit paths (recovery-quorum probe and StartView) funnel
+            // through here, so the flight recorder sees every one.
+            ocs_telemetry::NodeTelemetry::of(&*self.rt).journal.record(
+                self.rt.now(),
+                "vsr",
+                "recovery probation ended",
+            );
+        }
         if !events.is_empty() {
             self.apply_events(events);
         }
@@ -320,7 +338,8 @@ impl NsCore {
     /// invalidation piggybacked on commit application, and context
     /// servant export.
     fn apply_events(self: &Arc<Self>, events: Vec<VsrEvent>) {
-        let reg = &ocs_telemetry::NodeTelemetry::of(&*self.rt).registry;
+        let tel = ocs_telemetry::NodeTelemetry::of(&*self.rt);
+        let reg = &tel.registry;
         let mut ctxs_changed = false;
         for ev in events {
             match ev {
@@ -344,9 +363,21 @@ impl NsCore {
                 }
                 VsrEvent::Suspected { view } => {
                     reg.counter("ns.vsr.suspects").inc();
-                    let mut drv = self.drv.lock();
-                    if drv.vc_started.is_none() {
-                        drv.vc_started = Some(self.rt.now());
+                    let started = {
+                        let mut drv = self.drv.lock();
+                        if drv.vc_started.is_none() {
+                            drv.vc_started = Some(self.rt.now());
+                            true
+                        } else {
+                            false
+                        }
+                    };
+                    if started {
+                        tel.journal.record(
+                            self.rt.now(),
+                            "vsr",
+                            format!("view change started: proposing view {view}"),
+                        );
                     }
                     self.rt.trace(&format!("ns: vsr suspect, proposing view {view}"));
                 }
@@ -357,12 +388,22 @@ impl NsCore {
                         let us = self.rt.now().saturating_since(started).as_micros() as u64;
                         reg.histo("ns.vsr.view_change_us").observe(us);
                     }
+                    tel.journal.record(
+                        self.rt.now(),
+                        "vsr",
+                        format!("view change committed: view {view} primary {primary}"),
+                    );
                     self.rt
                         .trace(&format!("ns: vsr entered view {view} (primary {primary})"));
                 }
                 VsrEvent::Aborted { view } => {
                     reg.counter("ns.vsr.vc_aborted").inc();
                     self.drv.lock().vc_started = None;
+                    tel.journal.record(
+                        self.rt.now(),
+                        "vsr",
+                        format!("view change to {view} aborted: primary still healthy"),
+                    );
                     self.rt.trace(&format!(
                         "ns: vsr view change to {view} aborted (primary still healthy)"
                     ));
@@ -374,6 +415,15 @@ impl NsCore {
                         "ns.vsr.state_transfer_log"
                     };
                     reg.counter(name).inc();
+                    tel.journal.record(
+                        self.rt.now(),
+                        "vsr",
+                        if via_snapshot {
+                            "caught up via snapshot state transfer"
+                        } else {
+                            "caught up via log replay"
+                        },
+                    );
                     ctxs_changed = true;
                 }
             }

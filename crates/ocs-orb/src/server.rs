@@ -338,6 +338,11 @@ impl Orb {
         // recovery windows when it is scarcest.
         if req.deadline_us != 0 && self.rt.now().as_micros() >= req.deadline_us {
             self.deadline_shed.inc();
+            self.tel.journal.record(
+                self.rt.now(),
+                "orb",
+                format!("deadline shed: method {} from {}", req.method, from.node),
+            );
             return Err(OrbError::DeadlineExpired);
         }
         // Incarnation check: stale references (from before this process

@@ -69,6 +69,12 @@ impl TelemetryApi for NodeTelemetryService {
         let mut snap = tel.registry.snapshot();
         snap.counters
             .insert("trace.spans_dropped".to_string(), tel.tracer.dropped());
+        // Flight-recorder evictions, so campaigns notice when a journal
+        // wrapped and the postmortem tail is incomplete.
+        snap.gauges.insert(
+            "telemetry.journal.dropped".to_string(),
+            tel.journal.dropped() as i64,
+        );
         Ok(snap)
     }
 
@@ -108,27 +114,38 @@ pub fn telemetry_ref(addr: Addr) -> ObjRef {
 }
 
 /// Wires `breaker` into `tel`: a per-service state gauge
-/// (`orb.breaker.state.<service>`: 0 closed, 1 open, 2 half-open) and
+/// (`orb.breaker.state.<service>`: 0 closed, 1 open, 2 half-open),
 /// cluster-aggregatable transition counters (`orb.breaker.opened` /
-/// `half_opened` / `closed`).
-pub fn bind_breaker(breaker: &CircuitBreaker, tel: &NodeTelemetry, service: &str) {
+/// `half_opened` / `closed`), and a flight-recorder entry per
+/// transition (`rt` supplies the timestamp).
+pub fn bind_breaker(breaker: &CircuitBreaker, rt: &Rt, tel: &NodeTelemetry, service: &str) {
     let gauge = tel.registry.gauge(&format!("orb.breaker.state.{service}"));
     let opened = tel.registry.counter("orb.breaker.opened");
     let half_opened = tel.registry.counter("orb.breaker.half_opened");
     let closed = tel.registry.counter("orb.breaker.closed");
+    let journal = Arc::clone(&tel.journal);
+    let rt = Arc::clone(rt);
+    let service = service.to_string();
     gauge.set(0);
-    breaker.set_observer(Box::new(move |_from, to| match to {
-        BreakerState::Closed => {
-            gauge.set(0);
-            closed.inc();
-        }
-        BreakerState::Open => {
-            gauge.set(1);
-            opened.inc();
-        }
-        BreakerState::HalfOpen => {
-            gauge.set(2);
-            half_opened.inc();
+    breaker.set_observer(Box::new(move |from, to| {
+        journal.record(
+            rt.now(),
+            "orb",
+            format!("breaker {service}: {from:?} -> {to:?}"),
+        );
+        match to {
+            BreakerState::Closed => {
+                gauge.set(0);
+                closed.inc();
+            }
+            BreakerState::Open => {
+                gauge.set(1);
+                opened.inc();
+            }
+            BreakerState::HalfOpen => {
+                gauge.set(2);
+                half_opened.inc();
+            }
         }
     }));
 }
@@ -144,12 +161,13 @@ mod tests {
     fn breaker_binding_tracks_state_and_transitions() {
         let sim = ocs_sim::Sim::new(11);
         let node = sim.add_node("n");
+        let rt: Rt = node.clone();
         let tel = NodeTelemetry::of(&*node);
         let b = CircuitBreaker::new(BreakerPolicy {
             failure_threshold: 2,
             open_for: Duration::from_secs(1),
         });
-        bind_breaker(&b, &tel, "rds");
+        bind_breaker(&b, &rt, &tel, "rds");
         let t = SimTime::from_secs(1);
         b.on_failure(t);
         b.on_failure(t);
@@ -166,5 +184,13 @@ mod tests {
         assert_eq!(snap.gauge("orb.breaker.state.rds"), 0);
         assert_eq!(snap.counter("orb.breaker.half_opened"), 1);
         assert_eq!(snap.counter("orb.breaker.closed"), 1);
+        // Every transition also lands in the flight recorder.
+        let journal = tel.journal.events();
+        assert!(
+            journal
+                .iter()
+                .any(|e| e.category == "orb" && e.detail.contains("breaker rds")),
+            "missing breaker journal entries: {journal:?}"
+        );
     }
 }

@@ -43,6 +43,50 @@ pub enum FaultAction {
     ClearImpair(NodeId, NodeId),
 }
 
+impl FaultAction {
+    /// The fault class the availability auditor buckets recovery times
+    /// by. Recovery actions share their fault's class (a heal belongs to
+    /// the partition it ends).
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultAction::CrashNode(_) | FaultAction::RestartNode(_) => "crash",
+            FaultAction::Partition(..) | FaultAction::Heal(..) => "partition",
+            FaultAction::Impair(..) | FaultAction::ClearImpair(..) => "impair",
+        }
+    }
+
+    /// Whether this action injects a fault (vs recovering from one).
+    pub fn is_injection(&self) -> bool {
+        matches!(
+            self,
+            FaultAction::CrashNode(_) | FaultAction::Partition(..) | FaultAction::Impair(..)
+        )
+    }
+
+    /// One-line description for journals and timelines.
+    pub fn describe(&self) -> String {
+        match *self {
+            FaultAction::CrashNode(n) => format!("crash {n}"),
+            FaultAction::RestartNode(n) => format!("restart {n}"),
+            FaultAction::Partition(a, b) => format!("partition {a}-{b}"),
+            FaultAction::Heal(a, b) => format!("heal {a}-{b}"),
+            FaultAction::Impair(a, b, _) => format!("impair {a}-{b}"),
+            FaultAction::ClearImpair(a, b) => format!("clear impair {a}-{b}"),
+        }
+    }
+
+    /// The nodes whose flight recorders should log this action.
+    fn journal_targets(&self) -> Vec<NodeId> {
+        match *self {
+            FaultAction::CrashNode(n) | FaultAction::RestartNode(n) => vec![n],
+            FaultAction::Partition(a, b)
+            | FaultAction::Heal(a, b)
+            | FaultAction::Impair(a, b, _)
+            | FaultAction::ClearImpair(a, b) => vec![a, b],
+        }
+    }
+}
+
 /// A [`FaultAction`] pinned to a virtual time.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FaultEvent {
@@ -277,6 +321,19 @@ impl Nemesis {
     /// process or, except for `CrashNode` of the caller's own node, from
     /// the driver thread).
     pub fn apply(sim: &Sim, action: &FaultAction) {
+        // Journal the injection on every affected node *before* applying:
+        // a `CrashNode` of the caller's own node unwinds inside the match
+        // below, and the record must be in the victim's black box first.
+        // Journal writes never touch the kernel, so the event-trace hash
+        // is identical with or without the recorder.
+        let now = sim.now();
+        for n in action.journal_targets() {
+            crate::journal::Journal::of(&*sim.node_handle(n)).record(
+                now,
+                "fault",
+                action.describe(),
+            );
+        }
         match *action {
             FaultAction::CrashNode(n) => {
                 sim.counter_add("nemesis.crash", 1);

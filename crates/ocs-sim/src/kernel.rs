@@ -39,7 +39,7 @@
 
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -561,6 +561,13 @@ pub(crate) struct WaitObjState {
 
 pub(crate) struct Kernel {
     pub now: u64,
+    /// Lock-free mirror of `now`, shared with [`SimInner`] so the hot
+    /// `now()` read path (journal records, deadline checks in running
+    /// processes) never contends on the kernel mutex. Virtual time only
+    /// advances inside the driver's step loop, while every process is
+    /// parked, so a relaxed-ish read from a running process is always
+    /// exact.
+    now_shared: Arc<AtomicU64>,
     seq: u64,
     events: BinaryHeap<Event>,
     pub procs: BTreeMap<Pid, Proc>,
@@ -614,6 +621,7 @@ impl Kernel {
     pub fn new(seed: u64, net_cfg: NetConfig, trace: bool, fast: bool) -> Kernel {
         Kernel {
             now: 0,
+            now_shared: Arc::new(AtomicU64::new(0)),
             seq: 0,
             events: BinaryHeap::new(),
             procs: BTreeMap::new(),
@@ -811,6 +819,7 @@ impl Kernel {
                     let ev = self.events.pop().expect("peeked");
                     debug_assert!(ev.at >= self.now, "event in the past");
                     self.now = ev.at.max(self.now);
+                    self.now_shared.store(self.now, Ordering::Release);
                     self.sched.events += 1;
                     // Amortized link_free pruning: entries at or behind
                     // `now` are semantically identical to no entry, so
@@ -824,6 +833,7 @@ impl Kernel {
                 _ => {
                     if self.limited && self.run_limit > self.now {
                         self.now = self.run_limit;
+                        self.now_shared.store(self.now, Ordering::Release);
                     }
                     return Step::Done;
                 }
@@ -1112,6 +1122,8 @@ impl Kernel {
 /// Shared kernel wrapper: the single lock plus the scheduler entry points.
 pub(crate) struct SimInner {
     pub kernel: Mutex<Kernel>,
+    /// See [`Kernel::now_shared`]; lets `now()` skip the kernel lock.
+    now_cache: Arc<AtomicU64>,
     /// Woken when a process returns the active token to the driver
     /// (quiescence, shutdown, panic, or fast path disabled).
     gate: Baton,
@@ -1123,8 +1135,11 @@ pub(crate) struct SimInner {
 
 impl SimInner {
     pub fn new(seed: u64, net_cfg: NetConfig, trace: bool, fast: bool) -> Arc<SimInner> {
+        let kernel = Kernel::new(seed, net_cfg, trace, fast);
+        let now_cache = Arc::clone(&kernel.now_shared);
         Arc::new(SimInner {
-            kernel: Mutex::new(Kernel::new(seed, net_cfg, trace, fast)),
+            kernel: Mutex::new(kernel),
+            now_cache,
             gate: Baton::new(),
             ext: Mutex::new(BTreeMap::new()),
         })
@@ -1231,9 +1246,11 @@ impl SimInner {
         self.block_current(Some(at), |_, _, _| {});
     }
 
-    /// Current virtual time.
+    /// Current virtual time. Reads the lock-free mirror: time advances
+    /// only in the driver's step loop while all processes are parked,
+    /// so this is always exact for the caller.
     pub fn now(&self) -> SimTime {
-        SimTime::from_micros(self.kernel.lock().now)
+        SimTime::from_micros(self.now_cache.load(Ordering::Acquire))
     }
 
     pub fn rand_u64(&self) -> u64 {
@@ -1614,13 +1631,31 @@ fn proc_main(inner: Arc<SimInner>, pid: Pid, baton: Arc<Baton>, f: Box<dyn FnOnc
                 } else {
                     "<non-string panic payload>".to_string()
                 };
-                let mut k = inner.kernel.lock();
-                let name = k
-                    .procs
-                    .get(&pid)
-                    .map(|p| p.name.clone())
-                    .unwrap_or_default();
-                k.panics.push(format!("process '{name}': {msg}"));
+                let (name, node, now) = {
+                    let mut k = inner.kernel.lock();
+                    let name = k
+                        .procs
+                        .get(&pid)
+                        .map(|p| p.name.clone())
+                        .unwrap_or_default();
+                    let node = k.procs.get(&pid).and_then(|p| p.node);
+                    k.panics.push(format!("process '{name}': {msg}"));
+                    (name, node, k.now)
+                };
+                // Black box: a panicking process dumps its node's journal
+                // tail (outside the kernel lock — the journal lives in the
+                // node's extension map).
+                if let Some(node) = node {
+                    let j = inner
+                        .node_extensions(node)
+                        .get_or_init(|| crate::journal::Journal::new(node));
+                    j.record(
+                        crate::time::SimTime::from_micros(now),
+                        "proc",
+                        format!("panic in '{name}': {msg}"),
+                    );
+                    j.dump_tail(&format!("panic in '{name}'"));
+                }
             }
         }
     }

@@ -26,12 +26,18 @@ mod time;
 
 pub mod backoff;
 pub mod fault;
+pub mod journal;
 pub mod real;
+pub mod ring;
 pub mod sync;
+pub mod trace;
 
 pub use backoff::RetryPolicy;
 pub use fault::{FaultAction, FaultEvent, FaultPlan, FaultPlanSpec, Nemesis};
+pub use journal::{merge_journals, render_timeline, Journal, JournalEvent};
 pub use kernel::{KernelStats, LinkImpairment, LinkParams, NetConfig, NetStats};
+pub use ring::RingLog;
+pub use trace::{current_ctx, set_current_ctx, CtxGuard, SpanCtx, SpanId, TraceId};
 pub use rt::{
     Addr, Endpoint, Extensions, NetError, NodeId, NodeRt, NodeRtExt, PortReq, ProcGroup,
     RecvError, Rt,

@@ -150,6 +150,8 @@ impl EpHandle {
 /// live-thread count, and the endpoints to close on kill.
 struct GroupCore {
     id: u64,
+    /// The node the group is rooted on (its flight recorder logs kills).
+    node: NodeId,
     killed: AtomicBool,
     /// Threads currently running in the group (incremented by the
     /// spawner before the thread exists, so `alive` never reads a false
@@ -175,6 +177,9 @@ impl GroupCore {
             return;
         }
         *self.killed_at.lock() = Some(Instant::now());
+        if let Some(net) = self.net.upgrade() {
+            net.journal(self.node, "proc", format!("group {} killed", self.id));
+        }
         // Close every endpoint the group owns, so peers observe bounces
         // and resets immediately — before the member threads have even
         // reached their next cancellation point.
@@ -211,12 +216,17 @@ impl GroupCore {
     fn thread_exit(&self) {
         if self.live.fetch_sub(1, Ordering::SeqCst) == 1 && self.killed() {
             if let (Some(at), Some(net)) = (*self.killed_at.lock(), self.net.upgrade()) {
+                let latency_us = (at.elapsed().as_micros() as u64).max(1);
                 net.counter_add("real.net.kills", 1);
                 // Sum of per-kill latencies; campaigns assert it nonzero
                 // and divide by `real.net.kills` for the average.
-                net.counter_add(
-                    "real.net.kill_latency_us",
-                    (at.elapsed().as_micros() as u64).max(1),
+                net.counter_add("real.net.kill_latency_us", latency_us);
+                // The raw sample feeds the kill-latency histogram (E19).
+                net.observe("real.net.kill_latency_us", latency_us);
+                net.journal(
+                    self.node,
+                    "proc",
+                    format!("group {} dead after {latency_us}us", self.id),
                 );
             }
         }
@@ -385,6 +395,9 @@ pub struct RealNet {
     next_node: Mutex<u32>,
     next_group: AtomicU64,
     counters: Mutex<std::collections::BTreeMap<String, u64>>,
+    /// Raw per-observation samples (e.g. kill latencies), kept alongside
+    /// the summed counters so campaigns can build histograms/percentiles.
+    samples: Mutex<std::collections::BTreeMap<String, Vec<u64>>>,
     trace: bool,
     faults: Mutex<FaultTable>,
     /// True only while any fault is installed: the fault-free send path
@@ -403,6 +416,7 @@ impl RealNet {
             next_node: Mutex::new(1),
             next_group: AtomicU64::new(1),
             counters: Mutex::new(Default::default()),
+            samples: Mutex::new(Default::default()),
             trace: std::env::var_os("OCS_TRACE").is_some(),
             faults: Mutex::new(FaultTable::default()),
             any_faults: AtomicBool::new(false),
@@ -467,6 +481,34 @@ impl RealNet {
             None => {
                 c.insert(name.to_string(), delta);
             }
+        }
+    }
+
+    /// Records one raw observation under `name` (histogram feed).
+    pub fn observe(&self, name: &str, v: u64) {
+        self.samples.lock().entry(name.to_string()).or_default().push(v);
+    }
+
+    /// The raw observations recorded under `name`, in arrival order.
+    pub fn samples(&self, name: &str) -> Vec<u64> {
+        self.samples.lock().get(name).cloned().unwrap_or_default()
+    }
+
+    /// Time since the network epoch — the clock every node on this
+    /// network stamps with.
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Appends to `node`'s flight recorder, if the node is still alive.
+    /// Transport-level code (resets, reconnects, kills) records through
+    /// this; everything above the runtime uses `Journal::of` directly.
+    pub(crate) fn journal(&self, node: NodeId, category: &'static str, detail: String) {
+        if let Some(n) = self.node_handle(node) {
+            let j = n
+                .ext
+                .get_or_init(|| crate::journal::Journal::new(node));
+            j.record(self.now(), category, detail);
         }
     }
 
@@ -738,6 +780,7 @@ impl RealNode {
     fn new_group(&self) -> Arc<GroupCore> {
         let core = Arc::new(GroupCore {
             id: self.net.next_group.fetch_add(1, Ordering::Relaxed),
+            node: self.id,
             killed: AtomicBool::new(false),
             live: AtomicUsize::new(0),
             killed_at: Mutex::new(None),
@@ -792,7 +835,10 @@ impl NodeRt for RealNode {
     ) -> Arc<dyn crate::rt::ProcGroup> {
         let core = self.new_group();
         self.spawn_thread(name, Some(Arc::clone(&core)), f);
-        Arc::new(RealProcGroup { core })
+        Arc::new(RealProcGroup {
+            core,
+            ext: Arc::clone(&self.ext),
+        })
     }
 
     fn open(&self, port: PortReq) -> Result<Arc<dyn Endpoint>, NetError> {
@@ -870,6 +916,8 @@ impl NodeRt for RealNode {
 /// scope over the group's threads and endpoints.
 struct RealProcGroup {
     core: Arc<GroupCore>,
+    /// The owning node's extension map, for the black-box dump.
+    ext: Arc<crate::rt::Extensions>,
 }
 
 impl crate::rt::ProcGroup for RealProcGroup {
@@ -878,7 +926,15 @@ impl crate::rt::ProcGroup for RealProcGroup {
     }
 
     fn kill(&self) {
+        let was_alive = !self.core.killed();
         self.core.kill();
+        if was_alive {
+            // Black box: dump the node's journal tail at the kill.
+            let node = self.core.node;
+            self.ext
+                .get_or_init(|| crate::journal::Journal::new(node))
+                .dump_tail(&format!("group {} kill", self.core.id));
+        }
     }
 
     fn id(&self) -> u64 {
@@ -965,6 +1021,11 @@ impl FrameSender {
                     if let Some(s) = slot.lock().take() {
                         let _ = s.shutdown(Shutdown::Both);
                         self.net.counter_add("real.net.resets", 1);
+                        self.net.journal(
+                            self.id,
+                            "real.net",
+                            format!("reset storm: tore down conn to {}", to.node),
+                        );
                     }
                 }
             }
@@ -1003,6 +1064,13 @@ impl FrameSender {
                     Ok(stream) => {
                         stream.set_nodelay(true).ok();
                         self.net.counter_add("real.net.conn_open", 1);
+                        if attempt > 0 {
+                            self.net.journal(
+                                self.id,
+                                "real.net",
+                                format!("reconnected to {} on attempt {attempt}", to.node),
+                            );
+                        }
                         ever_connected = true;
                         *conn = Some(stream);
                     }
@@ -1030,6 +1098,11 @@ impl FrameSender {
                     last_err = e.to_string();
                     *conn = None;
                     self.net.counter_add("real.net.resets", 1);
+                    self.net.journal(
+                        self.id,
+                        "real.net",
+                        format!("reset on conn to {}: {e}", to.node),
+                    );
                 }
             }
         }

@@ -1,6 +1,10 @@
 //! A bounded log that keeps the *tail*: when full it evicts the oldest
 //! entry and counts the eviction, so a chaos run's final minutes — the
 //! part an operator actually reads — are never lost to an early burst.
+//!
+//! Shared by the telemetry span buffer (`ocs-telemetry`) and the
+//! flight-recorder journal ([`crate::journal`]); it lives here, at the
+//! bottom of the crate DAG, so both can reach it.
 
 use std::collections::VecDeque;
 

@@ -348,6 +348,7 @@ impl NodeRt for SimNode {
         Arc::new(SimProcGroup {
             inner: Arc::clone(&self.inner),
             gid,
+            node: self.id,
         })
     }
 
@@ -457,6 +458,7 @@ impl crate::sync::SyncObj for SimSyncObj {
 struct SimProcGroup {
     inner: Arc<SimInner>,
     gid: u64,
+    node: NodeId,
 }
 
 impl crate::rt::ProcGroup for SimProcGroup {
@@ -465,7 +467,23 @@ impl crate::rt::ProcGroup for SimProcGroup {
     }
 
     fn kill(&self) {
-        self.inner.kernel.lock().kill_group(self.gid);
+        let (now, was_alive) = {
+            let mut k = self.inner.kernel.lock();
+            let was_alive = k.group_alive(self.gid);
+            k.kill_group(self.gid);
+            (SimTime::from_micros(k.now), was_alive)
+        };
+        // Black box: journal the kill and dump the victim node's tail —
+        // after the kernel lock drops (the journal lives in the node's
+        // extension map, outside the kernel).
+        if was_alive {
+            let j = self
+                .inner
+                .node_extensions(self.node)
+                .get_or_init(|| crate::journal::Journal::new(self.node));
+            j.record(now, "proc", format!("group {} killed", self.gid));
+            j.dump_tail(&format!("group {} kill", self.gid));
+        }
     }
 
     fn id(&self) -> u64 {

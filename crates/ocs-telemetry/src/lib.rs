@@ -26,11 +26,14 @@
 //! assert byte-identical span trees across same-seed runs.
 
 mod metrics;
-mod ring;
 mod span;
 
 pub use metrics::{Counter, Gauge, Histo, HistoSnapshot, MetricsSnapshot, Registry, DUR_BOUNDS_US};
-pub use ring::RingLog;
+// `RingLog`, the trace-identity types and the flight-recorder journal
+// live in `ocs-sim` (below the codec, so the runtime itself can record);
+// re-exported here so observability users find them in one place.
+pub use ocs_sim::journal::{merge_journals, render_timeline, Journal, JournalEvent};
+pub use ocs_sim::ring::RingLog;
 pub use span::{
     current_ctx, render_span_trees, set_current_ctx, slowest_traces, span_forest, CtxGuard, Span,
     SpanCtx, SpanId, TraceId, Tracer,
@@ -40,8 +43,9 @@ use std::sync::Arc;
 
 use ocs_sim::{NodeId, NodeRt};
 
-/// The per-node telemetry bundle: one [`Tracer`] and one [`Registry`],
-/// shared by every service on the node.
+/// The per-node telemetry bundle: one [`Tracer`], one [`Registry`] and
+/// the node's flight-recorder [`Journal`], shared by every service on
+/// the node.
 pub struct NodeTelemetry {
     /// The node this bundle belongs to.
     pub node: NodeId,
@@ -49,25 +53,25 @@ pub struct NodeTelemetry {
     pub tracer: Tracer,
     /// Name-keyed counters/gauges/histograms.
     pub registry: Registry,
+    /// The node's flight recorder (the same instance runtime-level code
+    /// reaches via `Journal::of`; pre-resolved here so instrumented
+    /// services skip the extensions lookup).
+    pub journal: Arc<Journal>,
 }
 
 impl NodeTelemetry {
-    /// Creates a fresh bundle for `node` (normally reached via
-    /// [`NodeTelemetry::of`]).
-    pub fn new(node: NodeId) -> NodeTelemetry {
-        NodeTelemetry {
-            node,
-            tracer: Tracer::new(node),
-            registry: Registry::new(),
-        }
-    }
-
     /// The node's telemetry bundle, installed on first use. Every handle
     /// to the same node — client stubs, servants, controllers — sees the
     /// same instance.
     pub fn of(rt: &dyn NodeRt) -> Arc<NodeTelemetry> {
         let node = rt.node();
-        rt.extensions().get_or_init(|| NodeTelemetry::new(node))
+        let journal = Journal::of(rt);
+        rt.extensions().get_or_init(|| NodeTelemetry {
+            node,
+            tracer: Tracer::new(node),
+            registry: Registry::new(),
+            journal,
+        })
     }
 }
 

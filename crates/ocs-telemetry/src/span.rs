@@ -14,55 +14,19 @@
 //! the RNG nor the wall clock is involved — identical across same-seed
 //! runs.
 
-use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ocs_sim::{NodeId, SimTime};
-use ocs_wire::{impl_wire_struct, Decoder, Encoder, Wire, WireError};
+use ocs_sim::{NodeId, RingLog, SimTime};
+use ocs_wire::impl_wire_struct;
 use parking_lot::Mutex;
 
-use crate::ring::RingLog;
-
-/// Identifies one causally-linked request tree. `0` means "untraced".
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct TraceId(pub u64);
-
-/// Identifies one span within a trace. `0` means "none" (root parent).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct SpanId(pub u64);
-
-macro_rules! wire_newtype_u64 {
-    ($ty:ident) => {
-        impl Wire for $ty {
-            fn encode_into(&self, e: &mut Encoder) {
-                self.0.encode_into(e);
-            }
-            fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
-                Ok($ty(u64::decode_from(d)?))
-            }
-        }
-    };
-}
-wire_newtype_u64!(TraceId);
-wire_newtype_u64!(SpanId);
-
-/// The propagated trace context: which trace, and which span is current.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SpanCtx {
-    /// The request tree this work belongs to.
-    pub trace: TraceId,
-    /// The current span (parent of anything started under it).
-    pub span: SpanId,
-}
-
-impl SpanCtx {
-    /// Whether this context carries a real trace.
-    pub fn is_traced(&self) -> bool {
-        self.trace.0 != 0
-    }
-}
+// The identity types and the thread-local context moved down to
+// `ocs-sim` (the flight-recorder journal stamps records with the active
+// trace from below the codec); re-exported here so telemetry users keep
+// one import path.
+pub use ocs_sim::trace::{current_ctx, set_current_ctx, CtxGuard, SpanCtx, SpanId, TraceId};
 
 /// One finished span.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -100,54 +64,6 @@ impl Span {
     /// Span duration in microseconds.
     pub fn dur_us(&self) -> u64 {
         self.end.as_micros().saturating_sub(self.start.as_micros())
-    }
-}
-
-thread_local! {
-    static CURRENT: Cell<SpanCtx> = const { Cell::new(SpanCtx { trace: TraceId(0), span: SpanId(0) }) };
-}
-
-/// The calling thread's (= simulated process's) current trace context,
-/// if any.
-pub fn current_ctx() -> Option<SpanCtx> {
-    let c = CURRENT.get();
-    if c.is_traced() {
-        Some(c)
-    } else {
-        None
-    }
-}
-
-/// Replaces the current context, returning the previous one. Prefer
-/// [`CtxGuard`] (via [`CtxGuard::enter`]) for scoped use.
-pub fn set_current_ctx(c: Option<SpanCtx>) -> Option<SpanCtx> {
-    let prev = CURRENT.replace(c.unwrap_or_default());
-    if prev.is_traced() {
-        Some(prev)
-    } else {
-        None
-    }
-}
-
-/// Scoped trace-context override: restores the previous context on drop.
-/// Used by the ORB server path so one worker thread can serve requests
-/// from different traces without leaking context between them.
-pub struct CtxGuard {
-    prev: SpanCtx,
-}
-
-impl CtxGuard {
-    /// Installs `c` as the current context until the guard drops.
-    pub fn enter(c: SpanCtx) -> CtxGuard {
-        CtxGuard {
-            prev: CURRENT.replace(c),
-        }
-    }
-}
-
-impl Drop for CtxGuard {
-    fn drop(&mut self) {
-        CURRENT.set(self.prev);
     }
 }
 
@@ -383,6 +299,7 @@ mod tests {
 
     #[test]
     fn span_round_trips_on_wire() {
+        use ocs_wire::Wire;
         let s = span(1, 2, 3, "x", 4, 5);
         assert_eq!(Span::from_bytes(&s.to_bytes()).unwrap(), s);
     }

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::{Bytes, BytesMut};
-use ocs_sim::{Addr, NodeId, SimTime};
+use ocs_sim::{Addr, NodeId, SimTime, SpanId, TraceId};
 
 /// A free-list of encoder buffers, shared per node (see
 /// [`ocs_sim::Extensions`]) so the RPC hot path reuses one arena instead
@@ -474,6 +474,24 @@ impl Wire for NodeId {
     }
     fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
         Ok(NodeId(u32::decode_from(d)?))
+    }
+}
+
+impl Wire for TraceId {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.0.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(TraceId(u64::decode_from(d)?))
+    }
+}
+
+impl Wire for SpanId {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.0.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SpanId(u64::decode_from(d)?))
     }
 }
 

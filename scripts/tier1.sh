@@ -7,8 +7,9 @@
 # time-bounded) — a telemetry smoke: a
 # 1-settop run must produce a causal span dump whose movie-open tree
 # crosses the MMS, Connection Manager and MDS — and bench guards over
-# the committed E17/E18/E20 artifacts (throughput, kernel fast path,
-# NS view-change latency).
+# the committed E17/E18/E20/E21 artifacts (throughput, kernel fast path
+# plus flight-recorder overhead, NS view-change latency, and measured
+# availability/blackout windows under a fault storm).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -105,8 +106,17 @@ done
 eps="$(json_field "$tmp/BENCH_e18.json" pp_events_per_sec_fast)"
 speedup="$(json_field "$tmp/BENCH_e18.json" pp_speedup)"
 committed_speedup="$(json_field "$repo/BENCH_e18.json" pp_speedup)"
+# Journal-overhead guard: the always-on flight recorder must cost no
+# more than 5% of ping-pong wall throughput at one write per volley
+# (measured at 8x density and scaled down, so machine noise is damped;
+# the ratio is same-run fresh-vs-fresh, not against the committed file).
+overhead="$(json_field "$tmp/BENCH_e18.json" pp_journal_overhead_pct)"
 rm -rf "$tmp"
-echo "tier1: E18 smoke ping-pong $eps ev/s wall-clock, ${speedup}x fast/slow (informational; committed baseline ${committed_speedup}x)"
+if [ -z "$overhead" ] || ! awk -v o="$overhead" 'BEGIN { exit !(o <= 5.0) }'; then
+    echo "tier1: E18 guard FAILED - journal overhead ${overhead:-missing}% exceeds 5%" >&2
+    exit 1
+fi
+echo "tier1: E18 smoke ping-pong $eps ev/s wall-clock, ${speedup}x fast/slow, journal overhead ${overhead}% (informational committed baseline ${committed_speedup}x)"
 
 # View-change smoke + bench guard: E20's simulator legs (the real-TCP
 # leg is skipped with --sim-only to keep this deterministic and fast)
@@ -133,5 +143,36 @@ for key in sim_view_change_p99_s real_view_change_p99_s; do
     fi
 done
 echo "tier1: E20 smoke sim view-change p99 ${fresh}s (guard: < 2.0 s, paper bound 25 s)"
+
+# Availability-audit smoke + bench guard: E21's simulator leg (the
+# real-TCP leg is skipped with --sim-only) drives read/update probe
+# streams through a standard fault storm (8 primary kills + 3 primary
+# partitions) and must keep read availability at or above three nines
+# with every update blackout window under 2 s at p99. The committed
+# full-run BENCH_e21.json must carry the same blackout claim on both
+# the sim and real TCP legs (vs the paper's 25 s fail-over bound).
+tmp="$(mktemp -d)"
+(cd "$tmp" && timeout 120 cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- \
+    e21 --sim-only >/dev/null)
+avail="$(json_field "$tmp/BENCH_e21.json" sim_availability)"
+blackout="$(json_field "$tmp/BENCH_e21.json" sim_p99_blackout_s)"
+rm -rf "$tmp"
+if [ -z "$avail" ] || ! awk -v a="$avail" 'BEGIN { exit !(a >= 0.999) }'; then
+    echo "tier1: E21 smoke FAILED - fresh sim read availability ${avail:-missing} not >= 0.999" >&2
+    exit 1
+fi
+if [ -z "$blackout" ] || ! awk -v b="$blackout" 'BEGIN { exit !(b < 2.0) }'; then
+    echo "tier1: E21 smoke FAILED - fresh sim p99 update blackout ${blackout:-missing}s not < 2.0 s" >&2
+    exit 1
+fi
+for key in sim_p99_blackout_s real_p99_blackout_s; do
+    committed="$(json_field "$repo/BENCH_e21.json" "$key")"
+    if [ -z "$committed" ] || ! awk -v c="$committed" 'BEGIN { exit !(c < 2.0) }'; then
+        echo "tier1: E21 guard FAILED - committed $key ${committed:-missing} not < 2.0 s (BENCH_e21.json)" >&2
+        exit 1
+    fi
+done
+echo "tier1: E21 smoke sim availability $avail, p99 update blackout ${blackout}s (guards: >= 0.999, < 2.0 s)"
 
 echo "tier1: OK"
