@@ -4,6 +4,7 @@
 
 mod availability;
 mod cluster_exps;
+mod cm_failover;
 mod failover;
 mod kernel_bench;
 mod saturation;
@@ -11,6 +12,7 @@ mod standalone;
 
 pub use availability::{e19, e21};
 pub use cluster_exps::{e1, e13, e14, e15, e16, e2, e4, e7, e8};
+pub use cm_failover::e22;
 pub use failover::e20;
 pub use kernel_bench::e18;
 pub use saturation::e17;

@@ -157,7 +157,7 @@ pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
                 // Channel change: admit the new channel's stream, then
                 // tune away again.
                 let t0 = rt.now();
-                match proxy.call(|cm| cm.allocate(settop, server, STREAM_BPS)) {
+                match proxy.call(|cm| cm.allocate(0, settop, server, STREAM_BPS)) {
                     Ok(conn) => {
                         lat.push(rt.now().saturating_since(t0).as_micros() as u64);
                         let _ = proxy.call(|cm| cm.release(conn));
@@ -168,7 +168,7 @@ pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
                 // run, so the CM's active table grows to the population
                 // size while admissions continue.
                 let t1 = rt.now();
-                match proxy.call(|cm| cm.allocate(settop, server, STREAM_BPS)) {
+                match proxy.call(|cm| cm.allocate(0, settop, server, STREAM_BPS)) {
                     Ok(_) => lat.push(rt.now().saturating_since(t1).as_micros() as u64),
                     Err(_) => failures += 1,
                 }
@@ -252,14 +252,14 @@ fn allocate_cost_ns(active: usize, pairs: usize) -> f64 {
     let caller = Caller::local(NodeId(1));
     let server = NodeId(2);
     for i in 0..active {
-        cm.allocate(&caller, NodeId(10_000 + i as u32), server, STREAM_BPS)
+        cm.allocate(&caller, 0, NodeId(10_000 + i as u32), server, STREAM_BPS)
             .expect("population allocation admitted");
     }
     let probe_settop = NodeId(5);
     let t0 = std::time::Instant::now();
     for _ in 0..pairs {
         let conn = cm
-            .allocate(&caller, probe_settop, server, STREAM_BPS)
+            .allocate(&caller, 0, probe_settop, server, STREAM_BPS)
             .expect("probe admitted");
         cm.release(&caller, conn).expect("probe released");
     }

@@ -575,7 +575,7 @@ pub fn e10() {
                     let think = Duration::from_micros(30_000_000 + rt.rand_u64() % 60_000_000);
                     rt.sleep(think);
                     attempts.fetch_add(1, Ordering::Relaxed);
-                    match cm.allocate(&caller, rt.node(), server_id, 4_000_000) {
+                    match cm.allocate(&caller, 0, rt.node(), server_id, 4_000_000) {
                         Ok(conn) => {
                             let hold =
                                 Duration::from_micros(45_000_000 + rt.rand_u64() % 90_000_000);

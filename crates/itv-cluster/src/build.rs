@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use itv_media::{
-    ports, BootSvc, Catalog, CmBudgets, ConnectionManager, DownloadInfo, FileSvc, KernelSvc, Mds,
-    Mms, MmsConfig, MovieInfo, Rds, SettopPlan, ShopSvc,
+    ports, BootSvc, Catalog, CmBudgets, CmReplica, CmReplicaConfig, DownloadInfo, FileSvc,
+    KernelSvc, Mds, Mms, MmsConfig, MovieInfo, Rds, SettopPlan, ShopSvc,
 };
 use itv_settop::{AppCtx, AppSlot, Settop, SettopBootInfo, SettopHandle};
 use ocs_auth::AuthService;
@@ -280,13 +280,21 @@ impl Cluster {
             },
         ];
         for n in 0..cfg.neighborhoods() {
-            // Per-neighborhood services: Connection Manager (primary on
-            // the home server, backup on the next) and RDS (home only —
-            // §8.1: not restarted elsewhere automatically).
+            // Per-neighborhood services: Connection Manager (a VSR
+            // replica group of up to three, home server first, so a
+            // fail-over inherits the admission table) and RDS (home only
+            // — §8.1: not restarted elsewhere automatically).
             let home = (n % cfg.servers as u32) as usize;
+            let mut group = Vec::new();
+            for k in 0..3 {
+                let nd = node(home + k);
+                if !group.contains(&nd) {
+                    group.push(nd);
+                }
+            }
             out.push(ServicePlacement {
                 service: format!("cmgr-{n}"),
-                nodes: two(home, home + 1),
+                nodes: group,
             });
             out.push(ServicePlacement {
                 service: format!("rds-{n}"),
@@ -529,26 +537,59 @@ impl Cluster {
         for n in 0..cfg.neighborhoods() {
             let budgets: CmBudgets = cfg.cm_budgets;
             let bind_retry = cfg.bind_retry;
+            // The replica group mirrors the placement table: home server
+            // first, then the next two (deduped on small clusters), all
+            // on the neighborhood's CM port.
+            let cm_peers: Vec<Addr> = {
+                let home = (n % cfg.servers as u32) as usize;
+                let mut nodes = Vec::new();
+                for k in 0..3 {
+                    let nd = ns_peers[(home + k) % ns_peers.len()].node;
+                    if !nodes.contains(&nd) {
+                        nodes.push(nd);
+                    }
+                }
+                nodes
+                    .into_iter()
+                    .map(|nd| Addr::new(nd, 2000 + n as u16))
+                    .collect()
+            };
             defs.push(ServiceDef {
                 name: format!("cmgr-{n}"),
                 basic: false,
                 factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let Some(id) = cm_peers.iter().position(|p| p.node == ctx.rt.node()) else {
+                        return; // Placed on a node outside the group.
+                    };
                     // Lease = 4x the MMS reassert interval (5 s): a lost
                     // release or a dead owner frees its bandwidth within
                     // 20 s instead of pinning the settop's budget forever.
-                    let cm = ConnectionManager::with_lease(
-                        budgets,
-                        Some(ctx.rt.clone()),
-                        Some(Duration::from_secs(20)),
-                    );
-                    let Ok(obj) = cm.serve(ctx.rt.clone(), 2000 + n as u16) else {
-                        return;
+                    // The lease table is VSR-replicated across the group,
+                    // so a fail-over inherits the admission state instead
+                    // of waiting for reassertion.
+                    let rc = CmReplicaConfig::paper_defaults(id as u32, cm_peers.clone(), budgets);
+                    let Ok(rep) = CmReplica::start(ctx.rt.clone(), rc) else {
+                        return; // Port busy (stale instance); die and retry.
                     };
+                    let obj = rep.root_ref();
                     (ctx.notify_ready)(vec![obj]);
                     let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
                     ensure_path(&ns, &ctx.rt, "svc/cmgr");
-                    acquire_primary(&ns, &ctx.rt, &format!("svc/cmgr/{n}"), obj, bind_retry);
-                    park(&ctx.rt)
+                    let path = format!("svc/cmgr/{n}");
+                    // Master-advertisement loop (replaces acquire_primary):
+                    // the binding is a stable reference, which the NS audit
+                    // skips, so a dead master's binding is never audited
+                    // away — the current master must actively rewrite it.
+                    // Backups forward ops to the primary, so a binding that
+                    // trails a view change keeps working as long as it
+                    // points at a live replica.
+                    loop {
+                        if rep.is_master() && ns.resolve(&path).ok() != Some(obj) {
+                            let _ = ns.unbind(&path);
+                            let _ = ns.bind(&path, obj);
+                        }
+                        ctx.rt.sleep(bind_retry);
+                    }
                 }),
             });
             let catalog = catalog.clone();

@@ -356,8 +356,10 @@ fn same_seed_chaos_run_has_identical_trace_hash() {
 /// changed the wire traffic, so the trace legitimately differs from the
 /// election-era baseline. Re-captured again when view changes gained the
 /// two-phase DoViewChange release (`view_change_go`) and prepares began
-/// carrying the entry's original view beside the sender's.
-const E15_BASELINE_TRACE_HASH: u64 = 14580253440414717300;
+/// carrying the entry's original view beside the sender's. Re-captured
+/// when the Connection Manager moved onto its own VSR group (replicated
+/// allocate/release/expire ops replaced the primary/backup bind race).
+const E15_BASELINE_TRACE_HASH: u64 = 871432322565983628;
 
 #[test]
 fn e15_trace_hash_matches_committed_baseline() {

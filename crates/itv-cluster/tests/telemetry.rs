@@ -117,6 +117,21 @@ fn vsr_replication_shows_up_in_cluster_metrics() {
             assert_eq!(*view, 0, "node {node:?} left view 0 without faults");
         }
     }
+    // The Connection Manager sits on its own VSR log: the movie open's
+    // allocate, the close's release, and the periodic lease-expiry ticks
+    // all commit through it on every replica.
+    assert!(
+        m.counter("cm.vsr.commits") >= 3,
+        "CM mutations went through the VSR log: {:?}",
+        m.counters
+    );
+    assert_eq!(m.counter("cm.vsr.view_changes"), 0);
+    assert_eq!(m.counter("cm.vsr.suspects"), 0);
+    for (node, metrics) in &snap.nodes {
+        if let Some(view) = metrics.gauges.get("cm.vsr.view") {
+            assert_eq!(*view, 0, "node {node:?} CM left view 0 without faults");
+        }
+    }
 }
 
 #[test]

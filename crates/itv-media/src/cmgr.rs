@@ -3,28 +3,34 @@
 //! and per-server bandwidth budgets — the trial's 6 Mbit/s downstream
 //! per settop and the server's aggregate egress.
 //!
-//! Replication (§5.2): "active replicas for each neighborhood ... backed
-//! up by passive replicas". Each neighborhood's instances race to bind
-//! `svc/cmgr/<nbhd>`; the loser waits as backup. A newly promoted backup
-//! starts with no allocation state and relearns it from the MMS's
-//! periodic `reassert` calls (the paper lists the CM as one of only two
-//! services with replicated state; reassertion is our documented
-//! substitution — see DESIGN.md).
+//! The allocation/lease table itself is the pure, deterministic
+//! [`CmTable`](crate::cmtable::CmTable) state machine. This module wraps
+//! it as the *standalone* manager: one instance, a mutex, and a clock
+//! that stamps each operation. It is the paper's §5.2 baseline — each
+//! neighborhood's instances race to bind `svc/cmgr/<nbhd>`, the loser
+//! waits as backup, and a newly promoted backup starts empty and
+//! relearns state from the MMS's periodic `reassert` calls. The
+//! replicated deployment ([`crate::CmReplica`]) drives the same table
+//! through a VSR log instead, so a fail-over preserves admission state.
 //!
 //! Reassertion doubles as a *lease*: when a lease TTL is configured,
 //! an allocation whose owner has stopped reasserting it (the release
 //! RPC was lost in a partition, or the owner died without cleanup) is
 //! expired and its bandwidth reclaimed — otherwise a single lost
-//! `release` would pin a settop's budget forever.
+//! `release` would pin a settop's budget forever. A TTL therefore
+//! *requires* a clock: constructing a leasing manager without a runtime
+//! is refused loudly rather than silently timestamping every lease 0
+//! (which would never expire anything — or expire everything at once).
 
-use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
 use ocs_orb::{declare_interface, Caller, ObjRef, Orb, ThreadModel};
 use ocs_sim::{NetError, NodeId, PortReq, Rt};
+use ocs_vsr::Machine;
 use parking_lot::Mutex;
 
+use crate::cmtable::{CmTable, CmUpdate};
 use crate::types::{CmUsage, ConnDesc, MediaError};
 
 declare_interface! {
@@ -32,8 +38,11 @@ declare_interface! {
     pub interface CmApi [CmApiClient, CmApiServant]: "itv.cmgr" {
         /// Reserve a downstream path of `down_bps` from `server` to
         /// `settop`. Fails with `NoBandwidth` when either budget is
-        /// exhausted.
-        1 => fn allocate(&self, settop: NodeId, server: NodeId, down_bps: u64) -> Result<u64, MediaError>;
+        /// exhausted. `token` is a client-chosen retry key: a retry
+        /// carrying the same nonzero token returns the original conn id
+        /// instead of double-reserving (the reply may have been lost in
+        /// a fail-over); 0 disables deduplication.
+        1 => fn allocate(&self, token: u64, settop: NodeId, server: NodeId, down_bps: u64) -> Result<u64, MediaError>;
         /// Release an allocation.
         2 => fn release(&self, conn: u64) -> Result<(), MediaError>;
         /// Re-register an allocation with a freshly promoted replica
@@ -90,31 +99,35 @@ impl Default for CmBudgets {
     }
 }
 
-/// The Connection Manager service state.
+/// The standalone Connection Manager service: a [`CmTable`] behind a
+/// mutex, with the local clock stamping each operation.
 pub struct ConnectionManager {
-    budgets: CmBudgets,
     rt: Option<Rt>,
-    /// Allocations not allocated/reasserted for this long are expired
-    /// (None disables leasing; requires a clock to do anything).
-    lease_ttl: Option<Duration>,
     /// Metric handles resolved once at construction — the admission hot
     /// path must not take the registry's name-lookup lock per request.
     metrics: Option<CmMetrics>,
-    state: Mutex<CmState>,
+    state: Mutex<Baseline>,
 }
 
-struct CmMetrics {
-    accepted: Arc<ocs_telemetry::Counter>,
-    rejected: Arc<ocs_telemetry::Counter>,
-    released: Arc<ocs_telemetry::Counter>,
-    reasserted: Arc<ocs_telemetry::Counter>,
-    expired: Arc<ocs_telemetry::Counter>,
-    active_allocs: Arc<ocs_telemetry::Gauge>,
-    journal: Arc<ocs_telemetry::Journal>,
+struct Baseline {
+    table: CmTable,
+    /// Local op sequence (the standalone manager's stand-in for the
+    /// replicated log position).
+    seq: u64,
+}
+
+pub(crate) struct CmMetrics {
+    pub(crate) accepted: Arc<ocs_telemetry::Counter>,
+    pub(crate) rejected: Arc<ocs_telemetry::Counter>,
+    pub(crate) released: Arc<ocs_telemetry::Counter>,
+    pub(crate) reasserted: Arc<ocs_telemetry::Counter>,
+    pub(crate) expired: Arc<ocs_telemetry::Counter>,
+    pub(crate) active_allocs: Arc<ocs_telemetry::Gauge>,
+    pub(crate) journal: Arc<ocs_telemetry::Journal>,
 }
 
 impl CmMetrics {
-    fn of(rt: &Rt) -> CmMetrics {
+    pub(crate) fn of(rt: &Rt) -> CmMetrics {
         let tel = ocs_telemetry::NodeTelemetry::of(&**rt);
         let reg = &tel.registry;
         CmMetrics {
@@ -127,55 +140,6 @@ impl CmMetrics {
             journal: Arc::clone(&tel.journal),
         }
     }
-}
-
-/// Per-settop accounting. Bandwidth-time is kept as a *rate integral*:
-/// `bit_us` accumulates closed-out bit·µs, `open_bps` is the settop's
-/// currently reserved rate and `open_since_us` the last time that rate
-/// changed. Folding the open segment on every rate change makes a
-/// report row O(1) instead of a scan over the allocation table.
-#[derive(Clone, Copy, Default)]
-struct Account {
-    granted: u64,
-    refused: u64,
-    bit_us: u64,
-    open_bps: u64,
-    open_since_us: u64,
-}
-
-impl Account {
-    /// Closes the open-rate segment at `now` and starts a new one.
-    fn fold(&mut self, now: u64) {
-        let seg = self.open_bps.saturating_mul(now.saturating_sub(self.open_since_us));
-        self.bit_us = self.bit_us.saturating_add(seg);
-        self.open_since_us = now;
-    }
-
-    /// Bit-seconds consumed up to `now` (closed + open segment).
-    fn bit_seconds(&self, now: u64) -> u64 {
-        let seg = self.open_bps.saturating_mul(now.saturating_sub(self.open_since_us));
-        self.bit_us.saturating_add(seg) / 1_000_000
-    }
-}
-
-#[derive(Default)]
-struct CmState {
-    next_conn: u64,
-    allocations: HashMap<u64, ConnDesc>,
-    /// When each allocation's lease was last renewed (µs).
-    asserted_us: HashMap<u64, u64>,
-    /// Leases ordered by renewal time: `(asserted_us, conn)`. Expiry
-    /// pops the stale prefix instead of scanning every allocation.
-    lease_q: BTreeSet<(u64, u64)>,
-    /// Allocations reclaimed by lease expiry since start.
-    expired: u64,
-    settop_used: HashMap<NodeId, u64>,
-    server_used: HashMap<NodeId, u64>,
-    /// Running total of all reserved downstream bandwidth (kept in step
-    /// with `settop_used`, so `usage` does not sum the table).
-    reserved_down_bps: u64,
-    refused: u64,
-    accounts: HashMap<NodeId, Account>,
 }
 
 impl ConnectionManager {
@@ -193,20 +157,31 @@ impl ConnectionManager {
     /// Creates the manager with a clock and a lease TTL: allocations the
     /// owner stops reasserting are expired after `lease_ttl` (set it to
     /// several reassert intervals).
+    ///
+    /// # Panics
+    ///
+    /// A TTL without a runtime clock is refused: every lease would be
+    /// stamped 0, so expiry could never distinguish stale from fresh —
+    /// the manager would either never reclaim anything or reclaim
+    /// everything on the first request past the TTL.
     pub fn with_lease(
         budgets: CmBudgets,
         rt: Option<Rt>,
         lease_ttl: Option<Duration>,
     ) -> Arc<ConnectionManager> {
+        assert!(
+            lease_ttl.is_none() || rt.is_some(),
+            "ConnectionManager: a lease TTL requires a runtime clock \
+             (leases stamped by a clockless manager would all read 0)"
+        );
         let metrics = rt.as_ref().map(CmMetrics::of);
+        let ttl_us = lease_ttl.map(|d| d.as_micros() as u64);
         Arc::new(ConnectionManager {
-            budgets,
             rt,
-            lease_ttl,
             metrics,
-            state: Mutex::new(CmState {
-                next_conn: 1,
-                ..CmState::default()
+            state: Mutex::new(Baseline {
+                table: CmTable::new(budgets, ttl_us),
+                seq: 0,
             }),
         })
     }
@@ -253,81 +228,24 @@ impl ConnectionManager {
         Ok(obj)
     }
 
-    /// Admission check + bookkeeping: per-settop and per-server budgets,
-    /// the running reserved-bandwidth total, and the settop's accounting
-    /// rate integral — every piece O(1) per decision.
-    fn admit(&self, st: &mut CmState, desc: &ConnDesc, now: u64) -> bool {
-        let settop_after = st.settop_used.get(&desc.settop).copied().unwrap_or(0) + desc.down_bps;
-        let server_after = st.server_used.get(&desc.server).copied().unwrap_or(0) + desc.down_bps;
-        if settop_after > self.budgets.settop_down_bps
-            || server_after > self.budgets.server_egress_bps
-        {
-            return false;
+    /// Applies one op to the table at the next local sequence number and
+    /// post-processes expiries (metrics + journal).
+    fn apply(&self, op: CmUpdate) -> (Result<u64, MediaError>, usize) {
+        let mut st = self.state.lock();
+        st.seq += 1;
+        let seq = st.seq;
+        let out = st.table.apply(seq, &op);
+        let expired = st.table.take_expired();
+        let live = st.table.allocations_len();
+        drop(st);
+        for d in expired {
+            self.count(|m| &m.expired);
+            self.journal(format!(
+                "lease expired: conn {} (settop {}, {} bps reclaimed)",
+                d.conn, d.settop, d.down_bps
+            ));
         }
-        *st.settop_used.entry(desc.settop).or_insert(0) += desc.down_bps;
-        *st.server_used.entry(desc.server).or_insert(0) += desc.down_bps;
-        st.reserved_down_bps += desc.down_bps;
-        let acc = st.accounts.entry(desc.settop).or_default();
-        acc.fold(now);
-        acc.open_bps += desc.down_bps;
-        st.allocations.insert(desc.conn, *desc);
-        true
-    }
-
-    /// Starts (or renews) `conn`'s lease at `now`.
-    fn renew_lease(st: &mut CmState, conn: u64, now: u64) {
-        if let Some(prev) = st.asserted_us.insert(conn, now) {
-            st.lease_q.remove(&(prev, conn));
-        }
-        st.lease_q.insert((now, conn));
-    }
-
-    /// Removes `conn` and returns the freed bandwidth to its budgets.
-    fn drop_alloc(st: &mut CmState, conn: u64, now: u64) -> Option<ConnDesc> {
-        let desc = st.allocations.remove(&conn)?;
-        if let Some(u) = st.settop_used.get_mut(&desc.settop) {
-            *u = u.saturating_sub(desc.down_bps);
-        }
-        if let Some(u) = st.server_used.get_mut(&desc.server) {
-            *u = u.saturating_sub(desc.down_bps);
-        }
-        st.reserved_down_bps = st.reserved_down_bps.saturating_sub(desc.down_bps);
-        if let Some(at) = st.asserted_us.remove(&conn) {
-            st.lease_q.remove(&(at, conn));
-        }
-        let acc = st.accounts.entry(desc.settop).or_default();
-        acc.fold(now);
-        acc.open_bps = acc.open_bps.saturating_sub(desc.down_bps);
-        Some(desc)
-    }
-
-    /// Expires allocations whose lease ran out (run at the top of every
-    /// request — the CM has no loop of its own, so incoming traffic is
-    /// its clock tick). Pops the stale prefix of the lease queue, so the
-    /// cost is O(expired · log n), independent of the table size.
-    fn expire_stale(&self, st: &mut CmState) {
-        let Some(ttl) = self.lease_ttl else { return };
-        if self.rt.is_none() {
-            return;
-        }
-        let now = self.now_us();
-        let ttl_us = ttl.as_micros() as u64;
-        while let Some(&(at, conn)) = st.lease_q.iter().next() {
-            if now.saturating_sub(at) <= ttl_us {
-                break;
-            }
-            let desc = ConnectionManager::drop_alloc(st, conn, now);
-            st.expired += 1;
-            if let Some(m) = &self.metrics {
-                m.expired.inc();
-            }
-            if let Some(d) = desc {
-                self.journal(format!(
-                    "lease expired: conn {conn} (settop {}, {} bps reclaimed)",
-                    d.settop, d.down_bps
-                ));
-            }
-        }
+        (out, live)
     }
 }
 
@@ -335,104 +253,71 @@ impl CmApi for ConnectionManager {
     fn allocate(
         &self,
         _caller: &Caller,
+        token: u64,
         settop: NodeId,
         server: NodeId,
         down_bps: u64,
     ) -> Result<u64, MediaError> {
-        let mut st = self.state.lock();
-        self.expire_stale(&mut st);
-        let now = self.now_us();
-        let conn = st.next_conn;
-        let desc = ConnDesc {
-            conn,
+        let (out, live) = self.apply(CmUpdate::Allocate {
+            token,
             settop,
             server,
             down_bps,
-        };
-        if !self.admit(&mut st, &desc, now) {
-            st.refused += 1;
-            st.accounts.entry(settop).or_default().refused += 1;
-            self.count(|m| &m.rejected);
-            return Err(MediaError::NoBandwidth);
+            now_us: self.now_us(),
+        });
+        match &out {
+            Ok(conn) => {
+                self.count(|m| &m.accepted);
+                self.track_allocs(live);
+                self.journal(format!(
+                    "lease granted: conn {conn} settop {settop} {down_bps} bps"
+                ));
+            }
+            Err(_) => self.count(|m| &m.rejected),
         }
-        st.next_conn += 1;
-        st.accounts.entry(settop).or_default().granted += 1;
-        ConnectionManager::renew_lease(&mut st, conn, now);
-        self.count(|m| &m.accepted);
-        self.track_allocs(st.allocations.len());
-        self.journal(format!("lease granted: conn {conn} settop {settop} {down_bps} bps"));
-        Ok(conn)
+        out
     }
 
     fn release(&self, _caller: &Caller, conn: u64) -> Result<(), MediaError> {
-        let now = self.now_us();
-        let mut st = self.state.lock();
-        self.expire_stale(&mut st);
-        let r = ConnectionManager::drop_alloc(&mut st, conn, now)
-            .map(|_| ())
-            .ok_or(MediaError::UnknownSession { id: conn });
-        if r.is_ok() {
+        let (out, live) = self.apply(CmUpdate::Release {
+            conn,
+            now_us: self.now_us(),
+        });
+        if out.is_ok() {
             self.count(|m| &m.released);
         }
-        self.track_allocs(st.allocations.len());
-        r
+        self.track_allocs(live);
+        out.map(|_| ())
     }
 
     fn reassert(&self, _caller: &Caller, desc: ConnDesc) -> Result<(), MediaError> {
-        let now = self.now_us();
-        let mut st = self.state.lock();
-        self.expire_stale(&mut st);
-        if st.allocations.contains_key(&desc.conn) {
-            // Already known (same incarnation): renew the lease.
-            ConnectionManager::renew_lease(&mut st, desc.conn, now);
-            return Ok(());
+        let known = self.state.lock().table.allocation(desc.conn).is_some();
+        let (out, live) = self.apply(CmUpdate::Reassert {
+            desc,
+            now_us: self.now_us(),
+        });
+        if out.is_ok() && !known {
+            self.count(|m| &m.reasserted);
+            self.track_allocs(live);
+            self.journal(format!(
+                "lease reasserted: conn {} settop {} re-admitted after restart",
+                desc.conn, desc.settop
+            ));
         }
-        if !self.admit(&mut st, &desc, now) {
-            return Err(MediaError::NoBandwidth);
-        }
-        ConnectionManager::renew_lease(&mut st, desc.conn, now);
-        st.accounts.entry(desc.settop).or_default().granted += 1;
-        // Keep conn ids unique past reasserted ones.
-        if desc.conn >= st.next_conn {
-            st.next_conn = desc.conn + 1;
-        }
-        self.count(|m| &m.reasserted);
-        self.track_allocs(st.allocations.len());
-        self.journal(format!(
-            "lease reasserted: conn {} settop {} re-admitted after restart",
-            desc.conn, desc.settop
-        ));
-        Ok(())
+        out.map(|_| ())
     }
 
     fn usage(&self, _caller: &Caller) -> Result<CmUsage, MediaError> {
-        let mut st = self.state.lock();
-        self.expire_stale(&mut st);
-        Ok(CmUsage {
-            allocations: st.allocations.len() as u32,
-            reserved_down_bps: st.reserved_down_bps,
-            refused: st.refused,
-            expired: st.expired,
-        })
+        // An explicit lease tick, so a quiet manager still reports
+        // expiries that are due.
+        let _ = self.apply(CmUpdate::Expire {
+            now_us: self.now_us(),
+        });
+        Ok(self.state.lock().table.usage())
     }
 
     fn accounting(&self, _caller: &Caller) -> Result<Vec<CmAccountRow>, MediaError> {
-        let now = self.now_us();
-        let st = self.state.lock();
-        let mut rows: Vec<CmAccountRow> = st
-            .accounts
-            .iter()
-            .map(|(settop, a)| CmAccountRow {
-                settop: *settop,
-                granted: a.granted,
-                refused: a.refused,
-                // The rate integral already covers the open allocations'
-                // elapsed portion — no scan of the allocation table.
-                bit_seconds: a.bit_seconds(now),
-            })
-            .collect();
-        rows.sort_by(|a, b| b.bit_seconds.cmp(&a.bit_seconds).then(a.settop.cmp(&b.settop)));
-        Ok(rows)
+        Ok(self.state.lock().table.accounting(self.now_us()))
     }
 }
 
@@ -453,20 +338,20 @@ mod tests {
         let c = caller();
         let settop = NodeId(100);
         let server = NodeId(1);
-        let a = cm.allocate(&c, settop, server, 4_000_000).unwrap();
+        let a = cm.allocate(&c, 0, settop, server, 4_000_000).unwrap();
         // Second 4 Mb/s stream to the same settop exceeds 6 Mb/s.
         assert_eq!(
-            cm.allocate(&c, settop, server, 4_000_000).unwrap_err(),
+            cm.allocate(&c, 0, settop, server, 4_000_000).unwrap_err(),
             MediaError::NoBandwidth
         );
         // A 2 Mb/s one fits exactly.
-        let b = cm.allocate(&c, settop, server, 2_000_000).unwrap();
+        let b = cm.allocate(&c, 0, settop, server, 2_000_000).unwrap();
         assert_ne!(a, b);
         assert_eq!(cm.usage(&c).unwrap().allocations, 2);
         assert_eq!(cm.usage(&c).unwrap().refused, 1);
         // Releasing frees the budget.
         cm.release(&c, a).unwrap();
-        cm.allocate(&c, settop, server, 4_000_000).unwrap();
+        cm.allocate(&c, 0, settop, server, 4_000_000).unwrap();
     }
 
     #[test]
@@ -477,10 +362,11 @@ mod tests {
         });
         let c = caller();
         let server = NodeId(1);
-        cm.allocate(&c, NodeId(100), server, 4_000_000).unwrap();
-        cm.allocate(&c, NodeId(101), server, 4_000_000).unwrap();
+        cm.allocate(&c, 0, NodeId(100), server, 4_000_000).unwrap();
+        cm.allocate(&c, 0, NodeId(101), server, 4_000_000).unwrap();
         assert_eq!(
-            cm.allocate(&c, NodeId(102), server, 4_000_000).unwrap_err(),
+            cm.allocate(&c, 0, NodeId(102), server, 4_000_000)
+                .unwrap_err(),
             MediaError::NoBandwidth
         );
     }
@@ -495,16 +381,43 @@ mod tests {
     }
 
     #[test]
+    fn retried_allocate_with_token_is_idempotent() {
+        let cm = ConnectionManager::new(CmBudgets::default());
+        let c = caller();
+        let settop = NodeId(100);
+        let a = cm.allocate(&c, 42, settop, NodeId(1), 4_000_000).unwrap();
+        // The client never saw the reply and retries with the same
+        // token: same conn, no second reservation.
+        let b = cm.allocate(&c, 42, settop, NodeId(1), 4_000_000).unwrap();
+        assert_eq!(a, b);
+        let usage = cm.usage(&c).unwrap();
+        assert_eq!(usage.allocations, 1);
+        assert_eq!(usage.reserved_down_bps, 4_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "lease TTL requires a runtime clock")]
+    fn lease_ttl_without_clock_is_refused() {
+        // Regression: this used to be accepted and silently stamped
+        // every lease with now_us() == 0, so expiry never worked.
+        let _ = ConnectionManager::with_lease(
+            CmBudgets::default(),
+            None,
+            Some(Duration::from_secs(10)),
+        );
+    }
+
+    #[test]
     fn accounting_identifies_heavy_and_refused_settops() {
         let cm = ConnectionManager::new(CmBudgets::default());
         let c = caller();
         let hog = NodeId(100);
         let modest = NodeId(101);
         let server = NodeId(1);
-        cm.allocate(&c, hog, server, 4_000_000).unwrap();
-        cm.allocate(&c, hog, server, 2_000_000).unwrap();
-        assert!(cm.allocate(&c, hog, server, 2_000_000).is_err());
-        cm.allocate(&c, modest, server, 2_000_000).unwrap();
+        cm.allocate(&c, 0, hog, server, 4_000_000).unwrap();
+        cm.allocate(&c, 0, hog, server, 2_000_000).unwrap();
+        assert!(cm.allocate(&c, 0, hog, server, 2_000_000).is_err());
+        cm.allocate(&c, 0, modest, server, 2_000_000).unwrap();
         let rows = cm.accounting(&c).unwrap();
         assert_eq!(rows.len(), 2);
         let hog_row = rows.iter().find(|r| r.settop == hog).unwrap();
@@ -525,8 +438,8 @@ mod tests {
         );
         let c = caller();
         let settop = NodeId(100);
-        let a = cm.allocate(&c, settop, NodeId(1), 4_000_000).unwrap();
-        let b = cm.allocate(&c, settop, NodeId(1), 2_000_000).unwrap();
+        let a = cm.allocate(&c, 0, settop, NodeId(1), 4_000_000).unwrap();
+        let b = cm.allocate(&c, 0, settop, NodeId(1), 2_000_000).unwrap();
         // Keep `b` alive by reasserting; let `a`'s lease run out (its
         // owner lost the release RPC and gave up).
         sim.run_until(ocs_sim::SimTime::from_secs(6));
@@ -543,7 +456,7 @@ mod tests {
         assert_eq!(usage.expired, 1);
         assert!(cm.release(&c, a).is_err(), "a is gone");
         // The freed budget admits a new stream again.
-        cm.allocate(&c, settop, NodeId(1), 4_000_000).unwrap();
+        cm.allocate(&c, 0, settop, NodeId(1), 4_000_000).unwrap();
     }
 
     #[test]
@@ -558,8 +471,8 @@ mod tests {
             Some(Duration::from_secs(30)),
         );
         let c = caller();
-        let a = cm.allocate(&c, NodeId(100), NodeId(1), 4_000_000).unwrap();
-        let _b = cm.allocate(&c, NodeId(101), NodeId(1), 2_000_000).unwrap();
+        let a = cm.allocate(&c, 0, NodeId(100), NodeId(1), 4_000_000).unwrap();
+        let _b = cm.allocate(&c, 0, NodeId(101), NodeId(1), 2_000_000).unwrap();
         assert_eq!(cm.usage(&c).unwrap().reserved_down_bps, 6_000_000);
         // 10 s at 4 + 2 Mb/s, then close `a` and run 5 more seconds at
         // 2 Mb/s: integrals must match rate × time per settop.
@@ -591,11 +504,11 @@ mod tests {
         cm.reassert(&c, desc).unwrap();
         assert_eq!(cm.usage(&c).unwrap().allocations, 1);
         // Fresh allocations do not collide with reasserted ids.
-        let next = cm.allocate(&c, NodeId(101), NodeId(1), 1_000_000).unwrap();
+        let next = cm.allocate(&c, 0, NodeId(101), NodeId(1), 1_000_000).unwrap();
         assert!(next > 42);
         // And the reasserted budget counts.
         assert_eq!(
-            cm.allocate(&c, NodeId(100), NodeId(1), 4_000_000)
+            cm.allocate(&c, 0, NodeId(100), NodeId(1), 4_000_000)
                 .unwrap_err(),
             MediaError::NoBandwidth
         );

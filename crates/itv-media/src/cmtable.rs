@@ -1,0 +1,591 @@
+//! The Connection Manager's allocation/lease table as a pure, replicated
+//! state machine (ROADMAP item 1: "replicate CM lease state ... over the
+//! NS's VSR core").
+//!
+//! [`CmTable`] implements [`ocs_vsr::Machine`]: every mutation —
+//! allocate, release, reassert, lease expiry — is a [`CmUpdate`] on the
+//! replicated log, applied deterministically on every replica. Two
+//! consequences shape the design:
+//!
+//! * **Time travels in the op, not the replica.** Lease stamps and
+//!   accounting integrals use the `now_us` the sequencing primary put
+//!   into the op — a backup applying the same log at a different wall
+//!   moment computes the identical table, and a promoted backup's leases
+//!   keep the stamps the old primary granted instead of being re-derived
+//!   from the new replica's clock.
+//! * **Retries must be idempotent.** A client whose `allocate` reply was
+//!   lost in a primary crash retries against the new primary; the op
+//!   carries a client-chosen `token`, and a token that already maps to a
+//!   live allocation returns the original conn id instead of reserving
+//!   the bandwidth twice.
+//!
+//! The standalone [`crate::ConnectionManager`] wraps this same table
+//! behind a mutex (the paper's reassertion-only baseline); the
+//! replicated [`crate::CmReplica`] drives it through a
+//! [`ocs_vsr::VsrCore`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ocs_sim::NodeId;
+use ocs_wire::{impl_wire_enum, impl_wire_struct};
+
+use crate::cmgr::{CmAccountRow, CmBudgets};
+use crate::types::{CmUsage, ConnDesc, MediaError};
+
+/// One replicated Connection Manager operation. Every variant carries
+/// the primary's clock reading at sequencing time (`now_us`), which is
+/// what lease renewal and accounting use on every replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CmUpdate {
+    /// Reserve a downstream path. `token` is a client-chosen retry key:
+    /// nonzero tokens make the op idempotent (a retry returns the
+    /// original conn id); zero disables deduplication.
+    Allocate {
+        /// Client retry token (0 = no dedup).
+        token: u64,
+        /// The settop endpoint.
+        settop: NodeId,
+        /// The server endpoint.
+        server: NodeId,
+        /// Reserved downstream bits per second.
+        down_bps: u64,
+        /// Primary clock at sequencing (µs).
+        now_us: u64,
+    },
+    /// Release an allocation.
+    Release {
+        /// The allocation id.
+        conn: u64,
+        /// Primary clock at sequencing (µs).
+        now_us: u64,
+    },
+    /// Re-register (or lease-renew) an allocation — the MMS reassertion
+    /// path, kept for mixed fleets and the E22 baseline.
+    Reassert {
+        /// The full allocation descriptor.
+        desc: ConnDesc,
+        /// Primary clock at sequencing (µs).
+        now_us: u64,
+    },
+    /// Advance the lease clock: expire allocations whose owner stopped
+    /// renewing. The primary submits these periodically so backups
+    /// expire the *same* leases at the *same* log positions.
+    Expire {
+        /// Primary clock at sequencing (µs).
+        now_us: u64,
+    },
+}
+
+impl CmUpdate {
+    /// The primary-stamped clock reading carried by the op.
+    pub fn now_us(&self) -> u64 {
+        match self {
+            CmUpdate::Allocate { now_us, .. }
+            | CmUpdate::Release { now_us, .. }
+            | CmUpdate::Reassert { now_us, .. }
+            | CmUpdate::Expire { now_us } => *now_us,
+        }
+    }
+
+    /// Overwrites the op's clock stamp (the sequencing primary re-stamps
+    /// forwarded ops so a backup's stale clock never enters the log).
+    pub fn stamp(&mut self, us: u64) {
+        match self {
+            CmUpdate::Allocate { now_us, .. }
+            | CmUpdate::Release { now_us, .. }
+            | CmUpdate::Reassert { now_us, .. }
+            | CmUpdate::Expire { now_us } => *now_us = us,
+        }
+    }
+}
+
+impl_wire_enum!(CmUpdate {
+    0 => Allocate { token, settop, server, down_bps, now_us },
+    1 => Release { conn, now_us },
+    2 => Reassert { desc, now_us },
+    3 => Expire { now_us },
+});
+
+/// Per-settop accounting record (§7.3). Bandwidth-time is a *rate
+/// integral*: `bit_us` accumulates closed-out bit·µs, `open_bps` is the
+/// currently reserved rate, `open_since_us` when that rate last changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CmAccount {
+    /// Allocations ever granted.
+    pub granted: u64,
+    /// Allocations refused.
+    pub refused: u64,
+    /// Closed-out bit·µs.
+    pub bit_us: u64,
+    /// Currently reserved rate (bits/s).
+    pub open_bps: u64,
+    /// When the open rate last changed (µs).
+    pub open_since_us: u64,
+}
+
+impl_wire_struct!(CmAccount {
+    granted,
+    refused,
+    bit_us,
+    open_bps,
+    open_since_us
+});
+
+impl CmAccount {
+    /// Closes the open-rate segment at `now` and starts a new one.
+    fn fold(&mut self, now: u64) {
+        let seg = self.open_bps.saturating_mul(now.saturating_sub(self.open_since_us));
+        self.bit_us = self.bit_us.saturating_add(seg);
+        self.open_since_us = now;
+    }
+
+    /// Bit-seconds consumed up to `now` (closed + open segment).
+    pub fn bit_seconds(&self, now: u64) -> u64 {
+        let seg = self.open_bps.saturating_mul(now.saturating_sub(self.open_since_us));
+        self.bit_us.saturating_add(seg) / 1_000_000
+    }
+}
+
+/// A full table snapshot, installed on replicas that fell behind the
+/// log-retention window. Derived indexes (budget sums, the lease queue,
+/// the token reverse map) are rebuilt on restore rather than shipped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CmSnapshot {
+    /// Next allocation id.
+    pub next_conn: u64,
+    /// Live allocations by conn id.
+    pub allocations: BTreeMap<u64, ConnDesc>,
+    /// Last lease renewal per conn (µs).
+    pub asserted_us: BTreeMap<u64, u64>,
+    /// Allocations reclaimed by lease expiry since start.
+    pub expired: u64,
+    /// Allocations refused since start.
+    pub refused: u64,
+    /// Per-settop accounting.
+    pub accounts: BTreeMap<NodeId, CmAccount>,
+    /// Live retry tokens → conn ids.
+    pub token_conn: BTreeMap<u64, u64>,
+    /// Sequence number of the last applied update.
+    pub last_seq: u64,
+}
+
+impl_wire_struct!(CmSnapshot {
+    next_conn,
+    allocations,
+    asserted_us,
+    expired,
+    refused,
+    accounts,
+    token_conn,
+    last_seq
+});
+
+/// The deterministic CM allocation/lease table. All iteration-order-
+/// sensitive state lives in `BTreeMap`/`BTreeSet` so replicas applying
+/// the same log produce byte-identical snapshots.
+#[derive(Clone, Debug)]
+pub struct CmTable {
+    budgets: CmBudgets,
+    /// Lease TTL in µs (`None` disables expiry). Construction config —
+    /// identical on every replica — not part of the snapshot.
+    lease_ttl_us: Option<u64>,
+    next_conn: u64,
+    allocations: BTreeMap<u64, ConnDesc>,
+    asserted_us: BTreeMap<u64, u64>,
+    /// Leases ordered by renewal time (`(asserted_us, conn)`); derived.
+    lease_q: BTreeSet<(u64, u64)>,
+    expired: u64,
+    refused: u64,
+    /// Per-endpoint budget sums; derived.
+    settop_used: BTreeMap<NodeId, u64>,
+    server_used: BTreeMap<NodeId, u64>,
+    /// Running total of reserved downstream bandwidth; derived.
+    reserved_down_bps: u64,
+    accounts: BTreeMap<NodeId, CmAccount>,
+    /// Live retry tokens → conn ids (replicated: a retry must dedup on
+    /// the new primary after fail-over).
+    token_conn: BTreeMap<u64, u64>,
+    /// Reverse of `token_conn`; derived.
+    conn_token: BTreeMap<u64, u64>,
+    last_seq: u64,
+    /// Allocations expired since the last [`CmTable::take_expired`] —
+    /// a driver-side journal/metrics feed, not replicated state.
+    expired_log: Vec<ConnDesc>,
+}
+
+impl CmTable {
+    /// Creates an empty table with the given budgets and lease TTL.
+    pub fn new(budgets: CmBudgets, lease_ttl_us: Option<u64>) -> CmTable {
+        CmTable {
+            budgets,
+            lease_ttl_us,
+            next_conn: 1,
+            allocations: BTreeMap::new(),
+            asserted_us: BTreeMap::new(),
+            lease_q: BTreeSet::new(),
+            expired: 0,
+            refused: 0,
+            settop_used: BTreeMap::new(),
+            server_used: BTreeMap::new(),
+            reserved_down_bps: 0,
+            accounts: BTreeMap::new(),
+            token_conn: BTreeMap::new(),
+            conn_token: BTreeMap::new(),
+            last_seq: 0,
+            expired_log: Vec::new(),
+        }
+    }
+
+    /// Live allocation count.
+    pub fn allocations_len(&self) -> usize {
+        self.allocations.len()
+    }
+
+    /// The utilization snapshot served by `usage`.
+    pub fn usage(&self) -> CmUsage {
+        CmUsage {
+            allocations: self.allocations.len() as u32,
+            reserved_down_bps: self.reserved_down_bps,
+            refused: self.refused,
+            expired: self.expired,
+        }
+    }
+
+    /// One live allocation by id.
+    pub fn allocation(&self, conn: u64) -> Option<ConnDesc> {
+        self.allocations.get(&conn).copied()
+    }
+
+    /// All live allocations, in conn-id order (post-storm audits).
+    pub fn allocations_list(&self) -> Vec<ConnDesc> {
+        self.allocations.values().copied().collect()
+    }
+
+    /// Accounting rows at `now`, heaviest bit-seconds first.
+    pub fn accounting(&self, now: u64) -> Vec<CmAccountRow> {
+        let mut rows: Vec<CmAccountRow> = self
+            .accounts
+            .iter()
+            .map(|(settop, a)| CmAccountRow {
+                settop: *settop,
+                granted: a.granted,
+                refused: a.refused,
+                bit_seconds: a.bit_seconds(now),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.bit_seconds.cmp(&a.bit_seconds).then(a.settop.cmp(&b.settop)));
+        rows
+    }
+
+    /// Drains the allocations expired since the last call (driver-side
+    /// journaling/metrics; not replicated state).
+    pub fn take_expired(&mut self) -> Vec<ConnDesc> {
+        std::mem::take(&mut self.expired_log)
+    }
+
+    /// Recomputes the full reserved total by scanning the table — the
+    /// audit cross-check against the incrementally maintained indexes.
+    pub fn audit_reserved_bps(&self) -> u64 {
+        self.allocations.values().map(|d| d.down_bps).sum()
+    }
+
+    fn admit(&mut self, desc: &ConnDesc, now: u64) -> bool {
+        let settop_after =
+            self.settop_used.get(&desc.settop).copied().unwrap_or(0) + desc.down_bps;
+        let server_after =
+            self.server_used.get(&desc.server).copied().unwrap_or(0) + desc.down_bps;
+        if settop_after > self.budgets.settop_down_bps
+            || server_after > self.budgets.server_egress_bps
+        {
+            return false;
+        }
+        *self.settop_used.entry(desc.settop).or_insert(0) += desc.down_bps;
+        *self.server_used.entry(desc.server).or_insert(0) += desc.down_bps;
+        self.reserved_down_bps += desc.down_bps;
+        let acc = self.accounts.entry(desc.settop).or_default();
+        acc.fold(now);
+        acc.open_bps += desc.down_bps;
+        self.allocations.insert(desc.conn, *desc);
+        true
+    }
+
+    fn renew_lease(&mut self, conn: u64, now: u64) {
+        if let Some(prev) = self.asserted_us.insert(conn, now) {
+            self.lease_q.remove(&(prev, conn));
+        }
+        self.lease_q.insert((now, conn));
+    }
+
+    fn drop_alloc(&mut self, conn: u64, now: u64) -> Option<ConnDesc> {
+        let desc = self.allocations.remove(&conn)?;
+        if let Some(u) = self.settop_used.get_mut(&desc.settop) {
+            *u = u.saturating_sub(desc.down_bps);
+        }
+        if let Some(u) = self.server_used.get_mut(&desc.server) {
+            *u = u.saturating_sub(desc.down_bps);
+        }
+        self.reserved_down_bps = self.reserved_down_bps.saturating_sub(desc.down_bps);
+        if let Some(at) = self.asserted_us.remove(&conn) {
+            self.lease_q.remove(&(at, conn));
+        }
+        if let Some(tok) = self.conn_token.remove(&conn) {
+            self.token_conn.remove(&tok);
+        }
+        let acc = self.accounts.entry(desc.settop).or_default();
+        acc.fold(now);
+        acc.open_bps = acc.open_bps.saturating_sub(desc.down_bps);
+        Some(desc)
+    }
+
+    /// Expires allocations whose lease ran out at `now`. Runs at the top
+    /// of every applied op, so every replica pops the same stale prefix
+    /// at the same log position.
+    fn expire_stale(&mut self, now: u64) {
+        let Some(ttl_us) = self.lease_ttl_us else { return };
+        while let Some(&(at, conn)) = self.lease_q.iter().next() {
+            if now.saturating_sub(at) <= ttl_us {
+                break;
+            }
+            if let Some(desc) = self.drop_alloc(conn, now) {
+                self.expired_log.push(desc);
+            }
+            self.expired += 1;
+        }
+    }
+
+    fn do_allocate(
+        &mut self,
+        token: u64,
+        settop: NodeId,
+        server: NodeId,
+        down_bps: u64,
+        now: u64,
+    ) -> Result<u64, MediaError> {
+        if token != 0 {
+            if let Some(&conn) = self.token_conn.get(&token) {
+                // A retry of an op that already committed (the reply was
+                // lost in a fail-over): renew and return the original
+                // grant — the bandwidth is already reserved exactly once.
+                if self.allocations.contains_key(&conn) {
+                    self.renew_lease(conn, now);
+                    return Ok(conn);
+                }
+            }
+        }
+        let conn = self.next_conn;
+        let desc = ConnDesc {
+            conn,
+            settop,
+            server,
+            down_bps,
+        };
+        if !self.admit(&desc, now) {
+            self.refused += 1;
+            self.accounts.entry(settop).or_default().refused += 1;
+            return Err(MediaError::NoBandwidth);
+        }
+        self.next_conn += 1;
+        self.accounts.entry(settop).or_default().granted += 1;
+        self.renew_lease(conn, now);
+        if token != 0 {
+            self.token_conn.insert(token, conn);
+            self.conn_token.insert(conn, token);
+        }
+        Ok(conn)
+    }
+
+    fn do_reassert(&mut self, desc: ConnDesc, now: u64) -> Result<u64, MediaError> {
+        if self.allocations.contains_key(&desc.conn) {
+            // Already known (same incarnation): renew the lease.
+            self.renew_lease(desc.conn, now);
+            return Ok(desc.conn);
+        }
+        if !self.admit(&desc, now) {
+            return Err(MediaError::NoBandwidth);
+        }
+        self.renew_lease(desc.conn, now);
+        self.accounts.entry(desc.settop).or_default().granted += 1;
+        // Keep conn ids unique past reasserted ones.
+        if desc.conn >= self.next_conn {
+            self.next_conn = desc.conn + 1;
+        }
+        Ok(desc.conn)
+    }
+}
+
+impl ocs_vsr::Machine for CmTable {
+    type Op = CmUpdate;
+    /// `Ok(conn)` for allocate/release/reassert; `Ok(total expired)` for
+    /// an `Expire` tick.
+    type Outcome = Result<u64, MediaError>;
+    type Snap = CmSnapshot;
+
+    fn apply(&mut self, seq: u64, op: &CmUpdate) -> Result<u64, MediaError> {
+        self.last_seq = seq;
+        // Every op advances the lease clock first, so expiry happens at
+        // deterministic log positions on every replica.
+        self.expire_stale(op.now_us());
+        match *op {
+            CmUpdate::Allocate {
+                token,
+                settop,
+                server,
+                down_bps,
+                now_us,
+            } => self.do_allocate(token, settop, server, down_bps, now_us),
+            CmUpdate::Release { conn, now_us } => self
+                .drop_alloc(conn, now_us)
+                .map(|d| d.conn)
+                .ok_or(MediaError::UnknownSession { id: conn }),
+            CmUpdate::Reassert { desc, now_us } => self.do_reassert(desc, now_us),
+            CmUpdate::Expire { .. } => Ok(self.expired),
+        }
+    }
+
+    fn snapshot(&self) -> CmSnapshot {
+        CmSnapshot {
+            next_conn: self.next_conn,
+            allocations: self.allocations.clone(),
+            asserted_us: self.asserted_us.clone(),
+            expired: self.expired,
+            refused: self.refused,
+            accounts: self.accounts.clone(),
+            token_conn: self.token_conn.clone(),
+            last_seq: self.last_seq,
+        }
+    }
+
+    fn restore(&mut self, snap: CmSnapshot) {
+        self.next_conn = snap.next_conn;
+        self.allocations = snap.allocations;
+        self.asserted_us = snap.asserted_us;
+        self.expired = snap.expired;
+        self.refused = snap.refused;
+        self.accounts = snap.accounts;
+        self.token_conn = snap.token_conn;
+        self.last_seq = snap.last_seq;
+        self.expired_log.clear();
+        // Rebuild the derived indexes from the replicated tables.
+        self.lease_q = self
+            .asserted_us
+            .iter()
+            .map(|(&conn, &at)| (at, conn))
+            .collect();
+        self.conn_token = self.token_conn.iter().map(|(&t, &c)| (c, t)).collect();
+        self.settop_used.clear();
+        self.server_used.clear();
+        self.reserved_down_bps = 0;
+        for desc in self.allocations.values() {
+            *self.settop_used.entry(desc.settop).or_insert(0) += desc.down_bps;
+            *self.server_used.entry(desc.server).or_insert(0) += desc.down_bps;
+            self.reserved_down_bps += desc.down_bps;
+        }
+    }
+
+    fn snap_seq(snap: &CmSnapshot) -> u64 {
+        snap.last_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocs_vsr::Machine;
+    use ocs_wire::Wire;
+
+    fn table() -> CmTable {
+        CmTable::new(CmBudgets::default(), Some(10_000_000))
+    }
+
+    fn alloc_op(token: u64, settop: u32, bps: u64, now_us: u64) -> CmUpdate {
+        CmUpdate::Allocate {
+            token,
+            settop: NodeId(settop),
+            server: NodeId(1),
+            down_bps: bps,
+            now_us,
+        }
+    }
+
+    #[test]
+    fn tokened_retry_returns_original_grant() {
+        let mut t = table();
+        let a = t.apply(1, &alloc_op(77, 100, 4_000_000, 1_000)).unwrap();
+        // The retry (same token) returns the same conn and reserves no
+        // extra bandwidth.
+        let b = t.apply(2, &alloc_op(77, 100, 4_000_000, 2_000)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(t.usage().allocations, 1);
+        assert_eq!(t.usage().reserved_down_bps, 4_000_000);
+        // A different token is a fresh request and hits the budget.
+        assert_eq!(
+            t.apply(3, &alloc_op(78, 100, 4_000_000, 3_000)).unwrap_err(),
+            MediaError::NoBandwidth
+        );
+        // Releasing retires the token: a later reuse allocates fresh.
+        t.apply(4, &CmUpdate::Release { conn: a, now_us: 4_000 }).unwrap();
+        let c = t.apply(5, &alloc_op(77, 100, 4_000_000, 5_000)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn expiry_is_driven_by_op_time_not_wall_time() {
+        let mut t = table();
+        let a = t.apply(1, &alloc_op(0, 100, 4_000_000, 1_000_000)).unwrap();
+        // An op stamped 11 s later expires the stale lease first.
+        let err = t
+            .apply(2, &CmUpdate::Release { conn: a, now_us: 12_500_000 })
+            .unwrap_err();
+        assert_eq!(err, MediaError::UnknownSession { id: a });
+        assert_eq!(t.usage().expired, 1);
+        assert_eq!(t.take_expired().len(), 1);
+        assert_eq!(t.usage().reserved_down_bps, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_rebuilds_derived_indexes() {
+        let mut t = table();
+        t.apply(1, &alloc_op(7, 100, 4_000_000, 1_000)).unwrap();
+        t.apply(2, &alloc_op(8, 101, 2_000_000, 2_000)).unwrap();
+        let snap = t.snapshot();
+        assert_eq!(CmSnapshot::from_bytes(&snap.to_bytes()).unwrap(), snap);
+        let mut r = table();
+        r.restore(snap.clone());
+        assert_eq!(r.usage(), t.usage());
+        assert_eq!(r.audit_reserved_bps(), 6_000_000);
+        assert_eq!(r.snapshot(), snap, "restore is lossless");
+        // The restored token index still dedups retries.
+        let again = r.apply(3, &alloc_op(7, 100, 4_000_000, 3_000)).unwrap();
+        assert_eq!(r.usage().allocations, 2);
+        assert_eq!(again, t.allocation(again).unwrap().conn);
+    }
+
+    #[test]
+    fn replicas_applying_same_log_agree_exactly() {
+        let ops: Vec<CmUpdate> = vec![
+            alloc_op(1, 100, 4_000_000, 1_000),
+            alloc_op(2, 101, 2_000_000, 500_000),
+            CmUpdate::Reassert {
+                desc: ConnDesc {
+                    conn: 50,
+                    settop: NodeId(102),
+                    server: NodeId(2),
+                    down_bps: 1_000_000,
+                },
+                now_us: 1_000_000,
+            },
+            CmUpdate::Release { conn: 1, now_us: 2_000_000 },
+            CmUpdate::Expire { now_us: 14_000_000 },
+        ];
+        let mut a = table();
+        let mut b = table();
+        for (i, op) in ops.iter().enumerate() {
+            let ra = a.apply(i as u64 + 1, op);
+            let rb = b.apply(i as u64 + 1, op);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.usage(), b.usage());
+        assert_eq!(a.reserved_down_bps, a.audit_reserved_bps());
+    }
+}

@@ -20,6 +20,8 @@
 
 mod broadcast;
 mod cmgr;
+mod cmrep;
+mod cmtable;
 mod content;
 mod fs;
 mod mds;
@@ -33,6 +35,8 @@ pub use broadcast::{
     KbsApiServant, KernelSvc, SettopPlan,
 };
 pub use cmgr::{CmAccountRow, CmApi, CmApiClient, CmApiServant, CmBudgets, ConnectionManager};
+pub use cmrep::{CmPeer, CmPeerClient, CmPeerServant, CmReplica, CmReplicaConfig};
+pub use cmtable::{CmAccount, CmSnapshot, CmTable, CmUpdate};
 pub use content::{Catalog, DownloadInfo, MovieInfo};
 pub use fs::{
     FileApi, FileApiClient, FileApiServant, FileSvc, FileSvcApi, FileSvcClient, FileSvcServant,

@@ -396,7 +396,12 @@ impl MmsApi for Mms {
         let mut last_err = MediaError::NoReplica;
         for (_, node, mds) in candidates {
             // Allocate bandwidth, then open; undo allocation on failure.
-            let conn_id = cm.allocate(settop, node, info.bitrate_bps)?;
+            // The retry token makes the allocation idempotent: if the CM
+            // primary dies after committing but before replying, the
+            // ORB-level retry (or a re-driven open) with the same token
+            // gets the original grant instead of double-reserving.
+            let token = self.rt.rand_u64().max(1);
+            let conn_id = cm.allocate(token, settop, node, info.bitrate_bps)?;
             match mds.open(title.clone(), dest, resume_ms) {
                 Ok(movie) => {
                     let session = self.rt.rand_u64();

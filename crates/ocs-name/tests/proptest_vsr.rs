@@ -1,4 +1,5 @@
-//! Model-based property tests of the VSR engine ([`ocs_name::vsr`]).
+//! Model-based property tests of the reusable VSR engine (`ocs_vsr`),
+//! driven through the name service's instantiation.
 //!
 //! The harness wires three [`VsrCore`] engines to a synchronous
 //! in-memory network with a manual clock, then drives them through
@@ -6,6 +7,12 @@
 //! restarts (probation + recovery probe) and pairwise partitions —
 //! mirroring the real driver loop in `replica.rs` step for step, minus
 //! the transport.
+//!
+//! Since PR 8 the harness is generic over the replicated [`Machine`]:
+//! the same schedule machinery runs against the naming state and
+//! against the trivial [`CounterMachine`] oracle, which is the proof
+//! that the extracted engine is genuinely state-machine-agnostic — no
+//! protocol invariant leans on anything NS-specific.
 //!
 //! Two invariant families are checked:
 //!
@@ -20,10 +27,12 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
-use ocs_name::vsr::{DoViewChange, StateTransfer, SubmitRoute, VsrCore, VsrEvent};
 use ocs_name::{NsState, NsUpdate};
 use ocs_orb::ObjRef;
 use ocs_sim::{Addr, NodeId, SimTime};
+use ocs_vsr::{
+    CounterMachine, DoViewChange, Machine, StateTransfer, SubmitRoute, VsrCore, VsrEvent,
+};
 use proptest::prelude::*;
 
 const N: usize = 3;
@@ -86,17 +95,22 @@ fn arb_act() -> impl Strategy<Value = Act> {
     ]
 }
 
-struct Harness {
-    engines: Vec<Option<VsrCore>>,
+/// A state-transfer answer for the harness's machine type.
+type Xfer<M> = StateTransfer<<M as Machine>::Op, <M as Machine>::Snap>;
+
+struct Harness<M: Machine + Default> {
+    engines: Vec<Option<VsrCore<M>>>,
     conn: [[bool; N]; N],
     now: SimTime,
+    /// Builds the machine-specific update for an `Act::Op`.
+    mk_op: fn(u8, u8) -> M::Op,
     /// The global committed log: op → update, first committer wins and
     /// everyone else must agree.
-    committed: BTreeMap<u64, NsUpdate>,
+    committed: BTreeMap<u64, M::Op>,
 }
 
-impl Harness {
-    fn new() -> Harness {
+impl<M: Machine + Default> Harness<M> {
+    fn new(mk_op: fn(u8, u8) -> M::Op) -> Harness<M> {
         let mut h = Harness {
             engines: (0..N)
                 .map(|i| {
@@ -111,6 +125,7 @@ impl Harness {
                 .collect(),
             conn: [[true; N]; N],
             now: SimTime::ZERO,
+            mk_op,
             committed: BTreeMap::new(),
         };
         // Cold start: run the recovery probes so every replica leaves
@@ -149,7 +164,7 @@ impl Harness {
         }
     }
 
-    fn submit(&mut self, at: usize, update: NsUpdate) {
+    fn submit(&mut self, at: usize, update: M::Op) {
         let Some(engine) = self.engines[at].as_mut() else {
             return;
         };
@@ -174,7 +189,7 @@ impl Harness {
         }
     }
 
-    fn broadcast_prepare(&mut self, from: usize, view: u64, op: u64, update: NsUpdate) {
+    fn broadcast_prepare(&mut self, from: usize, view: u64, op: u64, update: M::Op) {
         let commit = self.engines[from].as_ref().unwrap().commit_num();
         for j in 0..N {
             if !self.reachable(from, j) {
@@ -226,10 +241,10 @@ impl Harness {
     /// Mirrors the driver's `poll_peers_state`: only authoritative
     /// (Normal) answers count toward the recovery quorum and compete
     /// for `best`; genuinely cold answers count but carry no state.
-    fn poll_state(&mut self, i: usize) -> (usize, Option<StateTransfer>) {
+    fn poll_state(&mut self, i: usize) -> (usize, Option<Xfer<M>>) {
         let commit = self.engines[i].as_ref().unwrap().commit_num();
         let mut countable = 0;
-        let mut best: Option<StateTransfer> = None;
+        let mut best: Option<Xfer<M>> = None;
         for j in 0..N {
             if !self.reachable(i, j) {
                 continue;
@@ -383,7 +398,7 @@ impl Harness {
         }
     }
 
-    fn deliver_dvc(&mut self, from: usize, view: u64, dvc: DoViewChange) {
+    fn deliver_dvc(&mut self, from: usize, view: u64, dvc: DoViewChange<M::Op, M::Snap>) {
         let p = (view % N as u64) as usize;
         if p != from && !self.reachable(from, p) {
             return;
@@ -426,10 +441,7 @@ impl Harness {
     fn apply_act(&mut self, act: &Act) {
         match act {
             Act::Op { at, path, node } => {
-                let update = NsUpdate::Bind {
-                    path: format!("k{path}"),
-                    obj: obj(*node as u32),
-                };
+                let update = (self.mk_op)(*path, *node);
                 self.submit(*at as usize % N, update);
             }
             Act::Tick => self.step_all(),
@@ -538,6 +550,49 @@ impl Harness {
             .collect();
         panic!("group failed to converge after heal:\n{}", dump.join("\n"));
     }
+
+    /// Runs a schedule to quiescence and checks the generic
+    /// convergence/oracle invariants: gap-free committed log, no lost
+    /// or extra commits, and every replica's state equal to a
+    /// single-node oracle replaying the committed log.
+    fn check_against_oracle(&mut self, acts: &[Act]) {
+        for act in acts {
+            self.apply_act(act);
+        }
+        self.quiesce();
+
+        // The committed log has no holes.
+        let max_op = self.committed.keys().next_back().copied().unwrap_or(0);
+        prop_assert_eq!(
+            self.committed.len() as u64,
+            max_op,
+            "committed log has holes"
+        );
+
+        // Single-node oracle: replay the committed log in order.
+        let mut oracle = M::default();
+        for (op, update) in &self.committed {
+            let _ = oracle.apply(*op, update);
+        }
+
+        for (i, e) in self.engines.iter().enumerate() {
+            let e = e.as_ref().unwrap();
+            prop_assert!(
+                e.commit_num() >= max_op,
+                "replica {} lost committed ops: commit {} < {}",
+                i,
+                e.commit_num(),
+                max_op
+            );
+            prop_assert_eq!(e.commit_num(), max_op, "replica {} over-committed", i);
+            prop_assert_eq!(
+                e.state().snapshot(),
+                oracle.snapshot(),
+                "replica {} diverged from the oracle",
+                i
+            );
+        }
+    }
 }
 
 fn obj(node: u32) -> ObjRef {
@@ -549,6 +604,19 @@ fn obj(node: u32) -> ObjRef {
     }
 }
 
+fn ns_op(path: u8, node: u8) -> NsUpdate {
+    NsUpdate::Bind {
+        path: format!("k{path}"),
+        obj: obj(node as u32),
+    }
+}
+
+fn counter_op(path: u8, node: u8) -> u64 {
+    // Distinct amounts per (path, node) so divergent logs produce
+    // divergent sums.
+    (path as u64) * 251 + node as u64
+}
+
 proptest! {
     /// The replicated log is linear and durable across arbitrary
     /// crash/restart/partition interleavings: committed prefixes always
@@ -558,43 +626,25 @@ proptest! {
     fn vsr_log_agrees_with_single_node_oracle(
         acts in prop::collection::vec(arb_act(), 0..70),
     ) {
-        let mut h = Harness::new();
-        for act in &acts {
-            h.apply_act(act);
-        }
-        h.quiesce();
+        let mut h: Harness<NsState> = Harness::new(ns_op);
+        h.check_against_oracle(&acts);
+    }
 
-        // The committed log has no holes.
-        let max_op = h.committed.keys().next_back().copied().unwrap_or(0);
-        prop_assert_eq!(h.committed.len() as u64, max_op, "committed log has holes");
-
-        // Single-node oracle: replay the committed log in order.
-        let mut oracle = NsState::new();
-        for (op, update) in &h.committed {
-            let _ = oracle.apply(*op, update);
-        }
-
-        for (i, e) in h.engines.iter().enumerate() {
-            let e = e.as_ref().unwrap();
-            prop_assert!(
-                e.commit_num() >= max_op,
-                "replica {} lost committed ops: commit {} < {}",
-                i, e.commit_num(), max_op
-            );
-            prop_assert_eq!(e.commit_num(), max_op, "replica {} over-committed", i);
-            prop_assert_eq!(
-                e.state().snapshot(),
-                oracle.snapshot(),
-                "replica {} diverged from the oracle", i
-            );
-        }
+    /// The same schedules over a machine with nothing in common with
+    /// the name service: the extraction is state-machine-agnostic.
+    #[test]
+    fn vsr_log_is_machine_agnostic_counter_oracle(
+        acts in prop::collection::vec(arb_act(), 0..70),
+    ) {
+        let mut h: Harness<CounterMachine> = Harness::new(counter_op);
+        h.check_against_oracle(&acts);
     }
 
     /// Without faults, every submitted op commits and the cold-start
     /// primary (replica 0) never loses mastership.
     #[test]
     fn fault_free_runs_commit_everything(n_ops in 0usize..30) {
-        let mut h = Harness::new();
+        let mut h: Harness<NsState> = Harness::new(ns_op);
         for k in 0..n_ops {
             h.submit(0, NsUpdate::Bind { path: format!("p{k}"), obj: obj(1) });
             h.step_all();

@@ -1,0 +1,1315 @@
+//! Viewstamped Replication as a reusable component (protocol after Oki
+//! & Liskov, with the "VSR revisited" refinements — see the
+//! `penberg/vsr-rs` exemplar). Extracted from the name service's update
+//! log so any service can put its state on a majority-committed log:
+//! the NS replica and the Connection Manager's allocation table are the
+//! first two clients.
+//!
+//! [`VsrCore`] is the *transport-free* replica engine, generic over a
+//! [`Machine`] — the applied state machine. Every protocol step is a
+//! synchronous method that consumes a message (plus the caller-supplied
+//! clock) and returns the reply, and every effect on the replicated
+//! machine is surfaced as a [`VsrEvent`] for the driver to post-process
+//! (telemetry, cache invalidation, servant export). Keeping the engine
+//! pure is what makes model-based proptesting possible: the test wires
+//! N engines to an in-memory lossy network and compares their committed
+//! logs against a single-node oracle across crash / restart / partition
+//! interleavings — against *any* machine, which is the point of the
+//! extraction (see `ocs-name/tests/proptest_vsr.rs`, which runs the
+//! same harness over the naming state and over [`CounterMachine`]).
+//!
+//! Protocol outline:
+//!
+//! * **Normal operation** — the primary of view `v` (replica `v mod n`)
+//!   assigns op numbers, appends to its log and broadcasts `Prepare`.
+//!   Backups append in order and ack with their log end; an ack for op
+//!   `k` acknowledges *every* op `≤ k` (logs are gap-free within a
+//!   view), so the primary commits the largest op acknowledged by a
+//!   majority and applies committed updates in sequence order.
+//! * **View change** — a backup that has not heard from the primary
+//!   within the suspect timeout proposes view `v+1` with
+//!   `StartViewChange`. Peers *join only if they suspect the primary
+//!   too* (or are already view-changing) — the sticky-primary rule that
+//!   keeps a partitioned-then-healed replica from deposing a healthy
+//!   primary. Only once the initiator has observed a majority of joins
+//!   does anyone emit `DoViewChange` (log tail + committed snapshot) to
+//!   the new primary — the VSR-revisited rule: a `DoViewChange` is a
+//!   promise that a majority left the old view, so no op can commit
+//!   there concurrently. The new primary adopts the log with the
+//!   largest [`ViewStamp`] `(last_normal, op)` and broadcasts
+//!   `StartView`. An initiator that fails to gather a majority
+//!   *reverts* to its last normal view — unless it has emitted a
+//!   `DoViewChange` above that view, in which case reverting could
+//!   contradict a view change its payload later completes: it stays
+//!   between views and re-proposes with the sticky rule waived
+//!   (`forced`), so peers let it back in.
+//! * **State transfer / recovery** — a replica that detects a gap (or a
+//!   rejoining, restarted replica) requests state from a peer: a log
+//!   suffix when the peer still retains the needed entries, or a full
+//!   committed snapshot plus uncommitted tail once compaction has
+//!   dropped them (`log_retention`).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Debug;
+use std::time::Duration;
+
+use ocs_sim::SimTime;
+use ocs_wire::{impl_wire_struct, Decoder, Encoder, ViewStamp, Wire, WireError};
+
+/// A view number. The primary of view `v` is replica `v mod n`.
+pub type View = u64;
+/// A position in the replicated update log (1-based; 0 = empty log).
+pub type OpNum = u64;
+
+/// How many prepared-but-unprepared out-of-order entries a backup
+/// buffers while an earlier prepare is still in flight.
+const MAX_PENDING: usize = 128;
+/// Committed results retained for client threads still polling.
+const RESULT_WINDOW: u64 = 256;
+
+/// The replicated state machine a [`VsrCore`] drives. Application must
+/// be deterministic: identical op streams produce identical machines on
+/// every replica — including identical [`Machine::apply`] outcomes,
+/// which the engine records per op for polling clients.
+pub trait Machine {
+    /// A replicated operation (one log entry's payload).
+    type Op: Clone + Debug + PartialEq;
+    /// What applying one op yields (the client-visible result).
+    type Outcome: Clone + Debug + PartialEq;
+    /// A full serialized image of the committed state.
+    type Snap: Clone + Debug + PartialEq;
+
+    /// Applies op number `seq` (sequence numbers arrive in order,
+    /// gap-free). Failures must be deterministic too — they are part of
+    /// the replicated outcome.
+    fn apply(&mut self, seq: OpNum, op: &Self::Op) -> Self::Outcome;
+    /// Serializes the committed state.
+    fn snapshot(&self) -> Self::Snap;
+    /// Replaces this machine's state with a snapshot's contents.
+    fn restore(&mut self, snap: Self::Snap);
+    /// The sequence number a snapshot was taken at.
+    fn snap_seq(snap: &Self::Snap) -> OpNum;
+}
+
+/// Replica status.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VsrStatus {
+    /// Participating in its view's normal case.
+    Normal,
+    /// Between views: joined (or initiated) a view change.
+    ViewChange,
+}
+
+/// One entry of the replicated update log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LogEntry<Op> {
+    /// The entry's op number.
+    pub op: OpNum,
+    /// The view the entry was originally prepared in.
+    pub view: View,
+    /// The replicated mutation.
+    pub update: Op,
+}
+
+impl<Op: Wire> Wire for LogEntry<Op> {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.op.encode_into(e);
+        self.view.encode_into(e);
+        self.update.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(LogEntry {
+            op: Wire::decode_from(d)?,
+            view: Wire::decode_from(d)?,
+            update: Wire::decode_from(d)?,
+        })
+    }
+}
+
+/// Reply to `prepare`, `commit_hb` and `start_view`: the callee's view
+/// and log end. `op_num` acknowledges every op `≤ op_num`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeerAck {
+    /// Whether the message was accepted (appended / applied).
+    pub accepted: bool,
+    /// The callee's current view.
+    pub view: View,
+    /// The callee's log end (its cumulative ack watermark).
+    pub op_num: OpNum,
+}
+
+impl_wire_struct!(PeerAck { accepted, view, op_num });
+
+/// A joiner's contribution to a view change: its log, split into the
+/// committed part (as a snapshot — committed state is deterministic, so
+/// any snapshot at the same sequence number is identical) and the
+/// uncommitted tail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DoViewChange<Op, Snap> {
+    /// The view being changed to.
+    pub view: View,
+    /// The sender's replica id.
+    pub from: u32,
+    /// The last view in which the sender's status was Normal.
+    pub last_normal: View,
+    /// The sender's log end.
+    pub op_num: OpNum,
+    /// The sender's commit number.
+    pub commit_num: OpNum,
+    /// Committed state at `commit_num`.
+    pub snapshot: Snap,
+    /// Log entries `commit_num+1 ..= op_num`.
+    pub tail: Vec<LogEntry<Op>>,
+}
+
+impl<Op: Wire, Snap: Wire> Wire for DoViewChange<Op, Snap> {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.view.encode_into(e);
+        self.from.encode_into(e);
+        self.last_normal.encode_into(e);
+        self.op_num.encode_into(e);
+        self.commit_num.encode_into(e);
+        self.snapshot.encode_into(e);
+        self.tail.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(DoViewChange {
+            view: Wire::decode_from(d)?,
+            from: Wire::decode_from(d)?,
+            last_normal: Wire::decode_from(d)?,
+            op_num: Wire::decode_from(d)?,
+            commit_num: Wire::decode_from(d)?,
+            snapshot: Wire::decode_from(d)?,
+            tail: Wire::decode_from(d)?,
+        })
+    }
+}
+
+/// The new primary's announcement of the chosen log for a view.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StartView<Op, Snap> {
+    /// The new view.
+    pub view: View,
+    /// Log end of the chosen log.
+    pub op_num: OpNum,
+    /// Commit number carried into the view.
+    pub commit_num: OpNum,
+    /// Committed state at `commit_num`.
+    pub snapshot: Snap,
+    /// Uncommitted entries `commit_num+1 ..= op_num`.
+    pub tail: Vec<LogEntry<Op>>,
+}
+
+impl<Op: Wire, Snap: Wire> Wire for StartView<Op, Snap> {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.view.encode_into(e);
+        self.op_num.encode_into(e);
+        self.commit_num.encode_into(e);
+        self.snapshot.encode_into(e);
+        self.tail.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(StartView {
+            view: Wire::decode_from(d)?,
+            op_num: Wire::decode_from(d)?,
+            commit_num: Wire::decode_from(d)?,
+            snapshot: Wire::decode_from(d)?,
+            tail: Wire::decode_from(d)?,
+        })
+    }
+}
+
+/// Reply to a `start_view_change` proposal. Joining no longer carries a
+/// `DoViewChange`: joiners emit theirs only after the initiator reports
+/// a join majority (`view_change_go`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SvcAck {
+    /// Whether the callee joined the proposed view.
+    pub joined: bool,
+    /// The callee's current view (lets a stale proposer catch up).
+    pub view: View,
+}
+
+impl_wire_struct!(SvcAck { joined, view });
+
+/// Reply to `get_state`: a log suffix when the peer retains the needed
+/// entries, otherwise a committed snapshot plus its uncommitted tail.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StateTransfer<Op, Snap> {
+    /// The responder's view.
+    pub view: View,
+    /// Whether the responder's status was Normal (only Normal replicas
+    /// serve authoritative state).
+    pub normal: bool,
+    /// The responder's log end.
+    pub op_num: OpNum,
+    /// The responder's commit number.
+    pub commit_num: OpNum,
+    /// Present when the suffix alone cannot bridge the gap (compaction
+    /// dropped the needed entries): the full committed state.
+    pub snapshot: Option<Snap>,
+    /// Log entries after the requested op (or after `snapshot`).
+    pub tail: Vec<LogEntry<Op>>,
+}
+
+impl<Op: Wire, Snap: Wire> Wire for StateTransfer<Op, Snap> {
+    fn encode_into(&self, e: &mut Encoder) {
+        self.view.encode_into(e);
+        self.normal.encode_into(e);
+        self.op_num.encode_into(e);
+        self.commit_num.encode_into(e);
+        self.snapshot.encode_into(e);
+        self.tail.encode_into(e);
+    }
+    fn decode_from(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(StateTransfer {
+            view: Wire::decode_from(d)?,
+            normal: Wire::decode_from(d)?,
+            op_num: Wire::decode_from(d)?,
+            commit_num: Wire::decode_from(d)?,
+            snapshot: Wire::decode_from(d)?,
+            tail: Wire::decode_from(d)?,
+        })
+    }
+}
+
+impl<Op, Snap> StateTransfer<Op, Snap> {
+    /// Whether this answer carries authoritative state: only a Normal,
+    /// out-of-probation responder's log is known to include every op it
+    /// ever acked committed. A probationary or view-changing peer may
+    /// install state over it, but must never be *trusted* with it.
+    pub fn authoritative(&self) -> bool {
+        self.normal
+    }
+
+    /// A genuinely cold responder: still in probation with an empty log
+    /// and no view history. Cold answers carry no state, but they do
+    /// witness a peer's existence — counting them (and only them) among
+    /// non-authoritative answers lets a cold-started group bootstrap
+    /// out of probation without weakening recovery: a peer that ever
+    /// held state never answers cold again.
+    pub fn is_cold(&self) -> bool {
+        !self.normal && self.view == 0 && self.op_num == 0 && self.commit_num == 0
+    }
+}
+
+/// Where a client update should go, when this replica cannot sequence
+/// it itself.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SubmitRoute {
+    /// Forward to the view's primary (this replica is a Normal backup).
+    Forward(u32),
+    /// No primary available here or anywhere we know of (view change in
+    /// progress, or the primary lost its quorum).
+    Unavailable,
+}
+
+/// A `Prepare` the driver must broadcast after the primary sequenced a
+/// client op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Prepare<Op> {
+    /// The primary's view.
+    pub view: View,
+    /// The assigned op number.
+    pub op_num: OpNum,
+    /// The primary's commit number (piggybacked).
+    pub commit_num: OpNum,
+    /// The update itself.
+    pub update: Op,
+}
+
+/// The fate of a sequenced client op, as observed by the thread that
+/// sequenced it (keyed by the viewstamp `(view, op)` it was assigned,
+/// not by op number alone: a view change can commit a *different*
+/// update at the same op number).
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpOutcome<Out> {
+    /// Not committed yet. The op may still commit — possibly carried
+    /// into a later view — so keep polling until the deadline.
+    Pending,
+    /// Committed under the caller's viewstamp: this result is the
+    /// caller's own update's.
+    Done(Out),
+    /// The op number committed, but not under the caller's viewstamp —
+    /// a view change dropped the caller's entry and committed another
+    /// in its place (or the result window no longer attests it). The
+    /// caller's update may be lost; report failure so the client
+    /// retries.
+    Superseded,
+}
+
+/// Effects the driver must post-process after any engine call.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VsrEvent<Op> {
+    /// An update committed and was applied to the replicated state.
+    Committed { op: OpNum, update: Op },
+    /// This replica began (or joined) a view change — failover clock
+    /// starts here.
+    Suspected { view: View },
+    /// This replica entered Normal status in a new view.
+    ViewChanged { view: View, primary: u32 },
+    /// An initiated view change found no quorum of suspects and was
+    /// reverted — the sticky-primary rule fired.
+    Aborted { view: View },
+    /// State transfer installed a full snapshot (log replay impossible).
+    CaughtUp { via_snapshot: bool },
+}
+
+/// The VSR replica engine. All methods are synchronous and free of I/O;
+/// `now` is the caller's clock (virtual in the simulator, wall on the
+/// real runtime).
+pub struct VsrCore<M: Machine> {
+    id: u32,
+    n: usize,
+    /// Committed entries kept in the log beyond `commit_num` for peer
+    /// catch-up; older entries are compacted away and catch-up falls
+    /// back to snapshot transfer.
+    retain: u64,
+    suspect_timeout: Duration,
+    status: VsrStatus,
+    view: View,
+    last_normal: View,
+    op_num: OpNum,
+    commit_num: OpNum,
+    log: VecDeque<LogEntry<M::Op>>,
+    /// Out-of-order prepares buffered until the gap fills (same view).
+    pending: BTreeMap<OpNum, LogEntry<M::Op>>,
+    /// The replicated application state (committed prefix applied).
+    state: M,
+    /// Apply results of recently committed ops, for client threads,
+    /// keyed by op number and stamped with the committed entry's
+    /// *original* view so a deposed primary cannot mistake a
+    /// replacement entry's result for its own.
+    results: BTreeMap<OpNum, (View, M::Outcome)>,
+    /// Primary only: per-backup cumulative ack watermark.
+    acks: BTreeMap<u32, OpNum>,
+    /// Primary only: heartbeat rounds without a majority of acks.
+    missed_rounds: u32,
+    /// Primary only: cleared after 3 missed rounds (steps the primary
+    /// down from `is_master` without a view change — §4.6 availability
+    /// rule: no updates without a quorum).
+    quorum_ok: bool,
+    /// Last valid message from the current view's primary.
+    last_pm: SimTime,
+    /// When the current view change began (for `vc_stuck`).
+    vc_since: SimTime,
+    /// DoViewChange payloads collected for `view` (new primary only).
+    dvc: BTreeMap<u32, DoViewChange<M::Op, M::Snap>>,
+    /// Highest view for which this replica handed out a `DoViewChange`
+    /// payload. Having emitted one for view `v`, the replica must never
+    /// again run Normal in a view `< v`: the payload may yet complete
+    /// view `v` with a log that omits anything acked below it.
+    dvc_emitted: View,
+    /// Highest view observed out-of-band (declined proposals, stale
+    /// acks); the next proposal starts above it so a replica stranded
+    /// in a high view can be reached in one round.
+    seen_view: View,
+    /// Set when a gap or a higher view was observed: the driver should
+    /// run state transfer.
+    needs_catchup: bool,
+    /// A replica starts (and restarts) in probation: its log may have
+    /// been lost in a crash, so it neither acks, leads, nor votes until
+    /// the driver's recovery probe has heard from `f+1` peers and
+    /// installed the freshest state among them (the VSR recovery rule —
+    /// any committed op is in some log of any `f+1` peers, assuming at
+    /// most `f` simultaneous log losses).
+    probation: bool,
+    events: Vec<VsrEvent<M::Op>>,
+}
+
+impl<M: Machine + Default> VsrCore<M> {
+    /// A fresh replica over `M::default()`: Normal in view 0 (whose
+    /// primary is replica 0 — cold start needs no election). A replica
+    /// restarting after a crash also begins here; the driver's recovery
+    /// probe pulls it forward.
+    pub fn new(id: u32, n: usize, retain: u64, suspect_timeout: Duration, now: SimTime) -> VsrCore<M> {
+        VsrCore::with_machine(M::default(), id, n, retain, suspect_timeout, now)
+    }
+}
+
+impl<M: Machine> VsrCore<M> {
+    /// A fresh replica over an explicitly constructed machine (for
+    /// machines with configuration, e.g. admission budgets). Every
+    /// replica of a group must construct an identical machine, or apply
+    /// determinism is lost.
+    pub fn with_machine(
+        machine: M,
+        id: u32,
+        n: usize,
+        retain: u64,
+        suspect_timeout: Duration,
+        now: SimTime,
+    ) -> VsrCore<M> {
+        assert!(n >= 1 && (id as usize) < n);
+        VsrCore {
+            id,
+            n,
+            retain,
+            suspect_timeout,
+            status: VsrStatus::Normal,
+            view: 0,
+            last_normal: 0,
+            op_num: 0,
+            commit_num: 0,
+            log: VecDeque::new(),
+            pending: BTreeMap::new(),
+            state: machine,
+            results: BTreeMap::new(),
+            acks: BTreeMap::new(),
+            missed_rounds: 0,
+            quorum_ok: true,
+            last_pm: now,
+            vc_since: now,
+            dvc: BTreeMap::new(),
+            dvc_emitted: 0,
+            seen_view: 0,
+            needs_catchup: false,
+            probation: n > 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// How many *peer* `get_state` answers the recovery probe needs
+    /// before probation can end: `f+1` of the other `n-1` replicas.
+    pub fn recovery_quorum(&self) -> usize {
+        (self.n - 1) / 2 + 1
+    }
+
+    /// Whether this replica is still in start-up probation.
+    pub fn in_probation(&self) -> bool {
+        self.probation
+    }
+
+    /// Ends probation once the driver's probe heard from a recovery
+    /// quorum (having already installed the freshest answer).
+    pub fn end_probation(&mut self, now: SimTime) {
+        self.probation = false;
+        self.last_pm = now;
+    }
+
+    // ---- observers -----------------------------------------------------
+
+    /// The primary of a view.
+    pub fn primary_of(&self, view: View) -> u32 {
+        (view % self.n as u64) as u32
+    }
+
+    /// Whether this replica is its current view's primary (and Normal).
+    pub fn is_primary(&self) -> bool {
+        self.status == VsrStatus::Normal && self.primary_of(self.view) == self.id
+    }
+
+    /// Whether this replica can sequence updates right now: primary of
+    /// the view, Normal, out of probation, and in recent contact with a
+    /// majority.
+    pub fn is_master(&self) -> bool {
+        self.is_primary() && self.quorum_ok && !self.probation
+    }
+
+    /// The current view.
+    pub fn view(&self) -> View {
+        self.view
+    }
+
+    /// The current status.
+    pub fn status(&self) -> VsrStatus {
+        self.status
+    }
+
+    /// Log end.
+    pub fn op_num(&self) -> OpNum {
+        self.op_num
+    }
+
+    /// Commit number (== applied sequence number of the state).
+    pub fn commit_num(&self) -> OpNum {
+        self.commit_num
+    }
+
+    /// Prepared-but-uncommitted backlog, for the `*.vsr.commit_gap`
+    /// gauge.
+    pub fn commit_gap(&self) -> u64 {
+        self.op_num - self.commit_num
+    }
+
+    /// Read access to the replicated state (reads stay local, §4.6).
+    pub fn state(&self) -> &M {
+        &self.state
+    }
+
+    /// Mutable access to the machine, for draining *non-replicated*
+    /// driver-side feeds a machine may accumulate (e.g. an expiry log
+    /// for journaling). Mutating replicated state through this breaks
+    /// apply determinism — only touch state excluded from snapshots.
+    pub fn state_mut(&mut self) -> &mut M {
+        &mut self.state
+    }
+
+    /// Whether the driver should run state transfer.
+    pub fn needs_catchup(&self) -> bool {
+        self.needs_catchup
+    }
+
+    /// The fate of the op sequenced as `(view, op)`. `Done` only when
+    /// the entry that committed at `op` was originally prepared in
+    /// `view`; a result under any other viewstamp — or a committed op
+    /// whose result record is gone (snapshot install, window expiry) —
+    /// is `Superseded`, never a false success.
+    pub fn outcome_of(&self, view: View, op: OpNum) -> OpOutcome<M::Outcome> {
+        if op > self.commit_num {
+            return OpOutcome::Pending;
+        }
+        match self.results.get(&op) {
+            Some((v, result)) if *v == view => OpOutcome::Done(result.clone()),
+            _ => OpOutcome::Superseded,
+        }
+    }
+
+    /// Drains the effects accumulated since the last drain.
+    pub fn take_events(&mut self) -> Vec<VsrEvent<M::Op>> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    fn entry(&self, op: OpNum) -> Option<&LogEntry<M::Op>> {
+        let first = self.log.front()?.op;
+        if op < first || op > self.log.back()?.op {
+            return None;
+        }
+        self.log.get((op - first) as usize)
+    }
+
+    /// Log entries `from ..= op_num` still retained, for prepare resend
+    /// and log-replay state transfer.
+    pub fn entries_from(&self, from: OpNum) -> Option<Vec<LogEntry<M::Op>>> {
+        if from > self.op_num {
+            return Some(Vec::new());
+        }
+        let first = self.log.front().map(|e| e.op).unwrap_or(self.op_num + 1);
+        if from < first {
+            return None; // Compacted away.
+        }
+        Some(self.log.iter().skip((from - first) as usize).cloned().collect())
+    }
+
+    // ---- commit machinery ----------------------------------------------
+
+    fn apply_through(&mut self, to: OpNum) {
+        let to = to.min(self.op_num);
+        while self.commit_num < to {
+            let next = self.commit_num + 1;
+            let entry = self
+                .entry(next)
+                .expect("uncommitted entries are never compacted")
+                .clone();
+            let result = self.state.apply(next, &entry.update);
+            self.results.insert(next, (entry.view, result));
+            self.commit_num = next;
+            self.events.push(VsrEvent::Committed {
+                op: next,
+                update: entry.update,
+            });
+        }
+        self.compact();
+    }
+
+    fn compact(&mut self) {
+        while let Some(front) = self.log.front() {
+            if front.op + self.retain < self.commit_num {
+                self.log.pop_front();
+            } else {
+                break;
+            }
+        }
+        let floor = self.commit_num.saturating_sub(RESULT_WINDOW);
+        self.results.retain(|op, _| *op > floor);
+    }
+
+    fn try_commit(&mut self) {
+        if !self.is_primary() {
+            return;
+        }
+        let mut marks: Vec<OpNum> = self
+            .acks
+            .iter()
+            .filter(|(id, _)| **id != self.id)
+            .map(|(_, m)| *m)
+            .collect();
+        marks.push(self.op_num); // Our own log end.
+        marks.sort_unstable_by(|a, b| b.cmp(a));
+        if marks.len() >= self.majority() {
+            let quorum_op = marks[self.majority() - 1];
+            if quorum_op > self.commit_num {
+                self.apply_through(quorum_op);
+            }
+        }
+    }
+
+    // ---- client path ---------------------------------------------------
+
+    /// Routes a client update: the primary sequences it and returns the
+    /// `Prepare` to broadcast; a backup returns the forwarding target.
+    pub fn client_op(&mut self, update: M::Op) -> Result<Prepare<M::Op>, SubmitRoute> {
+        if self.is_master() {
+            self.op_num += 1;
+            let entry = LogEntry {
+                op: self.op_num,
+                view: self.view,
+                update: update.clone(),
+            };
+            self.log.push_back(entry);
+            if self.n == 1 {
+                self.apply_through(self.op_num);
+            }
+            return Ok(Prepare {
+                view: self.view,
+                op_num: self.op_num,
+                commit_num: self.commit_num,
+                update,
+            });
+        }
+        if self.status == VsrStatus::Normal && !self.is_primary() {
+            return Err(SubmitRoute::Forward(self.primary_of(self.view)));
+        }
+        Err(SubmitRoute::Unavailable)
+    }
+
+    // ---- backup handlers -----------------------------------------------
+
+    fn reject(&self) -> PeerAck {
+        PeerAck {
+            accepted: false,
+            view: self.view,
+            op_num: self.op_num,
+        }
+    }
+
+    /// Handles a `Prepare` from the view's primary. `view` is the
+    /// sender's current view (drives all the view checks); `entry_view`
+    /// is the view the entry was *originally* prepared in, preserved in
+    /// the log so an entry carries one identity `(entry_view, op)` on
+    /// every replica — re-sends of old entries by a newer view's
+    /// primary do not forge it.
+    pub fn on_prepare(
+        &mut self,
+        view: View,
+        entry_view: View,
+        op: OpNum,
+        commit: OpNum,
+        update: M::Op,
+        now: SimTime,
+    ) -> PeerAck {
+        debug_assert!(entry_view <= view, "an entry cannot outrank its sender");
+        if view < self.view || self.probation {
+            return self.reject();
+        }
+        if view > self.view || self.status != VsrStatus::Normal || self.is_primary() {
+            // Behind a view change (or a stale primary hearing a new
+            // one): state transfer, never blind append.
+            if view > self.view {
+                self.needs_catchup = true;
+            }
+            return self.reject();
+        }
+        self.last_pm = now;
+        if op == self.op_num + 1 {
+            self.log.push_back(LogEntry {
+                op,
+                view: entry_view,
+                update,
+            });
+            self.op_num = op;
+            // Drain any buffered successors.
+            while let Some(e) = self.pending.remove(&(self.op_num + 1)) {
+                self.op_num = e.op;
+                self.log.push_back(e);
+            }
+            self.pending.retain(|o, _| *o > self.op_num);
+        } else if op > self.op_num + 1 {
+            // Out of order: buffer briefly; a widening gap means loss —
+            // ask for state transfer.
+            if self.pending.len() < MAX_PENDING {
+                self.pending.insert(
+                    op,
+                    LogEntry {
+                        op,
+                        view: entry_view,
+                        update,
+                    },
+                );
+            } else {
+                self.needs_catchup = true;
+            }
+            self.apply_through(commit);
+            return self.reject();
+        }
+        // op <= op_num: duplicate of an entry we already hold (same
+        // `(entry_view, op)` ⇒ same sequencing primary ⇒ same content)
+        // — ack idempotently.
+        self.apply_through(commit);
+        PeerAck {
+            accepted: true,
+            view: self.view,
+            op_num: self.op_num,
+        }
+    }
+
+    /// Handles the primary's idle heartbeat / commit broadcast.
+    pub fn on_commit_hb(&mut self, view: View, commit: OpNum, now: SimTime) -> PeerAck {
+        if view < self.view || self.probation {
+            return self.reject();
+        }
+        if view > self.view {
+            self.needs_catchup = true;
+            return self.reject();
+        }
+        if self.status != VsrStatus::Normal || self.is_primary() {
+            return self.reject();
+        }
+        self.last_pm = now;
+        if commit > self.op_num {
+            self.needs_catchup = true;
+        }
+        self.apply_through(commit);
+        PeerAck {
+            accepted: true,
+            view: self.view,
+            op_num: self.op_num,
+        }
+    }
+
+    // ---- primary handlers ----------------------------------------------
+
+    /// Registers a peer's ack (from `prepare`, `commit_hb` or
+    /// `start_view` replies). Watermarks are cumulative: an ack at op
+    /// `k` acknowledges everything `≤ k`.
+    pub fn on_ack(&mut self, from: u32, ack: &PeerAck) {
+        if ack.view > self.view {
+            // We have been deposed (or lag a view change).
+            self.needs_catchup = true;
+            return;
+        }
+        if ack.view == self.view && self.is_primary() {
+            let mark = self.acks.entry(from).or_insert(0);
+            *mark = (*mark).max(ack.op_num);
+            self.try_commit();
+        }
+    }
+
+    /// Notes a peer's view seen out-of-band (e.g. in a declined
+    /// `SvcAck`): a higher view means we must catch up, and the next
+    /// proposal must start above it.
+    pub fn note_view(&mut self, view: View) {
+        if view > self.view {
+            self.seen_view = self.seen_view.max(view);
+            self.needs_catchup = true;
+        }
+    }
+
+    /// Primary bookkeeping after a heartbeat round: `acked` peers (not
+    /// counting itself) answered with the current view. Three rounds
+    /// without a majority clear `quorum_ok` — updates are refused until
+    /// contact returns (§4.6: no updates without a quorum).
+    pub fn note_round(&mut self, acked: usize) {
+        if !self.is_primary() {
+            return;
+        }
+        if acked + 1 >= self.majority() {
+            self.missed_rounds = 0;
+            self.quorum_ok = true;
+        } else {
+            self.missed_rounds += 1;
+            if self.missed_rounds >= 3 {
+                self.quorum_ok = false;
+            }
+        }
+    }
+
+    // ---- view changes --------------------------------------------------
+
+    /// Whether this backup's primary-suspect timer has fired.
+    pub fn suspects(&self, now: SimTime) -> bool {
+        self.status == VsrStatus::Normal
+            && !self.is_primary()
+            && !self.probation
+            && self.n > 1
+            && now.saturating_since(self.last_pm) > self.suspect_timeout
+    }
+
+    /// Whether a joined view change has stalled (no `StartView` within
+    /// the timeout) and the next view should be proposed.
+    pub fn vc_stuck(&self, now: SimTime) -> bool {
+        self.status == VsrStatus::ViewChange
+            && now.saturating_since(self.vc_since) > self.suspect_timeout
+    }
+
+    /// Begins (or re-begins) a view change: proposes the next view —
+    /// above any view seen out-of-band, so a stranded high-view peer is
+    /// reachable in one proposal — and returns it. The driver
+    /// broadcasts `start_view_change(view, forced)` (see
+    /// [`VsrCore::vc_forced`]) and either completes the change
+    /// (majority joined) or calls [`VsrCore::abort_view_change`].
+    pub fn begin_view_change(&mut self, now: SimTime) -> View {
+        self.view = self.view.max(self.seen_view) + 1;
+        self.status = VsrStatus::ViewChange;
+        self.vc_since = now;
+        self.dvc.clear();
+        self.quorum_ok = true;
+        self.missed_rounds = 0;
+        self.events.push(VsrEvent::Suspected { view: self.view });
+        self.view
+    }
+
+    /// Whether this replica's proposals must waive the sticky-primary
+    /// rule: it has emitted a `DoViewChange` above its last normal view,
+    /// so it can never revert to Normal and can only rejoin the group
+    /// through a completed view change — peers must let it in even if
+    /// their own primary looks healthy.
+    pub fn vc_forced(&self) -> bool {
+        self.dvc_emitted > self.last_normal
+    }
+
+    /// Reverts an initiated view change that found no quorum of fellow
+    /// suspects: back to the last normal view. This is the sticky-primary
+    /// rule — a partitioned-then-healed replica aborts here instead of
+    /// deposing a healthy primary.
+    ///
+    /// The suspicion clock (`last_pm`) is deliberately NOT reset: the
+    /// replica stays suspicious until it actually hears from a primary,
+    /// so it joins a fellow suspect's later proposal instead of
+    /// declining it from inside a grace period. (With staggered suspect
+    /// timeouts, a post-abort grace makes the first and second suspects
+    /// take turns proposing alone — elections thrash for many timeout
+    /// periods. Found by E20.) A healthy primary's next heartbeat
+    /// refreshes `last_pm` and clears the suspicion either way.
+    pub fn abort_view_change(&mut self, proposed: View, _now: SimTime) {
+        if self.status != VsrStatus::ViewChange || self.view != proposed {
+            return; // A competing change overtook us; keep it.
+        }
+        if self.vc_forced() {
+            // We handed a `DoViewChange` for a view above `last_normal`
+            // to a peer; that payload may yet complete its change with
+            // a log that omits anything we would ack back in the old
+            // view. Never revert below an emitted DVC: stay between
+            // views and let `vc_stuck` re-propose (forced) until some
+            // change completes.
+            return;
+        }
+        self.events.push(VsrEvent::Aborted { view: self.view });
+        self.view = self.last_normal;
+        self.status = VsrStatus::Normal;
+        self.dvc.clear();
+    }
+
+    /// Handles a peer's `start_view_change(view, forced)` proposal.
+    /// Joins only if this replica suspects the primary too (or is
+    /// already view-changing) — unless the proposal is `forced`, from a
+    /// replica that can no longer revert and must be re-admitted
+    /// through a view change. Joining emits nothing: the `DoViewChange`
+    /// is released later, by [`VsrCore::emit_dvc`], once the initiator
+    /// has observed a join majority.
+    pub fn on_start_view_change(&mut self, view: View, forced: bool, now: SimTime) -> SvcAck {
+        let already_joined = self.status == VsrStatus::ViewChange && self.view == view;
+        let join_higher = view > self.view
+            && (forced || self.suspects(now) || self.status == VsrStatus::ViewChange);
+        if !already_joined && !join_higher {
+            return SvcAck {
+                joined: false,
+                view: self.view,
+            };
+        }
+        if join_higher {
+            self.view = view;
+            self.status = VsrStatus::ViewChange;
+            self.vc_since = now;
+            self.dvc.clear();
+            self.events.push(VsrEvent::Suspected { view });
+        }
+        SvcAck {
+            joined: true,
+            view: self.view,
+        }
+    }
+
+    /// Releases this replica's `DoViewChange` payload for `view` — the
+    /// initiator calls this on itself and (via `view_change_go`) on
+    /// every joiner once it has observed a majority of joins, and never
+    /// before: an emitted payload is a promise that a majority left the
+    /// older views, which is what makes it safe for the new primary to
+    /// choose a log from `f+1` of them. Emission is recorded so
+    /// [`VsrCore::abort_view_change`] can refuse to revert below it.
+    pub fn emit_dvc(&mut self, view: View) -> Option<DoViewChange<M::Op, M::Snap>> {
+        if self.status != VsrStatus::ViewChange || self.view != view {
+            return None; // Reverted or overtaken: the promise is off.
+        }
+        self.dvc_emitted = self.dvc_emitted.max(view);
+        Some(self.dvc_payload())
+    }
+
+    /// This replica's own `DoViewChange` payload for its current view.
+    pub fn dvc_payload(&self) -> DoViewChange<M::Op, M::Snap> {
+        DoViewChange {
+            view: self.view,
+            from: self.id,
+            last_normal: self.last_normal,
+            op_num: self.op_num,
+            commit_num: self.commit_num,
+            snapshot: self.state.snapshot(),
+            tail: self.entries_from(self.commit_num + 1).unwrap_or_default(),
+        }
+    }
+
+    /// Handles a `DoViewChange` as the proposed view's primary. Once a
+    /// majority of payloads (its own included) arrived, adopts the log
+    /// with the largest `(last_normal, op_num)` viewstamp and returns
+    /// the `StartView` for the driver to broadcast.
+    pub fn on_do_view_change(
+        &mut self,
+        dvc: DoViewChange<M::Op, M::Snap>,
+        now: SimTime,
+    ) -> Option<StartView<M::Op, M::Snap>> {
+        if dvc.view < self.view || self.primary_of(dvc.view) != self.id {
+            return None;
+        }
+        if dvc.view > self.view {
+            // Join the change ourselves — but only if we suspect the old
+            // primary or are already between views; a healthy primary
+            // connection is not overridden by a single straggler.
+            if !(self.suspects(now) || self.status == VsrStatus::ViewChange) {
+                return None;
+            }
+            self.view = dvc.view;
+            self.status = VsrStatus::ViewChange;
+            self.vc_since = now;
+            self.dvc.clear();
+            self.events.push(VsrEvent::Suspected { view: dvc.view });
+        }
+        if self.status != VsrStatus::ViewChange {
+            // Duplicate DVC for the view we already lead.
+            return None;
+        }
+        self.dvc.insert(self.id, self.dvc_payload());
+        self.dvc.insert(dvc.from, dvc);
+        if self.dvc.len() < self.majority() {
+            return None;
+        }
+        let best = self
+            .dvc
+            .values()
+            .max_by_key(|d| ViewStamp::new(d.last_normal, d.op_num))
+            .expect("non-empty")
+            .clone();
+        self.install(best.op_num, best.commit_num, Some(&best.snapshot), &best.tail);
+        let view = self.view;
+        self.status = VsrStatus::Normal;
+        self.last_normal = view;
+        self.last_pm = now;
+        self.acks.clear();
+        self.missed_rounds = 0;
+        self.quorum_ok = true;
+        self.dvc.clear();
+        self.events.push(VsrEvent::ViewChanged {
+            view,
+            primary: self.id,
+        });
+        Some(StartView {
+            view,
+            op_num: self.op_num,
+            commit_num: self.commit_num,
+            snapshot: self.state.snapshot(),
+            tail: self.entries_from(self.commit_num + 1).unwrap_or_default(),
+        })
+    }
+
+    /// Handles the new primary's `StartView`: installs the chosen log
+    /// and enters the view as a backup.
+    pub fn on_start_view(&mut self, sv: StartView<M::Op, M::Snap>, now: SimTime) -> PeerAck {
+        let stale = sv.view < self.view
+            || (sv.view == self.view && self.status == VsrStatus::Normal);
+        if stale {
+            return PeerAck {
+                accepted: sv.view == self.view,
+                view: self.view,
+                op_num: self.op_num,
+            };
+        }
+        self.install(sv.op_num, sv.commit_num, Some(&sv.snapshot), &sv.tail);
+        self.view = sv.view;
+        self.status = VsrStatus::Normal;
+        self.last_normal = sv.view;
+        self.last_pm = now;
+        self.vc_since = now;
+        self.dvc.clear();
+        self.needs_catchup = false;
+        // A StartView is a quorum artifact carrying the full chosen log:
+        // installing it is as good as a completed recovery.
+        self.probation = false;
+        self.events.push(VsrEvent::ViewChanged {
+            view: sv.view,
+            primary: self.primary_of(sv.view),
+        });
+        PeerAck {
+            accepted: true,
+            view: self.view,
+            op_num: self.op_num,
+        }
+    }
+
+    // ---- state transfer ------------------------------------------------
+
+    /// Serves a peer's state request: a log suffix after `from_op` when
+    /// still retained, otherwise snapshot + tail.
+    pub fn on_get_state(&self, from_op: OpNum) -> StateTransfer<M::Op, M::Snap> {
+        let normal = self.status == VsrStatus::Normal && !self.probation;
+        match self.entries_from(from_op + 1) {
+            Some(tail) => StateTransfer {
+                view: self.view,
+                normal,
+                op_num: self.op_num,
+                commit_num: self.commit_num,
+                snapshot: None,
+                tail,
+            },
+            None => StateTransfer {
+                view: self.view,
+                normal,
+                op_num: self.op_num,
+                commit_num: self.commit_num,
+                snapshot: Some(self.state.snapshot()),
+                tail: self.entries_from(self.commit_num + 1).unwrap_or_default(),
+            },
+        }
+    }
+
+    /// Installs a state-transfer reply, if it is ahead of us. Returns
+    /// whether anything was installed. A recovered replica that finds
+    /// itself primary of the transferred view does *not* resume primacy
+    /// (its log may have been lost): it re-enters via a view change.
+    pub fn on_state_transfer(&mut self, st: StateTransfer<M::Op, M::Snap>, now: SimTime) -> bool {
+        let ahead = st.view > self.view
+            || (st.view == self.view && st.op_num > self.op_num)
+            || (st.view == self.view && st.commit_num > self.commit_num);
+        if !ahead {
+            self.needs_catchup = false;
+            return false;
+        }
+        let via_snapshot = st.snapshot.is_some();
+        self.install(st.op_num, st.commit_num, st.snapshot.as_ref(), &st.tail);
+        self.view = st.view;
+        self.last_normal = st.view;
+        self.last_pm = now;
+        self.vc_since = now;
+        self.needs_catchup = false;
+        self.acks.clear();
+        if self.primary_of(st.view) == self.id {
+            // We were this view's primary before losing our log: stay
+            // out of the normal case and force a view change instead of
+            // resuming primacy over a log we no longer own.
+            self.status = VsrStatus::ViewChange;
+        } else {
+            self.status = VsrStatus::Normal;
+        }
+        self.events.push(VsrEvent::CaughtUp { via_snapshot });
+        true
+    }
+
+    /// Replaces log and committed state with an authoritative image:
+    /// `snapshot` (if newer than our commit) plus the uncommitted
+    /// `tail`, then applies through `commit_num`.
+    fn install(
+        &mut self,
+        op_num: OpNum,
+        commit_num: OpNum,
+        snapshot: Option<&M::Snap>,
+        tail: &[LogEntry<M::Op>],
+    ) {
+        if let Some(snap) = snapshot {
+            if M::snap_seq(snap) > self.commit_num {
+                self.state.restore(snap.clone());
+                self.commit_num = M::snap_seq(snap);
+                // Results for the skipped range are unknown: polling
+                // clients observe `Superseded` and retry (never a
+                // fabricated success).
+                self.results.clear();
+            }
+            // The snapshot is the authoritative base: rebuild the log
+            // from the tail alone.
+            self.log.clear();
+            for e in tail {
+                if e.op > self.commit_num && self.log.back().map(|b| b.op + 1 == e.op).unwrap_or(true)
+                {
+                    self.log.push_back(e.clone());
+                }
+            }
+        } else {
+            // Suffix append: drop any conflicting uncommitted tail, then
+            // extend contiguously.
+            while self.log.back().map(|b| b.op > self.commit_num).unwrap_or(false) {
+                let keep = tail.first().map(|t| self.log.back().unwrap().op < t.op);
+                if keep == Some(true) {
+                    break;
+                }
+                self.log.pop_back();
+            }
+            for e in tail {
+                let next = self
+                    .log
+                    .back()
+                    .map(|b| b.op + 1)
+                    .unwrap_or(self.commit_num + 1);
+                if e.op == next {
+                    self.log.push_back(e.clone());
+                }
+            }
+        }
+        self.op_num = self
+            .log
+            .back()
+            .map(|e| e.op)
+            .unwrap_or(self.commit_num)
+            .max(self.commit_num);
+        debug_assert!(op_num >= self.commit_num);
+        self.pending.clear();
+        self.apply_through(commit_num);
+    }
+}
+
+/// A trivial replicated machine — a running sum with a full audit trail
+/// of `(seq, amount)` — used to prove the engine is state-machine
+/// agnostic (the proptest harness runs over it next to the naming
+/// state) and as the smallest possible example of a [`Machine`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterMachine {
+    /// The running sum of every applied amount.
+    pub total: u64,
+    /// Sequence number of the last applied op (0 = none).
+    pub last_seq: OpNum,
+}
+
+/// A [`CounterMachine`] snapshot.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterSnap {
+    /// The running sum at `last_seq`.
+    pub total: u64,
+    /// Sequence number of the last applied op.
+    pub last_seq: OpNum,
+}
+
+impl_wire_struct!(CounterSnap { total, last_seq });
+
+impl Machine for CounterMachine {
+    type Op = u64;
+    type Outcome = u64;
+    type Snap = CounterSnap;
+
+    fn apply(&mut self, seq: OpNum, op: &u64) -> u64 {
+        self.total = self.total.wrapping_add(*op);
+        self.last_seq = seq;
+        self.total
+    }
+
+    fn snapshot(&self) -> CounterSnap {
+        CounterSnap {
+            total: self.total,
+            last_seq: self.last_seq,
+        }
+    }
+
+    fn restore(&mut self, snap: CounterSnap) {
+        self.total = snap.total;
+        self.last_seq = snap.last_seq;
+    }
+
+    fn snap_seq(snap: &CounterSnap) -> OpNum {
+        snap.last_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_micros(ms * 1000)
+    }
+
+    fn trio() -> Vec<VsrCore<CounterMachine>> {
+        (0..3)
+            .map(|i| {
+                let mut c = VsrCore::new(i, 3, 64, Duration::from_secs(5), t(0));
+                c.end_probation(t(0));
+                c
+            })
+            .collect()
+    }
+
+    fn replicate(cores: &mut [VsrCore<CounterMachine>], p: usize, amount: u64) -> OpNum {
+        let prep = cores[p].client_op(amount).expect("is primary");
+        for i in 0..cores.len() {
+            if i == p {
+                continue;
+            }
+            let ack = cores[i].on_prepare(
+                prep.view,
+                prep.view,
+                prep.op_num,
+                prep.commit_num,
+                prep.update,
+                t(1),
+            );
+            cores[p].on_ack(i as u32, &ack);
+        }
+        prep.op_num
+    }
+
+    #[test]
+    fn counter_machine_replicates_and_reports_outcomes() {
+        let mut cores = trio();
+        let op1 = replicate(&mut cores, 0, 7);
+        let op2 = replicate(&mut cores, 0, 5);
+        assert_eq!(cores[0].commit_num(), op2);
+        assert_eq!(cores[0].outcome_of(0, op1), OpOutcome::Done(7));
+        assert_eq!(cores[0].outcome_of(0, op2), OpOutcome::Done(12));
+        assert_eq!(cores[0].state().total, 12);
+    }
+
+    #[test]
+    fn counter_view_change_preserves_committed_sum() {
+        let mut cores = trio();
+        replicate(&mut cores, 0, 3);
+        replicate(&mut cores, 0, 4);
+        let late = t(10_000);
+        let v = cores[1].begin_view_change(late);
+        assert!(cores[2].on_start_view_change(v, false, late).joined);
+        let dvc = cores[2].emit_dvc(v).unwrap();
+        let sv = cores[1].on_do_view_change(dvc, late).expect("majority");
+        assert!(cores[1].is_master());
+        let ack = cores[2].on_start_view(sv, late);
+        cores[1].on_ack(2, &ack);
+        assert_eq!(cores[1].commit_num(), 2);
+        assert_eq!(cores[1].state().total, 7);
+    }
+
+    #[test]
+    fn counter_snapshot_state_transfer_round_trips() {
+        let mut cores: Vec<VsrCore<CounterMachine>> = (0..3)
+            .map(|i| {
+                let mut c = VsrCore::new(i, 3, 2, Duration::from_secs(5), t(0));
+                c.end_probation(t(0));
+                c
+            })
+            .collect();
+        for i in 0..12 {
+            replicate(&mut cores, 0, i + 1);
+        }
+        let mut fresh: VsrCore<CounterMachine> =
+            VsrCore::new(2, 3, 2, Duration::from_secs(5), t(0));
+        let st = cores[0].on_get_state(fresh.commit_num());
+        assert!(st.snapshot.is_some(), "past retention: snapshot transfer");
+        assert!(fresh.on_state_transfer(st, t(1)));
+        assert_eq!(fresh.state().snapshot(), cores[0].state().snapshot());
+    }
+}

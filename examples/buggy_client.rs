@@ -80,7 +80,7 @@ fn main() {
         };
         let mut got = 0;
         loop {
-            match cm.allocate(settop_id, server_id, 2_000_000) {
+            match cm.allocate(0, settop_id, server_id, 2_000_000) {
                 Ok(_) => got += 1,
                 Err(e) => {
                     out2.send((got, e));

@@ -9,7 +9,8 @@
 # crosses the MMS, Connection Manager and MDS — and bench guards over
 # the committed E17/E18/E20/E21 artifacts (throughput, kernel fast path
 # plus flight-recorder overhead, NS view-change latency, and measured
-# availability/blackout windows under a fault storm).
+# availability/blackout windows under a fault storm, and CM fail-over
+# admission integrity).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -174,5 +175,41 @@ for key in sim_p99_blackout_s real_p99_blackout_s; do
     fi
 done
 echo "tier1: E21 smoke sim availability $avail, p99 update blackout ${blackout}s (guards: >= 0.999, < 2.0 s)"
+
+# CM fail-over smoke + bench guard: E22 puts the Connection Manager's
+# admission table through repeated primary kills. The fresh run must
+# lose no committed allocation, double-book no retried one, keep every
+# replica's audit consistent, and hold the deployed-tuning update
+# blackout p99 under 2 s (the paper-timeout leg sits inside the paper's
+# 25 s fail-over bound). The committed BENCH_e22.json must carry the
+# same claims.
+tmp="$(mktemp -d)"
+(cd "$tmp" && timeout 240 cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- \
+    e22 >/dev/null)
+paper_p99="$(json_field "$tmp/BENCH_e22.json" repl_paper_blackout_p99_s)"
+tuned_p99="$(json_field "$tmp/BENCH_e22.json" repl_blackout_p99_s)"
+lost="$(json_field "$tmp/BENCH_e22.json" lost_allocs)"
+doubled="$(json_field "$tmp/BENCH_e22.json" doubled_allocs)"
+audit="$(grep -oE '"audit_consistent": (true|false)' "$tmp/BENCH_e22.json" | awk '{print $2}')"
+rm -rf "$tmp"
+if [ "$lost" != "0" ] || [ "$doubled" != "0" ] || [ "$audit" != "true" ]; then
+    echo "tier1: E22 smoke FAILED - lost=${lost:-missing} doubled=${doubled:-missing} audit=${audit:-missing} (want 0/0/true)" >&2
+    exit 1
+fi
+if [ -z "$paper_p99" ] || ! awk -v f="$paper_p99" 'BEGIN { exit !(f < 25.0) }'; then
+    echo "tier1: E22 smoke FAILED - fresh paper-timeout blackout p99 ${paper_p99:-missing} not < 25 s" >&2
+    exit 1
+fi
+if [ -z "$tuned_p99" ] || ! awk -v f="$tuned_p99" 'BEGIN { exit !(f < 2.0) }'; then
+    echo "tier1: E22 smoke FAILED - fresh tuned blackout p99 ${tuned_p99:-missing} not < 2.0 s" >&2
+    exit 1
+fi
+committed="$(json_field "$repo/BENCH_e22.json" repl_blackout_p99_s)"
+if [ -z "$committed" ] || ! awk -v c="$committed" 'BEGIN { exit !(c < 2.0) }'; then
+    echo "tier1: E22 guard FAILED - committed repl_blackout_p99_s ${committed:-missing} not < 2.0 s (BENCH_e22.json)" >&2
+    exit 1
+fi
+echo "tier1: E22 smoke CM blackout p99 ${tuned_p99}s tuned / ${paper_p99}s paper, lost=$lost doubled=$doubled audit=$audit"
 
 echo "tier1: OK"
