@@ -11,8 +11,12 @@
 //! its headline numbers, a telemetry metrics snapshot where a cluster
 //! was involved, and the wall/virtual run times. `--spans N` sets how
 //! many of the slowest request trees E16's span dump renders;
-//! `--settops N` sets E17's simulated settop population; `--sim-only`
-//! skips E20's real-runtime leg (used by the tier-1 smoke).
+//! `--settops N` sets E17's simulated settop population; `--shards N`
+//! sets the kernel shard count E17/E18 run their main legs on (each
+//! also cross-checks against a 1-shard run for trace equality);
+//! `--cores N` overrides the detected host parallelism that artifacts
+//! record and wall-clock legs gate on; `--sim-only` skips E20's
+//! real-runtime leg (used by the tier-1 smoke).
 
 use bench::{exps, report};
 
@@ -23,6 +27,8 @@ static ALLOC: bench::alloc_track::CountingAlloc = bench::alloc_track::CountingAl
 fn main() {
     let mut spans = 3usize;
     let mut settops = 50_000usize;
+    let mut shards = 1usize;
+    let mut cores: Option<usize> = None;
     let mut sim_only = false;
     let mut picked: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -47,6 +53,27 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs a number >= 1");
+                        std::process::exit(2);
+                    });
+            }
+            "--cores" => {
+                cores = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--cores needs a number >= 1");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             _ => picked.push(a),
         }
     }
@@ -61,6 +88,7 @@ fn main() {
     println!("ITV system reproduction — experiment suite (virtual-time simulation)");
     for w in which {
         report::begin(w);
+        report::set_run_config(shards, cores);
         let wall = std::time::Instant::now();
         match w {
             "e1" => exps::e1(),
@@ -79,8 +107,8 @@ fn main() {
             "e14" => exps::e14(),
             "e15" => exps::e15(),
             "e16" => exps::e16(spans),
-            "e17" => exps::e17(settops),
-            "e18" => exps::e18(settops),
+            "e17" => exps::e17(settops, shards),
+            "e18" => exps::e18(settops, shards),
             "e19" => exps::e19(),
             "e20" => exps::e20(sim_only),
             "e21" => exps::e21(sim_only),

@@ -26,7 +26,7 @@ use std::time::Duration;
 use itv_media::{CmApi, CmApiClient, CmBudgets, ConnectionManager};
 use ocs_name::{NsHandle, RebindPolicy, Rebinding};
 use ocs_orb::{Caller, ClientCtx};
-use ocs_sim::{Addr, NodeId, NodeRt, NodeRtExt, Rt, Sim, SimChan, SimTime};
+use ocs_sim::{Addr, LinkParams, NodeId, NodeRt, NodeRtExt, Rt, Sim, SimChan, SimTime};
 
 use crate::json::Json;
 use crate::{f, report, Table};
@@ -36,8 +36,18 @@ use super::standalone::{ns_group, NS_PORT};
 /// Neighborhood count (each gets its own CM servant, as in the trial's
 /// per-neighborhood partitioning).
 const NBHDS: usize = 8;
-/// Driver processes; each owns `settops / DRIVERS` of the population.
-const DRIVERS: usize = 16;
+
+/// Driver processes for a population size; each owns an equal slice of
+/// the settop id space. The count depends only on the population — never
+/// on shard count or host cores — so the virtual-time trace of a run is
+/// identical no matter how it is executed.
+fn drivers_for(settops: usize) -> usize {
+    if settops >= 200_000 {
+        64
+    } else {
+        16
+    }
+}
 /// Rebinding proxies per (driver, neighborhood) — deliberately more
 /// than one, so it is the node-shared cache and not per-proxy caching
 /// that keeps resolve traffic flat.
@@ -59,22 +69,27 @@ pub(crate) struct StormOut {
     /// Kernel events processed (E18's replay leg divides wall time by
     /// this).
     pub(crate) events: u64,
-    /// Kernel event-trace hash, for fast-vs-slow equivalence checks.
+    /// Kernel event-trace hash, for fast-vs-slow and 1-vs-N-shard
+    /// equivalence checks.
     pub(crate) trace_hash: u64,
+    /// Full kernel counters (horizon syncs, cross-shard traffic, …).
+    pub(crate) stats: ocs_sim::KernelStats,
 }
 
 /// Runs the storm at `settops` scale with `seed`; pure virtual-time
 /// measurement (no wall clock touches the outputs).
-fn storm(seed: u64, settops: usize) -> StormOut {
-    storm_with(seed, settops, ocs_sim::SimConfig::default().fast)
+fn storm(seed: u64, settops: usize, shards: usize) -> StormOut {
+    storm_with(seed, settops, ocs_sim::SimConfig::default().fast, shards)
 }
 
-/// [`storm`] with explicit control over the scheduler fast path — the
-/// E18 replay leg runs the same storm under both modes.
-pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
+/// [`storm`] with explicit control over the scheduler fast path and the
+/// kernel shard count — the E18 replay leg runs the same storm under
+/// both scheduler modes, and the sharding legs compare 1 vs N shards.
+pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool, shards: usize) -> StormOut {
     let sim = Sim::with_config(ocs_sim::SimConfig {
         seed,
         fast,
+        shards,
         ..ocs_sim::SimConfig::default()
     });
     let ns_nodes = ns_group(&sim, 1, Duration::from_secs(3600));
@@ -119,11 +134,23 @@ pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
     // Driver fleet: each drives its slice of the population through one
     // channel change (tune in, tune away) and one movie open (stream
     // stays up), timing every admission RPC in virtual microseconds.
+    let drivers = drivers_for(settops);
     let out: SimChan<(Vec<u64>, u64, SimTime)> = SimChan::new(&sim);
     let t_start = sim.now();
     let mut driver_nodes = Vec::new();
-    for d in 0..DRIVERS {
+    for d in 0..drivers {
         let node = sim.add_node(&format!("drv{d}"));
+        // Last-mile access latency differs per gateway, as neighborhood
+        // plant lengths do (300–650 µs one-way): admission RTTs spread
+        // into a real distribution instead of collapsing onto a single
+        // 2 × 500 µs default-link value with p50 == p99.
+        let access = LinkParams::latency_only(Duration::from_micros(300 + 50 * (d as u64 % 8)));
+        for &srv in &servers {
+            sim.set_link(node.node(), srv, access);
+            sim.set_link(srv, node.node(), access);
+        }
+        sim.set_link(node.node(), ns_addr.node, access);
+        sim.set_link(ns_addr.node, node.node(), access);
         let ns = NsHandle::new(ClientCtx::new(node.clone() as Rt), ns_addr);
         let proxies: Vec<Rebinding<CmApiClient>> = (0..NBHDS * PROXIES_PER_NBHD)
             .map(|i| {
@@ -143,8 +170,8 @@ pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
             // Contiguous slice of the id space, so every driver cycles
             // through all neighborhoods (a strided slice would alias
             // with the neighborhood modulus and pin each driver to one).
-            let lo = d * settops / DRIVERS;
-            let hi = (d + 1) * settops / DRIVERS;
+            let lo = d * settops / drivers;
+            let hi = (d + 1) * settops / drivers;
             for s in lo..hi {
                 let k = s - lo;
                 let settop = NodeId(100_000 + s as u32);
@@ -185,14 +212,14 @@ pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
     // Run until every driver reports (cap well beyond any plausible
     // virtual duration).
     let mut results: Vec<(Vec<u64>, u64, SimTime)> = Vec::new();
-    while results.len() < DRIVERS && sim.now() < SimTime::from_secs(36_000) {
+    while results.len() < drivers && sim.now() < SimTime::from_secs(36_000) {
         sim.run_for(Duration::from_secs(10));
         while let Some(r) = out.try_recv() {
             results.push(r);
         }
     }
     report::add_virtual_secs(sim.now().as_secs_f64());
-    assert_eq!(results.len(), DRIVERS, "all drivers completed");
+    assert_eq!(results.len(), drivers, "all drivers completed");
 
     let t_end = results.iter().map(|(_, _, t)| *t).max().unwrap_or(t_start);
     let mut latencies_us: Vec<u64> = Vec::new();
@@ -224,6 +251,7 @@ pub(crate) fn storm_with(seed: u64, settops: usize, fast: bool) -> StormOut {
         cm_accepted: cm.counter("cm.admission.accepted"),
         events: sim.kernel_stats().events,
         trace_hash: sim.trace_hash(),
+        stats: sim.kernel_stats(),
     }
 }
 
@@ -267,15 +295,17 @@ fn allocate_cost_ns(active: usize, pairs: usize) -> f64 {
 }
 
 /// E17: settop-population saturation (§8.1–§8.2 made quantitative).
-pub fn e17(settops: usize) {
+pub fn e17(settops: usize, shards: usize) {
+    let drivers = drivers_for(settops);
     println!("\nE17. Scale saturation: {settops} settops, channel-change + movie-open storm");
     println!(
-        "    {NBHDS} neighborhood CMs, {DRIVERS} drivers x {PROXIES_PER_NBHD} proxies/path, shared resolve cache\n"
+        "    {NBHDS} neighborhood CMs, {drivers} drivers x {PROXIES_PER_NBHD} proxies/path, \
+         shared resolve cache, {shards} kernel shard(s)\n"
     );
 
     // Leg 1: the storm at full scale.
     let wall = std::time::Instant::now();
-    let s = storm(1717, settops);
+    let s = storm(1717, settops, shards);
     let storm_wall = wall.elapsed().as_secs_f64();
     let ops_per_sec = s.ops as f64 / s.elapsed_virtual.max(f64::MIN_POSITIVE);
     let p50 = pct(&s.latencies_us, 0.50);
@@ -296,16 +326,22 @@ pub fn e17(settops: usize) {
     t.print();
     println!(
         "    {} proxies across the fleet resolved through {} remote lookups;",
-        DRIVERS * NBHDS * PROXIES_PER_NBHD,
+        drivers * NBHDS * PROXIES_PER_NBHD,
         s.ns_lookups
     );
     println!("    CM admissions accepted: {}", s.cm_accepted);
+    if shards > 1 {
+        println!(
+            "    sharding: {} horizon syncs, {} cross-shard msgs, {} lookahead stalls",
+            s.stats.horizon_syncs, s.stats.xshard_msgs, s.stats.lookahead_stalls
+        );
+    }
 
     // Leg 2: same-seed determinism at reduced scale — the virtual-time
     // numbers must be bit-identical run to run.
     let check = settops.min(2_000);
-    let a = storm(99, check);
-    let b = storm(99, check);
+    let a = storm(99, check, 1);
+    let b = storm(99, check, 1);
     let deterministic = a.ops == b.ops
         && a.failures == b.failures
         && a.elapsed_virtual == b.elapsed_virtual
@@ -315,6 +351,27 @@ pub fn e17(settops: usize) {
         "same seed must give same virtual-time metrics"
     );
     println!("    determinism: two seed-99 runs at {check} settops identical: {deterministic}");
+
+    // Leg 2b: shard-layout invariance — the same reduced-scale storm on
+    // a sharded kernel must replay the 1-shard event trace bit for bit.
+    let many = storm(99, check, shards.max(2));
+    let shard_trace_equivalent = a.trace_hash == many.trace_hash
+        && a.ops == many.ops
+        && a.elapsed_virtual == many.elapsed_virtual
+        && a.latencies_us == many.latencies_us;
+    assert!(
+        shard_trace_equivalent,
+        "sharded run diverged from the 1-shard trace (hash {:#x} vs {:#x})",
+        many.trace_hash, a.trace_hash
+    );
+    println!(
+        "    shard equivalence: {}-shard rerun trace-identical to 1 shard: {} \
+         ({} horizon syncs, {} cross-shard msgs)",
+        shards.max(2),
+        shard_trace_equivalent,
+        many.stats.horizon_syncs,
+        many.stats.xshard_msgs
+    );
 
     // Leg 3: allocate cost vs active-table size. An O(active) scan in
     // the admission path would scale this ratio with the population;
@@ -346,6 +403,11 @@ pub fn e17(settops: usize) {
     report::put("cache_misses", Json::U64(s.cache_misses));
     report::put("cm_accepted", Json::U64(s.cm_accepted));
     report::put("deterministic_rerun", Json::from(deterministic));
+    report::put("shard_trace_equivalent", Json::from(shard_trace_equivalent));
+    report::put("storm_shards", Json::U64(shards as u64));
+    report::put("drivers", Json::U64(drivers as u64));
+    report::put("horizon_syncs", Json::U64(s.stats.horizon_syncs));
+    report::put("xshard_msgs", Json::U64(s.stats.xshard_msgs));
     report::put("wall_alloc_ns_small", Json::F64(small));
     report::put("wall_alloc_ns_large", Json::F64(large));
     report::put("wall_alloc_ratio", Json::F64(ratio));

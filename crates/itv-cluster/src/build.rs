@@ -927,7 +927,7 @@ fn rebind_own(ns: &NsHandle, rt: &Rt, path: &str, obj: ObjRef, create_parents: b
     loop {
         let _ = ns.unbind(path);
         match ns.bind(path, obj) {
-            Ok(()) => return,
+            Ok(()) => break,
             Err(NsError::NotFound { .. }) if create_parents => {
                 if let Some((parent, _)) = path.rsplit_once('/') {
                     ensure_path(ns, rt, parent);
@@ -937,4 +937,23 @@ fn rebind_own(ns: &NsHandle, rt: &Rt, path: &str, obj: ObjRef, create_parents: b
         }
         rt.sleep(Duration::from_secs(2));
     }
+    // Keep the binding asserted for as long as this service instance
+    // lives. The NS audit may reap it spuriously right after a restart —
+    // the audit's RAS verdicts can briefly trail a partition heal — and
+    // a one-shot bind would leave the service unreachable forever. The
+    // keeper inherits the service's process group, so a restarted
+    // instance is not fought by its predecessor's keeper.
+    let ns = ns.clone();
+    let keeper_rt = rt.clone();
+    let path = path.to_string();
+    rt.spawn_fn(&format!("rebind-{path}"), move || loop {
+        keeper_rt.sleep(Duration::from_secs(5));
+        match ns.resolve(&path) {
+            Ok(cur) if cur == obj => {}
+            _ => {
+                let _ = ns.unbind(&path);
+                let _ = ns.bind(&path, obj);
+            }
+        }
+    });
 }

@@ -359,7 +359,7 @@ fn same_seed_chaos_run_has_identical_trace_hash() {
 /// carrying the entry's original view beside the sender's. Re-captured
 /// when the Connection Manager moved onto its own VSR group (replicated
 /// allocate/release/expire ops replaced the primary/backup bind race).
-const E15_BASELINE_TRACE_HASH: u64 = 871432322565983628;
+const E15_BASELINE_TRACE_HASH: u64 = 15625508522859677904;
 
 #[test]
 fn e15_trace_hash_matches_committed_baseline() {

@@ -228,10 +228,16 @@ impl Ras {
                         st.peer_failures.remove(&node);
                         for (e, s) in entities.iter().zip(statuses) {
                             if let Some(t) = st.tracked.get_mut(e) {
-                                // Never downgrade Dead (entities cannot
-                                // resurrect: new incarnations are new
-                                // entities).
-                                if *t != EntityStatus::Dead {
+                                // The home RAS is authoritative for its
+                                // own objects: an Alive answer for this
+                                // exact incarnation proves the process
+                                // survived, so it clears a Dead verdict
+                                // derived from mere unreachability (a
+                                // partition is not a crash). Anything
+                                // weaker never downgrades Dead —
+                                // genuinely dead incarnations cannot
+                                // reappear in the home live set.
+                                if s == EntityStatus::Alive || *t != EntityStatus::Dead {
                                     *t = s;
                                 }
                             }
@@ -284,7 +290,10 @@ impl Ras {
             let mut st = self.state.lock();
             for (node, s) in settops.iter().zip(statuses) {
                 if let Some(t) = st.tracked.get_mut(&EntityId::Settop { node: *node }) {
-                    if *t != EntityStatus::Dead {
+                    // Settop entities are keyed by node, not
+                    // incarnation: the manager's Alive answer means the
+                    // box is back and overrides an earlier Dead.
+                    if s == EntityStatus::Alive || *t != EntityStatus::Dead {
                         *t = s;
                     }
                 }
@@ -315,8 +324,16 @@ impl RasApi for Ras {
                 };
                 match st.tracked.get(&e).copied() {
                     Some(existing) => {
+                        // A fresh authoritative Alive may clear a stale
+                        // Dead (see peer_poll_loop); otherwise Dead is
+                        // final for a given incarnation.
                         let s = match fresh {
-                            Some(f) if existing != EntityStatus::Dead => f,
+                            Some(f)
+                                if f == EntityStatus::Alive
+                                    || existing != EntityStatus::Dead =>
+                            {
+                                f
+                            }
                             _ => existing,
                         };
                         st.tracked.insert(e, s);

@@ -321,18 +321,15 @@ impl Nemesis {
     /// process or, except for `CrashNode` of the caller's own node, from
     /// the driver thread).
     pub fn apply(sim: &Sim, action: &FaultAction) {
-        // Journal the injection on every affected node *before* applying:
-        // a `CrashNode` of the caller's own node unwinds inside the match
-        // below, and the record must be in the victim's black box first.
-        // Journal writes never touch the kernel, so the event-trace hash
-        // is identical with or without the recorder.
-        let now = sim.now();
+        // Journal the injection on every affected node *before* applying,
+        // so the record lands in the victim's black box ahead of the
+        // fault itself. `journal_fault` routes through the kernel's
+        // control stream under a sharded run (same virtual timestamp on
+        // every shard layout) but the journal write itself is
+        // trace-invisible: the event-trace hash is identical with or
+        // without the recorder.
         for n in action.journal_targets() {
-            crate::journal::Journal::of(&*sim.node_handle(n)).record(
-                now,
-                "fault",
-                action.describe(),
-            );
+            sim.journal_fault(n, action.describe());
         }
         match *action {
             FaultAction::CrashNode(n) => {

@@ -1,13 +1,42 @@
 //! The discrete-event kernel: virtual time, processes, endpoints, links.
 //!
-//! Every simulated *process* is backed by an OS thread, but the kernel
-//! runs exactly one of them at a time: a single "active" token moves
-//! between the driver thread (whoever calls
-//! [`run_until`](crate::Sim::run_until)) and the process threads through
-//! per-process batons. Blocking operations (sleep, receive, wait)
-//! register a wakeup in the event queue and pass the token on. Events are
-//! ordered by `(time, seq)`, so a run is fully deterministic given its
-//! seed.
+//! Every simulated *process* is backed by an OS thread, but within one
+//! **shard** the kernel runs exactly one of them at a time: a single
+//! "active" token moves between the shard's scheduler (the driver thread
+//! for shard 0, a worker thread otherwise) and the process threads
+//! through per-process batons. Blocking operations (sleep, receive,
+//! wait) register a wakeup in the event queue and pass the token on.
+//! Events are ordered by `(time, source node, per-source seq)`, a key
+//! that is independent of how nodes are packed into shards, so a run is
+//! fully deterministic given its seed — with one shard or many.
+//!
+//! # Sharded execution
+//!
+//! With `SimConfig { shards: n > 1, .. }` the node set is partitioned
+//! across `n` kernels, each with its own event heap, process set and
+//! network tables, driven by `n` OS threads between conservative
+//! synchronization horizons (classic Chandy–Misra lookahead):
+//!
+//! * the coordinator computes `A`, the earliest pending activity across
+//!   all shards, and opens a window `[A, A + L)` where `L` is the
+//!   minimum cross-node link latency seen so far;
+//! * every shard runs its events strictly inside the window in
+//!   parallel; any event it emits for another shard is at least one
+//!   cross-node latency in the future, hence at or beyond the horizon,
+//!   so no shard can receive an event in its past;
+//! * cross-shard events travel through per-shard inboxes and are merged
+//!   into the destination heap at the next horizon; the `(at, src,
+//!   sseq)` key makes the merge order — and therefore every RNG draw
+//!   and trace record — identical to the 1-shard schedule.
+//!
+//! Determinism across shard counts additionally requires that every
+//! id-allocation stream is keyed to a node (or to the shard that owns
+//! it) rather than to a global counter: pids embed their shard, group
+//! and wait-object ids embed their allocating node, and each node owns
+//! its RNG and event-sequence stream. Cluster-wide control actions
+//! (crash, restart, link changes) issued from inside a process are
+//! broadcast as *control events* that every shard applies at the same
+//! virtual instant, one fault-propagation delay after issue.
 //!
 //! # Fast path
 //!
@@ -40,7 +69,7 @@
 use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use bytes::Bytes;
@@ -59,6 +88,10 @@ pub(crate) struct KillSignal;
 
 /// First non-ephemeral port number handed out for `PortReq::Ephemeral`.
 pub(crate) const EPHEMERAL_BASE: u16 = 32768;
+
+/// Pids embed their shard in the top bits so any thread can find its
+/// kernel without a global map: `pid = shard << SHARD_SHIFT | counter`.
+pub(crate) const SHARD_SHIFT: u32 = 48;
 
 /// One-shot-per-handoff wakeup flag. Unlike a turn-based condvar pair, a
 /// grant may arrive before the owner starts waiting (direct handoffs race
@@ -186,6 +219,44 @@ pub(crate) struct NodeState {
     pub name: String,
     pub up: bool,
     pub next_ephemeral: u16,
+    /// Per-node deterministic streams. Keying the RNG, the event
+    /// sequence, and the group/wait-object id counters to the node (not
+    /// the kernel) makes every draw and every allocated id independent
+    /// of how nodes are packed into shards — the heart of the 1-shard ==
+    /// N-shard determinism argument. Only the node's owning shard ever
+    /// touches these; the replicated copies on other shards are inert.
+    pub rng: SmallRng,
+    pub seq: u64,
+    pub next_group: u64,
+    pub next_waitobj: u64,
+}
+
+/// How nodes are mapped to shards. A pure function of the node id, so
+/// every shard (and the driver) can route without coordination.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// `node % nshards` — spreads consecutively-numbered nodes evenly,
+    /// the right default when neighbors talk to everyone (E17's drivers
+    /// and CM servers interleave).
+    #[default]
+    RoundRobin,
+    /// `(node / span) % nshards` — keeps blocks of `span` consecutive
+    /// node ids on one shard, for topologies with strong locality.
+    Block(u32),
+}
+
+
+/// Maps a raw node id to its shard. Node 0 (the anonymous/driver key)
+/// always lives on shard 0.
+#[inline]
+pub(crate) fn shard_index(policy: ShardPolicy, nshards: usize, node: u32) -> usize {
+    if nshards <= 1 || node == 0 {
+        return 0;
+    }
+    match policy {
+        ShardPolicy::RoundRobin => node as usize % nshards,
+        ShardPolicy::Block(span) => (node / span.max(1)) as usize % nshards,
+    }
 }
 
 /// Per-directed-link model parameters.
@@ -250,13 +321,13 @@ pub struct NetStats {
 /// Scheduler and event-loop counters, exposed through
 /// [`Sim::kernel_stats`](crate::Sim::kernel_stats) for the E18 kernel
 /// microbenchmark. Purely observational: reading them never perturbs a
-/// run.
+/// run. In sharded runs the per-shard counters are summed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct KernelStats {
     /// Events popped off the queue (timer wakeups + network deliveries).
     pub events: u64,
-    /// Baton grants issued by the driver thread (one pair of OS context
-    /// switches each).
+    /// Baton grants issued by the shard scheduler thread (one pair of OS
+    /// context switches each).
     pub driver_resumes: u64,
     /// Process-to-process baton grants that skipped the driver (one
     /// switch each).
@@ -264,6 +335,16 @@ pub struct KernelStats {
     /// Blocking calls where the caller continued inline with zero thread
     /// switches (its own timeout or a same-instant delivery was next).
     pub self_continues: u64,
+    /// Synchronization horizons the sharded coordinator executed
+    /// (0 in 1-shard runs).
+    pub horizon_syncs: u64,
+    /// Events routed to another shard's inbox (counted at the sender).
+    pub xshard_msgs: u64,
+    /// Windows in which a shard had nothing to do — it advanced only
+    /// because the horizon did.
+    pub lookahead_stalls: u64,
+    /// Times a shard worker parked waiting for the next horizon grant.
+    pub idle_parks: u64,
 }
 
 /// Fault-injection impairment applied on top of a link's base
@@ -525,20 +606,58 @@ impl AddrHash {
 
 type AddrBuild = std::hash::BuildHasherDefault<AddrHash>;
 
+/// Cluster-wide network control action. Issued by a fault API; from a
+/// process it is broadcast to every shard as a control event so all
+/// replicas of the node/link tables change at the same virtual instant.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum NetCtl {
+    Crash(NodeId),
+    Restart(NodeId),
+    SetLink(NodeId, NodeId, LinkParams),
+    SetPartition(NodeId, NodeId, bool),
+    SetImpairment(NodeId, NodeId, LinkImpairment),
+    ClearImpairment(NodeId, NodeId),
+}
+
+/// A deferred kernel operation carried by a control event. `Net` is
+/// broadcast to every shard (each applies its replica share; the owner
+/// of the primary node also does the observable part); the rest are
+/// delivered to a single home shard.
+pub(crate) enum ControlOp {
+    Net(NetCtl),
+    Spawn {
+        node: Option<NodeId>,
+        name: String,
+        group: Option<u64>,
+        f: Box<dyn FnOnce() + Send>,
+    },
+    KillGroup(u64),
+    Notify { id: u64, n: usize },
+    Bump(u64),
+    Note { node: NodeId, detail: String },
+}
+
 enum EventKind {
     Wake { pid: Pid, gen: u64 },
     Deliver { to: Addr, item: Item },
+    Control(ControlOp),
 }
 
+/// An event, keyed `(at, src, sseq)`: `src` is the raw id of the node
+/// whose stream produced it (0 for the anonymous/driver stream) and
+/// `sseq` the per-source sequence number. Unlike a global counter, the
+/// key is identical however nodes are sharded, so heap pop order — and
+/// with it every observable — survives re-sharding.
 struct Event {
     at: u64,
-    seq: u64,
+    src: u32,
+    sseq: u64,
     kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Event) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.src == other.src && self.sseq == other.sseq
     }
 }
 impl Eq for Event {}
@@ -550,7 +669,7 @@ impl PartialOrd for Event {
 impl Ord for Event {
     // Reverse ordering so the BinaryHeap pops the earliest event first.
     fn cmp(&self, other: &Event) -> std::cmp::Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        (other.at, other.src, other.sseq).cmp(&(self.at, self.src, self.sseq))
     }
 }
 
@@ -559,24 +678,49 @@ pub(crate) struct WaitObjState {
     generation: u64,
 }
 
+/// One shard's kernel: event heap, processes, and a full replica of the
+/// small network tables (node up/down, links, partitions, impairments).
+/// Replicating the tables lets `net_send` run lock-free with respect to
+/// other shards; the control-event broadcast keeps the replicas in sync
+/// at identical virtual instants.
 pub(crate) struct Kernel {
     pub now: u64,
     /// Lock-free mirror of `now`, shared with [`SimInner`] so the hot
     /// `now()` read path (journal records, deadline checks in running
     /// processes) never contends on the kernel mutex. Virtual time only
-    /// advances inside the driver's step loop, while every process is
-    /// parked, so a relaxed-ish read from a running process is always
-    /// exact.
+    /// advances inside the shard's step loop, while every process of
+    /// the shard is parked, so a relaxed-ish read from a running
+    /// process is always exact.
     now_shared: Arc<AtomicU64>,
-    seq: u64,
+    /// This kernel's shard index and the topology it routes within.
+    shard: usize,
+    nshards: usize,
+    policy: ShardPolicy,
+    /// Peer shard inboxes (leaf locks, never held across other locks);
+    /// `outboxes[shard]` is this shard's own inbox and is not used from
+    /// here.
+    outboxes: Vec<Arc<Mutex<Vec<Event>>>>,
+    /// Back-reference for control events that need the whole simulation
+    /// (spawning a process, journaling a fault note).
+    inner: Weak<SimInner>,
     events: BinaryHeap<Event>,
     pub procs: BTreeMap<Pid, Proc>,
+    /// Local pid counter; issued pids are `shard << SHARD_SHIFT | n` so
+    /// they are unique and shard-derivable without coordination.
     next_pid: Pid,
     pub runnable: VecDeque<Pid>,
     pub shutdown: bool,
-    pub rng: SmallRng,
+    /// Seed all per-node RNGs derive from (replicated).
+    master_seed: u64,
+    /// Streams for the anonymous key (driver context, node-less procs).
+    /// Only shard 0 ever draws from these.
+    anon_rng: SmallRng,
+    anon_seq: u64,
+    anon_next_group: u64,
+    anon_next_waitobj: u64,
     /// Dense node table indexed by `NodeId - 1` (ids are handed out
-    /// sequentially from 1 and never removed).
+    /// sequentially from 1 and never removed). Replicated on every
+    /// shard; the per-node streams are only touched by the owner.
     nodes: Vec<NodeState>,
     pub endpoints: HashMap<EpKey, EpState, AddrBuild>,
     pub net_cfg: NetConfig,
@@ -584,27 +728,29 @@ pub(crate) struct Kernel {
     link_free: PairTable<u64>,
     pub partitions: PairBits,
     pub impairments: PairTable<LinkImpairment>,
-    /// FNV-1a digest of the observable event trace (sends, deliveries,
-    /// fault actions). Two runs with the same seed and workload must end
-    /// with the same digest; see `Sim::trace_hash`.
-    pub trace_hash: u64,
+    /// Commutative digest of the observable event trace (sends,
+    /// deliveries, fault actions): the sum of per-record FNV-1a hashes.
+    /// Summing makes the digest independent of how records interleave
+    /// across shards within one instant, while each record's own hash
+    /// still pins its exact field values. See `Sim::trace_hash`.
+    pub trace_digest: u64,
     pub stats: NetStats,
     pub sched: KernelStats,
-    pub counters: BTreeMap<String, u64>,
     pub panics: Vec<String>,
-    pub(crate) next_group: u64,
-    next_waitobj: u64,
     waitobjs: HashMap<u64, WaitObjState>,
     pub trace: bool,
     /// Fast-path toggle (see the module docs); `false` forces every
     /// handoff through the driver thread.
     pub fast: bool,
-    /// Whether a driver is currently inside `run_until`.
+    /// Whether a scheduler is currently inside `run_until`.
     in_run: bool,
-    /// Run limit for the current `run_until` (valid when `limited`).
+    /// Run limit for the current run or window (valid when `limited`).
     run_limit: u64,
     limited: bool,
-    /// Processes that finished and await a driver-side join.
+    /// Sharded-window mode: `next_step` must not bump `now` to the
+    /// window edge on Done — the coordinator owns end-of-run time.
+    window: bool,
+    /// Processes that finished and await a scheduler-side join.
     pub(crate) dead: Vec<Pid>,
 }
 
@@ -617,18 +763,41 @@ pub(crate) fn cur_pid() -> Option<Pid> {
     CUR_PID.with(|c| c.get())
 }
 
+/// The shard whose kernel serves this thread: a process's own shard, or
+/// shard 0 for the driver.
+#[inline]
+pub(crate) fn cur_shard() -> usize {
+    cur_pid().map(|p| (p >> SHARD_SHIFT) as usize).unwrap_or(0)
+}
+
 impl Kernel {
-    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool, fast: bool) -> Kernel {
+    pub fn new(
+        seed: u64,
+        net_cfg: NetConfig,
+        trace: bool,
+        fast: bool,
+        shard: usize,
+        nshards: usize,
+        policy: ShardPolicy,
+    ) -> Kernel {
         Kernel {
             now: 0,
             now_shared: Arc::new(AtomicU64::new(0)),
-            seq: 0,
+            shard,
+            nshards,
+            policy,
+            outboxes: Vec::new(),
+            inner: Weak::new(),
             events: BinaryHeap::new(),
             procs: BTreeMap::new(),
             next_pid: 1,
             runnable: VecDeque::new(),
             shutdown: false,
-            rng: SmallRng::seed_from_u64(seed),
+            master_seed: seed,
+            anon_rng: SmallRng::seed_from_u64(seed),
+            anon_seq: 0,
+            anon_next_group: 1,
+            anon_next_waitobj: 1,
             nodes: Vec::new(),
             endpoints: HashMap::default(),
             net_cfg,
@@ -636,39 +805,109 @@ impl Kernel {
             link_free: PairTable::new(),
             partitions: PairBits::new(),
             impairments: PairTable::new(),
-            trace_hash: FNV_OFFSET,
+            trace_digest: 0,
             stats: NetStats::default(),
             sched: KernelStats::default(),
-            counters: BTreeMap::new(),
             panics: Vec::new(),
-            next_group: 1,
-            next_waitobj: 1,
             waitobjs: HashMap::new(),
             trace,
             fast,
             in_run: false,
             run_limit: 0,
             limited: false,
+            window: false,
             dead: Vec::new(),
         }
     }
 
-    fn push_event(&mut self, at: u64, kind: EventKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Event { at, seq, kind });
+    #[inline]
+    pub(crate) fn shard_of(&self, node: NodeId) -> usize {
+        shard_index(self.policy, self.nshards, node.0)
+    }
+
+    /// Whether this kernel owns (schedules) `node`.
+    #[inline]
+    pub(crate) fn owns(&self, node: NodeId) -> bool {
+        self.shard_of(node) == self.shard
+    }
+
+    /// Next sequence number from `node`'s event stream (0 = anonymous).
+    fn next_sseq(&mut self, node: u32) -> u64 {
+        if node == 0 {
+            let s = self.anon_seq;
+            self.anon_seq += 1;
+            return s;
+        }
+        match self.nodes.get_mut(node as usize - 1) {
+            Some(n) => {
+                let s = n.seq;
+                n.seq += 1;
+                s
+            }
+            None => {
+                // Synthetic ids (used as plain data) never source events
+                // in practice; fall back to the anonymous stream.
+                let s = self.anon_seq;
+                self.anon_seq += 1;
+                s
+            }
+        }
+    }
+
+    /// A draw from `node`'s RNG stream (0 = anonymous).
+    pub(crate) fn rand_for_node(&mut self, node: u32) -> u64 {
+        if node == 0 {
+            return self.anon_rng.next_u64();
+        }
+        match self.nodes.get_mut(node as usize - 1) {
+            Some(n) => n.rng.next_u64(),
+            None => self.anon_rng.next_u64(),
+        }
+    }
+
+    fn roll_for(&mut self, node: NodeId) -> f64 {
+        (self.rand_for_node(node.0) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Routes an already-keyed event: own heap, or a peer shard's inbox.
+    fn route(&mut self, dest: usize, ev: Event) {
+        if dest == self.shard {
+            self.events.push(ev);
+        } else {
+            self.sched.xshard_msgs += 1;
+            self.outboxes[dest].lock().push(ev);
+        }
+    }
+
+    /// Pushes an event for this shard, keyed on `src`'s stream.
+    fn push_local(&mut self, at: u64, src: u32, kind: EventKind) {
+        let sseq = self.next_sseq(src);
+        self.events.push(Event {
+            at,
+            src,
+            sseq,
+            kind,
+        });
+    }
+
+    /// Virtual-time delay between a control action's issue and its
+    /// cluster-wide application: one default network latency (at least
+    /// 1µs), which also upper-bounds the conservative lookahead so the
+    /// broadcast can never land inside an open window.
+    pub(crate) fn control_delay(&self) -> u64 {
+        (self.net_cfg.default.latency.as_micros() as u64).max(1)
     }
 
     /// Folds a trace record into the run's event digest. The first word
     /// is a record tag, the rest are record fields.
     pub fn trace_note(&mut self, words: &[u64]) {
-        let mut h = self.trace_hash;
+        let mut h = FNV_OFFSET;
         for w in words {
             for b in w.to_le_bytes() {
                 h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
             }
         }
-        self.trace_hash = h;
+        self.trace_digest = self.trace_digest.wrapping_add(h);
     }
 
     /// The impairment installed for a node pair, looked up symmetrically.
@@ -678,16 +917,22 @@ impl Kernel {
             .or_else(|| self.impairments.get(b, a))
     }
 
-    fn roll(&mut self) -> f64 {
-        (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-
     pub fn add_node(&mut self, name: &str) -> NodeId {
         let id = NodeId(self.nodes.len() as u32 + 1);
+        // Derive the node's RNG from the master seed and its id so the
+        // stream is identical on every shard layout (and on the inert
+        // replicas, which never draw from it).
+        let h = (self.master_seed
+            ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(id.0 as u64 + 1))
+        .rotate_left(17);
         self.nodes.push(NodeState {
             name: name.to_string(),
             up: true,
             next_ephemeral: EPHEMERAL_BASE,
+            rng: SmallRng::seed_from_u64(h),
+            seq: 0,
+            next_group: 1,
+            next_waitobj: 1,
         });
         id
     }
@@ -712,12 +957,11 @@ impl Kernel {
 
     pub fn link_params(&self, from: NodeId, to: NodeId) -> LinkParams {
         if from == to {
-            self.net_cfg.local
-        } else if let Some(p) = self.link_overrides.get(from, to) {
-            p
-        } else {
-            self.net_cfg.default
+            return self.net_cfg.local;
         }
+        self.link_overrides
+            .get(from, to)
+            .unwrap_or(self.net_cfg.default)
     }
 
     /// Wakes a blocked process if its wait generation still matches.
@@ -754,6 +998,9 @@ impl Kernel {
             EventKind::Wake { pid, gen } => {
                 self.wake(pid, gen, WakeReason::Timeout);
             }
+            EventKind::Control(op) => {
+                self.apply_control(op);
+            }
             EventKind::Deliver { to, item } => {
                 let size = match &item {
                     Item::Msg(_, m) => m.len() as u64,
@@ -772,12 +1019,22 @@ impl Kernel {
                     if let Item::Msg(from, _) = item {
                         self.stats.bounces += 1;
                         let lat = self.link_params(to.node, from.node).latency;
-                        let at = self.now + lat.as_micros() as u64;
-                        self.push_event(
-                            at,
-                            EventKind::Deliver {
-                                to: from,
-                                item: Item::Unreach(to),
+                        let mut at = self.now + lat.as_micros() as u64;
+                        if to.node != from.node && at <= self.now {
+                            at = self.now + 1; // cross-node delay floor
+                        }
+                        let dest = self.shard_of(from.node);
+                        let sseq = self.next_sseq(to.node.0);
+                        self.route(
+                            dest,
+                            Event {
+                                at,
+                                src: to.node.0,
+                                sseq,
+                                kind: EventKind::Deliver {
+                                    to: from,
+                                    item: Item::Unreach(to),
+                                },
                             },
                         );
                     } else {
@@ -800,10 +1057,102 @@ impl Kernel {
         }
     }
 
+    /// Applies the replica share of a network control on this shard; the
+    /// shard owning the action's primary node also records the trace
+    /// note and does the heavy part (killing processes, closing ports).
+    fn apply_net(&mut self, c: NetCtl) {
+        match c {
+            NetCtl::Crash(n) => {
+                if self.owns(n) {
+                    self.crash_node(n);
+                } else if let Some(s) = self.node_mut(n) {
+                    s.up = false;
+                }
+            }
+            NetCtl::Restart(n) => {
+                if self.owns(n) {
+                    let now = self.now;
+                    self.trace_note(&[4, now, n.0 as u64]);
+                }
+                if let Some(s) = self.node_mut(n) {
+                    s.up = true;
+                }
+            }
+            NetCtl::SetLink(a, b, p) => {
+                self.link_overrides.insert(a, b, p);
+            }
+            NetCtl::SetPartition(a, b, on) => {
+                if self.owns(a) {
+                    let now = self.now;
+                    self.trace_note(&[if on { 5 } else { 6 }, now, a.0 as u64, b.0 as u64]);
+                }
+                if on {
+                    self.partitions.set(a, b, true);
+                } else {
+                    self.partitions.set(a, b, false);
+                    self.partitions.set(b, a, false);
+                }
+            }
+            NetCtl::SetImpairment(a, b, imp) => {
+                if self.owns(a) {
+                    let now = self.now;
+                    self.trace_note(&[
+                        7,
+                        now,
+                        a.0 as u64,
+                        b.0 as u64,
+                        (imp.loss * 1e6) as u64,
+                        (imp.dup * 1e6) as u64,
+                        (imp.reorder * 1e6) as u64,
+                        imp.extra_latency.as_micros() as u64,
+                    ]);
+                }
+                self.impairments.remove(b, a);
+                self.impairments.insert(a, b, imp);
+            }
+            NetCtl::ClearImpairment(a, b) => {
+                if self.owns(a) {
+                    let now = self.now;
+                    self.trace_note(&[8, now, a.0 as u64, b.0 as u64]);
+                }
+                self.impairments.remove(a, b);
+                self.impairments.remove(b, a);
+            }
+        }
+    }
+
+    fn apply_control(&mut self, op: ControlOp) {
+        match op {
+            ControlOp::Net(c) => self.apply_net(c),
+            ControlOp::Spawn {
+                node,
+                name,
+                group,
+                f,
+            } => {
+                if let Some(inner) = self.inner.upgrade() {
+                    self.spawn_local(&inner, node, &name, group, f);
+                }
+            }
+            ControlOp::KillGroup(g) => self.kill_group(g),
+            ControlOp::Notify { id, n } => self.waitobj_notify(id, n),
+            ControlOp::Bump(id) => self.waitobj_bump(id),
+            ControlOp::Note { node, detail } => {
+                if let Some(inner) = self.inner.upgrade() {
+                    let now = self.now;
+                    let j = inner
+                        .node_extensions(node)
+                        .get_or_init(|| crate::journal::Journal::new(node));
+                    j.record(SimTime::from_micros(now), "fault", detail);
+                }
+            }
+        }
+    }
+
     /// The scheduler state machine: picks the next process to run, or
     /// applies due events until one becomes runnable, or reports `Done`.
-    /// Shared verbatim by the driver loop and the in-process fast path so
-    /// both modes make identical decisions.
+    /// Shared verbatim by the driver loop, the shard workers and the
+    /// in-process fast path so every mode makes identical decisions.
     pub(crate) fn next_step(&mut self) -> Step {
         loop {
             while let Some(pid) = self.runnable.pop_front() {
@@ -831,7 +1180,7 @@ impl Kernel {
                     self.apply(ev.kind);
                 }
                 _ => {
-                    if self.limited && self.run_limit > self.now {
+                    if self.limited && !self.window && self.run_limit > self.now {
                         self.now = self.run_limit;
                         self.now_shared.store(self.now, Ordering::Release);
                     }
@@ -859,8 +1208,11 @@ impl Kernel {
             && self.dead.len() < 64
     }
 
-    /// Sends a message into the network model. Called with the kernel lock
-    /// held, from the sending process's thread.
+    /// Sends a message into the network model. Called with the kernel
+    /// lock held, from the sending process's thread (or the driver). All
+    /// randomness is drawn from the *sender node's* stream and the
+    /// delivery event is keyed on it, so the receiving shard sees the
+    /// same event whether or not it is the sending shard.
     pub fn net_send(&mut self, from: Addr, to: Addr, msg: Bytes) {
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += msg.len() as u64;
@@ -890,13 +1242,13 @@ impl Kernel {
             return;
         }
         let params = self.link_params(from.node, to.node);
-        if params.loss > 0.0 && self.roll() < params.loss {
+        if params.loss > 0.0 && self.roll_for(from.node) < params.loss {
             self.stats.msgs_dropped += 1;
             return;
         }
         let imp = self.impairment(from.node, to.node);
         if let Some(imp) = imp {
-            if imp.loss > 0.0 && self.roll() < imp.loss {
+            if imp.loss > 0.0 && self.roll_for(from.node) < imp.loss {
                 self.stats.msgs_dropped += 1;
                 return;
             }
@@ -923,32 +1275,53 @@ impl Kernel {
             start
         };
         let mut at = start + ser_us + params.latency.as_micros() as u64;
+        if from.node != to.node && at <= self.now {
+            // Cross-node deliveries always take ≥ 1µs: the conservative
+            // window protocol needs a nonzero delay floor, and keeping
+            // the clamp in every mode keeps 1-shard and N-shard
+            // timelines identical. (Serialization delay already clears
+            // the floor for bandwidth-limited zero-latency links.)
+            at = self.now + 1;
+        }
+        let dest = self.shard_of(to.node);
         if let Some(imp) = imp {
             at += imp.extra_latency.as_micros() as u64;
-            if imp.reorder > 0.0 && self.roll() < imp.reorder {
+            if imp.reorder > 0.0 && self.roll_for(from.node) < imp.reorder {
                 // Hold the message back far enough that later sends on
                 // the link can overtake it.
                 let span = 4 * params.latency.as_micros() as u64 + 1_000;
-                at += 1 + self.rng.next_u64() % span;
+                at += 1 + self.rand_for_node(from.node.0) % span;
                 self.stats.msgs_reordered += 1;
             }
-            if imp.dup > 0.0 && self.roll() < imp.dup {
-                let echo = at + 1 + self.rng.next_u64() % 1_000;
+            if imp.dup > 0.0 && self.roll_for(from.node) < imp.dup {
+                let echo = at + 1 + self.rand_for_node(from.node.0) % 1_000;
                 self.stats.msgs_duplicated += 1;
-                self.push_event(
-                    echo,
-                    EventKind::Deliver {
-                        to,
-                        item: Item::Msg(from, msg.clone()),
+                let sseq = self.next_sseq(from.node.0);
+                self.route(
+                    dest,
+                    Event {
+                        at: echo,
+                        src: from.node.0,
+                        sseq,
+                        kind: EventKind::Deliver {
+                            to,
+                            item: Item::Msg(from, msg.clone()),
+                        },
                     },
                 );
             }
         }
-        self.push_event(
-            at,
-            EventKind::Deliver {
-                to,
-                item: Item::Msg(from, msg),
+        let sseq = self.next_sseq(from.node.0);
+        self.route(
+            dest,
+            Event {
+                at,
+                src: from.node.0,
+                sseq,
+                kind: EventKind::Deliver {
+                    to,
+                    item: Item::Msg(from, msg),
+                },
             },
         );
     }
@@ -969,7 +1342,7 @@ impl Kernel {
         }
     }
 
-    /// Kills every live member of a process group.
+    /// Kills every live member of a process group (this shard's share).
     pub fn kill_group(&mut self, group: u64) {
         let pids: Vec<Pid> = self
             .procs
@@ -1030,7 +1403,9 @@ impl Kernel {
     }
 
     /// Kills all processes on `node` and closes the node's endpoints.
-    /// Returns whether the calling process itself was on the node.
+    /// Returns whether the calling process itself was on the node (it is
+    /// then marked killed but left running so it can unwind at its next
+    /// kernel interaction).
     pub fn crash_node(&mut self, node: NodeId) -> bool {
         self.trace_note(&[3, self.now, node.0 as u64]);
         if let Some(n) = self.node_mut(node) {
@@ -1068,9 +1443,24 @@ impl Kernel {
         self_on_node
     }
 
-    pub fn waitobj_create(&mut self) -> u64 {
-        let id = self.next_waitobj;
-        self.next_waitobj += 1;
+    /// Allocates a wait object homed on `home` (a raw node id; 0 =
+    /// anonymous, shard 0). The id embeds the home node so any caller
+    /// can derive the owning shard from the id alone.
+    pub fn waitobj_create(&mut self, home: u32) -> u64 {
+        let ctr = if home == 0 {
+            let c = self.anon_next_waitobj;
+            self.anon_next_waitobj += 1;
+            c
+        } else {
+            let n = self
+                .nodes
+                .get_mut(home as usize - 1)
+                .expect("wait object homed on unknown node");
+            let c = n.next_waitobj;
+            n.next_waitobj += 1;
+            c
+        };
+        let id = ((home as u64) << 32) | (ctr & 0xFFFF_FFFF);
         self.waitobjs.insert(
             id,
             WaitObjState {
@@ -1079,6 +1469,30 @@ impl Kernel {
             },
         );
         id
+    }
+
+    /// Allocates a process-group id from `key`'s stream (0 = anonymous).
+    /// The id embeds the allocating node so values are shard-invariant.
+    pub fn alloc_group(&mut self, key: u32) -> u64 {
+        let ctr = if key == 0 {
+            let c = self.anon_next_group;
+            self.anon_next_group += 1;
+            c
+        } else {
+            match self.nodes.get_mut(key as usize - 1) {
+                Some(n) => {
+                    let c = n.next_group;
+                    n.next_group += 1;
+                    c
+                }
+                None => {
+                    let c = self.anon_next_group;
+                    self.anon_next_group += 1;
+                    c
+                }
+            }
+        };
+        ((key as u64) << 32) | (ctr & 0xFFFF_FFFF)
     }
 
     /// Increments a wait object's generation and wakes all its waiters.
@@ -1117,37 +1531,219 @@ impl Kernel {
             w.waiters.extend(newly);
         }
     }
+
+    /// Inserts a new process into this shard: allocates a shard-tagged
+    /// pid, spawns the backing thread, and makes it runnable. Group
+    /// inheritance is resolved by the *caller* before routing (the
+    /// spawner may live on another shard).
+    pub(crate) fn spawn_local(
+        &mut self,
+        inner: &Arc<SimInner>,
+        node: Option<NodeId>,
+        name: &str,
+        group: Option<u64>,
+        f: Box<dyn FnOnce() + Send>,
+    ) {
+        if self.shutdown {
+            return;
+        }
+        if let Some(n) = node {
+            debug_assert!(self.owns(n), "spawn routed to wrong shard");
+            let up = self.node(n).map(|s| s.up).unwrap_or(false);
+            if !up {
+                if self.trace {
+                    eprintln!(
+                        "[{}] spawn of '{}' dropped: {} is down",
+                        SimTime::from_micros(self.now),
+                        name,
+                        n
+                    );
+                }
+                return;
+            }
+        }
+        let pid = ((self.shard as u64) << SHARD_SHIFT) | self.next_pid;
+        self.next_pid += 1;
+        let baton = Arc::new(Baton::new());
+        let inner2 = Arc::clone(inner);
+        let baton2 = Arc::clone(&baton);
+        let tname = name.to_string();
+        let join = std::thread::Builder::new()
+            .name(format!("sim-{tname}"))
+            .stack_size(512 * 1024)
+            .spawn(move || proc_main(inner2, pid, baton2, f))
+            .expect("failed to spawn simulation thread");
+        self.procs.insert(
+            pid,
+            Proc {
+                name: name.to_string(),
+                node,
+                group,
+                baton,
+                state: PState::Runnable,
+                wait_gen: 0,
+                killed: false,
+                wake_reason: WakeReason::None,
+                join: Some(join),
+                endpoints: Vec::new(),
+            },
+        );
+        self.runnable.push_back(pid);
+    }
 }
 
-/// Shared kernel wrapper: the single lock plus the scheduler entry points.
-pub(crate) struct SimInner {
+/// One shard's scheduling surface: its kernel, its token-return gate,
+/// the coordinator handshake batons, and its cross-shard inbox.
+pub(crate) struct ShardSlot {
     pub kernel: Mutex<Kernel>,
-    /// See [`Kernel::now_shared`]; lets `now()` skip the kernel lock.
     now_cache: Arc<AtomicU64>,
-    /// Woken when a process returns the active token to the driver
-    /// (quiescence, shutdown, panic, or fast path disabled).
+    /// Woken when a process returns the active token to this shard's
+    /// scheduler (quiescence, shutdown, panic, or fast path disabled).
     gate: Baton,
+    /// Coordinator → worker: run one window (or exit if `stop` is set).
+    go: Baton,
+    /// Worker → coordinator: window complete.
+    done: Baton,
+    /// Events emitted by other shards, merged into the heap between
+    /// windows. A plain Vec under a leaf lock: the heap's
+    /// `(at, src, sseq)` order makes the merge deterministic regardless
+    /// of push interleaving.
+    inbox: Arc<Mutex<Vec<Event>>>,
+}
+
+/// Shared simulation state: the shard set plus everything that is global
+/// across shards (extensions, counters, the conservative lookahead).
+pub(crate) struct SimInner {
+    shards: Vec<ShardSlot>,
+    nshards: usize,
+    policy: ShardPolicy,
+    /// Conservative lookahead in µs: the minimum cross-node link latency
+    /// seen so far. Only ever decreases (`set_link` narrows it at issue
+    /// time — shrinking a window early is always safe).
+    lookahead_us: AtomicU64,
+    /// Horizon windows executed by sharded runs.
+    windows: AtomicU64,
+    /// Named counters (`Sim::counter_add`); global across shards, sums
+    /// only, so cross-shard add order cannot be observed.
+    counters: Mutex<BTreeMap<String, u64>>,
     /// Per-node extension maps (see [`crate::rt::Extensions`]). Outside
-    /// the kernel lock: extensions are touched from running processes and
-    /// must not contend with the scheduler.
+    /// the kernel locks: extensions are touched from running processes
+    /// and must not contend with the schedulers.
     ext: Mutex<BTreeMap<NodeId, Arc<crate::rt::Extensions>>>,
+    /// Shard worker threads (shards 1..n; shard 0 is driven inline by
+    /// the coordinator).
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Tells parked workers to exit at the next `go` grant.
+    stop: AtomicBool,
 }
 
 impl SimInner {
-    pub fn new(seed: u64, net_cfg: NetConfig, trace: bool, fast: bool) -> Arc<SimInner> {
-        let kernel = Kernel::new(seed, net_cfg, trace, fast);
-        let now_cache = Arc::clone(&kernel.now_shared);
-        Arc::new(SimInner {
-            kernel: Mutex::new(kernel),
-            now_cache,
-            gate: Baton::new(),
+    pub fn new(
+        seed: u64,
+        net_cfg: NetConfig,
+        trace: bool,
+        fast: bool,
+        nshards: usize,
+        policy: ShardPolicy,
+    ) -> Arc<SimInner> {
+        let nshards = nshards.max(1);
+        let inboxes: Vec<Arc<Mutex<Vec<Event>>>> =
+            (0..nshards).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let mut shards = Vec::with_capacity(nshards);
+        for ix in 0..nshards {
+            let mut kernel = Kernel::new(seed, net_cfg.clone(), trace, fast, ix, nshards, policy);
+            kernel.outboxes = inboxes.clone();
+            let now_cache = Arc::clone(&kernel.now_shared);
+            shards.push(ShardSlot {
+                kernel: Mutex::new(kernel),
+                now_cache,
+                gate: Baton::new(),
+                go: Baton::new(),
+                done: Baton::new(),
+                inbox: Arc::clone(&inboxes[ix]),
+            });
+        }
+        let lookahead = (net_cfg.default.latency.as_micros() as u64).max(1);
+        let inner = Arc::new(SimInner {
+            shards,
+            nshards,
+            policy,
+            lookahead_us: AtomicU64::new(lookahead),
+            windows: AtomicU64::new(0),
+            counters: Mutex::new(BTreeMap::new()),
             ext: Mutex::new(BTreeMap::new()),
-        })
+            workers: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        });
+        for s in &inner.shards {
+            s.kernel.lock().inner = Arc::downgrade(&inner);
+        }
+        if nshards > 1 {
+            let mut ws = inner.workers.lock();
+            for ix in 1..nshards {
+                let me = Arc::clone(&inner);
+                ws.push(
+                    std::thread::Builder::new()
+                        .name(format!("sim-shard-{ix}"))
+                        .spawn(move || worker_main(me, ix))
+                        .expect("failed to spawn shard worker"),
+                );
+            }
+        }
+        inner
+    }
+
+    #[inline]
+    pub(crate) fn shards(&self) -> usize {
+        self.nshards
+    }
+
+    /// The shard owning a raw node id.
+    #[inline]
+    pub(crate) fn shard_ix(&self, node: u32) -> usize {
+        shard_index(self.policy, self.nshards, node)
+    }
+
+    /// The kernel owning `node` — lock this to touch the node's state.
+    #[inline]
+    pub(crate) fn kernel_for(&self, node: NodeId) -> &Mutex<Kernel> {
+        &self.shards[self.shard_ix(node.0)].kernel
+    }
+
+    /// The kernel serving the calling thread (a process's own shard, or
+    /// shard 0 for the driver).
+    #[inline]
+    pub(crate) fn kernel_here(&self) -> &Mutex<Kernel> {
+        &self.shards[cur_shard()].kernel
     }
 
     /// The extension map for `node`, shared by every handle to it.
     pub fn node_extensions(&self, node: NodeId) -> Arc<crate::rt::Extensions> {
         Arc::clone(self.ext.lock().entry(node).or_default())
+    }
+
+    /// Registers a node on every shard (replicated tables); returns the
+    /// id, which is identical on all of them.
+    pub fn add_node(&self, name: &str) -> NodeId {
+        let mut id = None;
+        for s in &self.shards {
+            let got = s.kernel.lock().add_node(name);
+            debug_assert!(id.is_none() || id == Some(got));
+            id = Some(got);
+        }
+        id.expect("at least one shard")
+    }
+
+    pub fn counter_add(&self, name: &str, v: u64) {
+        *self.counters.lock().entry(name.to_string()).or_insert(0) += v;
+    }
+
+    pub fn counter_get(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    pub fn counters_snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().clone()
     }
 
     // ---- process-side primitives -------------------------------------
@@ -1172,13 +1768,14 @@ impl SimInner {
         F: FnOnce(&mut Kernel, Pid, u64),
     {
         let pid = cur_pid().expect("blocking call outside a simulated process");
+        let slot = &self.shards[(pid >> SHARD_SHIFT) as usize];
         let baton;
         let spin;
-        // Some(baton): grant a peer directly. None: wake the driver.
+        // Some(baton): grant a peer directly. None: wake the scheduler.
         let mut handoff: Option<Arc<Baton>> = None;
         let mut park = true;
         {
-            let mut k = self.kernel.lock();
+            let mut k = slot.kernel.lock();
             if k.shutdown {
                 drop(k);
                 Self::kill_unwind();
@@ -1193,12 +1790,13 @@ impl SimInner {
             p.state = PState::Blocked;
             p.wake_reason = WakeReason::None;
             baton = Arc::clone(&p.baton);
+            let src = p.node.map(|n| n.0).unwrap_or(0);
             // Fast mode: the wake usually comes from a peer's direct
             // handoff moments later, so spin briefly before parking. The
             // baseline keeps the classic park-immediately behaviour.
             spin = if k.fast { spin_budget() } else { 0 };
             if let Some(at) = wake_at {
-                k.push_event(at, EventKind::Wake { pid, gen });
+                k.push_local(at, src, EventKind::Wake { pid, gen });
             }
             prepare(&mut k, pid, gen);
             if k.can_inline() {
@@ -1218,12 +1816,12 @@ impl SimInner {
         if park {
             match handoff {
                 Some(b) => b.grant(),
-                None => self.gate.grant(),
+                None => slot.gate.grant(),
             }
             baton.wait_spin(spin);
         }
         let reason = {
-            let k = self.kernel.lock();
+            let k = slot.kernel.lock();
             let p = k.procs.get(&pid).expect("current process missing");
             if k.shutdown || p.killed {
                 WakeReason::Killed
@@ -1240,27 +1838,70 @@ impl SimInner {
     /// Sleeps the current process for `d` of virtual time.
     pub fn sleep(&self, d: Duration) {
         let at = {
-            let k = self.kernel.lock();
+            let k = self.kernel_here().lock();
             k.now + d.as_micros() as u64
         };
         self.block_current(Some(at), |_, _, _| {});
     }
 
-    /// Current virtual time. Reads the lock-free mirror: time advances
-    /// only in the driver's step loop while all processes are parked,
-    /// so this is always exact for the caller.
+    /// Current virtual time. Reads the calling shard's lock-free mirror:
+    /// a shard's time advances only in its step loop while its processes
+    /// are parked, so this is always exact for the caller. (The driver
+    /// reads shard 0; between runs the coordinator levels all shards to
+    /// a common time.)
     pub fn now(&self) -> SimTime {
-        SimTime::from_micros(self.now_cache.load(Ordering::Acquire))
+        SimTime::from_micros(self.shards[cur_shard()].now_cache.load(Ordering::Acquire))
     }
 
-    pub fn rand_u64(&self) -> u64 {
-        self.kernel.lock().rng.next_u64()
+    /// A draw from `node`'s deterministic RNG stream.
+    /// Raw id of the calling process's node (0 for the driver and for
+    /// free-floating controllers) — the key for caller-stream resource
+    /// allocation such as [`SimChan`](crate::sim::SimChan) wait objects.
+    pub(crate) fn cur_node_key(&self) -> u32 {
+        match cur_pid() {
+            None => 0,
+            Some(pid) => {
+                let k = self.shards[(pid >> SHARD_SHIFT) as usize].kernel.lock();
+                k.procs
+                    .get(&pid)
+                    .and_then(|p| p.node)
+                    .map(|n| n.0)
+                    .unwrap_or(0)
+            }
+        }
     }
 
-    /// Waits on a wait object. Returns true if notified, false on timeout.
+    pub fn rand_for(&self, node: NodeId) -> u64 {
+        self.kernel_for(node).lock().rand_for_node(node.0)
+    }
+
+    /// Creates a wait object homed on `home` (0 = anonymous / shard 0).
+    pub fn waitobj_create(&self, home: u32) -> u64 {
+        self.shards[self.shard_ix(home)].kernel.lock().waitobj_create(home)
+    }
+
+    /// The shard owning wait object `id` (encoded in its high bits).
+    #[inline]
+    fn waitobj_shard(&self, id: u64) -> usize {
+        self.shard_ix((id >> 32) as u32)
+    }
+
+    /// Waits on a wait object. Returns true if notified, false on
+    /// timeout. The waiter must be co-sharded with the object's home
+    /// node: a cross-shard blocking wait would need two kernels locked
+    /// at once, which the windowed protocol forbids.
     pub fn waitobj_wait(&self, id: u64, timeout: Option<Duration>) -> bool {
+        let home = self.waitobj_shard(id);
+        if self.nshards > 1 && cur_shard() != home {
+            panic!(
+                "cross-shard blocking wait: wait object {id:#x} lives on shard {home} \
+                 but the waiter runs on shard {}; home the object on the waiting \
+                 node (SimNode::make_sync) or run with shards = 1",
+                cur_shard()
+            );
+        }
         let wake_at = timeout.map(|t| {
-            let k = self.kernel.lock();
+            let k = self.shards[home].kernel.lock();
             k.now + t.as_micros() as u64
         });
         let reason = self.block_current(wake_at, |k, pid, gen| {
@@ -1271,17 +1912,22 @@ impl SimInner {
         reason == WakeReason::Notified
     }
 
-    pub fn waitobj_create(&self) -> u64 {
-        self.kernel.lock().waitobj_create()
-    }
-
     /// Blocks until the wait object's generation exceeds `seen` (or the
     /// timeout elapses); returns the generation observed on wake.
     pub fn waitobj_wait_newer(&self, id: u64, seen: u64, timeout: Option<Duration>) -> u64 {
+        let home = self.waitobj_shard(id);
+        if self.nshards > 1 && cur_pid().is_some() && cur_shard() != home {
+            panic!(
+                "cross-shard blocking wait: wait object {id:#x} lives on shard {home} \
+                 but the waiter runs on shard {}; home the object on the waiting \
+                 node (SimNode::make_sync) or run with shards = 1",
+                cur_shard()
+            );
+        }
         loop {
             let wake_at;
             {
-                let k = self.kernel.lock();
+                let k = self.shards[home].kernel.lock();
                 let gen = k.waitobjs.get(&id).map(|w| w.generation).unwrap_or(0);
                 if gen > seen {
                     return gen;
@@ -1293,7 +1939,7 @@ impl SimInner {
                     w.waiters.push_back((pid, gen));
                 }
             });
-            let k = self.kernel.lock();
+            let k = self.shards[home].kernel.lock();
             let gen = k.waitobjs.get(&id).map(|w| w.generation).unwrap_or(0);
             if gen > seen || reason == WakeReason::Timeout {
                 return gen;
@@ -1301,12 +1947,53 @@ impl SimInner {
         }
     }
 
+    /// Bumps a wait object's generation. Same-node (or driver) callers
+    /// apply immediately; a process on another node defers it by one
+    /// fault-propagation delay as a control event, so the timing is the
+    /// same under any shard count.
     pub fn waitobj_bump(&self, id: u64) {
-        self.kernel.lock().waitobj_bump(id);
+        self.waitobj_ctl(id, ControlOp::Bump(id));
     }
 
+    /// Wakes up to `n` waiters of a wait object (see `waitobj_bump` for
+    /// the cross-node timing rule).
     pub fn waitobj_notify(&self, id: u64, n: usize) {
-        self.kernel.lock().waitobj_notify(id, n);
+        self.waitobj_ctl(id, ControlOp::Notify { id, n });
+    }
+
+    fn waitobj_ctl(&self, id: u64, op: ControlOp) {
+        let home_node = (id >> 32) as u32;
+        let home = self.shard_ix(home_node);
+        match cur_pid() {
+            None => {
+                self.shards[home].kernel.lock().apply_control(op);
+            }
+            Some(pid) => {
+                let sh = (pid >> SHARD_SHIFT) as usize;
+                let mut k = self.shards[sh].kernel.lock();
+                let my_node = k.procs.get(&pid).and_then(|p| p.node).map(|n| n.0).unwrap_or(0);
+                if my_node == home_node {
+                    k.apply_control(op);
+                } else {
+                    let te = k.now + k.control_delay();
+                    let sseq = k.next_sseq(my_node);
+                    k.route(
+                        home,
+                        Event {
+                            at: te,
+                            src: my_node,
+                            sseq,
+                            kind: EventKind::Control(op),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    pub fn waitobj_generation(&self, id: u64) -> u64 {
+        let home = self.waitobj_shard(id);
+        self.shards[home].kernel.lock().waitobj_generation(id)
     }
 
     /// Receives from an endpoint with an optional timeout. An item
@@ -1318,11 +2005,21 @@ impl SimInner {
         timeout: Option<Duration>,
     ) -> Result<(Addr, Bytes), crate::rt::RecvError> {
         use crate::rt::RecvError;
+        let home = self.shard_ix(key.node.0);
+        let pid = cur_pid().expect("recv outside a simulated process");
+        if self.nshards > 1 && (pid >> SHARD_SHIFT) as usize != home {
+            panic!(
+                "cross-shard receive: endpoint {key} lives on shard {home} but the \
+                 receiver runs on shard {}; receive from a process on the \
+                 endpoint's own node",
+                (pid >> SHARD_SHIFT) as usize
+            );
+        }
+        let slot = &self.shards[home];
         loop {
             let wake_at;
             {
-                let mut k = self.kernel.lock();
-                let pid = cur_pid().expect("recv outside a simulated process");
+                let mut k = slot.kernel.lock();
                 if k.shutdown || k.procs.get(&pid).map(|p| p.killed).unwrap_or(true) {
                     drop(k);
                     Self::kill_unwind();
@@ -1351,8 +2048,7 @@ impl SimInner {
             });
             // Re-check the queue under the lock; clean our stale waiter
             // entry if we woke for a timeout.
-            let mut k = self.kernel.lock();
-            let pid = cur_pid().expect("recv outside a simulated process");
+            let mut k = slot.kernel.lock();
             match k.endpoints.get_mut(&key) {
                 None => return Err(RecvError::Closed),
                 Some(ep) => {
@@ -1387,7 +2083,11 @@ impl SimInner {
     }
 
     /// Spawns a process into an explicit group (`Some`) or inheriting the
-    /// current process's group (`None`).
+    /// current process's group (`None`). Same-node spawns (and any spawn
+    /// from the driver) start immediately; a process spawning onto
+    /// *another* node defers by one fault-propagation delay, carried as
+    /// a control event to the target's shard — the same virtual timing
+    /// under every shard count.
     pub fn spawn_in(
         self: &Arc<Self>,
         node: Option<NodeId>,
@@ -1395,53 +2095,235 @@ impl SimInner {
         group: Option<u64>,
         f: Box<dyn FnOnce() + Send>,
     ) {
-        let mut k = self.kernel.lock();
-        if k.shutdown {
-            return;
-        }
-        if let Some(n) = node {
-            let up = k.node(n).map(|s| s.up).unwrap_or(false);
-            if !up {
-                if k.trace {
-                    eprintln!(
-                        "[{}] spawn of '{}' dropped: {} is down",
-                        SimTime::from_micros(k.now),
-                        name,
-                        n
+        let target = node.map(|n| n.0).unwrap_or(0);
+        let ts = self.shard_ix(target);
+        match cur_pid() {
+            None => {
+                self.shards[ts]
+                    .kernel
+                    .lock()
+                    .spawn_local(self, node, name, group, f);
+            }
+            Some(pid) => {
+                let sh = (pid >> SHARD_SHIFT) as usize;
+                let mut k = self.shards[sh].kernel.lock();
+                let me = k.procs.get(&pid);
+                let group = group.or_else(|| me.and_then(|p| p.group));
+                let my_node = me.and_then(|p| p.node).map(|n| n.0).unwrap_or(0);
+                if my_node == target {
+                    k.spawn_local(self, node, name, group, f);
+                } else {
+                    let te = k.now + k.control_delay();
+                    let sseq = k.next_sseq(my_node);
+                    k.route(
+                        ts,
+                        Event {
+                            at: te,
+                            src: my_node,
+                            sseq,
+                            kind: EventKind::Control(ControlOp::Spawn {
+                                node,
+                                name: name.to_string(),
+                                group,
+                                f,
+                            }),
+                        },
                     );
                 }
-                return;
             }
         }
-        let group =
-            group.or_else(|| cur_pid().and_then(|me| k.procs.get(&me).and_then(|p| p.group)));
-        let pid = k.next_pid;
-        k.next_pid += 1;
-        let baton = Arc::new(Baton::new());
-        let inner = Arc::clone(self);
-        let baton2 = Arc::clone(&baton);
-        let tname = name.to_string();
-        let join = std::thread::Builder::new()
-            .name(format!("sim-{tname}"))
-            .stack_size(512 * 1024)
-            .spawn(move || proc_main(inner, pid, baton2, f))
-            .expect("failed to spawn simulation thread");
-        k.procs.insert(
-            pid,
-            Proc {
-                name: name.to_string(),
-                node,
-                group,
-                baton,
-                state: PState::Runnable,
-                wait_gen: 0,
-                killed: false,
-                wake_reason: WakeReason::None,
-                join: Some(join),
-                endpoints: Vec::new(),
-            },
-        );
-        k.runnable.push_back(pid);
+    }
+
+    /// Allocates a process-group id from the caller's node stream.
+    pub fn alloc_group(&self) -> u64 {
+        match cur_pid() {
+            None => self.shards[0].kernel.lock().alloc_group(0),
+            Some(pid) => {
+                let sh = (pid >> SHARD_SHIFT) as usize;
+                let mut k = self.shards[sh].kernel.lock();
+                let my_node = k.procs.get(&pid).and_then(|p| p.node).map(|n| n.0).unwrap_or(0);
+                k.alloc_group(my_node)
+            }
+        }
+    }
+
+    /// Kills every member of a group living on `home`'s shard. Same-node
+    /// and driver callers apply immediately; a cross-node process defers
+    /// by one fault-propagation delay (control event).
+    pub fn kill_group(&self, group: u64, home: NodeId) {
+        let hs = self.shard_ix(home.0);
+        match cur_pid() {
+            None => self.shards[hs].kernel.lock().kill_group(group),
+            Some(pid) => {
+                let sh = (pid >> SHARD_SHIFT) as usize;
+                let mut k = self.shards[sh].kernel.lock();
+                let my_node = k.procs.get(&pid).and_then(|p| p.node).map(|n| n.0).unwrap_or(0);
+                if self.shard_ix(my_node) == hs && my_node == home.0 {
+                    k.kill_group(group);
+                } else {
+                    let te = k.now + k.control_delay();
+                    let sseq = k.next_sseq(my_node);
+                    k.route(
+                        hs,
+                        Event {
+                            at: te,
+                            src: my_node,
+                            sseq,
+                            kind: EventKind::Control(ControlOp::KillGroup(group)),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Whether any member of a group on `home`'s shard is alive. From a
+    /// foreign-shard process this is a racy read (monitoring only).
+    pub fn group_alive(&self, group: u64, home: NodeId) -> bool {
+        self.shards[self.shard_ix(home.0)]
+            .kernel
+            .lock()
+            .group_alive(group)
+    }
+
+    // ---- fault injection ---------------------------------------------
+
+    /// Applies a cluster-wide network control. From the driver it takes
+    /// effect immediately on every shard (everything is parked); from a
+    /// process it is broadcast as a control event that every shard
+    /// applies one fault-propagation delay later — including the
+    /// issuer's own shard, so 1-shard and N-shard timelines agree.
+    pub(crate) fn net_control(&self, ctl: NetCtl) {
+        if let NetCtl::SetLink(a, b, p) = ctl {
+            if a != b {
+                let us = (p.latency.as_micros() as u64).max(1);
+                // Narrow the lookahead at issue time: the new link can
+                // only constrain windows that open after this point.
+                self.lookahead_us.fetch_min(us, Ordering::AcqRel);
+            }
+        }
+        match cur_pid() {
+            None => {
+                for s in &self.shards {
+                    s.kernel.lock().apply_net(ctl);
+                }
+            }
+            Some(pid) => {
+                let sh = (pid >> SHARD_SHIFT) as usize;
+                let mut k = self.shards[sh].kernel.lock();
+                let my_node = k.procs.get(&pid).and_then(|p| p.node).map(|n| n.0).unwrap_or(0);
+                let te = k.now + k.control_delay();
+                let sseq = k.next_sseq(my_node);
+                for dest in 0..self.nshards {
+                    k.route(
+                        dest,
+                        Event {
+                            at: te,
+                            src: my_node,
+                            sseq,
+                            kind: EventKind::Control(ControlOp::Net(ctl)),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Records a fault-injection note in `node`'s journal. Driver
+    /// context records immediately; a process routes it as a control
+    /// event to the node's shard so the record lands at the same
+    /// virtual instant as the fault it describes, under any shard
+    /// count. Notes are issued before their fault's control, so the
+    /// per-issuer sequence keeps them ordered first in the journal.
+    pub fn journal_fault(&self, node: NodeId, detail: String) {
+        match cur_pid() {
+            None => {
+                let now = self.now();
+                let j = self
+                    .node_extensions(node)
+                    .get_or_init(|| crate::journal::Journal::new(node));
+                j.record(now, "fault", detail);
+            }
+            Some(pid) => {
+                let sh = (pid >> SHARD_SHIFT) as usize;
+                let hs = self.shard_ix(node.0);
+                let mut k = self.shards[sh].kernel.lock();
+                let my_node = k.procs.get(&pid).and_then(|p| p.node).map(|n| n.0).unwrap_or(0);
+                let te = k.now + k.control_delay();
+                let sseq = k.next_sseq(my_node);
+                k.route(
+                    hs,
+                    Event {
+                        at: te,
+                        src: my_node,
+                        sseq,
+                        kind: EventKind::Control(ControlOp::Note { node, detail }),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Whether `node` is up, read from its owning shard.
+    pub fn node_up(&self, node: NodeId) -> bool {
+        self.kernel_for(node)
+            .lock()
+            .node(node)
+            .map(|n| n.up)
+            .unwrap_or(false)
+    }
+
+    // ---- aggregate views ---------------------------------------------
+
+    pub fn trace_hash(&self) -> u64 {
+        self.shards
+            .iter()
+            .fold(FNV_OFFSET, |h, s| h.wrapping_add(s.kernel.lock().trace_digest))
+    }
+
+    pub fn net_stats(&self) -> NetStats {
+        let mut t = NetStats::default();
+        for s in &self.shards {
+            let k = s.kernel.lock();
+            t.msgs_sent += k.stats.msgs_sent;
+            t.bytes_sent += k.stats.bytes_sent;
+            t.msgs_delivered += k.stats.msgs_delivered;
+            t.msgs_dropped += k.stats.msgs_dropped;
+            t.bounces += k.stats.bounces;
+            t.msgs_duplicated += k.stats.msgs_duplicated;
+            t.msgs_reordered += k.stats.msgs_reordered;
+        }
+        t
+    }
+
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut t = KernelStats::default();
+        for s in &self.shards {
+            let k = s.kernel.lock();
+            t.events += k.sched.events;
+            t.driver_resumes += k.sched.driver_resumes;
+            t.direct_handoffs += k.sched.direct_handoffs;
+            t.self_continues += k.sched.self_continues;
+            t.xshard_msgs += k.sched.xshard_msgs;
+            t.lookahead_stalls += k.sched.lookahead_stalls;
+            t.idle_parks += k.sched.idle_parks;
+        }
+        t.horizon_syncs = self.windows.load(Ordering::Relaxed);
+        t
+    }
+
+    pub fn live_processes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.kernel
+                    .lock()
+                    .procs
+                    .values()
+                    .filter(|p| p.state != PState::Dead)
+                    .count()
+            })
+            .sum()
     }
 
     // ---- scheduler ----------------------------------------------------
@@ -1453,15 +2335,26 @@ impl SimInner {
     ///
     /// Re-raises the first panic observed in any simulated process.
     pub fn run_until(&self, limit: Option<u64>) {
+        if self.nshards == 1 {
+            self.run_classic(limit);
+        } else {
+            self.run_windowed(limit);
+        }
+    }
+
+    /// The classic single-shard loop, byte-for-byte the pre-sharding
+    /// scheduler: one token, the driver thread granting it.
+    fn run_classic(&self, limit: Option<u64>) {
+        let slot = &self.shards[0];
         {
-            let mut k = self.kernel.lock();
+            let mut k = slot.kernel.lock();
             k.in_run = true;
             k.limited = limit.is_some();
             k.run_limit = limit.unwrap_or(0);
         }
         loop {
             let step = {
-                let mut k = self.kernel.lock();
+                let mut k = slot.kernel.lock();
                 let step = k.next_step();
                 if let Step::Run(..) = step {
                     k.sched.driver_resumes += 1;
@@ -1473,23 +2366,140 @@ impl SimInner {
                     baton.grant();
                     // On the fast path processes hand the token between
                     // themselves; the gate fires once control is ours.
-                    self.gate.wait();
-                    self.sweep_dead();
+                    slot.gate.wait();
+                    self.sweep_dead(0);
                     self.check_panics();
                 }
                 Step::Done => break,
             }
         }
-        self.kernel.lock().in_run = false;
+        slot.kernel.lock().in_run = false;
         self.check_panics();
     }
 
-    /// Joins and removes processes that finished since the driver last
-    /// held the token. Exits are deferred: an exiting thread hands its
-    /// token straight to the next process, so the driver sweeps later.
-    fn sweep_dead(&self) {
+    /// The sharded loop: conservative windows between synchronization
+    /// horizons. Each iteration merges cross-shard inboxes, finds the
+    /// earliest pending activity `A` over all shards, opens the window
+    /// `[A, A + lookahead)`, and lets every shard run it in parallel
+    /// (shard 0 inline on this thread, the rest on their workers).
+    fn run_windowed(&self, limit: Option<u64>) {
+        for s in &self.shards {
+            let mut k = s.kernel.lock();
+            k.in_run = true;
+            k.limited = true;
+            k.window = true;
+        }
+        loop {
+            // Merge inboxes and find the activity floor. A shard with a
+            // runnable process counts at its local clock: driver-spawned
+            // processes haven't produced an event yet but will run at
+            // their shard's `now`.
+            let mut active: Option<u64> = None;
+            for s in &self.shards {
+                let mut k = s.kernel.lock();
+                {
+                    let mut inbox = s.inbox.lock();
+                    for ev in inbox.drain(..) {
+                        k.events.push(ev);
+                    }
+                }
+                let heap_front = k.events.peek().map(|e| e.at);
+                let run_floor = if k.runnable.is_empty() { None } else { Some(k.now) };
+                for c in [heap_front, run_floor].into_iter().flatten() {
+                    active = Some(active.map_or(c, |a| a.min(c)));
+                }
+            }
+            let Some(base) = active else { break };
+            if let Some(lim) = limit {
+                if base > lim {
+                    break;
+                }
+            }
+            let lw = self.lookahead_us.load(Ordering::Acquire).max(1);
+            let mut horizon = base.saturating_add(lw); // exclusive
+            if let Some(lim) = limit {
+                horizon = horizon.min(lim.saturating_add(1));
+            }
+            for s in &self.shards {
+                s.kernel.lock().run_limit = horizon - 1; // inclusive
+            }
+            self.windows.fetch_add(1, Ordering::Relaxed);
+            for s in &self.shards[1..] {
+                s.go.grant();
+            }
+            self.run_window(0);
+            for s in &self.shards[1..] {
+                s.done.wait();
+            }
+            self.check_panics();
+        }
+        // Level every shard to a common end time so post-run reads and
+        // spawns are shard-invariant (matches the classic Done bump).
+        let end = match limit {
+            Some(l) => l,
+            None => self
+                .shards
+                .iter()
+                .map(|s| s.kernel.lock().now)
+                .max()
+                .unwrap_or(0),
+        };
+        for s in &self.shards {
+            let mut k = s.kernel.lock();
+            if end > k.now {
+                k.now = end;
+                k.now_shared.store(end, Ordering::Release);
+            }
+            k.in_run = false;
+            k.window = false;
+        }
+        self.check_panics();
+    }
+
+    /// Runs one shard's share of the current window to completion. Runs
+    /// on the coordinator thread for shard 0 and on the shard's worker
+    /// otherwise — the same loop as `run_classic`, bounded by the
+    /// window's `run_limit`.
+    fn run_window(&self, ix: usize) {
+        let slot = &self.shards[ix];
+        let mut progressed = false;
+        loop {
+            let step = {
+                let mut k = slot.kernel.lock();
+                if !k.panics.is_empty() {
+                    break;
+                }
+                let before = k.sched.events;
+                let step = k.next_step();
+                if k.sched.events != before {
+                    progressed = true;
+                }
+                if let Step::Run(..) = step {
+                    k.sched.driver_resumes += 1;
+                    progressed = true;
+                }
+                step
+            };
+            match step {
+                Step::Run(_pid, baton) => {
+                    baton.grant();
+                    slot.gate.wait();
+                    self.sweep_dead(ix);
+                }
+                Step::Done => break,
+            }
+        }
+        if !progressed {
+            slot.kernel.lock().sched.lookahead_stalls += 1;
+        }
+    }
+
+    /// Joins and removes processes that finished since the scheduler
+    /// last held the token. Exits are deferred: an exiting thread hands
+    /// its token straight to the next process, so the sweep runs later.
+    fn sweep_dead(&self, ix: usize) {
         let joins: Vec<std::thread::JoinHandle<()>> = {
-            let mut k = self.kernel.lock();
+            let mut k = self.shards[ix].kernel.lock();
             if k.dead.is_empty() {
                 return;
             }
@@ -1508,25 +2518,27 @@ impl SimInner {
     }
 
     fn check_panics(&self) {
-        let msg = {
-            let mut k = self.kernel.lock();
+        let msg = self.shards.iter().find_map(|s| {
+            let mut k = s.kernel.lock();
             if k.panics.is_empty() {
                 None
             } else {
                 Some(k.panics.remove(0))
             }
-        };
+        });
         if let Some(m) = msg {
             panic!("simulated process panicked: {m}");
         }
     }
 
-    /// Shuts the simulation down: kills every process and drains them.
-    /// With `shutdown` set, every handoff routes through the driver, so
-    /// the drain sequencing matches the classic path exactly.
+    /// Shuts the simulation down: kills every process, drains each
+    /// shard, and retires the shard workers. With `shutdown` set every
+    /// handoff routes through the scheduler, so the drain sequencing
+    /// matches the classic path exactly. Driver context only — no
+    /// window is open, so all processes are parked.
     pub fn shutdown(&self) {
-        {
-            let mut k = self.kernel.lock();
+        for s in &self.shards {
+            let mut k = s.kernel.lock();
             k.shutdown = true;
             let pids: Vec<Pid> = k
                 .procs
@@ -1538,11 +2550,29 @@ impl SimInner {
                 k.kill_proc(pid);
             }
         }
-        // Drain: resume every runnable process so it unwinds; loop until
-        // none are left. Ignore panics recorded during shutdown.
+        for ix in 0..self.nshards {
+            self.drain_shard(ix);
+        }
+        if self.nshards > 1 {
+            self.stop.store(true, Ordering::Release);
+            for s in &self.shards[1..] {
+                s.go.grant();
+            }
+            for j in self.workers.lock().drain(..) {
+                let _ = j.join();
+            }
+        }
+    }
+
+    /// Drains one shard's processes after `shutdown` has marked them
+    /// killed: resume every runnable process so it unwinds, then wake
+    /// and drain any still blocked. Ignores panics recorded during
+    /// shutdown.
+    fn drain_shard(&self, ix: usize) {
+        let slot = &self.shards[ix];
         loop {
             let step = {
-                let mut k = self.kernel.lock();
+                let mut k = slot.kernel.lock();
                 k.panics.clear();
                 let mut found = None;
                 while let Some(pid) = k.runnable.pop_front() {
@@ -1559,8 +2589,8 @@ impl SimInner {
             match step {
                 Some(baton) => {
                     baton.grant();
-                    self.gate.wait();
-                    self.sweep_dead();
+                    slot.gate.wait();
+                    self.sweep_dead(ix);
                 }
                 None => break,
             }
@@ -1569,7 +2599,7 @@ impl SimInner {
         // wakeup; wake-and-drain them explicitly.
         loop {
             let step = {
-                let mut k = self.kernel.lock();
+                let mut k = slot.kernel.lock();
                 let blocked: Vec<Pid> = k
                     .procs
                     .iter()
@@ -1598,26 +2628,43 @@ impl SimInner {
             }
             for (pid, baton) in step {
                 {
-                    let mut k = self.kernel.lock();
+                    let mut k = slot.kernel.lock();
                     match k.procs.get_mut(&pid) {
                         Some(p) if p.state == PState::Runnable => p.state = PState::Running,
                         _ => continue,
                     }
                 }
                 baton.grant();
-                self.gate.wait();
-                self.sweep_dead();
+                slot.gate.wait();
+                self.sweep_dead(ix);
             }
         }
+    }
+}
+
+/// Shard worker loop (shards 1..n): park until the coordinator opens a
+/// window, run the shard's share of it, report done. Workers never
+/// panic past this frame — process panics are recorded in the kernel
+/// and re-raised on the coordinator.
+fn worker_main(inner: Arc<SimInner>, ix: usize) {
+    loop {
+        inner.shards[ix].go.wait();
+        if inner.stop.load(Ordering::Acquire) {
+            break;
+        }
+        inner.shards[ix].kernel.lock().sched.idle_parks += 1;
+        inner.run_window(ix);
+        inner.shards[ix].done.grant();
     }
 }
 
 /// Entry point for every simulated process thread.
 fn proc_main(inner: Arc<SimInner>, pid: Pid, baton: Arc<Baton>, f: Box<dyn FnOnce() + Send>) {
     CUR_PID.with(|c| c.set(Some(pid)));
+    let slot = &inner.shards[(pid >> SHARD_SHIFT) as usize];
     baton.wait();
     let start_killed = {
-        let k = inner.kernel.lock();
+        let k = slot.kernel.lock();
         k.shutdown || k.procs.get(&pid).map(|p| p.killed).unwrap_or(true)
     };
     if !start_killed {
@@ -1632,7 +2679,7 @@ fn proc_main(inner: Arc<SimInner>, pid: Pid, baton: Arc<Baton>, f: Box<dyn FnOnc
                     "<non-string panic payload>".to_string()
                 };
                 let (name, node, now) = {
-                    let mut k = inner.kernel.lock();
+                    let mut k = slot.kernel.lock();
                     let name = k
                         .procs
                         .get(&pid)
@@ -1661,11 +2708,12 @@ fn proc_main(inner: Arc<SimInner>, pid: Pid, baton: Arc<Baton>, f: Box<dyn FnOnc
     }
     // Mark dead, close owned endpoints, and pass the token on: to the
     // next process directly on the fast path (the exiting thread touches
-    // no kernel state afterwards), else to the driver. A recorded panic
-    // disables the fast path, so the driver observes it immediately.
+    // no kernel state afterwards), else to the shard's scheduler. A
+    // recorded panic disables the fast path, so the scheduler observes
+    // it immediately.
     let mut next: Option<Arc<Baton>> = None;
     {
-        let mut k = inner.kernel.lock();
+        let mut k = slot.kernel.lock();
         let eps = k
             .procs
             .get_mut(&pid)
@@ -1691,6 +2739,12 @@ fn proc_main(inner: Arc<SimInner>, pid: Pid, baton: Arc<Baton>, f: Box<dyn FnOnc
     }
     match next {
         Some(b) => b.grant(),
-        None => inner.gate.grant(),
+        None => slot.gate.grant(),
     }
 }
+
+
+
+
+
+

@@ -7,7 +7,8 @@ use std::time::Duration;
 use bytes::Bytes;
 
 use crate::kernel::{
-    cur_pid, EpState, KernelStats, LinkImpairment, LinkParams, NetConfig, NetStats, SimInner,
+    cur_pid, EpState, KernelStats, LinkImpairment, LinkParams, NetConfig, NetCtl, NetStats,
+    ShardPolicy, SimInner,
 };
 use crate::rt::{Addr, Endpoint, NetError, NodeId, NodeRt, PortReq, RecvError};
 use crate::time::SimTime;
@@ -26,6 +27,14 @@ pub struct SimConfig {
     /// `false` forces the classic always-via-driver handoff and exists
     /// for baseline benchmarking and equivalence tests.
     pub fast: bool,
+    /// Number of kernel shards. 1 (the default) runs the classic
+    /// single-threaded scheduler; N > 1 partitions nodes across N
+    /// OS threads that advance in conservative-lookahead windows.
+    /// Virtual-time behaviour — including the trace hash — is identical
+    /// for every value. Overridable via `OCS_SHARDS`.
+    pub shards: usize,
+    /// How nodes map to shards when `shards > 1`.
+    pub policy: ShardPolicy,
 }
 
 impl Default for SimConfig {
@@ -35,6 +44,12 @@ impl Default for SimConfig {
             net: NetConfig::default(),
             trace: std::env::var_os("OCS_TRACE").is_some(),
             fast: std::env::var_os("OCS_SLOW").is_none(),
+            shards: std::env::var("OCS_SHARDS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(1)
+                .max(1),
+            policy: ShardPolicy::default(),
         }
     }
 }
@@ -87,14 +102,21 @@ impl Sim {
     /// Creates a simulation with explicit configuration.
     pub fn with_config(cfg: SimConfig) -> Sim {
         Sim {
-            inner: SimInner::new(cfg.seed, cfg.net, cfg.trace, cfg.fast),
+            inner: SimInner::new(
+                cfg.seed,
+                cfg.net,
+                cfg.trace,
+                cfg.fast,
+                cfg.shards.max(1),
+                cfg.policy,
+            ),
             owner: true,
         }
     }
 
     /// Adds a host to the simulated network and returns its runtime.
     pub fn add_node(&self, name: &str) -> Arc<SimNode> {
-        let id = self.inner.kernel.lock().add_node(name);
+        let id = self.inner.add_node(name);
         Arc::new(SimNode {
             inner: Arc::clone(&self.inner),
             id,
@@ -112,6 +134,11 @@ impl Sim {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.inner.now()
+    }
+
+    /// Number of kernel shards this simulation runs on.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards()
     }
 
     /// Runs the simulation until virtual time `t`.
@@ -151,143 +178,100 @@ impl Sim {
     /// Crashes a node: kills its processes, closes its endpoints, and
     /// silences its links (messages in flight are dropped).
     ///
-    /// May be called from the scheduler context or from a simulated
-    /// process; a process crashing its own node unwinds immediately.
+    /// From the driver the crash takes effect immediately. From a
+    /// simulated process it lands after one fault-propagation delay —
+    /// the same virtual timing under every shard count — and a process
+    /// whose own node crashes unwinds at its next kernel interaction.
     pub fn crash_node(&self, node: NodeId) {
-        let self_on_node = self.inner.kernel.lock().crash_node(node);
-        if self_on_node && cur_pid().is_some() {
-            std::panic::resume_unwind(Box::new(crate::kernel::KillSignal));
-        }
+        self.inner.net_control(NetCtl::Crash(node));
     }
 
     /// Brings a crashed node back up (with no processes; callers spawn a
     /// fresh init/SSC process afterwards, per the paper's §6.3 sequence).
     pub fn restart_node(&self, node: NodeId) {
-        let mut k = self.inner.kernel.lock();
-        let now = k.now;
-        k.trace_note(&[4, now, node.0 as u64]);
-        if let Some(n) = k.node_mut(node) {
-            n.up = true;
-        }
+        self.inner.net_control(NetCtl::Restart(node));
     }
 
     /// Whether a node is currently up.
     pub fn node_up(&self, node: NodeId) -> bool {
-        self.inner
-            .kernel
-            .lock()
-            .node(node)
-            .map(|n| n.up)
-            .unwrap_or(false)
+        self.inner.node_up(node)
     }
 
-    /// Overrides the directed link `from -> to`.
+    /// Overrides the directed link `from -> to`. Lowering a cross-node
+    /// latency also narrows the sharded kernel's conservative lookahead
+    /// from this point on.
     pub fn set_link(&self, from: NodeId, to: NodeId, params: LinkParams) {
-        self.inner
-            .kernel
-            .lock()
-            .link_overrides
-            .insert(from, to, params);
+        self.inner.net_control(NetCtl::SetLink(from, to, params));
     }
 
     /// Sets or clears a (symmetric) partition between two nodes.
     pub fn set_partitioned(&self, a: NodeId, b: NodeId, partitioned: bool) {
-        let mut k = self.inner.kernel.lock();
-        let now = k.now;
-        k.trace_note(&[
-            if partitioned { 5 } else { 6 },
-            now,
-            a.0 as u64,
-            b.0 as u64,
-        ]);
-        if partitioned {
-            k.partitions.set(a, b, true);
-        } else {
-            k.partitions.set(a, b, false);
-            k.partitions.set(b, a, false);
-        }
+        self.inner
+            .net_control(NetCtl::SetPartition(a, b, partitioned));
     }
 
     /// Installs a fault-injection impairment (extra loss, duplication,
     /// reordering, latency spikes) on the symmetric link between two
     /// nodes, replacing any previous impairment for the pair.
     pub fn set_impairment(&self, a: NodeId, b: NodeId, imp: LinkImpairment) {
-        let mut k = self.inner.kernel.lock();
-        let now = k.now;
-        k.trace_note(&[
-            7,
-            now,
-            a.0 as u64,
-            b.0 as u64,
-            (imp.loss * 1e6) as u64,
-            (imp.dup * 1e6) as u64,
-            (imp.reorder * 1e6) as u64,
-            imp.extra_latency.as_micros() as u64,
-        ]);
-        k.impairments.remove(b, a);
-        k.impairments.insert(a, b, imp);
+        self.inner.net_control(NetCtl::SetImpairment(a, b, imp));
     }
 
     /// Removes any impairment between two nodes (either direction).
     pub fn clear_impairment(&self, a: NodeId, b: NodeId) {
-        let mut k = self.inner.kernel.lock();
-        let now = k.now;
-        k.trace_note(&[8, now, a.0 as u64, b.0 as u64]);
-        k.impairments.remove(a, b);
-        k.impairments.remove(b, a);
+        self.inner.net_control(NetCtl::ClearImpairment(a, b));
     }
 
-    /// FNV-1a digest of the run's observable event trace so far (network
-    /// sends and deliveries plus fault actions). Two runs of the same
-    /// workload with the same seed yield identical digests; any
-    /// divergence in scheduling or faults changes the value.
+    /// Digest of the run's observable event trace so far (network sends
+    /// and deliveries plus fault actions): a commutative fold of
+    /// per-record FNV-1a hashes, so the value is independent of how
+    /// nodes are sharded. Two runs of the same workload with the same
+    /// seed yield identical digests; any divergence in scheduling or
+    /// faults changes the value.
     pub fn trace_hash(&self) -> u64 {
-        self.inner.kernel.lock().trace_hash
+        self.inner.trace_hash()
     }
 
     /// Snapshot of aggregate network statistics.
     pub fn net_stats(&self) -> NetStats {
-        self.inner.kernel.lock().stats
+        self.inner.net_stats()
     }
 
     /// Snapshot of the scheduler/event-loop counters (events applied,
-    /// driver resumes, direct handoffs, zero-switch continues). Used by
-    /// the E18 kernel microbenchmark.
+    /// driver resumes, direct handoffs, zero-switch continues, shard
+    /// horizon syncs / cross-shard messages). Used by the E18 kernel
+    /// microbenchmark and the telemetry snapshot.
     pub fn kernel_stats(&self) -> KernelStats {
-        self.inner.kernel.lock().sched
+        self.inner.kernel_stats()
     }
 
     /// Adds to a named counter (shared metric registry).
     pub fn counter_add(&self, name: &str, delta: u64) {
-        let mut k = self.inner.kernel.lock();
-        *k.counters.entry(name.to_string()).or_insert(0) += delta;
+        self.inner.counter_add(name, delta);
     }
 
     /// Reads a named counter (0 if never written).
     pub fn counter_get(&self, name: &str) -> u64 {
-        self.inner
-            .kernel
-            .lock()
-            .counters
-            .get(name)
-            .copied()
-            .unwrap_or(0)
+        self.inner.counter_get(name)
     }
 
     /// Snapshot of all counters.
     pub fn counters(&self) -> std::collections::BTreeMap<String, u64> {
-        self.inner.kernel.lock().counters.clone()
+        self.inner.counters_snapshot()
+    }
+
+    /// Records a fault-injection note in `node`'s flight-recorder
+    /// journal. From the driver the record lands immediately; from a
+    /// simulated process it rides the kernel's control stream to the
+    /// node's shard (one fault-propagation delay, ordered ahead of any
+    /// fault issued by the same caller afterwards).
+    pub(crate) fn journal_fault(&self, node: NodeId, detail: String) {
+        self.inner.journal_fault(node, detail);
     }
 
     /// Number of live (non-dead) processes, for tests and diagnostics.
     pub fn live_processes(&self) -> usize {
-        self.inner
-            .kernel
-            .lock()
-            .procs
-            .values()
-            .filter(|p| p.state != crate::kernel::PState::Dead)
-            .count()
+        self.inner.live_processes()
     }
 
     pub(crate) fn inner(&self) -> &Arc<SimInner> {
@@ -338,12 +322,7 @@ impl NodeRt for SimNode {
         name: &str,
         f: Box<dyn FnOnce() + Send>,
     ) -> Arc<dyn crate::rt::ProcGroup> {
-        let gid = {
-            let mut k = self.inner.kernel.lock();
-            let gid = k.next_group;
-            k.next_group += 1;
-            gid
-        };
+        let gid = self.inner.alloc_group();
         self.inner.spawn_in(Some(self.id), name, Some(gid), f);
         Arc::new(SimProcGroup {
             inner: Arc::clone(&self.inner),
@@ -353,7 +332,7 @@ impl NodeRt for SimNode {
     }
 
     fn open(&self, port: PortReq) -> Result<Arc<dyn Endpoint>, NetError> {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.kernel_for(self.id).lock();
         let node_up = k.node(self.id).map(|n| n.up).unwrap_or(false);
         if !node_up {
             return Err(NetError::NodeDown);
@@ -412,11 +391,11 @@ impl NodeRt for SimNode {
     }
 
     fn rand_u64(&self) -> u64 {
-        self.inner.rand_u64()
+        self.inner.rand_for(self.id)
     }
 
     fn trace(&self, msg: &str) {
-        let k = self.inner.kernel.lock();
+        let k = self.inner.kernel_here().lock();
         if k.trace {
             eprintln!("[{}] {}: {}", SimTime::from_micros(k.now), self.id, msg);
         }
@@ -425,7 +404,7 @@ impl NodeRt for SimNode {
     fn make_sync(&self) -> Arc<dyn crate::sync::SyncObj> {
         Arc::new(SimSyncObj {
             inner: Arc::clone(&self.inner),
-            id: self.inner.waitobj_create(),
+            id: self.inner.waitobj_create(self.id.0),
         })
     }
 
@@ -442,7 +421,7 @@ struct SimSyncObj {
 
 impl crate::sync::SyncObj for SimSyncObj {
     fn generation(&self) -> u64 {
-        self.inner.kernel.lock().waitobj_generation(self.id)
+        self.inner.waitobj_generation(self.id)
     }
 
     fn wait_newer(&self, seen: u64, timeout: Option<Duration>) -> u64 {
@@ -463,20 +442,17 @@ struct SimProcGroup {
 
 impl crate::rt::ProcGroup for SimProcGroup {
     fn alive(&self) -> bool {
-        self.inner.kernel.lock().group_alive(self.gid)
+        self.inner.group_alive(self.gid, self.node)
     }
 
     fn kill(&self) {
-        let (now, was_alive) = {
-            let mut k = self.inner.kernel.lock();
-            let was_alive = k.group_alive(self.gid);
-            k.kill_group(self.gid);
-            (SimTime::from_micros(k.now), was_alive)
-        };
-        // Black box: journal the kill and dump the victim node's tail —
-        // after the kernel lock drops (the journal lives in the node's
-        // extension map, outside the kernel).
+        let was_alive = self.inner.group_alive(self.gid, self.node);
+        self.inner.kill_group(self.gid, self.node);
+        // Black box: journal the kill and dump the victim node's tail
+        // (the journal lives in the node's extension map, outside the
+        // kernel locks).
         if was_alive {
+            let now = self.inner.now();
             let j = self
                 .inner
                 .node_extensions(self.node)
@@ -499,7 +475,7 @@ pub struct SimEndpoint {
 
 impl Endpoint for SimEndpoint {
     fn send(&self, to: Addr, msg: Bytes) -> Result<(), NetError> {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.kernel_for(self.addr.node).lock();
         let up = k.node(self.addr.node).map(|n| n.up).unwrap_or(false);
         if !up {
             return Err(NetError::NodeDown);
@@ -517,19 +493,25 @@ impl Endpoint for SimEndpoint {
     }
 
     fn close(&self) {
-        let mut k = self.inner.kernel.lock();
+        let mut k = self.inner.kernel_for(self.addr.node).lock();
         k.ep_set_owner(self.addr, None);
         k.close_endpoint(self.addr);
     }
 
     fn adopt(&self) {
         if let Some(pid) = cur_pid() {
-            self.inner.kernel.lock().ep_set_owner(self.addr, Some(pid));
+            self.inner
+                .kernel_for(self.addr.node)
+                .lock()
+                .ep_set_owner(self.addr, Some(pid));
         }
     }
 
     fn disown(&self) {
-        self.inner.kernel.lock().ep_set_owner(self.addr, None);
+        self.inner
+            .kernel_for(self.addr.node)
+            .lock()
+            .ep_set_owner(self.addr, None);
     }
 }
 
@@ -537,7 +519,10 @@ impl Endpoint for SimEndpoint {
 /// modelled network; carries no latency and sends no messages).
 ///
 /// Useful for workload generators and test harnesses that need to hand
-/// results between simulated processes.
+/// results between simulated processes. The channel's wait object lives
+/// on the creating process's shard; under a sharded kernel, blocking
+/// `recv` is only legal from processes on the same node as the creator
+/// (`try_recv` works from anywhere, including the driver).
 pub struct SimChan<T> {
     inner: Arc<SimInner>,
     queue: Arc<parking_lot::Mutex<std::collections::VecDeque<T>>>,
@@ -557,10 +542,13 @@ impl<T> Clone for SimChan<T> {
 impl<T: Send + 'static> SimChan<T> {
     /// Creates a channel bound to a simulation.
     pub fn new(sim: &Sim) -> SimChan<T> {
+        let inner = Arc::clone(sim.inner());
+        let home = inner.cur_node_key();
+        let waitobj = inner.waitobj_create(home);
         SimChan {
-            inner: Arc::clone(sim.inner()),
+            inner,
             queue: Arc::new(parking_lot::Mutex::new(Default::default())),
-            waitobj: sim.inner().waitobj_create(),
+            waitobj,
         }
     }
 

@@ -48,12 +48,14 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-/// Runs the scenario under one scheduler mode, returning the receiver's
-/// delivery log (virtual micros, tag) and the kernel trace hash.
-fn run_scenario(ops: &[Op], fast: bool) -> (Vec<(u64, u32)>, u64) {
+/// Runs the scenario under one scheduler mode and shard count,
+/// returning the receiver's delivery log (virtual micros, tag) and the
+/// kernel trace hash.
+fn run_scenario(ops: &[Op], fast: bool, shards: usize) -> (Vec<(u64, u32)>, u64) {
     let sim = Sim::with_config(SimConfig {
         seed: 0x5EED,
         fast,
+        shards,
         ..SimConfig::default()
     });
     let rx = sim.add_node("rx");
@@ -121,50 +123,61 @@ fn run_scenario(ops: &[Op], fast: bool) -> (Vec<(u64, u32)>, u64) {
     (out, hash)
 }
 
-/// The reference model: deliveries ordered by `(arrival time, send
-/// seq)`, exactly the kernel's event-queue key. A send from an up
-/// sender at cursor `t` arrives at `t + latency`; crashing a sender
-/// suppresses its later sends but not in-flight ones.
+/// The reference model: deliveries ordered by `(arrival time, source
+/// node, per-source send seq)`, exactly the kernel's event-queue key
+/// (sender `s` is node `s + 2`; the receiver is node 1 — the key is
+/// shard-layout-invariant by construction). A send from an up sender at
+/// cursor `t` arrives at `t + latency`; crashing a sender suppresses
+/// its later sends but not in-flight ones.
 fn oracle(ops: &[Op]) -> Vec<(u64, u32)> {
     let mut cursor_ms = 0u64;
     let mut down = [false; SENDERS];
-    let mut seq = 0u64;
-    let mut expected: BTreeMap<(u64, u64), u32> = BTreeMap::new();
+    let mut seq = [0u64; SENDERS];
+    let mut expected: BTreeMap<(u64, u32, u64), u32> = BTreeMap::new();
     for &op in ops {
         match op {
             Op::Sleep { ms } => cursor_ms += ms,
             Op::Send { s, tag } => {
                 if !down[s] {
                     let at = (cursor_ms + LAT_MS[s]) * 1_000;
-                    expected.insert((at, seq), tag);
-                    seq += 1;
+                    expected.insert((at, s as u32 + 2, seq[s]), tag);
+                    seq[s] += 1;
                 }
             }
             Op::Crash { s } => down[s] = true,
             Op::Restart { s } => down[s] = false,
         }
     }
-    expected.into_iter().map(|((at, _), tag)| (at, tag)).collect()
+    expected
+        .into_iter()
+        .map(|((at, _, _), tag)| (at, tag))
+        .collect()
 }
 
 proptest! {
     #[test]
     fn delivery_order_matches_btreemap_oracle(ops in prop::collection::vec(op_strategy(), 1..40)) {
         let want = oracle(&ops);
-        let (fast_log, fast_hash) = run_scenario(&ops, true);
-        let (slow_log, slow_hash) = run_scenario(&ops, false);
+        let (fast_log, fast_hash) = run_scenario(&ops, true, 1);
+        let (slow_log, slow_hash) = run_scenario(&ops, false, 1);
         prop_assert_eq!(&fast_log, &want, "fast path diverged from the oracle");
         prop_assert_eq!(&slow_log, &want, "classic path diverged from the oracle");
         prop_assert_eq!(fast_hash, slow_hash, "trace hashes diverged between modes");
+        // The sharded kernel must replay the identical timeline: same
+        // deliveries at the same virtual instants, same trace digest.
+        let (sharded_log, sharded_hash) = run_scenario(&ops, true, 3);
+        prop_assert_eq!(&sharded_log, &want, "sharded kernel diverged from the oracle");
+        prop_assert_eq!(sharded_hash, fast_hash, "trace hashes diverged across shard counts");
     }
 }
 
 /// The determinism suite's chatty hub workload, parameterized over the
-/// scheduler mode.
-fn hub_workload(seed: u64, fast: bool) -> (u64, u64, ocs_sim::KernelStats) {
+/// scheduler mode and shard count.
+fn hub_workload(seed: u64, fast: bool, shards: usize) -> (u64, u64, ocs_sim::KernelStats) {
     let sim = Sim::with_config(SimConfig {
         seed,
         fast,
+        shards,
         ..SimConfig::default()
     });
     let hub = sim.add_node("hub");
@@ -204,8 +217,8 @@ fn hub_workload(seed: u64, fast: bool) -> (u64, u64, ocs_sim::KernelStats) {
 
 #[test]
 fn fast_and_slow_hub_workloads_are_trace_identical() {
-    let (fh, fd, fstats) = hub_workload(42, true);
-    let (sh, sd, sstats) = hub_workload(42, false);
+    let (fh, fd, fstats) = hub_workload(42, true, 1);
+    let (sh, sd, sstats) = hub_workload(42, false, 1);
     assert_eq!(fh, sh, "trace hash must not depend on the scheduler mode");
     assert_eq!(fd, sd);
     assert_eq!(
@@ -215,9 +228,99 @@ fn fast_and_slow_hub_workloads_are_trace_identical() {
 }
 
 #[test]
+fn sharded_hub_workload_is_trace_identical_and_crosses_shards() {
+    let (fh, fd, _) = hub_workload(42, true, 1);
+    for shards in [2, 4] {
+        let (sh, sd, sstats) = hub_workload(42, true, shards);
+        assert_eq!(
+            fh, sh,
+            "trace hash must not depend on the shard count ({shards} shards)"
+        );
+        assert_eq!(fd, sd);
+        assert!(
+            sstats.horizon_syncs > 0,
+            "sharded run must advance via windows: {sstats:?}"
+        );
+        assert!(
+            sstats.xshard_msgs > 0,
+            "hub workload must cross shard boundaries: {sstats:?}"
+        );
+    }
+}
+
+/// Random-topology ping mesh under a random seeded fault plan, applied
+/// by a Nemesis *process* (so crash/partition/impairment controls ride
+/// the kernel's broadcast control stream, the interesting cross-shard
+/// path). Returns the full observable surface: trace hash, network
+/// stats, and the final clock.
+fn fault_mesh_workload(
+    seed: u64,
+    plan_seed: u64,
+    nodes: usize,
+    shards: usize,
+) -> (u64, ocs_sim::NetStats, u64) {
+    use ocs_sim::{FaultPlan, FaultPlanSpec, Nemesis, NodeId};
+    let sim = Sim::with_config(SimConfig {
+        seed,
+        shards,
+        ..SimConfig::default()
+    });
+    let hosts: Vec<_> = (0..nodes).map(|i| sim.add_node(&format!("m{i}"))).collect();
+    for (i, h) in hosts.iter().enumerate() {
+        // Echo server on a fixed port.
+        {
+            let rt = Arc::clone(h);
+            h.spawn_fn(&format!("echo{i}"), move || {
+                let ep = rt.open(PortReq::Fixed(9)).expect("open");
+                while let Ok((from, msg)) = ep.recv(None) {
+                    let _ = ep.send(from, msg);
+                }
+            });
+        }
+        // Client pinging the next node around the ring; crashes and
+        // partitions turn replies into timeouts/bounces, all tolerated.
+        let peer = Addr::new(hosts[(i + 1) % nodes].node(), 9);
+        let rt = Arc::clone(h);
+        h.spawn_fn(&format!("ping{i}"), move || {
+            let ep = rt.open(PortReq::Ephemeral).expect("open");
+            for n in 0..40u64 {
+                let _ = ep.send(peer, bytes::Bytes::from(n.to_le_bytes().to_vec()));
+                let _ = ep.recv(Some(Duration::from_millis(50)));
+                rt.sleep(Duration::from_millis(20 + rt.rand_u64() % 60));
+            }
+        });
+    }
+    let ids: Vec<NodeId> = hosts.iter().map(|h| h.node()).collect();
+    let pairs: Vec<(NodeId, NodeId)> = ids
+        .iter()
+        .zip(ids.iter().cycle().skip(1))
+        .map(|(a, b)| (*a, *b))
+        .collect();
+    let spec = FaultPlanSpec::new(ids, pairs);
+    Nemesis::spawn(&sim, FaultPlan::random(plan_seed, &spec));
+    sim.run_until(SimTime::from_secs(8));
+    (sim.trace_hash(), sim.net_stats(), sim.now().as_micros())
+}
+
+proptest! {
+    #[test]
+    fn sharded_fault_plans_replay_bit_identically(
+        seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        nodes in 3usize..8,
+    ) {
+        let (h1, s1, t1) = fault_mesh_workload(seed, plan_seed, nodes, 1);
+        let (h3, s3, t3) = fault_mesh_workload(seed, plan_seed, nodes, 3);
+        prop_assert_eq!(h1, h3, "trace hash diverged between 1 and 3 shards");
+        prop_assert_eq!(s1, s3, "network stats diverged between 1 and 3 shards");
+        prop_assert_eq!(t1, t3, "final clock diverged between 1 and 3 shards");
+    }
+}
+
+#[test]
 fn fast_path_actually_elides_driver_round_trips() {
-    let (_, _, fstats) = hub_workload(42, true);
-    let (_, _, sstats) = hub_workload(42, false);
+    let (_, _, fstats) = hub_workload(42, true, 1);
+    let (_, _, sstats) = hub_workload(42, false, 1);
     assert!(
         fstats.direct_handoffs + fstats.self_continues > 0,
         "fast mode never took the fast path: {fstats:?}"

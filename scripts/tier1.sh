@@ -77,6 +77,29 @@ if ! awk -v f="$fresh" -v c="$committed" 'BEGIN { exit !(f >= 0.8 * c) }'; then
 fi
 echo "tier1: E17 smoke ops/sec $fresh (committed $committed)"
 
+# Sharded-kernel smoke: the same E17 storm on two kernel shards must
+# replay the exact event trace of the 1-shard run. The experiment's own
+# shard-equivalence leg asserts hash, op-count, virtual-elapsed and
+# latency-histogram equality and records the verdict; the guard also
+# demands the run really exercised the sharded path (horizon syncs and
+# cross-shard messages both non-zero).
+tmp="$(mktemp -d)"
+(cd "$tmp" && cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- \
+    e17 --settops 4000 --shards 2 >/dev/null)
+if ! grep -qE '"shard_trace_equivalent": true' "$tmp/BENCH_e17.json"; then
+    echo "tier1: sharded E17 smoke FAILED - 2-shard run did not match the 1-shard trace" >&2
+    exit 1
+fi
+syncs="$(json_field "$tmp/BENCH_e17.json" horizon_syncs)"
+xmsgs="$(json_field "$tmp/BENCH_e17.json" xshard_msgs)"
+rm -rf "$tmp"
+if [ -z "$syncs" ] || [ "$syncs" = "0" ] || [ -z "$xmsgs" ] || [ "$xmsgs" = "0" ]; then
+    echo "tier1: sharded E17 smoke FAILED - sharded path not exercised (syncs=${syncs:-missing}, xshard=${xmsgs:-missing})" >&2
+    exit 1
+fi
+echo "tier1: sharded E17 smoke trace-identical on 2 shards ($syncs horizon syncs, $xmsgs cross-shard msgs)"
+
 # Kernel fast-path smoke + bench guard: a reduced-replay E18 must pass
 # its built-in asserts (fast/slow trace equivalence on all three legs,
 # same-seed rerun identical including the allocation count), and its
@@ -112,6 +135,26 @@ committed_speedup="$(json_field "$repo/BENCH_e18.json" pp_speedup)"
 # (measured at 8x density and scaled down, so machine noise is damped;
 # the ratio is same-run fresh-vs-fresh, not against the committed file).
 overhead="$(json_field "$tmp/BENCH_e18.json" pp_journal_overhead_pct)"
+# Shard-speedup guard: E18's replay leg reruns on 4 shards and asserts
+# trace equality unconditionally; the wall-clock speedup is only
+# meaningful with real cores under the shard threads, so on hosts with
+# fewer than 4 the experiment records a skip reason instead and the
+# guard honours it.
+if ! grep -qE '"shard_trace_equivalent": true' "$tmp/BENCH_e18.json"; then
+    echo "tier1: E18 guard FAILED - 4-shard replay did not match the 1-shard trace" >&2
+    exit 1
+fi
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "$cores" -ge 4 ]; then
+    shard_speedup="$(json_field "$tmp/BENCH_e18.json" shard_speedup)"
+    if [ -z "$shard_speedup" ] || ! awk -v s="$shard_speedup" 'BEGIN { exit !(s >= 2.0) }'; then
+        echo "tier1: E18 guard FAILED - 4-shard replay speedup ${shard_speedup:-missing} not >= 2.0x on a $cores-core host" >&2
+        exit 1
+    fi
+    echo "tier1: E18 shard guard ${shard_speedup}x replay speedup on 4 shards ($cores cores)"
+else
+    echo "tier1: E18 shard speedup guard SKIPPED - host has $cores core(s), need >= 4 (trace equality still verified)"
+fi
 rm -rf "$tmp"
 if [ -z "$overhead" ] || ! awk -v o="$overhead" 'BEGIN { exit !(o <= 5.0) }'; then
     echo "tier1: E18 guard FAILED - journal overhead ${overhead:-missing}% exceeds 5%" >&2
