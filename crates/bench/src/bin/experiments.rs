@@ -80,7 +80,7 @@ fn main() {
     let which: Vec<&str> = if picked.is_empty() || picked.iter().any(|a| a == "all") {
         vec![
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
-            "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
+            "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22", "e23",
         ]
     } else {
         picked.iter().map(|s| s.as_str()).collect()
@@ -113,6 +113,7 @@ fn main() {
             "e20" => exps::e20(sim_only),
             "e21" => exps::e21(sim_only),
             "e22" => exps::e22(),
+            "e23" => exps::e23(sim_only),
             other => {
                 eprintln!("unknown experiment: {other}");
                 report::abandon();

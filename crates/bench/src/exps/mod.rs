@@ -9,6 +9,7 @@ mod failover;
 mod kernel_bench;
 mod saturation;
 mod standalone;
+mod svc_failover;
 
 pub use availability::{e19, e21};
 pub use cluster_exps::{e1, e13, e14, e15, e16, e2, e4, e7, e8};
@@ -17,6 +18,7 @@ pub use failover::e20;
 pub use kernel_bench::e18;
 pub use saturation::e17;
 pub use standalone::{e10, e11, e12, e3, e5, e6, e9};
+pub use svc_failover::e23;
 
 use std::sync::Arc;
 use std::time::Duration;

@@ -18,7 +18,9 @@ use ocs_name::{acquire_primary, NsConfig, NsError, NsHandle, NsReplica, Selector
 use ocs_orb::{ClientCtx, ObjRef, Orb};
 use ocs_ras::{Ras, RasConfig, RasOracle, SettopMgr, SettopMgrConfig};
 use ocs_sim::{Addr, LinkParams, NodeId, NodeRt, NodeRtExt, PortReq, Rt, Sim, SimNode};
-use ocs_svcctl::{Csc, CscConfig, ServiceDef, ServiceRunCtx, Ssc, SscApiClient, SscConfig};
+use ocs_svcctl::{
+    Csc, CscConfig, ServiceDef, ServiceRunCtx, Ssc, SscApiClient, SscConfig, SscReplicaConfig,
+};
 use ocs_wire::Wire;
 use parking_lot::Mutex;
 
@@ -435,16 +437,41 @@ impl Cluster {
             });
         }
 
-        // --- basic: CSC replicas on the first two servers ------------------
-        if i < 2 {
+        // --- basic: CSC replicas (VSR group) on the first three servers ----
+        // The controllers' placement/config table rides the shared VSR
+        // log: up to three replicas (deduped on small clusters), all on
+        // the CSC port. The group master advertises itself at `svc/csc`
+        // via the stable-binding keeper inside `Csc::run`, mirroring the
+        // CM groups below.
+        let csc_peers: Vec<Addr> = {
+            let mut nodes = Vec::new();
+            for k in 0..3 {
+                let nd = ns_peers[k % ns_peers.len()].node;
+                if !nodes.contains(&nd) {
+                    nodes.push(nd);
+                }
+            }
+            nodes
+                .into_iter()
+                .map(|nd| Addr::new(nd, ports::CSC))
+                .collect()
+        };
+        if csc_peers.iter().any(|p| p.node == ns_peers[i].node) {
             let bind_retry = cfg.bind_retry;
             defs.push(ServiceDef {
                 name: "csc".into(),
                 basic: true,
                 factory: Arc::new(move |ctx: ServiceRunCtx| {
+                    let Some(id) = csc_peers.iter().position(|p| p.node == ctx.rt.node()) else {
+                        return; // Started on a node outside the group.
+                    };
                     let ns = NsHandle::new(ClientCtx::new(ctx.rt.clone()), my_ns);
                     let cc = CscConfig {
                         bind_retry,
+                        replica: Some(SscReplicaConfig::paper_defaults(
+                            id as u32,
+                            csc_peers.clone(),
+                        )),
                         ..CscConfig::default()
                     };
                     let csc = Csc::new(ctx.rt.clone(), cc, ns);

@@ -136,14 +136,37 @@ fn partition_and_heal_campaign_converges() {
         cluster.servers[0].node.node(),
         cluster.servers[1].node.node(),
     );
-    // Also cut settop 1 off from server 0 (the MMS primary) while its
-    // own name service (server 1) stays reachable: its MMS calls keep
-    // resolving and keep failing, which is exactly what drives a client
-    // circuit breaker through a full open → half-open → closed cycle.
-    let settop1 = cluster.settops[1].node.node();
+    // Also cut one settop off from the MMS primary (whichever server won
+    // the `svc/mms` bind race) while that settop's own name service on
+    // the *other* server stays reachable: its MMS calls keep resolving
+    // and keep failing, which is exactly what drives a client circuit
+    // breaker through a full open → half-open → closed cycle. Settop i
+    // homes on server i, so the victim is the settop homed opposite the
+    // MMS primary.
+    let mms_server = {
+        let ns = cluster.ns(0);
+        let out: SimChan<ocs_sim::NodeId> = SimChan::new(&sim);
+        let out2 = out.clone();
+        let node = cluster.servers[0].node.clone();
+        node.spawn_fn("mms-probe", move || {
+            out2.send(ns.resolve("svc/mms").unwrap().addr.node);
+        });
+        sim.run_for(Duration::from_secs(2));
+        out.try_recv().expect("svc/mms resolved")
+    };
+    let victim = if mms_server == a {
+        cluster.settops[1].node.node()
+    } else {
+        cluster.settops[0].node.node()
+    };
     let plan = FaultPlan::new()
         .partition(a, b, SimTime::from_secs(78), SimTime::from_secs(95))
-        .partition(a, settop1, SimTime::from_secs(80), SimTime::from_secs(115));
+        .partition(
+            mms_server,
+            victim,
+            SimTime::from_secs(80),
+            SimTime::from_secs(115),
+        );
     assert!(plan.fully_healed());
     let outcome = cluster.run_fault_plan(&plan);
     sim.run_until(outcome.healed_at + Duration::from_secs(40));
@@ -359,7 +382,10 @@ fn same_seed_chaos_run_has_identical_trace_hash() {
 /// carrying the entry's original view beside the sender's. Re-captured
 /// when the Connection Manager moved onto its own VSR group (replicated
 /// allocate/release/expire ops replaced the primary/backup bind race).
-const E15_BASELINE_TRACE_HASH: u64 = 15625508522859677904;
+/// Re-captured when service control followed: CSC placement/config ops
+/// now ride an `ocs-vsr` group on the CSC port, so controller wire
+/// traffic (prepares, heartbeats, master advertisement) changed.
+const E15_BASELINE_TRACE_HASH: u64 = 14701960322322494334;
 
 #[test]
 fn e15_trace_hash_matches_committed_baseline() {

@@ -71,6 +71,13 @@ fn postmortem_lists_injected_faults_in_order() {
         timeline.lines().any(|l| l.contains(" fault ")),
         "timeline should tag fault-injection lines:\n{timeline}"
     );
+    // The service-control VSR group journals on its own channel: the
+    // merged postmortem interleaves placement decisions (seeding the
+    // table commits one `Define` per service) with the faults above.
+    assert!(
+        timeline.lines().any(|l| l.contains(" svc-vsr ")),
+        "timeline should carry svc-vsr journal lines:\n{timeline}"
+    );
 }
 
 #[test]

@@ -146,6 +146,29 @@ fn vsr_replication_shows_up_in_cluster_metrics() {
             assert_eq!(*view, 0, "node {node:?} CM left view 0 without faults");
         }
     }
+    // Service control rides the log too: seeding the placement table
+    // from the DB commits one `Define` per service on every replica,
+    // each a placement decision.
+    assert!(
+        m.counter("ssc.vsr.commits") >= 3,
+        "SSC placement ops went through the VSR log: {:?}",
+        m.counters
+    );
+    assert!(
+        m.counter("ssc.vsr.decisions") >= 3,
+        "placement decisions were journalled: {:?}",
+        m.counters
+    );
+    assert_eq!(m.counter("ssc.vsr.view_changes"), 0);
+    assert_eq!(m.counter("ssc.vsr.suspects"), 0);
+    for (node, metrics) in &snap.nodes {
+        if let Some(view) = metrics.gauges.get("ssc.vsr.view") {
+            assert_eq!(*view, 0, "node {node:?} SSC left view 0 without faults");
+        }
+        if let Some(epoch) = metrics.gauges.get("ssc.vsr.epoch") {
+            assert!(*epoch >= 1, "node {node:?} placement epoch advanced");
+        }
+    }
 }
 
 #[test]

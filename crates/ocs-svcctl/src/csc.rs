@@ -1,40 +1,53 @@
-//! The Cluster Service Controller (§6.2): primary/backup service that
-//! reads the static placement configuration from the database, pings the
-//! SSC on every server, and directs SSCs to start (and re-start, after a
-//! node recovers) the services assigned to them. Also exports the
+//! The Cluster Service Controller (§6.2), replicated: a VSR group member
+//! (see [`SscReplica`]) that keeps the service configuration and
+//! placement table on the shared `ocs-vsr` log. The view master pings
+//! the SSC on every server, directs SSCs to start (and re-start, after a
+//! node recovers) the services assigned to them, and exports the
 //! operator tools for stopping, starting and moving services.
 //!
-//! The backup replica keeps no state: on promotion it re-reads the
-//! placement table and re-queries every SSC — exactly the "backup
-//! discovers the cluster state by querying each SSC" recovery of §6.2.
+//! This replaces the §6.2 regeneration recovery ("the backup discovers
+//! the cluster state by querying each SSC"): a promoted backup *already
+//! holds the placement table*, so fail-over re-hosts only the instances
+//! that actually died, and no placement decision made before the crash
+//! is lost or doubled. The database keeps its role as the *static seed*:
+//! services found there but not yet in the replicated table are defined
+//! (content-idempotently) on the log; from then on the table is the
+//! runtime authority.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use ocs_db::{DbApiClient, DbTables, ServicePlacement};
-use ocs_name::{acquire_primary, NsHandle, RebindPolicy, Rebinding};
-use ocs_orb::{Caller, ObjRef, Orb, OrbError, RpcFault, ThreadModel};
-use ocs_sim::{NetError, NodeId, PortReq, Rt};
+use ocs_name::{NsHandle, RebindPolicy, Rebinding};
+use ocs_orb::{Caller, ObjRef, OrbError};
+use ocs_sim::{Addr, NetError, NodeId, NodeRtExt, Rt};
 use parking_lot::Mutex;
 
+use crate::sscrep::{SscReplica, SscReplicaConfig};
+use crate::ssctable::SscUpdate;
 use crate::types::{CscApi, CscApiServant, NodeServices, SscApiClient, SvcError};
 
 /// CSC tuning knobs.
 #[derive(Clone, Debug)]
 pub struct CscConfig {
-    /// Request port of the CSC's ORB.
+    /// Request port of the CSC replica's ORB (used when `replica` is
+    /// `None` and a single-member group is derived at start).
     pub port: u16,
-    /// Name under which the primary binds itself (the §5.2 bind race).
+    /// Name under which the group master advertises itself.
     pub bind_path: String,
     /// Context that holds one SSC binding per node.
     pub ssc_prefix: String,
     /// Name the database service is bound at.
     pub db_path: String,
-    /// How often the primary pings SSCs and reconciles placement.
+    /// How often the master pings SSCs and reconciles placement.
     pub ping_interval: Duration,
-    /// Bind retry interval while acting as backup (§9.7: 10 s).
+    /// Master-advertisement keeper interval (§9.7: 10 s).
     pub bind_retry: Duration,
+    /// The VSR group membership; `None` runs a single-member group on
+    /// this node's `port` (the small-test configuration).
+    pub replica: Option<SscReplicaConfig>,
 }
 
 impl Default for CscConfig {
@@ -46,6 +59,7 @@ impl Default for CscConfig {
             db_path: "svc/db".to_string(),
             ping_interval: Duration::from_secs(2),
             bind_retry: Duration::from_secs(10),
+            replica: None,
         }
     }
 }
@@ -53,11 +67,14 @@ impl Default for CscConfig {
 struct CscState {
     /// Last observed cluster status, refreshed every reconcile pass.
     status: Vec<NodeServices>,
-    /// Nodes whose SSC was unreachable on the previous pass (to detect
-    /// recoveries, §6.3: "the CSC detects the presence of the new SSC and
-    /// instructs it to start the appropriate services").
+    /// Nodes whose SSC was unreachable on the previous pass.
     unreachable: Vec<NodeId>,
-    is_primary: bool,
+    /// `(node, service)` pairs the master has observed running: a later
+    /// not-running observation for one of these is a death worth a
+    /// replicated `ReportDown`, not a boot-time first start. Observed
+    /// state, master-local by design — the replicated table carries the
+    /// *decisions*, not the ping samples.
+    seen_running: std::collections::BTreeSet<(NodeId, String)>,
 }
 
 /// The Cluster Service Controller.
@@ -66,13 +83,15 @@ pub struct Csc {
     cfg: CscConfig,
     ns: NsHandle,
     db: Rebinding<DbApiClient>,
+    rep: Mutex<Option<Arc<SscReplica>>>,
     state: Mutex<CscState>,
+    /// Internal retry-token generator for operator-initiated decisions.
+    token_seq: AtomicU64,
 }
 
 impl Csc {
-    /// Starts a CSC replica: it campaigns for the `bind_path` name and
-    /// runs the reconcile loop once primary. Returns the instance (the
-    /// serve loop runs in the calling process's group via `run`).
+    /// Creates a CSC replica driver; `run` starts the VSR group member
+    /// and the master reconcile loop.
     pub fn new(rt: Rt, cfg: CscConfig, ns: NsHandle) -> Arc<Csc> {
         let db = Rebinding::new(
             ns.clone(),
@@ -89,50 +108,79 @@ impl Csc {
             cfg,
             ns,
             db,
+            rep: Mutex::new(None),
             state: Mutex::new(CscState {
                 status: Vec::new(),
                 unreachable: Vec::new(),
-                is_primary: false,
+                seen_running: std::collections::BTreeSet::new(),
             }),
+            token_seq: AtomicU64::new(1),
         })
     }
 
-    /// Whether this replica is currently the primary.
+    /// Whether this replica is currently the group master.
     pub fn is_primary(&self) -> bool {
-        self.state.lock().is_primary
+        self.rep
+            .lock()
+            .as_ref()
+            .is_some_and(|r| r.is_master())
     }
 
-    /// Latest cluster status snapshot (primary only; empty otherwise).
+    /// The underlying VSR replica handle, once `run` started it.
+    pub fn replica(&self) -> Option<Arc<SscReplica>> {
+        self.rep.lock().clone()
+    }
+
+    /// Latest cluster status snapshot (master only; empty otherwise).
     pub fn status(&self) -> Vec<NodeServices> {
         self.state.lock().status.clone()
     }
 
-    /// The CSC main: opens the ORB, races for primacy, then reconciles
-    /// until killed. Run inside an SSC-managed process group.
+    /// The CSC main: starts the VSR group member (exporting this
+    /// controller's `CscApi` as the replica's stable root object),
+    /// spawns the master-advertisement keeper, then reconciles while
+    /// master until killed. Run inside an SSC-managed process group.
     pub fn run(self: &Arc<Self>, notify_ready: impl Fn(Vec<ObjRef>)) -> Result<(), NetError> {
-        let orb = Orb::build(
-            self.rt.clone(),
-            PortReq::Fixed(self.cfg.port),
-            ThreadModel::PerRequest,
-            None,
-            Arc::new(ocs_orb::NoAuth),
-        )?;
-        let self_ref = orb.export_root(Arc::new(CscApiServant(Arc::clone(self))));
-        orb.start();
-        notify_ready(vec![self_ref]);
-        // §5.2: backups block here retrying bind until the primary's
-        // binding disappears.
-        acquire_primary(
-            &self.ns,
-            &self.rt,
-            &self.cfg.bind_path,
-            self_ref,
-            self.cfg.bind_retry,
+        // The reconcile and keeper loops sleep these intervals between
+        // passes; zero would busy-spin the loop at one virtual instant
+        // (the same no-clock hazard the CM's `with_lease` refuses).
+        assert!(
+            !self.cfg.ping_interval.is_zero() && !self.cfg.bind_retry.is_zero(),
+            "csc: ping_interval and bind_retry must be nonzero"
         );
-        self.state.lock().is_primary = true;
-        self.rt.trace("csc: promoted to primary");
+        let rep_cfg = self.cfg.replica.clone().unwrap_or_else(|| {
+            SscReplicaConfig::paper_defaults(0, vec![Addr::new(self.rt.node(), self.cfg.port)])
+        });
+        let rep = SscReplica::start(
+            self.rt.clone(),
+            rep_cfg,
+            Arc::new(CscApiServant(Arc::clone(self))),
+        )?;
+        *self.rep.lock() = Some(Arc::clone(&rep));
+        notify_ready(vec![rep.root_ref()]);
+        // Master-advertisement keeper: the group master holds the
+        // `bind_path` binding (stable ref, so the NS audit skips it);
+        // backups forward sequenced ops to the master, so a marginally
+        // stale binding keeps working through a fail-over.
+        let keeper = Arc::clone(self);
+        let krep = Arc::clone(&rep);
+        self.rt.spawn_fn("csc-advert", move || loop {
+            if krep.is_master() {
+                let obj = krep.root_ref();
+                if keeper.ns.resolve(&keeper.cfg.bind_path).ok() != Some(obj) {
+                    let _ = keeper.ns.unbind(&keeper.cfg.bind_path);
+                    if keeper.ns.bind(&keeper.cfg.bind_path, obj).is_ok() {
+                        keeper.rt.trace("csc: master advertised itself");
+                    }
+                }
+            }
+            keeper.rt.sleep(keeper.cfg.bind_retry);
+        });
         loop {
-            self.reconcile();
+            if rep.is_master() && !rep.in_probation() {
+                self.seed_from_db(&rep);
+                self.reconcile(&rep);
+            }
             self.rt.sleep(self.cfg.ping_interval);
         }
     }
@@ -153,16 +201,37 @@ impl Csc {
             .collect()
     }
 
-    fn placements(&self) -> Vec<ServicePlacement> {
-        self.db.call(DbTables::placements).unwrap_or_default()
+    /// Defines any database-seeded service the replicated table doesn't
+    /// know yet. Content-idempotent `Define` ops mean repeated passes
+    /// (and master changes) are free; once a service is on the log, the
+    /// table — not the database — is the placement authority.
+    fn seed_from_db(self: &Arc<Self>, rep: &Arc<SscReplica>) {
+        let rows: Vec<ServicePlacement> = self.db.call(DbTables::placements).unwrap_or_default();
+        if rows.is_empty() {
+            return;
+        }
+        let known: std::collections::BTreeSet<String> =
+            rep.placements().into_iter().map(|p| p.service).collect();
+        for row in rows {
+            if known.contains(&row.service) {
+                continue;
+            }
+            let _ = rep.submit(SscUpdate::Define {
+                token: 0,
+                service: row.service,
+                nodes: row.nodes,
+                now_us: 0,
+            });
+        }
     }
 
-    /// One reconcile pass: ping every SSC, detect recoveries, and start
-    /// any placed-but-not-running services.
-    fn reconcile(self: &Arc<Self>) {
-        let placements = self.placements();
+    /// One reconcile pass: ping every SSC, record deaths on the log, and
+    /// re-host placed-but-not-running services. No regeneration — the
+    /// wanted set comes from the replicated table, never from re-querying
+    /// the fleet.
+    fn reconcile(self: &Arc<Self>, rep: &Arc<SscReplica>) {
         let mut by_node: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
-        for p in &placements {
+        for p in rep.placements() {
             for node in &p.nodes {
                 by_node.entry(*node).or_default().push(p.service.clone());
             }
@@ -175,9 +244,32 @@ impl Csc {
                     let wanted = by_node.get(&node).cloned().unwrap_or_default();
                     for name in wanted {
                         let running = services.iter().any(|s| s.name == name && s.running);
-                        if !running {
-                            let _ = ssc.start_service(name);
+                        if running {
+                            self.state.lock().seen_running.insert((node, name.clone()));
+                            // Confirm the placement on the log: clears a
+                            // pending down marker (counting the re-host)
+                            // without bumping the decision epoch.
+                            if !rep.down_nodes(&name).is_empty() {
+                                let _ = rep.submit(SscUpdate::Place {
+                                    token: 0,
+                                    service: name,
+                                    node,
+                                    now_us: 0,
+                                });
+                            }
+                            continue;
                         }
+                        let died = self.state.lock().seen_running.contains(&(node, name.clone()));
+                        if died {
+                            // Sequence the observation: an epoch-stamped
+                            // down report, idempotent across masters.
+                            let _ = rep.submit(SscUpdate::ReportDown {
+                                service: name.clone(),
+                                node,
+                                now_us: 0,
+                            });
+                        }
+                        let _ = ssc.start_service(name);
                     }
                     status.push(NodeServices {
                         node,
@@ -207,6 +299,47 @@ impl Csc {
             .map(|(_, c)| c)
             .ok_or(SvcError::NodeUnreachable { node })
     }
+
+    fn rep(&self) -> Result<Arc<SscReplica>, SvcError> {
+        self.rep.lock().clone().ok_or(SvcError::Dependency {
+            what: "csc: replica not started".into(),
+        })
+    }
+
+    /// A fresh retry token for an operator-initiated decision, unique
+    /// within this replica's lifetime.
+    fn next_token(&self) -> u64 {
+        let rep_id = self
+            .cfg
+            .replica
+            .as_ref()
+            .map(|r| r.replica_id as u64)
+            .unwrap_or(0);
+        ((rep_id + 1) << 48) | self.token_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Sequences one decision with bounded retries. The token travels
+    /// unchanged across attempts, so a retry after a mid-commit
+    /// fail-over returns the original decision epoch instead of
+    /// deciding twice.
+    fn decide(&self, rep: &Arc<SscReplica>, op: SscUpdate) -> Result<u64, SvcError> {
+        let mut last = SvcError::Dependency {
+            what: "csc: no attempt".into(),
+        };
+        for _ in 0..8 {
+            match rep.submit(op.clone()) {
+                Ok(epoch) => return Ok(epoch),
+                // Table refusals are committed outcomes, not transport
+                // trouble: surface them to the caller unchanged.
+                Err(e @ (SvcError::UnknownService { .. } | SvcError::NotPlaced { .. })) => {
+                    return Err(e)
+                }
+                Err(e) => last = e,
+            }
+            self.rt.sleep(self.cfg.ping_interval / 4);
+        }
+        Err(last)
+    }
 }
 
 impl CscApi for Csc {
@@ -221,12 +354,29 @@ impl CscApi for Csc {
         from: NodeId,
         to: NodeId,
     ) -> Result<(), SvcError> {
-        self.update_placement(&name, |nodes| {
-            nodes.retain(|n| *n != from);
-            if !nodes.contains(&to) {
-                nodes.push(to);
-            }
-        })?;
+        let rep = self.rep()?;
+        match self.decide(
+            &rep,
+            SscUpdate::Unplace {
+                token: self.next_token(),
+                service: name.clone(),
+                node: from,
+                now_us: 0,
+            },
+        ) {
+            // A move away from a node it was never on is just a place.
+            Ok(_) | Err(SvcError::NotPlaced { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        self.decide(
+            &rep,
+            SscUpdate::Place {
+                token: self.next_token(),
+                service: name.clone(),
+                node: to,
+                now_us: 0,
+            },
+        )?;
         if let Ok(ssc) = self.ssc_for(from) {
             let _ = ssc.stop_service(name.clone());
         }
@@ -241,56 +391,102 @@ impl CscApi for Csc {
         name: String,
         run: bool,
     ) -> Result<(), SvcError> {
-        self.update_placement(&name, |nodes| {
-            if run {
-                if !nodes.contains(&node) {
-                    nodes.push(node);
-                }
-            } else {
-                nodes.retain(|n| *n != node);
-            }
-        })?;
-        let ssc = self.ssc_for(node)?;
+        let rep = self.rep()?;
         if run {
-            ssc.start_service(name)
-        } else {
-            ssc.stop_service(name)
-        }
-    }
-}
-
-impl Csc {
-    fn update_placement(&self, name: &str, f: impl Fn(&mut Vec<NodeId>)) -> Result<(), SvcError> {
-        self.db
-            .call(|db| {
-                let mut rows = DbTables::placements(db)?;
-                let mut found = false;
-                for row in &mut rows {
-                    if row.service == name {
-                        f(&mut row.nodes);
-                        DbTables::put_placement(db, row)?;
-                        found = true;
-                    }
-                }
-                if !found {
-                    let mut nodes = Vec::new();
-                    f(&mut nodes);
-                    DbTables::put_placement(
-                        db,
-                        &ServicePlacement {
-                            service: name.to_string(),
-                            nodes,
+            match self.decide(
+                &rep,
+                SscUpdate::Place {
+                    token: self.next_token(),
+                    service: name.clone(),
+                    node,
+                    now_us: 0,
+                },
+            ) {
+                Ok(_) => {}
+                // First placement of an undefined service defines it.
+                Err(SvcError::UnknownService { .. }) => {
+                    self.decide(
+                        &rep,
+                        SscUpdate::Define {
+                            token: self.next_token(),
+                            service: name.clone(),
+                            nodes: vec![node],
+                            now_us: 0,
                         },
                     )?;
                 }
-                Ok(())
-            })
-            .map_err(|e: ocs_db::DbError| match e.orb_error() {
-                Some(err) => SvcError::Comm { err: err.clone() },
-                None => SvcError::Dependency {
-                    what: e.to_string(),
+                Err(e) => return Err(e),
+            }
+            let ssc = self.ssc_for(node)?;
+            ssc.start_service(name)
+        } else {
+            match self.decide(
+                &rep,
+                SscUpdate::Unplace {
+                    token: self.next_token(),
+                    service: name.clone(),
+                    node,
+                    now_us: 0,
                 },
-            })
+            ) {
+                // Not placed = the desired state already holds (a retry
+                // whose first attempt committed lands here too).
+                Ok(_) | Err(SvcError::NotPlaced { .. }) => {}
+                Err(e) => return Err(e),
+            }
+            let ssc = self.ssc_for(node)?;
+            ssc.stop_service(name)
+        }
+    }
+
+    fn place_op(
+        &self,
+        _caller: &Caller,
+        token: u64,
+        name: String,
+        node: NodeId,
+        run: bool,
+    ) -> Result<u64, SvcError> {
+        let rep = self.rep()?;
+        let op = if run {
+            SscUpdate::Place {
+                token,
+                service: name,
+                node,
+                now_us: 0,
+            }
+        } else {
+            SscUpdate::Unplace {
+                token,
+                service: name,
+                node,
+                now_us: 0,
+            }
+        };
+        rep.submit(op)
+    }
+
+    fn define_service(
+        &self,
+        _caller: &Caller,
+        token: u64,
+        name: String,
+        nodes: Vec<NodeId>,
+    ) -> Result<u64, SvcError> {
+        let rep = self.rep()?;
+        rep.submit(SscUpdate::Define {
+            token,
+            service: name,
+            nodes,
+            now_us: 0,
+        })
+    }
+
+    fn placements(&self, _caller: &Caller) -> Result<Vec<ServicePlacement>, SvcError> {
+        // Local committed state on purpose: the post-storm audit asks
+        // every replica for its own view and compares.
+        let rep = self.rep()?;
+        Ok(rep.placements())
     }
 }
 

@@ -99,6 +99,14 @@ impl Ssc {
         ns: NsHandle,
         registry: Vec<ServiceDef>,
     ) -> Result<Arc<Ssc>, NetError> {
+        // The monitor and bind loops advance only by sleeping these
+        // intervals; zero would busy-spin the loop at one virtual
+        // instant (the same no-clock hazard the CM's `with_lease`
+        // refuses). Refuse rather than default silently.
+        assert!(
+            !cfg.monitor_interval.is_zero() && !cfg.restart_delay.is_zero(),
+            "ssc: monitor_interval and restart_delay must be nonzero"
+        );
         let ssc = Arc::new(Ssc {
             started_at: rt.now(),
             rt: rt.clone(),

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ocs_db::ServicePlacement;
 use ocs_orb::{declare_interface, impl_rpc_fault, ObjRef, OrbError};
 use ocs_sim::NodeId;
 use ocs_wire::{impl_wire_enum, impl_wire_struct};
@@ -17,6 +18,10 @@ pub enum SvcError {
     Dependency { what: String },
     /// Transport failure.
     Comm { err: OrbError },
+    /// The service is not placed on that node (replicated placement
+    /// table refusal; treat as already-committed when retrying an
+    /// unplace whose reply was lost).
+    NotPlaced { name: String, node: NodeId },
 }
 
 impl fmt::Display for SvcError {
@@ -26,6 +31,9 @@ impl fmt::Display for SvcError {
             SvcError::NodeUnreachable { node } => write!(f, "node unreachable: {node}"),
             SvcError::Dependency { what } => write!(f, "dependency failure: {what}"),
             SvcError::Comm { err } => write!(f, "communication failure: {err}"),
+            SvcError::NotPlaced { name, node } => {
+                write!(f, "service {name} not placed on {node}")
+            }
         }
     }
 }
@@ -37,6 +45,7 @@ impl_wire_enum!(SvcError {
     1 => NodeUnreachable { node },
     2 => Dependency { what },
     3 => Comm { err },
+    4 => NotPlaced { name, node },
 });
 impl_rpc_fault!(SvcError);
 
@@ -126,6 +135,20 @@ declare_interface! {
         /// Adds (`run = true`) or removes a service from a node's
         /// placement.
         3 => fn set_placement(&self, node: NodeId, name: String, run: bool) -> Result<(), SvcError>;
+        /// Sequences one placement decision (`run = true` → `Place`,
+        /// else `Unplace`) through the replicated log WITHOUT driving
+        /// the SSC side effects, returning the decision epoch. `token`
+        /// is the client retry key (0 = no dedup); a retry after a
+        /// fail-over returns the original epoch. This is the storm
+        /// driver's probe: the table mutates, no process groups move.
+        4 => fn place_op(&self, token: u64, name: String, node: NodeId, run: bool) -> Result<u64, SvcError>;
+        /// Registers (or content-idempotently confirms) a service
+        /// definition with its desired node set; returns the decision
+        /// epoch.
+        5 => fn define_service(&self, token: u64, name: String, nodes: Vec<NodeId>) -> Result<u64, SvcError>;
+        /// The replicated placement table as seen by this replica, in
+        /// service-name order (post-storm audits compare replicas).
+        6 => fn placements(&self) -> Result<Vec<ServicePlacement>, SvcError>;
     }
 }
 

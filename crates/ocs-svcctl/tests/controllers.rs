@@ -193,6 +193,37 @@ fn ssc_stop_service_kills_group_and_reports_down() {
     assert_eq!(lives.load(Ordering::Relaxed), 1);
 }
 
+// The controllers' loops advance only by sleeping their configured
+// intervals; a zero interval would busy-spin at one virtual instant
+// (the no-clock hazard the CM's `with_lease` refuses). Both must be
+// refused loudly at start, not defaulted silently.
+#[test]
+#[should_panic(expected = "ssc: monitor_interval and restart_delay must be nonzero")]
+fn ssc_refuses_zero_monitor_interval() {
+    let sim = Sim::new(9);
+    let server = sim.add_node("server0");
+    let ns = ns_handle(&server, Addr::new(server.node(), NS_PORT));
+    let cfg = SscConfig {
+        monitor_interval: Duration::ZERO,
+        ..SscConfig::default()
+    };
+    let _ = Ssc::start(server.clone() as Rt, cfg, ns, vec![]);
+}
+
+#[test]
+#[should_panic(expected = "csc: ping_interval and bind_retry must be nonzero")]
+fn csc_refuses_zero_ping_interval() {
+    let sim = Sim::new(10);
+    let server = sim.add_node("server0");
+    let ns = ns_handle(&server, Addr::new(server.node(), NS_PORT));
+    let cfg = CscConfig {
+        ping_interval: Duration::ZERO,
+        ..CscConfig::default()
+    };
+    let csc = Csc::new(server.clone() as Rt, cfg, ns);
+    let _ = csc.run(|_| {});
+}
+
 #[test]
 fn csc_places_services_and_handles_node_recovery() {
     let sim = Sim::new(3);

@@ -18,13 +18,13 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ocs_name::{AlwaysAlive, NsConfig, NsHandle, NsReplica};
+use ocs_name::{AlwaysAlive, NsConfig, NsError, NsHandle, NsReplica};
 use ocs_orb::{Caller, ClientCtx, ObjRef, Orb};
 use ocs_sim::real::RealNet;
-use ocs_sim::{Addr, NodeRt, PortReq, Rt};
+use ocs_sim::{Addr, NodeRt, NodeRtExt, PortReq, Rt};
 use ocs_svcctl::{
-    ServiceDef, ServiceRunCtx, Ssc, SscApiClient, SscCallback, SscCallbackServant, SscConfig,
-    SvcError,
+    csc_client, Csc, CscConfig, ServiceDef, ServiceRunCtx, Ssc, SscApiClient, SscCallback,
+    SscCallbackServant, SscConfig, SscReplicaConfig, SvcError,
 };
 use parking_lot::Mutex;
 
@@ -164,4 +164,142 @@ fn ssc_restarts_dead_service_on_real_runtime() {
         "downs recorded"
     );
     node.stop();
+}
+
+/// Controller fail-over on the real runtime: a three-replica CSC group
+/// over TCP loses its primary to a kill, the survivors re-elect, and
+/// every placement decision made before the kill is still there — no
+/// regeneration, no doubled decision on a cross-fail-over token retry.
+#[test]
+fn csc_group_survives_primary_kill_on_real_runtime() {
+    let net = RealNet::new();
+    // The name service rides its own node so killing the CSC primary
+    // doesn't take the advertisement path down with it.
+    let ns_node = net.add_node("ns0").expect("bind loopback");
+    let ns_rt: Rt = ns_node.clone();
+    let ns_addr = Addr::new(ns_node.node(), NS_PORT);
+    let mut cfg = NsConfig::paper_defaults(0, vec![ns_addr]);
+    cfg.heartbeat_interval = Duration::from_millis(200);
+    cfg.election_timeout = Duration::from_millis(600);
+    cfg.audit_interval = Duration::from_secs(2);
+    cfg.resolve_cost = Duration::ZERO;
+    NsReplica::start(ns_rt.clone(), cfg, Arc::new(AlwaysAlive)).unwrap();
+    let ns0 = NsHandle::new(ClientCtx::new(ns_rt.clone()), ns_addr);
+    assert!(
+        eventually(Duration::from_secs(10), || matches!(
+            ns0.bind_new_context("svc"),
+            Ok(_) | Err(NsError::AlreadyBound { .. })
+        )),
+        "svc context never came up"
+    );
+
+    // Three controller replicas, timeouts scaled down with the real
+    // transport (mirroring the cluster harness's real NS tuning).
+    let cnodes: Vec<_> = (0..3)
+        .map(|i| net.add_node(&format!("csc{i}")).expect("bind loopback"))
+        .collect();
+    let csc_port = CscConfig::default().port;
+    let peers: Vec<Addr> = cnodes.iter().map(|n| Addr::new(n.node(), csc_port)).collect();
+    let mut cscs = Vec::new();
+    for (i, node) in cnodes.iter().enumerate() {
+        let rt: Rt = node.clone();
+        let ns = NsHandle::new(ClientCtx::new(rt.clone()), ns_addr);
+        let mut rc = SscReplicaConfig::paper_defaults(i as u32, peers.clone());
+        rc.heartbeat_interval = Duration::from_millis(200);
+        rc.election_timeout = Duration::from_millis(600);
+        rc.peer_timeout = Duration::from_millis(150);
+        let ccfg = CscConfig {
+            ping_interval: Duration::from_millis(500),
+            bind_retry: Duration::from_millis(500),
+            replica: Some(rc),
+            ..CscConfig::default()
+        };
+        let csc = Csc::new(rt.clone(), ccfg, ns);
+        let runner = Arc::clone(&csc);
+        // A real process group, so the kill below closes its endpoints
+        // and unwinds its threads like a dead controller process.
+        node.spawn_group(
+            "csc-run",
+            Box::new(move || {
+                let _ = runner.run(|_| {});
+            }),
+        );
+        cscs.push(csc);
+    }
+
+    // A single master emerges and advertises itself in the NS.
+    assert!(
+        eventually(Duration::from_secs(15), || {
+            cscs.iter().filter(|c| c.is_primary()).count() == 1
+        }),
+        "no unique CSC master elected"
+    );
+    assert!(
+        eventually(Duration::from_secs(10), || csc_client(&ns0, "svc/csc").is_ok()),
+        "master never advertised at svc/csc"
+    );
+    let client = csc_client(&ns0, "svc/csc").unwrap();
+
+    // Sequence a definition and one explicit placement, with
+    // client-chosen retry tokens.
+    let target = cnodes[2].node();
+    let define_epoch = client
+        .define_service(0x1001, "web".to_string(), vec![cnodes[1].node()])
+        .expect("define accepted");
+    let place_epoch = client
+        .place_op(0x1002, "web".to_string(), target, true)
+        .expect("place accepted");
+    assert!(place_epoch > define_epoch, "placement bumped the epoch");
+
+    // Kill the primary's process group outright: endpoints force-close,
+    // peers observe resets, member threads unwind at the next
+    // cancellation point.
+    let master = cscs.iter().position(|c| c.is_primary()).unwrap();
+    cnodes[master].kill_all_groups();
+
+    // The survivors re-elect a new master within the tuned timeouts...
+    let reelected = eventually(Duration::from_secs(20), || {
+        cscs.iter()
+            .enumerate()
+            .any(|(i, c)| i != master && c.is_primary())
+    });
+    if !reelected {
+        for (i, c) in cscs.iter().enumerate() {
+            if let Some(rep) = c.replica() {
+                eprintln!("replica {i}: {}", rep.debug_status());
+            }
+        }
+        panic!("no new master after the primary kill");
+    }
+    // ...and the placement table survived the fail-over intact on every
+    // surviving replica: `web` is still placed where it was put, with no
+    // regeneration round.
+    for (i, csc) in cscs.iter().enumerate() {
+        if i == master {
+            continue;
+        }
+        let rep = csc.replica().expect("replica started");
+        assert!(
+            eventually(Duration::from_secs(10), || rep.is_placed("web", target)),
+            "replica {i} lost the placement across fail-over"
+        );
+    }
+    // A cross-fail-over retry of the same tokened op returns the
+    // original decision epoch: the placement was not doubled.
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            let Ok(fresh) = csc_client(&ns0, "svc/csc") else {
+                return false;
+            };
+            matches!(
+                fresh.place_op(0x1002, "web".to_string(), target, true),
+                Ok(e) if e == place_epoch
+            )
+        }),
+        "tokened retry after fail-over did not return the original epoch"
+    );
+    for node in &cnodes {
+        node.stop();
+    }
+    ns_node.stop();
 }

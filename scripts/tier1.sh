@@ -9,8 +9,10 @@
 # crosses the MMS, Connection Manager and MDS — and bench guards over
 # the committed E17/E18/E20/E21 artifacts (throughput, kernel fast path
 # plus flight-recorder overhead, NS view-change latency, and measured
-# availability/blackout windows under a fault storm, and CM fail-over
-# admission integrity).
+# availability/blackout windows under a fault storm), CM fail-over
+# admission integrity (E22), and controller fail-over placement
+# integrity (E23: 0 lost / 0 doubled placements, exact replica audits,
+# decision-blackout p99 bounds).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -254,5 +256,45 @@ if [ -z "$committed" ] || ! awk -v c="$committed" 'BEGIN { exit !(c < 2.0) }'; t
     exit 1
 fi
 echo "tier1: E22 smoke CM blackout p99 ${tuned_p99}s tuned / ${paper_p99}s paper, lost=$lost doubled=$doubled audit=$audit"
+
+# Controller fail-over smoke + bench guard: E23 puts the controllers'
+# replicated placement table through repeated primary kills (the real-TCP
+# leg is skipped with --sim-only to keep this deterministic). The fresh
+# run must lose no committed placement, re-decide no tokened retry or
+# idempotent re-place, keep every replica's audit exact, and hold the
+# deployed-tuning update blackout p99 under 2 s (the paper-timeout leg
+# sits inside the paper's 25 s fail-over bound). The committed
+# BENCH_e23.json must carry the same claims on the tuned sim AND the
+# real TCP legs.
+tmp="$(mktemp -d)"
+(cd "$tmp" && timeout 240 cargo run --release --offline -q \
+    --manifest-path "$repo/Cargo.toml" -p bench --bin experiments -- \
+    e23 --sim-only >/dev/null)
+paper_p99="$(json_field "$tmp/BENCH_e23.json" svc_paper_blackout_p99_s)"
+tuned_p99="$(json_field "$tmp/BENCH_e23.json" svc_blackout_p99_s)"
+lost="$(json_field "$tmp/BENCH_e23.json" lost_placements)"
+doubled="$(json_field "$tmp/BENCH_e23.json" doubled_placements)"
+audit="$(grep -oE '"audit_consistent": (true|false)' "$tmp/BENCH_e23.json" | awk '{print $2}')"
+rm -rf "$tmp"
+if [ "$lost" != "0" ] || [ "$doubled" != "0" ] || [ "$audit" != "true" ]; then
+    echo "tier1: E23 smoke FAILED - lost=${lost:-missing} doubled=${doubled:-missing} audit=${audit:-missing} (want 0/0/true)" >&2
+    exit 1
+fi
+if [ -z "$paper_p99" ] || ! awk -v f="$paper_p99" 'BEGIN { exit !(f < 25.0) }'; then
+    echo "tier1: E23 smoke FAILED - fresh paper-timeout blackout p99 ${paper_p99:-missing} not < 25 s" >&2
+    exit 1
+fi
+if [ -z "$tuned_p99" ] || ! awk -v f="$tuned_p99" 'BEGIN { exit !(f < 2.0) }'; then
+    echo "tier1: E23 smoke FAILED - fresh tuned blackout p99 ${tuned_p99:-missing} not < 2.0 s" >&2
+    exit 1
+fi
+for key in svc_blackout_p99_s svc_real_blackout_p99_s; do
+    committed="$(json_field "$repo/BENCH_e23.json" "$key")"
+    if [ -z "$committed" ] || ! awk -v c="$committed" 'BEGIN { exit !(c < 2.0) }'; then
+        echo "tier1: E23 guard FAILED - committed $key ${committed:-missing} not < 2.0 s (BENCH_e23.json)" >&2
+        exit 1
+    fi
+done
+echo "tier1: E23 smoke controller blackout p99 ${tuned_p99}s tuned / ${paper_p99}s paper, lost=$lost doubled=$doubled audit=$audit"
 
 echo "tier1: OK"
